@@ -1,0 +1,36 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables or figures,
+printing the same rows the paper reports (paper values alongside for
+comparison) and writing the artifact under ``benchmarks/out/``.
+
+Scale: set ``REPRO_BENCH_SCALE`` (default 0.5) to trade fidelity for
+speed; 1.0 reproduces the committed EXPERIMENTS.md numbers.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return SCALE
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> pathlib.Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+def emit(artifact_dir: pathlib.Path, name: str, text: str) -> None:
+    """Print an artifact and persist it."""
+    print()
+    print(text)
+    (artifact_dir / name).write_text(text + "\n")

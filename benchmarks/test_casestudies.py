@@ -1,0 +1,54 @@
+"""§8 case studies — per-application findings and graph statistics."""
+
+from conftest import emit
+
+from repro.experiments import casestudies
+from repro.flowgraph.important import important_graph
+
+
+def test_section8_case_studies(benchmark, bench_scale, artifact_dir):
+    studies = benchmark.pedantic(
+        casestudies.run, kwargs={"scale": bench_scale}, rounds=1, iterations=1
+    )
+    emit(artifact_dir, "casestudies.txt", casestudies.format_studies(studies))
+
+    # Every narrated finding must be FOUND.
+    for study in studies.values():
+        for finding in study.findings:
+            assert "MISSING" not in finding, f"{study.name}: {finding}"
+
+    # Graph sizes scale with input; shape facts that must hold at any
+    # scale: Castro and LAMMPS produce by far the largest graphs.
+    sizes = {name: study.graph_size[0] for name, study in studies.items()}
+    assert sizes["lammps"] == max(sizes.values()) or (
+        sizes["castro"] == max(sizes.values())
+    )
+    assert sizes["lammps"] > 3 * sizes["pytorch/deepwave"]
+
+
+def test_lammps_important_graph_trim(benchmark, bench_scale):
+    """§5.2: LAMMPS trims 660/1258 -> 132/97 — a ~5x node and ~13x
+    edge reduction.  The reproduction must achieve a comparable
+    reduction with byte-importance pruning."""
+    from repro.experiments.runner import profile_workload
+    from repro.gpu.timing import RTX_2080_TI
+    from repro.workloads import get_workload
+
+    def measure():
+        workload = get_workload("lammps")(scale=bench_scale)
+        return profile_workload(workload, RTX_2080_TI)
+
+    profile = benchmark.pedantic(measure, rounds=1, iterations=1)
+    graph = profile.graph
+    edges = sorted(e.bytes_accessed for e in graph.edges())
+    threshold = edges[int(len(edges) * 0.9)]
+    trimmed = important_graph(
+        graph, edge_threshold=threshold, vertex_threshold=float("inf")
+    )
+    print(
+        f"lammps important-graph trim: {graph.num_vertices}/"
+        f"{graph.num_edges} -> {trimmed.num_vertices}/{trimmed.num_edges} "
+        f"(paper: 660/1258 -> 132/97)"
+    )
+    assert trimmed.num_vertices <= graph.num_vertices / 1.5
+    assert trimmed.num_edges <= graph.num_edges / 4

@@ -1,0 +1,67 @@
+"""Figure 5 — the three snapshot-copy strategies and the adaptive rule."""
+
+import numpy as np
+from conftest import emit
+
+from repro.intervals.copyplan import (
+    CopyStrategy,
+    plan_copy,
+    plan_direct,
+    plan_min_max,
+    plan_segment,
+)
+
+OBJECT_SIZE = 16 * 1024 * 1024
+
+
+def _sparse_intervals(islands: int) -> np.ndarray:
+    spacing = OBJECT_SIZE // max(islands, 1)
+    starts = (np.arange(islands, dtype=np.uint64) * spacing)
+    return np.stack([starts, starts + 256], axis=1)
+
+
+def _dense_intervals(chunks: int) -> np.ndarray:
+    starts = (np.arange(chunks, dtype=np.uint64) * 300)
+    return np.stack([starts, starts + 256], axis=1)
+
+
+def test_copy_strategy_selection(benchmark, artifact_dir):
+    def evaluate():
+        rows = []
+        for label, intervals in (
+            ("sparse-8-islands", _sparse_intervals(8)),
+            ("sparse-1000-islands", _sparse_intervals(1000)),
+            ("dense-1000-chunks", _dense_intervals(1000)),
+        ):
+            direct = plan_direct(0, OBJECT_SIZE)
+            min_max = plan_min_max(intervals)
+            segment = plan_segment(intervals)
+            chosen = plan_copy(intervals, 0, OBJECT_SIZE)
+            rows.append(
+                f"{label:<22} direct={direct.cost_bytes:>12} "
+                f"min-max={min_max.cost_bytes:>12} "
+                f"segment={segment.cost_bytes:>12} "
+                f"-> adaptive: {chosen.strategy.value}"
+            )
+        return rows
+
+    rows = benchmark.pedantic(evaluate, rounds=3, iterations=1)
+    emit(artifact_dir, "figure5_copy.txt", "\n".join(rows))
+
+    # The adaptive rule (Section 6.1): segment for sparse+few, min-max
+    # for dense or numerous.
+    assert plan_copy(_sparse_intervals(8), 0, OBJECT_SIZE).strategy is (
+        CopyStrategy.SEGMENT
+    )
+    assert plan_copy(_sparse_intervals(1000), 0, OBJECT_SIZE).strategy is (
+        CopyStrategy.MIN_MAX
+    )
+    assert plan_copy(_dense_intervals(1000), 0, OBJECT_SIZE).strategy is (
+        CopyStrategy.MIN_MAX
+    )
+
+    # Against any of these access sets, the adaptive plan never moves
+    # more bytes than the direct whole-object copy.
+    for intervals in (_sparse_intervals(8), _dense_intervals(1000)):
+        adaptive = plan_copy(intervals, 0, OBJECT_SIZE)
+        assert adaptive.bytes_transferred <= OBJECT_SIZE

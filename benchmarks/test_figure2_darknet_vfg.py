@@ -1,0 +1,34 @@
+"""Figure 2 — the Darknet value flow graph artifact."""
+
+from conftest import emit
+
+from repro.experiments import figure2
+from repro.patterns.base import Pattern
+
+
+def test_figure2_darknet_value_flow_graph(benchmark, artifact_dir):
+    result = benchmark.pedantic(
+        figure2.run,
+        kwargs={"output_path": str(artifact_dir / "figure2_darknet.dot")},
+        rounds=1,
+        iterations=1,
+    )
+    emit(artifact_dir, "figure2.txt", figure2.format_figure(result))
+
+    # Graph scale: same order as the paper's 70 nodes / 114 edges.
+    assert 40 <= result.nodes <= 120
+    assert 50 <= result.edges <= 200
+
+    # The two red flows of Figure 2 (Inefficiencies I and II).
+    flows = " | ".join(result.flow_names())
+    assert "fill_kernel" in flows          # 390 -> 392
+    assert "cudaMemcpy" in flows           # 218 -> 220 -> 1506
+
+    # The DOT artifact uses the paper's encoding.
+    assert 'color="red"' in result.dot
+    assert 'shape="box"' in result.dot and 'shape="oval"' in result.dot
+
+    # Both Section 1.1 inefficiencies appear as pattern hits.
+    patterns = {hit.pattern for hit in result.profile.hits}
+    assert Pattern.REDUNDANT_VALUES in patterns
+    assert Pattern.DUPLICATE_VALUES in patterns

@@ -1,0 +1,25 @@
+"""Figure 3 — construction, slicing, and pruning of the worked VFG."""
+
+from conftest import emit
+
+from repro.experiments import figure3
+
+
+def test_figure3_worked_example(benchmark, artifact_dir):
+    result = benchmark.pedantic(figure3.run, rounds=1, iterations=1)
+    emit(artifact_dir, "figure3.txt", figure3.format_figure(result))
+
+    # Figure 3b: host + 2 allocations + 2 memsets + 3 kernels; the six
+    # edges of Definition 5.1.
+    assert result.graph.num_vertices == 8
+    assert result.graph.num_edges == 6
+
+    # Figure 3d: the slice around write_B keeps B's chain.
+    assert result.slice_graph.num_edges == 3
+    assert result.slice_graph.num_vertices < result.graph.num_vertices
+
+    # Figure 3e: the important graph drops the partial-write edge.
+    assert result.important.num_edges < result.graph.num_edges
+
+    # The double-zeroing shows up as redundant flows.
+    assert result.profile.redundant_flows()

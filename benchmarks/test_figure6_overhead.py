@@ -1,0 +1,39 @@
+"""Figure 6 — coarse/fine profiling overhead per workload/platform."""
+
+from conftest import emit
+
+from repro.experiments import figure6
+
+
+def test_figure6_overheads(benchmark, bench_scale, artifact_dir):
+    result = benchmark.pedantic(
+        figure6.run, kwargs={"scale": bench_scale}, rounds=1, iterations=1
+    )
+    text = figure6.format_figure(result)
+    emit(artifact_dir, "figure6.txt", text)
+
+    for platform in ("RTX 2080 Ti", "A100"):
+        summary = result.summary(platform)
+        # Paper medians: coarse 3.38x/4.28x, fine 3.97x/4.18x.
+        assert 2.0 < summary["coarse_median"] < 7.0
+        assert 2.0 < summary["fine_median"] < 7.0
+        # Overall (summed passes): 7.35x / 7.81x in the paper.
+        assert 4.0 < summary["total_median"] < 12.0
+
+    # Every individual overhead must stay moderate — nothing remotely
+    # like the 1200x unoptimized slowdown the paper quotes.
+    for per_platform in result.reports.values():
+        for modes in per_platform.values():
+            for report in modes.values():
+                assert report.overhead < 60.0
+
+    # Paper: "PyTorch-deepwave suffers from the highest overhead on
+    # both GPUs" — it produces the most non-adjacent intervals.  It
+    # must rank near the top of the coarse overheads on both cards.
+    for platform in ("RTX 2080 Ti", "A100"):
+        coarse = {
+            name: modes[platform]["coarse"].overhead
+            for name, modes in result.reports.items()
+        }
+        ranked = sorted(coarse, key=coarse.get, reverse=True)
+        assert "pytorch/deepwave" in ranked[:4]

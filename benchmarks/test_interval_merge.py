@@ -1,0 +1,67 @@
+"""Figure 4 — the parallel interval merge, as a microbenchmark.
+
+The paper's argument is algorithmic: the data-parallel merge turns the
+O(N log N) sequential sweep into parallel sort + scans, and warp
+compaction shrinks the stream before the full merge ever runs.  The
+benchmark measures the reproduction's merge throughput on a
+streamcluster-like interval stream and asserts the structural facts.
+"""
+
+import numpy as np
+import pytest
+from conftest import emit
+
+from repro.intervals.compaction import compaction_ratio, warp_compact
+from repro.intervals.parallel import merge_parallel
+from repro.intervals.sequential import merge_sequential
+
+
+def _streamcluster_like_intervals(count: int, seed: int = 0) -> np.ndarray:
+    """Strided float accesses: many small intervals, partial adjacency."""
+    rng = np.random.default_rng(seed)
+    starts = (rng.integers(0, count // 2, count) * 4).astype(np.uint64)
+    return np.stack([starts, starts + 4], axis=1)
+
+
+INTERVALS = _streamcluster_like_intervals(500_000)
+
+
+def test_parallel_merge_throughput(benchmark, artifact_dir):
+    merged = benchmark(merge_parallel, INTERVALS)
+    assert merged.shape[0] < INTERVALS.shape[0]
+    emit(
+        artifact_dir,
+        "figure4_merge.txt",
+        f"parallel merge: {INTERVALS.shape[0]} raw -> "
+        f"{merged.shape[0]} merged intervals",
+    )
+
+
+def test_sequential_merge_throughput(benchmark):
+    merged = benchmark(merge_sequential, INTERVALS)
+    assert np.array_equal(merged, merge_parallel(INTERVALS))
+
+
+def test_warp_compaction_throughput(benchmark):
+    coalesced = np.stack(
+        [
+            np.arange(100_000, dtype=np.uint64) * 4,
+            np.arange(100_000, dtype=np.uint64) * 4 + 4,
+        ],
+        axis=1,
+    )
+    compacted = benchmark(warp_compact, coalesced)
+    # Fully coalesced warps collapse 32 accesses into 1 interval.
+    assert compaction_ratio(coalesced.shape[0], compacted.shape[0]) == 32.0
+
+
+def test_merge_after_compaction_is_cheaper(benchmark):
+    """The two-stage pipeline: compaction shrinks the merge's input."""
+    compacted = warp_compact(INTERVALS)
+
+    def pipeline():
+        return merge_parallel(compacted)
+
+    merged = benchmark(pipeline)
+    assert compacted.shape[0] < INTERVALS.shape[0]
+    assert np.array_equal(merged, merge_parallel(INTERVALS))

@@ -1,0 +1,17 @@
+"""Table 1 — the pattern ✓-matrix over all 19 workloads."""
+
+from conftest import emit
+
+from repro.experiments import table1
+
+
+def test_table1_pattern_matrix(benchmark, bench_scale, artifact_dir):
+    result = benchmark.pedantic(
+        table1.run, kwargs={"scale": bench_scale}, rounds=1, iterations=1
+    )
+    text = table1.format_table(result)
+    emit(artifact_dir, "table1.txt", text)
+    # Reproduction criterion: every paper check mark is detected.
+    for name in result.expected:
+        missing = result.missing(name)
+        assert not missing, f"{name} missing {missing}"

@@ -1,0 +1,51 @@
+"""Table 3 — kernel/memory speedups per workload on both platforms."""
+
+import pytest
+from conftest import emit
+
+from repro.experiments import platforms, table3
+
+
+def test_table3_speedups(benchmark, artifact_dir):
+    # Speedups are ratio measurements: always run at full scale.
+    result = benchmark.pedantic(table3.run, rounds=1, iterations=1)
+    text = platforms.platform_table() + "\n\n" + table3.format_table(result)
+    emit(artifact_dir, "table3.txt", text)
+
+    ti = result.summary("RTX 2080 Ti")
+    a100 = result.summary("A100")
+    # Paper anchors: kernel geomeans 1.58x / 1.39x; memory 1.34x / 1.28x.
+    assert 1.3 < ti["kernel_geomean"] < 2.1
+    assert 1.15 < a100["kernel_geomean"] < 1.8
+    assert 1.15 < ti["memory_geomean"] < 1.7
+    assert 1.1 < a100["memory_geomean"] < 1.6
+    # The cross-platform ordering the paper explains (Section 7):
+    # optimizations help the 2080 Ti more.
+    assert ti["kernel_geomean"] > a100["kernel_geomean"]
+    assert ti["memory_geomean"] > a100["memory_geomean"]
+
+
+def test_table3_headline_rows(benchmark):
+    """Spot-check the rows the paper's narrative leans on."""
+    from repro.experiments.runner import measure_speedups
+    from repro.gpu.timing import A100, RTX_2080_TI
+    from repro.workloads import get_workload
+
+    def measure():
+        rows = {}
+        for name in ("rodinia/backprop", "rodinia/cfd", "lammps"):
+            workload = get_workload(name)()
+            rows[name] = {
+                platform.name: measure_speedups(workload, platform)
+                for platform in (RTX_2080_TI, A100)
+            }
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    # backprop: 8.18x vs 1.67x in the paper.
+    assert rows["rodinia/backprop"]["RTX 2080 Ti"].kernel_speedup > 5
+    assert rows["rodinia/backprop"]["A100"].kernel_speedup < 3
+    # cfd: the suite's largest kernel speedup on both platforms.
+    assert rows["rodinia/cfd"]["RTX 2080 Ti"].kernel_speedup > 4
+    # lammps: memory-only, ~6x / ~5x.
+    assert rows["lammps"]["RTX 2080 Ti"].memory_speedup > 4

@@ -1,0 +1,27 @@
+"""Table 4 — speedups attributed per value pattern."""
+
+import pytest
+from conftest import emit
+
+from repro.experiments import table4
+from repro.patterns.base import Pattern
+
+
+def test_table4_per_pattern_speedups(benchmark, artifact_dir):
+    result = benchmark.pedantic(table4.run, rounds=1, iterations=1)
+    text = table4.format_table(result)
+    emit(artifact_dir, "table4.txt", text)
+
+    rows = result.rows
+    # Attribution: backprop's win is single zero, not duplicates.
+    backprop_zero = rows[("rodinia/backprop", Pattern.SINGLE_ZERO)]
+    backprop_dup = rows[("rodinia/backprop", Pattern.DUPLICATE_VALUES)]
+    assert backprop_zero["RTX 2080 Ti"].kernel_speedup > 5
+    assert backprop_dup["RTX 2080 Ti"].kernel_speedup == pytest.approx(
+        1.0, abs=0.02
+    )
+    # The most common pattern is redundant values (paper's observation):
+    patterns = [pattern for _, pattern in rows]
+    assert patterns.count(Pattern.REDUNDANT_VALUES) >= 6
+    # Every workload contributed at least one row.
+    assert len({name for name, _ in rows}) == 19

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""ValueExpert vs a GVProf-style profiler on the same execution (§7).
+
+Runs the Bert workload under both tools and shows the comparison the
+paper makes:
+
+- GVProf reports per-instruction redundancy inside each kernel, but
+  the embedding inefficiency *spans* kernels (reset_parameters zeroes
+  the paddings; masked_fill_ re-zeroes them in a different launch), so
+  the kernel-scoped view cannot see it;
+- ValueExpert's object-level, cross-API view pinpoints it, names the
+  object, and suggests removing the second initialization.
+
+Run::
+
+    python examples/compare_with_gvprof.py
+"""
+
+from repro import Pattern, ToolConfig, ValueExpert, suggest
+from repro.baselines.gvprof import GvprofProfiler
+from repro.gpu.runtime import GpuRuntime
+from repro.workloads import get_workload
+
+
+def main():
+    workload = get_workload("pytorch/bert")(scale=0.5)
+
+    print("== GVProf-style kernel-scoped redundancy " + "=" * 22)
+    rt = GpuRuntime()
+    gvprof = GvprofProfiler()
+    gvprof.attach(rt)
+    workload.run_baseline(rt)
+    gvprof.detach()
+    print(gvprof.report.summary())
+    masked_fill_entries = [
+        entry
+        for entry in gvprof.report.per_pc.values()
+        if entry.kernel == "masked_fill_kernel"
+    ]
+    cross_kernel_seen = any(
+        e.temporal_fraction > 0.5 for e in masked_fill_entries
+    )
+    print(
+        f"\n  does GVProf see that masked_fill_ rewrites values another "
+        f"kernel already wrote? {'yes' if cross_kernel_seen else 'NO - its '}"
+        f"{'' if cross_kernel_seen else 'analysis resets at kernel boundaries'}"
+    )
+
+    print()
+    print("== ValueExpert object-level view " + "=" * 30)
+    profile = ValueExpert(ToolConfig()).profile(
+        workload.run_baseline, name="pytorch/bert"
+    )
+    embedding_hits = [
+        hit
+        for hit in profile.hits_by_pattern(Pattern.REDUNDANT_VALUES)
+        if "embedding.out" in hit.object_label
+    ]
+    for hit in embedding_hits:
+        print(f"  {hit}")
+        if "source" in hit.metrics:
+            print(f"    at {hit.metrics['source']}")
+    print()
+    relevant = [
+        s for s in suggest(profile) if s.object_label == "embedding.out"
+    ]
+    if relevant:
+        print(relevant[0])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+#!/usr/bin/env python
+"""Survey value patterns across the whole evaluation suite (Table 1).
+
+Profiles all 19 workloads (at a reduced scale for speed) and prints
+the pattern matrix next to the paper's check marks.  Run::
+
+    python examples/pattern_survey.py [scale]
+"""
+
+import sys
+
+from repro.experiments import table1
+
+
+def main():
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.25
+    print(f"profiling 19 workloads at scale {scale} ...")
+    result = table1.run(scale=scale)
+    print()
+    print(table1.format_table(result))
+    print()
+    if result.all_covered():
+        print("every Table 1 check mark was reproduced.")
+    else:
+        for name in result.expected:
+            missing = result.missing(name)
+            if missing:
+                print(f"MISSING {name}: {[p.value for p in missing]}")
+
+
+if __name__ == "__main__":
+    main()

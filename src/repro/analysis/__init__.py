@@ -1,0 +1,40 @@
+"""Online and offline analyzers plus the profile result model.
+
+The online analyzer consumes collector observations during execution:
+it recognizes value patterns and builds the value flow graph.  The
+offline analyzer runs postmortem: it resolves access types by binary
+slicing, annotates source lines, and finalizes the profile.
+
+The package also hosts the beyond-the-paper analyses built on the same
+measurement data (see docs/extensions.md): reuse distances, race
+detection, profile diffing, chrome-trace export, and HTML reports.
+"""
+
+from repro.analysis.profile import ValueProfile
+from repro.analysis.online import OnlineAnalyzer
+from repro.analysis.offline import OfflineAnalyzer
+from repro.analysis.advisor import OptimizationSuggestion, suggest
+from repro.analysis.report import render_report
+from repro.analysis.diff import ProfileDiff, diff_profiles
+from repro.analysis.races import RaceDetector, RaceReport, detect_races
+from repro.analysis.reuse import ReuseDistanceAnalyzer, analyze_launch
+from repro.analysis.trace import TraceRecorder
+from repro.analysis.htmlreport import render_html
+
+__all__ = [
+    "analyze_launch",
+    "detect_races",
+    "diff_profiles",
+    "OfflineAnalyzer",
+    "OnlineAnalyzer",
+    "OptimizationSuggestion",
+    "ProfileDiff",
+    "RaceDetector",
+    "RaceReport",
+    "render_html",
+    "render_report",
+    "ReuseDistanceAnalyzer",
+    "suggest",
+    "TraceRecorder",
+    "ValueProfile",
+]

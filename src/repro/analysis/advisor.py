@@ -1,0 +1,114 @@
+"""Per-pattern optimization guidance (the Section 3 playbook).
+
+Each value pattern implies a family of optimizations; the advisor turns
+pattern hits into concrete, prioritized suggestions, reproducing the
+"intuitive optimization guidance" the tool gives its users.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.analysis.profile import ValueProfile
+from repro.patterns.base import Pattern, PatternHit
+
+#: Guidance text per pattern, condensed from Section 3's discussion.
+_GUIDANCE = {
+    Pattern.REDUNDANT_VALUES: (
+        "The write does not change the stored values. Look for double "
+        "initialization or accumulation into known-zero data: remove the "
+        "redundant initialization (e.g. drop a fill kernel and switch the "
+        "consumer's beta/accumulate flag), or allocate without "
+        "initialization (empty_like instead of zeros_like)."
+    ),
+    Pattern.DUPLICATE_VALUES: (
+        "Two objects hold identical values. If one is copied from the "
+        "host, initialize it directly on the device (cudaMemset) instead "
+        "of transferring duplicates over PCIe; if both live on the "
+        "device, share one allocation or copy device-to-device."
+    ),
+    Pattern.FREQUENT_VALUES: (
+        "Most accesses see one value. Add conditional computation that "
+        "bypasses work on the dominant value (e.g. skip accumulating "
+        "zeros), or restructure indexing to improve locality on the "
+        "frequent entries."
+    ),
+    Pattern.SINGLE_VALUE: (
+        "Every access sees the same value. Contract the vector to a "
+        "scalar (pass the value as a kernel argument), or skip the "
+        "allocation entirely if the consumer can assume the constant."
+    ),
+    Pattern.SINGLE_ZERO: (
+        "Every access sees zero. Bypass floating-point work and stores "
+        "on zeros, use a sparse data structure, or skip the zero-copy / "
+        "zero-fill entirely."
+    ),
+    Pattern.HEAVY_TYPE: (
+        "The declared type is wider than the values need. Demote the "
+        "element type (e.g. int32 -> int8) or store compact codes and "
+        "decode on use; this cuts memory traffic proportionally."
+    ),
+    Pattern.STRUCTURED_VALUES: (
+        "Values are a linear function of the index. Compute them from "
+        "the index inside the kernel instead of loading them from "
+        "memory."
+    ),
+    Pattern.APPROXIMATE_VALUES: (
+        "Under bounded precision loss the object collapses to a simpler "
+        "pattern. If the algorithm tolerates approximation, apply the "
+        "underlying pattern's optimization with a error check (e.g. "
+        "within 2% RMSE)."
+    ),
+}
+
+#: Ranking: redundant flows and duplicates first (coarse patterns point
+#: at whole-API waste), then the fine patterns by typical payoff.
+_PRIORITY = {
+    Pattern.REDUNDANT_VALUES: 0,
+    Pattern.DUPLICATE_VALUES: 1,
+    Pattern.SINGLE_ZERO: 2,
+    Pattern.FREQUENT_VALUES: 3,
+    Pattern.SINGLE_VALUE: 4,
+    Pattern.HEAVY_TYPE: 5,
+    Pattern.STRUCTURED_VALUES: 6,
+    Pattern.APPROXIMATE_VALUES: 7,
+}
+
+
+@dataclass
+class OptimizationSuggestion:
+    """One actionable suggestion derived from a pattern hit."""
+
+    pattern: Pattern
+    object_label: str
+    api_ref: str
+    evidence: str
+    guidance: str
+    priority: int
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.pattern.value}] {self.object_label} at {self.api_ref}\n"
+            f"  evidence: {self.evidence}\n"
+            f"  guidance: {self.guidance}"
+        )
+
+
+def suggest_for_hit(hit: PatternHit) -> OptimizationSuggestion:
+    """Build the suggestion for one hit."""
+    return OptimizationSuggestion(
+        pattern=hit.pattern,
+        object_label=hit.object_label,
+        api_ref=hit.api_ref,
+        evidence=hit.detail,
+        guidance=_GUIDANCE[hit.pattern],
+        priority=_PRIORITY[hit.pattern],
+    )
+
+
+def suggest(profile: ValueProfile) -> List[OptimizationSuggestion]:
+    """All suggestions for a profile, highest priority first."""
+    suggestions = [suggest_for_hit(hit) for hit in profile.hits]
+    suggestions.sort(key=lambda s: (s.priority, s.object_label))
+    return suggestions

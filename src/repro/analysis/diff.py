@@ -1,0 +1,82 @@
+"""Profile diffing: did the fix actually remove the inefficiency?
+
+The paper's loop is profile → optimize → re-profile; this module makes
+the second comparison explicit.  ``diff_profiles(before, after)``
+reports hits that disappeared (fixed), appeared (regressions), and
+persisted, plus the change in redundant-flow traffic — the CI-style
+check a team adopting the tool would wire into their pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Set, Tuple
+
+from repro.analysis.profile import ValueProfile
+from repro.patterns.base import Pattern
+
+#: A hit's identity for diffing: pattern + object (api vertex ids are
+#: not stable across runs, so they are excluded).
+HitKey = Tuple[Pattern, str]
+
+
+def _keys(profile: ValueProfile) -> Set[HitKey]:
+    return {(hit.pattern, hit.object_label) for hit in profile.hits}
+
+
+def _redundant_bytes(profile: ValueProfile) -> int:
+    return sum(edge.bytes_accessed for edge in profile.redundant_flows())
+
+
+@dataclass
+class ProfileDiff:
+    """The outcome of comparing two profiles of the same program."""
+
+    fixed: List[HitKey] = field(default_factory=list)
+    introduced: List[HitKey] = field(default_factory=list)
+    persisting: List[HitKey] = field(default_factory=list)
+    redundant_bytes_before: int = 0
+    redundant_bytes_after: int = 0
+
+    @property
+    def redundant_traffic_reduction(self) -> float:
+        """Fraction of redundant-flow bytes the change removed."""
+        if self.redundant_bytes_before == 0:
+            return 0.0
+        return 1.0 - self.redundant_bytes_after / self.redundant_bytes_before
+
+    @property
+    def is_strict_improvement(self) -> bool:
+        """Something was fixed and nothing new appeared."""
+        return bool(self.fixed) and not self.introduced
+
+    def summary(self) -> str:
+        """Human-readable account of the diff."""
+        lines = [
+            f"profile diff: {len(self.fixed)} fixed, "
+            f"{len(self.introduced)} introduced, "
+            f"{len(self.persisting)} persisting; redundant traffic "
+            f"{self.redundant_bytes_before} -> {self.redundant_bytes_after} "
+            f"bytes ({self.redundant_traffic_reduction:.0%} reduction)"
+        ]
+        for label, keys in (
+            ("fixed", self.fixed),
+            ("introduced", self.introduced),
+            ("persisting", self.persisting),
+        ):
+            for pattern, obj in keys:
+                lines.append(f"  [{label}] {pattern.value} on {obj}")
+        return "\n".join(lines)
+
+
+def diff_profiles(before: ValueProfile, after: ValueProfile) -> ProfileDiff:
+    """Compare two profiles of (nominally) the same program."""
+    before_keys = _keys(before)
+    after_keys = _keys(after)
+    return ProfileDiff(
+        fixed=sorted(before_keys - after_keys, key=str),
+        introduced=sorted(after_keys - before_keys, key=str),
+        persisting=sorted(before_keys & after_keys, key=str),
+        redundant_bytes_before=_redundant_bytes(before),
+        redundant_bytes_after=_redundant_bytes(after),
+    )

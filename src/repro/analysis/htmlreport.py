@@ -1,0 +1,133 @@
+"""Standalone HTML report — the GUI artifact in one file.
+
+The paper's GUI is a browser page: the value flow graph (hover a
+vertex for its calling context) plus per-vertex pattern lookups.
+:func:`render_html` produces the equivalent as one self-contained HTML
+document: the SVG flow graph (tooltips included), the redundant-flow
+list, the pattern-hit table, the advisor's guidance, and the collection
+counters.  No JavaScript frameworks, no external assets.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import List
+
+from repro.analysis.advisor import suggest
+from repro.analysis.profile import ValueProfile
+from repro.flowgraph.svg import render_svg
+
+_STYLE = """
+body { font-family: sans-serif; margin: 2em; color: #222; }
+h1 { border-bottom: 2px solid #2b5c8a; padding-bottom: 0.2em; }
+h2 { color: #2b5c8a; margin-top: 1.6em; }
+table { border-collapse: collapse; margin: 0.8em 0; }
+th, td { border: 1px solid #ccc; padding: 0.35em 0.7em; text-align: left;
+         font-size: 0.92em; }
+th { background: #eef3f8; }
+tr.redundant td:first-child { color: #a32020; font-weight: bold; }
+.summary { background: #f7f7f7; padding: 0.8em 1em; border-radius: 6px; }
+.guidance { background: #f4faf4; border-left: 4px solid #2e7d32;
+            padding: 0.5em 1em; margin: 0.6em 0; }
+.graph { overflow: auto; border: 1px solid #ddd; padding: 0.5em; }
+code { background: #f0f0f0; padding: 0 0.25em; }
+"""
+
+
+def _escape(text: object) -> str:
+    return html.escape(str(text))
+
+
+def _hits_table(profile: ValueProfile) -> List[str]:
+    parts = [
+        "<table>",
+        "<tr><th>pattern</th><th>object</th><th>GPU API</th>"
+        "<th>evidence</th><th>operator</th><th>source</th>"
+        "<th>occurrences</th></tr>",
+    ]
+    for hit in profile.hits:
+        row_class = (
+            ' class="redundant"'
+            if hit.pattern.value == "redundant values"
+            else ""
+        )
+        parts.append(
+            f"<tr{row_class}>"
+            f"<td>{_escape(hit.pattern.value)}</td>"
+            f"<td><code>{_escape(hit.object_label)}</code></td>"
+            f"<td>{_escape(hit.api_ref)}</td>"
+            f"<td>{_escape(hit.detail)}</td>"
+            f"<td>{_escape(hit.metrics.get('operator', ''))}</td>"
+            f"<td>{_escape(hit.metrics.get('source', ''))}</td>"
+            f"<td>{_escape(hit.metrics.get('occurrences', 1))}</td>"
+            "</tr>"
+        )
+    parts.append("</table>")
+    return parts
+
+
+def _flows_table(profile: ValueProfile) -> List[str]:
+    flows = profile.redundant_flows()
+    if not flows:
+        return ["<p>(no redundant flows)</p>"]
+    parts = [
+        "<table>",
+        "<tr><th>flow</th><th>object</th><th>redundant</th>"
+        "<th>bytes</th><th>invocations</th></tr>",
+    ]
+    for edge in flows:
+        src = profile.graph.vertex(edge.src)
+        dst = profile.graph.vertex(edge.dst)
+        parts.append(
+            "<tr class='redundant'>"
+            f"<td>{_escape(src.name)} &rarr; {_escape(dst.name)}</td>"
+            f"<td>obj@{edge.alloc_vid}</td>"
+            f"<td>{edge.redundant_fraction:.0%}</td>"
+            f"<td>{edge.bytes_accessed}</td>"
+            f"<td>{edge.count}</td></tr>"
+        )
+    parts.append("</table>")
+    return parts
+
+
+def render_html(profile: ValueProfile, title: str = "") -> str:
+    """Render a complete, standalone HTML report."""
+    title = title or f"ValueExpert report — {profile.workload_name or 'workload'}"
+    counters = profile.counters
+    parts = [
+        "<!DOCTYPE html>",
+        "<html><head><meta charset='utf-8'>",
+        f"<title>{_escape(title)}</title>",
+        f"<style>{_STYLE}</style></head><body>",
+        f"<h1>{_escape(title)}</h1>",
+        f"<div class='summary'>{_escape(profile.summary())}</div>",
+        "<h2>Value flow graph</h2>",
+        "<p>Hover a vertex for its calling context; red edges are "
+        "redundant flows (start there, per the paper's workflow).</p>",
+        "<div class='graph'>",
+        render_svg(profile.graph, title=""),
+        "</div>",
+        "<h2>Redundant value flows</h2>",
+        *_flows_table(profile),
+        "<h2>Pattern hits</h2>",
+        *_hits_table(profile),
+        "<h2>Optimization guidance</h2>",
+    ]
+    for suggestion in suggest(profile):
+        parts.append(
+            "<div class='guidance'>"
+            f"<b>{_escape(suggestion.pattern.value)}</b> on "
+            f"<code>{_escape(suggestion.object_label)}</code> at "
+            f"{_escape(suggestion.api_ref)}<br>"
+            f"<i>{_escape(suggestion.evidence)}</i><br>"
+            f"{_escape(suggestion.guidance)}</div>"
+        )
+    parts += [
+        "<h2>Collection statistics</h2>",
+        "<table>",
+        "<tr><th>counter</th><th>value</th></tr>",
+    ]
+    for name, value in vars(counters).items():
+        parts.append(f"<tr><td>{_escape(name)}</td><td>{_escape(value)}</td></tr>")
+    parts += ["</table>", "</body></html>"]
+    return "\n".join(parts)

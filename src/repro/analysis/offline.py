@@ -1,0 +1,145 @@
+"""The offline analyzer (paper Section 4, "Offline Analyzer").
+
+Postmortem work on the collected profile:
+
+1. **Access-type resolution** — for records whose type was unknown at
+   measurement time, run the bidirectional slicing of Section 5.1 over
+   the kernel's (SASS-like) binary, reinterpret the raw bits with the
+   inferred type, and run the fine-grained detectors on the result.
+   The binary's memory instructions are matched to the kernel's
+   instrumentation sites in program order, mirroring how the real tool
+   maps virtual PCs to CUBIN offsets.
+2. **Source annotation** — attach file:line (from the simulated line
+   mapping sections) and calling-context strings to hits and vertices,
+   producing the "annotated profile that can be visualized in a GUI".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.profile import ValueProfile
+from repro.binary.isa import AccessType
+from repro.binary.slicing import infer_access_types
+from repro.errors import BinaryAnalysisError
+from repro.gpu.dtypes import DType
+from repro.gpu.kernel import Kernel
+from repro.patterns.base import ObjectAccessView, PatternConfig
+from repro.patterns.engine import PatternEngine
+
+
+class OfflineAnalyzer:
+    """Finalizes a profile: type slicing plus source annotation."""
+
+    def __init__(self, config: Optional[PatternConfig] = None):
+        self.engine = PatternEngine(config)
+        self._type_cache: Dict[str, Dict[int, AccessType]] = {}
+
+    # -- access-type resolution -----------------------------------------------
+
+    def resolve_kernel_types(self, kernel: Kernel) -> Dict[int, AccessType]:
+        """Map a kernel's instrumentation-site PCs to access types.
+
+        Requires the kernel to carry a binary; raises
+        :class:`~repro.errors.BinaryAnalysisError` otherwise.
+        """
+        if kernel.name in self._type_cache:
+            return self._type_cache[kernel.name]
+        if kernel.binary is None:
+            raise BinaryAnalysisError(
+                f"kernel {kernel.name!r} has no binary; cannot slice types"
+            )
+        inferred = infer_access_types(kernel.binary)
+        # Match binary memory instructions to instrumentation sites in
+        # program order (both are emitted in execution order).
+        site_pcs = sorted(kernel.line_map)
+        binary_pcs = sorted(inferred)
+        mapping: Dict[int, AccessType] = {}
+        for site_pc, binary_pc in zip(site_pcs, binary_pcs):
+            mapping[site_pc] = inferred[binary_pc]
+        self._type_cache[kernel.name] = mapping
+        return mapping
+
+    def analyze_untyped(
+        self, pending: List[Tuple]
+    ) -> List:
+        """Resolve and analyze the collector's deferred untyped groups.
+
+        ``pending`` holds ``(UntypedGroup, api_ref)`` pairs from the
+        online analyzer.  Returns the new fine-grained hits.
+        """
+        hits = []
+        for group, api_ref in pending:
+            try:
+                mapping = self.resolve_kernel_types(group.kernel)
+            except BinaryAnalysisError:
+                continue
+            access_type = mapping.get(group.pc)
+            if access_type is None:
+                continue
+            values = self.reinterpret(group.raw_values, access_type.dtype)
+            view = ObjectAccessView(
+                object_label=group.obj.label,
+                api_ref=api_ref,
+                values=values,
+                addresses=group.addresses,
+                dtype=access_type.dtype,
+                itemsize=group.obj.dtype.itemsize,
+            )
+            for hit in self.engine.analyze_view(view):
+                hit.metrics["access_type"] = (
+                    f"{access_type.dtype.name} x{access_type.count}"
+                )
+                hit.metrics["resolved_offline"] = True
+                hits.append(hit)
+        return hits
+
+    @staticmethod
+    def reinterpret(raw_values: np.ndarray, dtype: DType) -> np.ndarray:
+        """View raw bit patterns with an inferred element type.
+
+        A 64-bit raw slot holding two 32-bit values is split: viewing a
+        uint64 array as float32 doubles its length, exactly the STG.64
+        case from the paper.
+        """
+        raw = np.ascontiguousarray(raw_values)
+        return raw.view(dtype.np_dtype)
+
+    # -- source annotation ------------------------------------------------------
+
+    def annotate(self, profile: ValueProfile, kernels: List[Kernel] = ()) -> None:
+        """Attach source information to hits and graph vertices.
+
+        ``kernels`` supplies line maps for PC-level attribution; call
+        paths on vertices provide API-level attribution.
+        """
+        line_maps = {}
+        for kernel in kernels:
+            line_maps[kernel.name] = kernel.line_map
+        for vertex in profile.graph.vertices():
+            if vertex.call_path is not None and len(vertex.call_path):
+                leaf = vertex.call_path.leaf
+                setattr(vertex, "source", f"{leaf.filename}:{leaf.lineno}")
+        for hit in profile.coarse_hits + profile.fine_hits:
+            vid = _vertex_id_of(hit.api_ref)
+            if vid is None:
+                continue
+            try:
+                vertex = profile.graph.vertex(vid)
+            except Exception:
+                continue
+            if vertex.call_path is not None and len(vertex.call_path):
+                leaf = vertex.call_path.leaf
+                hit.metrics.setdefault(
+                    "source", f"{leaf.filename}:{leaf.lineno}"
+                )
+
+
+def _vertex_id_of(api_ref: str) -> Optional[int]:
+    """Parse the vertex id out of a ``v<id>:<name>`` api reference."""
+    if not api_ref.startswith("v"):
+        return None
+    head = api_ref[1:].split(":", 1)[0]
+    return int(head) if head.isdigit() else None

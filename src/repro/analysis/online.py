@@ -1,0 +1,258 @@
+"""The online analyzer (paper Section 4, "Online Analyzer").
+
+Consumes collector observations as execution proceeds and produces the
+two outputs the paper names: "a profile with coarse- and fine-grained
+value patterns, and a program-wide value flow graph".
+
+Deduplication: kernels run many times; one (pattern, object, API
+vertex) combination is kept as a single hit whose ``occurrences``
+metric counts repetitions — the GUI scales node size by invocations,
+not by hit multiplicity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.analysis.profile import ObjectInfo, ValueProfile
+from repro.collector.collector import (
+    LaunchObservation,
+    MemoryApiObservation,
+)
+from repro.collector.objects import DataObject
+from repro.flowgraph.builder import FlowGraphBuilder, ObjectAccess
+from repro.flowgraph.graph import Vertex, VertexKind
+from repro.patterns.base import (
+    ObjectAccessView,
+    Pattern,
+    PatternConfig,
+    PatternHit,
+    SnapshotPair,
+)
+from repro.patterns.coarse import unchanged_fraction
+from repro.patterns.engine import PatternEngine
+from repro.utils.hashing import snapshot_digest
+
+
+class OnlineAnalyzer:
+    """Builds the value flow graph and recognizes patterns on the fly."""
+
+    def __init__(self, config: Optional[PatternConfig] = None):
+        self.engine = PatternEngine(config)
+        self.flow = FlowGraphBuilder()
+        self.profile = ValueProfile(graph=self.flow.graph)
+        #: hit dedup index: (pattern, object label, api ref) -> hit.
+        self._hit_index: Dict[Tuple[Pattern, str, str], PatternHit] = {}
+        #: current snapshot digest per object key ("dev:<id>"/"host:<label>").
+        self._digests: Dict[str, str] = {}
+        self._labels: Dict[str, str] = {}
+        #: duplicate groups already reported (frozenset of keys).
+        self._reported_groups: Set[frozenset] = set()
+        #: untyped groups deferred to the offline analyzer.
+        self.pending_untyped = []
+        #: operator scope of the API currently being analyzed.
+        self._current_operator: Tuple[str, ...] = ()
+
+    # -- collector hooks -------------------------------------------------------
+
+    def on_malloc(self, obj: DataObject) -> None:
+        """Create the allocation vertex and the object record."""
+        self.flow.on_malloc(obj.alloc_id, obj.label, obj.alloc_context)
+        site = None
+        if obj.alloc_context is not None and len(obj.alloc_context):
+            site = str(obj.alloc_context.leaf)
+        self.profile.objects.append(
+            ObjectInfo(
+                alloc_id=obj.alloc_id,
+                label=obj.label,
+                size=obj.size,
+                dtype=obj.dtype.name,
+                alloc_site=site,
+            )
+        )
+
+    def on_free(self, obj: DataObject) -> None:
+        """Drop the object's flow and digest state."""
+        self.flow.on_free(obj.alloc_id)
+        self._digests.pop(f"dev:{obj.alloc_id}", None)
+
+    def on_memory_api(self, obs: MemoryApiObservation) -> None:
+        """Flow edges + coarse/duplicate analysis for a memcpy/memset."""
+        kind = VertexKind.MEMSET if obs.api == "memset" else VertexKind.MEMCPY
+        vertex = self._record_flow(
+            kind,
+            obs.name,
+            obs.call_path,
+            obs.writes,
+            obs.reads,
+            obs.time_s,
+            host_source=obs.host_source,
+            host_sink=obs.host_sink,
+            annotation=obs.annotation,
+        )
+        api_ref = self._api_ref(vertex)
+        self._coarse_analysis(obs.writes, api_ref)
+        host_extra = None
+        if obs.host_array is not None:
+            host_extra = (f"host:{obs.host_array.label}", obs.host_array.data)
+        self._duplicate_analysis(obs.writes, api_ref, host_extra)
+
+    def on_launch(self, obs: LaunchObservation) -> None:
+        """Flow edges, coarse analysis, and fine views for a launch."""
+        vertex = self._record_flow(
+            VertexKind.KERNEL,
+            obs.kernel_name,
+            obs.call_path,
+            obs.writes,
+            obs.reads,
+            obs.time_s,
+            annotation=obs.annotation,
+        )
+        api_ref = self._api_ref(vertex)
+        self._coarse_analysis(obs.writes, api_ref)
+        self._duplicate_analysis(obs.writes, api_ref, None)
+        for view in obs.fine_views:
+            access_view = ObjectAccessView(
+                object_label=view.obj.label,
+                api_ref=api_ref,
+                values=view.values,
+                addresses=view.addresses,
+                dtype=view.dtype,
+                itemsize=view.obj.dtype.itemsize,
+            )
+            for hit in self.engine.analyze_view(access_view):
+                self._add_hit(hit, fine=True)
+        for group in obs.untyped_groups:
+            self.pending_untyped.append((group, api_ref))
+
+    # -- analysis steps -----------------------------------------------------------
+
+    def _record_flow(
+        self,
+        kind: VertexKind,
+        name: str,
+        call_path,
+        writes,
+        reads,
+        time_s: float,
+        host_source: bool = False,
+        host_sink: bool = False,
+        annotation=(),
+    ) -> Vertex:
+        write_accesses = []
+        for write in writes:
+            fraction = unchanged_fraction(
+                SnapshotPair(write.before, write.after, write.written_indices)
+            )
+            write_accesses.append(
+                ObjectAccess(
+                    alloc_id=write.obj.alloc_id,
+                    nbytes=write.nbytes,
+                    redundant_fraction=fraction,
+                )
+            )
+        read_accesses = [
+            ObjectAccess(alloc_id=read.obj.alloc_id, nbytes=read.nbytes)
+            for read in reads
+        ]
+        vertex = self.flow.on_api(
+            kind,
+            name,
+            call_path,
+            reads=read_accesses,
+            writes=write_accesses,
+            host_source=host_source,
+            host_sink=host_sink,
+            time_s=time_s,
+        )
+        if annotation and not vertex.operator:
+            vertex.operator = tuple(annotation)
+        self._current_operator = tuple(annotation)
+        return vertex
+
+    def _coarse_analysis(self, writes, api_ref: str) -> None:
+        for write in writes:
+            pair = SnapshotPair(write.before, write.after, write.written_indices)
+            for hit in self.engine.analyze_snapshot(
+                pair, write.obj.label, api_ref
+            ):
+                self._add_hit(hit, fine=False)
+
+    def _duplicate_analysis(
+        self,
+        writes,
+        api_ref: str,
+        host_extra: Optional[Tuple[str, np.ndarray]],
+    ) -> None:
+        """Refresh digests of written objects, then look for groups."""
+        changed = False
+        for write in writes:
+            key = f"dev:{write.obj.alloc_id}"
+            self._digests[key] = snapshot_digest(write.after)
+            self._labels[key] = write.obj.label
+            changed = True
+        if host_extra is not None:
+            key, data = host_extra
+            self._digests[key] = snapshot_digest(np.asarray(data))
+            self._labels[key] = key
+            changed = True
+        if not changed:
+            return
+        groups: Dict[str, list] = {}
+        for key, digest in self._digests.items():
+            groups.setdefault(digest, []).append(key)
+        for digest, keys in groups.items():
+            if len(keys) < 2:
+                continue
+            group_id = frozenset(keys)
+            if group_id in self._reported_groups:
+                continue
+            self._reported_groups.add(group_id)
+            labels = sorted(self._labels[k] for k in keys)
+            self._add_hit(
+                PatternHit(
+                    pattern=Pattern.DUPLICATE_VALUES,
+                    object_label=labels[0],
+                    api_ref=api_ref,
+                    metrics={"group": tuple(labels), "digest": digest},
+                    detail=(
+                        f"{len(labels)} objects bitwise identical: "
+                        f"{', '.join(labels)}"
+                    ),
+                ),
+                fine=False,
+            )
+
+    def _add_hit(self, hit: PatternHit, fine: bool) -> None:
+        operator = self._current_operator
+        if operator:
+            hit.metrics.setdefault("operator", "/".join(operator))
+        key = (hit.pattern, hit.object_label, hit.api_ref)
+        existing = self._hit_index.get(key)
+        if existing is not None:
+            existing.metrics["occurrences"] = (
+                existing.metrics.get("occurrences", 1) + 1
+            )
+            return
+        hit.metrics.setdefault("occurrences", 1)
+        self._hit_index[key] = hit
+        if fine:
+            self.profile.fine_hits.append(hit)
+        else:
+            self.profile.coarse_hits.append(hit)
+
+    # -- finalization ------------------------------------------------------------
+
+    @staticmethod
+    def _api_ref(vertex: Vertex) -> str:
+        return f"v{vertex.vid}:{vertex.name}"
+
+    def finish(self, counters=None, workload: str = "", platform: str = "") -> ValueProfile:
+        """Stamp run metadata and return the (still annotatable) profile."""
+        if counters is not None:
+            self.profile.counters = counters
+        self.profile.workload_name = workload
+        self.profile.platform_name = platform
+        return self.profile

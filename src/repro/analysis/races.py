@@ -1,0 +1,137 @@
+"""Data-race detection over access records (the §9 extension).
+
+"We intend to offload other important program analyses, such as reuse
+distance and race detection, to GPUs."
+
+A launch has a (potential) data race when two *different thread blocks*
+access the same address within one kernel and at least one access is a
+store — blocks have no execution-order guarantee, so such pairs are
+ordering-dependent.  (Same-block conflicts are excluded: blocks can
+synchronize internally with ``__syncthreads``.)
+
+The detection is expressed with the same data-parallel primitives as
+the Figure 4 interval merge — sort by address, segment the runs, reduce
+per run — so the GPU offload the paper envisions is a direct port.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.gpu.accesses import AccessKind
+
+
+@dataclass(frozen=True)
+class RaceReport:
+    """One racy address within one kernel launch."""
+
+    kernel: str
+    address: int
+    #: Distinct blocks touching the address.
+    blocks: Tuple[int, ...]
+    #: PCs of the participating instructions.
+    pcs: Tuple[int, ...]
+    kind: str  # "write-write" or "read-write"
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.kind}] {self.kernel} @ {self.address:#x}: "
+            f"blocks {list(self.blocks)} via pcs "
+            f"{[hex(pc) for pc in self.pcs]}"
+        )
+
+
+class RaceDetector:
+    """Detects cross-block races in one launch's access records."""
+
+    def __init__(self, max_reports: int = 64):
+        self.max_reports = max_reports
+
+    def analyze(self, records: List) -> List[RaceReport]:
+        """Return cross-block conflicting accesses, worst first."""
+        if not records:
+            return []
+        addresses, blocks, pcs, is_store = self._flatten(records)
+        if addresses.size == 0:
+            return []
+        kernel = records[0].kernel_name
+
+        # Data-parallel structure: sort by address, find runs.
+        order = np.argsort(addresses, kind="stable")
+        addresses = addresses[order]
+        blocks = blocks[order]
+        pcs = pcs[order]
+        is_store = is_store[order]
+
+        boundaries = np.flatnonzero(np.diff(addresses)) + 1
+        starts = np.concatenate([[0], boundaries])
+        ends = np.concatenate([boundaries, [addresses.size]])
+
+        reports: List[RaceReport] = []
+        for start, end in zip(starts, ends):
+            if end - start < 2:
+                continue
+            run_blocks = blocks[start:end]
+            distinct_blocks = np.unique(run_blocks)
+            if distinct_blocks.size < 2:
+                continue
+            run_stores = is_store[start:end]
+            if not run_stores.any():
+                continue  # read-read sharing is benign
+            # A store by some block conflicting with any access by
+            # another block: check that stores are not confined to the
+            # blocks that also perform the only accesses... any store +
+            # >= 2 blocks suffices unless every access from other
+            # blocks is absent.
+            storing_blocks = np.unique(run_blocks[run_stores])
+            others = np.setdiff1d(distinct_blocks, storing_blocks)
+            if others.size == 0 and storing_blocks.size < 2:
+                continue
+            kind = (
+                "write-write"
+                if storing_blocks.size >= 2
+                else "read-write"
+            )
+            reports.append(
+                RaceReport(
+                    kernel=kernel,
+                    address=int(addresses[start]),
+                    blocks=tuple(int(b) for b in distinct_blocks[:8]),
+                    pcs=tuple(sorted({int(p) for p in pcs[start:end]})),
+                    kind=kind,
+                )
+            )
+            if len(reports) >= self.max_reports:
+                break
+        return reports
+
+    @staticmethod
+    def _flatten(records):
+        addresses, blocks, pcs, stores = [], [], [], []
+        for record in records:
+            count = record.count
+            if count == 0:
+                continue
+            addresses.append(record.addresses.astype(np.uint64))
+            blocks.append(record.block_ids.astype(np.int64))
+            pcs.append(np.full(count, record.pc, dtype=np.int64))
+            stores.append(
+                np.full(count, record.kind is AccessKind.STORE, dtype=bool)
+            )
+        if not addresses:
+            empty = np.empty(0)
+            return empty, empty, empty, empty
+        return (
+            np.concatenate(addresses),
+            np.concatenate(blocks),
+            np.concatenate(pcs),
+            np.concatenate(stores),
+        )
+
+
+def detect_races(event) -> List[RaceReport]:
+    """Convenience: analyze one instrumented launch event."""
+    return RaceDetector().analyze(event.records)

@@ -1,0 +1,65 @@
+"""Human-readable profiling reports (the GUI's textual equivalent).
+
+The report leads with what the paper's workflow says to look at first:
+the thick red edges of the value flow graph, then per-object pattern
+hits, then the advisor's suggestions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.advisor import suggest
+from repro.analysis.profile import ValueProfile
+from repro.flowgraph.render import render_text
+
+
+def render_report(
+    profile: ValueProfile,
+    max_flows: int = 10,
+    max_suggestions: Optional[int] = None,
+) -> str:
+    """Render a full text report of one profiling run."""
+    lines = ["=" * 70, f"ValueExpert report — {profile.workload_name or 'workload'}"]
+    if profile.platform_name:
+        lines.append(f"platform: {profile.platform_name}")
+    lines += ["=" * 70, "", profile.summary(), ""]
+
+    redundant = profile.redundant_flows()
+    lines.append(f"-- redundant value flows ({len(redundant)}) " + "-" * 30)
+    for edge in redundant[:max_flows]:
+        src = profile.graph.vertex(edge.src)
+        dst = profile.graph.vertex(edge.dst)
+        lines.append(
+            f"  {src.vid}:{src.name} -> {dst.vid}:{dst.name}: "
+            f"{edge.redundant_fraction:.0%} redundant over "
+            f"{edge.bytes_accessed} bytes"
+        )
+    if not redundant:
+        lines.append("  (none)")
+    else:
+        # Walk the worst flow's object through its whole life (the
+        # GUI's path exploration).
+        from repro.flowgraph.history import format_history
+
+        lines += ["", format_history(profile.graph, redundant[0].alloc_vid)]
+
+    lines += ["", f"-- pattern hits ({len(profile.hits)}) " + "-" * 38]
+    for hit in profile.hits:
+        lines.append(f"  {hit}")
+        source = hit.metrics.get("source")
+        if source:
+            lines.append(f"      at {source}")
+    if not profile.hits:
+        lines.append("  (none)")
+
+    suggestions = suggest(profile)
+    if max_suggestions is not None:
+        suggestions = suggestions[:max_suggestions]
+    lines += ["", f"-- optimization guidance ({len(suggestions)}) " + "-" * 29]
+    for suggestion in suggestions:
+        lines.append(str(suggestion))
+
+    lines += ["", "-- value flow graph " + "-" * 44]
+    lines.append(render_text(profile.graph, max_edges=30))
+    return "\n".join(lines)

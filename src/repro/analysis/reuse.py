@@ -1,0 +1,192 @@
+"""Reuse-distance analysis over access records (the §9 extension).
+
+"Inspired by ValueExpert's fast interval merge implementation on GPUs,
+we intend to offload other important program analyses, such as reuse
+distance and race detection, to GPUs."
+
+This module implements the analysis itself over the same per-access
+records the collector already produces: for every access, the *reuse
+distance* is the number of **distinct** element addresses touched since
+the previous access to the same address (infinite for first accesses).
+Distances below a cache's capacity predict hits; the histogram per data
+object therefore tells which objects are cache-friendly — context for
+deciding whether a heavy-type or structured-values rewrite will pay.
+
+The classic O(N log N) algorithm is used: a Fenwick tree over access
+timestamps counts the distinct addresses between an address's previous
+and current use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+
+class _FenwickTree:
+    """Prefix sums over access positions (1-based)."""
+
+    def __init__(self, size: int):
+        self._tree = [0] * (size + 1)
+
+    def add(self, index: int, delta: int) -> None:
+        """Point update at an access position."""
+        index += 1
+        while index < len(self._tree):
+            self._tree[index] += delta
+            index += index & (-index)
+
+    def prefix(self, index: int) -> int:
+        """Sum of [0, index]."""
+        index += 1
+        total = 0
+        while index > 0:
+            total += self._tree[index]
+            index -= index & (-index)
+        return total
+
+    def range_sum(self, lo: int, hi: int) -> int:
+        """Sum of [lo, hi]."""
+        if hi < lo:
+            return 0
+        return self.prefix(hi) - (self.prefix(lo - 1) if lo > 0 else 0)
+
+
+#: Histogram bucket boundaries (distinct elements).  The last bucket is
+#: unbounded; first-touch (infinite) distances are counted separately.
+DEFAULT_BUCKETS = (8, 64, 512, 4096, 32768)
+
+
+@dataclass
+class ReuseProfile:
+    """Reuse-distance histogram for one data object."""
+
+    object_label: str
+    buckets: tuple = DEFAULT_BUCKETS
+    counts: List[int] = field(default_factory=list)
+    cold_accesses: int = 0
+    total_accesses: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.counts:
+            self.counts = [0] * (len(self.buckets) + 1)
+
+    def record(self, distance: Optional[int]) -> None:
+        """Bucket one access's reuse distance (None = cold)."""
+        self.total_accesses += 1
+        if distance is None:
+            self.cold_accesses += 1
+            return
+        for position, bound in enumerate(self.buckets):
+            if distance < bound:
+                self.counts[position] += 1
+                return
+        self.counts[-1] += 1
+
+    def hit_fraction(self, capacity: int) -> float:
+        """Fraction of accesses whose reuse distance is below
+        ``capacity`` distinct elements (a fully-associative LRU cache
+        of that size would hit them)."""
+        if self.total_accesses == 0:
+            return 0.0
+        hits = sum(
+            count
+            for bound, count in zip(self.buckets, self.counts)
+            if bound <= capacity
+        )
+        return hits / self.total_accesses
+
+    def describe(self) -> str:
+        """One-line histogram rendering."""
+        parts = []
+        previous = 0
+        for bound, count in zip(self.buckets, self.counts):
+            parts.append(f"[{previous},{bound}): {count}")
+            previous = bound
+        parts.append(f"[{previous},inf): {self.counts[-1]}")
+        return (
+            f"{self.object_label}: {self.total_accesses} accesses, "
+            f"{self.cold_accesses} cold | " + ", ".join(parts)
+        )
+
+
+class ReuseDistanceAnalyzer:
+    """Computes per-object reuse-distance histograms from records.
+
+    Feed it the access records of one or more launches (in execution
+    order) via :meth:`consume`; read the per-object profiles from
+    :attr:`profiles`.
+    """
+
+    def __init__(self, buckets: tuple = DEFAULT_BUCKETS):
+        self.buckets = buckets
+        self.profiles: Dict[str, ReuseProfile] = {}
+
+    def consume(self, records: Iterable, resolve_label) -> None:
+        """Process records; ``resolve_label(address) -> str | None``
+        maps an address to its data object's label."""
+        flat: List[tuple] = []
+        for record in records:
+            for address in record.addresses:
+                flat.append(int(address))
+        if not flat:
+            return
+        addresses = np.asarray(flat, dtype=np.uint64)
+        distances = self._distances(addresses)
+        label_cache: Dict[int, Optional[str]] = {}
+        for address, distance in zip(addresses, distances):
+            key = int(address)
+            if key not in label_cache:
+                label_cache[key] = resolve_label(key)
+            label = label_cache[key]
+            if label is None:
+                continue
+            profile = self.profiles.get(label)
+            if profile is None:
+                profile = ReuseProfile(label, buckets=self.buckets)
+                self.profiles[label] = profile
+            profile.record(None if distance < 0 else int(distance))
+
+    @staticmethod
+    def _distances(addresses: np.ndarray) -> np.ndarray:
+        """Reuse distance per access; -1 marks first touches."""
+        n = addresses.size
+        tree = _FenwickTree(n)
+        last_position: Dict[int, int] = {}
+        out = np.empty(n, dtype=np.int64)
+        for position in range(n):
+            address = int(addresses[position])
+            previous = last_position.get(address)
+            if previous is None:
+                out[position] = -1
+            else:
+                out[position] = tree.range_sum(previous + 1, position - 1)
+                # The address moves to the top of the LRU stack.
+                tree.add(previous, -1)
+            tree.add(position, 1)
+            last_position[address] = position
+        return out
+
+    def report(self) -> str:
+        """All objects' histograms, busiest first."""
+        lines = ["reuse-distance analysis:"]
+        for profile in sorted(
+            self.profiles.values(), key=lambda p: -p.total_accesses
+        ):
+            lines.append("  " + profile.describe())
+        return "\n".join(lines)
+
+
+def analyze_launch(event, registry) -> ReuseDistanceAnalyzer:
+    """Convenience: analyze one launch event against an object registry."""
+    analyzer = ReuseDistanceAnalyzer()
+
+    def resolve(address: int):
+        """Map an address to its object's label via the registry."""
+        obj = registry.find_by_address(address)
+        return obj.label if obj is not None else None
+
+    analyzer.consume(event.records, resolve)
+    return analyzer

@@ -1,0 +1,104 @@
+"""Chrome-trace export of the intercepted GPU API stream.
+
+Writes the ``chrome://tracing`` / Perfetto JSON array format: one
+complete event per GPU API with its modelled duration, rows per API
+category, operator annotations as argument payloads, and pattern hits
+attached to the events that produced them.  Load the output in
+``chrome://tracing`` or https://ui.perfetto.dev.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.analysis.profile import ValueProfile
+from repro.gpu.runtime import (
+    ApiEvent,
+    KernelLaunchEvent,
+    MallocEvent,
+    MemcpyEvent,
+    MemsetEvent,
+    RuntimeListener,
+)
+
+
+class TraceRecorder(RuntimeListener):
+    """Collects a timeline of API events while attached to a runtime.
+
+    The simulated runtime is serialized, so wall-clock placement is the
+    running sum of modelled durations — exactly the view Nsight Systems
+    would show of the same execution.
+    """
+
+    _ROWS = {
+        "cudaLaunchKernel": 1,
+        "cudaMemcpy": 2,
+        "cudaMemset": 3,
+        "cudaMalloc": 4,
+        "cudaFree": 4,
+    }
+
+    def __init__(self):
+        self.events: List[dict] = []
+        self._clock_us = 0.0
+
+    def on_api_end(self, event: ApiEvent) -> None:
+        """Append one complete event at the running clock."""
+        duration_us = max(event.time_s * 1e6, 0.01)
+        name = event.api_name
+        if isinstance(event, KernelLaunchEvent):
+            name = event.kernel.name
+        args: Dict[str, object] = {"seq": event.seq}
+        if event.annotation:
+            args["operator"] = "/".join(event.annotation)
+        if isinstance(event, MemcpyEvent):
+            args["bytes"] = event.nbytes
+            args["direction"] = event.kind.value
+        elif isinstance(event, MemsetEvent):
+            args["bytes"] = event.nbytes
+        elif isinstance(event, MallocEvent) and event.alloc is not None:
+            args["label"] = event.alloc.label
+            args["bytes"] = event.alloc.size
+        elif isinstance(event, KernelLaunchEvent):
+            args["grid"] = event.grid
+            args["block"] = event.block
+        self.events.append(
+            {
+                "name": name,
+                "cat": event.api_name,
+                "ph": "X",
+                "ts": round(self._clock_us, 3),
+                "dur": round(duration_us, 3),
+                "pid": 0,
+                "tid": self._ROWS.get(event.api_name, 5),
+                "args": args,
+            }
+        )
+        self._clock_us += duration_us
+
+    def to_json(self, profile: Optional[ValueProfile] = None) -> str:
+        """Serialize; with a profile, hits become instant events."""
+        events = list(self.events)
+        if profile is not None:
+            by_seq = {e["args"].get("seq"): e for e in events}
+            for hit in profile.hits:
+                occurrences = hit.metrics.get("occurrences", 1)
+                events.append(
+                    {
+                        "name": f"{hit.pattern.value}: {hit.object_label}",
+                        "cat": "value-pattern",
+                        "ph": "i",
+                        "ts": 0,
+                        "pid": 0,
+                        "tid": 0,
+                        "s": "g",
+                        "args": {
+                            "detail": hit.detail,
+                            "api": hit.api_ref,
+                            "occurrences": occurrences,
+                        },
+                    }
+                )
+            del by_seq
+        return json.dumps(events, indent=1)

@@ -1,0 +1,18 @@
+"""Baseline profilers ValueExpert is compared against.
+
+- :mod:`repro.baselines.gvprof` — a GVProf-style value redundancy
+  profiler: per-instruction temporal/spatial redundancy, scoped to
+  individual kernels, with every record shipped to the CPU;
+- :mod:`repro.baselines.hotspot` — a classic time-only profiler, the
+  kind Section 1.2 argues cannot explain value inefficiencies.
+"""
+
+from repro.baselines.gvprof import GvprofProfiler, GvprofReport
+from repro.baselines.hotspot import HotspotProfiler, HotspotReport
+
+__all__ = [
+    "GvprofProfiler",
+    "GvprofReport",
+    "HotspotProfiler",
+    "HotspotReport",
+]

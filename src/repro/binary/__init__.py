@@ -1,0 +1,30 @@
+"""Offline GPU binary analysis substrate.
+
+The paper's offline analyzer parses GPU binaries to (a) map PCs to
+source lines and (b) derive each memory instruction's *access type* via
+a bidirectional slicing over def-use chains (Section 5.1: "a STG.64
+instruction can store either two 32-bit values or a single 64-bit
+value").  We reproduce this over a SASS-like IR:
+
+- :mod:`repro.binary.isa` — opcodes, registers, instructions;
+- :mod:`repro.binary.module` — functions/binaries plus a builder;
+- :mod:`repro.binary.defuse` — def-use chains (SSA form);
+- :mod:`repro.binary.slicing` — the bidirectional access-type inference.
+"""
+
+from repro.binary.isa import AccessType, Instruction, Opcode, Register
+from repro.binary.module import BinaryBuilder, GpuBinary, GpuFunction
+from repro.binary.defuse import DefUseGraph
+from repro.binary.slicing import infer_access_types
+
+__all__ = [
+    "AccessType",
+    "BinaryBuilder",
+    "DefUseGraph",
+    "GpuBinary",
+    "GpuFunction",
+    "Instruction",
+    "infer_access_types",
+    "Opcode",
+    "Register",
+]

@@ -1,0 +1,46 @@
+"""Def-use chains over SSA GPU functions.
+
+The slicer walks value flow in both directions: from a register's
+definition to all its uses, and from a use back to its definition.  With
+SSA registers (one def per register) the chains are simple maps.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import BinaryAnalysisError
+from repro.binary.isa import Instruction, Register
+from repro.binary.module import GpuFunction
+
+
+class DefUseGraph:
+    """Def-use relations for one function."""
+
+    def __init__(self, function: GpuFunction):
+        self.function = function
+        self._def_of: Dict[Register, Instruction] = {}
+        self._uses_of: Dict[Register, List[Instruction]] = {}
+        for instr in function.instructions:
+            for reg in instr.dests:
+                if reg in self._def_of:
+                    raise BinaryAnalysisError(
+                        f"register {reg} defined twice in {function.name!r} "
+                        f"(functions must be SSA)"
+                    )
+                self._def_of[reg] = instr
+            for reg in instr.srcs:
+                self._uses_of.setdefault(reg, []).append(instr)
+
+    def definition(self, reg: Register) -> Optional[Instruction]:
+        """The instruction defining ``reg`` (None for function inputs)."""
+        return self._def_of.get(reg)
+
+    def uses(self, reg: Register) -> List[Instruction]:
+        """All instructions using ``reg``."""
+        return list(self._uses_of.get(reg, []))
+
+    def registers(self) -> List[Register]:
+        """All registers appearing in the function."""
+        regs = set(self._def_of) | set(self._uses_of)
+        return sorted(regs, key=lambda r: r.index)

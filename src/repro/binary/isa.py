@@ -1,0 +1,151 @@
+"""SASS-like instruction set for the offline analyzer.
+
+Only the properties the access-type slicer needs are modelled: which
+registers an instruction defines/uses, and what scalar type each typed
+opcode imposes on its operands.  Memory opcodes carry an access *width*
+in bits but — as in real SASS — not the value type, which is exactly
+the gap the slicing algorithm fills.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.gpu.dtypes import DType
+
+
+@dataclass(frozen=True)
+class Register:
+    """A virtual register (SSA: one definition per register)."""
+
+    index: int
+
+    def __str__(self) -> str:
+        return f"R{self.index}"
+
+
+class Opcode(enum.Enum):
+    """Supported SASS-like opcodes."""
+
+    # Memory — the slicing targets.
+    LDG = "LDG"  # load from global memory
+    STG = "STG"  # store to global memory
+    LDS = "LDS"  # load from shared memory
+    STS = "STS"  # store to shared memory
+    # Typed arithmetic — the type sources.
+    FADD = "FADD"
+    FMUL = "FMUL"
+    FFMA = "FFMA"
+    DADD = "DADD"
+    DMUL = "DMUL"
+    DFMA = "DFMA"
+    HADD2 = "HADD2"
+    IADD = "IADD"
+    IMAD = "IMAD"
+    ISETP = "ISETP"
+    SHL = "SHL"
+    LOP = "LOP"
+    # Conversions — typed differently on each side.
+    I2F = "I2F"
+    F2I = "F2I"
+    F2F = "F2F"
+    # Type-transparent.
+    MOV = "MOV"
+    EXIT = "EXIT"
+
+    @property
+    def is_memory(self) -> bool:
+        """Whether the opcode loads or stores memory."""
+        return self in (Opcode.LDG, Opcode.STG, Opcode.LDS, Opcode.STS)
+
+    @property
+    def is_load(self) -> bool:
+        """Whether the opcode is a load."""
+        return self in (Opcode.LDG, Opcode.LDS)
+
+    @property
+    def is_store(self) -> bool:
+        """Whether the opcode is a store."""
+        return self in (Opcode.STG, Opcode.STS)
+
+
+#: Element type each typed opcode imposes on its data operands.
+OPCODE_OPERAND_TYPE = {
+    Opcode.FADD: DType.FLOAT32,
+    Opcode.FMUL: DType.FLOAT32,
+    Opcode.FFMA: DType.FLOAT32,
+    Opcode.DADD: DType.FLOAT64,
+    Opcode.DMUL: DType.FLOAT64,
+    Opcode.DFMA: DType.FLOAT64,
+    Opcode.HADD2: DType.FLOAT16,
+    Opcode.IADD: DType.INT32,
+    Opcode.IMAD: DType.INT32,
+    Opcode.ISETP: DType.INT32,
+    Opcode.SHL: DType.INT32,
+    Opcode.LOP: DType.UINT32,
+}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One SASS-like instruction.
+
+    Attributes
+    ----------
+    pc:
+        Virtual program counter.
+    opcode:
+        The operation.
+    dests / srcs:
+        Defined and used registers.  For stores, the *data* register is
+        in ``srcs`` (the address register is not modelled — the slicer
+        only follows value flow).
+    width_bits:
+        For memory opcodes: access width (32/64/128).  SASS encodes the
+        width but not the element type.
+    src_type / dst_type:
+        For conversion opcodes: the imposed types on each side.
+    """
+
+    pc: int
+    opcode: Opcode
+    dests: Tuple[Register, ...] = ()
+    srcs: Tuple[Register, ...] = ()
+    width_bits: Optional[int] = None
+    src_type: Optional[DType] = None
+    dst_type: Optional[DType] = None
+
+    def __str__(self) -> str:
+        suffix = f".{self.width_bits}" if self.width_bits else ""
+        dests = ", ".join(map(str, self.dests))
+        srcs = ", ".join(map(str, self.srcs))
+        return f"{self.pc:#x}: {self.opcode.value}{suffix} {dests} <- {srcs}".strip()
+
+
+@dataclass(frozen=True)
+class AccessType:
+    """The inferred access type of a memory instruction (paper §5.1).
+
+    A 64-bit store of FLOAT32 means *two* 32-bit values per executed
+    instruction (``count == 2``).
+    """
+
+    dtype: DType
+    count: int
+
+    @property
+    def width_bits(self) -> int:
+        """Total access width in bits (dtype bits x count)."""
+        return self.dtype.bits * self.count
+
+    @classmethod
+    def from_width(cls, dtype: DType, width_bits: int) -> "AccessType":
+        """Build an access type from an element type and a total width."""
+        if width_bits % dtype.bits != 0:
+            raise ValueError(
+                f"access width {width_bits} is not a multiple of "
+                f"{dtype.name} ({dtype.bits} bits)"
+            )
+        return cls(dtype=dtype, count=width_bits // dtype.bits)

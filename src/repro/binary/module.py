@@ -1,0 +1,286 @@
+"""GPU binary container and a builder for synthetic functions.
+
+A :class:`GpuFunction` is a straight-line SSA instruction list plus a
+line map (the "line mapping section" the paper reads from debugging
+info).  :class:`BinaryBuilder` offers a small assembler-like API used by
+tests and by kernels that want the untyped-access path exercised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import BinaryAnalysisError
+from repro.binary.isa import Instruction, Opcode, Register
+from repro.gpu.dtypes import DType
+
+_INSTR_BYTES = 16
+
+
+@dataclass
+class GpuFunction:
+    """One function of a GPU binary."""
+
+    name: str
+    instructions: List[Instruction]
+    #: pc -> (filename, lineno); the simulated line-mapping section.
+    line_map: Dict[int, Tuple[str, int]] = field(default_factory=dict)
+
+    def at(self, pc: int) -> Instruction:
+        """Instruction at a PC; raises on a bad PC."""
+        for instr in self.instructions:
+            if instr.pc == pc:
+                return instr
+        raise BinaryAnalysisError(f"no instruction at pc {pc:#x} in {self.name!r}")
+
+    @property
+    def memory_instructions(self) -> List[Instruction]:
+        """The function's loads and stores, in program order."""
+        return [i for i in self.instructions if i.opcode.is_memory]
+
+
+@dataclass
+class GpuBinary:
+    """A loaded GPU binary: a set of functions."""
+
+    functions: Dict[str, GpuFunction] = field(default_factory=dict)
+
+    def add(self, function: GpuFunction) -> None:
+        """Register a function; duplicate names are rejected."""
+        if function.name in self.functions:
+            raise BinaryAnalysisError(f"duplicate function {function.name!r}")
+        self.functions[function.name] = function
+
+    def function_of_pc(self, pc: int) -> Optional[GpuFunction]:
+        """Find the function whose instruction range contains ``pc``."""
+        for function in self.functions.values():
+            if any(instr.pc == pc for instr in function.instructions):
+                return function
+        return None
+
+
+class BinaryBuilder:
+    """Assembler-style builder for synthetic :class:`GpuFunction`s.
+
+    Registers are SSA — each :meth:`reg` call mints a fresh one, and
+    every instruction defines only fresh registers.
+    """
+
+    def __init__(self, name: str, base_pc: int = 0):
+        self.name = name
+        self.base_pc = base_pc
+        self._instructions: List[Instruction] = []
+        self._next_reg = 0
+        self._line_map: Dict[int, Tuple[str, int]] = {}
+
+    def reg(self) -> Register:
+        """Mint a fresh SSA register."""
+        register = Register(self._next_reg)
+        self._next_reg += 1
+        return register
+
+    def _emit(self, instr: Instruction, line: Optional[Tuple[str, int]]) -> Instruction:
+        self._instructions.append(instr)
+        if line is not None:
+            self._line_map[instr.pc] = line
+        return instr
+
+    def _next_pc(self) -> int:
+        return self.base_pc + len(self._instructions) * _INSTR_BYTES
+
+    # -- memory -------------------------------------------------------------
+
+    def ldg(
+        self,
+        dest: Register,
+        width_bits: int = 32,
+        pc: Optional[int] = None,
+        line: Optional[Tuple[str, int]] = None,
+    ) -> Instruction:
+        """Global load of ``width_bits`` into ``dest`` (type unknown)."""
+        return self._emit(
+            Instruction(
+                pc=self._next_pc() if pc is None else pc,
+                opcode=Opcode.LDG,
+                dests=(dest,),
+                width_bits=width_bits,
+            ),
+            line,
+        )
+
+    def stg(
+        self,
+        src: Register,
+        width_bits: int = 32,
+        pc: Optional[int] = None,
+        line: Optional[Tuple[str, int]] = None,
+    ) -> Instruction:
+        """Global store of ``width_bits`` from ``src`` (type unknown)."""
+        return self._emit(
+            Instruction(
+                pc=self._next_pc() if pc is None else pc,
+                opcode=Opcode.STG,
+                srcs=(src,),
+                width_bits=width_bits,
+            ),
+            line,
+        )
+
+    def lds(
+        self,
+        dest: Register,
+        width_bits: int = 32,
+        pc: Optional[int] = None,
+        line: Optional[Tuple[str, int]] = None,
+    ) -> Instruction:
+        """Shared-memory load of ``width_bits`` into ``dest``."""
+        return self._emit(
+            Instruction(
+                pc=self._next_pc() if pc is None else pc,
+                opcode=Opcode.LDS,
+                dests=(dest,),
+                width_bits=width_bits,
+            ),
+            line,
+        )
+
+    def sts(
+        self,
+        src: Register,
+        width_bits: int = 32,
+        pc: Optional[int] = None,
+        line: Optional[Tuple[str, int]] = None,
+    ) -> Instruction:
+        """Shared-memory store of ``width_bits`` from ``src``."""
+        return self._emit(
+            Instruction(
+                pc=self._next_pc() if pc is None else pc,
+                opcode=Opcode.STS,
+                srcs=(src,),
+                width_bits=width_bits,
+            ),
+            line,
+        )
+
+    # -- typed arithmetic --------------------------------------------------------
+
+    def _arith(self, opcode: Opcode, dest: Register, *srcs: Register) -> Instruction:
+        return self._emit(
+            Instruction(
+                pc=self._next_pc(), opcode=opcode, dests=(dest,), srcs=tuple(srcs)
+            ),
+            None,
+        )
+
+    def fadd(self, dest: Register, a: Register, b: Register) -> Instruction:
+        """FADD: FLOAT32 add."""
+        return self._arith(Opcode.FADD, dest, a, b)
+
+    def fmul(self, dest: Register, a: Register, b: Register) -> Instruction:
+        """FMUL: FLOAT32 multiply."""
+        return self._arith(Opcode.FMUL, dest, a, b)
+
+    def ffma(self, dest: Register, a: Register, b: Register, c: Register) -> Instruction:
+        """FFMA: FLOAT32 fused multiply-add."""
+        return self._arith(Opcode.FFMA, dest, a, b, c)
+
+    def dadd(self, dest: Register, a: Register, b: Register) -> Instruction:
+        """DADD: FLOAT64 add."""
+        return self._arith(Opcode.DADD, dest, a, b)
+
+    def dmul(self, dest: Register, a: Register, b: Register) -> Instruction:
+        """DMUL: FLOAT64 multiply."""
+        return self._arith(Opcode.DMUL, dest, a, b)
+
+    def hadd2(self, dest: Register, a: Register, b: Register) -> Instruction:
+        """HADD2: packed FLOAT16 add."""
+        return self._arith(Opcode.HADD2, dest, a, b)
+
+    def iadd(self, dest: Register, a: Register, b: Register) -> Instruction:
+        """IADD: INT32 add."""
+        return self._arith(Opcode.IADD, dest, a, b)
+
+    def imad(self, dest: Register, a: Register, b: Register, c: Register) -> Instruction:
+        """IMAD: INT32 multiply-add."""
+        return self._arith(Opcode.IMAD, dest, a, b, c)
+
+    def mov(self, dest: Register, src: Register) -> Instruction:
+        """Type-transparent move."""
+        return self._arith(Opcode.MOV, dest, src)
+
+    # -- conversions ---------------------------------------------------------------
+
+    def i2f(
+        self,
+        dest: Register,
+        src: Register,
+        dst_type: DType = DType.FLOAT32,
+        src_type: DType = DType.INT32,
+    ) -> Instruction:
+        """Int-to-float conversion (types each side)."""
+        return self._emit(
+            Instruction(
+                pc=self._next_pc(),
+                opcode=Opcode.I2F,
+                dests=(dest,),
+                srcs=(src,),
+                src_type=src_type,
+                dst_type=dst_type,
+            ),
+            None,
+        )
+
+    def f2i(
+        self,
+        dest: Register,
+        src: Register,
+        dst_type: DType = DType.INT32,
+        src_type: DType = DType.FLOAT32,
+    ) -> Instruction:
+        """Float-to-int conversion (types each side)."""
+        return self._emit(
+            Instruction(
+                pc=self._next_pc(),
+                opcode=Opcode.F2I,
+                dests=(dest,),
+                srcs=(src,),
+                src_type=src_type,
+                dst_type=dst_type,
+            ),
+            None,
+        )
+
+    def f2f(
+        self,
+        dest: Register,
+        src: Register,
+        dst_type: DType = DType.FLOAT64,
+        src_type: DType = DType.FLOAT32,
+    ) -> Instruction:
+        """Float width conversion (types each side)."""
+        return self._emit(
+            Instruction(
+                pc=self._next_pc(),
+                opcode=Opcode.F2F,
+                dests=(dest,),
+                srcs=(src,),
+                src_type=src_type,
+                dst_type=dst_type,
+            ),
+            None,
+        )
+
+    def exit(self) -> Instruction:
+        """EXIT: end of the function."""
+        return self._emit(
+            Instruction(pc=self._next_pc(), opcode=Opcode.EXIT), None
+        )
+
+    def build(self) -> GpuFunction:
+        """Finish and return the function."""
+        return GpuFunction(
+            name=self.name,
+            instructions=list(self._instructions),
+            line_map=dict(self._line_map),
+        )

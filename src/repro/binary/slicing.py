@@ -1,0 +1,139 @@
+"""Bidirectional access-type inference (paper Section 5.1).
+
+"ValueExpert's offline analyzer adopts a bidirectional slicing
+algorithm that derives a GPU memory instruction's access type based on
+instructions with known access types on its def-use chains."
+
+The algorithm here is a fixpoint type propagation over the SSA def-use
+graph:
+
+1. Seed register types from typed opcodes (``FADD`` forces FLOAT32 on
+   its data operands, ``DADD`` FLOAT64, ``IADD`` INT32, ...) and from
+   the side-specific types of conversions (``I2F`` types its source as
+   an integer and its destination as a float).
+2. Propagate through type-transparent instructions (``MOV``) in both
+   directions until no register changes — this is the bidirectional
+   slice: a load's type can come *forward* from a consumer, a store's
+   type *backward* from its producer, possibly through several moves.
+3. A memory instruction's access type combines its data register's
+   element type with the instruction's encoded width: a 64-bit ``STG``
+   of a FLOAT32 register is *two* 32-bit values.
+
+Conflicting seeds (a register constrained to two different types) raise
+:class:`~repro.errors.BinaryAnalysisError` — real binaries reinterpret
+bits through conversions, never through contradictory arithmetic.
+Registers no typed instruction reaches fall back to an unsigned integer
+of the access width, mirroring how the tool treats opaque bit moves.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import BinaryAnalysisError
+from repro.binary.defuse import DefUseGraph
+from repro.binary.isa import (
+    AccessType,
+    Instruction,
+    Opcode,
+    OPCODE_OPERAND_TYPE,
+    Register,
+)
+from repro.binary.module import GpuFunction
+from repro.gpu.dtypes import DType
+
+_FALLBACK_BY_BITS = {
+    8: DType.UINT8,
+    16: DType.UINT16,
+    32: DType.UINT32,
+    64: DType.UINT64,
+    128: DType.UINT64,
+}
+
+
+def _seed_types(graph: DefUseGraph) -> Dict[Register, DType]:
+    """Step 1: register types imposed by typed opcodes and conversions."""
+    types: Dict[Register, DType] = {}
+
+    def constrain(reg: Register, dtype: DType, instr: Instruction) -> None:
+        """Record a register's type; conflicting seeds are errors."""
+        existing = types.get(reg)
+        if existing is not None and existing != dtype:
+            raise BinaryAnalysisError(
+                f"conflicting types for {reg}: {existing.name} vs "
+                f"{dtype.name} at {instr}"
+            )
+        types[reg] = dtype
+
+    for instr in graph.function.instructions:
+        operand_type = OPCODE_OPERAND_TYPE.get(instr.opcode)
+        if operand_type is not None:
+            for reg in instr.dests + instr.srcs:
+                constrain(reg, operand_type, instr)
+        elif instr.opcode in (Opcode.I2F, Opcode.F2I, Opcode.F2F):
+            if instr.src_type is not None:
+                for reg in instr.srcs:
+                    constrain(reg, instr.src_type, instr)
+            if instr.dst_type is not None:
+                for reg in instr.dests:
+                    constrain(reg, instr.dst_type, instr)
+    return types
+
+
+def _propagate(graph: DefUseGraph, types: Dict[Register, DType]) -> None:
+    """Step 2: fixpoint propagation through type-transparent MOVs."""
+    changed = True
+    while changed:
+        changed = False
+        for instr in graph.function.instructions:
+            if instr.opcode is not Opcode.MOV:
+                continue
+            dst = instr.dests[0]
+            src = instr.srcs[0]
+            dst_type = types.get(dst)
+            src_type = types.get(src)
+            if dst_type is not None and src_type is None:
+                types[src] = dst_type
+                changed = True
+            elif src_type is not None and dst_type is None:
+                types[dst] = src_type
+                changed = True
+            elif (
+                src_type is not None
+                and dst_type is not None
+                and src_type != dst_type
+            ):
+                raise BinaryAnalysisError(
+                    f"MOV connects registers of different types "
+                    f"({src_type.name} vs {dst_type.name}) at {instr}"
+                )
+
+
+def infer_access_types(function: GpuFunction) -> Dict[int, AccessType]:
+    """Infer the access type of every memory instruction in ``function``.
+
+    Returns a map from the memory instruction's PC to its
+    :class:`~repro.binary.isa.AccessType`.
+    """
+    graph = DefUseGraph(function)
+    types = _seed_types(graph)
+    _propagate(graph, types)
+
+    result: Dict[int, AccessType] = {}
+    for instr in function.memory_instructions:
+        data_reg = _data_register(instr)
+        width = instr.width_bits or 32
+        dtype = types.get(data_reg) if data_reg is not None else None
+        if dtype is None:
+            dtype = _FALLBACK_BY_BITS.get(width, DType.UINT32)
+        count = max(1, width // dtype.bits)
+        result[instr.pc] = AccessType(dtype=dtype, count=count)
+    return result
+
+
+def _data_register(instr: Instruction) -> Optional[Register]:
+    if instr.opcode.is_load:
+        return instr.dests[0] if instr.dests else None
+    if instr.opcode.is_store:
+        return instr.srcs[0] if instr.srcs else None
+    return None

@@ -1,0 +1,117 @@
+"""Synthesize SASS-like binaries for simulated kernels.
+
+The offline analyzer resolves untyped access records by slicing over a
+kernel's binary.  Hand-writing a :class:`~repro.binary.module
+.BinaryBuilder` program per kernel is the faithful path (and what the
+tests of the slicer do); this module automates the common case: given
+the kernel's instrumentation sites (its PC table, populated by a
+profiling run) and the element type each site *actually* manipulates,
+emit a function whose memory instructions carry no type — only widths —
+but whose surrounding arithmetic pins the types down, exactly the
+information a real compiler leaves in SASS.
+
+The synthesized binary is therefore a genuine test of the slicer: the
+types are recoverable only *through* def-use chains.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.binary.module import BinaryBuilder, GpuFunction
+from repro.errors import BinaryAnalysisError
+from repro.gpu.dtypes import DType
+from repro.gpu.kernel import Kernel
+
+#: Typed arithmetic emitted per element type to anchor the slicer.
+_ANCHORS = {
+    DType.FLOAT16: "hadd2",
+    DType.FLOAT32: "fadd",
+    DType.FLOAT64: "dadd",
+    DType.INT8: "iadd",
+    DType.INT16: "iadd",
+    DType.INT32: "iadd",
+    DType.INT64: "iadd",
+    DType.UINT8: "iadd",
+    DType.UINT16: "iadd",
+    DType.UINT32: "iadd",
+    DType.UINT64: "iadd",
+}
+
+#: Types whose anchor opcode implies a different nominal element type
+#: (IADD pins INT32); the slicer will recover the anchor's type, so
+#: synthesis maps these onto the anchor type of the same family.
+_ANCHOR_TYPE = {
+    "hadd2": DType.FLOAT16,
+    "fadd": DType.FLOAT32,
+    "dadd": DType.FLOAT64,
+    "iadd": DType.INT32,
+}
+
+
+def synthesize_binary(
+    kernel: Kernel,
+    site_types: Dict[Tuple[str, int], DType],
+    site_kinds: Optional[Dict[Tuple[str, int], str]] = None,
+) -> GpuFunction:
+    """Build (and attach) a binary matching a kernel's PC table.
+
+    Parameters
+    ----------
+    kernel:
+        A kernel whose PC table has been populated (i.e. it ran at
+        least once under instrumentation).
+    site_types:
+        ``(filename, lineno) -> DType`` — the element type each
+        instrumentation site manipulates.  Missing sites are emitted as
+        purely opaque moves (the slicer will fall back to the width's
+        unsigned type for them).
+    site_kinds:
+        Optional ``(filename, lineno) -> "load"|"store"``; defaults to
+        alternating load-then-store per site order, which only affects
+        which side of the def-use chain anchors the type.
+
+    Returns the :class:`GpuFunction` and sets ``kernel.binary``.
+    """
+    if not kernel.line_map:
+        raise BinaryAnalysisError(
+            f"kernel {kernel.name!r} has an empty PC table; run it under "
+            f"instrumentation before synthesizing a binary"
+        )
+    builder = BinaryBuilder(kernel.name, base_pc=kernel.code_base)
+    for pc in sorted(kernel.line_map):
+        site = kernel.line_map[pc]
+        dtype = site_types.get(site)
+        kind = (site_kinds or {}).get(site, "load")
+        if dtype is None:
+            # Opaque site: memory op with width only.
+            reg = builder.reg()
+            if kind == "store":
+                builder.stg(reg, width_bits=32, line=site)
+            else:
+                builder.ldg(reg, width_bits=32, line=site)
+            continue
+        anchor = _ANCHORS[dtype]
+        width = dtype.bits
+        if anchor == "hadd2":
+            width = 32  # HADD2 operates on f16 pairs
+        if kind == "store":
+            source = builder.reg()
+            anchored = builder.reg()
+            getattr(builder, anchor)(anchored, source, source)
+            builder.stg(anchored, width_bits=width, line=site)
+        else:
+            dest = builder.reg()
+            builder.ldg(dest, width_bits=width, line=site)
+            result = builder.reg()
+            getattr(builder, anchor)(result, dest, dest)
+    builder.exit()
+    function = builder.build()
+    kernel.binary = function
+    return function
+
+
+def anchored_type(dtype: DType) -> DType:
+    """The type the slicer will recover for a site synthesized with
+    ``dtype`` (integer widths collapse onto the IADD anchor)."""
+    return _ANCHOR_TYPE[_ANCHORS[dtype]]

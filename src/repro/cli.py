@@ -1,0 +1,242 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``profile <workload>`` — profile a registered workload and print the
+  report (optionally writing the value flow graph and JSON profile);
+- ``speedup <workload>`` — measure baseline-vs-optimized times on both
+  platforms (one Table 3 row);
+- ``list`` — list registered workloads with their paper metadata;
+- ``table1|table3|table4|table5|figure2|figure3|figure6|casestudies``
+  — regenerate a paper table/figure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.report import render_report
+from repro.collector.sampling import SamplingConfig
+from repro.experiments import (
+    casestudies,
+    figure2,
+    figure3,
+    figure6,
+    table1,
+    table3,
+    table4,
+    table5,
+)
+from repro.flowgraph.render import render_dot
+from repro.gpu.timing import A100, EVALUATION_PLATFORMS, RTX_2080_TI
+from repro.tool.config import ToolConfig
+from repro.tool.valueexpert import ValueExpert
+from repro.workloads import get_workload, workload_names
+
+
+def _platform(name: str):
+    return {"2080ti": RTX_2080_TI, "a100": A100}[name]
+
+
+def _cmd_list(_args) -> int:
+    header = f"{'name':<24}{'kind':<13}{'Table 3 kernel':<28}{'Table 1 patterns'}"
+    print(header)
+    print("-" * len(header))
+    for name in workload_names():
+        meta = get_workload(name).meta
+        patterns = ", ".join(p.value for p in meta.table1_patterns)
+        print(
+            f"{name:<24}{meta.kind:<13}{meta.kernel_name or '-':<28}{patterns}"
+        )
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    workload = get_workload(args.workload)(scale=args.scale)
+    config = ToolConfig(
+        coarse=not args.fine_only,
+        fine=not args.coarse_only,
+        sampling=SamplingConfig(
+            kernel_sampling_period=args.kernel_period,
+            block_sampling_period=args.block_period,
+            kernel_filter=(
+                workload.hot_kernel_filter() if args.hot_kernels_only else None
+            ),
+        ),
+    )
+    tool = ValueExpert(config)
+    profile = tool.profile(
+        workload.run_baseline,
+        platform=_platform(args.platform),
+        name=workload.name,
+    )
+    print(render_report(profile))
+    if args.dot:
+        with open(args.dot, "w") as handle:
+            handle.write(render_dot(profile.graph, title=workload.name))
+        print(f"\nwrote value flow graph to {args.dot}")
+    if args.svg:
+        from repro.flowgraph.svg import render_svg
+
+        with open(args.svg, "w") as handle:
+            handle.write(render_svg(profile.graph, title=workload.name))
+        print(f"wrote SVG value flow graph to {args.svg}")
+    if args.html:
+        from repro.analysis.htmlreport import render_html
+
+        with open(args.html, "w") as handle:
+            handle.write(render_html(profile))
+        print(f"wrote HTML report to {args.html}")
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(profile.to_json())
+        print(f"wrote JSON profile to {args.json}")
+    return 0
+
+
+def _cmd_speedup(args) -> int:
+    from repro.experiments.runner import measure_speedups
+
+    workload = get_workload(args.workload)(scale=args.scale)
+    for platform in EVALUATION_PLATFORMS:
+        row = measure_speedups(workload, platform)
+        kernel = f"{row.kernel_speedup:.2f}x" if row.kernel_speedup else "-"
+        memory = f"{row.memory_speedup:.2f}x" if row.memory_speedup else "-"
+        print(f"{platform.name:<12} kernel {kernel:>8}  memory {memory:>8}")
+    return 0
+
+
+def _cmd_workflow(args) -> int:
+    from repro.analysis.report import render_report
+    from repro.tool.workflow import run_recommended_workflow
+
+    workload = get_workload(args.workload)(scale=args.scale)
+    result = run_recommended_workflow(workload, _platform(args.platform))
+    print(result.summary())
+    if result.fine_profile is not None:
+        print()
+        print(render_report(result.fine_profile))
+    return 0
+
+
+def _cmd_view(args) -> int:
+    from repro.analysis.profile import ValueProfile
+
+    with open(args.profile) as handle:
+        profile = ValueProfile.from_json(handle.read())
+    print(render_report(profile))
+    if args.html:
+        from repro.analysis.htmlreport import render_html
+
+        with open(args.html, "w") as handle:
+            handle.write(render_html(profile))
+        print(f"\nwrote HTML report to {args.html}")
+    return 0
+
+
+def _experiment_command(args) -> int:
+    name = args.command
+    if name == "table1":
+        print(table1.format_table(table1.run(scale=args.scale)))
+    elif name == "table3":
+        print(table3.format_table(table3.run(scale=args.scale)))
+    elif name == "table4":
+        print(table4.format_table(table4.run(scale=args.scale)))
+    elif name == "table5":
+        print(table5.format_features())
+        print()
+        print(table5.format_comparison(table5.run(scale=args.scale)))
+    elif name == "figure2":
+        result = figure2.run(scale=args.scale, output_path=args.dot)
+        print(figure2.format_figure(result))
+    elif name == "figure3":
+        print(figure3.format_figure(figure3.run()))
+    elif name == "figure6":
+        print(figure6.format_figure(figure6.run(scale=args.scale)))
+    elif name == "casestudies":
+        print(casestudies.format_studies(casestudies.run(scale=args.scale)))
+    else:  # pragma: no cover - argparse guards this
+        return 2
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ValueExpert reproduction - GPU value pattern profiling",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered workloads")
+
+    profile = sub.add_parser("profile", help="profile a workload")
+    profile.add_argument("workload", choices=workload_names())
+    profile.add_argument("--scale", type=float, default=0.5)
+    profile.add_argument(
+        "--platform", choices=["2080ti", "a100"], default="2080ti"
+    )
+    profile.add_argument("--coarse-only", action="store_true")
+    profile.add_argument("--fine-only", action="store_true")
+    profile.add_argument("--kernel-period", type=int, default=1)
+    profile.add_argument("--block-period", type=int, default=1)
+    profile.add_argument(
+        "--hot-kernels-only", action="store_true",
+        help="filter the fine pass to the workload's hottest kernels",
+    )
+    profile.add_argument("--dot", help="write the value flow graph (DOT)")
+    profile.add_argument("--svg", help="write the value flow graph (SVG)")
+    profile.add_argument("--html", help="write a standalone HTML report")
+    profile.add_argument("--json", help="write the JSON profile")
+
+    speedup = sub.add_parser("speedup", help="measure one Table 3 row")
+    speedup.add_argument("workload", choices=workload_names())
+    speedup.add_argument("--scale", type=float, default=1.0)
+
+    workflow = sub.add_parser(
+        "workflow",
+        help="run the paper's two-pass workflow (coarse -> slice -> fine)",
+    )
+    workflow.add_argument("workload", choices=workload_names())
+    workflow.add_argument("--scale", type=float, default=0.5)
+    workflow.add_argument(
+        "--platform", choices=["2080ti", "a100"], default="2080ti"
+    )
+
+    view = sub.add_parser(
+        "view", help="render a previously saved JSON profile"
+    )
+    view.add_argument("profile", help="path to a profile written by --json")
+    view.add_argument("--html", help="also write a standalone HTML report")
+
+    for name in (
+        "table1", "table3", "table4", "table5",
+        "figure2", "figure3", "figure6", "casestudies",
+    ):
+        cmd = sub.add_parser(name, help=f"regenerate {name}")
+        cmd.add_argument("--scale", type=float, default=0.5)
+        if name == "figure2":
+            cmd.add_argument("--dot", default=None)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
+    if args.command == "speedup":
+        return _cmd_speedup(args)
+    if args.command == "workflow":
+        return _cmd_workflow(args)
+    if args.command == "view":
+        return _cmd_view(args)
+    return _experiment_command(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

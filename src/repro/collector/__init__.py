@@ -1,0 +1,25 @@
+"""ValueExpert's data collector (paper Section 4).
+
+Subscribes to the simulated runtime's API event bus — the analogue of
+overloading the CUDA entry points — and gathers everything the
+analyzers need: a data-object registry built from allocation events,
+CPU-side value snapshots, fine-grained access records routed through a
+bounded profiling buffer, and sampling/filtering decisions.
+"""
+
+from repro.collector.objects import DataObject, DataObjectRegistry
+from repro.collector.snapshots import SnapshotStore
+from repro.collector.gpubuffer import ProfilingBuffer
+from repro.collector.sampling import SamplingConfig, KernelSampler
+from repro.collector.collector import CollectionCounters, DataCollector
+
+__all__ = [
+    "CollectionCounters",
+    "DataCollector",
+    "DataObject",
+    "DataObjectRegistry",
+    "KernelSampler",
+    "ProfilingBuffer",
+    "SamplingConfig",
+    "SnapshotStore",
+]

@@ -1,0 +1,500 @@
+"""The data collector: runtime interception and measurement routing.
+
+The collector is a :class:`~repro.gpu.runtime.RuntimeListener`.  Per GPU
+API it produces *observations* — self-contained records carrying the
+snapshots, intervals, and value views the analyzers need — and forwards
+them to an attached analyzer (usually
+:class:`repro.analysis.online.OnlineAnalyzer`; tests attach stubs).
+
+Per kernel launch, the measurement pipeline follows Section 6.1:
+
+1. access records are deposited into the bounded profiling buffer
+   (flush count feeds the overhead model);
+2. their byte intervals are warp-compacted, then merged with the
+   Figure 4 parallel algorithm;
+3. merged intervals are assigned to data objects;
+4. each written object's snapshot is refreshed through an adaptive
+   copy plan, yielding before/after pairs for the coarse analysis;
+5. typed values are grouped per (object, access type) into fine views;
+   untyped records are kept for offline access-type resolution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.collector.gpubuffer import ProfilingBuffer
+from repro.collector.objects import DataObject, DataObjectRegistry
+from repro.collector.sampling import KernelSampler, SamplingConfig
+from repro.collector.snapshots import SnapshotStore
+from repro.errors import CollectionError
+from repro.gpu.accesses import AccessKind, AccessRecord
+from repro.gpu.dtypes import DType
+from repro.gpu.kernel import Kernel
+from repro.gpu.runtime import (
+    ApiEvent,
+    FreeEvent,
+    GpuRuntime,
+    HostArray,
+    KernelLaunchEvent,
+    MallocEvent,
+    MemcpyEvent,
+    MemcpyKind,
+    MemsetEvent,
+    RuntimeListener,
+)
+from repro.intervals.compaction import warp_compact
+from repro.intervals.copyplan import AdaptiveCopyPolicy, plan_copy
+from repro.intervals.interval import intervals_from_accesses
+from repro.intervals.parallel import merge_parallel
+from repro.utils.callpath import CallPath
+
+
+# --------------------------------------------------------------------------
+# Observations handed to the analyzers
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class ObjectWrite:
+    """One object written by an API, with coarse-analysis snapshots."""
+
+    obj: DataObject
+    before: np.ndarray
+    after: np.ndarray
+    written_indices: np.ndarray
+    nbytes: int
+
+
+@dataclass
+class ObjectRead:
+    """One object read by an API."""
+
+    obj: DataObject
+    nbytes: int
+
+
+@dataclass
+class FineView:
+    """Typed accessed values of one object at one launch."""
+
+    obj: DataObject
+    dtype: DType
+    values: np.ndarray
+    addresses: np.ndarray
+
+
+@dataclass
+class UntypedGroup:
+    """Raw-bit values whose access type needs offline slicing."""
+
+    obj: DataObject
+    kernel: Kernel
+    pc: int
+    raw_values: np.ndarray
+    addresses: np.ndarray
+
+
+@dataclass
+class MemoryApiObservation:
+    """A memcpy/memset invocation, post-effect."""
+
+    seq: int
+    api: str
+    name: str
+    call_path: Optional[CallPath]
+    time_s: float
+    annotation: Tuple[str, ...] = ()
+    writes: List[ObjectWrite] = field(default_factory=list)
+    reads: List[ObjectRead] = field(default_factory=list)
+    host_source: bool = False
+    host_sink: bool = False
+    host_array: Optional[HostArray] = None
+
+
+@dataclass
+class LaunchObservation:
+    """A kernel launch, post-execution."""
+
+    seq: int
+    kernel_name: str
+    call_path: Optional[CallPath]
+    time_s: float
+    grid: int
+    block: int
+    annotation: Tuple[str, ...] = ()
+    writes: List[ObjectWrite] = field(default_factory=list)
+    reads: List[ObjectRead] = field(default_factory=list)
+    fine_views: List[FineView] = field(default_factory=list)
+    untyped_groups: List[UntypedGroup] = field(default_factory=list)
+    fine_enabled: bool = False
+
+
+@dataclass
+class CollectionCounters:
+    """Everything the overhead model needs to price a profiling run."""
+
+    apis_intercepted: int = 0
+    total_launches: int = 0
+    instrumented_launches: int = 0
+    fine_launches: int = 0
+    recorded_accesses: int = 0
+    buffer_flushes: int = 0
+    raw_intervals: int = 0
+    compacted_intervals: int = 0
+    merged_intervals: int = 0
+    snapshot_bytes: int = 0
+    snapshot_copies: int = 0
+
+
+# --------------------------------------------------------------------------
+# Collector
+# --------------------------------------------------------------------------
+
+
+class DataCollector(RuntimeListener):
+    """Intercepts GPU APIs and feeds observations to an analyzer.
+
+    Parameters
+    ----------
+    analyzer:
+        Object with ``on_malloc(obj)``, ``on_free(obj)``,
+        ``on_memory_api(observation)`` and ``on_launch(observation)``
+        hooks.
+    coarse / fine:
+        Which analyses are active.  Coarse analysis instruments every
+        kernel for addresses (it needs accessed intervals); fine
+        analysis additionally captures values, under sampling.
+    sampling:
+        Kernel/block sampling and kernel filtering for fine analysis.
+    """
+
+    #: The paper's collector serializes concurrent GPU streams.
+    serializes_streams = True
+
+    def __init__(
+        self,
+        analyzer,
+        coarse: bool = True,
+        fine: bool = True,
+        sampling: SamplingConfig = SamplingConfig(),
+        buffer_bytes: int = 16 * 1024 * 1024,
+        copy_policy: AdaptiveCopyPolicy = AdaptiveCopyPolicy(),
+    ):
+        self.analyzer = analyzer
+        self.coarse = coarse
+        self.fine = fine
+        self.sampler = KernelSampler(sampling)
+        self.registry = DataObjectRegistry()
+        self.snapshots = SnapshotStore()
+        self.buffer = ProfilingBuffer(buffer_bytes)
+        self.copy_policy = copy_policy
+        self.counters = CollectionCounters()
+        self._runtime: Optional[GpuRuntime] = None
+        #: per-launch decision recorded at instrument_kernel time,
+        #: consumed at on_api_end (the bus is serialized).
+        self._fine_this_launch = False
+
+    # -- attachment -------------------------------------------------------
+
+    def attach(self, runtime: GpuRuntime) -> None:
+        """Subscribe to a runtime's API bus."""
+        if self._runtime is not None:
+            raise CollectionError("collector is already attached")
+        runtime.subscribe(self)
+        self._runtime = runtime
+
+    def detach(self) -> None:
+        """Unsubscribe from the runtime's API bus."""
+        if self._runtime is None:
+            raise CollectionError("collector is not attached")
+        self._runtime.unsubscribe(self)
+        self._runtime = None
+
+    # -- RuntimeListener -----------------------------------------------------
+
+    def instrument_kernel(self, kernel: Kernel, grid: int, block: int) -> bool:
+        """Coarse mode instruments every launch; fine mode follows the sampler."""
+        self._fine_this_launch = self.fine and self.sampler.should_instrument(
+            kernel.name
+        )
+        return self.coarse or self._fine_this_launch
+
+    def sample_blocks(self, kernel: Kernel, grid: int):
+        """Block-sampling mask for fine-instrumented launches."""
+        if not self._fine_this_launch:
+            return None
+        return self.sampler.block_mask(grid)
+
+    def on_api_begin(self, event: ApiEvent) -> None:
+        """Count every intercepted API (overhead-model input)."""
+        self.counters.apis_intercepted += 1
+
+    def on_api_end(self, event: ApiEvent) -> None:
+        """Dispatch the event to the per-API handler."""
+        if isinstance(event, MallocEvent):
+            self._handle_malloc(event)
+        elif isinstance(event, FreeEvent):
+            self._handle_free(event)
+        elif isinstance(event, MemcpyEvent):
+            self._handle_memcpy(event)
+        elif isinstance(event, MemsetEvent):
+            self._handle_memset(event)
+        elif isinstance(event, KernelLaunchEvent):
+            self._handle_launch(event)
+
+    # -- handlers -----------------------------------------------------------------
+
+    def _handle_malloc(self, event: MallocEvent) -> None:
+        obj = self.registry.on_malloc(event.alloc, event.call_path)
+        self.snapshots.track(obj)
+        self._sync_snapshot_counters()
+        self.analyzer.on_malloc(obj)
+
+    def _ensure_tracked(self, alloc) -> "DataObject":
+        """Adopt an object allocated before the collector attached:
+        register it (no allocation context) and snapshot its current
+        contents, exactly as the tool does when attaching mid-run."""
+        obj = self.registry.get(alloc.alloc_id)
+        if obj is None:
+            obj = self.registry.on_malloc(alloc, None)
+            self.snapshots.track(obj)
+            self.analyzer.on_malloc(obj)
+        elif not self.snapshots.is_tracked(obj.alloc_id):
+            self.snapshots.track(obj)
+        return obj
+
+    def _handle_free(self, event: FreeEvent) -> None:
+        obj = self.registry.get(event.alloc.alloc_id)
+        self.registry.on_free(event.alloc)
+        if obj is not None:
+            self.analyzer.on_free(obj)
+
+    def _write_through_range(
+        self, obj: DataObject, nbytes: int
+    ) -> ObjectWrite:
+        """Coarse bookkeeping for an API writing ``[0, nbytes)`` of obj."""
+        before, after = self.snapshots.refresh_full(obj)
+        count = min(nbytes // obj.dtype.itemsize, obj.handle.nelems)
+        return ObjectWrite(
+            obj=obj,
+            before=before,
+            after=after,
+            written_indices=np.arange(count, dtype=np.int64),
+            nbytes=nbytes,
+        )
+
+    def _handle_memcpy(self, event: MemcpyEvent) -> None:
+        obs = MemoryApiObservation(
+            seq=event.seq,
+            api="memcpy",
+            name=f"cudaMemcpy[{event.kind.value}]",
+            call_path=event.call_path,
+            time_s=event.time_s,
+            annotation=event.annotation,
+            host_source=event.kind is MemcpyKind.HOST_TO_DEVICE,
+            host_sink=event.kind is MemcpyKind.DEVICE_TO_HOST,
+            host_array=event.host_array,
+        )
+        if event.dst_alloc is not None:
+            obj = self._ensure_tracked(event.dst_alloc)
+            obs.writes.append(self._write_through_range(obj, event.nbytes))
+        if event.src_alloc is not None:
+            obj = self._ensure_tracked(event.src_alloc)
+            obs.reads.append(ObjectRead(obj=obj, nbytes=event.nbytes))
+        self._sync_snapshot_counters()
+        self.analyzer.on_memory_api(obs)
+
+    def _handle_memset(self, event: MemsetEvent) -> None:
+        obs = MemoryApiObservation(
+            seq=event.seq,
+            api="memset",
+            name="cudaMemset",
+            call_path=event.call_path,
+            time_s=event.time_s,
+            annotation=event.annotation,
+        )
+        obj = self._ensure_tracked(event.alloc)
+        obs.writes.append(self._write_through_range(obj, event.nbytes))
+        self._sync_snapshot_counters()
+        self.analyzer.on_memory_api(obs)
+
+    def _handle_launch(self, event: KernelLaunchEvent) -> None:
+        self.counters.total_launches += 1
+        obs = LaunchObservation(
+            seq=event.seq,
+            kernel_name=event.kernel.name,
+            call_path=event.call_path,
+            time_s=event.time_s,
+            grid=event.grid,
+            block=event.block,
+            annotation=event.annotation,
+            fine_enabled=self._fine_this_launch,
+        )
+        if event.instrumented:
+            self.counters.instrumented_launches += 1
+            if self._fine_this_launch:
+                self.counters.fine_launches += 1
+            self._process_records(event, obs)
+        else:
+            # No instrumentation: only the touched-object summary is
+            # available (reads/writes without snapshots).
+            for alloc, nread, nwritten in event.touched:
+                obj = self._ensure_tracked(alloc)
+                if nread:
+                    obs.reads.append(ObjectRead(obj=obj, nbytes=nread))
+                if nwritten:
+                    obs.writes.append(self._write_through_range(obj, nwritten))
+        self._sync_snapshot_counters()
+        self.analyzer.on_launch(obs)
+
+    # -- the Section 6.1 pipeline --------------------------------------------------
+
+    def _process_records(
+        self, event: KernelLaunchEvent, obs: LaunchObservation
+    ) -> None:
+        records = event.records
+        access_count = sum(r.count for r in records)
+        self.counters.recorded_accesses += access_count
+        self.buffer.deposit(access_count)
+        self.buffer.drain()
+        self.counters.buffer_flushes = self.buffer.flushes
+
+        # Interval pipeline: raw -> warp compaction -> parallel merge.
+        raw = intervals_from_accesses(records)
+        self.counters.raw_intervals += int(raw.shape[0])
+        compacted = warp_compact(raw) if raw.shape[0] else raw
+        self.counters.compacted_intervals += int(compacted.shape[0])
+        merged = merge_parallel(compacted) if compacted.shape[0] else compacted
+        self.counters.merged_intervals += int(merged.shape[0])
+
+        # Adopt any touched objects the collector has not seen (attach
+        # after their allocation), so intervals resolve to them.
+        for alloc, _nread, _nwritten in event.touched:
+            self._ensure_tracked(alloc)
+
+        write_records = [r for r in records if r.kind is AccessKind.STORE]
+        write_raw = intervals_from_accesses(write_records)
+        write_merged = merge_parallel(warp_compact(write_raw)) if write_raw.shape[0] else write_raw
+        read_records = [r for r in records if r.kind is AccessKind.LOAD]
+        read_raw = intervals_from_accesses(read_records)
+        read_merged = merge_parallel(warp_compact(read_raw)) if read_raw.shape[0] else read_raw
+
+        by_object = self.registry.assign_intervals(merged)
+        writes_by_object = self.registry.assign_intervals(write_merged)
+        reads_by_object = self.registry.assign_intervals(read_merged)
+
+        for alloc_id, intervals in by_object.items():
+            obj = self.registry.get(alloc_id)
+            if obj is None or not self.snapshots.is_tracked(alloc_id):
+                continue
+            read_intervals = reads_by_object.get(alloc_id)
+            if read_intervals is not None and read_intervals.size:
+                obs.reads.append(
+                    ObjectRead(
+                        obj=obj,
+                        nbytes=int(
+                            (read_intervals[:, 1] - read_intervals[:, 0]).sum()
+                        ),
+                    )
+                )
+            write_intervals = writes_by_object.get(alloc_id)
+            if write_intervals is None or write_intervals.size == 0:
+                continue
+            plan = plan_copy(intervals, obj.address, obj.size, self.copy_policy)
+            before, after = self.snapshots.refresh_plan(obj, plan)
+            written_idx = self.snapshots.element_indices(obj, write_intervals)
+            write_bytes = int(
+                (write_intervals[:, 1] - write_intervals[:, 0]).sum()
+            )
+            obs.writes.append(
+                ObjectWrite(
+                    obj=obj,
+                    before=before,
+                    after=after,
+                    written_indices=written_idx,
+                    nbytes=write_bytes,
+                )
+            )
+
+        if self._fine_this_launch:
+            self._build_fine_views(event, obs)
+
+    def _build_fine_views(
+        self, event: KernelLaunchEvent, obs: LaunchObservation
+    ) -> None:
+        typed: Dict[Tuple[int, DType], List[AccessRecord]] = {}
+        untyped: Dict[Tuple[int, int], List[AccessRecord]] = {}
+        record_objects: Dict[int, Optional[DataObject]] = {}
+        shared_obj = self._shared_pseudo_object(event)
+        for record in event.records:
+            if record.count == 0:
+                continue
+            address = int(record.addresses[0])
+            if address not in record_objects:
+                obj = self.registry.find_by_address(address)
+                if obj is None and shared_obj is not None and any(
+                    start <= address < end
+                    for start, end, _ in event.shared_ranges
+                ):
+                    # Shared memory is one data object (paper §5.1).
+                    obj = shared_obj
+                record_objects[address] = obj
+            obj = record_objects[address]
+            if obj is None:
+                continue
+            if record.dtype is None:
+                untyped.setdefault((obj.alloc_id, record.pc), []).append(record)
+            else:
+                typed.setdefault((obj.alloc_id, record.dtype), []).append(record)
+
+        for (alloc_id, dtype), records in typed.items():
+            obj = self.registry.get(alloc_id)
+            if obj is None and shared_obj is not None:
+                obj = shared_obj
+            obs.fine_views.append(
+                FineView(
+                    obj=obj,
+                    dtype=dtype,
+                    values=np.concatenate([r.values for r in records]),
+                    addresses=np.concatenate([r.addresses for r in records]),
+                )
+            )
+        for (alloc_id, pc), records in untyped.items():
+            obj = self.registry.get(alloc_id)
+            if obj is None and shared_obj is not None:
+                obj = shared_obj
+            obs.untyped_groups.append(
+                UntypedGroup(
+                    obj=obj,
+                    kernel=event.kernel,
+                    pc=pc,
+                    raw_values=np.concatenate([r.values for r in records]),
+                    addresses=np.concatenate([r.addresses for r in records]),
+                )
+            )
+
+    @staticmethod
+    def _shared_pseudo_object(event: KernelLaunchEvent) -> Optional[DataObject]:
+        """The per-launch shared-memory pseudo data object, if any."""
+        if not event.shared_ranges:
+            return None
+        start = min(r[0] for r in event.shared_ranges)
+        end = max(r[1] for r in event.shared_ranges)
+        dtype = event.shared_ranges[0][2]
+        return DataObject(
+            alloc_id=-1,
+            label=f"{event.kernel.name}.<shared>",
+            address=start,
+            size=end - start,
+            dtype=dtype,
+            alloc_context=None,
+            handle=None,
+        )
+
+    def _sync_snapshot_counters(self) -> None:
+        self.counters.snapshot_bytes = self.snapshots.traffic.bytes_copied
+        self.counters.snapshot_copies = self.snapshots.traffic.copy_invocations

@@ -1,0 +1,133 @@
+"""Data-object registry (paper Section 5.1).
+
+"ValueExpert intercepts object allocation and deallocation functions to
+determine the life cycle of each data object created in GPU global
+memory.  At each GPU memory allocation, ValueExpert records a data
+object's allocation context, starting address, and size."
+
+The registry also assigns merged access intervals back to the objects
+they fall in, which is how per-object coarse analysis consumes the
+output of the interval merge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.gpu.dtypes import DType
+from repro.gpu.memory import Allocation
+from repro.utils.callpath import CallPath
+
+
+@dataclass
+class DataObject:
+    """The collector's view of one GPU allocation."""
+
+    alloc_id: int
+    label: str
+    address: int
+    size: int
+    dtype: DType
+    alloc_context: Optional[CallPath]
+    freed: bool = False
+    #: The live Allocation handle (used to read values for snapshots).
+    handle: Optional[Allocation] = None
+
+    @property
+    def end(self) -> int:
+        """One past the object's last byte address."""
+        return self.address + self.size
+
+
+class DataObjectRegistry:
+    """Tracks live data objects and resolves addresses/intervals to them."""
+
+    def __init__(self):
+        self._objects: Dict[int, DataObject] = {}
+        #: address-sorted cache of live objects, rebuilt lazily.
+        self._sorted: Optional[List[DataObject]] = None
+
+    def on_malloc(self, alloc: Allocation, call_path: Optional[CallPath]) -> DataObject:
+        """Register a new allocation."""
+        obj = DataObject(
+            alloc_id=alloc.alloc_id,
+            label=alloc.label,
+            address=alloc.address,
+            size=alloc.size,
+            dtype=alloc.dtype,
+            alloc_context=call_path,
+            handle=alloc,
+        )
+        self._objects[alloc.alloc_id] = obj
+        self._sorted = None
+        return obj
+
+    def on_free(self, alloc: Allocation) -> None:
+        """Mark an object freed (it stays queryable for postmortem use)."""
+        obj = self._objects.get(alloc.alloc_id)
+        if obj is not None:
+            obj.freed = True
+            self._sorted = None
+
+    def get(self, alloc_id: int) -> Optional[DataObject]:
+        """The object registered under an allocation id, if any."""
+        return self._objects.get(alloc_id)
+
+    def live_objects(self) -> List[DataObject]:
+        """Live objects in address order."""
+        if self._sorted is None:
+            self._sorted = sorted(
+                (o for o in self._objects.values() if not o.freed),
+                key=lambda o: o.address,
+            )
+        return self._sorted
+
+    def all_objects(self) -> List[DataObject]:
+        """Every object ever registered, by allocation id."""
+        return sorted(self._objects.values(), key=lambda o: o.alloc_id)
+
+    def find_by_address(self, address: int) -> Optional[DataObject]:
+        """The live object containing a byte address, if any."""
+        objects = self.live_objects()
+        starts = [o.address for o in objects]
+        pos = int(np.searchsorted(starts, address, side="right")) - 1
+        if pos < 0:
+            return None
+        candidate = objects[pos]
+        return candidate if address < candidate.end else None
+
+    def assign_intervals(
+        self, merged: np.ndarray
+    ) -> Dict[int, np.ndarray]:
+        """Split merged, disjoint intervals among live objects.
+
+        Returns ``alloc_id -> (m, 2)`` intervals clipped to the object's
+        range.  Intervals falling outside every live object are dropped
+        (e.g. accesses to already-freed memory — a bug in the workload,
+        not in the profiler).
+        """
+        result: Dict[int, List[Tuple[int, int]]] = {}
+        objects = self.live_objects()
+        if merged.size == 0 or not objects:
+            return {}
+        starts = np.array([o.address for o in objects], dtype=np.uint64)
+        for start, end in merged:
+            start, end = int(start), int(end)
+            # An interval may span several objects (adjacent allocs
+            # merged by adjacency); clip against each one it overlaps.
+            pos = int(np.searchsorted(starts, start, side="right")) - 1
+            pos = max(pos, 0)
+            while pos < len(objects) and objects[pos].address < end:
+                obj = objects[pos]
+                lo = max(start, obj.address)
+                hi = min(end, obj.end)
+                if lo < hi:
+                    result.setdefault(obj.alloc_id, []).append((lo, hi))
+                pos += 1
+        return {
+            alloc_id: np.array(ranges, dtype=np.uint64)
+            for alloc_id, ranges in result.items()
+        }

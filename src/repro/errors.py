@@ -1,0 +1,47 @@
+"""Exception hierarchy for the ValueExpert reproduction.
+
+All errors raised by the library derive from :class:`ReproError`, so user
+code can catch everything from this package with a single ``except``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class GpuError(ReproError):
+    """Base class for errors raised by the simulated GPU substrate."""
+
+
+class OutOfMemoryError(GpuError):
+    """Raised when a device allocation cannot be satisfied."""
+
+
+class InvalidAddressError(GpuError):
+    """Raised when an access falls outside any live allocation."""
+
+
+class InvalidValueError(ReproError):
+    """Raised when an argument is structurally valid but semantically wrong."""
+
+
+class KernelLaunchError(GpuError):
+    """Raised when a kernel launch is malformed (bad geometry, bad args)."""
+
+
+class BinaryAnalysisError(ReproError):
+    """Raised by the offline binary analyzer (bad IR, unresolvable types)."""
+
+
+class CollectionError(ReproError):
+    """Raised by the data collector (double attach, missing runtime, ...)."""
+
+
+class AnalysisError(ReproError):
+    """Raised by the online/offline analyzers on inconsistent input."""
+
+
+class WorkloadError(ReproError):
+    """Raised by workload construction/execution (unknown variant, ...)."""

@@ -1,0 +1,11 @@
+"""Experiment regenerators — one module per paper table/figure.
+
+Each module exposes a ``run(...)`` entry point returning structured
+results plus a ``format_...`` helper that prints the same rows the
+paper reports.  The benchmark harness under ``benchmarks/`` wraps
+these; the modules are also importable for ad-hoc exploration.
+"""
+
+from repro.experiments.platforms import EVALUATION_PLATFORMS, platform_table
+
+__all__ = ["EVALUATION_PLATFORMS", "platform_table"]

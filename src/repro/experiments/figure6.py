@@ -1,0 +1,151 @@
+"""Figure 6 — profiling overhead per workload and platform.
+
+For every workload, on both platforms, price two profiling runs with
+the paper's Figure 6 settings:
+
+- **coarse** — coarse-grained analysis, no sampling ("ValueExpert does
+  not use any sampling technique for profiling coarse-grained value
+  patterns");
+- **fine** — fine-grained analysis with block/kernel sampling period 20
+  for benchmarks and 100 for applications, monitoring all kernels for
+  benchmarks and only the hottest kernel for applications.
+
+Paper anchors: overall median 7.35x (2080 Ti) / 7.81x (A100) for the
+summed passes; coarse medians 3.38x / 4.28x; fine medians 3.97x /
+4.18x; PyTorch-Deepwave is the worst case; A100 is cheaper on the
+memory-heavy applications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.experiments.runner import profile_workload, run_timed
+from repro.gpu.timing import EVALUATION_PLATFORMS, Platform
+from repro.tool.overhead import (
+    OverheadReport,
+    price_run,
+    VALUEEXPERT_MODEL,
+)
+from repro.utils.stats import geometric_mean, median
+from repro.workloads import all_workloads
+from repro.workloads.base import Workload
+
+#: Figure 6 sampling settings per workload kind.
+BENCHMARK_PERIOD = 20
+APPLICATION_PERIOD = 100
+
+
+@dataclass
+class Figure6:
+    """(workload, platform) -> {"coarse": report, "fine": report}."""
+
+    reports: Dict[str, Dict[str, Dict[str, OverheadReport]]]
+
+    def overheads(self, platform: str, mode: str) -> List[float]:
+        """All overhead factors of one platform/mode."""
+        return [
+            per_platform[platform][mode].overhead
+            for per_platform in self.reports.values()
+        ]
+
+    def summary(self, platform: str) -> Dict[str, float]:
+        """Median/geomean summaries for one platform."""
+        coarse = self.overheads(platform, "coarse")
+        fine = self.overheads(platform, "fine")
+        total = [c + f - 1.0 for c, f in zip(coarse, fine)]
+        return {
+            "coarse_median": median(coarse),
+            "coarse_geomean": geometric_mean(coarse),
+            "fine_median": median(fine),
+            "fine_geomean": geometric_mean(fine),
+            "total_median": median(total),
+        }
+
+
+def measure_workload(
+    workload: Workload, platform: Platform
+) -> Dict[str, OverheadReport]:
+    """Price the coarse and fine passes of one workload."""
+    times = run_timed(workload, platform)
+    is_app = workload.meta.kind == "application"
+    period = APPLICATION_PERIOD if is_app else BENCHMARK_PERIOD
+
+    coarse_profile = profile_workload(
+        workload, platform, coarse=True, fine=False
+    )
+    coarse = price_run(
+        VALUEEXPERT_MODEL,
+        coarse_profile.counters,
+        platform,
+        times.total,
+        kernel_time_s=times.kernel_time,
+        workload=workload.name,
+        fine=False,
+    )
+    fine_profile = profile_workload(
+        workload,
+        platform,
+        coarse=False,
+        fine=True,
+        kernel_period=period,
+        block_period=period,
+        use_filter=is_app,
+    )
+    fine = price_run(
+        VALUEEXPERT_MODEL,
+        fine_profile.counters,
+        platform,
+        times.total,
+        kernel_time_s=times.kernel_time,
+        workload=workload.name,
+        fine=True,
+    )
+    return {"coarse": coarse, "fine": fine}
+
+
+def run(scale: float = 0.5, workloads: Optional[List[Workload]] = None) -> Figure6:
+    """Measure Figure 6 for the whole suite."""
+    if workloads is None:
+        workloads = [cls(scale=scale) for cls in all_workloads()]
+    reports: Dict[str, Dict[str, Dict[str, OverheadReport]]] = {}
+    for workload in workloads:
+        reports[workload.name] = {}
+        for platform in EVALUATION_PLATFORMS:
+            reports[workload.name][platform.name] = measure_workload(
+                workload, platform
+            )
+    return Figure6(reports=reports)
+
+
+def format_figure(figure: Figure6) -> str:
+    """Render the Figure 6 rows plus summaries."""
+    header = (
+        f"{'Workload':<24}"
+        f"{'2080Ti coarse':>14}{'2080Ti fine':>13}"
+        f"{'A100 coarse':>13}{'A100 fine':>11}"
+    )
+    lines = [header, "-" * len(header)]
+    for name, per_platform in figure.reports.items():
+        ti = per_platform["RTX 2080 Ti"]
+        a100 = per_platform["A100"]
+        lines.append(
+            f"{name:<24}"
+            f"{ti['coarse'].overhead:>13.2f}x{ti['fine'].overhead:>12.2f}x"
+            f"{a100['coarse'].overhead:>12.2f}x{a100['fine'].overhead:>10.2f}x"
+        )
+    for platform in ("RTX 2080 Ti", "A100"):
+        summary = figure.summary(platform)
+        lines.append(
+            f"{platform + ' summary':<24}"
+            f"coarse median {summary['coarse_median']:.2f}x "
+            f"(geomean {summary['coarse_geomean']:.2f}x) | "
+            f"fine median {summary['fine_median']:.2f}x "
+            f"(geomean {summary['fine_geomean']:.2f}x)"
+        )
+    lines.append(
+        "paper: coarse medians 3.38x/4.28x, fine medians 3.97x/4.18x, "
+        "overall medians 7.35x/7.81x"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,29 @@
+"""Table 2 — the two evaluation platforms.
+
+The original table lists host CPUs, driver and toolkit versions; on the
+simulator the load-bearing columns are the GPU performance parameters
+the cost models encode.
+"""
+
+from __future__ import annotations
+
+from repro.gpu.timing import A100, EVALUATION_PLATFORMS, Platform, RTX_2080_TI
+
+__all__ = ["A100", "EVALUATION_PLATFORMS", "RTX_2080_TI", "platform_table"]
+
+
+def platform_table() -> str:
+    """Render the Table 2 analogue for the simulated platforms."""
+    header = (
+        f"{'GPU':<14}{'SMs':>5}{'FP32 GFLOPs':>14}{'FP64 GFLOPs':>14}"
+        f"{'Mem GB/s':>10}{'PCIe GB/s':>11}"
+    )
+    lines = [header, "-" * len(header)]
+    for platform in EVALUATION_PLATFORMS:
+        lines.append(
+            f"{platform.name:<14}{platform.sm_count:>5}"
+            f"{platform.fp32_gflops:>14.0f}{platform.fp64_gflops:>14.0f}"
+            f"{platform.mem_bandwidth_gbs:>10.0f}"
+            f"{platform.pcie_bandwidth_gbs:>11.0f}"
+        )
+    return "\n".join(lines)

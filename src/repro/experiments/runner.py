@@ -1,0 +1,115 @@
+"""Shared measurement helpers for the experiment modules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional
+
+from repro.analysis.profile import ValueProfile
+from repro.collector.sampling import SamplingConfig
+from repro.gpu.runtime import GpuRuntime
+from repro.gpu.timing import Platform, TimeBreakdown
+from repro.patterns.base import Pattern
+from repro.tool.config import ToolConfig
+from repro.tool.valueexpert import ValueExpert
+from repro.workloads.base import Workload
+
+
+def run_timed(
+    workload: Workload,
+    platform: Platform,
+    optimize: FrozenSet[Pattern] = frozenset(),
+) -> TimeBreakdown:
+    """Run a workload uninstrumented and return its modelled times."""
+    rt = GpuRuntime(platform=platform)
+    workload.reset()
+    workload.run(rt, optimize)
+    return rt.times
+
+
+def kernel_time_of(times: TimeBreakdown, kernels: Optional[FrozenSet[str]]) -> float:
+    """Summed time of the selected kernels (None = all kernels)."""
+    if kernels is None:
+        return times.kernel_time
+    return sum(
+        seconds
+        for name, seconds in times.kernel_time_by_name.items()
+        if name in kernels
+    )
+
+
+@dataclass
+class SpeedupRow:
+    """One (workload, platform) measurement, Table 3 style."""
+
+    workload: str
+    platform: str
+    kernel_name: Optional[str]
+    baseline_kernel_s: float
+    optimized_kernel_s: float
+    baseline_memory_s: float
+    optimized_memory_s: float
+
+    @property
+    def kernel_speedup(self) -> Optional[float]:
+        """Baseline/optimized ratio over the Table 3 kernels (None when the paper reports '-')."""
+        if self.kernel_name is None:
+            return None  # the paper reports "-" for memory-only fixes
+        if self.optimized_kernel_s <= 0:
+            return None
+        return self.baseline_kernel_s / self.optimized_kernel_s
+
+    @property
+    def memory_speedup(self) -> Optional[float]:
+        """Baseline/optimized ratio of total memory time."""
+        if self.optimized_memory_s <= 0:
+            return None
+        return self.baseline_memory_s / self.optimized_memory_s
+
+
+def measure_speedups(
+    workload: Workload,
+    platform: Platform,
+    patterns: Optional[FrozenSet[Pattern]] = None,
+) -> SpeedupRow:
+    """Baseline-vs-optimized times for one workload on one platform."""
+    if patterns is None:
+        patterns = frozenset(workload.meta.table4_rows)
+    timed = workload.timed_kernels()
+    baseline = run_timed(workload, platform)
+    optimized = run_timed(workload, platform, patterns)
+    return SpeedupRow(
+        workload=workload.name,
+        platform=platform.name,
+        kernel_name=workload.meta.kernel_name,
+        baseline_kernel_s=kernel_time_of(baseline, timed),
+        optimized_kernel_s=kernel_time_of(optimized, timed),
+        baseline_memory_s=baseline.memory_time,
+        optimized_memory_s=optimized.memory_time,
+    )
+
+
+def profile_workload(
+    workload: Workload,
+    platform: Platform,
+    coarse: bool = True,
+    fine: bool = True,
+    kernel_period: int = 1,
+    block_period: int = 1,
+    use_filter: bool = False,
+) -> ValueProfile:
+    """Profile a workload's baseline under a tool configuration."""
+    config = ToolConfig(
+        coarse=coarse,
+        fine=fine,
+        sampling=SamplingConfig(
+            kernel_sampling_period=kernel_period,
+            block_sampling_period=block_period,
+            kernel_filter=workload.hot_kernel_filter() if use_filter else None,
+        ),
+    )
+    tool = ValueExpert(config)
+    profile = tool.profile(
+        workload.run_baseline, platform=platform, name=workload.name
+    )
+    return profile

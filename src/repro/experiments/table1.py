@@ -1,0 +1,100 @@
+"""Table 1 — value patterns present in each benchmark/application.
+
+Profiles every workload's baseline with all detectors enabled and
+builds the pattern ✓-matrix.  The shape check is one-directional:
+every pattern the paper's table marks must be *found*; the simulator
+may legitimately find additional (implied or genuine) patterns — e.g.
+an all-zero object matches single zero, single value, and frequent
+values simultaneously, while the paper's table lists one marquee
+pattern per cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from repro.experiments.runner import profile_workload
+from repro.gpu.timing import RTX_2080_TI
+from repro.patterns.base import Pattern
+from repro.workloads import all_workloads
+from repro.workloads.base import Workload
+
+_COLUMNS = [
+    Pattern.REDUNDANT_VALUES,
+    Pattern.DUPLICATE_VALUES,
+    Pattern.FREQUENT_VALUES,
+    Pattern.SINGLE_VALUE,
+    Pattern.SINGLE_ZERO,
+    Pattern.HEAVY_TYPE,
+    Pattern.STRUCTURED_VALUES,
+    Pattern.APPROXIMATE_VALUES,
+]
+
+_ABBREV = {
+    Pattern.REDUNDANT_VALUES: "Red",
+    Pattern.DUPLICATE_VALUES: "Dup",
+    Pattern.FREQUENT_VALUES: "Frq",
+    Pattern.SINGLE_VALUE: "SVal",
+    Pattern.SINGLE_ZERO: "SZero",
+    Pattern.HEAVY_TYPE: "Heavy",
+    Pattern.STRUCTURED_VALUES: "Struct",
+    Pattern.APPROXIMATE_VALUES: "Apprx",
+}
+
+
+@dataclass
+class Table1:
+    """Found patterns per workload, plus the paper's expectations."""
+
+    found: Dict[str, Set[Pattern]]
+    expected: Dict[str, Set[Pattern]]
+
+    def missing(self, workload: str) -> Set[Pattern]:
+        """Paper-marked patterns the profile failed to detect."""
+        return self.expected[workload] - self.found[workload]
+
+    def all_covered(self) -> bool:
+        """True when no workload misses a paper check mark."""
+        return all(not self.missing(name) for name in self.expected)
+
+
+def run(scale: float = 0.5, workloads: Optional[List[Workload]] = None) -> Table1:
+    """Profile each workload and collect its pattern set."""
+    if workloads is None:
+        workloads = [cls(scale=scale) for cls in all_workloads()]
+    found: Dict[str, Set[Pattern]] = {}
+    expected: Dict[str, Set[Pattern]] = {}
+    for workload in workloads:
+        profile = profile_workload(workload, RTX_2080_TI)
+        found[workload.name] = set(profile.patterns_found())
+        expected[workload.name] = set(workload.meta.table1_patterns)
+    return Table1(found=found, expected=expected)
+
+
+def format_table(table: Table1) -> str:
+    """Render the ✓-matrix: '✓' = paper ✓ and found, '+' = extra found,
+    'X' = paper ✓ but MISSING (a reproduction failure)."""
+    header = f"{'Workload':<24}" + "".join(
+        f"{_ABBREV[p]:>7}" for p in _COLUMNS
+    )
+    lines = [header, "-" * len(header)]
+    for name in table.expected:
+        cells = []
+        for pattern in _COLUMNS:
+            in_paper = pattern in table.expected[name]
+            detected = pattern in table.found[name]
+            if in_paper and detected:
+                cell = "Y"
+            elif in_paper:
+                cell = "X"
+            elif detected:
+                cell = "+"
+            else:
+                cell = "."
+            cells.append(f"{cell:>7}")
+        lines.append(f"{name:<24}" + "".join(cells))
+    lines.append("")
+    lines.append("Y = paper check mark reproduced, + = additionally found,")
+    lines.append("X = paper check mark NOT reproduced, . = absent in both")
+    return "\n".join(lines)

@@ -1,0 +1,133 @@
+"""Table 3 — kernel-time and memory-time speedups per workload.
+
+For every workload and both platforms, measure the baseline and the
+fully optimized variant (all of the workload's Table 4 fixes applied)
+and report the kernel-time speedup of the Table 3 kernel(s) plus the
+memory-time (alloc + copy + set) speedup, with the geometric-mean and
+median summary rows the paper prints.
+
+Paper anchors: geometric means 1.58x (kernel, 2080 Ti), 1.39x (kernel,
+A100), 1.34x / 1.28x (memory); medians 1.29x / 1.11x / 1.01x / 1.02x.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.experiments.runner import SpeedupRow, measure_speedups
+from repro.gpu.timing import EVALUATION_PLATFORMS, Platform
+from repro.utils.stats import geometric_mean, median
+from repro.workloads import all_workloads
+from repro.workloads.base import Workload
+
+#: Paper values for the shape check: workload -> platform ->
+#: (kernel speedup or None, memory speedup).
+PAPER_TABLE3 = {
+    "rodinia/bfs": {"RTX 2080 Ti": (1.34, 1.10), "A100": (0.99, 1.20)},
+    "rodinia/backprop": {"RTX 2080 Ti": (8.18, 1.01), "A100": (1.67, 1.01)},
+    "rodinia/sradv1": {"RTX 2080 Ti": (1.52, 1.03), "A100": (1.11, 1.06)},
+    "rodinia/hotspot": {"RTX 2080 Ti": (1.31, 1.00), "A100": (1.10, 1.00)},
+    "rodinia/pathfinder": {"RTX 2080 Ti": (1.13, 4.21), "A100": (1.37, 3.27)},
+    "rodinia/cfd": {"RTX 2080 Ti": (8.28, 1.01), "A100": (6.05, 1.03)},
+    "rodinia/huffman": {"RTX 2080 Ti": (1.49, 1.00), "A100": (2.55, 1.00)},
+    "rodinia/lavaMD": {"RTX 2080 Ti": (0.99, 1.49), "A100": (0.98, 1.39)},
+    "rodinia/hotspot3D": {"RTX 2080 Ti": (2.00, 1.00), "A100": (1.99, 0.99)},
+    "rodinia/streamcluster": {"RTX 2080 Ti": (None, 2.39), "A100": (None, 1.81)},
+    "darknet": {"RTX 2080 Ti": (1.06, 1.82), "A100": (1.05, 1.73)},
+    "qmcpack": {"RTX 2080 Ti": (None, 1.00), "A100": (None, 1.00)},
+    "castro": {"RTX 2080 Ti": (1.27, 1.00), "A100": (1.24, 1.02)},
+    "barracuda": {"RTX 2080 Ti": (1.06, 1.13), "A100": (1.06, 1.13)},
+    "pytorch/deepwave": {"RTX 2080 Ti": (1.07, 1.01), "A100": (1.04, 1.00)},
+    "pytorch/bert": {"RTX 2080 Ti": (1.57, 1.01), "A100": (1.59, 1.00)},
+    "pytorch/resnet50": {"RTX 2080 Ti": (1.02, 1.00), "A100": (1.03, 0.98)},
+    "namd": {"RTX 2080 Ti": (1.00, 1.00), "A100": (1.00, 1.00)},
+    "lammps": {"RTX 2080 Ti": (None, 6.03), "A100": (None, 5.19)},
+}
+
+
+@dataclass
+class Table3:
+    """All rows plus the summary statistics."""
+
+    rows: Dict[str, Dict[str, SpeedupRow]]
+
+    def summary(self, platform_name: str) -> Dict[str, float]:
+        """Geomean/median of one platform's columns."""
+        kernel = [
+            row.kernel_speedup
+            for per_platform in self.rows.values()
+            for name, row in per_platform.items()
+            if name == platform_name and row.kernel_speedup is not None
+        ]
+        memory = [
+            row.memory_speedup
+            for per_platform in self.rows.values()
+            for name, row in per_platform.items()
+            if name == platform_name and row.memory_speedup is not None
+        ]
+        def safe(fn, values):
+            """Apply a statistic, NaN on empty input."""
+            return fn(values) if values else float("nan")
+
+        return {
+            "kernel_geomean": safe(geometric_mean, kernel),
+            "kernel_median": safe(median, kernel),
+            "memory_geomean": safe(geometric_mean, memory),
+            "memory_median": safe(median, memory),
+        }
+
+
+def run(scale: float = 1.0, workloads: Optional[List[Workload]] = None) -> Table3:
+    """Measure every Table 3 row on both platforms."""
+    if workloads is None:
+        workloads = [cls(scale=scale) for cls in all_workloads()]
+    rows: Dict[str, Dict[str, SpeedupRow]] = {}
+    for workload in workloads:
+        rows[workload.name] = {}
+        for platform in EVALUATION_PLATFORMS:
+            rows[workload.name][platform.name] = measure_speedups(
+                workload, platform
+            )
+    return Table3(rows=rows)
+
+
+def _fmt(speedup: Optional[float]) -> str:
+    return f"{speedup:.2f}x" if speedup is not None else "-"
+
+
+def format_table(table: Table3) -> str:
+    """Render measured-vs-paper rows for both platforms."""
+    header = (
+        f"{'Workload':<24}"
+        f"{'2080Ti krn':>11}{'(paper)':>9}{'2080Ti mem':>11}{'(paper)':>9}"
+        f"{'A100 krn':>10}{'(paper)':>9}{'A100 mem':>10}{'(paper)':>9}"
+    )
+    lines = [header, "-" * len(header)]
+    for name, per_platform in table.rows.items():
+        paper = PAPER_TABLE3.get(name, {})
+        cells = []
+        for platform in ("RTX 2080 Ti", "A100"):
+            row = per_platform[platform]
+            paper_k, paper_m = paper.get(platform, (None, None))
+            cells += [
+                _fmt(row.kernel_speedup),
+                _fmt(paper_k),
+                _fmt(row.memory_speedup),
+                _fmt(paper_m),
+            ]
+        lines.append(
+            f"{name:<24}"
+            f"{cells[0]:>11}{cells[1]:>9}{cells[2]:>11}{cells[3]:>9}"
+            f"{cells[4]:>10}{cells[5]:>9}{cells[6]:>10}{cells[7]:>9}"
+        )
+    for platform in ("RTX 2080 Ti", "A100"):
+        summary = table.summary(platform)
+        lines.append(
+            f"{platform + ' summary':<24}"
+            f"kernel geomean {summary['kernel_geomean']:.2f}x "
+            f"median {summary['kernel_median']:.2f}x | "
+            f"memory geomean {summary['memory_geomean']:.2f}x "
+            f"median {summary['memory_median']:.2f}x"
+        )
+    return "\n".join(lines)

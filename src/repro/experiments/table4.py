@@ -1,0 +1,118 @@
+"""Table 4 — speedups attributed to individual value patterns.
+
+Unlike Table 3 (all fixes at once), Table 4 applies one pattern's fix
+at a time: some workloads have several rows (backprop's single-zero fix
+is its whole win; its duplicate-values fix gains nothing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.experiments.runner import SpeedupRow, measure_speedups
+from repro.gpu.timing import EVALUATION_PLATFORMS
+from repro.patterns.base import Pattern
+from repro.workloads import all_workloads
+from repro.workloads.base import Workload
+
+#: Paper values: (workload, pattern) -> platform -> (kernel, memory).
+PAPER_TABLE4 = {
+    ("rodinia/backprop", Pattern.SINGLE_ZERO): {
+        "RTX 2080 Ti": (8.18, 0.99), "A100": (1.67, 1.20)},
+    ("rodinia/backprop", Pattern.DUPLICATE_VALUES): {
+        "RTX 2080 Ti": (1.00, 1.00), "A100": (1.00, 1.00)},
+    ("rodinia/bfs", Pattern.HEAVY_TYPE): {
+        "RTX 2080 Ti": (1.34, 1.08), "A100": (0.97, 0.99)},
+    ("rodinia/bfs", Pattern.FREQUENT_VALUES): {
+        "RTX 2080 Ti": (1.00, 1.10), "A100": (1.01, 1.01)},
+    ("rodinia/pathfinder", Pattern.HEAVY_TYPE): {
+        "RTX 2080 Ti": (1.13, 4.21), "A100": (1.37, 3.27)},
+    ("rodinia/sradv1", Pattern.HEAVY_TYPE): {
+        "RTX 2080 Ti": (1.40, 1.00), "A100": (1.05, 1.02)},
+    ("rodinia/sradv1", Pattern.STRUCTURED_VALUES): {
+        "RTX 2080 Ti": (1.05, 1.02), "A100": (1.08, 1.07)},
+    ("rodinia/hotspot", Pattern.APPROXIMATE_VALUES): {
+        "RTX 2080 Ti": (1.31, 1.00), "A100": (1.10, 1.00)},
+    ("rodinia/cfd", Pattern.FREQUENT_VALUES): {
+        "RTX 2080 Ti": (8.25, 1.00), "A100": (6.06, 1.02)},
+    ("rodinia/cfd", Pattern.REDUNDANT_VALUES): {
+        "RTX 2080 Ti": (1.00, 1.02), "A100": (1.00, 1.00)},
+    ("rodinia/hotspot3D", Pattern.APPROXIMATE_VALUES): {
+        "RTX 2080 Ti": (2.00, 1.00), "A100": (1.99, 0.99)},
+    ("rodinia/streamcluster", Pattern.REDUNDANT_VALUES): {
+        "RTX 2080 Ti": (None, 2.39), "A100": (None, 1.48)},
+    ("rodinia/huffman", Pattern.FREQUENT_VALUES): {
+        "RTX 2080 Ti": (1.49, 1.00), "A100": (2.55, 1.00)},
+    ("rodinia/lavaMD", Pattern.HEAVY_TYPE): {
+        "RTX 2080 Ti": (0.99, 1.49), "A100": (0.98, 1.39)},
+    ("darknet", Pattern.REDUNDANT_VALUES): {
+        "RTX 2080 Ti": (1.06, 1.82), "A100": (1.05, 1.73)},
+    ("qmcpack", Pattern.REDUNDANT_VALUES): {
+        "RTX 2080 Ti": (None, 1.00), "A100": (None, 1.00)},
+    ("castro", Pattern.REDUNDANT_VALUES): {
+        "RTX 2080 Ti": (1.27, 1.00), "A100": (1.24, 1.02)},
+    ("barracuda", Pattern.REDUNDANT_VALUES): {
+        "RTX 2080 Ti": (1.06, 1.13), "A100": (1.06, 1.13)},
+    ("pytorch/deepwave", Pattern.REDUNDANT_VALUES): {
+        "RTX 2080 Ti": (1.07, 1.01), "A100": (1.04, 1.33)},
+    ("pytorch/bert", Pattern.REDUNDANT_VALUES): {
+        "RTX 2080 Ti": (1.57, 1.01), "A100": (1.59, 1.00)},
+    ("pytorch/resnet50", Pattern.SINGLE_VALUE): {
+        "RTX 2080 Ti": (1.02, 1.00), "A100": (1.03, 0.98)},
+    ("namd", Pattern.SINGLE_ZERO): {
+        "RTX 2080 Ti": (1.00, 1.00), "A100": (1.00, 1.00)},
+    ("lammps", Pattern.FREQUENT_VALUES): {
+        "RTX 2080 Ti": (None, 6.03), "A100": (None, 5.19)},
+}
+
+
+@dataclass
+class Table4:
+    """(workload, pattern) -> platform -> SpeedupRow."""
+
+    rows: Dict[Tuple[str, Pattern], Dict[str, SpeedupRow]]
+
+
+def run(scale: float = 1.0, workloads: Optional[List[Workload]] = None) -> Table4:
+    """Measure every per-pattern row on both platforms."""
+    if workloads is None:
+        workloads = [cls(scale=scale) for cls in all_workloads()]
+    rows: Dict[Tuple[str, Pattern], Dict[str, SpeedupRow]] = {}
+    for workload in workloads:
+        for pattern in workload.meta.table4_rows:
+            key = (workload.name, pattern)
+            rows[key] = {}
+            for platform in EVALUATION_PLATFORMS:
+                rows[key][platform.name] = measure_speedups(
+                    workload, platform, patterns=frozenset({pattern})
+                )
+    return Table4(rows=rows)
+
+
+def _fmt(value) -> str:
+    return f"{value:.2f}x" if value is not None else "-"
+
+
+def format_table(table: Table4) -> str:
+    """Render measured-vs-paper rows per pattern."""
+    header = (
+        f"{'Workload':<24}{'Pattern':<20}"
+        f"{'2080Ti krn':>11}{'2080Ti mem':>11}{'A100 krn':>10}{'A100 mem':>10}"
+        f"   paper(krn/mem 2080Ti|A100)"
+    )
+    lines = [header, "-" * len(header)]
+    for (name, pattern), per_platform in table.rows.items():
+        ti = per_platform["RTX 2080 Ti"]
+        a100 = per_platform["A100"]
+        paper = PAPER_TABLE4.get((name, pattern), {})
+        paper_ti = paper.get("RTX 2080 Ti", (None, None))
+        paper_a = paper.get("A100", (None, None))
+        lines.append(
+            f"{name:<24}{pattern.value:<20}"
+            f"{_fmt(ti.kernel_speedup):>11}{_fmt(ti.memory_speedup):>11}"
+            f"{_fmt(a100.kernel_speedup):>10}{_fmt(a100.memory_speedup):>10}"
+            f"   {_fmt(paper_ti[0])}/{_fmt(paper_ti[1])}|"
+            f"{_fmt(paper_a[0])}/{_fmt(paper_a[1])}"
+        )
+    return "\n".join(lines)

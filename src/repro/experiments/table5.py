@@ -1,0 +1,165 @@
+"""Table 5 / §7 — ValueExpert vs existing redundancy tools.
+
+Two parts:
+
+1. the qualitative feature matrix of Table 5 (static facts);
+2. the overhead comparison: ValueExpert's summed coarse+fine passes vs
+   GVProf's data path (every record shipped to the CPU, per-kernel
+   sync, CPU-side merge), priced over the same measured counters.
+   Anchors: geomean overheads 7.8x vs 47.3x, and "GVProf cannot finish
+   profiling Castro and NAMD within one day on RTX 2080 Ti, while
+   ValueExpert finishes within five minutes" — represented by the
+   timeout ratio between the two tools on those workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.experiments.figure6 import APPLICATION_PERIOD, BENCHMARK_PERIOD
+from repro.experiments.runner import profile_workload, run_timed
+from repro.gpu.timing import Platform, RTX_2080_TI
+from repro.tool.overhead import (
+    GVPROF_MODEL,
+    OverheadReport,
+    price_run,
+    VALUEEXPERT_MODEL,
+)
+from repro.utils.stats import geometric_mean
+from repro.workloads import all_workloads
+from repro.workloads.base import Workload
+
+#: The qualitative rows of Table 5.
+FEATURE_MATRIX = {
+    "Redundancy analysis": {
+        "ValueExpert": "Support", "GVProf": "Support", "Witch": "Support",
+        "RedSpy": "Support", "LoadSpy": "Support", "RVN": "Support"},
+    "Value pattern analysis of data objects": {
+        "ValueExpert": "Support", "GVProf": "N/A", "Witch": "N/A",
+        "RedSpy": "N/A", "LoadSpy": "N/A", "RVN": "N/A"},
+    "Result granularity": {
+        "ValueExpert": "GPU API", "GVProf": "Instruction",
+        "Witch": "Instruction", "RedSpy": "Instruction",
+        "LoadSpy": "Instruction", "RVN": "Instruction"},
+    "Value flows": {
+        "ValueExpert": "Support", "GVProf": "N/A", "Witch": "N/A",
+        "RedSpy": "N/A", "LoadSpy": "N/A", "RVN": "N/A"},
+    "GPU program analysis": {
+        "ValueExpert": "Support", "GVProf": "Support", "Witch": "N/A",
+        "RedSpy": "N/A", "LoadSpy": "N/A", "RVN": "N/A"},
+}
+
+#: Paper geomean overheads (sum of required runs).
+PAPER_OVERHEADS = {
+    "ValueExpert": 7.8, "GVProf": 47.3, "Witch": 2.1,
+    "RedSpy": 19.1, "LoadSpy": 26.0, "RVN": 33.9,
+}
+
+
+@dataclass
+class ToolComparison:
+    """Measured overheads of the two modelled tools per workload."""
+
+    valueexpert: Dict[str, OverheadReport]
+    gvprof: Dict[str, OverheadReport]
+
+    def geomeans(self) -> Dict[str, float]:
+        """Geomean overhead per tool."""
+        return {
+            "ValueExpert": geometric_mean(
+                [r.overhead for r in self.valueexpert.values()]
+            ),
+            "GVProf": geometric_mean(
+                [r.overhead for r in self.gvprof.values()]
+            ),
+        }
+
+
+def run(
+    scale: float = 0.5,
+    platform: Platform = RTX_2080_TI,
+    workloads: Optional[List[Workload]] = None,
+) -> ToolComparison:
+    """Price both tools over the same workloads.
+
+    ValueExpert pays for a coarse pass plus a *sampled, filtered* fine
+    pass (its Section 6 optimizations).  GVProf instruments every
+    kernel's every access with no cross-kernel batching and processes
+    records on the CPU — same counters, its own cost model, except that
+    the counters come from an unsampled run (GVProf's analysis cannot
+    skip kernels it has not measured).
+    """
+    if workloads is None:
+        workloads = [cls(scale=scale) for cls in all_workloads()]
+    ve: Dict[str, OverheadReport] = {}
+    gv: Dict[str, OverheadReport] = {}
+    for workload in workloads:
+        times = run_timed(workload, platform)
+        app_time = times.total
+        is_app = workload.meta.kind == "application"
+        period = APPLICATION_PERIOD if is_app else BENCHMARK_PERIOD
+
+        coarse = profile_workload(workload, platform, coarse=True, fine=False)
+        fine = profile_workload(
+            workload, platform, coarse=False, fine=True,
+            kernel_period=period, block_period=period, use_filter=is_app,
+        )
+        coarse_cost = price_run(
+            VALUEEXPERT_MODEL, coarse.counters, platform, app_time,
+            kernel_time_s=times.kernel_time, workload=workload.name, fine=False,
+        )
+        fine_cost = price_run(
+            VALUEEXPERT_MODEL, fine.counters, platform, app_time,
+            kernel_time_s=times.kernel_time, workload=workload.name, fine=True,
+        )
+        ve[workload.name] = OverheadReport(
+            tool="ValueExpert",
+            workload=workload.name,
+            platform=platform.name,
+            app_time_s=app_time,
+            tool_time_s=coarse_cost.tool_time_s + fine_cost.tool_time_s
+            + app_time,  # the second pass replays the app
+        )
+
+        full = profile_workload(workload, platform, coarse=True, fine=True)
+        gv[workload.name] = price_run(
+            GVPROF_MODEL, full.counters, platform, app_time,
+            kernel_time_s=times.kernel_time, workload=workload.name, fine=True,
+        )
+    return ToolComparison(valueexpert=ve, gvprof=gv)
+
+
+def format_features() -> str:
+    """Render the qualitative Table 5 matrix."""
+    tools = ["ValueExpert", "GVProf", "Witch", "RedSpy", "LoadSpy", "RVN"]
+    width = max(len(f) for f in FEATURE_MATRIX) + 2
+    lines = [f"{'Feature':<{width}}" + "".join(f"{t:>13}" for t in tools)]
+    lines.append("-" * (width + 13 * len(tools)))
+    for feature, support in FEATURE_MATRIX.items():
+        lines.append(
+            f"{feature:<{width}}" + "".join(f"{support[t]:>13}" for t in tools)
+        )
+    lines.append(
+        f"{'Geomean overhead (paper)':<{width}}"
+        + "".join(f"{PAPER_OVERHEADS[t]:>12.1f}x" for t in tools)
+    )
+    return "\n".join(lines)
+
+
+def format_comparison(comparison: ToolComparison) -> str:
+    """Render the measured overhead comparison."""
+    lines = [
+        f"{'Workload':<24}{'ValueExpert':>13}{'GVProf':>11}{'ratio':>8}"
+    ]
+    lines.append("-" * 56)
+    for name in comparison.valueexpert:
+        ve = comparison.valueexpert[name].overhead
+        gv = comparison.gvprof[name].overhead
+        lines.append(f"{name:<24}{ve:>12.2f}x{gv:>10.1f}x{gv / ve:>8.1f}")
+    geo = comparison.geomeans()
+    lines.append(
+        f"{'geomean':<24}{geo['ValueExpert']:>12.2f}x"
+        f"{geo['GVProf']:>10.1f}x (paper: 7.8x vs 47.3x)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,42 @@
+"""Value flow graph construction and analysis (paper Section 5.2).
+
+- :mod:`repro.flowgraph.graph` — the graph model of Definition 5.1;
+- :mod:`repro.flowgraph.builder` — last-writer tracking that turns the
+  runtime's API event stream into a graph;
+- :mod:`repro.flowgraph.slicing` — vertex slice graphs (Definition 5.2);
+- :mod:`repro.flowgraph.important` — important graphs (Definition 5.3);
+- :mod:`repro.flowgraph.render` — DOT/text rendering with the paper's
+  visual encoding (Figure 2/3).
+"""
+
+from repro.flowgraph.graph import (
+    Edge,
+    EdgeKind,
+    HOST_VERTEX_ID,
+    ValueFlowGraph,
+    Vertex,
+    VertexKind,
+)
+from repro.flowgraph.builder import FlowGraphBuilder
+from repro.flowgraph.slicing import vertex_slice
+from repro.flowgraph.important import important_graph
+from repro.flowgraph.render import render_dot, render_text
+from repro.flowgraph.svg import render_svg
+from repro.flowgraph.history import format_history, object_history
+
+__all__ = [
+    "Edge",
+    "EdgeKind",
+    "FlowGraphBuilder",
+    "format_history",
+    "HOST_VERTEX_ID",
+    "important_graph",
+    "object_history",
+    "render_dot",
+    "render_svg",
+    "render_text",
+    "ValueFlowGraph",
+    "Vertex",
+    "vertex_slice",
+    "VertexKind",
+]

@@ -1,0 +1,141 @@
+"""Builds a value flow graph from the runtime's API event stream.
+
+The builder maintains the *last writer* of every data object.  When an
+API reads or writes an object, an edge is drawn from the object's last
+writer (initially its allocation vertex — "each rectangle represents a
+data allocation, which is the beginning of the value flow") to the
+API's vertex, and a write updates the last writer.
+
+The builder is agnostic about where events come from: the online
+analyzer calls it during collection, and tests drive it directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.flowgraph.graph import (
+    EdgeKind,
+    HOST_VERTEX_ID,
+    ValueFlowGraph,
+    Vertex,
+    VertexKind,
+)
+from repro.utils.callpath import CallPath
+
+
+@dataclass(frozen=True)
+class ObjectAccess:
+    """One object access performed by an API invocation."""
+
+    alloc_id: int
+    nbytes: int
+    #: Unchanged fraction from the coarse analysis (writes only).
+    redundant_fraction: Optional[float] = None
+
+
+class FlowGraphBuilder:
+    """Incrementally constructs a :class:`ValueFlowGraph`."""
+
+    def __init__(self):
+        self.graph = ValueFlowGraph()
+        #: alloc_id -> vertex id of the allocation vertex.
+        self._alloc_vertex: Dict[int, int] = {}
+        #: alloc_id -> vertex id of the last writer.
+        self._last_writer: Dict[int, int] = {}
+
+    # -- event handlers ---------------------------------------------------
+
+    def on_malloc(
+        self, alloc_id: int, label: str, call_path: Optional[CallPath]
+    ) -> Vertex:
+        """Register an allocation: creates (or merges into) its vertex."""
+        vertex = self.graph.merge_vertex(VertexKind.ALLOC, label, call_path)
+        vertex.invocations += 1
+        self._alloc_vertex[alloc_id] = vertex.vid
+        self._last_writer[alloc_id] = vertex.vid
+        return vertex
+
+    def on_api(
+        self,
+        kind: VertexKind,
+        name: str,
+        call_path: Optional[CallPath],
+        reads: Iterable[ObjectAccess] = (),
+        writes: Iterable[ObjectAccess] = (),
+        host_source: bool = False,
+        host_sink: bool = False,
+        time_s: float = 0.0,
+    ) -> Vertex:
+        """Record one API invocation touching the given objects.
+
+        ``host_source``/``host_sink`` add the Definition 5.1 edges for
+        H2D and D2H transfers respectively.
+        """
+        vertex = self.graph.merge_vertex(kind, name, call_path)
+        vertex.invocations += 1
+        vertex.time_s += time_s
+
+        for access in reads:
+            src, alloc_vid = self._flow_source(access.alloc_id, vertex)
+            self.graph.record_edge(
+                src, vertex.vid, alloc_vid, EdgeKind.READ, access.nbytes
+            )
+        for access in writes:
+            src, alloc_vid = self._flow_source(access.alloc_id, vertex)
+            self.graph.record_edge(
+                src,
+                vertex.vid,
+                alloc_vid,
+                EdgeKind.WRITE,
+                access.nbytes,
+                redundant_fraction=access.redundant_fraction,
+            )
+            self._last_writer[access.alloc_id] = vertex.vid
+        if host_source:
+            for access in writes:
+                alloc_vid = self._alloc_vertex.get(access.alloc_id, vertex.vid)
+                self.graph.record_edge(
+                    HOST_VERTEX_ID,
+                    vertex.vid,
+                    alloc_vid,
+                    EdgeKind.SOURCE,
+                    access.nbytes,
+                )
+        if host_sink:
+            for access in reads:
+                alloc_vid = self._alloc_vertex.get(access.alloc_id, vertex.vid)
+                self.graph.record_edge(
+                    vertex.vid,
+                    HOST_VERTEX_ID,
+                    alloc_vid,
+                    EdgeKind.SINK,
+                    access.nbytes,
+                )
+        return vertex
+
+    def on_free(self, alloc_id: int) -> None:
+        """Forget an object's flow state (its vertices/edges remain)."""
+        self._last_writer.pop(alloc_id, None)
+
+    # -- helpers -----------------------------------------------------------
+
+    def _flow_source(self, alloc_id: int, accessor: Vertex) -> Tuple[int, int]:
+        """(last-writer vid, alloc vid) for an object, tolerating
+        objects whose allocation predates collection (e.g. attach after
+        startup): such objects get a synthetic allocation vertex."""
+        alloc_vid = self._alloc_vertex.get(alloc_id)
+        if alloc_vid is None:
+            vertex = self.graph.merge_vertex(
+                VertexKind.ALLOC, f"pre-existing object {alloc_id}", None
+            )
+            vertex.invocations += 1
+            self._alloc_vertex[alloc_id] = vertex.vid
+            self._last_writer[alloc_id] = vertex.vid
+            alloc_vid = vertex.vid
+        return self._last_writer.get(alloc_id, alloc_vid), alloc_vid
+
+    def last_writer_of(self, alloc_id: int) -> Optional[int]:
+        """Vertex id of the current last writer of an object, if known."""
+        return self._last_writer.get(alloc_id)

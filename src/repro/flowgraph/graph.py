@@ -1,0 +1,237 @@
+"""The value flow graph model (Definition 5.1).
+
+A directed graph ``G = (V, E, v_host)``:
+
+- each vertex is a GPU API invocation (allocation, memory copy, memory
+  set, or kernel launch); vertices with the same calling context are
+  merged and count their invocations;
+- an edge ``e_(i,j,k)`` runs from the last writer ``v_i`` of data object
+  ``D_k`` to a vertex ``v_j`` that reads or writes ``D_k``; it is
+  labelled with the operation ``v_j`` performs;
+- ``v_host`` stands for host memory: host-to-device copies get a
+  *source* edge from it, device-to-host copies a *sink* edge to it.
+
+Edges carry the measurements the GUI encodes visually: bytes accessed
+(edge thickness) and the redundant fraction from the coarse analysis
+(edge colour).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import AnalysisError
+from repro.utils.callpath import CallPath
+
+#: The distinguished host vertex id.
+HOST_VERTEX_ID = 0
+
+
+class VertexKind(enum.Enum):
+    """What kind of GPU API a vertex represents (shapes in Figure 2)."""
+
+    HOST = "host"          # the v_host pseudo-vertex
+    ALLOC = "alloc"        # rectangle
+    MEMCPY = "memcpy"      # circle
+    MEMSET = "memset"      # circle
+    KERNEL = "kernel"      # oval
+
+
+class EdgeKind(enum.Enum):
+    """Operation the destination vertex performs on the object."""
+
+    READ = "read"
+    WRITE = "write"
+    SOURCE = "source"  # host -> device transfer (e_host,i,k)
+    SINK = "sink"      # device -> host transfer (e_i,host,k)
+
+
+@dataclass
+class Vertex:
+    """A (context-merged) GPU API invocation."""
+
+    vid: int
+    kind: VertexKind
+    name: str
+    call_path: Optional[CallPath] = None
+    invocations: int = 0
+    #: Modelled execution time accumulated over invocations (importance
+    #: factor option per the paper).
+    time_s: float = 0.0
+    #: Semantic operator scope (repro.gpu.annotations), when annotated.
+    operator: Tuple[str, ...] = ()
+
+    @property
+    def importance(self) -> float:
+        """Default importance factor I(v): number of invocations."""
+        return float(self.invocations)
+
+
+@dataclass
+class Edge:
+    """A value-flow edge ``e_(i,j,k)`` (context-merged, per op kind)."""
+
+    src: int
+    dst: int
+    #: Vertex id of the allocation that created the data object D_k.
+    alloc_vid: int
+    kind: EdgeKind
+    bytes_accessed: int = 0
+    count: int = 0
+    #: Largest unchanged-fraction observed for writes over this edge
+    #: (None when the coarse analysis did not measure it).
+    redundant_fraction: Optional[float] = None
+
+    @property
+    def key(self) -> Tuple[int, int, int, EdgeKind]:
+        """The merge identity of the edge."""
+        return (self.src, self.dst, self.alloc_vid, self.kind)
+
+    @property
+    def importance(self) -> float:
+        """Default importance factor I(e): bytes accessed."""
+        return float(self.bytes_accessed)
+
+
+class ValueFlowGraph:
+    """Mutable value flow graph with context-sensitive vertex merging."""
+
+    def __init__(self):
+        self._vertices: Dict[int, Vertex] = {}
+        self._edges: Dict[Tuple[int, int, int, EdgeKind], Edge] = {}
+        #: merge key -> vid (context sensitivity: one vertex per calling
+        #: context and API kind/name).
+        self._merge_index: Dict[Tuple, int] = {}
+        self._next_vid = HOST_VERTEX_ID + 1
+        host = Vertex(vid=HOST_VERTEX_ID, kind=VertexKind.HOST, name="host")
+        self._vertices[HOST_VERTEX_ID] = host
+
+    # -- vertices ------------------------------------------------------------
+
+    @property
+    def host(self) -> Vertex:
+        """The distinguished v_host vertex."""
+        return self._vertices[HOST_VERTEX_ID]
+
+    def vertex(self, vid: int) -> Vertex:
+        """Vertex by id; raises AnalysisError on unknown ids."""
+        try:
+            return self._vertices[vid]
+        except KeyError:
+            raise AnalysisError(f"no vertex with id {vid}") from None
+
+    def vertices(self) -> List[Vertex]:
+        """All vertices, by id."""
+        return [self._vertices[vid] for vid in sorted(self._vertices)]
+
+    def merge_vertex(
+        self,
+        kind: VertexKind,
+        name: str,
+        call_path: Optional[CallPath],
+    ) -> Vertex:
+        """Get-or-create the vertex for (kind, name, calling context)."""
+        key = (kind, name, call_path)
+        vid = self._merge_index.get(key)
+        if vid is None:
+            vid = self._next_vid
+            self._next_vid += 1
+            self._merge_index[key] = vid
+            self._vertices[vid] = Vertex(
+                vid=vid, kind=kind, name=name, call_path=call_path
+            )
+        return self._vertices[vid]
+
+    # -- edges ------------------------------------------------------------------
+
+    def edges(self) -> List[Edge]:
+        """All edges, in deterministic order."""
+        return [
+            self._edges[key]
+            for key in sorted(self._edges, key=lambda k: (k[0], k[1], k[2], k[3].value))
+        ]
+
+    def record_edge(
+        self,
+        src: int,
+        dst: int,
+        alloc_vid: int,
+        kind: EdgeKind,
+        nbytes: int = 0,
+        redundant_fraction: Optional[float] = None,
+    ) -> Edge:
+        """Accumulate one observation onto the (merged) edge."""
+        for vid in (src, dst):
+            if vid not in self._vertices:
+                raise AnalysisError(f"edge references unknown vertex {vid}")
+        key = (src, dst, alloc_vid, kind)
+        edge = self._edges.get(key)
+        if edge is None:
+            edge = Edge(src=src, dst=dst, alloc_vid=alloc_vid, kind=kind)
+            self._edges[key] = edge
+        edge.bytes_accessed += nbytes
+        edge.count += 1
+        if redundant_fraction is not None:
+            if (
+                edge.redundant_fraction is None
+                or redundant_fraction > edge.redundant_fraction
+            ):
+                edge.redundant_fraction = redundant_fraction
+        return edge
+
+    # -- queries -------------------------------------------------------------------
+
+    def out_edges(self, vid: int) -> List[Edge]:
+        """Edges leaving a vertex."""
+        return [e for e in self._edges.values() if e.src == vid]
+
+    def in_edges(self, vid: int) -> List[Edge]:
+        """Edges entering a vertex."""
+        return [e for e in self._edges.values() if e.dst == vid]
+
+    def edges_for_object(self, alloc_vid: int) -> List[Edge]:
+        """All edges whose data object was allocated at ``alloc_vid``."""
+        return [e for e in self._edges.values() if e.alloc_vid == alloc_vid]
+
+    def objects_touched_by(self, vid: int) -> List[int]:
+        """Alloc-vertex ids of objects the vertex reads or writes."""
+        allocs = {
+            e.alloc_vid
+            for e in self._edges.values()
+            if e.dst == vid or e.src == vid
+        }
+        return sorted(allocs)
+
+    @property
+    def num_vertices(self) -> int:
+        """Vertex count (including v_host)."""
+        return len(self._vertices)
+
+    @property
+    def num_edges(self) -> int:
+        """Edge count."""
+        return len(self._edges)
+
+    # -- construction of filtered copies ----------------------------------------
+
+    def subgraph(self, edges: Iterable[Edge], extra_vertices: Iterable[int] = ()) -> "ValueFlowGraph":
+        """Build a new graph containing ``edges`` plus incident vertices.
+
+        Vertex ids are preserved so subgraph vertices can still be looked
+        up in pattern profiles by id.
+        """
+        sub = ValueFlowGraph.__new__(ValueFlowGraph)
+        sub._vertices = {HOST_VERTEX_ID: self._vertices[HOST_VERTEX_ID]}
+        sub._edges = {}
+        sub._merge_index = {}
+        sub._next_vid = self._next_vid
+        for edge in edges:
+            sub._edges[edge.key] = edge
+            for vid in (edge.src, edge.dst, edge.alloc_vid):
+                if vid in self._vertices:
+                    sub._vertices[vid] = self._vertices[vid]
+        for vid in extra_vertices:
+            sub._vertices[vid] = self.vertex(vid)
+        return sub

@@ -1,0 +1,45 @@
+"""Important graphs (Definition 5.3).
+
+``G_I`` keeps every edge with importance ``I(e) >= I_e`` and every
+vertex that is on a kept edge or has ``I(v) >= I_v``.  The defaults
+follow the paper: ``I(e)`` is bytes accessed on the edge and ``I(v)``
+is the vertex's invocation count.  The paper trims LAMMPS from 660
+nodes / 1258 edges to 132 nodes / 97 edges this way.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.flowgraph.graph import Edge, ValueFlowGraph, Vertex
+
+
+def important_graph(
+    graph: ValueFlowGraph,
+    edge_threshold: float,
+    vertex_threshold: float,
+    edge_importance: Optional[Callable[[Edge], float]] = None,
+    vertex_importance: Optional[Callable[[Vertex], float]] = None,
+) -> ValueFlowGraph:
+    """Prune ``graph`` to its important subgraph.
+
+    Parameters
+    ----------
+    edge_threshold:
+        ``I_e`` — minimum edge importance to keep an edge.
+    vertex_threshold:
+        ``I_v`` — minimum vertex importance to keep a vertex not on any
+        kept edge.
+    edge_importance / vertex_importance:
+        User-defined metrics ``I(x)``; default to bytes accessed and
+        invocation count respectively.
+    """
+    edge_metric = edge_importance or (lambda e: e.importance)
+    vertex_metric = vertex_importance or (lambda v: v.importance)
+    kept_edges = [e for e in graph.edges() if edge_metric(e) >= edge_threshold]
+    extra = [
+        v.vid
+        for v in graph.vertices()
+        if vertex_metric(v) >= vertex_threshold
+    ]
+    return graph.subgraph(kept_edges, extra_vertices=extra)

@@ -1,0 +1,62 @@
+"""Vertex slice graphs (Definition 5.2).
+
+``G_B(v_u)`` keeps, for each data object that ``v_u`` touches, exactly
+the edges of that object's flow that lie on a path reaching ``v_u`` or
+reachable from ``v_u``.  Vertices that neither affect ``v_u``'s value
+patterns nor are affected by it disappear (Figure 3d).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from typing import Dict, List, Set
+
+from repro.flowgraph.graph import Edge, ValueFlowGraph
+
+
+def _reachable(
+    adjacency: Dict[int, List[int]], start: int
+) -> Set[int]:
+    """Vertices reachable from ``start`` (inclusive) over ``adjacency``."""
+    seen = {start}
+    queue = deque([start])
+    while queue:
+        node = queue.popleft()
+        for nxt in adjacency.get(node, ()):
+            if nxt not in seen:
+                seen.add(nxt)
+                queue.append(nxt)
+    return seen
+
+
+def vertex_slice(graph: ValueFlowGraph, target_vid: int) -> ValueFlowGraph:
+    """Compute the vertex slice graph ``G_B(v_u)`` for ``target_vid``.
+
+    For every object ``D_k`` that the target reads or writes, the slice
+    keeps the ``D_k`` edges on paths through the target: an edge
+    ``(i -> j)`` over ``D_k`` survives iff ``j`` reaches the target or
+    the target reaches ``i`` within the ``D_k`` flow (endpoints count as
+    reaching themselves, so edges incident to the target survive).
+    """
+    graph.vertex(target_vid)  # validate
+    touched = set(graph.objects_touched_by(target_vid))
+    kept: List[Edge] = []
+    # Group edges per object so reachability stays within one object's
+    # flow ("a valid path that consists of edges that read or write
+    # D_k" — paths may not hop between objects).
+    per_object: Dict[int, List[Edge]] = defaultdict(list)
+    for edge in graph.edges():
+        if edge.alloc_vid in touched:
+            per_object[edge.alloc_vid].append(edge)
+    for alloc_vid, edges in per_object.items():
+        forward: Dict[int, List[int]] = defaultdict(list)
+        backward: Dict[int, List[int]] = defaultdict(list)
+        for edge in edges:
+            forward[edge.src].append(edge.dst)
+            backward[edge.dst].append(edge.src)
+        reach_from_target = _reachable(forward, target_vid)
+        reach_to_target = _reachable(backward, target_vid)
+        for edge in edges:
+            if edge.dst in reach_to_target or edge.src in reach_from_target:
+                kept.append(edge)
+    return graph.subgraph(kept, extra_vertices=[target_vid])

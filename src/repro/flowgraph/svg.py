@@ -1,0 +1,175 @@
+"""Self-contained SVG rendering of value flow graphs.
+
+The paper's GUI renders graphviz SVG in a browser with hover boxes
+showing each vertex's calling context (Figure 2).  This module produces
+an equivalent artifact with no external dependency: a layered layout
+(Kahn ordering with cycle tolerance), the paper's shape/colour/width
+encoding, and ``<title>`` elements so hovering a vertex in any browser
+shows its calling context.
+"""
+
+from __future__ import annotations
+
+import html
+from collections import defaultdict
+from typing import Dict, List, Tuple
+
+from repro.flowgraph.graph import Edge, ValueFlowGraph, Vertex, VertexKind
+from repro.flowgraph.render import _edge_color, _edge_penwidth
+
+_LAYER_HEIGHT = 110
+_NODE_SPACING = 150
+_MARGIN = 60
+_NODE_W = 110
+_NODE_H = 40
+
+
+def _assign_layers(graph: ValueFlowGraph) -> Dict[int, int]:
+    """Longest-path layering via Kahn's algorithm; vertices on cycles
+    (self-loops included) fall back to their predecessors' layer + 1."""
+    vids = [v.vid for v in graph.vertices()]
+    indegree = {vid: 0 for vid in vids}
+    successors: Dict[int, List[int]] = defaultdict(list)
+    for edge in graph.edges():
+        if edge.src == edge.dst:
+            continue
+        successors[edge.src].append(edge.dst)
+        indegree[edge.dst] += 1
+    layer = {vid: 0 for vid in vids}
+    ready = [vid for vid in vids if indegree[vid] == 0]
+    seen = 0
+    while ready:
+        vid = ready.pop()
+        seen += 1
+        for nxt in successors[vid]:
+            layer[nxt] = max(layer[nxt], layer[vid] + 1)
+            indegree[nxt] -= 1
+            if indegree[nxt] == 0:
+                ready.append(nxt)
+    if seen < len(vids):
+        # Cycle remnants: place after the deepest placed predecessor.
+        placed = {vid for vid in vids if indegree[vid] == 0}
+        for edge in graph.edges():
+            if edge.dst not in placed:
+                layer[edge.dst] = max(layer[edge.dst], layer[edge.src] + 1)
+    return layer
+
+
+def _positions(graph: ValueFlowGraph) -> Dict[int, Tuple[float, float]]:
+    layers = _assign_layers(graph)
+    by_layer: Dict[int, List[int]] = defaultdict(list)
+    for vid, depth in layers.items():
+        by_layer[depth].append(vid)
+    positions = {}
+    for depth in sorted(by_layer):
+        row = sorted(by_layer[depth])
+        for column, vid in enumerate(row):
+            positions[vid] = (
+                _MARGIN + column * _NODE_SPACING + _NODE_W / 2,
+                _MARGIN + depth * _LAYER_HEIGHT + _NODE_H / 2,
+            )
+    return positions
+
+
+def _node_svg(vertex: Vertex, x: float, y: float) -> str:
+    label = html.escape(f"{vertex.vid}: {vertex.name}"[:20])
+    sub = f"x{vertex.invocations}"
+    tooltip = html.escape(
+        vertex.call_path.describe(4) if vertex.call_path else vertex.name
+    )
+    half_w, half_h = _NODE_W / 2, _NODE_H / 2
+    if vertex.kind is VertexKind.ALLOC:
+        shape = (
+            f'<rect x="{x - half_w:.0f}" y="{y - half_h:.0f}" '
+            f'width="{_NODE_W}" height="{_NODE_H}" rx="3" '
+            f'fill="#dbe9f6" stroke="#2b5c8a"/>'
+        )
+    elif vertex.kind in (VertexKind.MEMCPY, VertexKind.MEMSET):
+        shape = (
+            f'<circle cx="{x:.0f}" cy="{y:.0f}" r="{half_h + 4:.0f}" '
+            f'fill="#fdf2d0" stroke="#927608"/>'
+        )
+    elif vertex.kind is VertexKind.HOST:
+        points = (
+            f"{x:.0f},{y - half_h - 6:.0f} {x + half_w:.0f},{y:.0f} "
+            f"{x:.0f},{y + half_h + 6:.0f} {x - half_w:.0f},{y:.0f}"
+        )
+        shape = f'<polygon points="{points}" fill="#eee" stroke="#555"/>'
+    else:  # KERNEL
+        shape = (
+            f'<ellipse cx="{x:.0f}" cy="{y:.0f}" rx="{half_w:.0f}" '
+            f'ry="{half_h:.0f}" fill="#e4f3e2" stroke="#2e7d32"/>'
+        )
+    return (
+        f"<g><title>{tooltip}</title>{shape}"
+        f'<text x="{x:.0f}" y="{y - 2:.0f}" text-anchor="middle" '
+        f'font-size="10">{label}</text>'
+        f'<text x="{x:.0f}" y="{y + 12:.0f}" text-anchor="middle" '
+        f'font-size="9" fill="#666">{sub}</text></g>'
+    )
+
+
+def _edge_svg(edge: Edge, positions: Dict[int, Tuple[float, float]]) -> str:
+    x1, y1 = positions[edge.src]
+    x2, y2 = positions[edge.dst]
+    color = _edge_color(edge)
+    width = _edge_penwidth(edge)
+    label = edge.kind.value
+    if edge.redundant_fraction is not None:
+        label += f" {edge.redundant_fraction:.0%}"
+    tooltip = html.escape(
+        f"{label}: {edge.bytes_accessed} bytes over {edge.count} invocations"
+    )
+    if edge.src == edge.dst:
+        # Self loop: a small arc beside the node.
+        path = (
+            f'<path d="M {x1 + 40:.0f} {y1 - 10:.0f} '
+            f"C {x1 + 95:.0f} {y1 - 35:.0f}, {x1 + 95:.0f} {y1 + 35:.0f}, "
+            f'{x1 + 40:.0f} {y1 + 10:.0f}" fill="none" '
+            f'stroke="{color}" stroke-width="{width:.1f}"/>'
+        )
+    else:
+        # Slight curve so opposite edges do not overlap.
+        mx, my = (x1 + x2) / 2 + 18, (y1 + y2) / 2
+        path = (
+            f'<path d="M {x1:.0f} {y1:.0f} Q {mx:.0f} {my:.0f} '
+            f'{x2:.0f} {y2:.0f}" fill="none" stroke="{color}" '
+            f'stroke-width="{width:.1f}" marker-end="url(#arrow)"/>'
+        )
+    return f"<g><title>{tooltip}</title>{path}</g>"
+
+
+def render_svg(graph: ValueFlowGraph, title: str = "value flow graph") -> str:
+    """Render the graph as a standalone SVG document."""
+    drawable = [
+        v
+        for v in graph.vertices()
+        if v.kind is not VertexKind.HOST
+        or graph.in_edges(v.vid)
+        or graph.out_edges(v.vid)
+    ]
+    positions = _positions(graph)
+    xs = [positions[v.vid][0] for v in drawable] or [0]
+    ys = [positions[v.vid][1] for v in drawable] or [0]
+    width = max(xs) + _MARGIN + _NODE_W
+    height = max(ys) + _MARGIN + _NODE_H
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0f}" '
+        f'height="{height:.0f}" viewBox="0 0 {width:.0f} {height:.0f}" '
+        f'font-family="sans-serif">',
+        "<defs><marker id='arrow' viewBox='0 0 10 10' refX='9' refY='5' "
+        "markerWidth='7' markerHeight='7' orient='auto-start-reverse'>"
+        "<path d='M 0 0 L 10 5 L 0 10 z' fill='#444'/></marker></defs>",
+        f'<text x="{_MARGIN}" y="24" font-size="14" font-weight="bold">'
+        f"{html.escape(title)}</text>",
+    ]
+    drawable_ids = {v.vid for v in drawable}
+    for edge in graph.edges():
+        if edge.src in drawable_ids and edge.dst in drawable_ids:
+            parts.append(_edge_svg(edge, positions))
+    for vertex in drawable:
+        x, y = positions[vertex.vid]
+        parts.append(_node_svg(vertex, x, y))
+    parts.append("</svg>")
+    return "\n".join(parts)

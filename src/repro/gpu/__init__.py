@@ -1,0 +1,44 @@
+"""Simulated GPU substrate.
+
+This package stands in for the NVIDIA hardware + CUDA runtime the paper
+measures on.  It provides:
+
+- :mod:`repro.gpu.dtypes` — device scalar types;
+- :mod:`repro.gpu.memory` — a byte-addressed global memory with an
+  allocator, so data objects have real addresses and sizes;
+- :mod:`repro.gpu.kernel` — kernels written against a vectorized
+  :class:`~repro.gpu.kernel.KernelContext` whose every load/store emits
+  an access record, standing in for Sanitizer-API instrumentation;
+- :mod:`repro.gpu.runtime` — a CUDA-like API (malloc/memcpy/memset/
+  launch) that publishes events on a bus, which the ValueExpert
+  collector subscribes to (standing in for API interception);
+- :mod:`repro.gpu.timing` — analytic cost models for the paper's two
+  platforms (RTX 2080 Ti, A100).
+"""
+
+from repro.gpu.accesses import AccessKind, AccessRecord
+from repro.gpu.device import Device
+from repro.gpu.dtypes import DType
+from repro.gpu.kernel import Kernel, KernelContext, kernel
+from repro.gpu.memory import Allocation, DeviceMemory
+from repro.gpu.runtime import GpuRuntime, HostArray, MemcpyKind
+from repro.gpu.timing import KernelStats, Platform, RTX_2080_TI, A100
+
+__all__ = [
+    "AccessKind",
+    "AccessRecord",
+    "Allocation",
+    "Device",
+    "DeviceMemory",
+    "DType",
+    "GpuRuntime",
+    "HostArray",
+    "Kernel",
+    "KernelContext",
+    "KernelStats",
+    "kernel",
+    "MemcpyKind",
+    "Platform",
+    "RTX_2080_TI",
+    "A100",
+]

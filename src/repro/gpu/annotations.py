@@ -1,0 +1,38 @@
+"""Semantic operator annotations (the paper's §9 future work).
+
+"We plan to add more semantic information into ValueExpert's
+performance reports ... For instance, we can integrate the
+layer/operator annotations in deep learning applications."
+
+Workload code wraps regions in :func:`annotate` scopes::
+
+    with annotate(rt, "conv1"):
+        rt.launch(gemm, ...)
+        with annotate(rt, "bias"):
+            rt.launch(add_bias, ...)
+
+Every GPU API issued inside the scope carries the (nested) operator
+path; the analyzers attach it to vertices and pattern hits, so reports
+can say "the redundant fill is inside conv1/bias" even when the call
+path alone is opaque (the Python-frontend problem §9 names).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, Tuple
+
+
+@contextlib.contextmanager
+def annotate(runtime, operator: str) -> Iterator[None]:
+    """Tag all GPU APIs issued in this scope with an operator name."""
+    runtime.push_annotation(operator)
+    try:
+        yield
+    finally:
+        runtime.pop_annotation()
+
+
+def format_scope(scope: Tuple[str, ...]) -> str:
+    """Render a nested operator scope as ``outer/inner``."""
+    return "/".join(scope)

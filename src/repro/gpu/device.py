@@ -1,0 +1,70 @@
+"""The simulated GPU device.
+
+A :class:`Device` owns a global memory arena and a small shared-memory
+arena.  The paper treats the whole of shared memory as a single data
+object (Section 5.1, "Since there is no explicit allocation function for
+objects on GPU shared memory, ValueExpert treats the entire shared
+memory as a single object"); the device mirrors that by exposing one
+shared-memory allocation per kernel launch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import InvalidValueError
+from repro.gpu.dtypes import DType
+from repro.gpu.memory import Allocation, DeviceMemory
+
+#: Base device address of the (per-launch) shared-memory arena.
+SHARED_BASE = 0x7E0000000000
+
+
+@dataclass(frozen=True)
+class DeviceConfig:
+    """Static device properties relevant to the simulation."""
+
+    name: str = "sim-gpu"
+    sm_count: int = 72
+    warp_size: int = 32
+    max_threads_per_block: int = 1024
+    global_memory_bytes: int = 64 * 1024 * 1024
+    shared_memory_bytes: int = 48 * 1024
+
+
+class Device:
+    """A simulated GPU: global memory, shared memory, and geometry limits."""
+
+    def __init__(self, config: DeviceConfig = DeviceConfig()):
+        self.config = config
+        self.memory = DeviceMemory(config.global_memory_bytes)
+        # Shared memory lives in its own arena with a disjoint address
+        # base so its addresses never collide with global data objects.
+        self._shared_arena = DeviceMemory(
+            max(config.shared_memory_bytes, 4096), base=SHARED_BASE
+        )
+
+    def validate_geometry(self, grid: int, block: int) -> None:
+        """Reject malformed launch geometry."""
+        if grid <= 0 or block <= 0:
+            raise InvalidValueError(
+                f"grid and block must be positive (got grid={grid}, block={block})"
+            )
+        if block > self.config.max_threads_per_block:
+            raise InvalidValueError(
+                f"block size {block} exceeds device limit "
+                f"{self.config.max_threads_per_block}"
+            )
+
+    def shared_alloc(self, nbytes: int, dtype: DType, label: str) -> Allocation:
+        """Carve a per-launch shared-memory object."""
+        if nbytes > self.config.shared_memory_bytes:
+            raise InvalidValueError(
+                f"shared allocation of {nbytes} bytes exceeds device limit "
+                f"{self.config.shared_memory_bytes}"
+            )
+        return self._shared_arena.malloc(nbytes, dtype=dtype, label=label)
+
+    def shared_free(self, alloc: Allocation) -> None:
+        """Release a per-launch shared-memory object."""
+        self._shared_arena.free(alloc)

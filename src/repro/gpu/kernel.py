@@ -1,0 +1,334 @@
+"""Simulated GPU kernels and the instrumented execution context.
+
+Kernels are plain Python functions decorated with :func:`kernel`.  They
+receive a :class:`KernelContext` whose vectorized ``load``/``store``
+methods perform the memory access for every active thread at once *and*
+emit one :class:`~repro.gpu.accesses.AccessRecord` per executed
+instruction — the exact information NVIDIA's Sanitizer API callbacks
+deliver in the paper (PC, effective address, access size, raw value, per
+thread).
+
+The PC of a memory instruction is derived from its Python source line:
+each distinct (file, line) that issues a load/store in a kernel gets a
+stable 16-byte-spaced PC inside the kernel's code region.  The same
+table doubles as the binary's line-mapping section, which the offline
+analyzer uses for source attribution.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import KernelLaunchError
+from repro.gpu.accesses import AccessKind, AccessRecord
+from repro.gpu.dtypes import DType, unsigned_of_width
+from repro.gpu.memory import Allocation
+from repro.gpu.timing import KernelStats
+
+#: Spacing between kernel code regions in the virtual address space.
+_CODE_REGION = 0x100000
+
+#: SASS instructions are 16 bytes on Volta and later.
+_INSTR_BYTES = 16
+
+_next_code_base = [0x100000000]
+
+
+@dataclass
+class Kernel:
+    """A registered GPU kernel: entry function plus code-region metadata."""
+
+    name: str
+    fn: Callable[..., None]
+    code_base: int
+    #: (filename, lineno) -> pc, filled lazily as instructions execute.
+    _pc_table: Dict[Tuple[str, int], int] = field(default_factory=dict)
+    #: pc -> (filename, lineno) — the simulated line-mapping section.
+    line_map: Dict[int, Tuple[str, int]] = field(default_factory=dict)
+    #: Optional SASS-like binary (a repro.binary.module.GpuFunction) for
+    #: offline access-type slicing; its memory instructions correspond,
+    #: in program order, to this kernel's instrumentation sites.
+    binary: Optional[object] = None
+
+    def pc_for_site(self, filename: str, lineno: int) -> int:
+        """Return (allocating if new) the PC of the call site."""
+        key = (filename, lineno)
+        pc = self._pc_table.get(key)
+        if pc is None:
+            pc = self.code_base + len(self._pc_table) * _INSTR_BYTES
+            self._pc_table[key] = pc
+            self.line_map[pc] = key
+        return pc
+
+    def __call__(self, ctx: "KernelContext", *args) -> None:
+        self.fn(ctx, *args)
+
+
+def kernel(name: Optional[str] = None) -> Callable[[Callable], Kernel]:
+    """Decorator registering a function as a simulated GPU kernel.
+
+    Example::
+
+        @kernel("fill_kernel")
+        def fill_kernel(ctx, out, value):
+            tid = ctx.global_ids
+            ctx.store(out, tid, np.full(tid.size, value, out.dtype.np_dtype))
+    """
+
+    def decorate(fn: Callable) -> Kernel:
+        """Wrap the function in a Kernel with a fresh code region."""
+        base = _next_code_base[0]
+        _next_code_base[0] += _CODE_REGION
+        return Kernel(name=name or fn.__name__, fn=fn, code_base=base)
+
+    return decorate
+
+
+class KernelContext:
+    """Per-launch execution context with instrumented memory operations.
+
+    One context is created per kernel launch by the runtime.  Threads are
+    represented *vectorized*: ``global_ids`` is the vector of all thread
+    ids in the launch, and each ``load``/``store`` call is one executed
+    instruction across those threads (callers pass per-thread element
+    indices, typically computed from ``global_ids``).
+
+    Divergence is expressed by indexing: a thread that does not execute
+    an instruction is simply absent from that instruction's index vector.
+    """
+
+    def __init__(
+        self,
+        kernel_obj: Kernel,
+        grid: int,
+        block: int,
+        device,
+        instrument: bool = False,
+        sampled_blocks: Optional[np.ndarray] = None,
+    ):
+        self.kernel = kernel_obj
+        self.grid = grid
+        self.block = block
+        self.device = device
+        self.instrument = instrument
+        #: Boolean mask over blocks: which blocks are sampled for
+        #: fine-grained recording (block sampling, paper Section 6.2).
+        #: ``None`` means every block is recorded.
+        self._sampled_blocks = sampled_blocks
+        self.records: List[AccessRecord] = []
+        self.stats = KernelStats(threads=grid * block)
+        #: alloc_id -> (Allocation, bytes_read, bytes_written); tracked
+        #: even when not instrumenting, so the runtime can report which
+        #: objects a launch touched.
+        self.touched: Dict[int, List] = {}
+        self._shared_allocs: List[Allocation] = []
+
+    # -- thread geometry ---------------------------------------------------
+
+    @property
+    def nthreads(self) -> int:
+        """Total threads in the launch."""
+        return self.grid * self.block
+
+    @property
+    def global_ids(self) -> np.ndarray:
+        """Vector of all global thread ids, ``[0, grid*block)``."""
+        return np.arange(self.nthreads, dtype=np.int64)
+
+    def block_of(self, tids: np.ndarray) -> np.ndarray:
+        """Block id of each thread id."""
+        return np.asarray(tids, dtype=np.int64) // self.block
+
+    def thread_in_block(self, tids: np.ndarray) -> np.ndarray:
+        """Thread index within its block for each thread id."""
+        return np.asarray(tids, dtype=np.int64) % self.block
+
+    # -- memory instructions -----------------------------------------------
+
+    def load(
+        self,
+        alloc: Allocation,
+        indices: np.ndarray,
+        tids: Optional[np.ndarray] = None,
+        dtype: Optional[DType] = None,
+    ) -> np.ndarray:
+        """Execute a vectorized load instruction and return the values.
+
+        Parameters
+        ----------
+        alloc:
+            The data object accessed.
+        indices:
+            Per-thread element indices into ``alloc``.
+        tids:
+            Per-thread global thread ids (defaults to ``0..n-1`` matching
+            ``indices``); used for block sampling attribution.
+        dtype:
+            Declared access type.  Defaults to the allocation's element
+            type.  Passing ``None`` explicitly keeps the default; to model
+            an instruction with *unknown* type (resolved offline by
+            slicing), use :meth:`load_raw`.
+        """
+        values = alloc.read(indices)
+        self._account(alloc, AccessKind.LOAD, indices, values, tids, dtype)
+        return values
+
+    def store(
+        self,
+        alloc: Allocation,
+        indices: np.ndarray,
+        values: np.ndarray,
+        tids: Optional[np.ndarray] = None,
+        dtype: Optional[DType] = None,
+    ) -> None:
+        """Execute a vectorized store instruction."""
+        indices = np.asarray(indices)
+        values = np.broadcast_to(
+            np.asarray(values, dtype=alloc.dtype.np_dtype), indices.shape
+        )
+        alloc.write(indices, values)
+        self._account(alloc, AccessKind.STORE, indices, values, tids, dtype)
+
+    def load_untyped(
+        self,
+        alloc: Allocation,
+        indices: np.ndarray,
+        tids: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """A load whose access type is unknown at measurement time.
+
+        The record carries ``dtype=None``; the offline analyzer must
+        recover the type by bidirectional slicing over the kernel's
+        binary (paper Section 5.1).
+        """
+        values = alloc.read(indices)
+        self._account(alloc, AccessKind.LOAD, indices, values, tids, None, untyped=True)
+        return values
+
+    def store_untyped(
+        self,
+        alloc: Allocation,
+        indices: np.ndarray,
+        values: np.ndarray,
+        tids: Optional[np.ndarray] = None,
+    ) -> None:
+        """A store whose access type is unknown at measurement time."""
+        indices = np.asarray(indices)
+        values = np.broadcast_to(
+            np.asarray(values, dtype=alloc.dtype.np_dtype), indices.shape
+        )
+        alloc.write(indices, values)
+        self._account(alloc, AccessKind.STORE, indices, values, tids, None, untyped=True)
+
+    # -- shared memory -------------------------------------------------------
+
+    def shared_array(self, nelems: int, dtype: DType) -> Allocation:
+        """Allocate a per-launch shared-memory array.
+
+        Shared memory is one data object per the paper; loads/stores to it
+        go through :meth:`load`/:meth:`store` like any allocation.
+        """
+        alloc = self.device.shared_alloc(
+            nelems * dtype.itemsize, dtype, label=f"{self.kernel.name}.shared"
+        )
+        self._shared_allocs.append(alloc)
+        return alloc
+
+    def release_shared(self) -> None:
+        """Free per-launch shared memory (called by the runtime)."""
+        for alloc in self._shared_allocs:
+            self.device.shared_free(alloc)
+        self._shared_allocs.clear()
+
+    # -- compute accounting ---------------------------------------------------
+
+    def flops(self, count: float, dtype: DType = DType.FLOAT32) -> None:
+        """Account floating-point work (for the timing model)."""
+        if dtype == DType.FLOAT64:
+            self.stats.fp64_ops += count
+        else:
+            self.stats.fp32_ops += count
+
+    def int_ops(self, count: float) -> None:
+        """Account integer/address work (for the timing model)."""
+        self.stats.int_ops += count
+
+    # -- internals ---------------------------------------------------------------
+
+    def _account(
+        self,
+        alloc: Allocation,
+        kind: AccessKind,
+        indices: np.ndarray,
+        values: np.ndarray,
+        tids: Optional[np.ndarray],
+        dtype: Optional[DType],
+        untyped: bool = False,
+    ) -> None:
+        indices = np.asarray(indices, dtype=np.int64)
+        n = indices.size
+        itemsize = alloc.dtype.itemsize
+        if kind is AccessKind.LOAD:
+            self.stats.loads += n
+            self.stats.bytes_loaded += n * itemsize
+        else:
+            self.stats.stores += n
+            self.stats.bytes_stored += n * itemsize
+        entry = self.touched.get(alloc.alloc_id)
+        if entry is None:
+            entry = [alloc, 0, 0]
+            self.touched[alloc.alloc_id] = entry
+        if kind is AccessKind.LOAD:
+            entry[1] += n * itemsize
+        else:
+            entry[2] += n * itemsize
+        if not self.instrument or n == 0:
+            return
+
+        if tids is None:
+            tids = np.arange(n, dtype=np.int64)
+        else:
+            tids = np.asarray(tids, dtype=np.int64)
+            if tids.size != n:
+                raise KernelLaunchError(
+                    f"tids ({tids.size}) must be parallel to indices ({n})"
+                )
+        blocks = self.block_of(tids)
+        if self._sampled_blocks is not None:
+            mask = self._sampled_blocks[blocks]
+            if not mask.any():
+                return
+            indices = indices[mask]
+            tids = tids[mask]
+            blocks = blocks[mask]
+            values = np.asarray(values)[mask]
+
+        caller = sys._getframe(2)
+        pc = self.kernel.pc_for_site(caller.f_code.co_filename, caller.f_lineno)
+        addresses = (
+            np.uint64(alloc.address) + indices.astype(np.uint64) * np.uint64(itemsize)
+        )
+        record_dtype = None if untyped else (dtype or alloc.dtype)
+        values = np.asarray(values)
+        if untyped:
+            # Untyped records carry raw bit patterns; the offline
+            # analyzer reinterprets them after slicing recovers the type.
+            values = np.ascontiguousarray(values).view(
+                unsigned_of_width(values.dtype.itemsize)
+            )
+        self.records.append(
+            AccessRecord(
+                pc=pc,
+                kind=kind,
+                addresses=addresses,
+                values=np.asarray(values).copy(),
+                dtype=record_dtype,
+                kernel_name=self.kernel.name,
+                thread_ids=tids.copy(),
+                block_ids=blocks.copy(),
+            )
+        )

@@ -1,0 +1,497 @@
+"""CUDA-like runtime API over the simulated device.
+
+The runtime exposes the GPU APIs ValueExpert intercepts (paper Section
+4): memory allocation/free, the ``cudaMemcpy`` family, ``cudaMemset``,
+and kernel launch.  Every API call publishes *begin* and *end* events on
+a listener bus; the data collector subscribes to the bus, exactly as the
+real tool overloads the CUDA entry points.  Workload code only ever
+talks to the runtime — it never knows whether a profiler is attached.
+
+The runtime also serializes all work (the paper's collector "serializes
+concurrent GPU streams") and accumulates modelled kernel/memory time
+under the configured platform, which the speedup experiments read.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import InvalidValueError, KernelLaunchError
+from repro.gpu.accesses import AccessRecord
+from repro.gpu.device import Device
+from repro.gpu.dtypes import DType
+from repro.gpu.kernel import Kernel, KernelContext
+from repro.gpu.memory import Allocation
+from repro.gpu.timing import KernelStats, Platform, RTX_2080_TI, TimeBreakdown
+from repro.utils.callpath import CallPath, capture_call_path
+
+
+class MemcpyKind(enum.Enum):
+    """Direction of a memory copy, mirroring ``cudaMemcpyKind``."""
+
+    HOST_TO_DEVICE = "h2d"
+    DEVICE_TO_HOST = "d2h"
+    DEVICE_TO_DEVICE = "d2d"
+
+    @property
+    def over_pcie(self) -> bool:
+        """Whether the copy crosses the host-device link."""
+        return self is not MemcpyKind.DEVICE_TO_DEVICE
+
+
+@dataclass
+class HostArray:
+    """A host-side array participating in CPU<->GPU transfers.
+
+    Wrapping host buffers lets the collector see the *values* crossing
+    PCIe, which is how the duplicate-values pattern spanning CPU and GPU
+    (Darknet Inefficiency II) is detected.
+    """
+
+    data: np.ndarray
+    label: str = "host"
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the host buffer in bytes."""
+        return int(self.data.nbytes)
+
+    @property
+    def dtype(self) -> DType:
+        """Element type as a device DType."""
+        return DType.from_numpy(self.data.dtype)
+
+
+# --------------------------------------------------------------------------
+# API events
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class ApiEvent:
+    """Base class for GPU API invocation events."""
+
+    seq: int
+    call_path: CallPath
+    time_s: float = field(default=0.0)
+    #: Nested operator scope active when the API was issued (see
+    #: repro.gpu.annotations), outermost first.
+    annotation: Tuple[str, ...] = ()
+    #: CUDA stream the API was issued on (0 = the default stream).
+    stream: int = 0
+
+    @property
+    def api_name(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass
+class MallocEvent(ApiEvent):
+    alloc: Allocation = None
+
+    @property
+    def api_name(self) -> str:
+        return "cudaMalloc"
+
+
+@dataclass
+class FreeEvent(ApiEvent):
+    alloc: Allocation = None
+
+    @property
+    def api_name(self) -> str:
+        return "cudaFree"
+
+
+@dataclass
+class MemcpyEvent(ApiEvent):
+    kind: MemcpyKind = MemcpyKind.HOST_TO_DEVICE
+    nbytes: int = 0
+    dst_alloc: Optional[Allocation] = None
+    src_alloc: Optional[Allocation] = None
+    host_array: Optional[HostArray] = None
+
+    @property
+    def api_name(self) -> str:
+        return "cudaMemcpy"
+
+    @property
+    def writes(self) -> List[Allocation]:
+        return [self.dst_alloc] if self.dst_alloc is not None else []
+
+    @property
+    def reads(self) -> List[Allocation]:
+        return [self.src_alloc] if self.src_alloc is not None else []
+
+
+@dataclass
+class MemsetEvent(ApiEvent):
+    alloc: Allocation = None
+    byte_value: int = 0
+    nbytes: int = 0
+
+    @property
+    def api_name(self) -> str:
+        return "cudaMemset"
+
+
+@dataclass
+class KernelLaunchEvent(ApiEvent):
+    kernel: Kernel = None
+    grid: int = 1
+    block: int = 1
+    args: Tuple = ()
+    #: Filled at *end*: access records when instrumented, else empty.
+    records: List[AccessRecord] = field(default_factory=list)
+    stats: Optional[KernelStats] = None
+    #: (Allocation, bytes_read, bytes_written) per touched object,
+    #: available even without instrumentation.
+    touched: List[Tuple[Allocation, int, int]] = field(default_factory=list)
+    instrumented: bool = False
+    #: Boolean per-block sampling mask used, if any.
+    sampled_blocks: Optional[np.ndarray] = None
+    #: (start, end, DType) of per-launch shared-memory objects; the
+    #: paper treats the whole shared memory as one data object.
+    shared_ranges: List[Tuple[int, int, DType]] = field(default_factory=list)
+
+    @property
+    def api_name(self) -> str:
+        return "cudaLaunchKernel"
+
+    @property
+    def reads(self) -> List[Allocation]:
+        return [alloc for alloc, nread, _ in self.touched if nread > 0]
+
+    @property
+    def writes(self) -> List[Allocation]:
+        return [alloc for alloc, _, nwritten in self.touched if nwritten > 0]
+
+
+class RuntimeListener:
+    """Subscriber protocol for the runtime event bus.
+
+    Override the hooks of interest.  ``on_api_begin`` fires before the
+    API's effect (so pre-snapshots are possible) and ``on_api_end``
+    fires after (records/stats populated for launches).
+    """
+
+    #: When True, the runtime folds all streams onto one timeline while
+    #: this listener is attached (the paper's collector "serializes
+    #: concurrent GPU streams").
+    serializes_streams: bool = False
+
+    def on_api_begin(self, event: ApiEvent) -> None:  # pragma: no cover - default
+        pass
+
+    def on_api_end(self, event: ApiEvent) -> None:  # pragma: no cover - default
+        pass
+
+    def instrument_kernel(self, kernel: Kernel, grid: int, block: int) -> bool:
+        """Whether this listener wants fine-grained records for a launch."""
+        return False
+
+    def sample_blocks(self, kernel: Kernel, grid: int) -> Optional[np.ndarray]:
+        """Optional boolean mask of blocks to record (block sampling)."""
+        return None
+
+
+# --------------------------------------------------------------------------
+# Runtime
+# --------------------------------------------------------------------------
+
+
+class GpuRuntime:
+    """The CUDA-like API surface workloads program against."""
+
+    def __init__(
+        self,
+        device: Optional[Device] = None,
+        platform: Platform = RTX_2080_TI,
+    ):
+        self.device = device or Device()
+        self.platform = platform
+        self.listeners: List[RuntimeListener] = []
+        self.times = TimeBreakdown()
+        self._seq = 0
+        self.api_events: int = 0
+        #: Active semantic-annotation scope (repro.gpu.annotations).
+        self._annotations: List[str] = []
+        #: Per-stream completion clocks (concurrency model): ops on
+        #: different streams overlap; ops on one stream serialize.
+        self._stream_clock: Dict[int, float] = {}
+
+    # -- listener management ------------------------------------------------
+
+    def subscribe(self, listener: RuntimeListener) -> None:
+        """Attach a profiler/collector to the API event bus."""
+        if listener in self.listeners:
+            raise InvalidValueError("listener already subscribed")
+        self.listeners.append(listener)
+
+    def unsubscribe(self, listener: RuntimeListener) -> None:
+        """Detach a listener from the API bus."""
+        self.listeners.remove(listener)
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    # -- semantic annotations ------------------------------------------------
+
+    def push_annotation(self, operator: str) -> None:
+        """Enter an operator scope (use repro.gpu.annotations.annotate)."""
+        self._annotations.append(operator)
+
+    def pop_annotation(self) -> None:
+        """Leave the innermost operator scope."""
+        self._annotations.pop()
+
+    @property
+    def current_annotation(self) -> Tuple[str, ...]:
+        """The active operator scope, outermost first."""
+        return tuple(self._annotations)
+
+    # -- stream timing -----------------------------------------------------
+
+    @property
+    def streams_serialized(self) -> bool:
+        """Whether an attached profiler forces one timeline."""
+        return any(
+            getattr(listener, "serializes_streams", False)
+            for listener in self.listeners
+        )
+
+    def _commit_time(self, stream: int, seconds: float) -> None:
+        key = 0 if self.streams_serialized else stream
+        self._stream_clock[key] = self._stream_clock.get(key, 0.0) + seconds
+
+    @property
+    def makespan(self) -> float:
+        """Modelled wall-clock: the longest stream timeline.  With all
+        work on one stream (or a profiler attached) this equals
+        ``times.total``; with concurrent streams it is smaller."""
+        if not self._stream_clock:
+            return 0.0
+        return max(self._stream_clock.values())
+
+    def _begin(self, event: ApiEvent) -> None:
+        event.annotation = tuple(self._annotations)
+        self.api_events += 1
+        for listener in self.listeners:
+            listener.on_api_begin(event)
+
+    def _end(self, event: ApiEvent) -> None:
+        for listener in self.listeners:
+            listener.on_api_end(event)
+
+    # -- memory APIs -----------------------------------------------------------
+
+    def malloc(
+        self, nelems: int, dtype: DType = DType.FLOAT32, label: str = ""
+    ) -> Allocation:
+        """Allocate ``nelems`` elements of ``dtype`` on the device."""
+        event = MallocEvent(seq=self._next_seq(), call_path=capture_call_path())
+        self._begin(event)
+        alloc = self.device.memory.malloc(nelems * dtype.itemsize, dtype, label)
+        event.alloc = alloc
+        event.time_s = self.platform.malloc_time()
+        self.times.add_memory(event.time_s)
+        self._commit_time(event.stream, event.time_s)
+        self._end(event)
+        return alloc
+
+    def free(self, alloc: Allocation) -> None:
+        """Release a device allocation."""
+        event = FreeEvent(
+            seq=self._next_seq(), call_path=capture_call_path(), alloc=alloc
+        )
+        self._begin(event)
+        self.device.memory.free(alloc)
+        self._end(event)
+
+    def memcpy_h2d(self, dst: Allocation, src: HostArray, stream: int = 0) -> None:
+        """``cudaMemcpyAsync(..., cudaMemcpyHostToDevice, stream)``."""
+        nbytes = min(src.nbytes, dst.size)
+        event = MemcpyEvent(
+            seq=self._next_seq(),
+            call_path=capture_call_path(),
+            kind=MemcpyKind.HOST_TO_DEVICE,
+            nbytes=nbytes,
+            dst_alloc=dst,
+            host_array=src,
+            stream=stream,
+        )
+        self._begin(event)
+        count = nbytes // dst.dtype.itemsize
+        dst.write(
+            np.arange(count),
+            src.data.ravel()[:count].astype(dst.dtype.np_dtype),
+        )
+        event.time_s = self.platform.memcpy_time(nbytes, over_pcie=True)
+        self.times.add_memory(event.time_s)
+        self._commit_time(event.stream, event.time_s)
+        self._end(event)
+
+    def memcpy_d2h(self, dst: HostArray, src: Allocation, stream: int = 0) -> None:
+        """``cudaMemcpyAsync(..., cudaMemcpyDeviceToHost, stream)``."""
+        nbytes = min(dst.nbytes, src.size)
+        event = MemcpyEvent(
+            seq=self._next_seq(),
+            call_path=capture_call_path(),
+            kind=MemcpyKind.DEVICE_TO_HOST,
+            nbytes=nbytes,
+            src_alloc=src,
+            host_array=dst,
+            stream=stream,
+        )
+        self._begin(event)
+        count = nbytes // src.dtype.itemsize
+        flat = dst.data.reshape(-1)
+        flat[:count] = src.read(np.arange(count)).astype(dst.data.dtype)
+        event.time_s = self.platform.memcpy_time(nbytes, over_pcie=True)
+        self.times.add_memory(event.time_s)
+        self._commit_time(event.stream, event.time_s)
+        self._end(event)
+
+    def memcpy_d2d(self, dst: Allocation, src: Allocation) -> None:
+        """``cudaMemcpy(..., cudaMemcpyDeviceToDevice)``."""
+        nbytes = min(src.size, dst.size)
+        event = MemcpyEvent(
+            seq=self._next_seq(),
+            call_path=capture_call_path(),
+            kind=MemcpyKind.DEVICE_TO_DEVICE,
+            nbytes=nbytes,
+            dst_alloc=dst,
+            src_alloc=src,
+        )
+        self._begin(event)
+        count = nbytes // dst.dtype.itemsize
+        src_count = nbytes // src.dtype.itemsize
+        raw = src.read(np.arange(src_count)).view(np.uint8)[
+            : count * dst.dtype.itemsize
+        ]
+        dst.write(np.arange(count), raw.view(dst.dtype.np_dtype))
+        event.time_s = self.platform.memcpy_time(nbytes, over_pcie=False)
+        self.times.add_memory(event.time_s)
+        self._commit_time(event.stream, event.time_s)
+        self._end(event)
+
+    def memset(self, alloc: Allocation, byte_value: int, nbytes: Optional[int] = None) -> None:
+        """``cudaMemset``: byte-wise fill, like the real API."""
+        if not 0 <= byte_value <= 255:
+            raise InvalidValueError("memset value must be a byte (0..255)")
+        nbytes = alloc.size if nbytes is None else nbytes
+        event = MemsetEvent(
+            seq=self._next_seq(),
+            call_path=capture_call_path(),
+            alloc=alloc,
+            byte_value=byte_value,
+            nbytes=nbytes,
+        )
+        self._begin(event)
+        count = nbytes // alloc.dtype.itemsize
+        pattern = np.full(
+            count * alloc.dtype.itemsize, byte_value, dtype=np.uint8
+        ).view(alloc.dtype.np_dtype)
+        alloc.write(np.arange(count), pattern)
+        event.time_s = self.platform.memset_time(nbytes)
+        self.times.add_memory(event.time_s)
+        self._commit_time(event.stream, event.time_s)
+        self._end(event)
+
+    # -- kernel launch -----------------------------------------------------------
+
+    def launch(
+        self,
+        kernel_obj: Kernel,
+        grid: int,
+        block: int,
+        *args,
+        stream: int = 0,
+    ) -> KernelLaunchEvent:
+        """Launch a kernel over ``grid`` blocks of ``block`` threads.
+
+        ``stream`` selects the CUDA stream; kernels on distinct streams
+        overlap in the concurrency model (see :attr:`makespan`) unless
+        a profiler that serializes streams is attached."""
+        if not isinstance(kernel_obj, Kernel):
+            raise KernelLaunchError(
+                f"launch target must be a @kernel-decorated function, "
+                f"got {type(kernel_obj).__name__}"
+            )
+        self.device.validate_geometry(grid, block)
+        event = KernelLaunchEvent(
+            seq=self._next_seq(),
+            call_path=capture_call_path(),
+            kernel=kernel_obj,
+            grid=grid,
+            block=block,
+            args=args,
+            stream=stream,
+        )
+        instrument = any(
+            listener.instrument_kernel(kernel_obj, grid, block)
+            for listener in self.listeners
+        )
+        sampled = None
+        if instrument:
+            for listener in self.listeners:
+                mask = listener.sample_blocks(kernel_obj, grid)
+                if mask is not None:
+                    sampled = np.asarray(mask, dtype=bool)
+                    break
+        event.instrumented = instrument
+        event.sampled_blocks = sampled
+        self._begin(event)
+        ctx = KernelContext(
+            kernel_obj,
+            grid,
+            block,
+            self.device,
+            instrument=instrument,
+            sampled_blocks=sampled,
+        )
+        try:
+            kernel_obj(ctx, *args)
+        finally:
+            event.shared_ranges = [
+                (alloc.address, alloc.end, alloc.dtype)
+                for alloc in ctx._shared_allocs
+            ]
+            ctx.release_shared()
+        event.records = ctx.records
+        event.stats = ctx.stats
+        event.touched = [
+            (alloc, nread, nwritten)
+            for alloc, nread, nwritten in ctx.touched.values()
+        ]
+        event.time_s = self.platform.kernel_time(ctx.stats)
+        self.times.add_kernel(kernel_obj.name, event.time_s)
+        self._commit_time(event.stream, event.time_s)
+        self._end(event)
+        return event
+
+    # -- convenience ------------------------------------------------------------
+
+    def upload(
+        self, data: np.ndarray, label: str = "", dtype: Optional[DType] = None
+    ) -> Allocation:
+        """Allocate and H2D-copy ``data`` in one step (cudaMakeArray-alike)."""
+        data = np.asarray(data)
+        dev_dtype = dtype or DType.from_numpy(data.dtype)
+        alloc = self.malloc(data.size, dev_dtype, label)
+        self.memcpy_h2d(alloc, HostArray(data.ravel(), label=label or "host"))
+        return alloc
+
+    def download(self, alloc: Allocation) -> np.ndarray:
+        """D2H-copy an allocation into a fresh host array."""
+        host = HostArray(
+            np.zeros(alloc.nelems, dtype=alloc.dtype.np_dtype),
+            label=f"{alloc.label}.host",
+        )
+        self.memcpy_d2h(host, alloc)
+        return host.data

@@ -1,0 +1,45 @@
+"""Interval machinery for accelerated coarse-grained analysis (paper §6.1).
+
+Every GPU memory instruction touches a byte range ``[start, end)``.  A
+kernel generates a vast number of such intervals; ValueExpert merges
+adjacent/overlapping intervals before moving any values off the device.
+This package provides:
+
+- :mod:`repro.intervals.sequential` — the O(N log N) sequential merge
+  the paper uses as its CPU baseline;
+- :mod:`repro.intervals.parallel` — the Figure 4 data-parallel merge
+  (lexicographic sort, +1/-1 markers, two prefix scans, scatter);
+- :mod:`repro.intervals.compaction` — the warp-level pre-compaction;
+- :mod:`repro.intervals.copyplan` — the Figure 5 copy strategies
+  (direct / min-max / segment) and the adaptive selector.
+"""
+
+from repro.intervals.interval import (
+    Interval,
+    intervals_from_accesses,
+    merge_reference,
+    total_covered_bytes,
+)
+from repro.intervals.sequential import merge_sequential
+from repro.intervals.parallel import merge_parallel
+from repro.intervals.compaction import warp_compact
+from repro.intervals.copyplan import (
+    AdaptiveCopyPolicy,
+    CopyPlan,
+    CopyStrategy,
+    plan_copy,
+)
+
+__all__ = [
+    "AdaptiveCopyPolicy",
+    "CopyPlan",
+    "CopyStrategy",
+    "Interval",
+    "intervals_from_accesses",
+    "merge_parallel",
+    "merge_reference",
+    "merge_sequential",
+    "plan_copy",
+    "total_covered_bytes",
+    "warp_compact",
+]

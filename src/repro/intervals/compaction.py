@@ -1,0 +1,59 @@
+"""Warp-level interval compaction (paper Section 6.1).
+
+Before running the full Figure 4 merge, ValueExpert collapses the
+intervals produced by the threads of each warp using warp primitives
+(``shfl``/``bfe``/``bfind``/``brev``): the 32 element-sized intervals of
+a coalesced warp access collapse into one or a few runs.  This is the
+"interval compaction" step that runs inside the data-processing kernel
+while the application kernel is paused.
+
+The simulation groups per-thread intervals into warp-sized chunks and
+merges runs *within each chunk only* — deliberately weaker than a full
+merge, exactly like the hardware version, so the Figure 4 pass that
+follows still has work to do.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.intervals.interval import as_interval_array
+
+WARP_SIZE = 32
+
+
+def warp_compact(intervals: Iterable, warp_size: int = WARP_SIZE) -> np.ndarray:
+    """Merge touching/overlapping intervals within each warp-sized chunk.
+
+    Interval order is preserved per the lane order within each warp; no
+    merging happens across chunk boundaries.
+    """
+    arr = as_interval_array(intervals)
+    n = arr.shape[0]
+    if n == 0:
+        return arr
+    out = []
+    for chunk_start in range(0, n, warp_size):
+        chunk = arr[chunk_start : chunk_start + warp_size]
+        # Within a warp, lanes access in arbitrary order; sort the lane
+        # intervals (the hardware does this with bitonic exchange).
+        chunk = chunk[np.argsort(chunk[:, 0], kind="stable")]
+        run_start, run_end = chunk[0]
+        for start, end in chunk[1:]:
+            if start <= run_end:
+                if end > run_end:
+                    run_end = end
+            else:
+                out.append((run_start, run_end))
+                run_start, run_end = start, end
+        out.append((run_start, run_end))
+    return np.array(out, dtype=np.uint64)
+
+
+def compaction_ratio(raw_count: int, compacted_count: int) -> float:
+    """How much the warp pass shrank the interval stream (>= 1.0)."""
+    if compacted_count <= 0:
+        return 1.0
+    return raw_count / compacted_count

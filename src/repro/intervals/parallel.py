@@ -1,0 +1,79 @@
+"""The Figure 4 data-parallel interval merge.
+
+This is the paper's key acceleration (Section 6.1).  The algorithm is
+implemented step-for-step as published, using numpy's vectorized
+primitives as the stand-in for GPU-wide parallel sort / prefix scan:
+
+1. Lexicographically sort all interval endpoints by ``(address,
+   is_end)`` so that, at equal addresses, a *start* sorts before an
+   *end* (this is what makes touching intervals merge).
+2. Initialize a ``markers`` array: +1 at interval starts, -1 at ends.
+3. Inclusive parallel prefix scan over ``markers``.  A merged interval
+   *starts* where the scanned value is 1 at a start marker, and *ends*
+   where the scanned value is 0 (necessarily an end marker).
+4. Build a ``start_flags`` array that is 1 exactly at merged starts.
+5. Exclusive prefix scan of ``start_flags`` yields each merged start's
+   output index.
+6./7. Same for merged ends.
+8./9. Scatter starts and ends into the output buffer.
+
+Every step is a data-parallel primitive (sort, map, scan, scatter), so
+the GPU implementation in the paper runs in O(log N) depth with radix
+sort; the numpy version preserves the structure and the results.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.intervals.interval import as_interval_array
+
+
+def merge_parallel(intervals: Iterable) -> np.ndarray:
+    """Merge intervals with the Figure 4 algorithm.
+
+    Returns a disjoint, sorted ``(m, 2)`` uint64 array, bit-identical to
+    :func:`repro.intervals.sequential.merge_sequential` output.
+    """
+    arr = as_interval_array(intervals)
+    n = arr.shape[0]
+    if n == 0:
+        return arr
+
+    # Step 1 — endpoint list and lexicographic sort by (address, is_end).
+    addresses = np.concatenate([arr[:, 0], arr[:, 1]])
+    is_end = np.concatenate(
+        [np.zeros(n, dtype=np.uint8), np.ones(n, dtype=np.uint8)]
+    )
+    order = np.lexsort((is_end, addresses))
+    addresses = addresses[order]
+    is_end = is_end[order]
+
+    # Step 2 — markers: +1 for starts, -1 for ends.
+    markers = np.where(is_end == 0, 1, -1).astype(np.int64)
+
+    # Step 3 — inclusive prefix scan.
+    scanned = np.cumsum(markers)
+
+    # Step 4 — merged starts: scanned value 1 at a start marker.
+    start_flags = ((scanned == 1) & (is_end == 0)).astype(np.int64)
+
+    # Step 5 — output indices of merged starts (exclusive scan).
+    start_indices = np.cumsum(start_flags) - start_flags
+
+    # Step 6 — merged ends: scanned value 0 (only ends can reach 0).
+    end_flags = (scanned == 0).astype(np.int64)
+
+    # Step 7 — output indices of merged ends (exclusive scan).
+    end_indices = np.cumsum(end_flags) - end_flags
+
+    # Steps 8/9 — scatter into the output buffer.
+    m = int(start_flags.sum())
+    out = np.empty((m, 2), dtype=np.uint64)
+    start_mask = start_flags.astype(bool)
+    end_mask = end_flags.astype(bool)
+    out[start_indices[start_mask], 0] = addresses[start_mask]
+    out[end_indices[end_mask], 1] = addresses[end_mask]
+    return out

@@ -1,0 +1,36 @@
+"""Sequential O(N log N) interval merge — the paper's CPU baseline.
+
+Section 6.1: "One could copy all intervals from the GPU to the CPU and
+perform a sequential interval merge, which has a O(N log N) complexity".
+ValueExpert replaces this with the GPU-parallel algorithm; we keep the
+sequential version both as an oracle and as the cost anchor for the
+overhead model's GVProf-style data path.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.intervals.interval import as_interval_array
+
+
+def merge_sequential(intervals: Iterable) -> np.ndarray:
+    """Sort by start, then sweep once, merging touching/overlapping runs.
+
+    Returns a disjoint, sorted ``(m, 2)`` uint64 array.
+    """
+    arr = as_interval_array(intervals)
+    if arr.shape[0] == 0:
+        return arr
+    order = np.argsort(arr[:, 0], kind="stable")
+    arr = arr[order]
+    merged = [list(arr[0])]
+    for start, end in arr[1:]:
+        if start <= merged[-1][1]:
+            if end > merged[-1][1]:
+                merged[-1][1] = end
+        else:
+            merged.append([start, end])
+    return np.array(merged, dtype=np.uint64)

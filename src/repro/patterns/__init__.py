@@ -1,0 +1,54 @@
+"""Value pattern recognition (paper Section 3 and Section 5.1).
+
+Eight patterns, two granularities:
+
+Coarse-grained (checked on value snapshots around each GPU API):
+  - redundant values — written elements unchanged by the API;
+  - duplicate values — two objects bitwise identical at some API.
+
+Fine-grained (checked on all accessed values of an object at one API):
+  - frequent values — some value exceeds an access-share threshold;
+  - single value — all accessed values identical;
+  - single zero — all accessed values are zero;
+  - heavy type — declared type wider than the values need;
+  - structured values — value linearly correlated with address;
+  - approximate values — a fine pattern appears once mantissas are
+    truncated to K bits.
+"""
+
+from repro.patterns.base import (
+    ObjectAccessView,
+    Pattern,
+    PatternConfig,
+    PatternHit,
+    SnapshotPair,
+)
+from repro.patterns.coarse import detect_duplicate_values, detect_redundant_values
+from repro.patterns.fine import (
+    detect_frequent_values,
+    detect_single_value,
+    detect_single_zero,
+)
+from repro.patterns.heavy_type import detect_heavy_type, minimal_value_type
+from repro.patterns.structured import detect_structured_values
+from repro.patterns.approximate import detect_approximate_values, truncate_mantissa
+from repro.patterns.engine import PatternEngine
+
+__all__ = [
+    "detect_approximate_values",
+    "detect_duplicate_values",
+    "detect_frequent_values",
+    "detect_heavy_type",
+    "detect_redundant_values",
+    "detect_single_value",
+    "detect_single_zero",
+    "detect_structured_values",
+    "minimal_value_type",
+    "ObjectAccessView",
+    "Pattern",
+    "PatternConfig",
+    "PatternEngine",
+    "PatternHit",
+    "SnapshotPair",
+    "truncate_mantissa",
+]

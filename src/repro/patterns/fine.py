@@ -1,0 +1,109 @@
+"""Fine-grained detectors: frequent values, single value, single zero.
+
+Definitions 3.3-3.5.  Single value and single zero are special cases of
+frequent values; all three are reported independently because each
+suggests a different optimization (conditional computation for frequent
+values; scalar contraction or sparse structures for single value/zero).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.patterns.base import (
+    ObjectAccessView,
+    Pattern,
+    PatternConfig,
+    PatternHit,
+)
+
+
+def value_histogram(values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Distinct values and their access counts, most frequent first."""
+    distinct, counts = np.unique(np.asarray(values).ravel(), return_counts=True)
+    order = np.argsort(counts)[::-1]
+    return distinct[order], counts[order]
+
+
+def detect_frequent_values(
+    view: ObjectAccessView, config: PatternConfig = PatternConfig()
+) -> Optional[PatternHit]:
+    """Definition 3.3: some value's access share exceeds threshold T."""
+    values = np.asarray(view.values).ravel()
+    if values.size < config.min_accesses:
+        return None
+    distinct, counts = value_histogram(values)
+    share = counts[0] / values.size
+    if share < config.frequent_threshold:
+        return None
+    return PatternHit(
+        pattern=Pattern.FREQUENT_VALUES,
+        object_label=view.object_label,
+        api_ref=view.api_ref,
+        metrics={
+            "top_value": distinct[0].item(),
+            "share": float(share),
+            "distinct_values": int(distinct.size),
+        },
+        detail=(
+            f"value {distinct[0]!r} accounts for {share:.1%} of "
+            f"{values.size} accesses (threshold {config.frequent_threshold:.0%})"
+        ),
+    )
+
+
+def detect_single_value(
+    view: ObjectAccessView, config: PatternConfig = PatternConfig()
+) -> Optional[PatternHit]:
+    """Definition 3.4: all accessed values are the same."""
+    values = np.asarray(view.values).ravel()
+    if values.size < config.min_accesses:
+        return None
+    first = values[0]
+    # Numeric sameness first (so +0.0 and -0.0 count as one value), with
+    # a bitwise fallback that makes uniformly-NaN data a single value.
+    with np.errstate(invalid="ignore"):
+        numerically_same = bool((values == first).all())
+    if not numerically_same:
+        bits = np.ascontiguousarray(values).view(np.uint8).reshape(values.size, -1)
+        if not (bits == bits[0]).all():
+            return None
+    return PatternHit(
+        pattern=Pattern.SINGLE_VALUE,
+        object_label=view.object_label,
+        api_ref=view.api_ref,
+        metrics={"value": first.item(), "accesses": int(values.size)},
+        detail=f"all {values.size} accesses see the value {first!r}",
+    )
+
+
+def detect_single_zero(
+    view: ObjectAccessView, config: PatternConfig = PatternConfig()
+) -> Optional[PatternHit]:
+    """Definition 3.5: all accessed values are zero."""
+    values = np.asarray(view.values).ravel()
+    if values.size < config.min_accesses:
+        return None
+    if np.any(values != 0):
+        return None
+    return PatternHit(
+        pattern=Pattern.SINGLE_ZERO,
+        object_label=view.object_label,
+        api_ref=view.api_ref,
+        metrics={"accesses": int(values.size)},
+        detail=f"all {values.size} accesses see zero",
+    )
+
+
+def run_fine_value_detectors(
+    view: ObjectAccessView, config: PatternConfig = PatternConfig()
+) -> List[PatternHit]:
+    """Run the three value-distribution detectors on one view."""
+    hits = []
+    for detector in (detect_frequent_values, detect_single_value, detect_single_zero):
+        hit = detector(view, config)
+        if hit is not None:
+            hits.append(hit)
+    return hits

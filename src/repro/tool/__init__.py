@@ -1,0 +1,19 @@
+"""The ValueExpert tool: facade, configuration, and overhead model."""
+
+from repro.tool.config import ToolConfig
+from repro.tool.valueexpert import ValueExpert
+from repro.tool.overhead import (
+    GVPROF_MODEL,
+    OverheadModel,
+    OverheadReport,
+    VALUEEXPERT_MODEL,
+)
+
+__all__ = [
+    "GVPROF_MODEL",
+    "OverheadModel",
+    "OverheadReport",
+    "ToolConfig",
+    "ValueExpert",
+    "VALUEEXPERT_MODEL",
+]

@@ -1,0 +1,112 @@
+"""The ValueExpert facade — the library's main entry point.
+
+Usage::
+
+    from repro import ValueExpert, ToolConfig
+    from repro.gpu import GpuRuntime, RTX_2080_TI
+
+    tool = ValueExpert(ToolConfig())
+    profile = tool.profile(my_workload, platform=RTX_2080_TI)
+    print(profile.summary())
+
+``my_workload`` is either a callable taking a
+:class:`~repro.gpu.runtime.GpuRuntime`, or any object with ``run(rt)``
+(the :class:`~repro.workloads.base.Workload` protocol).  The facade
+wires collector -> online analyzer during the run, then applies the
+offline analyzer (type slicing, source annotation) postmortem.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Union
+
+from repro.analysis.offline import OfflineAnalyzer
+from repro.analysis.online import OnlineAnalyzer
+from repro.analysis.profile import ValueProfile
+from repro.collector.collector import DataCollector
+from repro.errors import WorkloadError
+from repro.gpu.kernel import Kernel
+from repro.gpu.runtime import GpuRuntime, KernelLaunchEvent, RuntimeListener
+from repro.gpu.timing import Platform, RTX_2080_TI
+from repro.tool.config import ToolConfig
+
+
+class _KernelRoster(RuntimeListener):
+    """Side listener remembering every launched kernel object, so the
+    offline analyzer can reach their line maps and binaries."""
+
+    def __init__(self):
+        self.kernels: Dict[str, Kernel] = {}
+
+    def on_api_end(self, event) -> None:
+        """Remember each launched kernel object by name."""
+        if isinstance(event, KernelLaunchEvent):
+            self.kernels.setdefault(event.kernel.name, event.kernel)
+
+
+class ValueExpert:
+    """Profiles a workload and returns a :class:`ValueProfile`."""
+
+    def __init__(self, config: Optional[ToolConfig] = None):
+        self.config = config or ToolConfig()
+        #: Collector of the most recent run (counters, registry).
+        self.last_collector: Optional[DataCollector] = None
+        #: Runtime of the most recent run (modelled times).
+        self.last_runtime: Optional[GpuRuntime] = None
+
+    def profile(
+        self,
+        workload: Union[Callable[[GpuRuntime], None], object],
+        runtime: Optional[GpuRuntime] = None,
+        platform: Platform = RTX_2080_TI,
+        name: str = "",
+    ) -> ValueProfile:
+        """Run ``workload`` under full instrumentation and analyze it."""
+        runtime = runtime or GpuRuntime(platform=platform)
+        online = OnlineAnalyzer(self.config.patterns)
+        collector = DataCollector(
+            online,
+            coarse=self.config.coarse,
+            fine=self.config.fine,
+            sampling=self.config.sampling,
+            buffer_bytes=self.config.buffer_bytes,
+            copy_policy=self.config.copy_policy,
+        )
+        roster = _KernelRoster()
+        collector.attach(runtime)
+        runtime.subscribe(roster)
+        try:
+            self._run(workload, runtime)
+        finally:
+            runtime.unsubscribe(roster)
+            collector.detach()
+
+        profile = online.finish(
+            counters=collector.counters,
+            workload=name or getattr(workload, "name", "") or _callable_name(workload),
+            platform=runtime.platform.name,
+        )
+        offline = OfflineAnalyzer(self.config.patterns)
+        for hit in offline.analyze_untyped(online.pending_untyped):
+            profile.fine_hits.append(hit)
+        offline.annotate(profile, kernels=list(roster.kernels.values()))
+        self.last_collector = collector
+        self.last_runtime = runtime
+        return profile
+
+    @staticmethod
+    def _run(workload, runtime: GpuRuntime) -> None:
+        run = getattr(workload, "run", None)
+        if callable(run):
+            run(runtime)
+        elif callable(workload):
+            workload(runtime)
+        else:
+            raise WorkloadError(
+                f"workload must be callable or provide .run(rt); "
+                f"got {type(workload).__name__}"
+            )
+
+
+def _callable_name(workload) -> str:
+    return getattr(workload, "__name__", type(workload).__name__)

@@ -1,0 +1,13 @@
+"""Shared utilities: hashing, call-path capture, statistics, DOT output."""
+
+from repro.utils.callpath import CallPath, capture_call_path
+from repro.utils.hashing import snapshot_digest
+from repro.utils.stats import geometric_mean, median
+
+__all__ = [
+    "CallPath",
+    "capture_call_path",
+    "snapshot_digest",
+    "geometric_mean",
+    "median",
+]

@@ -1,0 +1,98 @@
+"""Call-path capture for GPU API invocations.
+
+ValueExpert records the full CPU call path of every GPU API call and
+assigns a unique id per distinct path; vertices of the value flow graph
+with the same call path are merged (paper Section 5.2).  In this
+reproduction the "CPU call path" is the Python call stack of the workload
+code that invoked the simulated runtime.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One frame of a call path: function name, file, and line."""
+
+    function: str
+    filename: str
+    lineno: int
+
+    def __str__(self) -> str:
+        return f"{self.function} at {self.filename}:{self.lineno}"
+
+
+@dataclass(frozen=True)
+class CallPath:
+    """An immutable call path: outermost frame first.
+
+    Call paths are hashable so they can serve as merge keys for value
+    flow graph vertices.
+    """
+
+    frames: Tuple[Frame, ...]
+
+    def __len__(self) -> int:
+        return len(self.frames)
+
+    def __iter__(self):
+        return iter(self.frames)
+
+    @property
+    def leaf(self) -> Frame:
+        """The innermost frame — the direct caller of the GPU API."""
+        if not self.frames:
+            raise IndexError("empty call path has no leaf")
+        return self.frames[-1]
+
+    def describe(self, depth: int = 0) -> str:
+        """Render the path as indented lines, innermost last.
+
+        ``depth`` limits output to the innermost ``depth`` frames
+        (0 means all frames).
+        """
+        frames = self.frames if depth <= 0 else self.frames[-depth:]
+        return "\n".join(f"{'  ' * i}{frame}" for i, frame in enumerate(frames))
+
+
+# Frames from these modules are runtime/collector internals and are
+# excluded so call paths point at workload code.
+_INTERNAL_MODULE_MARKERS = (
+    "repro/gpu/",
+    "repro/collector/",
+    "repro/tool/",
+    "repro\\gpu\\",
+    "repro\\collector\\",
+    "repro\\tool\\",
+)
+
+
+def capture_call_path(skip: int = 1, max_depth: int = 64) -> CallPath:
+    """Capture the current Python call stack as a :class:`CallPath`.
+
+    Parameters
+    ----------
+    skip:
+        Number of innermost frames to drop (the capture helper itself is
+        always dropped; ``skip`` counts additional frames).
+    max_depth:
+        Maximum number of frames to retain, counted from the innermost.
+    """
+    frames = []
+    frame = sys._getframe(skip + 1)
+    while frame is not None and len(frames) < max_depth:
+        code = frame.f_code
+        filename = code.co_filename
+        if not _is_internal(filename):
+            frames.append(Frame(code.co_name, filename, frame.f_lineno))
+        frame = frame.f_back
+    frames.reverse()
+    return CallPath(tuple(frames))
+
+
+def _is_internal(filename: str) -> bool:
+    return any(marker in filename for marker in _INTERNAL_MODULE_MARKERS)

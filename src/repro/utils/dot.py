@@ -1,0 +1,48 @@
+"""A minimal Graphviz DOT writer (no external dependency).
+
+Used by :mod:`repro.flowgraph.render` to emit the Figure 2 artifact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+def _quote(value: str) -> str:
+    escaped = value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    return f'"{escaped}"'
+
+
+def _attrs(attrs: Dict[str, str]) -> str:
+    if not attrs:
+        return ""
+    rendered = ", ".join(f"{key}={_quote(str(val))}" for key, val in sorted(attrs.items()))
+    return f" [{rendered}]"
+
+
+class DotWriter:
+    """Accumulates nodes/edges and renders a ``digraph`` document."""
+
+    def __init__(self, name: str = "G", graph_attrs: Optional[Dict[str, str]] = None):
+        self.name = name
+        self.graph_attrs = dict(graph_attrs or {})
+        self._lines: List[str] = []
+
+    def node(self, node_id: str, **attrs: str) -> None:
+        """Emit a node statement."""
+        self._lines.append(f"  {_quote(node_id)}{_attrs(attrs)};")
+
+    def edge(self, src: str, dst: str, **attrs: str) -> None:
+        """Emit an edge statement."""
+        self._lines.append(f"  {_quote(src)} -> {_quote(dst)}{_attrs(attrs)};")
+
+    def comment(self, text: str) -> None:
+        """Emit a comment line."""
+        self._lines.append(f"  // {text}")
+
+    def render(self) -> str:
+        """Return the complete DOT document."""
+        header = [f"digraph {_quote(self.name)} {{"]
+        for key, val in sorted(self.graph_attrs.items()):
+            header.append(f"  {key}={_quote(str(val))};")
+        return "\n".join(header + self._lines + ["}"]) + "\n"

@@ -1,0 +1,34 @@
+"""Snapshot hashing used by the duplicate-values detector.
+
+The paper (Section 5.1) groups data objects by the SHA256 digest of their
+value snapshots: objects sharing a digest after some GPU API are reported
+as *duplicate values*.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+def snapshot_digest(snapshot: np.ndarray) -> str:
+    """Return the SHA256 hex digest of a value snapshot.
+
+    The digest is computed over the raw bytes of the snapshot, so two
+    objects only hash equal when they are bitwise identical — exactly the
+    paper's criterion for the duplicate-values pattern.
+
+    Parameters
+    ----------
+    snapshot:
+        Any numpy array; it is viewed as raw bytes (C-contiguous copy is
+        made if needed).
+    """
+    data = np.ascontiguousarray(snapshot)
+    return hashlib.sha256(data.tobytes()).hexdigest()
+
+
+def bytes_digest(data: bytes) -> str:
+    """Return the SHA256 hex digest of raw bytes."""
+    return hashlib.sha256(data).hexdigest()

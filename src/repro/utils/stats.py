@@ -1,0 +1,38 @@
+"""Summary statistics used in the paper's tables (geomean, median)."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values (Table 3 / Figure 6 summaries).
+
+    Raises ``ValueError`` on an empty sequence or non-positive entries.
+    """
+    items: List[float] = list(values)
+    if not items:
+        raise ValueError("geometric mean of empty sequence")
+    if any(v <= 0 for v in items):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in items) / len(items))
+
+
+def median(values: Iterable[float]) -> float:
+    """Median (Table 3 / Figure 6 summaries)."""
+    items = sorted(values)
+    if not items:
+        raise ValueError("median of empty sequence")
+    mid = len(items) // 2
+    if len(items) % 2:
+        return items[mid]
+    return (items[mid - 1] + items[mid]) / 2.0
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean."""
+    items = list(values)
+    if not items:
+        raise ValueError("mean of empty sequence")
+    return sum(items) / len(items)

@@ -1,0 +1,38 @@
+"""Workloads: the paper's evaluation suite, reproduced on the simulator.
+
+Each workload reproduces the *value behaviour* the paper documents for
+one benchmark or application — the inefficiency ValueExpert finds and
+the optimization its case study applies — as a program against the
+simulated CUDA-like runtime.  Every workload runs in two modes:
+
+- ``run(rt)`` — the baseline, exhibiting the paper's inefficiencies;
+- ``run(rt, optimize={...patterns...})`` — with the paper's fixes for
+  the selected patterns applied (Table 4 evaluates fixes per pattern).
+
+Use :func:`get_workload`/:func:`all_workloads` to obtain instances.
+"""
+
+from repro.workloads.base import Workload, WorkloadMeta
+from repro.workloads.registry import (
+    all_workloads,
+    application_workloads,
+    benchmark_workloads,
+    get_workload,
+    register,
+    workload_names,
+)
+
+# Importing the suites populates the registry.
+from repro.workloads import rodinia as _rodinia  # noqa: F401
+from repro.workloads import apps as _apps  # noqa: F401
+
+__all__ = [
+    "all_workloads",
+    "application_workloads",
+    "benchmark_workloads",
+    "get_workload",
+    "register",
+    "Workload",
+    "WorkloadMeta",
+    "workload_names",
+]

@@ -1,0 +1,13 @@
+"""Application reproductions (Table 1 rows 11-19)."""
+
+from repro.workloads.apps import (  # noqa: F401
+    darknet,
+    deepwave,
+    bert,
+    resnet50,
+    namd,
+    lammps,
+    qmcpack,
+    castro,
+    barracuda,
+)

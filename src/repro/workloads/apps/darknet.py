@@ -1,0 +1,310 @@
+"""Darknet (YOLOv4-like) — the paper's motivating example (§1.1, §8.1).
+
+Two documented inefficiencies:
+
+- **Inefficiency I (redundant GPU instructions, Listing 1)** — every
+  convolution forward pass calls ``fill_ongpu`` to zero ``l.output_gpu``
+  and then ``gemm_ongpu(..., beta=1, ...)`` which *reads* those zeros
+  and accumulates into them.  With a single group, the fill and the
+  reads are redundant; the fix removes ``fill_ongpu`` and passes
+  ``beta=0``.
+- **Inefficiency II (unnecessary CPU-GPU transfer, Listing 2)** —
+  ``make_convolutional_layer`` zero-initializes ``l.output`` on the
+  host and copies it to both ``l.output_gpu`` and ``l.x_gpu`` ("this
+  copy on zeros wastes memory bandwidth ... It is better to use
+  cudaMemset", saving 84.2% of CPU-GPU traffic).
+
+Figure 2 shows the resulting value flow graph (70 nodes, 114 edges for
+the paper's run) with the two red flows; §8.1 reports 1.06x / 1.05x
+convolution speedups and Table 3 adds 1.82x / 1.73x memory-time
+speedups.
+Table 1 row: redundant, duplicate, frequent, single value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List
+
+import numpy as np
+
+from repro.gpu.dtypes import DType
+from repro.gpu.kernel import kernel
+from repro.gpu.memory import Allocation
+from repro.gpu.runtime import GpuRuntime, HostArray
+from repro.patterns.base import Pattern
+from repro.workloads.base import Workload, WorkloadMeta
+from repro.workloads.registry import register
+
+
+@kernel("fill_kernel")
+def fill_kernel(ctx, out, value):
+    """fill_ongpu: set an array to a constant (usually zero)."""
+    tid = ctx.global_ids
+    ctx.store(out, tid, np.full(tid.size, value, out.dtype.np_dtype), tids=tid)
+
+
+@kernel("gemm_kernel")
+def gemm_kernel(ctx, inp, weights, out, beta):
+    """gemm_ongpu: out = inp (*) weights + beta * out."""
+    tid = ctx.global_ids
+    x = ctx.load(inp, tid, tids=tid)
+    w = ctx.load(weights, tid % weights.nelems, tids=tid)
+    acc = x * w
+    # Lowered convolution: the GEMM is strongly compute-bound.
+    ctx.flops(1200 * tid.size, DType.FLOAT32)
+    if beta != 0:
+        prev = ctx.load(out, tid, tids=tid)
+        acc = acc + beta * prev
+        ctx.flops(2 * tid.size, DType.FLOAT32)
+    ctx.store(out, tid, acc.astype(np.float32), tids=tid)
+
+
+@kernel("add_bias_kernel")
+def add_bias_kernel(ctx, out, biases):
+    """Add per-channel biases."""
+    tid = ctx.global_ids
+    v = ctx.load(out, tid, tids=tid)
+    b = ctx.load(biases, tid % biases.nelems, tids=tid)
+    ctx.flops(tid.size, DType.FLOAT32)
+    ctx.store(out, tid, (v + b).astype(np.float32), tids=tid)
+
+
+@kernel("activate_kernel")
+def activate_kernel(ctx, out):
+    """Leaky ReLU."""
+    tid = ctx.global_ids
+    v = ctx.load(out, tid, tids=tid)
+    ctx.flops(2 * tid.size, DType.FLOAT32)
+    ctx.store(out, tid, np.where(v > 0, v, 0.1 * v).astype(np.float32), tids=tid)
+
+
+@kernel("maxpool_kernel")
+def maxpool_kernel(ctx, inp, out, indexes):
+    """2-wide max pooling with an index side output."""
+    tid = ctx.global_ids
+    a = ctx.load(inp, tid, tids=tid)
+    b = ctx.load(inp, np.minimum(tid + 1, inp.nelems - 1), tids=tid)
+    ctx.int_ops(2 * tid.size)
+    ctx.store(out, tid, np.maximum(a, b), tids=tid)
+    ctx.store(indexes, tid, (a < b).astype(np.int32), tids=tid)
+
+
+@kernel("upsample_kernel")
+def upsample_kernel(ctx, inp, out):
+    """Nearest-neighbour upsampling."""
+    tid = ctx.global_ids
+    v = ctx.load(inp, tid % inp.nelems, tids=tid)
+    ctx.store(out, tid, v, tids=tid)
+
+
+@kernel("copy_kernel")
+def copy_kernel(ctx, src, dst):
+    """Route/shortcut layers concatenate by copying."""
+    tid = ctx.global_ids
+    v = ctx.load(src, tid % src.nelems, tids=tid)
+    ctx.store(dst, tid, v, tids=tid)
+
+
+@kernel("yolo_kernel")
+def yolo_kernel(ctx, inp, out):
+    """Detection head: logistic activation."""
+    tid = ctx.global_ids
+    v = ctx.load(inp, tid, tids=tid)
+    ctx.flops(6 * tid.size, DType.FLOAT32)
+    ctx.store(out, tid, (1.0 / (1.0 + np.exp(-v))).astype(np.float32), tids=tid)
+
+
+@kernel("normalize_kernel")
+def normalize_kernel(ctx, out, scales, rolling_mean, rolling_variance):
+    """Batch normalization using the stored statistics."""
+    tid = ctx.global_ids
+    v = ctx.load(out, tid, tids=tid)
+    s = ctx.load(scales, tid % scales.nelems, tids=tid)
+    m = ctx.load(rolling_mean, tid % rolling_mean.nelems, tids=tid)
+    var = ctx.load(rolling_variance, tid % rolling_variance.nelems, tids=tid)
+    ctx.flops(4 * tid.size, DType.FLOAT32)
+    ctx.store(out, tid, (s * (v - m) / np.sqrt(var + 1e-5)).astype(np.float32),
+              tids=tid)
+
+
+@kernel("shortcut_kernel")
+def shortcut_kernel(ctx, src, dst):
+    """Residual shortcut: dst += src."""
+    tid = ctx.global_ids
+    a = ctx.load(src, tid % src.nelems, tids=tid)
+    b = ctx.load(dst, tid, tids=tid)
+    ctx.flops(tid.size, DType.FLOAT32)
+    ctx.store(dst, tid, (a + b).astype(np.float32), tids=tid)
+
+
+@dataclass
+class _ConvLayer:
+    output_gpu: Allocation
+    x_gpu: Allocation
+    weights_gpu: Allocation
+    biases_gpu: Allocation
+    scales_gpu: Allocation
+    mean_gpu: Allocation
+    variance_gpu: Allocation
+    n: int
+
+
+@register
+class Darknet(Workload):
+    """A YOLO-like convolution stack with the two Listing 1/2 issues."""
+
+    meta = WorkloadMeta(
+        name="darknet",
+        kind="application",
+        kernel_name="convolution",
+        table1_patterns=(
+            Pattern.REDUNDANT_VALUES,
+            Pattern.DUPLICATE_VALUES,
+            Pattern.FREQUENT_VALUES,
+            Pattern.SINGLE_VALUE,
+        ),
+        table4_rows=(Pattern.REDUNDANT_VALUES,),
+    )
+
+    FEATURES = 64 * 1024
+    CONV_BLOCKS = 5
+
+    # -- layer construction (Listing 2 lives here) -------------------------
+
+    def _make_convolutional_layer(self, rt: GpuRuntime, n: int, optimize_copy: bool):
+        host_output = np.zeros(n, np.float32)  # xcalloc(l.output)
+        output_gpu = rt.malloc(n, DType.FLOAT32, "l.output_gpu")
+        x_gpu = rt.malloc(n, DType.FLOAT32, "l.x_gpu")
+        if optimize_copy:
+            # The fix: initialize on the device directly.
+            rt.memset(output_gpu, 0)
+            rt.memset(x_gpu, 0)
+        else:
+            # Listing 2: copy host zeros to both device arrays.
+            rt.memcpy_h2d(output_gpu, HostArray(host_output, "l.output"))
+            rt.memcpy_h2d(x_gpu, HostArray(host_output, "l.output"))
+        weights = self.rng.normal(0, 0.1, max(n // 16, 64)).astype(np.float32)
+        weights_gpu = rt.upload(weights, "l.weights_gpu")
+        biases = self.rng.normal(0, 0.1, 64).astype(np.float32)
+        biases_gpu = rt.upload(biases, "l.biases_gpu")
+        scales_gpu = rt.upload(np.ones(64, np.float32), "l.scales_gpu")
+        mean_gpu = rt.upload(np.zeros(64, np.float32), "l.rolling_mean_gpu")
+        variance_gpu = rt.upload(np.ones(64, np.float32), "l.rolling_variance_gpu")
+        return _ConvLayer(
+            output_gpu, x_gpu, weights_gpu, biases_gpu,
+            scales_gpu, mean_gpu, variance_gpu, n,
+        )
+
+    # -- forward passes (Listing 1 lives here) ---------------------------------
+
+    def _forward_convolutional_layer(
+        self, rt: GpuRuntime, layer: _ConvLayer, inp: Allocation, optimize_fill: bool
+    ) -> Allocation:
+        grid, block = layer.n // 256, 256
+        if optimize_fill:
+            # The fix: drop fill_ongpu, let gemm overwrite (beta = 0).
+            rt.launch(gemm_kernel, grid, block, inp, layer.weights_gpu,
+                      layer.output_gpu, 0.0)
+        else:
+            # Listing 1: zero the output, then accumulate into it.
+            rt.launch(fill_kernel, grid, block, layer.output_gpu, 0.0)
+            rt.launch(gemm_kernel, grid, block, inp, layer.weights_gpu,
+                      layer.output_gpu, 1.0)
+        rt.launch(
+            normalize_kernel, grid, block, layer.output_gpu,
+            layer.scales_gpu, layer.mean_gpu, layer.variance_gpu,
+        )
+        rt.launch(add_bias_kernel, grid, block, layer.output_gpu, layer.biases_gpu)
+        rt.launch(activate_kernel, grid, block, layer.output_gpu)
+        return layer.output_gpu
+
+    def _forward_maxpool(self, rt: GpuRuntime, inp: Allocation) -> Allocation:
+        n = inp.nelems
+        out = rt.malloc(n, DType.FLOAT32, "maxpool.output_gpu")
+        indexes = rt.malloc(n, DType.INT32, "maxpool.indexes_gpu")
+        rt.launch(maxpool_kernel, n // 256, 256, inp, out, indexes)
+        return out
+
+    def _forward_upsample(self, rt: GpuRuntime, inp: Allocation) -> Allocation:
+        n = inp.nelems
+        out = rt.malloc(n, DType.FLOAT32, "upsample.output_gpu")
+        rt.launch(upsample_kernel, n // 256, 256, inp, out)
+        return out
+
+    def _forward_route(self, rt: GpuRuntime, a: Allocation, b: Allocation) -> Allocation:
+        n = a.nelems
+        out = rt.malloc(n, DType.FLOAT32, "route.output_gpu")
+        rt.launch(copy_kernel, n // 512, 256, a, out)
+        rt.launch(copy_kernel, n // 512, 256, b, out)
+        return out
+
+    def _forward_yolo(self, rt: GpuRuntime, inp: Allocation) -> Allocation:
+        n = inp.nelems
+        out = rt.malloc(n, DType.FLOAT32, "yolo.output_gpu")
+        rt.launch(yolo_kernel, n // 256, 256, inp, out)
+        return out
+
+    # -- the network -----------------------------------------------------------------
+
+    def run(self, rt: GpuRuntime, optimize: FrozenSet[Pattern] = frozenset()) -> None:
+        """Execute the workload on ``rt``; ``optimize`` selects which paper fixes are active (see the module docstring)."""
+        n = self.scaled(self.FEATURES)
+        redundant = Pattern.REDUNDANT_VALUES in optimize
+
+        host_image = self.rng.uniform(0, 1, n).astype(np.float32)
+        image = rt.upload(host_image, "net.input_gpu")
+
+        # Backbone: conv blocks with maxpool downsampling.
+        backbone: List[_ConvLayer] = []
+        for _ in range(self.scaled(self.CONV_BLOCKS, minimum=2)):
+            backbone.append(self._make_convolutional_layer(rt, n, redundant))
+        current = image
+        taps: List[Allocation] = []
+        for layer in backbone:
+            current = self._forward_convolutional_layer(rt, layer, current, redundant)
+            current = self._forward_maxpool(rt, current)
+            taps.append(current)
+
+        # Neck: upsample + route, then a second conv stage with
+        # residual shortcuts (distinct calling contexts from the
+        # backbone, as in the real YOLOv4 config).
+        current = self._forward_upsample(rt, current)
+        if len(taps) >= 2:
+            current = self._forward_route(rt, current, taps[-2])
+        neck: List[_ConvLayer] = []
+        for _ in range(self.scaled(self.CONV_BLOCKS, minimum=2) - 1):
+            neck.append(self._make_convolutional_layer(rt, n, redundant))
+        for layer in neck:
+            previous = current
+            current = self._forward_convolutional_layer(rt, layer, current, redundant)
+            rt.launch(
+                shortcut_kernel, layer.n // 256, 256, previous, current
+            )
+
+        # Two detection heads, as in YOLOv4.
+        detections = self._forward_yolo(rt, current)
+        detections2 = self._forward_yolo(rt, taps[-1])
+
+        host_out = HostArray(np.zeros(detections.nelems, np.float32), "predictions")
+        rt.memcpy_d2h(host_out, detections)
+        host_out2 = HostArray(
+            np.zeros(detections2.nelems, np.float32), "predictions2"
+        )
+        rt.memcpy_d2h(host_out2, detections2)
+
+    def timed_kernels(self) -> FrozenSet[str]:
+        """The convolution layer's kernels (layer-level speedup)."""
+        return frozenset(
+            {
+                "fill_kernel",
+                "gemm_kernel",
+                "normalize_kernel",
+                "add_bias_kernel",
+                "activate_kernel",
+            }
+        )
+
+    def hot_kernel_filter(self) -> FrozenSet[str]:
+        """Kernels the fine pass should focus on (the paper's filtering)."""
+        return frozenset({"gemm_kernel", "fill_kernel"})

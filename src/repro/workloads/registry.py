@@ -1,0 +1,48 @@
+"""Workload registry."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from repro.errors import WorkloadError
+from repro.workloads.base import Workload
+
+_REGISTRY: Dict[str, Type[Workload]] = {}
+
+
+def register(cls: Type[Workload]) -> Type[Workload]:
+    """Class decorator adding a workload to the registry by meta.name."""
+    name = cls.meta.name
+    if name in _REGISTRY:
+        raise WorkloadError(f"workload {name!r} already registered")
+    _REGISTRY[name] = cls
+    return cls
+
+
+def workload_names() -> List[str]:
+    """Registered names, in registration (paper-table) order."""
+    return list(_REGISTRY)
+
+
+def get_workload(name: str) -> Type[Workload]:
+    """The workload class for a registry name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(_REGISTRY) or "(none)"
+        raise WorkloadError(f"unknown workload {name!r}; known: {known}") from None
+
+
+def all_workloads() -> List[Type[Workload]]:
+    """Every registered workload class, in registration order."""
+    return list(_REGISTRY.values())
+
+
+def benchmark_workloads() -> List[Type[Workload]]:
+    """The Rodinia benchmark classes."""
+    return [cls for cls in _REGISTRY.values() if cls.meta.kind == "benchmark"]
+
+
+def application_workloads() -> List[Type[Workload]]:
+    """The application classes."""
+    return [cls for cls in _REGISTRY.values() if cls.meta.kind == "application"]

@@ -1,0 +1,14 @@
+"""Rodinia benchmark reproductions (Table 1 rows 1-10)."""
+
+from repro.workloads.rodinia import (  # noqa: F401
+    bfs,
+    backprop,
+    sradv1,
+    hotspot,
+    pathfinder,
+    cfd,
+    huffman,
+    lavamd,
+    hotspot3d,
+    streamcluster,
+)

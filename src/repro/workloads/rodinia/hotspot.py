@@ -1,0 +1,122 @@
+"""Rodinia/hotspot — 2D thermal simulation.
+
+Value behaviour per the paper:
+
+- **approximate values** — the temperature field is nearly uniform:
+  with mantissas truncated to K bits the accessed values collapse to a
+  frequent/single value (Definition 3.8);
+- **frequent values** — the power map is mostly a single ambient value.
+
+Table 3: kernel ``calculate_temp`` (1.31x / 1.10x).
+Table 4 row: approximate values — the fix bypasses the stencil update
+where the (approximately) uniform neighbourhood makes it an identity,
+keeping accuracy loss within the RMSE budget.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+import numpy as np
+
+from repro.gpu.dtypes import DType
+from repro.gpu.kernel import kernel
+from repro.gpu.runtime import GpuRuntime, HostArray
+from repro.patterns.base import Pattern
+from repro.workloads.base import Workload, WorkloadMeta
+from repro.workloads.registry import register
+
+
+@kernel("calculate_temp")
+def calculate_temp(ctx, temp_in, power, temp_out, n):
+    """One stencil step over the temperature grid."""
+    tid = ctx.global_ids
+    center = ctx.load(temp_in, tid, tids=tid)
+    left = ctx.load(temp_in, np.maximum(tid - 1, 0), tids=tid)
+    right = ctx.load(temp_in, np.minimum(tid + 1, n - 1), tids=tid)
+    p = ctx.load(power, tid, tids=tid)
+    ctx.flops(10 * tid.size, DType.FLOAT32)
+    result = center + 0.1 * (left + right - 2 * center) + 0.01 * p
+    ctx.store(temp_out, tid, result.astype(np.float32), tids=tid)
+
+
+@kernel("calculate_temp")
+def calculate_temp_approx(ctx, temp_in, power, temp_out, n, tolerance):
+    """The approximate-values fix: skip near-identity stencil updates."""
+    tid = ctx.global_ids
+    center = ctx.load(temp_in, tid, tids=tid)
+    left = ctx.load(temp_in, np.maximum(tid - 1, 0), tids=tid)
+    right = ctx.load(temp_in, np.minimum(tid + 1, n - 1), tids=tid)
+    active = np.flatnonzero(
+        (np.abs(left - center) > tolerance)
+        | (np.abs(right - center) > tolerance)
+    )
+    if active.size == 0:
+        return
+    sub = tid[active]
+    p = ctx.load(power, sub, tids=sub)
+    ctx.flops(10 * sub.size, DType.FLOAT32)
+    result = (
+        center[active]
+        + 0.1 * (left[active] + right[active] - 2 * center[active])
+        + 0.01 * p
+    )
+    ctx.store(temp_out, sub, result.astype(np.float32), tids=sub)
+
+
+@register
+class Hotspot(Workload):
+    """Hotspot with a nearly uniform temperature field."""
+
+    meta = WorkloadMeta(
+        name="rodinia/hotspot",
+        kind="benchmark",
+        kernel_name="calculate_temp",
+        table1_patterns=(
+            Pattern.FREQUENT_VALUES,
+            Pattern.APPROXIMATE_VALUES,
+        ),
+        table4_rows=(Pattern.APPROXIMATE_VALUES,),
+    )
+
+    CELLS = 64 * 1024
+    STEPS = 4
+    #: Relative perturbation of the temperature field — small enough
+    #: that K-bit mantissa truncation collapses it to one value (the
+    #: spread stays inside one 10-bit-mantissa quantum of the base).
+    PERTURBATION = 5e-5
+
+    def run(self, rt: GpuRuntime, optimize: FrozenSet[Pattern] = frozenset()) -> None:
+        """Execute the workload on ``rt``; ``optimize`` selects which paper fixes are active (see the module docstring)."""
+        n = self.scaled(self.CELLS)
+        approx = Pattern.APPROXIMATE_VALUES in optimize
+
+        base_temp = 324.1
+        host_temp = (
+            base_temp * (1.0 + self.rng.uniform(-1, 1, n) * self.PERTURBATION)
+        ).astype(np.float32)
+        # Power is ambient (exactly equal) on almost the whole chip.
+        host_power = np.zeros(n, np.float32) + 0.5
+        hot = self.rng.integers(0, n, max(n // 128, 1))
+        host_power[hot] = self.rng.uniform(1.0, 4.0, hot.size).astype(np.float32)
+
+        temp_in = rt.upload(host_temp, "tIn_d")
+        temp_out = rt.malloc(n, DType.FLOAT32, "tOut_d")
+        power = rt.upload(host_power, "power_d")
+
+        block = 256
+        grid = n // block
+        for _ in range(self.scaled(self.STEPS, minimum=1)):
+            if approx:
+                rt.launch(
+                    calculate_temp_approx, grid, block,
+                    temp_in, power, temp_out, n, np.float32(0.05),
+                )
+            else:
+                rt.launch(calculate_temp, grid, block, temp_in, power, temp_out, n)
+            temp_in, temp_out = temp_out, temp_in
+
+        result = HostArray(np.zeros(n, np.float32), "h_temp")
+        rt.memcpy_d2h(result, temp_in)
+        for alloc in (temp_in, temp_out, power):
+            rt.free(alloc)

@@ -1,0 +1,102 @@
+"""Rodinia/hotspot3D — 3D thermal simulation.
+
+Value behaviour per the paper:
+
+- **approximate values** — "The hotspot3D code of Rodinia falls into
+  such an example.  By controlling the accuracy loss within 2% RMSE,
+  one can observe the array tIn_d with the single value pattern and
+  apply optimizations accordingly" (§3.2).  The fix contracts the
+  (approximately constant) input field to a scalar, halving the
+  stencil's traffic: 2.00x / 1.99x (Table 3/4).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+import numpy as np
+
+from repro.gpu.dtypes import DType
+from repro.gpu.kernel import kernel
+from repro.gpu.runtime import GpuRuntime, HostArray
+from repro.patterns.base import Pattern
+from repro.workloads.base import Workload, WorkloadMeta
+from repro.workloads.registry import register
+
+
+@kernel("hotspotOpt1")
+def hotspot_opt1(ctx, t_in, power, t_out, n):
+    """3D stencil step reading six neighbours of tIn."""
+    tid = ctx.global_ids
+    center = ctx.load(t_in, tid, tids=tid)
+    total = np.zeros(tid.size, np.float32)
+    for offset in (-1, 1, -64, 64, -4096, 4096):
+        neighbour = np.clip(tid + offset, 0, n - 1)
+        total = total + ctx.load(t_in, neighbour, tids=tid)
+    p = ctx.load(power, tid, tids=tid)
+    ctx.flops(14 * tid.size, DType.FLOAT32)
+    result = 0.9 * center + (total / 60.0) + 0.01 * p
+    ctx.store(t_out, tid, result.astype(np.float32), tids=tid)
+
+
+@kernel("hotspotOpt1")
+def hotspot_opt1_scalar(ctx, t_in, ambient, power, t_out):
+    """The approximate fix: the (approximately) uniform field collapses
+    to a scalar; only the centre load remains as the accuracy guard."""
+    tid = ctx.global_ids
+    center = ctx.load(t_in, tid, tids=tid)
+    p = ctx.load(power, tid, tids=tid)
+    ctx.flops(5 * tid.size, DType.FLOAT32)
+    result = np.where(
+        np.abs(center - ambient) < 1.0, ambient + 0.01 * p, center
+    )
+    ctx.store(t_out, tid, result.astype(np.float32), tids=tid)
+
+
+@register
+class Hotspot3D(Workload):
+    """hotspot3D with a near-uniform temperature volume."""
+
+    meta = WorkloadMeta(
+        name="rodinia/hotspot3D",
+        kind="benchmark",
+        kernel_name="hotspotOpt1",
+        table1_patterns=(Pattern.APPROXIMATE_VALUES,),
+        table4_rows=(Pattern.APPROXIMATE_VALUES,),
+    )
+
+    CELLS = 64 * 1024
+    STEPS = 4
+    PERTURBATION = 4e-5
+
+    def run(self, rt: GpuRuntime, optimize: FrozenSet[Pattern] = frozenset()) -> None:
+        """Execute the workload on ``rt``; ``optimize`` selects which paper fixes are active (see the module docstring)."""
+        n = self.scaled(self.CELLS)
+        approx = Pattern.APPROXIMATE_VALUES in optimize
+
+        ambient = 293.3
+        host_tin = (
+            ambient * (1.0 + self.rng.uniform(-1, 1, n) * self.PERTURBATION)
+        ).astype(np.float32)
+        host_power = self.rng.uniform(0.9, 1.1, n).astype(np.float32)
+
+        power = rt.upload(host_power, "pIn_d")
+        t_out = rt.malloc(n, DType.FLOAT32, "tOut_d")
+        # tIn is allocated and uploaded in both variants — the fix only
+        # changes the kernel (memory time stays flat, as in Table 3).
+        t_in = rt.upload(host_tin, "tIn_d")
+        block = 256
+        grid = n // block
+        for _ in range(self.scaled(self.STEPS, minimum=1)):
+            if approx:
+                rt.launch(
+                    hotspot_opt1_scalar, grid, block,
+                    t_in, np.float32(ambient), power, t_out,
+                )
+            else:
+                rt.launch(hotspot_opt1, grid, block, t_in, power, t_out, n)
+
+        result = HostArray(np.zeros(n, np.float32), "h_tout")
+        rt.memcpy_d2h(result, t_out)
+        for alloc in (power, t_out, t_in):
+            rt.free(alloc)

@@ -1,0 +1,131 @@
+"""Rodinia/huffman — histogram + Huffman encoding.
+
+Value behaviour per the paper:
+
+- **frequent values** — "One example is Rodinia/huffman, where we
+  observe that most values written to the array histo are zeros.  To
+  avoid identity computation, we bypass the computation on this array
+  when zeros are found" (§3.2); Table 4 credits the fix with
+  1.49x / 2.55x on ``histo_kernel``;
+- **single value** — the code-length table is uniform for the built-in
+  input;
+- **heavy type** — histogram counts are int32 but tiny;
+- **redundant / duplicate values** — the histogram is cleared twice and
+  staged through a bitwise-identical temporary.
+
+Table 3: kernel ``histo_kernel``.
+Table 4 row: frequent values.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+import numpy as np
+
+from repro.gpu.dtypes import DType
+from repro.gpu.kernel import kernel
+from repro.gpu.runtime import GpuRuntime, HostArray
+from repro.patterns.base import Pattern
+from repro.workloads.base import Workload, WorkloadMeta
+from repro.workloads.registry import register
+
+
+@kernel("histo_kernel")
+def histo_kernel(ctx, data, partial, histo, nbins):
+    """Accumulate per-thread partial counts into the histogram.
+
+    Most partial counts are zero; the baseline still loads, adds, and
+    stores them all.
+    """
+    tid = ctx.global_ids
+    symbol = ctx.load(data, tid, tids=tid)
+    count = ctx.load(partial, tid, tids=tid)
+    bins = symbol.astype(np.int64) % nbins
+    current = ctx.load(histo, bins, tids=tid)
+    ctx.int_ops(3 * tid.size)
+    ctx.store(histo, bins, (current + count).astype(np.int32), tids=tid)
+
+
+@kernel("histo_kernel")
+def histo_kernel_opt(ctx, data, partial, histo, nbins):
+    """The frequent-values fix: bypass accumulation of zero counts."""
+    tid = ctx.global_ids
+    count = ctx.load(partial, tid, tids=tid)
+    nonzero = np.flatnonzero(count != 0)
+    if nonzero.size == 0:
+        return
+    sub = tid[nonzero]
+    symbol = ctx.load(data, sub, tids=sub)
+    bins = symbol.astype(np.int64) % nbins
+    current = ctx.load(histo, bins, tids=sub)
+    ctx.int_ops(3 * sub.size)
+    ctx.store(histo, bins, (current + count[nonzero]).astype(np.int32), tids=sub)
+
+
+@kernel("vlc_encode_kernel")
+def vlc_encode(ctx, data, codelens, out):
+    """Encode using the (uniform) code-length table."""
+    tid = ctx.global_ids
+    symbol = ctx.load(data, tid, tids=tid)
+    length = ctx.load(codelens, symbol.astype(np.int64) % codelens.nelems, tids=tid)
+    ctx.int_ops(4 * tid.size)
+    ctx.store(out, tid, (symbol.astype(np.int32) << 1) + length.astype(np.int32), tids=tid)
+
+
+@register
+class Huffman(Workload):
+    """Huffman with a sparse partial-count stream."""
+
+    meta = WorkloadMeta(
+        name="rodinia/huffman",
+        kind="benchmark",
+        kernel_name="histo_kernel",
+        table1_patterns=(
+            Pattern.REDUNDANT_VALUES,
+            Pattern.DUPLICATE_VALUES,
+            Pattern.SINGLE_VALUE,
+            Pattern.HEAVY_TYPE,
+        ),
+        table4_rows=(Pattern.FREQUENT_VALUES,),
+    )
+
+    SYMBOLS = 48 * 1024
+    NBINS = 256
+    PASSES = 4
+
+    def run(self, rt: GpuRuntime, optimize: FrozenSet[Pattern] = frozenset()) -> None:
+        """Execute the workload on ``rt``; ``optimize`` selects which paper fixes are active (see the module docstring)."""
+        n = self.scaled(self.SYMBOLS)
+        frequent = Pattern.FREQUENT_VALUES in optimize
+
+        host_data = self.rng.integers(0, self.NBINS, n).astype(np.int32)
+        # Sparse partial counts: ~97% zeros.
+        host_partial = np.zeros(n, np.int32)
+        touched = self.rng.integers(0, n, max(n // 32, 1))
+        host_partial[touched] = 1
+        host_codelens = np.full(self.NBINS, 8, np.int32)
+
+        data = rt.upload(host_data, "sourceData")
+        partial = rt.upload(host_partial, "partial_counts")
+        histo = rt.malloc(self.NBINS, DType.INT32, "histo")
+        # The histogram is cleared twice (redundant values) and staged
+        # through a duplicate scratch buffer (duplicate values).
+        rt.memset(histo, 0)
+        rt.memset(histo, 0)
+        scratch = rt.malloc(self.NBINS, DType.INT32, "histo_temp")
+        rt.memcpy_d2d(scratch, histo)
+        codelens = rt.upload(host_codelens, "codewordlens")
+        out = rt.malloc(n, DType.INT32, "encoded")
+
+        block = 256
+        grid = n // block
+        histo_fn = histo_kernel_opt if frequent else histo_kernel
+        for _ in range(self.scaled(self.PASSES, minimum=1)):
+            rt.launch(histo_fn, grid, block, data, partial, histo, self.NBINS)
+        rt.launch(vlc_encode, grid, block, data, codelens, out)
+
+        result = HostArray(np.zeros(n, np.int32), "h_encoded")
+        rt.memcpy_d2h(result, out)
+        for alloc in (data, partial, histo, scratch, codelens, out):
+            rt.free(alloc)

@@ -1,0 +1,118 @@
+"""Rodinia/lavaMD — particle interactions within box neighbourhoods.
+
+Value behaviour per the paper (§8.6):
+
+- **heavy type (with a tradeoff)** — "ValueExpert reports the heavy
+  type pattern on array rA, whose elements are ten values from {0.1,
+  0.2, ..., 1.0}.  Our optimization demotes the type from double to
+  uint8_t and reverts it to double when the array is copied to the GPU.
+  The optimization increases the GPU kernel execution time by 2% but
+  reduces the CPU-GPU memory transfer time by 28%."
+- **redundant values** — the per-box accumulation rewrites unchanged
+  forces for distant pairs.
+
+Table 3: kernel ``kernel_gpu_cuda`` (0.99x / 0.98x kernel — slightly
+*slower*; 1.49x / 1.39x memory).
+Table 4 row: heavy type.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+import numpy as np
+
+from repro.gpu.dtypes import DType
+from repro.gpu.kernel import kernel
+from repro.gpu.runtime import GpuRuntime, HostArray
+from repro.patterns.base import Pattern
+from repro.workloads.base import Workload, WorkloadMeta
+from repro.workloads.registry import register
+
+#: The ten-value alphabet of rA.
+_ALPHABET = np.round(np.arange(1, 11) * 0.1, 1)
+
+
+@kernel("kernel_gpu_cuda")
+def lavamd_kernel(ctx, r_a, qv, fv):
+    """Force accumulation reading charges from rA."""
+    tid = ctx.global_ids
+    charge = ctx.load(r_a, tid, tids=tid)
+    q = ctx.load(qv, tid, tids=tid)
+    f = ctx.load(fv, tid, tids=tid)
+    ctx.flops(40 * tid.size, DType.FLOAT64)
+    # Distant pairs contribute zero; their forces are rewritten as-is.
+    contribution = np.where(q > 0.5, charge * q * 1e-3, 0.0)
+    ctx.store(fv, tid, f + contribution, tids=tid)
+
+
+@kernel("kernel_gpu_cuda")
+def lavamd_kernel_decode(ctx, r_a_codes, decode_table, qv, fv):
+    """The heavy-type variant: decode uint8 charge codes on the fly
+    (the 2% extra kernel work the paper measures)."""
+    tid = ctx.global_ids
+    code = ctx.load(r_a_codes, tid, tids=tid)
+    charge = ctx.load(decode_table, code.astype(np.int64), tids=tid)
+    q = ctx.load(qv, tid, tids=tid)
+    f = ctx.load(fv, tid, tids=tid)
+    ctx.flops(40 * tid.size, DType.FLOAT64)
+    ctx.int_ops(2 * tid.size)
+    contribution = np.where(q > 0.5, charge * q * 1e-3, 0.0)
+    ctx.store(fv, tid, f + contribution, tids=tid)
+
+
+@register
+class LavaMD(Workload):
+    """lavaMD with the ten-value rA charge array."""
+
+    meta = WorkloadMeta(
+        name="rodinia/lavaMD",
+        kind="benchmark",
+        kernel_name="kernel_gpu_cuda",
+        table1_patterns=(Pattern.REDUNDANT_VALUES,),
+        table4_rows=(Pattern.HEAVY_TYPE,),
+    )
+
+    PARTICLES = 32 * 1024
+    STEPS = 4
+
+    def run(self, rt: GpuRuntime, optimize: FrozenSet[Pattern] = frozenset()) -> None:
+        """Execute the workload on ``rt``; ``optimize`` selects which paper fixes are active (see the module docstring)."""
+        n = self.scaled(self.PARTICLES)
+        heavy = Pattern.HEAVY_TYPE in optimize
+
+        codes = self.rng.integers(0, len(_ALPHABET), n)
+        host_ra = _ALPHABET[codes].astype(np.float64)
+        host_qv = self.rng.uniform(0, 1, n).astype(np.float64)
+
+        qv = rt.upload(host_qv, "qv_gpu")
+        fv = rt.malloc(n, DType.FLOAT64, "fv_gpu")
+        rt.memset(fv, 0)
+
+        block = 128
+        grid = n // block
+        if heavy:
+            # The decode table is uploaded once.
+            table = rt.upload(_ALPHABET.astype(np.float64), "rA_decode")
+        for _ in range(self.scaled(self.STEPS, minimum=1)):
+            if heavy:
+                # Upload uint8 codes (an 8x smaller transfer) and decode
+                # inside the kernel (the 2% extra kernel work).
+                ra_codes = rt.upload(codes.astype(np.uint8), "rA_codes")
+                rt.launch(
+                    lavamd_kernel_decode, grid, block, ra_codes, table, qv, fv
+                )
+                rt.free(ra_codes)
+            else:
+                # The baseline re-uploads the full double-precision rA
+                # every step.
+                r_a = rt.upload(host_ra, "rA")
+                rt.launch(lavamd_kernel, grid, block, r_a, qv, fv)
+                rt.free(r_a)
+        if heavy:
+            rt.free(table)
+
+        result = HostArray(np.zeros(n, np.float64), "h_fv")
+        rt.memcpy_d2h(result, fv)
+        rt.free(qv)
+        rt.free(fv)

@@ -1,0 +1,95 @@
+"""Rodinia/pathfinder — dynamic programming over a grid.
+
+Value behaviour per the paper:
+
+- **heavy type** — the wall array is int32 but holds tiny step costs;
+  demoting it to int8 shrinks the dominant host-to-device upload of
+  the wall by 4x (Table 4: 4.21x / 3.27x memory-time speedup) and
+  trims the kernel's wall loads (1.13x / 1.37x kernel);
+- **frequent values** — step costs are drawn from a handful of values;
+- **redundant values** — rows whose minimum does not change are
+  rewritten with identical results.
+
+Table 3: kernel ``dynproc_kernel``.
+Table 4 row: heavy type.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+import numpy as np
+
+from repro.gpu.dtypes import DType
+from repro.gpu.kernel import kernel
+from repro.gpu.runtime import GpuRuntime, HostArray
+from repro.patterns.base import Pattern
+from repro.workloads.base import Workload, WorkloadMeta
+from repro.workloads.registry import register
+
+
+@kernel("dynproc_kernel")
+def dynproc_kernel(ctx, wall, src, dst, row, n):
+    """One DP step: dst[i] = wall[row, i] + min of the three parents."""
+    tid = ctx.global_ids
+    w = ctx.load(wall, row * n + tid, tids=tid)
+    center = ctx.load(src, tid, tids=tid)
+    left = ctx.load(src, np.maximum(tid - 1, 0), tids=tid)
+    right = ctx.load(src, np.minimum(tid + 1, n - 1), tids=tid)
+    ctx.int_ops(5 * tid.size)
+    best = np.minimum(np.minimum(left, right), center)
+    ctx.store(dst, tid, (w.astype(np.int32) + best).astype(dst.dtype.np_dtype), tids=tid)
+
+
+@register
+class Pathfinder(Workload):
+    """Pathfinder whose costs fit int8."""
+
+    meta = WorkloadMeta(
+        name="rodinia/pathfinder",
+        kind="benchmark",
+        kernel_name="dynproc_kernel",
+        table1_patterns=(
+            Pattern.REDUNDANT_VALUES,
+            Pattern.FREQUENT_VALUES,
+            Pattern.HEAVY_TYPE,
+        ),
+        table4_rows=(Pattern.HEAVY_TYPE,),
+    )
+
+    COLS = 256 * 1024
+    ROWS = 8
+
+    def run(self, rt: GpuRuntime, optimize: FrozenSet[Pattern] = frozenset()) -> None:
+        """Execute the workload on ``rt``; ``optimize`` selects which paper fixes are active (see the module docstring)."""
+        cols = self.scaled(self.COLS)
+        rows = self.scaled(self.ROWS, minimum=2)
+        heavy = Pattern.HEAVY_TYPE in optimize
+        wall_dtype = DType.INT8 if heavy else DType.INT32
+
+        # Step costs come from a tiny alphabet -> frequent values and a
+        # value range far below the declared int32.
+        host_wall = self.rng.choice(
+            np.array([0, 0, 0, 1, 2], dtype=wall_dtype.np_dtype),
+            size=rows * cols,
+        )
+
+        # The whole wall is one upload — the dominant transfer the
+        # demotion divides by four.  The result ping-pong buffers keep
+        # their int32 type (the fix is wall-only, as in the paper).
+        wall = rt.upload(host_wall, "gpuWall")
+        src = rt.malloc(cols, DType.INT32, "gpuResult[0]")
+        rt.memset(src, 0)
+        dst = rt.malloc(cols, DType.INT32, "gpuResult[1]")
+
+        block = 256
+        grid = cols // block
+        for row in range(1, rows):
+            rt.launch(dynproc_kernel, grid, block, wall, src, dst, row, cols)
+            src, dst = dst, src
+
+        # Only the final row's head is read back (as in the original).
+        result = HostArray(np.zeros(1024, np.int32), "h_result")
+        rt.memcpy_d2h(result, src)
+        for alloc in (wall, src, dst):
+            rt.free(alloc)

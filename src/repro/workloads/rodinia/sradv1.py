@@ -1,0 +1,163 @@
+"""Rodinia/srad_v1 — speckle-reducing anisotropic diffusion.
+
+Value behaviour per the paper:
+
+- **structured values** — "four arrays d_iN, d_iS, d_jW, and d_jE store
+  the coordinates of their neighbors, showing the structured value
+  pattern.  A typical optimization ... is to compute the values based
+  on the memory addresses (or array indices) to replace more costly
+  memory load or store operations" (§3.2).  The arrays are per-row/
+  per-column (size ~sqrt(pixels)), so fixing them barely moves memory
+  time (Table 4: 1.02x) while removing four loads per pixel from the
+  kernel.
+- **heavy type** — the neighbour indices are int32 but fit int8/int16;
+- **duplicate values** — the north/south coefficient staging buffers
+  are bitwise duplicates;
+- **frequent values / single value** — the diffusion coefficient
+  clamps to 1.0 over most of the image; the lambda array is a
+  broadcast scalar.
+
+Table 3: kernel ``srad`` (1.52x / 1.11x).
+Table 4 rows: heavy type (1.40x / 1.05x), structured values
+(1.05x / 1.08x).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+import numpy as np
+
+from repro.gpu.dtypes import DType
+from repro.gpu.kernel import kernel
+from repro.gpu.runtime import GpuRuntime, HostArray
+from repro.patterns.base import Pattern
+from repro.workloads.base import Workload, WorkloadMeta
+from repro.workloads.registry import register
+
+
+@kernel("srad")
+def srad_kernel(ctx, image, i_n, i_s, j_w, j_e, coeff, lam, out, cols):
+    """One diffusion step using the precomputed neighbour-index arrays."""
+    tid = ctx.global_ids
+    row = tid // cols
+    col = tid % cols
+    scale = ctx.load(lam, tid % lam.nelems, tids=tid)
+    north = ctx.load(i_n, row, tids=tid)
+    south = ctx.load(i_s, row, tids=tid)
+    west = ctx.load(j_w, col, tids=tid)
+    east = ctx.load(j_e, col, tids=tid)
+    center = ctx.load(image, tid, tids=tid)
+    vn = ctx.load(image, north.astype(np.int64) * cols + col, tids=tid)
+    vs = ctx.load(image, south.astype(np.int64) * cols + col, tids=tid)
+    vw = ctx.load(image, row * cols + west.astype(np.int64), tids=tid)
+    ve = ctx.load(image, row * cols + east.astype(np.int64), tids=tid)
+    c = ctx.load(coeff, tid, tids=tid)
+    ctx.flops(12 * tid.size, DType.FLOAT32)
+    result = center + scale * 0.5 * c * (vn + vs + vw + ve - 4 * center)
+    ctx.store(out, tid, result.astype(np.float32), tids=tid)
+
+
+@kernel("srad")
+def srad_kernel_structured(ctx, image, coeff, lam, out, cols, rows):
+    """The structured-values fix: derive neighbour rows/cols from the
+    thread index instead of loading them (the arrays still exist and
+    are still uploaded — the five-line fix only touches the kernel)."""
+    tid = ctx.global_ids
+    row = tid // cols
+    col = tid % cols
+    scale = ctx.load(lam, tid % lam.nelems, tids=tid)
+    north = np.maximum(row - 1, 0)
+    south = np.minimum(row + 1, rows - 1)
+    west = np.maximum(col - 1, 0)
+    east = np.minimum(col + 1, cols - 1)
+    center = ctx.load(image, tid, tids=tid)
+    vn = ctx.load(image, north * cols + col, tids=tid)
+    vs = ctx.load(image, south * cols + col, tids=tid)
+    vw = ctx.load(image, row * cols + west, tids=tid)
+    ve = ctx.load(image, row * cols + east, tids=tid)
+    c = ctx.load(coeff, tid, tids=tid)
+    ctx.flops(12 * tid.size, DType.FLOAT32)
+    ctx.int_ops(4 * tid.size)
+    result = center + scale * 0.5 * c * (vn + vs + vw + ve - 4 * center)
+    ctx.store(out, tid, result.astype(np.float32), tids=tid)
+
+
+@register
+class SradV1(Workload):
+    """srad_v1 with per-row/column linear neighbour-index arrays."""
+
+    meta = WorkloadMeta(
+        name="rodinia/sradv1",
+        kind="benchmark",
+        kernel_name="srad",
+        table1_patterns=(
+            Pattern.DUPLICATE_VALUES,
+            Pattern.FREQUENT_VALUES,
+            Pattern.SINGLE_VALUE,
+            Pattern.HEAVY_TYPE,
+            Pattern.STRUCTURED_VALUES,
+        ),
+        table4_rows=(Pattern.HEAVY_TYPE, Pattern.STRUCTURED_VALUES),
+    )
+
+    ROWS = 192
+    COLS = 256
+    ITERATIONS = 4
+
+    def run(self, rt: GpuRuntime, optimize: FrozenSet[Pattern] = frozenset()) -> None:
+        """Execute the workload on ``rt``; ``optimize`` selects which paper fixes are active (see the module docstring)."""
+        rows = self.scaled(self.ROWS, minimum=16)
+        cols = self.COLS
+        n = rows * cols
+        structured = Pattern.STRUCTURED_VALUES in optimize
+        heavy = Pattern.HEAVY_TYPE in optimize
+        # Row/col indices fit int16 (and would fit int8 for small grids).
+        idx_dtype = DType.INT16 if heavy else DType.INT32
+
+        host_image = self.rng.uniform(0.5, 1.5, n).astype(np.float32)
+        # The diffusion coefficient clamps to exactly 1.0 on most of the
+        # built-in image -> frequent values.
+        host_coeff = np.ones(n, np.float32)
+        host_coeff[:: max(n // 64, 1)] = 0.5
+
+        row_idx = np.arange(rows, dtype=idx_dtype.np_dtype)
+        col_idx = np.arange(cols, dtype=idx_dtype.np_dtype)
+        host_i_n = np.maximum(row_idx - 1, 0).astype(idx_dtype.np_dtype)
+        host_i_s = np.minimum(row_idx + 1, rows - 1).astype(idx_dtype.np_dtype)
+        host_j_w = np.maximum(col_idx - 1, 0).astype(idx_dtype.np_dtype)
+        host_j_e = np.minimum(col_idx + 1, cols - 1).astype(idx_dtype.np_dtype)
+
+        image = rt.upload(host_image, "d_I")
+        out = rt.malloc(n, DType.FLOAT32, "d_c")
+        coeff = rt.upload(host_coeff, "d_cN")
+        # A staging duplicate of the coefficient array (duplicate values).
+        coeff_copy = rt.upload(host_coeff, "d_cS")
+        # Single-value lambda array (scalar broadcast as a vector); 64
+        # elements fill the 256-byte allocation granule exactly.
+        lam = rt.upload(np.full(64, 0.5, np.float32), "d_lambda")
+        # The index arrays are allocated and uploaded in every variant —
+        # the structured fix only changes the kernel.
+        i_n = rt.upload(host_i_n, "d_iN")
+        i_s = rt.upload(host_i_s, "d_iS")
+        j_w = rt.upload(host_j_w, "d_jW")
+        j_e = rt.upload(host_j_e, "d_jE")
+
+        block = 256
+        grid = n // block
+        for _ in range(self.scaled(self.ITERATIONS, minimum=1)):
+            if structured:
+                rt.launch(
+                    srad_kernel_structured, grid, block,
+                    image, coeff, lam, out, cols, rows,
+                )
+            else:
+                rt.launch(
+                    srad_kernel, grid, block,
+                    image, i_n, i_s, j_w, j_e, coeff, lam, out, cols,
+                )
+
+        result = HostArray(np.zeros(n, np.float32), "h_out")
+        rt.memcpy_d2h(result, out)
+        for alloc in (image, out, coeff, coeff_copy, lam, i_n, i_s, j_w, j_e):
+            rt.free(alloc)

@@ -1,0 +1,93 @@
+"""Rodinia/streamcluster — streaming k-median clustering.
+
+Value behaviour per the paper:
+
+- **redundant values** — the host re-uploads the (unchanged) point
+  coordinates to the device before every clustering pass; Table 4's
+  redundant-values fix adds a dirty check and skips unchanged uploads
+  (memory-time speedup 2.39x / 1.81x; Table 3 reports no kernel
+  speedup — the fix touches memory operations only).
+
+streamcluster is also the paper's interval-count stress test: each
+kernel produces tens of millions of per-access intervals (3.4e7 in the
+paper), which is why the Figure 4 GPU merge exists at all.  The
+reproduction keeps the property that this workload produces the most
+raw intervals per launch of the Rodinia suite.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+import numpy as np
+
+from repro.gpu.dtypes import DType
+from repro.gpu.kernel import kernel
+from repro.gpu.runtime import GpuRuntime, HostArray
+from repro.patterns.base import Pattern
+from repro.workloads.base import Workload, WorkloadMeta
+from repro.workloads.registry import register
+
+#: Dimensions per point (each dimension is a separate strided access,
+#: maximizing the raw interval count).
+_DIMS = 8
+
+
+@kernel("pgain_kernel")
+def pgain_kernel(ctx, points, centers, cost):
+    """Distance evaluation with strided, non-coalesced accesses."""
+    tid = ctx.global_ids
+    total = np.zeros(tid.size, np.float32)
+    n = tid.size
+    for dim in range(_DIMS):
+        # Stride-n layout: thread t touches points[dim*n + t] — each
+        # warp's accesses are scattered, producing many intervals.
+        p = ctx.load(points, tid + dim * n, tids=tid)
+        c = ctx.load(centers, np.full(tid.size, dim, np.int64), tids=tid)
+        ctx.flops(3 * tid.size, DType.FLOAT32)
+        total = total + (p - c) * (p - c)
+    ctx.store(cost, tid, total, tids=tid)
+
+
+@register
+class Streamcluster(Workload):
+    """streamcluster re-uploading unchanged points every pass."""
+
+    meta = WorkloadMeta(
+        name="rodinia/streamcluster",
+        kind="benchmark",
+        kernel_name=None,  # Table 3 reports memory time only
+        table1_patterns=(Pattern.REDUNDANT_VALUES,),
+        table4_rows=(Pattern.REDUNDANT_VALUES,),
+    )
+
+    POINTS = 32 * 1024
+    PASSES = 8
+
+    def run(self, rt: GpuRuntime, optimize: FrozenSet[Pattern] = frozenset()) -> None:
+        """Execute the workload on ``rt``; ``optimize`` selects which paper fixes are active (see the module docstring)."""
+        n = self.scaled(self.POINTS)
+        dirty_check = Pattern.REDUNDANT_VALUES in optimize
+
+        host_points = self.rng.normal(size=n * _DIMS).astype(np.float32)
+        host_centers = self.rng.normal(size=_DIMS).astype(np.float32) + 10.0
+
+        points = rt.upload(host_points, "work_mem_d")
+        centers = rt.upload(host_centers, "coord_d")
+        cost = rt.malloc(n, DType.FLOAT32, "gl_lower")
+
+        block = 256
+        grid = n // block
+        for pass_idx in range(self.scaled(self.PASSES, minimum=2)):
+            # The coordinates actually change on every third pass (the
+            # stream advances); the baseline re-uploads them before
+            # *every* pass regardless.
+            points_dirty = pass_idx % 3 == 0
+            if not dirty_check or points_dirty:
+                rt.memcpy_h2d(points, HostArray(host_points, "h_points"))
+            rt.launch(pgain_kernel, grid, block, points, centers, cost)
+
+        result = HostArray(np.zeros(n, np.float32), "h_cost")
+        rt.memcpy_d2h(result, cost)
+        for alloc in (points, centers, cost):
+            rt.free(alloc)

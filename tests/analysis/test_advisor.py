@@ -1,0 +1,49 @@
+"""Tests for the optimization advisor."""
+
+from repro.analysis.advisor import suggest, suggest_for_hit
+from repro.analysis.profile import ValueProfile
+from repro.patterns.base import Pattern, PatternHit
+
+
+def _hit(pattern, obj="arr"):
+    return PatternHit(pattern, obj, "v1:k", detail="evidence")
+
+
+def test_every_pattern_has_guidance():
+    for pattern in Pattern:
+        suggestion = suggest_for_hit(_hit(pattern))
+        assert suggestion.guidance
+        assert suggestion.pattern is pattern
+
+
+def test_guidance_mentions_the_fix_vocabulary():
+    assert "cudaMemset" in suggest_for_hit(_hit(Pattern.DUPLICATE_VALUES)).guidance
+    assert "empty_like" in suggest_for_hit(_hit(Pattern.REDUNDANT_VALUES)).guidance
+    assert "scalar" in suggest_for_hit(_hit(Pattern.SINGLE_VALUE)).guidance.lower()
+    assert "index" in suggest_for_hit(_hit(Pattern.STRUCTURED_VALUES)).guidance.lower()
+    assert "demote" in suggest_for_hit(_hit(Pattern.HEAVY_TYPE)).guidance.lower()
+
+
+def test_suggestions_sorted_by_priority():
+    profile = ValueProfile()
+    profile.fine_hits.append(_hit(Pattern.APPROXIMATE_VALUES))
+    profile.fine_hits.append(_hit(Pattern.SINGLE_ZERO))
+    profile.coarse_hits.append(_hit(Pattern.REDUNDANT_VALUES))
+    ordered = [s.pattern for s in suggest(profile)]
+    assert ordered == [
+        Pattern.REDUNDANT_VALUES,
+        Pattern.SINGLE_ZERO,
+        Pattern.APPROXIMATE_VALUES,
+    ]
+
+
+def test_suggestion_carries_evidence():
+    suggestion = suggest_for_hit(_hit(Pattern.FREQUENT_VALUES))
+    assert suggestion.evidence == "evidence"
+    text = str(suggestion)
+    assert "frequent values" in text
+    assert "evidence" in text
+
+
+def test_empty_profile_yields_no_suggestions():
+    assert suggest(ValueProfile()) == []

@@ -1,0 +1,48 @@
+"""Source-attribution details of the offline annotation pass."""
+
+import numpy as np
+
+from repro import ToolConfig, ValueExpert
+from repro.gpu.dtypes import DType
+from repro.gpu.runtime import HostArray
+
+
+def _profile():
+    def workload(rt):
+        out = rt.malloc(128, DType.FLOAT32, "arr")
+        rt.memcpy_h2d(out, HostArray(np.zeros(128, np.float32), "h"))
+        rt.memset(out, 0)
+
+    return ValueExpert(ToolConfig()).profile(workload, name="annotate")
+
+
+def test_vertices_get_source_attribute():
+    profile = _profile()
+    annotated = [
+        v for v in profile.graph.vertices()
+        if getattr(v, "source", None) is not None
+    ]
+    assert annotated
+    assert any("test_annotate_sources.py" in v.source for v in annotated)
+
+
+def test_call_paths_exclude_runtime_internals():
+    """Call paths must point at workload code, never at the runtime or
+    collector frames that sit between."""
+    profile = _profile()
+    for vertex in profile.graph.vertices():
+        if vertex.call_path is None:
+            continue
+        for frame in vertex.call_path:
+            assert "repro/gpu/" not in frame.filename
+            assert "repro/collector/" not in frame.filename
+
+
+def test_hit_sources_point_at_the_culprit_line():
+    profile = _profile()
+    memset_hits = [
+        h for h in profile.hits if "cudaMemset" in h.api_ref
+    ]
+    assert memset_hits
+    source = memset_hits[0].metrics.get("source", "")
+    assert "test_annotate_sources.py" in source

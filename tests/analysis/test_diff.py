@@ -1,0 +1,53 @@
+"""Tests for profile diffing."""
+
+import pytest
+
+from repro import ToolConfig, ValueExpert
+from repro.analysis.diff import diff_profiles
+from repro.patterns.base import Pattern
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def deepwave_diff():
+    workload = get_workload("pytorch/deepwave")(scale=0.25)
+    tool = ValueExpert(ToolConfig())
+    before = tool.profile(workload.run_baseline, name="before")
+    after = tool.profile(lambda rt: workload.run_optimized(rt), name="after")
+    return diff_profiles(before, after)
+
+
+def test_fix_removes_gradinput_redundancy(deepwave_diff):
+    fixed_objects = {obj for pattern, obj in deepwave_diff.fixed
+                     if pattern is Pattern.REDUNDANT_VALUES}
+    assert any("gradInput" in obj for obj in fixed_objects)
+
+
+def test_fix_is_strict_improvement(deepwave_diff):
+    assert deepwave_diff.is_strict_improvement
+
+
+def test_redundant_traffic_reduced(deepwave_diff):
+    assert deepwave_diff.redundant_traffic_reduction > 0.5
+
+
+def test_unrelated_findings_persist(deepwave_diff):
+    # The (benign) wavefield single-zero facts survive the fix.
+    assert deepwave_diff.persisting
+
+
+def test_summary_renders(deepwave_diff):
+    text = deepwave_diff.summary()
+    assert "fixed" in text
+    assert "reduction" in text
+
+
+def test_identical_profiles_diff_empty():
+    workload = get_workload("rodinia/hotspot")(scale=0.25)
+    tool = ValueExpert(ToolConfig())
+    first = tool.profile(workload.run_baseline)
+    second = tool.profile(workload.run_baseline)
+    diff = diff_profiles(first, second)
+    assert diff.fixed == [] and diff.introduced == []
+    assert not diff.is_strict_improvement
+    assert diff.redundant_traffic_reduction == pytest.approx(0.0)

@@ -1,0 +1,65 @@
+"""Tests for the standalone HTML report."""
+
+import numpy as np
+import pytest
+
+from repro import ToolConfig, ValueExpert
+from repro.analysis.htmlreport import render_html
+from repro.gpu.annotations import annotate
+from repro.gpu.dtypes import DType
+from repro.gpu.runtime import HostArray
+
+
+@pytest.fixture(scope="module")
+def report():
+    from tests.conftest import fill_constant_kernel
+
+    def workload(rt):
+        out = rt.malloc(256, DType.FLOAT32, "l.output_gpu")
+        rt.memcpy_h2d(out, HostArray(np.zeros(256, np.float32), "l.output"))
+        with annotate(rt, "conv1"):
+            rt.launch(fill_constant_kernel, 1, 256, out, 0.0)
+
+    profile = ValueExpert(ToolConfig()).profile(workload, name="html-demo")
+    return render_html(profile)
+
+
+def test_is_complete_html_document(report):
+    assert report.startswith("<!DOCTYPE html>")
+    assert report.rstrip().endswith("</html>")
+
+
+def test_embeds_the_svg_graph(report):
+    assert "<svg" in report
+    assert "</svg>" in report
+
+
+def test_lists_pattern_hits(report):
+    assert "redundant values" in report
+    assert "l.output_gpu" in report
+
+
+def test_shows_operator_annotation(report):
+    assert "conv1" in report
+
+
+def test_includes_guidance(report):
+    assert "cudaMemset" in report  # duplicate-values advice
+
+
+def test_includes_counters(report):
+    assert "recorded_accesses" in report
+
+
+def test_escapes_untrusted_labels():
+    def workload(rt):
+        rt.malloc(64, DType.FLOAT32, "<script>alert(1)</script>")
+
+    profile = ValueExpert(ToolConfig()).profile(workload, name="xss")
+    html_out = render_html(profile)
+    assert "<script>alert" not in html_out
+    assert "&lt;script&gt;" in html_out
+
+
+def test_title_defaults_to_workload_name(report):
+    assert "html-demo" in report

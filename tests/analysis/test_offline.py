@@ -1,0 +1,120 @@
+"""Tests for the offline analyzer (type slicing + annotation)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.offline import OfflineAnalyzer, _vertex_id_of
+from repro.binary.module import BinaryBuilder
+from repro.collector.collector import UntypedGroup
+from repro.collector.objects import DataObject
+from repro.errors import BinaryAnalysisError
+from repro.gpu.dtypes import DType
+from repro.gpu.kernel import kernel
+from repro.patterns.base import Pattern
+
+
+def _kernel_with_binary():
+    """A kernel whose (untyped) loads a synthetic binary types."""
+
+    @kernel("typed_by_binary")
+    def typed_by_binary(ctx, buf):
+        tid = ctx.global_ids
+        ctx.load_untyped(buf, tid, tids=tid)
+
+    builder = BinaryBuilder("typed_by_binary", base_pc=typed_by_binary.code_base)
+    r0 = builder.reg()
+    builder.ldg(r0, width_bits=32)
+    r1 = builder.reg()
+    builder.fadd(r1, r0, r0)
+    typed_by_binary.binary = builder.build()
+    return typed_by_binary
+
+
+def _run_kernel(kern, values):
+    from repro.gpu.device import Device
+    from repro.gpu.kernel import KernelContext
+
+    device = Device()
+    alloc = device.memory.malloc(
+        values.size * values.dtype.itemsize, dtype=DType.from_numpy(values.dtype)
+    )
+    alloc.write(np.arange(values.size), values)
+    ctx = KernelContext(kern, 1, values.size, device, instrument=True)
+    kern(ctx, alloc)
+    return alloc, ctx.records
+
+
+def test_reinterpret_same_width():
+    raw = np.array([0x3F800000], dtype=np.uint32)  # bits of 1.0f
+    values = OfflineAnalyzer.reinterpret(raw, DType.FLOAT32)
+    assert values[0] == 1.0
+
+
+def test_reinterpret_splits_wide_slots():
+    """One 64-bit raw slot viewed as float32 yields two values."""
+    raw = np.zeros(4, dtype=np.uint64)
+    values = OfflineAnalyzer.reinterpret(raw, DType.FLOAT32)
+    assert values.size == 8
+
+
+def test_resolve_kernel_types_by_program_order():
+    kern = _kernel_with_binary()
+    _, records = _run_kernel(kern, np.ones(64, np.float32))
+    offline = OfflineAnalyzer()
+    mapping = offline.resolve_kernel_types(kern)
+    assert mapping[records[0].pc].dtype is DType.FLOAT32
+
+
+def test_resolve_without_binary_raises():
+    @kernel("no_binary")
+    def no_binary(ctx):
+        pass
+
+    with pytest.raises(BinaryAnalysisError):
+        OfflineAnalyzer().resolve_kernel_types(no_binary)
+
+
+def test_analyze_untyped_produces_pattern_hits():
+    kern = _kernel_with_binary()
+    alloc, records = _run_kernel(kern, np.zeros(64, np.float32))
+    obj = DataObject(
+        alloc_id=alloc.alloc_id,
+        label="mystery",
+        address=alloc.address,
+        size=alloc.size,
+        dtype=alloc.dtype,
+        alloc_context=None,
+        handle=alloc,
+    )
+    group = UntypedGroup(
+        obj=obj,
+        kernel=kern,
+        pc=records[0].pc,
+        raw_values=records[0].values,
+        addresses=records[0].addresses,
+    )
+    hits = OfflineAnalyzer().analyze_untyped([(group, "v1:typed_by_binary")])
+    patterns = {hit.pattern for hit in hits}
+    assert Pattern.SINGLE_ZERO in patterns
+    for hit in hits:
+        assert hit.metrics["resolved_offline"]
+        assert "FLOAT32" in hit.metrics["access_type"]
+
+
+def test_analyze_untyped_skips_binary_less_kernels():
+    @kernel("opaque")
+    def opaque(ctx):
+        pass
+
+    group = UntypedGroup(
+        obj=None, kernel=opaque, pc=0x1,
+        raw_values=np.zeros(8, np.uint32),
+        addresses=np.arange(8, dtype=np.uint64),
+    )
+    assert OfflineAnalyzer().analyze_untyped([(group, "ref")]) == []
+
+
+def test_vertex_id_parser():
+    assert _vertex_id_of("v12:kernel") == 12
+    assert _vertex_id_of("nonsense") is None
+    assert _vertex_id_of("vx:kernel") is None

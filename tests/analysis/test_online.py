@@ -1,0 +1,128 @@
+"""Tests for the online analyzer (patterns + flow graph during run)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.online import OnlineAnalyzer
+from repro.collector.collector import DataCollector
+from repro.gpu.dtypes import DType
+from repro.gpu.runtime import HostArray
+from repro.patterns.base import Pattern
+
+
+@pytest.fixture
+def analysis(rt):
+    analyzer = OnlineAnalyzer()
+    collector = DataCollector(analyzer)
+    collector.attach(rt)
+    return rt, analyzer
+
+
+def test_malloc_creates_alloc_vertex_and_object_info(analysis):
+    rt, analyzer = analysis
+    rt.malloc(64, DType.FLOAT32, "arr")
+    labels = [v.name for v in analyzer.profile.graph.vertices()]
+    assert "arr" in labels
+    assert analyzer.profile.objects[0].label == "arr"
+
+
+def test_redundant_memset_detected(analysis):
+    rt, analyzer = analysis
+    alloc = rt.malloc(256, DType.FLOAT32, "arr")
+    rt.memset(alloc, 0)  # fresh allocations are zero: fully redundant
+    hits = analyzer.profile.hits_by_pattern(Pattern.REDUNDANT_VALUES)
+    assert any(hit.object_label == "arr" for hit in hits)
+
+
+def test_duplicate_host_device_zero_copy(analysis):
+    """The Darknet Inefficiency II signature."""
+    rt, analyzer = analysis
+    alloc = rt.malloc(64, DType.FLOAT32, "l.output_gpu")
+    rt.memcpy_h2d(alloc, HostArray(np.zeros(64, np.float32), "l.output"))
+    hits = analyzer.profile.hits_by_pattern(Pattern.DUPLICATE_VALUES)
+    assert hits
+    group = hits[0].metrics["group"]
+    assert "host:l.output" in group
+    assert "l.output_gpu" in group
+
+
+def test_fill_then_accumulate_flow(analysis, fill_kernel, acc_kernel):
+    """The Darknet Inefficiency I signature: fill zeros, then read them."""
+    rt, analyzer = analysis
+    alloc = rt.malloc(256, DType.FLOAT32, "out")
+    rt.launch(fill_kernel, 1, 256, alloc, 0.0)
+    rt.launch(fill_kernel, 1, 256, alloc, 0.0)  # the redundant refill
+    hits = analyzer.profile.hits
+    patterns = {hit.pattern for hit in hits}
+    assert Pattern.REDUNDANT_VALUES in patterns
+    assert Pattern.SINGLE_ZERO in patterns
+
+
+def test_hits_deduplicated_across_iterations(analysis, fill_kernel):
+    rt, analyzer = analysis
+    alloc = rt.malloc(256, DType.FLOAT32, "out")
+    for _ in range(5):
+        rt.launch(fill_kernel, 1, 256, alloc, 0.0)
+    zero_hits = [
+        hit
+        for hit in analyzer.profile.fine_hits
+        if hit.pattern is Pattern.SINGLE_ZERO and hit.object_label == "out"
+    ]
+    assert len(zero_hits) == 1
+    assert zero_hits[0].metrics["occurrences"] == 5
+
+
+def test_flow_graph_merges_loop_iterations(analysis, fill_kernel):
+    rt, analyzer = analysis
+    alloc = rt.malloc(256, DType.FLOAT32, "out")
+    for _ in range(4):
+        rt.launch(fill_kernel, 1, 256, alloc, 1.0)
+    kernels = [
+        v
+        for v in analyzer.profile.graph.vertices()
+        if v.name == "fill_constant"
+    ]
+    assert len(kernels) == 1
+    assert kernels[0].invocations == 4
+
+
+def test_duplicate_group_reported_once(analysis):
+    rt, analyzer = analysis
+    a = rt.malloc(64, DType.FLOAT32, "a")
+    b = rt.malloc(64, DType.FLOAT32, "b")
+    data = HostArray(np.ones(64, np.float32), "h")
+    rt.memcpy_h2d(a, data)
+    rt.memcpy_h2d(b, data)
+    rt.memcpy_h2d(b, data)  # repeat must not re-report
+    hits = [
+        hit
+        for hit in analyzer.profile.hits_by_pattern(Pattern.DUPLICATE_VALUES)
+        if "a" in hit.metrics["group"] and "b" in hit.metrics["group"]
+    ]
+    assert len(hits) == 1
+
+
+def test_api_refs_point_at_graph_vertices(analysis, fill_kernel):
+    rt, analyzer = analysis
+    alloc = rt.malloc(256, DType.FLOAT32, "out")
+    rt.launch(fill_kernel, 1, 256, alloc, 0.0)
+    for hit in analyzer.profile.hits:
+        assert hit.api_ref.startswith("v")
+        vid = int(hit.api_ref[1:].split(":")[0])
+        analyzer.profile.graph.vertex(vid)  # must resolve
+
+
+def test_freed_object_leaves_digest_table(analysis):
+    rt, analyzer = analysis
+    alloc = rt.malloc(64, DType.FLOAT32, "gone")
+    rt.memset(alloc, 1)
+    rt.free(alloc)
+    assert f"dev:{alloc.alloc_id}" not in analyzer._digests
+
+
+def test_finish_stamps_metadata(analysis):
+    rt, analyzer = analysis
+    rt.malloc(64, DType.FLOAT32)
+    profile = analyzer.finish(workload="wl", platform="RTX 2080 Ti")
+    assert profile.workload_name == "wl"
+    assert profile.platform_name == "RTX 2080 Ti"

@@ -1,0 +1,100 @@
+"""Tests for the profile result model."""
+
+import json
+
+import pytest
+
+from repro.analysis.profile import ObjectInfo, ValueProfile
+from repro.flowgraph.builder import FlowGraphBuilder, ObjectAccess
+from repro.flowgraph.graph import VertexKind
+from repro.patterns.base import Pattern, PatternHit
+
+
+def _profile():
+    builder = FlowGraphBuilder()
+    builder.on_malloc(1, "arr", None)
+    builder.on_api(
+        VertexKind.KERNEL, "k", None,
+        writes=[ObjectAccess(1, 1000, redundant_fraction=0.9)],
+    )
+    profile = ValueProfile(graph=builder.graph, workload_name="test")
+    profile.coarse_hits.append(
+        PatternHit(Pattern.REDUNDANT_VALUES, "arr", "v2:k", detail="d1")
+    )
+    profile.fine_hits.append(
+        PatternHit(Pattern.SINGLE_ZERO, "arr", "v2:k", detail="d2",
+                   metrics={"accesses": 8})
+    )
+    profile.objects.append(ObjectInfo(1, "arr", 4096, "FLOAT32"))
+    return profile
+
+
+def test_hits_combined_coarse_first():
+    profile = _profile()
+    assert [hit.pattern for hit in profile.hits] == [
+        Pattern.REDUNDANT_VALUES,
+        Pattern.SINGLE_ZERO,
+    ]
+
+
+def test_hits_by_pattern():
+    profile = _profile()
+    assert len(profile.hits_by_pattern(Pattern.SINGLE_ZERO)) == 1
+    assert profile.hits_by_pattern(Pattern.HEAVY_TYPE) == []
+
+
+def test_hits_for_object():
+    profile = _profile()
+    assert len(profile.hits_for_object("arr")) == 2
+    assert profile.hits_for_object("other") == []
+
+
+def test_hits_for_vertex():
+    """The GUI's vertex-id lookup (paper §4)."""
+    profile = _profile()
+    assert len(profile.hits_for_vertex(2)) == 2
+    assert profile.hits_for_vertex(99) == []
+    # Prefix matching must not confuse v2 with v20.
+    assert profile.hits_for_vertex(20) == []
+
+
+def test_patterns_found_in_enum_order():
+    profile = _profile()
+    assert profile.patterns_found() == [
+        Pattern.REDUNDANT_VALUES,
+        Pattern.SINGLE_ZERO,
+    ]
+
+
+def test_redundant_flows_sorted_by_bytes():
+    profile = _profile()
+    flows = profile.redundant_flows()
+    assert len(flows) == 1
+    assert flows[0].redundant_fraction == 0.9
+
+
+def test_redundant_flows_threshold():
+    profile = _profile()
+    assert profile.redundant_flows(threshold=0.95) == []
+
+
+def test_to_json_roundtrips_through_json():
+    profile = _profile()
+    data = json.loads(profile.to_json())
+    assert data["workload"] == "test"
+    assert len(data["hits"]) == 2
+    assert data["hits"][0]["pattern"] == "redundant values"
+    assert data["graph"]["vertices"]
+    assert data["graph"]["edges"][0]["redundant_fraction"] == 0.9
+
+
+def test_summary_mentions_counts():
+    summary = _profile().summary()
+    assert "1 coarse" in summary
+    assert "1 fine" in summary
+    assert "redundant values" in summary
+
+
+def test_empty_profile_summary():
+    profile = ValueProfile()
+    assert "patterns present: none" in profile.summary()

@@ -1,0 +1,117 @@
+"""Tests for the race-detection extension."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.races import RaceDetector, detect_races
+from repro.gpu.dtypes import DType
+from repro.gpu.kernel import kernel
+from repro.gpu.runtime import RuntimeListener
+
+
+class Instrument(RuntimeListener):
+    def instrument_kernel(self, kernel, grid, block):
+        return True
+
+
+@kernel("racy_writer")
+def racy_writer(ctx, buf):
+    """Every thread writes element 0 — blocks collide."""
+    tid = ctx.global_ids
+    ctx.store(buf, np.zeros(tid.size, np.int64), tid.astype(np.float32),
+              tids=tid)
+
+
+@kernel("block_private_writer")
+def block_private_writer(ctx, buf):
+    """Each block owns a disjoint slice — no cross-block conflicts."""
+    tid = ctx.global_ids
+    ctx.store(buf, tid, tid.astype(np.float32), tids=tid)
+
+
+@kernel("shared_reader")
+def shared_reader(ctx, buf):
+    """All blocks read element 0 — benign sharing."""
+    tid = ctx.global_ids
+    ctx.load(buf, np.zeros(tid.size, np.int64), tids=tid)
+
+
+@kernel("read_write_mix")
+def read_write_mix(ctx, buf):
+    """Block 0 writes element 0; other blocks read it."""
+    tid = ctx.global_ids
+    writers = tid[ctx.block_of(tid) == 0]
+    readers = tid[ctx.block_of(tid) != 0]
+    if writers.size:
+        ctx.store(buf, np.zeros(writers.size, np.int64),
+                  np.ones(writers.size, np.float32), tids=writers)
+    if readers.size:
+        ctx.load(buf, np.zeros(readers.size, np.int64), tids=readers)
+
+
+def _launch(rt, kern, grid=4, block=64):
+    rt.subscribe(Instrument())
+    buf = rt.malloc(grid * block, DType.FLOAT32, "buf")
+    return rt.launch(kern, grid, block, buf)
+
+
+def test_cross_block_write_write_detected(rt):
+    event = _launch(rt, racy_writer)
+    races = detect_races(event)
+    assert races
+    assert races[0].kind == "write-write"
+    assert len(races[0].blocks) >= 2
+
+
+def test_disjoint_blocks_race_free(rt):
+    event = _launch(rt, block_private_writer)
+    assert detect_races(event) == []
+
+
+def test_read_read_sharing_is_benign(rt):
+    event = _launch(rt, shared_reader)
+    assert detect_races(event) == []
+
+
+def test_read_write_race_detected(rt):
+    event = _launch(rt, read_write_mix)
+    races = detect_races(event)
+    assert races
+    assert races[0].kind == "read-write"
+
+
+def test_single_block_never_races(rt):
+    event = _launch(rt, racy_writer, grid=1, block=128)
+    assert detect_races(event) == []
+
+
+def test_report_names_kernel_and_pcs(rt):
+    event = _launch(rt, racy_writer)
+    report = detect_races(event)[0]
+    assert report.kernel == "racy_writer"
+    assert report.pcs
+    text = str(report)
+    assert "racy_writer" in text and "write-write" in text
+
+
+def test_max_reports_cap():
+    detector = RaceDetector(max_reports=1)
+
+    class FakeRecord:
+        def __init__(self, addresses, blocks, store):
+            from repro.gpu.accesses import AccessKind
+
+            self.addresses = np.asarray(addresses, dtype=np.uint64)
+            self.block_ids = np.asarray(blocks, dtype=np.int64)
+            self.count = self.addresses.size
+            self.pc = 0x10
+            self.kind = AccessKind.STORE if store else AccessKind.LOAD
+            self.kernel_name = "fake"
+
+    # Two racy addresses, cap keeps one.
+    record = FakeRecord([0, 0, 8, 8], [0, 1, 0, 1], store=True)
+    assert len(detector.analyze([record])) == 1
+
+
+def test_empty_records():
+    assert RaceDetector().analyze([]) == []

@@ -1,0 +1,56 @@
+"""Tests for the text report renderer."""
+
+import numpy as np
+
+from repro import ToolConfig, ValueExpert, render_report
+from repro.gpu.dtypes import DType
+from repro.gpu.runtime import HostArray
+
+
+def _profiled():
+    def workload(rt):
+        out = rt.malloc(256, DType.FLOAT32, "l.output_gpu")
+        rt.memcpy_h2d(out, HostArray(np.zeros(256, np.float32), "l.output"))
+        rt.memset(out, 0)
+
+    return ValueExpert(ToolConfig()).profile(workload, name="report-demo")
+
+
+def test_report_has_all_sections():
+    report = render_report(_profiled())
+    assert "ValueExpert report" in report
+    assert "redundant value flows" in report
+    assert "pattern hits" in report
+    assert "optimization guidance" in report
+    assert "value flow graph" in report
+
+
+def test_report_names_the_workload():
+    assert "report-demo" in render_report(_profiled())
+
+
+def test_report_flags_redundant_flow():
+    report = render_report(_profiled())
+    assert "redundant" in report.lower()
+    assert "l.output_gpu" in report
+
+
+def test_report_includes_object_history():
+    """The worst redundant object's life story is printed inline."""
+    report = render_report(_profiled())
+    assert "value history of" in report
+    assert "allocated at" in report
+
+
+def test_report_on_empty_profile():
+    from repro.analysis.profile import ValueProfile
+
+    report = render_report(ValueProfile())
+    assert "(none)" in report
+
+
+def test_max_suggestions_limits_output():
+    profile = _profiled()
+    full = render_report(profile)
+    limited = render_report(profile, max_suggestions=1)
+    assert len(limited) <= len(full)

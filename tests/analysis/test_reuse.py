@@ -1,0 +1,119 @@
+"""Tests for the reuse-distance extension."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.reuse import (
+    DEFAULT_BUCKETS,
+    ReuseDistanceAnalyzer,
+    ReuseProfile,
+    analyze_launch,
+)
+
+
+def _distances(addresses):
+    return ReuseDistanceAnalyzer._distances(
+        np.asarray(addresses, dtype=np.uint64)
+    ).tolist()
+
+
+def test_first_touches_are_cold():
+    assert _distances([1, 2, 3]) == [-1, -1, -1]
+
+
+def test_immediate_reuse_distance_zero():
+    assert _distances([1, 1]) == [-1, 0]
+
+
+def test_distance_counts_distinct_intervening_addresses():
+    # a b c a: two distinct addresses (b, c) between the two a's.
+    assert _distances([1, 2, 3, 1]) == [-1, -1, -1, 2]
+
+
+def test_repeated_intervening_address_counts_once():
+    # a b b b a: only b intervenes -> distance 1.
+    assert _distances([1, 2, 2, 2, 1]) == [-1, -1, 0, 0, 1]
+
+
+def test_lru_stack_semantics():
+    # a b a b: after the first reuse of a, b's reuse sees only a.
+    assert _distances([1, 2, 1, 2]) == [-1, -1, 1, 1]
+
+
+def test_sequential_sweep_has_no_reuse():
+    distances = _distances(range(100))
+    assert all(d == -1 for d in distances)
+
+
+def test_two_sweeps_reuse_at_full_working_set():
+    addresses = list(range(10)) * 2
+    distances = _distances(addresses)
+    assert distances[10:] == [9] * 10
+
+
+def test_profile_bucketing():
+    profile = ReuseProfile("obj")
+    profile.record(None)      # cold
+    profile.record(3)         # [0, 8)
+    profile.record(100)       # [64, 512)
+    profile.record(10**6)     # overflow bucket
+    assert profile.cold_accesses == 1
+    assert profile.counts[0] == 1
+    assert profile.counts[2] == 1
+    assert profile.counts[-1] == 1
+    assert profile.total_accesses == 4
+
+
+def test_hit_fraction():
+    profile = ReuseProfile("obj")
+    for _ in range(8):
+        profile.record(4)       # tiny distances
+    for _ in range(2):
+        profile.record(10_000)  # beyond a small cache
+    assert profile.hit_fraction(8) == pytest.approx(0.8)
+    assert profile.hit_fraction(DEFAULT_BUCKETS[-1]) == pytest.approx(1.0)
+
+
+def test_analyzer_groups_by_object_label():
+    analyzer = ReuseDistanceAnalyzer()
+
+    class FakeRecord:
+        def __init__(self, addresses):
+            self.addresses = np.asarray(addresses, dtype=np.uint64)
+
+    labels = {100: "a", 101: "a", 200: "b"}
+    analyzer.consume(
+        [FakeRecord([100, 200, 100, 101, 200])],
+        lambda addr: labels.get(addr),
+    )
+    assert analyzer.profiles["a"].total_accesses == 3
+    assert analyzer.profiles["b"].total_accesses == 2
+    report = analyzer.report()
+    assert "a:" in report and "b:" in report
+
+
+def test_analyze_launch_end_to_end(rt, acc_kernel):
+    """The streaming-reuse story on a real launch: the accumulate
+    kernel's (warp-wide) load record precedes its store record, so each
+    store reuses its element at a distance of one launch-width."""
+    from repro.collector.objects import DataObjectRegistry
+    from repro.gpu.dtypes import DType
+    from repro.gpu.runtime import RuntimeListener
+
+    class Instrument(RuntimeListener):
+        def instrument_kernel(self, kernel, grid, block):
+            return True
+
+    rt.subscribe(Instrument())
+    registry = DataObjectRegistry()
+    alloc = rt.malloc(256, DType.FLOAT32, "acc_target")
+    registry.on_malloc(alloc, None)
+    event = rt.launch(acc_kernel, 1, 256, alloc, 1.0)
+    analyzer = analyze_launch(event, registry)
+    profile = analyzer.profiles["acc_target"]
+    assert profile.total_accesses == 512
+    assert profile.cold_accesses == 256          # the loads
+    # Each store's reuse distance is 255 (the other elements loaded in
+    # between): hits in a 512-element cache, misses in an 8-element one.
+    assert profile.hit_fraction(8) == pytest.approx(0.0)
+    assert profile.hit_fraction(512) == pytest.approx(0.5)

@@ -1,0 +1,79 @@
+"""Tests for the chrome-trace exporter."""
+
+import json
+
+import numpy as np
+
+from repro import ToolConfig, ValueExpert
+from repro.analysis.trace import TraceRecorder
+from repro.gpu.annotations import annotate
+from repro.gpu.dtypes import DType
+from repro.gpu.runtime import GpuRuntime, HostArray
+
+
+def _record(fill_kernel):
+    rt = GpuRuntime()
+    recorder = TraceRecorder()
+    rt.subscribe(recorder)
+    out = rt.malloc(256, DType.FLOAT32, "out")
+    rt.memcpy_h2d(out, HostArray(np.zeros(256, np.float32)))
+    with annotate(rt, "layer0"):
+        rt.launch(fill_kernel, 1, 256, out, 0.0)
+    rt.memset(out, 0)
+    return recorder
+
+
+def test_events_are_valid_json(fill_kernel):
+    recorder = _record(fill_kernel)
+    events = json.loads(recorder.to_json())
+    assert len(events) == 4
+
+
+def test_events_are_complete_and_ordered(fill_kernel):
+    recorder = _record(fill_kernel)
+    events = json.loads(recorder.to_json())
+    assert all(e["ph"] == "X" for e in events)
+    timestamps = [e["ts"] for e in events]
+    assert timestamps == sorted(timestamps)
+    # Non-overlapping: each event starts after the previous ends.
+    for prev, nxt in zip(events, events[1:]):
+        assert nxt["ts"] >= prev["ts"] + prev["dur"] - 1e-6
+
+
+def test_kernel_event_named_after_kernel(fill_kernel):
+    recorder = _record(fill_kernel)
+    events = json.loads(recorder.to_json())
+    names = [e["name"] for e in events]
+    assert "fill_constant" in names
+
+
+def test_annotation_in_args(fill_kernel):
+    recorder = _record(fill_kernel)
+    events = json.loads(recorder.to_json())
+    launch = next(e for e in events if e["name"] == "fill_constant")
+    assert launch["args"]["operator"] == "layer0"
+    assert launch["args"]["grid"] == 1
+
+
+def test_memcpy_carries_direction_and_bytes(fill_kernel):
+    recorder = _record(fill_kernel)
+    events = json.loads(recorder.to_json())
+    memcpy = next(e for e in events if e["cat"] == "cudaMemcpy")
+    assert memcpy["args"]["direction"] == "h2d"
+    assert memcpy["args"]["bytes"] == 1024
+
+
+def test_hits_exported_as_instant_events(fill_kernel):
+    def workload(rt):
+        out = rt.malloc(256, DType.FLOAT32, "out")
+        rt.memset(out, 0)
+        rt.launch(fill_kernel, 1, 256, out, 0.0)
+
+    rt = GpuRuntime()
+    recorder = TraceRecorder()
+    rt.subscribe(recorder)
+    profile = ValueExpert(ToolConfig()).profile(workload, runtime=rt)
+    events = json.loads(recorder.to_json(profile))
+    instants = [e for e in events if e["ph"] == "i"]
+    assert instants
+    assert any("redundant values" in e["name"] for e in instants)

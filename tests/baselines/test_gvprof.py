@@ -1,0 +1,103 @@
+"""Tests for the GVProf-style baseline profiler."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.gvprof import GvprofProfiler
+from repro.errors import CollectionError
+from repro.gpu.dtypes import DType
+from repro.gpu.kernel import kernel
+
+
+@kernel("rewrites_same_value")
+def rewrites_same_value(ctx, buf):
+    """Stores the same constant twice per launch to the same addresses."""
+    tid = ctx.global_ids
+    ctx.store(buf, tid, np.full(tid.size, 5.0, np.float32), tids=tid)
+    ctx.store(buf, tid, np.full(tid.size, 5.0, np.float32), tids=tid)
+
+
+@kernel("unique_values")
+def unique_values(ctx, buf):
+    tid = ctx.global_ids
+    ctx.store(buf, tid, tid.astype(np.float32), tids=tid)
+
+
+def test_temporal_redundancy_within_kernel(rt):
+    profiler = GvprofProfiler()
+    profiler.attach(rt)
+    buf = rt.malloc(128, DType.FLOAT32)
+    rt.launch(rewrites_same_value, 1, 128, buf)
+    profiler.detach()
+    stores = [
+        e for e in profiler.report.per_pc.values() if e.kind == "store"
+    ]
+    # The second store sees the first store's values: fully redundant.
+    redundant = [e for e in stores if e.temporal_fraction == 1.0]
+    assert redundant
+
+
+def test_spatial_redundancy_for_uniform_warp(rt):
+    profiler = GvprofProfiler()
+    profiler.attach(rt)
+    buf = rt.malloc(128, DType.FLOAT32)
+    rt.launch(rewrites_same_value, 1, 128, buf)
+    profiler.detach()
+    assert any(
+        e.spatial_fraction == 1.0 for e in profiler.report.per_pc.values()
+    )
+
+
+def test_no_redundancy_for_unique_values(rt):
+    profiler = GvprofProfiler()
+    profiler.attach(rt)
+    buf = rt.malloc(128, DType.FLOAT32)
+    rt.launch(unique_values, 1, 128, buf)
+    profiler.detach()
+    entry = next(iter(profiler.report.per_pc.values()))
+    assert entry.temporal_fraction == 0.0
+    assert entry.spatial_fraction == 0.0
+
+
+def test_kernel_scoped_blind_spot(rt):
+    """GVProf resets per launch: cross-kernel redundancy is invisible.
+
+    This is exactly the limitation Section 7 describes and ValueExpert
+    removes.
+    """
+    profiler = GvprofProfiler()
+    profiler.attach(rt)
+    buf = rt.malloc(128, DType.FLOAT32)
+    rt.launch(unique_values, 1, 128, buf)
+    rt.launch(unique_values, 1, 128, buf)  # rewrites identical values!
+    profiler.detach()
+    entry = next(iter(profiler.report.per_pc.values()))
+    # Despite the second launch being fully redundant, GVProf sees none.
+    assert entry.temporal_fraction == 0.0
+
+
+def test_records_transferred_counted(rt):
+    profiler = GvprofProfiler()
+    profiler.attach(rt)
+    buf = rt.malloc(128, DType.FLOAT32)
+    rt.launch(unique_values, 1, 128, buf)
+    profiler.detach()
+    assert profiler.report.records_transferred == 128
+
+
+def test_summary_lists_top_redundancies(rt):
+    profiler = GvprofProfiler()
+    profiler.attach(rt)
+    buf = rt.malloc(128, DType.FLOAT32)
+    rt.launch(rewrites_same_value, 1, 128, buf)
+    profiler.detach()
+    summary = profiler.report.summary()
+    assert "GVProf report" in summary
+    assert "temporal" in summary
+
+
+def test_double_attach_rejected(rt):
+    profiler = GvprofProfiler()
+    profiler.attach(rt)
+    with pytest.raises(CollectionError):
+        profiler.attach(rt)

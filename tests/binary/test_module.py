@@ -1,0 +1,112 @@
+"""Tests for the binary container, builder, and def-use chains."""
+
+import pytest
+
+from repro.binary.defuse import DefUseGraph
+from repro.binary.isa import AccessType, Opcode, Register
+from repro.binary.module import BinaryBuilder, GpuBinary
+from repro.errors import BinaryAnalysisError
+from repro.gpu.dtypes import DType
+
+
+def _simple_function():
+    b = BinaryBuilder("f", base_pc=0x1000)
+    r0 = b.reg()
+    b.ldg(r0, width_bits=32, line=("srad.cu", 42))
+    r1 = b.reg()
+    b.fadd(r1, r0, r0)
+    b.stg(r1, width_bits=32)
+    b.exit()
+    return b.build()
+
+
+def test_builder_assigns_sequential_pcs():
+    function = _simple_function()
+    pcs = [instr.pc for instr in function.instructions]
+    assert pcs == sorted(pcs)
+    assert pcs[0] == 0x1000
+    assert pcs[1] - pcs[0] == 16  # Volta+ instruction width
+
+
+def test_line_map_recorded():
+    function = _simple_function()
+    load = function.memory_instructions[0]
+    assert function.line_map[load.pc] == ("srad.cu", 42)
+
+
+def test_memory_instructions_filtered():
+    function = _simple_function()
+    opcodes = [i.opcode for i in function.memory_instructions]
+    assert opcodes == [Opcode.LDG, Opcode.STG]
+
+
+def test_at_finds_instruction():
+    function = _simple_function()
+    assert function.at(0x1000).opcode is Opcode.LDG
+
+
+def test_at_rejects_bad_pc():
+    function = _simple_function()
+    with pytest.raises(BinaryAnalysisError):
+        function.at(0xDEAD)
+
+
+def test_binary_add_and_lookup():
+    binary = GpuBinary()
+    function = _simple_function()
+    binary.add(function)
+    assert binary.function_of_pc(0x1000) is function
+    assert binary.function_of_pc(0x999999) is None
+
+
+def test_binary_rejects_duplicate_function():
+    binary = GpuBinary()
+    binary.add(_simple_function())
+    with pytest.raises(BinaryAnalysisError):
+        binary.add(_simple_function())
+
+
+def test_defuse_definition_and_uses():
+    b = BinaryBuilder("g")
+    r0 = b.reg()
+    load = b.ldg(r0, width_bits=32)
+    r1 = b.reg()
+    add = b.fadd(r1, r0, r0)
+    store = b.stg(r1, width_bits=32)
+    graph = DefUseGraph(b.build())
+    assert graph.definition(r0) is load
+    assert graph.definition(r1) is add
+    # r0 appears twice as a source of the add (one entry per operand).
+    assert graph.uses(r0) == [add, add]
+    assert graph.uses(r1) == [store]
+
+
+def test_defuse_rejects_non_ssa():
+    from repro.binary.isa import Instruction
+
+    function = GpuBinary()
+    reg = Register(0)
+    double_def = [
+        Instruction(pc=0, opcode=Opcode.LDG, dests=(reg,), width_bits=32),
+        Instruction(pc=16, opcode=Opcode.LDG, dests=(reg,), width_bits=32),
+    ]
+    from repro.binary.module import GpuFunction
+
+    with pytest.raises(BinaryAnalysisError):
+        DefUseGraph(GpuFunction("bad", double_def))
+
+
+def test_access_type_width_validation():
+    with pytest.raises(ValueError):
+        AccessType.from_width(DType.FLOAT32, 48)
+    assert AccessType.from_width(DType.FLOAT32, 128).count == 4
+
+
+def test_register_str():
+    assert str(Register(3)) == "R3"
+
+
+def test_instruction_str_contains_opcode_and_width():
+    function = _simple_function()
+    text = str(function.memory_instructions[0])
+    assert "LDG" in text and ".32" in text

@@ -1,0 +1,110 @@
+"""Tests for binary synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.binary.slicing import infer_access_types
+from repro.binary.synthesis import anchored_type, synthesize_binary
+from repro.errors import BinaryAnalysisError
+from repro.gpu.device import Device
+from repro.gpu.dtypes import DType
+from repro.gpu.kernel import Kernel, KernelContext, kernel
+
+
+def _run_once(kern, *allocs):
+    device = Device()
+    ctx = KernelContext(kern, 1, 64, device, instrument=True)
+    kern(ctx, *allocs)
+    return ctx.records
+
+
+def _make_kernel():
+    @kernel("synth_target")
+    def synth_target(ctx, a, b):
+        tid = ctx.global_ids
+        ctx.load_untyped(a, tid, tids=tid)
+        ctx.store_untyped(b, tid, np.zeros(tid.size, b.dtype.np_dtype),
+                          tids=tid)
+
+    return synth_target
+
+
+def test_synthesis_requires_populated_pc_table():
+    @kernel("never_ran")
+    def never_ran(ctx):
+        pass
+
+    with pytest.raises(BinaryAnalysisError):
+        synthesize_binary(never_ran, {})
+
+
+def test_synthesized_binary_recovers_types():
+    kern = _make_kernel()
+    device = Device()
+    a = device.memory.malloc(64 * 4, dtype=DType.FLOAT32)
+    b = device.memory.malloc(64 * 8, dtype=DType.FLOAT64)
+    records = _run_once(kern, a, b)
+    site_types = {
+        kern.line_map[records[0].pc]: DType.FLOAT32,
+        kern.line_map[records[1].pc]: DType.FLOAT64,
+    }
+    site_kinds = {
+        kern.line_map[records[0].pc]: "load",
+        kern.line_map[records[1].pc]: "store",
+    }
+    function = synthesize_binary(kern, site_types, site_kinds)
+    assert kern.binary is function
+
+    # The memory instructions themselves are untyped in the IR ...
+    from repro.binary.isa import OPCODE_OPERAND_TYPE
+
+    for instr in function.memory_instructions:
+        assert instr.opcode not in OPCODE_OPERAND_TYPE
+    # ... yet slicing recovers both element types.
+    inferred = infer_access_types(function)
+    types = sorted(at.dtype.name for at in inferred.values())
+    assert types == ["FLOAT32", "FLOAT64"]
+
+
+def test_synthesis_feeds_the_offline_analyzer():
+    """End to end: untyped records + synthesized binary -> typed hits."""
+    from repro.analysis.offline import OfflineAnalyzer
+    from repro.collector.objects import DataObject
+
+    kern = _make_kernel()
+    device = Device()
+    a = device.memory.malloc(64 * 4, dtype=DType.FLOAT32, label="a")
+    b = device.memory.malloc(64 * 8, dtype=DType.FLOAT64, label="b")
+    records = _run_once(kern, a, b)
+    synthesize_binary(
+        kern,
+        {
+            kern.line_map[records[0].pc]: DType.FLOAT32,
+            kern.line_map[records[1].pc]: DType.FLOAT64,
+        },
+        {
+            kern.line_map[records[0].pc]: "load",
+            kern.line_map[records[1].pc]: "store",
+        },
+    )
+    offline = OfflineAnalyzer()
+    mapping = offline.resolve_kernel_types(kern)
+    assert mapping[records[0].pc].dtype is DType.FLOAT32
+    assert mapping[records[1].pc].dtype is DType.FLOAT64
+
+
+def test_unknown_sites_fall_back_to_unsigned():
+    kern = _make_kernel()
+    device = Device()
+    a = device.memory.malloc(64 * 4, dtype=DType.FLOAT32)
+    b = device.memory.malloc(64 * 8, dtype=DType.FLOAT64)
+    _run_once(kern, a, b)
+    function = synthesize_binary(kern, {})  # no type facts at all
+    inferred = infer_access_types(function)
+    assert all(at.dtype is DType.UINT32 for at in inferred.values())
+
+
+def test_anchored_type_mapping():
+    assert anchored_type(DType.FLOAT32) is DType.FLOAT32
+    assert anchored_type(DType.INT8) is DType.INT32
+    assert anchored_type(DType.FLOAT16) is DType.FLOAT16

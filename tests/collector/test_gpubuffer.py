@@ -1,0 +1,61 @@
+"""Tests for the bounded profiling buffer."""
+
+import pytest
+
+from repro.collector.gpubuffer import ProfilingBuffer, RECORD_BYTES
+from repro.errors import InvalidValueError
+
+
+def test_small_deposits_do_not_flush():
+    buffer = ProfilingBuffer(capacity_bytes=1024)
+    assert buffer.deposit(4) == 0
+    assert buffer.flushes == 0
+    assert buffer.used_bytes == 4 * RECORD_BYTES
+
+
+def test_exceeding_capacity_flushes():
+    buffer = ProfilingBuffer(capacity_bytes=10 * RECORD_BYTES)
+    flushes = buffer.deposit(15)
+    assert flushes == 1
+    assert buffer.used_bytes == 5 * RECORD_BYTES
+
+
+def test_large_deposit_flushes_repeatedly():
+    """The fill/flush protocol repeats until the kernel finishes."""
+    buffer = ProfilingBuffer(capacity_bytes=10 * RECORD_BYTES)
+    flushes = buffer.deposit(35)
+    assert flushes == 3
+    assert buffer.used_bytes == 5 * RECORD_BYTES
+
+
+def test_totals_accumulate():
+    buffer = ProfilingBuffer(capacity_bytes=1024)
+    buffer.deposit(3)
+    buffer.deposit(5)
+    assert buffer.total_records == 8
+    assert buffer.total_bytes == 8 * RECORD_BYTES
+
+
+def test_drain_flushes_pending_data():
+    buffer = ProfilingBuffer(capacity_bytes=1024)
+    buffer.deposit(2)
+    assert buffer.drain() == 1
+    assert buffer.used_bytes == 0
+    assert buffer.flushes == 1
+
+
+def test_drain_noop_when_empty():
+    buffer = ProfilingBuffer(capacity_bytes=1024)
+    assert buffer.drain() == 0
+    assert buffer.flushes == 0
+
+
+def test_invalid_capacity_rejected():
+    with pytest.raises(InvalidValueError):
+        ProfilingBuffer(capacity_bytes=0)
+
+
+def test_negative_deposit_rejected():
+    buffer = ProfilingBuffer(capacity_bytes=1024)
+    with pytest.raises(InvalidValueError):
+        buffer.deposit(-1)

@@ -1,0 +1,68 @@
+"""Tests for kernel filtering and hierarchical sampling."""
+
+import pytest
+
+from repro.collector.sampling import KernelSampler, SamplingConfig
+from repro.errors import InvalidValueError
+
+
+def test_default_config_instruments_everything():
+    sampler = KernelSampler(SamplingConfig())
+    assert all(sampler.should_instrument("k") for _ in range(10))
+
+
+def test_kernel_sampling_period():
+    sampler = KernelSampler(SamplingConfig(kernel_sampling_period=3))
+    decisions = [sampler.should_instrument("k") for _ in range(9)]
+    assert decisions == [True, False, False] * 3
+
+
+def test_sampling_counters_independent_per_kernel():
+    sampler = KernelSampler(SamplingConfig(kernel_sampling_period=2))
+    assert sampler.should_instrument("a")
+    assert sampler.should_instrument("b")  # b has its own counter
+    assert not sampler.should_instrument("a")
+    assert not sampler.should_instrument("b")
+
+
+def test_kernel_filter_blocks_unlisted_kernels():
+    config = SamplingConfig(kernel_filter=frozenset({"hot"}))
+    sampler = KernelSampler(config)
+    assert sampler.should_instrument("hot")
+    assert not sampler.should_instrument("cold")
+
+
+def test_filter_and_period_compose():
+    config = SamplingConfig(
+        kernel_sampling_period=2, kernel_filter=frozenset({"hot"})
+    )
+    sampler = KernelSampler(config)
+    decisions = [sampler.should_instrument("hot") for _ in range(4)]
+    assert decisions == [True, False, True, False]
+    assert not sampler.should_instrument("cold")
+
+
+def test_block_mask_period():
+    sampler = KernelSampler(SamplingConfig(block_sampling_period=4))
+    mask = sampler.block_mask(12)
+    assert mask.tolist() == [True, False, False, False] * 3
+
+
+def test_block_mask_none_when_period_one():
+    sampler = KernelSampler(SamplingConfig(block_sampling_period=1))
+    assert sampler.block_mask(8) is None
+
+
+def test_instrumented_and_skipped_counters():
+    sampler = KernelSampler(SamplingConfig(kernel_sampling_period=2))
+    for _ in range(4):
+        sampler.should_instrument("k")
+    assert sampler.instrumented_launches == 2
+    assert sampler.skipped_launches == 2
+
+
+def test_invalid_periods_rejected():
+    with pytest.raises(InvalidValueError):
+        SamplingConfig(kernel_sampling_period=0)
+    with pytest.raises(InvalidValueError):
+        SamplingConfig(block_sampling_period=-1)

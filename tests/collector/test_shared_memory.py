@@ -1,0 +1,55 @@
+"""Shared memory is one data object (paper §5.1)."""
+
+import numpy as np
+import pytest
+
+from repro import Pattern, ToolConfig, ValueExpert
+from repro.gpu.dtypes import DType
+from repro.gpu.kernel import kernel
+
+
+@kernel("uses_shared_zeros")
+def uses_shared_zeros(ctx, out):
+    """Stages zeros through shared memory, then writes them out."""
+    shared = ctx.shared_array(256, DType.FLOAT32)
+    tid = ctx.global_ids
+    ctx.store(shared, tid % 256, np.zeros(tid.size, np.float32), tids=tid)
+    staged = ctx.load(shared, tid % 256, tids=tid)
+    ctx.store(out, tid, staged, tids=tid)
+
+
+def _profile():
+    def workload(rt):
+        out = rt.malloc(256, DType.FLOAT32, "out")
+        rt.launch(uses_shared_zeros, 1, 256, out)
+
+    return ValueExpert(ToolConfig()).profile(workload, name="shared-demo")
+
+
+def test_shared_accesses_form_a_fine_view():
+    profile = _profile()
+    labels = {hit.object_label for hit in profile.fine_hits}
+    assert "uses_shared_zeros.<shared>" in labels
+
+
+def test_shared_object_patterns_detected():
+    profile = _profile()
+    shared_hits = [
+        hit
+        for hit in profile.fine_hits
+        if hit.object_label == "uses_shared_zeros.<shared>"
+    ]
+    patterns = {hit.pattern for hit in shared_hits}
+    assert Pattern.SINGLE_ZERO in patterns
+
+
+def test_global_object_still_analyzed_separately():
+    profile = _profile()
+    out_hits = [h for h in profile.fine_hits if h.object_label == "out"]
+    assert out_hits  # the global out array gets its own view
+
+
+def test_shared_accesses_counted():
+    profile = _profile()
+    # 3 instructions x 256 threads.
+    assert profile.counters.recorded_accesses == 3 * 256

@@ -1,0 +1,113 @@
+"""Tests for the CPU-side snapshot store."""
+
+import numpy as np
+import pytest
+
+from repro.collector.objects import DataObjectRegistry
+from repro.collector.snapshots import SnapshotStore
+from repro.errors import CollectionError
+from repro.gpu.dtypes import DType
+from repro.gpu.memory import DeviceMemory
+from repro.intervals.copyplan import CopyPlan, CopyStrategy
+
+
+@pytest.fixture
+def setup():
+    memory = DeviceMemory(capacity=1024 * 1024)
+    registry = DataObjectRegistry()
+    store = SnapshotStore()
+    alloc = memory.malloc(256 * 4, dtype=DType.FLOAT32, label="arr")
+    obj = registry.on_malloc(alloc, None)
+    store.track(obj)
+    return memory, store, obj, alloc
+
+
+def test_track_captures_initial_contents(setup):
+    _, store, obj, _ = setup
+    assert np.all(store.snapshot(obj.alloc_id) == 0)
+
+
+def test_track_twice_rejected(setup):
+    _, store, obj, _ = setup
+    with pytest.raises(CollectionError):
+        store.track(obj)
+
+
+def test_untracked_snapshot_rejected():
+    store = SnapshotStore()
+    with pytest.raises(CollectionError):
+        store.snapshot(123)
+
+
+def test_refresh_full_returns_before_and_after(setup):
+    _, store, obj, alloc = setup
+    alloc.write_all(np.ones(alloc.nelems, np.float32))
+    before, after = store.refresh_full(obj)
+    assert np.all(before == 0)
+    assert np.all(after == 1)
+    assert np.all(store.snapshot(obj.alloc_id) == 1)
+
+
+def test_refresh_plan_updates_only_planned_ranges(setup):
+    _, store, obj, alloc = setup
+    alloc.write_all(np.full(alloc.nelems, 7.0, np.float32))
+    # Plan covers elements [0, 64) only.
+    plan = CopyPlan(
+        strategy=CopyStrategy.SEGMENT,
+        ranges=((obj.address, obj.address + 64 * 4),),
+        bytes_transferred=64 * 4,
+        invocations=1,
+        cost_bytes=64 * 4,
+    )
+    before, after = store.refresh_plan(obj, plan)
+    assert np.all(after[:64] == 7.0)
+    assert np.all(after[64:] == 0.0)  # outside the plan: stale mirror
+
+
+def test_traffic_accounting(setup):
+    _, store, obj, alloc = setup
+    initial_bytes = store.traffic.bytes_copied
+    store.refresh_full(obj)
+    assert store.traffic.bytes_copied == initial_bytes + obj.size
+    plan = CopyPlan(
+        strategy=CopyStrategy.SEGMENT,
+        ranges=((obj.address, obj.address + 16),),
+        bytes_transferred=16,
+        invocations=1,
+        cost_bytes=16,
+    )
+    store.refresh_plan(obj, plan)
+    assert store.traffic.bytes_copied == initial_bytes + obj.size + 16
+
+
+def test_element_indices_from_intervals(setup):
+    _, store, obj, _ = setup
+    intervals = np.array(
+        [[obj.address, obj.address + 16],
+         [obj.address + 100 * 4, obj.address + 102 * 4]],
+        dtype=np.uint64,
+    )
+    indices = store.element_indices(obj, intervals)
+    assert indices.tolist() == [0, 1, 2, 3, 100, 101]
+
+
+def test_element_indices_partial_element_rounds_out(setup):
+    """A partially covered element still needs refreshing."""
+    _, store, obj, _ = setup
+    intervals = np.array(
+        [[obj.address + 2, obj.address + 6]], dtype=np.uint64
+    )
+    indices = store.element_indices(obj, intervals)
+    assert indices.tolist() == [0, 1]
+
+
+def test_element_indices_empty(setup):
+    _, store, obj, _ = setup
+    empty = np.empty((0, 2), dtype=np.uint64)
+    assert store.element_indices(obj, empty).size == 0
+
+
+def test_forget_stops_tracking(setup):
+    _, store, obj, _ = setup
+    store.forget(obj)
+    assert not store.is_tracked(obj.alloc_id)

@@ -1,0 +1,63 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gpu.device import Device, DeviceConfig
+from repro.gpu.dtypes import DType
+from repro.gpu.kernel import kernel
+from repro.gpu.runtime import GpuRuntime
+from repro.gpu.timing import RTX_2080_TI
+
+
+@pytest.fixture
+def device() -> Device:
+    """A small simulated device (4 MiB of global memory)."""
+    return Device(DeviceConfig(global_memory_bytes=4 * 1024 * 1024))
+
+
+@pytest.fixture
+def rt(device) -> GpuRuntime:
+    """A runtime over the small device, RTX 2080 Ti cost model."""
+    return GpuRuntime(device=device, platform=RTX_2080_TI)
+
+
+@kernel("copy_elements")
+def copy_elements_kernel(ctx, src, dst):
+    """Test kernel: dst[i] = src[i]."""
+    tid = ctx.global_ids
+    values = ctx.load(src, tid, tids=tid)
+    ctx.store(dst, tid, values, tids=tid)
+
+
+@kernel("fill_constant")
+def fill_constant_kernel(ctx, dst, value):
+    """Test kernel: dst[i] = value."""
+    tid = ctx.global_ids
+    ctx.store(dst, tid, np.full(tid.size, value, dst.dtype.np_dtype), tids=tid)
+
+
+@kernel("accumulate")
+def accumulate_kernel(ctx, dst, addend):
+    """Test kernel: dst[i] += addend (reads then writes)."""
+    tid = ctx.global_ids
+    values = ctx.load(dst, tid, tids=tid)
+    ctx.flops(tid.size)
+    ctx.store(dst, tid, values + np.asarray(addend, dst.dtype.np_dtype), tids=tid)
+
+
+@pytest.fixture
+def copy_kernel():
+    return copy_elements_kernel
+
+
+@pytest.fixture
+def fill_kernel():
+    return fill_constant_kernel
+
+
+@pytest.fixture
+def acc_kernel():
+    return accumulate_kernel

@@ -1,0 +1,39 @@
+"""Small-scale smoke of the §8 case-study regenerator."""
+
+import pytest
+
+from repro.experiments import casestudies
+
+
+@pytest.fixture(scope="module")
+def studies():
+    return casestudies.run(scale=0.2)
+
+
+def test_all_seven_case_studies_run(studies):
+    assert set(studies) == {
+        "darknet",
+        "pytorch/deepwave",
+        "pytorch/resnet50",
+        "pytorch/bert",
+        "castro",
+        "barracuda",
+        "lammps",
+    }
+
+
+def test_every_finding_found_even_at_small_scale(studies):
+    for study in studies.values():
+        for finding in study.findings:
+            assert "MISSING" not in finding, f"{study.name}: {finding}"
+
+
+def test_paper_graph_sizes_cited(studies):
+    assert studies["darknet"].paper_graph_size == (70, 114)
+    assert studies["castro"].paper_graph_size == (1092, 1666)
+
+
+def test_format_renders_measured_and_paper(studies):
+    text = casestudies.format_studies(studies)
+    assert "paper: 70/114" in text
+    assert "[FOUND]" in text

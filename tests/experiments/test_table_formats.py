@@ -1,0 +1,60 @@
+"""Formatting semantics of the table regenerators."""
+
+from repro.experiments import table1
+from repro.patterns.base import Pattern
+
+
+def test_table1_cells_encode_all_four_states():
+    result = table1.Table1(
+        found={
+            "wl": {Pattern.REDUNDANT_VALUES, Pattern.HEAVY_TYPE},
+        },
+        expected={
+            "wl": {Pattern.REDUNDANT_VALUES, Pattern.SINGLE_ZERO},
+        },
+    )
+    text = table1.format_table(result)
+    row = next(line for line in text.splitlines() if line.startswith("wl"))
+    cells = row.split()
+    # Red: paper+found -> Y; SZero: paper only -> X; Heavy: found only
+    # -> +; others -> '.'
+    assert "Y" in cells
+    assert "X" in cells
+    assert "+" in cells
+    assert "." in cells
+
+
+def test_table1_missing_and_covered_queries():
+    result = table1.Table1(
+        found={"wl": {Pattern.REDUNDANT_VALUES}},
+        expected={"wl": {Pattern.REDUNDANT_VALUES, Pattern.SINGLE_ZERO}},
+    )
+    assert result.missing("wl") == {Pattern.SINGLE_ZERO}
+    assert not result.all_covered()
+    result.found["wl"].add(Pattern.SINGLE_ZERO)
+    assert result.all_covered()
+
+
+def test_table1_legend_present():
+    result = table1.Table1(found={"wl": set()}, expected={"wl": set()})
+    text = table1.format_table(result)
+    assert "NOT reproduced" in text
+
+
+def test_paper_table3_reference_covers_every_workload():
+    from repro.experiments.table3 import PAPER_TABLE3
+    from repro.workloads import workload_names
+
+    assert set(PAPER_TABLE3) == set(workload_names())
+    for per_platform in PAPER_TABLE3.values():
+        assert set(per_platform) == {"RTX 2080 Ti", "A100"}
+
+
+def test_paper_table4_rows_match_workload_metadata():
+    """Every Table 4 reference row corresponds to a fixable pattern of
+    the named workload — the metadata and the paper agree."""
+    from repro.experiments.table4 import PAPER_TABLE4
+    from repro.workloads import get_workload
+
+    for (name, pattern), _ in PAPER_TABLE4.items():
+        assert pattern in get_workload(name).meta.table4_rows, (name, pattern)

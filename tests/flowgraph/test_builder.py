@@ -1,0 +1,147 @@
+"""Tests for last-writer-based flow graph construction."""
+
+from repro.flowgraph.builder import FlowGraphBuilder, ObjectAccess
+from repro.flowgraph.graph import EdgeKind, HOST_VERTEX_ID, VertexKind
+
+
+def _edges(builder):
+    return [
+        (e.src, e.dst, e.alloc_vid, e.kind) for e in builder.graph.edges()
+    ]
+
+
+def test_alloc_is_the_initial_last_writer():
+    builder = FlowGraphBuilder()
+    alloc_v = builder.on_malloc(1, "A", None)
+    kern = builder.on_api(
+        VertexKind.KERNEL, "k", None, reads=[ObjectAccess(1, 10)]
+    )
+    assert (alloc_v.vid, kern.vid, alloc_v.vid, EdgeKind.READ) in _edges(builder)
+
+
+def test_write_updates_last_writer():
+    builder = FlowGraphBuilder()
+    alloc_v = builder.on_malloc(1, "A", None)
+    writer = builder.on_api(
+        VertexKind.KERNEL, "w", None, writes=[ObjectAccess(1, 10)]
+    )
+    reader = builder.on_api(
+        VertexKind.KERNEL, "r", None, reads=[ObjectAccess(1, 10)]
+    )
+    edges = _edges(builder)
+    assert (writer.vid, reader.vid, alloc_v.vid, EdgeKind.READ) in edges
+    assert (alloc_v.vid, reader.vid, alloc_v.vid, EdgeKind.READ) not in edges
+
+
+def test_read_does_not_update_last_writer():
+    builder = FlowGraphBuilder()
+    alloc_v = builder.on_malloc(1, "A", None)
+    builder.on_api(VertexKind.KERNEL, "r1", None, reads=[ObjectAccess(1, 1)])
+    reader2 = builder.on_api(
+        VertexKind.KERNEL, "r2", None, reads=[ObjectAccess(1, 1)]
+    )
+    assert (alloc_v.vid, reader2.vid, alloc_v.vid, EdgeKind.READ) in _edges(builder)
+
+
+def test_figure3_topology():
+    """The worked example of Figure 3: 2 allocs, 2 memsets, 3 kernels."""
+    builder = FlowGraphBuilder()
+    a = builder.on_malloc(1, "A_dev", None)                       # line 1
+    b = builder.on_malloc(2, "B_dev", None)                       # line 2
+    set_a = builder.on_api(VertexKind.MEMSET, "memset", None,
+                           writes=[ObjectAccess(1, 16)])          # line 3
+    set_b = builder.on_api(VertexKind.MEMSET, "memset2", None,
+                           writes=[ObjectAccess(2, 16)])          # line 4
+    w_a = builder.on_api(VertexKind.KERNEL, "write_A", None,
+                         writes=[ObjectAccess(1, 16)])            # line 5
+    w_b = builder.on_api(VertexKind.KERNEL, "write_B", None,
+                         writes=[ObjectAccess(2, 16)])            # line 6
+    final = builder.on_api(VertexKind.KERNEL, "read_A_write_B", None,
+                           reads=[ObjectAccess(1, 16)],
+                           writes=[ObjectAccess(2, 16)])          # line 7
+    edges = _edges(builder)
+    assert (a.vid, set_a.vid, a.vid, EdgeKind.WRITE) in edges
+    assert (b.vid, set_b.vid, b.vid, EdgeKind.WRITE) in edges
+    assert (set_a.vid, w_a.vid, a.vid, EdgeKind.WRITE) in edges
+    assert (set_b.vid, w_b.vid, b.vid, EdgeKind.WRITE) in edges
+    assert (w_a.vid, final.vid, a.vid, EdgeKind.READ) in edges
+    assert (w_b.vid, final.vid, b.vid, EdgeKind.WRITE) in edges
+    assert len(edges) == 6
+
+
+def test_host_source_edge_for_h2d():
+    builder = FlowGraphBuilder()
+    alloc_v = builder.on_malloc(1, "A", None)
+    copy = builder.on_api(
+        VertexKind.MEMCPY, "cudaMemcpy", None,
+        writes=[ObjectAccess(1, 64)], host_source=True,
+    )
+    edges = _edges(builder)
+    assert (HOST_VERTEX_ID, copy.vid, alloc_v.vid, EdgeKind.SOURCE) in edges
+
+
+def test_host_sink_edge_for_d2h():
+    builder = FlowGraphBuilder()
+    alloc_v = builder.on_malloc(1, "A", None)
+    copy = builder.on_api(
+        VertexKind.MEMCPY, "cudaMemcpy", None,
+        reads=[ObjectAccess(1, 64)], host_sink=True,
+    )
+    edges = _edges(builder)
+    assert (copy.vid, HOST_VERTEX_ID, alloc_v.vid, EdgeKind.SINK) in edges
+
+
+def test_repeated_invocations_merge_and_count():
+    builder = FlowGraphBuilder()
+    builder.on_malloc(1, "A", None)
+    for _ in range(5):
+        vertex = builder.on_api(
+            VertexKind.KERNEL, "k", None, writes=[ObjectAccess(1, 8)]
+        )
+    assert vertex.invocations == 5
+    # Self-loop edge after the first write (k is its own last writer).
+    kinds = {(e.src, e.dst) for e in builder.graph.edges()}
+    assert (vertex.vid, vertex.vid) in kinds
+
+
+def test_redundancy_propagates_to_edge():
+    builder = FlowGraphBuilder()
+    builder.on_malloc(1, "A", None)
+    builder.on_api(
+        VertexKind.KERNEL, "k", None,
+        writes=[ObjectAccess(1, 8, redundant_fraction=0.8)],
+    )
+    edge = builder.graph.edges()[0]
+    assert edge.redundant_fraction == 0.8
+
+
+def test_pre_existing_object_gets_synthetic_alloc():
+    """Objects allocated before attach still appear in the flow."""
+    builder = FlowGraphBuilder()
+    vertex = builder.on_api(
+        VertexKind.KERNEL, "k", None, reads=[ObjectAccess(99, 8)]
+    )
+    labels = [v.name for v in builder.graph.vertices()]
+    assert any("pre-existing" in label for label in labels)
+    assert builder.graph.num_edges == 1
+
+
+def test_free_forgets_last_writer():
+    builder = FlowGraphBuilder()
+    builder.on_malloc(1, "A", None)
+    builder.on_api(VertexKind.KERNEL, "w", None, writes=[ObjectAccess(1, 8)])
+    builder.on_free(1)
+    assert builder.last_writer_of(1) is None
+
+
+def test_two_objects_tracked_independently():
+    builder = FlowGraphBuilder()
+    a = builder.on_malloc(1, "A", None)
+    b = builder.on_malloc(2, "B", None)
+    w = builder.on_api(VertexKind.KERNEL, "w", None,
+                       writes=[ObjectAccess(1, 8)])
+    r = builder.on_api(VertexKind.KERNEL, "r", None,
+                       reads=[ObjectAccess(1, 8), ObjectAccess(2, 8)])
+    edges = _edges(builder)
+    assert (w.vid, r.vid, a.vid, EdgeKind.READ) in edges
+    assert (b.vid, r.vid, b.vid, EdgeKind.READ) in edges

@@ -1,0 +1,137 @@
+"""Tests for the value flow graph model (Definition 5.1)."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.flowgraph.graph import (
+    EdgeKind,
+    HOST_VERTEX_ID,
+    ValueFlowGraph,
+    VertexKind,
+)
+from repro.utils.callpath import CallPath, Frame
+
+
+def _path(line):
+    return CallPath((Frame("f", "app.py", line),))
+
+
+def test_host_vertex_always_present():
+    graph = ValueFlowGraph()
+    assert graph.host.vid == HOST_VERTEX_ID
+    assert graph.host.kind is VertexKind.HOST
+    assert graph.num_vertices == 1
+
+
+def test_merge_vertex_by_context():
+    graph = ValueFlowGraph()
+    first = graph.merge_vertex(VertexKind.KERNEL, "k", _path(10))
+    again = graph.merge_vertex(VertexKind.KERNEL, "k", _path(10))
+    assert first.vid == again.vid
+    assert graph.num_vertices == 2
+
+
+def test_different_contexts_get_different_vertices():
+    graph = ValueFlowGraph()
+    a = graph.merge_vertex(VertexKind.KERNEL, "k", _path(10))
+    b = graph.merge_vertex(VertexKind.KERNEL, "k", _path(20))
+    assert a.vid != b.vid
+
+
+def test_different_names_get_different_vertices():
+    graph = ValueFlowGraph()
+    a = graph.merge_vertex(VertexKind.KERNEL, "k1", _path(10))
+    b = graph.merge_vertex(VertexKind.KERNEL, "k2", _path(10))
+    assert a.vid != b.vid
+
+
+def test_record_edge_accumulates():
+    graph = ValueFlowGraph()
+    alloc = graph.merge_vertex(VertexKind.ALLOC, "arr", None)
+    kern = graph.merge_vertex(VertexKind.KERNEL, "k", None)
+    graph.record_edge(alloc.vid, kern.vid, alloc.vid, EdgeKind.READ, 100)
+    graph.record_edge(alloc.vid, kern.vid, alloc.vid, EdgeKind.READ, 50)
+    edges = graph.edges()
+    assert len(edges) == 1
+    assert edges[0].bytes_accessed == 150
+    assert edges[0].count == 2
+
+
+def test_read_and_write_are_distinct_edges():
+    graph = ValueFlowGraph()
+    alloc = graph.merge_vertex(VertexKind.ALLOC, "arr", None)
+    kern = graph.merge_vertex(VertexKind.KERNEL, "k", None)
+    graph.record_edge(alloc.vid, kern.vid, alloc.vid, EdgeKind.READ, 10)
+    graph.record_edge(alloc.vid, kern.vid, alloc.vid, EdgeKind.WRITE, 10)
+    assert graph.num_edges == 2
+
+
+def test_redundant_fraction_keeps_maximum():
+    graph = ValueFlowGraph()
+    alloc = graph.merge_vertex(VertexKind.ALLOC, "arr", None)
+    kern = graph.merge_vertex(VertexKind.KERNEL, "k", None)
+    graph.record_edge(alloc.vid, kern.vid, alloc.vid, EdgeKind.WRITE, 1,
+                      redundant_fraction=0.4)
+    graph.record_edge(alloc.vid, kern.vid, alloc.vid, EdgeKind.WRITE, 1,
+                      redundant_fraction=0.9)
+    graph.record_edge(alloc.vid, kern.vid, alloc.vid, EdgeKind.WRITE, 1,
+                      redundant_fraction=0.2)
+    assert graph.edges()[0].redundant_fraction == 0.9
+
+
+def test_edge_to_unknown_vertex_rejected():
+    graph = ValueFlowGraph()
+    with pytest.raises(AnalysisError):
+        graph.record_edge(1, 2, 1, EdgeKind.READ, 10)
+
+
+def test_vertex_lookup_rejects_unknown():
+    graph = ValueFlowGraph()
+    with pytest.raises(AnalysisError):
+        graph.vertex(42)
+
+
+def test_in_out_edges():
+    graph = ValueFlowGraph()
+    a = graph.merge_vertex(VertexKind.ALLOC, "a", None)
+    k1 = graph.merge_vertex(VertexKind.KERNEL, "k1", None)
+    k2 = graph.merge_vertex(VertexKind.KERNEL, "k2", None)
+    graph.record_edge(a.vid, k1.vid, a.vid, EdgeKind.WRITE, 1)
+    graph.record_edge(k1.vid, k2.vid, a.vid, EdgeKind.READ, 1)
+    assert len(graph.out_edges(k1.vid)) == 1
+    assert len(graph.in_edges(k1.vid)) == 1
+    assert len(graph.in_edges(k2.vid)) == 1
+    assert graph.out_edges(k2.vid) == []
+
+
+def test_edges_for_object_and_touched():
+    graph = ValueFlowGraph()
+    a = graph.merge_vertex(VertexKind.ALLOC, "a", None)
+    b = graph.merge_vertex(VertexKind.ALLOC, "b", None)
+    k = graph.merge_vertex(VertexKind.KERNEL, "k", None)
+    graph.record_edge(a.vid, k.vid, a.vid, EdgeKind.READ, 1)
+    graph.record_edge(b.vid, k.vid, b.vid, EdgeKind.WRITE, 1)
+    assert {e.alloc_vid for e in graph.edges_for_object(a.vid)} == {a.vid}
+    assert graph.objects_touched_by(k.vid) == sorted([a.vid, b.vid])
+
+
+def test_subgraph_preserves_vertex_ids():
+    graph = ValueFlowGraph()
+    a = graph.merge_vertex(VertexKind.ALLOC, "a", None)
+    k = graph.merge_vertex(VertexKind.KERNEL, "k", None)
+    edge = graph.record_edge(a.vid, k.vid, a.vid, EdgeKind.WRITE, 4)
+    sub = graph.subgraph([edge])
+    assert sub.vertex(a.vid).name == "a"
+    assert sub.vertex(k.vid).name == "k"
+    assert sub.num_edges == 1
+
+
+def test_edges_order_deterministic():
+    graph = ValueFlowGraph()
+    a = graph.merge_vertex(VertexKind.ALLOC, "a", None)
+    k1 = graph.merge_vertex(VertexKind.KERNEL, "k1", None)
+    k2 = graph.merge_vertex(VertexKind.KERNEL, "k2", None)
+    graph.record_edge(a.vid, k2.vid, a.vid, EdgeKind.READ, 1)
+    graph.record_edge(a.vid, k1.vid, a.vid, EdgeKind.READ, 1)
+    ordered = [(e.src, e.dst) for e in graph.edges()]
+    assert ordered == sorted(ordered)

@@ -1,0 +1,89 @@
+"""Tests for per-object value history."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.flowgraph.builder import FlowGraphBuilder, ObjectAccess
+from repro.flowgraph.graph import VertexKind
+from repro.flowgraph.history import format_history, object_history
+
+
+def _darknet_like():
+    """alloc -> memcpy(zeros) -> fill(zeros) -> gemm (reads+writes)."""
+    builder = FlowGraphBuilder()
+    alloc = builder.on_malloc(1, "l.output_gpu", None)
+    builder.on_api(
+        VertexKind.MEMCPY, "cudaMemcpy", None,
+        writes=[ObjectAccess(1, 4096, redundant_fraction=1.0)],
+        host_source=True,
+    )
+    builder.on_api(
+        VertexKind.KERNEL, "fill_kernel", None,
+        writes=[ObjectAccess(1, 4096, redundant_fraction=1.0)],
+    )
+    builder.on_api(
+        VertexKind.KERNEL, "gemm", None,
+        reads=[ObjectAccess(1, 4096)],
+        writes=[ObjectAccess(1, 4096, redundant_fraction=0.0)],
+    )
+    return builder, alloc
+
+
+def test_history_orders_writers_from_allocation():
+    builder, alloc = _darknet_like()
+    steps = object_history(builder.graph, alloc.vid)
+    names = [step.writer.name for step in steps]
+    assert names == ["l.output_gpu", "cudaMemcpy", "fill_kernel", "gemm"]
+
+
+def test_history_marks_redundant_versions():
+    builder, alloc = _darknet_like()
+    steps = object_history(builder.graph, alloc.vid)
+    assert [step.redundant for step in steps] == [False, True, True, False]
+
+
+def test_history_attaches_readers_to_their_version():
+    builder, alloc = _darknet_like()
+    steps = object_history(builder.graph, alloc.vid)
+    fill_step = steps[2]
+    assert fill_step.writer.name == "fill_kernel"
+    assert len(fill_step.readers) == 1  # the gemm read of the zeros
+
+
+def test_history_rejects_non_alloc_vertex():
+    builder, _ = _darknet_like()
+    kernel_vid = next(
+        v.vid for v in builder.graph.vertices()
+        if v.kind is VertexKind.KERNEL
+    )
+    with pytest.raises(AnalysisError):
+        object_history(builder.graph, kernel_vid)
+
+
+def test_history_terminates_on_self_loops():
+    builder = FlowGraphBuilder()
+    alloc = builder.on_malloc(1, "acc", None)
+    for _ in range(5):
+        builder.on_api(
+            VertexKind.KERNEL, "accumulate", None,
+            reads=[ObjectAccess(1, 8)], writes=[ObjectAccess(1, 8)],
+        )
+    steps = object_history(builder.graph, alloc.vid)
+    assert len(steps) == 2  # alloc + the (merged, self-looping) kernel
+    assert steps[1].write_edge.count >= 1
+
+
+def test_format_history_renders():
+    builder, alloc = _darknet_like()
+    text = format_history(builder.graph, alloc.vid)
+    assert "value history of l.output_gpu" in text
+    assert "REDUNDANT" in text
+    assert "read by" in text
+
+
+def test_history_of_never_written_object():
+    builder = FlowGraphBuilder()
+    alloc = builder.on_malloc(1, "untouched", None)
+    steps = object_history(builder.graph, alloc.vid)
+    assert len(steps) == 1
+    assert steps[0].write_edge is None

@@ -1,0 +1,85 @@
+"""Tests for important graphs (Definition 5.3)."""
+
+from repro.flowgraph.builder import FlowGraphBuilder, ObjectAccess
+from repro.flowgraph.graph import VertexKind
+from repro.flowgraph.important import important_graph
+
+
+def _weighted_graph():
+    builder = FlowGraphBuilder()
+    builder.on_malloc(1, "big", None)
+    builder.on_malloc(2, "small", None)
+    heavy = builder.on_api(
+        VertexKind.KERNEL, "heavy", None, writes=[ObjectAccess(1, 10_000)]
+    )
+    light = builder.on_api(
+        VertexKind.KERNEL, "light", None, writes=[ObjectAccess(2, 8)]
+    )
+    return builder.graph, heavy, light
+
+
+def test_edges_below_threshold_pruned():
+    graph, heavy, light = _weighted_graph()
+    pruned = important_graph(graph, edge_threshold=1000,
+                             vertex_threshold=float("inf"))
+    dsts = {e.dst for e in pruned.edges()}
+    assert heavy.vid in dsts
+    assert light.vid not in dsts
+
+
+def test_vertices_on_kept_edges_survive():
+    graph, heavy, _ = _weighted_graph()
+    pruned = important_graph(graph, edge_threshold=1000,
+                             vertex_threshold=float("inf"))
+    assert pruned.vertex(heavy.vid).name == "heavy"
+
+
+def test_high_importance_vertices_survive_without_edges():
+    graph, _, light = _weighted_graph()
+    light.invocations = 100
+    pruned = important_graph(
+        graph, edge_threshold=10**9, vertex_threshold=50
+    )
+    vids = {v.vid for v in pruned.vertices()}
+    assert light.vid in vids
+    assert pruned.num_edges == 0
+
+
+def test_zero_thresholds_keep_everything():
+    graph, _, _ = _weighted_graph()
+    pruned = important_graph(graph, edge_threshold=0, vertex_threshold=0)
+    assert pruned.num_edges == graph.num_edges
+
+
+def test_custom_importance_metrics():
+    graph, heavy, light = _weighted_graph()
+    # Invert importance: prefer low-byte edges.
+    pruned = important_graph(
+        graph,
+        edge_threshold=1,
+        vertex_threshold=float("inf"),
+        edge_importance=lambda e: 1.0 if e.bytes_accessed < 100 else 0.0,
+    )
+    dsts = {e.dst for e in pruned.edges()}
+    assert light.vid in dsts
+    assert heavy.vid not in dsts
+
+
+def test_lammps_style_trim_reduces_graph():
+    """A graph with many cold edges trims to the few hot ones."""
+    builder = FlowGraphBuilder()
+    for index in range(50):
+        builder.on_malloc(index, f"cold{index}", None)
+        builder.on_api(
+            VertexKind.KERNEL, f"cold_kernel_{index}", None,
+            writes=[ObjectAccess(index, 16)],
+        )
+    builder.on_malloc(1000, "hot", None)
+    builder.on_api(
+        VertexKind.MEMCPY, "hot_copy", None, writes=[ObjectAccess(1000, 10**6)]
+    )
+    graph = builder.graph
+    pruned = important_graph(graph, edge_threshold=1000,
+                             vertex_threshold=float("inf"))
+    assert pruned.num_edges == 1
+    assert pruned.num_vertices < graph.num_vertices / 5

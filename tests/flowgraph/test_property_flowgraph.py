@@ -1,0 +1,141 @@
+"""Property-based tests for flow-graph construction and analysis.
+
+Random API sequences are replayed through the builder; the invariants
+of Definitions 5.1-5.3 must hold for all of them.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flowgraph.builder import FlowGraphBuilder, ObjectAccess
+from repro.flowgraph.graph import EdgeKind, HOST_VERTEX_ID, VertexKind
+from repro.flowgraph.important import important_graph
+from repro.flowgraph.slicing import vertex_slice
+
+# An operation: (kind index, object id, is_write, nbytes)
+operations = st.lists(
+    st.tuples(
+        st.sampled_from([VertexKind.KERNEL, VertexKind.MEMCPY, VertexKind.MEMSET]),
+        st.integers(min_value=1, max_value=5),
+        st.booleans(),
+        st.integers(min_value=1, max_value=10_000),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+def _build(ops):
+    builder = FlowGraphBuilder()
+    for index, (kind, obj, is_write, nbytes) in enumerate(ops):
+        if builder.last_writer_of(obj) is None:
+            builder.on_malloc(obj, f"obj{obj}", None)
+        access = ObjectAccess(obj, nbytes)
+        # Vary the merge identity via the name so sequences produce
+        # graphs of varying shapes.
+        name = f"{kind.value}_{index % 7}"
+        if is_write:
+            builder.on_api(kind, name, None, writes=[access])
+        else:
+            builder.on_api(kind, name, None, reads=[access])
+    return builder
+
+
+@given(operations)
+@settings(max_examples=150, deadline=None)
+def test_every_edge_object_has_an_allocation_vertex(ops):
+    builder = _build(ops)
+    graph = builder.graph
+    vids = {v.vid for v in graph.vertices()}
+    for edge in graph.edges():
+        assert edge.alloc_vid in vids
+        assert graph.vertex(edge.alloc_vid).kind is VertexKind.ALLOC
+
+
+@given(operations)
+@settings(max_examples=150, deadline=None)
+def test_edge_endpoints_exist(ops):
+    graph = _build(ops).graph
+    vids = {v.vid for v in graph.vertices()}
+    for edge in graph.edges():
+        assert edge.src in vids and edge.dst in vids
+
+
+@given(operations)
+@settings(max_examples=100, deadline=None)
+def test_bytes_conservation(ops):
+    """Total edge bytes equal the bytes pushed through the builder
+    (host edges excluded — they double-count the copy)."""
+    builder = _build(ops)
+    recorded = sum(
+        edge.bytes_accessed
+        for edge in builder.graph.edges()
+        if edge.kind in (EdgeKind.READ, EdgeKind.WRITE)
+    )
+    assert recorded == sum(nbytes for _, _, _, nbytes in ops)
+
+
+@given(operations)
+@settings(max_examples=100, deadline=None)
+def test_slice_is_always_a_subgraph(ops):
+    builder = _build(ops)
+    graph = builder.graph
+    full_edges = {edge.key for edge in graph.edges()}
+    for vertex in graph.vertices():
+        sliced = vertex_slice(graph, vertex.vid)
+        assert {edge.key for edge in sliced.edges()} <= full_edges
+
+
+@given(operations)
+@settings(max_examples=100, deadline=None)
+def test_slice_keeps_edges_incident_to_target(ops):
+    builder = _build(ops)
+    graph = builder.graph
+    for vertex in graph.vertices():
+        if vertex.vid == HOST_VERTEX_ID:
+            continue
+        sliced = vertex_slice(graph, vertex.vid)
+        incident = {
+            edge.key
+            for edge in graph.edges()
+            if vertex.vid in (edge.src, edge.dst)
+        }
+        assert incident <= {edge.key for edge in sliced.edges()}
+
+
+@given(operations, st.integers(min_value=0, max_value=20_000))
+@settings(max_examples=100, deadline=None)
+def test_important_graph_monotone_in_threshold(ops, threshold):
+    graph = _build(ops).graph
+    loose = important_graph(graph, edge_threshold=threshold,
+                            vertex_threshold=float("inf"))
+    tight = important_graph(graph, edge_threshold=threshold * 2 + 1,
+                            vertex_threshold=float("inf"))
+    assert tight.num_edges <= loose.num_edges
+    assert {e.key for e in tight.edges()} <= {e.key for e in loose.edges()}
+
+
+@given(operations)
+@settings(max_examples=100, deadline=None)
+def test_writes_form_a_chain_per_object(ops):
+    """Per object, every write edge's source must be reachable from the
+    allocation vertex through write edges — value flow never appears
+    from nowhere."""
+    builder = _build(ops)
+    graph = builder.graph
+    for alloc_vid in {e.alloc_vid for e in graph.edges()}:
+        write_edges = [
+            e
+            for e in graph.edges()
+            if e.alloc_vid == alloc_vid and e.kind is EdgeKind.WRITE
+        ]
+        writers = {alloc_vid}
+        changed = True
+        while changed:
+            changed = False
+            for edge in write_edges:
+                if edge.src in writers and edge.dst not in writers:
+                    writers.add(edge.dst)
+                    changed = True
+        for edge in write_edges:
+            assert edge.src in writers

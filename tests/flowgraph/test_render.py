@@ -1,0 +1,85 @@
+"""Tests for the DOT/text renderers (Figure 2 encoding)."""
+
+from repro.flowgraph.builder import FlowGraphBuilder, ObjectAccess
+from repro.flowgraph.graph import VertexKind
+from repro.flowgraph.render import render_dot, render_text
+
+
+def _graph_with_redundancy():
+    builder = FlowGraphBuilder()
+    builder.on_malloc(1, "arr", None)
+    builder.on_api(
+        VertexKind.KERNEL, "redundant_kernel", None,
+        writes=[ObjectAccess(1, 4096, redundant_fraction=0.95)],
+    )
+    builder.on_api(
+        VertexKind.KERNEL, "benign_kernel", None,
+        writes=[ObjectAccess(1, 4096, redundant_fraction=0.0)],
+    )
+    return builder.graph
+
+
+def test_dot_is_valid_digraph():
+    dot = render_dot(_graph_with_redundancy())
+    assert dot.startswith("digraph")
+    assert dot.rstrip().endswith("}")
+
+
+def test_dot_uses_paper_shapes():
+    dot = render_dot(_graph_with_redundancy())
+    assert 'shape="box"' in dot      # allocation rectangle
+    assert 'shape="oval"' in dot     # kernel oval
+
+
+def test_redundant_edges_are_red():
+    dot = render_dot(_graph_with_redundancy())
+    assert 'color="red"' in dot
+    assert 'color="green"' in dot
+
+
+def test_edge_labels_quantify_redundancy():
+    dot = render_dot(_graph_with_redundancy())
+    assert "95% redundant" in dot
+
+
+def test_host_vertex_hidden_when_unused():
+    dot = render_dot(_graph_with_redundancy())
+    assert '"0"' not in dot
+
+
+def test_host_vertex_shown_when_used():
+    builder = FlowGraphBuilder()
+    builder.on_malloc(1, "arr", None)
+    builder.on_api(
+        VertexKind.MEMCPY, "cudaMemcpy", None,
+        writes=[ObjectAccess(1, 64)], host_source=True,
+    )
+    dot = render_dot(builder.graph)
+    assert 'shape="diamond"' in dot
+
+
+def test_text_report_sorts_redundant_first():
+    text = render_text(_graph_with_redundancy())
+    assert text.index("REDUNDANT") < text.index("benign_kernel")
+
+
+def test_text_report_counts_header():
+    graph = _graph_with_redundancy()
+    text = render_text(graph)
+    assert f"{graph.num_vertices} vertices" in text
+    assert f"{graph.num_edges} edges" in text
+
+
+def test_text_max_edges_limits_output():
+    graph = _graph_with_redundancy()
+    limited = render_text(graph, max_edges=1)
+    assert limited.count("[ write]") == 1
+
+
+def test_thicker_edges_for_more_bytes():
+    builder = FlowGraphBuilder()
+    builder.on_malloc(1, "a", None)
+    builder.on_api(VertexKind.KERNEL, "big", None,
+                   writes=[ObjectAccess(1, 10**7)])
+    dot = render_dot(builder.graph)
+    assert "penwidth=" in dot

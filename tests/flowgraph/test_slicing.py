@@ -1,0 +1,109 @@
+"""Tests for vertex slice graphs (Definition 5.2)."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.flowgraph.builder import FlowGraphBuilder, ObjectAccess
+from repro.flowgraph.graph import EdgeKind, VertexKind
+from repro.flowgraph.slicing import vertex_slice
+
+
+def _figure3_builder():
+    """The Figure 3 program's flow graph."""
+    builder = FlowGraphBuilder()
+    vertices = {}
+    vertices["a"] = builder.on_malloc(1, "A_dev", None)
+    vertices["b"] = builder.on_malloc(2, "B_dev", None)
+    vertices["set_a"] = builder.on_api(
+        VertexKind.MEMSET, "memset_a", None, writes=[ObjectAccess(1, 16)]
+    )
+    vertices["set_b"] = builder.on_api(
+        VertexKind.MEMSET, "memset_b", None, writes=[ObjectAccess(2, 16)]
+    )
+    vertices["w_a"] = builder.on_api(
+        VertexKind.KERNEL, "write_A", None, writes=[ObjectAccess(1, 16)]
+    )
+    vertices["w_b"] = builder.on_api(
+        VertexKind.KERNEL, "write_B", None, writes=[ObjectAccess(2, 16)]
+    )
+    vertices["final"] = builder.on_api(
+        VertexKind.KERNEL, "read_A_write_B", None,
+        reads=[ObjectAccess(1, 16)], writes=[ObjectAccess(2, 16)],
+    )
+    return builder, vertices
+
+
+def test_slice_keeps_only_target_objects_flow():
+    """Figure 3d: slicing on write_B drops A's entire flow."""
+    builder, v = _figure3_builder()
+    sliced = vertex_slice(builder.graph, v["w_b"].vid)
+    vids = {vertex.vid for vertex in sliced.vertices()}
+    assert v["w_b"].vid in vids
+    assert v["b"].vid in vids
+    assert v["set_b"].vid in vids
+    assert v["final"].vid in vids
+    # A's flow does not touch write_B.
+    assert v["w_a"].vid not in vids
+    assert v["set_a"].vid not in vids
+
+
+def test_slice_keeps_upstream_and_downstream():
+    builder, v = _figure3_builder()
+    sliced = vertex_slice(builder.graph, v["w_b"].vid)
+    pairs = {(e.src, e.dst) for e in sliced.edges()}
+    # Upstream: B's init chain; downstream: the final consumer.
+    assert (v["b"].vid, v["set_b"].vid) in pairs
+    assert (v["set_b"].vid, v["w_b"].vid) in pairs
+    assert (v["w_b"].vid, v["final"].vid) in pairs
+
+
+def test_slice_on_final_vertex_spans_both_objects():
+    builder, v = _figure3_builder()
+    sliced = vertex_slice(builder.graph, v["final"].vid)
+    vids = {vertex.vid for vertex in sliced.vertices()}
+    # The final kernel touches both A and B, so both flows remain.
+    assert v["w_a"].vid in vids
+    assert v["w_b"].vid in vids
+
+
+def test_slice_excludes_unrelated_branches_of_shared_object():
+    """An independent later rewrite of D (not reaching/reached by the
+    target through value flow) must survive only if connected."""
+    builder = FlowGraphBuilder()
+    a = builder.on_malloc(1, "A", None)
+    w1 = builder.on_api(VertexKind.KERNEL, "w1", None,
+                        writes=[ObjectAccess(1, 8)])
+    target = builder.on_api(VertexKind.KERNEL, "t", None,
+                            reads=[ObjectAccess(1, 8)])
+    w2 = builder.on_api(VertexKind.KERNEL, "w2", None,
+                        writes=[ObjectAccess(1, 8)])
+    r2 = builder.on_api(VertexKind.KERNEL, "r2", None,
+                        reads=[ObjectAccess(1, 8)])
+    sliced = vertex_slice(builder.graph, target.vid)
+    pairs = {(e.src, e.dst) for e in sliced.edges()}
+    assert (w1.vid, target.vid) in pairs
+    # w2 overwrote A after the target read it; r2's read flows from w2,
+    # not through the target: that edge is not on a path via the target.
+    assert (w2.vid, r2.vid) not in pairs
+
+
+def test_slice_of_unknown_vertex_rejected():
+    builder, _ = _figure3_builder()
+    with pytest.raises(AnalysisError):
+        vertex_slice(builder.graph, 424242)
+
+
+def test_slice_is_subgraph():
+    builder, v = _figure3_builder()
+    sliced = vertex_slice(builder.graph, v["w_b"].vid)
+    full_edges = {e.key for e in builder.graph.edges()}
+    assert {e.key for e in sliced.edges()} <= full_edges
+    assert sliced.num_vertices <= builder.graph.num_vertices
+
+
+def test_slice_of_isolated_vertex_keeps_target():
+    builder = FlowGraphBuilder()
+    lonely = builder.on_api(VertexKind.KERNEL, "lonely", None)
+    sliced = vertex_slice(builder.graph, lonely.vid)
+    assert sliced.vertex(lonely.vid).name == "lonely"
+    assert sliced.num_edges == 0

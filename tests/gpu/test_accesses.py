@@ -1,0 +1,56 @@
+"""Tests for access records."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.accesses import AccessKind, AccessRecord
+from repro.gpu.dtypes import DType
+
+
+def _record(n=4, itemsize=4):
+    return AccessRecord(
+        pc=0x1000,
+        kind=AccessKind.LOAD,
+        addresses=np.arange(n, dtype=np.uint64) * itemsize + 0x100,
+        values=np.zeros(n, dtype=f"f{itemsize}"),
+        dtype=DType.FLOAT32 if itemsize == 4 else DType.FLOAT64,
+        kernel_name="k",
+        thread_ids=np.arange(n),
+        block_ids=np.zeros(n, dtype=np.int64),
+    )
+
+
+def test_count_and_bytes():
+    record = _record(n=8, itemsize=4)
+    assert record.count == 8
+    assert record.itemsize == 4
+    assert record.bytes_accessed == 32
+
+
+def test_mismatched_vectors_rejected():
+    with pytest.raises(ValueError):
+        AccessRecord(
+            pc=0,
+            kind=AccessKind.STORE,
+            addresses=np.arange(4, dtype=np.uint64),
+            values=np.zeros(3),
+            dtype=None,
+            kernel_name="k",
+            thread_ids=np.arange(4),
+            block_ids=np.zeros(4, dtype=np.int64),
+        )
+
+
+def test_intervals_are_half_open_per_thread():
+    record = _record(n=3, itemsize=8)
+    intervals = record.intervals()
+    assert intervals.shape == (3, 2)
+    assert np.all(intervals[:, 1] - intervals[:, 0] == 8)
+    assert intervals[0, 0] == record.addresses[0]
+
+
+def test_intervals_for_adjacent_accesses_touch():
+    record = _record(n=4, itemsize=4)
+    intervals = record.intervals()
+    # Coalesced accesses: each end equals the next start.
+    assert np.all(intervals[:-1, 1] == intervals[1:, 0])

@@ -1,0 +1,105 @@
+"""Tests for semantic operator annotations (the §9 extension)."""
+
+import numpy as np
+import pytest
+
+from repro import Pattern, ToolConfig, ValueExpert
+from repro.gpu.annotations import annotate, format_scope
+from repro.gpu.dtypes import DType
+from repro.gpu.runtime import GpuRuntime, KernelLaunchEvent, RuntimeListener
+
+
+class EventSpy(RuntimeListener):
+    def __init__(self):
+        self.events = []
+
+    def on_api_end(self, event):
+        self.events.append(event)
+
+
+def test_annotation_attached_to_events(rt, fill_kernel):
+    spy = EventSpy()
+    rt.subscribe(spy)
+    out = rt.malloc(64, DType.FLOAT32)
+    with annotate(rt, "conv1"):
+        rt.launch(fill_kernel, 1, 64, out, 0.0)
+    launch = next(e for e in spy.events if isinstance(e, KernelLaunchEvent))
+    assert launch.annotation == ("conv1",)
+
+
+def test_nested_annotations(rt, fill_kernel):
+    spy = EventSpy()
+    rt.subscribe(spy)
+    out = rt.malloc(64, DType.FLOAT32)
+    with annotate(rt, "layer1"):
+        with annotate(rt, "bias"):
+            rt.launch(fill_kernel, 1, 64, out, 0.0)
+        rt.launch(fill_kernel, 1, 64, out, 0.0)
+    launches = [e for e in spy.events if isinstance(e, KernelLaunchEvent)]
+    assert launches[0].annotation == ("layer1", "bias")
+    assert launches[1].annotation == ("layer1",)
+
+
+def test_annotation_cleared_outside_scope(rt, fill_kernel):
+    spy = EventSpy()
+    rt.subscribe(spy)
+    out = rt.malloc(64, DType.FLOAT32)
+    with annotate(rt, "op"):
+        pass
+    rt.launch(fill_kernel, 1, 64, out, 0.0)
+    launch = next(e for e in spy.events if isinstance(e, KernelLaunchEvent))
+    assert launch.annotation == ()
+
+
+def test_annotation_restored_on_exception(rt):
+    with pytest.raises(RuntimeError):
+        with annotate(rt, "op"):
+            raise RuntimeError("boom")
+    assert rt.current_annotation == ()
+
+
+def test_memory_apis_annotated(rt):
+    spy = EventSpy()
+    rt.subscribe(spy)
+    out = rt.malloc(64, DType.FLOAT32)
+    with annotate(rt, "init"):
+        rt.memset(out, 0)
+    from repro.gpu.runtime import MemsetEvent
+
+    memset = next(e for e in spy.events if isinstance(e, MemsetEvent))
+    assert memset.annotation == ("init",)
+
+
+def test_hits_carry_operator_scope(fill_kernel):
+    """Pattern hits report the operator, fixing the Python-frontend
+    opacity the paper's §9 describes."""
+
+    def workload(rt):
+        out = rt.malloc(256, DType.FLOAT32, "ones")
+        with annotate(rt, "resnet.conv1"):
+            rt.launch(fill_kernel, 1, 256, out, 0.0)
+            rt.launch(fill_kernel, 1, 256, out, 0.0)
+
+    profile = ValueExpert(ToolConfig()).profile(workload)
+    redundant = profile.hits_by_pattern(Pattern.REDUNDANT_VALUES)
+    assert any(
+        hit.metrics.get("operator") == "resnet.conv1" for hit in redundant
+    )
+
+
+def test_vertices_carry_operator_scope(fill_kernel):
+    def workload(rt):
+        out = rt.malloc(256, DType.FLOAT32, "out")
+        with annotate(rt, "embedding"):
+            rt.launch(fill_kernel, 1, 256, out, 0.0)
+
+    profile = ValueExpert(ToolConfig()).profile(workload)
+    kernels = [
+        v for v in profile.graph.vertices() if v.name == "fill_constant"
+    ]
+    assert kernels[0].operator == ("embedding",)
+
+
+def test_format_scope():
+    assert format_scope(("a", "b", "c")) == "a/b/c"
+    assert format_scope(()) == ""

@@ -1,0 +1,53 @@
+"""Tests for the simulated device."""
+
+import pytest
+
+from repro.errors import InvalidValueError
+from repro.gpu.device import Device, DeviceConfig
+from repro.gpu.dtypes import DType
+
+
+def test_default_config():
+    device = Device()
+    assert device.config.warp_size == 32
+    assert device.memory.capacity >= device.config.global_memory_bytes
+
+
+def test_geometry_validation_accepts_normal_launches():
+    device = Device()
+    device.validate_geometry(128, 256)
+
+
+def test_geometry_validation_rejects_nonpositive():
+    device = Device()
+    with pytest.raises(InvalidValueError):
+        device.validate_geometry(0, 128)
+    with pytest.raises(InvalidValueError):
+        device.validate_geometry(4, -1)
+
+
+def test_geometry_validation_rejects_oversized_block():
+    device = Device(DeviceConfig(max_threads_per_block=512))
+    with pytest.raises(InvalidValueError):
+        device.validate_geometry(1, 513)
+
+
+def test_shared_alloc_and_free():
+    device = Device()
+    alloc = device.shared_alloc(1024, DType.FLOAT32, "s")
+    assert alloc.size >= 1024
+    device.shared_free(alloc)
+
+
+def test_shared_alloc_limit_enforced():
+    device = Device(DeviceConfig(shared_memory_bytes=4096))
+    with pytest.raises(InvalidValueError):
+        device.shared_alloc(8192, DType.FLOAT32, "too-big")
+
+
+def test_shared_memory_separate_from_global():
+    device = Device()
+    global_alloc = device.memory.malloc(256, dtype=DType.FLOAT32)
+    shared_alloc = device.shared_alloc(256, DType.FLOAT32, "s")
+    assert device.memory.find(shared_alloc.address) is None
+    assert global_alloc.address != shared_alloc.address

@@ -1,0 +1,82 @@
+"""Tests for device scalar types."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.dtypes import (
+    DType,
+    minimal_integer_type,
+    unsigned_of_width,
+)
+
+
+def test_itemsize_and_bits():
+    assert DType.FLOAT32.itemsize == 4
+    assert DType.FLOAT32.bits == 32
+    assert DType.INT8.itemsize == 1
+    assert DType.FLOAT64.bits == 64
+
+
+def test_is_float_classification():
+    assert DType.FLOAT16.is_float
+    assert DType.FLOAT64.is_float
+    assert not DType.INT32.is_float
+    assert not DType.UINT8.is_float
+
+
+def test_is_signed_classification():
+    assert DType.INT8.is_signed
+    assert DType.FLOAT32.is_signed
+    assert not DType.UINT16.is_signed
+
+
+def test_integer_range():
+    assert DType.INT8.integer_range == (-128, 127)
+    assert DType.UINT8.integer_range == (0, 255)
+    assert DType.INT16.integer_range == (-32768, 32767)
+
+
+def test_integer_range_rejects_floats():
+    with pytest.raises(ValueError):
+        DType.FLOAT32.integer_range
+
+
+def test_from_numpy_roundtrip():
+    for member in DType:
+        assert DType.from_numpy(member.np_dtype) is member
+
+
+def test_from_numpy_rejects_unknown():
+    with pytest.raises(ValueError):
+        DType.from_numpy(np.dtype("complex64"))
+
+
+@pytest.mark.parametrize(
+    "lo,hi,signed,expected",
+    [
+        (0, 100, False, DType.UINT8),
+        (0, 100, True, DType.INT8),
+        (0, 200, True, DType.INT16),
+        (-1, 200, False, DType.INT16),
+        (0, 70000, False, DType.UINT32),
+        (-(2**40), 2**40, True, DType.INT64),
+    ],
+)
+def test_minimal_integer_type(lo, hi, signed, expected):
+    assert minimal_integer_type(lo, hi, signed) is expected
+
+
+def test_minimal_integer_type_overflow():
+    with pytest.raises(ValueError):
+        minimal_integer_type(0, 2**70, signed=False)
+
+
+def test_unsigned_of_width():
+    assert unsigned_of_width(1) == np.dtype(np.uint8)
+    assert unsigned_of_width(4) == np.dtype(np.uint32)
+    assert unsigned_of_width(8) == np.dtype(np.uint64)
+
+
+def test_unsigned_of_width_rejects_odd_sizes():
+    with pytest.raises(ValueError):
+        unsigned_of_width(3)

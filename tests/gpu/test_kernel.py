@@ -1,0 +1,192 @@
+"""Tests for the kernel execution model and instrumentation."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.accesses import AccessKind
+from repro.gpu.device import Device, DeviceConfig
+from repro.gpu.dtypes import DType
+from repro.gpu.kernel import Kernel, KernelContext, kernel
+
+
+@pytest.fixture
+def device():
+    return Device(DeviceConfig(global_memory_bytes=1024 * 1024))
+
+
+@kernel("probe")
+def probe_kernel(ctx, buf):
+    tid = ctx.global_ids
+    values = ctx.load(buf, tid, tids=tid)
+    ctx.store(buf, tid, values + 1, tids=tid)
+
+
+def test_decorator_returns_kernel_object():
+    assert isinstance(probe_kernel, Kernel)
+    assert probe_kernel.name == "probe"
+
+
+def test_distinct_kernels_get_distinct_code_regions():
+    @kernel()
+    def one(ctx):
+        pass
+
+    @kernel()
+    def two(ctx):
+        pass
+
+    assert one.code_base != two.code_base
+    assert one.name == "one"
+
+
+def _run(device, kern, grid, block, *args, instrument=True, sampled=None):
+    ctx = KernelContext(
+        kern, grid, block, device, instrument=instrument, sampled_blocks=sampled
+    )
+    kern(ctx, *args)
+    return ctx
+
+
+def test_stats_count_loads_and_stores(device):
+    buf = device.memory.malloc(256 * 4, dtype=DType.FLOAT32)
+    ctx = _run(device, probe_kernel, 1, 256, buf, instrument=False)
+    assert ctx.stats.loads == 256
+    assert ctx.stats.stores == 256
+    assert ctx.stats.bytes_loaded == 256 * 4
+    assert ctx.stats.bytes_stored == 256 * 4
+
+
+def test_uninstrumented_run_produces_no_records(device):
+    buf = device.memory.malloc(256 * 4, dtype=DType.FLOAT32)
+    ctx = _run(device, probe_kernel, 1, 256, buf, instrument=False)
+    assert ctx.records == []
+
+
+def test_instrumented_run_records_pc_addresses_values(device):
+    buf = device.memory.malloc(256 * 4, dtype=DType.FLOAT32)
+    buf.write_all(np.arange(256, dtype=np.float32))
+    ctx = _run(device, probe_kernel, 1, 256, buf)
+    assert len(ctx.records) == 2
+    load, store = ctx.records
+    assert load.kind is AccessKind.LOAD
+    assert store.kind is AccessKind.STORE
+    assert load.pc != store.pc
+    assert np.array_equal(load.values, np.arange(256, dtype=np.float32))
+    assert np.array_equal(store.values, np.arange(256, dtype=np.float32) + 1)
+    expected = np.uint64(buf.address) + np.arange(256, dtype=np.uint64) * np.uint64(4)
+    assert np.array_equal(load.addresses, expected)
+
+
+def test_pcs_are_stable_across_launches(device):
+    buf = device.memory.malloc(64 * 4, dtype=DType.FLOAT32)
+    first = _run(device, probe_kernel, 1, 64, buf)
+    second = _run(device, probe_kernel, 1, 64, buf)
+    assert [r.pc for r in first.records] == [r.pc for r in second.records]
+
+
+def test_line_map_points_into_this_file(device):
+    buf = device.memory.malloc(64 * 4, dtype=DType.FLOAT32)
+    ctx = _run(device, probe_kernel, 1, 64, buf)
+    for record in ctx.records:
+        filename, lineno = probe_kernel.line_map[record.pc]
+        assert filename.endswith("test_kernel.py")
+        assert lineno > 0
+
+
+def test_block_sampling_restricts_recorded_threads(device):
+    buf = device.memory.malloc(512 * 4, dtype=DType.FLOAT32)
+    mask = np.zeros(4, dtype=bool)
+    mask[0] = True  # only block 0 of 4
+    ctx = _run(device, probe_kernel, 4, 128, buf, sampled=mask)
+    load = ctx.records[0]
+    assert load.count == 128
+    assert np.all(load.block_ids == 0)
+    # The kernel still executed everywhere.
+    assert ctx.stats.loads == 512
+
+
+def test_block_sampling_does_not_change_results(device):
+    buf = device.memory.malloc(512 * 4, dtype=DType.FLOAT32)
+    mask = np.zeros(4, dtype=bool)
+    mask[2] = True
+    _run(device, probe_kernel, 4, 128, buf, sampled=mask)
+    assert np.array_equal(buf.read_all(), np.ones(512, np.float32))
+
+
+def test_untyped_records_carry_raw_bits(device):
+    @kernel("untyped_probe")
+    def untyped_probe(ctx, buf):
+        tid = ctx.global_ids
+        ctx.load_untyped(buf, tid, tids=tid)
+
+    buf = device.memory.malloc(64 * 4, dtype=DType.FLOAT32)
+    buf.write_all(np.full(64, 1.0, np.float32))
+    ctx = _run(device, untyped_probe, 1, 64, buf)
+    record = ctx.records[0]
+    assert record.dtype is None
+    assert record.values.dtype == np.uint32
+    # 1.0f has bit pattern 0x3F800000.
+    assert np.all(record.values == 0x3F800000)
+
+
+def test_shared_memory_is_an_allocation(device):
+    @kernel("uses_shared")
+    def uses_shared(ctx):
+        shared = ctx.shared_array(64, DType.FLOAT32)
+        tid = ctx.global_ids
+        ctx.store(shared, tid % 64, np.ones(tid.size, np.float32), tids=tid)
+
+    ctx = _run(device, uses_shared, 1, 64)
+    assert ctx.stats.stores == 64
+    ctx.release_shared()
+
+
+def test_flops_accounting(device):
+    @kernel("does_flops")
+    def does_flops(ctx):
+        ctx.flops(100, DType.FLOAT32)
+        ctx.flops(50, DType.FLOAT64)
+        ctx.int_ops(25)
+
+    ctx = _run(device, does_flops, 1, 32, instrument=False)
+    assert ctx.stats.fp32_ops == 100
+    assert ctx.stats.fp64_ops == 50
+    assert ctx.stats.int_ops == 25
+
+
+def test_touched_objects_tracked_without_instrumentation(device):
+    src = device.memory.malloc(64 * 4, dtype=DType.FLOAT32, label="src")
+    dst = device.memory.malloc(64 * 4, dtype=DType.FLOAT32, label="dst")
+
+    @kernel("mover")
+    def mover(ctx, a, b):
+        tid = ctx.global_ids
+        ctx.store(b, tid, ctx.load(a, tid, tids=tid), tids=tid)
+
+    ctx = _run(device, mover, 1, 64, src, dst, instrument=False)
+    touched = {alloc.label: (r, w) for alloc, r, w in
+               ((entry[0], entry[1], entry[2]) for entry in ctx.touched.values())}
+    assert touched["src"] == (64 * 4, 0)
+    assert touched["dst"] == (0, 64 * 4)
+
+
+def test_thread_geometry_helpers(device):
+    ctx = KernelContext(probe_kernel, 4, 32, device)
+    tids = ctx.global_ids
+    assert tids.size == 128
+    assert ctx.block_of(np.array([0, 31, 32, 127])).tolist() == [0, 0, 1, 3]
+    assert ctx.thread_in_block(np.array([0, 31, 32])).tolist() == [0, 31, 0]
+
+
+def test_mismatched_tids_rejected(device):
+    buf = device.memory.malloc(64 * 4, dtype=DType.FLOAT32)
+
+    @kernel("bad_tids")
+    def bad_tids(ctx, b):
+        tid = ctx.global_ids
+        ctx.load(b, tid, tids=tid[:10])
+
+    from repro.errors import KernelLaunchError
+
+    with pytest.raises(KernelLaunchError):
+        _run(device, bad_tids, 1, 64, buf)

@@ -1,0 +1,86 @@
+"""Tests for the stream concurrency model and profiler serialization."""
+
+import pytest
+
+from repro import ToolConfig, ValueExpert
+from repro.gpu.dtypes import DType
+from repro.gpu.runtime import GpuRuntime
+
+
+def _two_stream_run(rt, fill_kernel, streams=(1, 2)):
+    a = rt.malloc(64 * 1024, DType.FLOAT32, "a")
+    b = rt.malloc(64 * 1024, DType.FLOAT32, "b")
+    for _ in range(4):
+        rt.launch(fill_kernel, 256, 256, a, 1.0, stream=streams[0])
+        rt.launch(fill_kernel, 256, 256, b, 2.0, stream=streams[1])
+    return a, b
+
+
+def test_default_stream_serializes(rt, fill_kernel):
+    _two_stream_run(rt, fill_kernel, streams=(0, 0))
+    assert rt.makespan == pytest.approx(rt.times.total)
+
+
+def test_two_streams_overlap(rt, fill_kernel):
+    _two_stream_run(rt, fill_kernel)
+    # The kernels split across two streams: the makespan is close to
+    # half the serial kernel time plus the (stream-0) mallocs.
+    assert rt.makespan < rt.times.total * 0.75
+
+
+def test_stream_results_are_correct(rt, fill_kernel):
+    import numpy as np
+
+    a, b = _two_stream_run(rt, fill_kernel)
+    assert np.all(a.read_all() == 1.0)
+    assert np.all(b.read_all() == 2.0)
+
+
+def test_events_carry_stream_id(rt, fill_kernel):
+    from repro.gpu.runtime import KernelLaunchEvent, RuntimeListener
+
+    class Spy(RuntimeListener):
+        def __init__(self):
+            self.streams = []
+
+        def on_api_end(self, event):
+            if isinstance(event, KernelLaunchEvent):
+                self.streams.append(event.stream)
+
+    spy = Spy()
+    rt.subscribe(spy)
+    _two_stream_run(rt, fill_kernel, streams=(3, 7))
+    assert set(spy.streams) == {3, 7}
+
+
+def test_profiler_serializes_streams(fill_kernel):
+    """The paper's collector 'serializes concurrent GPU streams':
+    with ValueExpert attached, the two-stream run loses its overlap."""
+    plain = GpuRuntime()
+    _two_stream_run(plain, fill_kernel)
+
+    profiled = GpuRuntime()
+    tool = ValueExpert(ToolConfig.coarse_only())
+    tool.profile(
+        lambda rt: _two_stream_run(rt, fill_kernel), runtime=profiled
+    )
+    # Same serial work ...
+    assert profiled.times.total == pytest.approx(plain.times.total)
+    # ... but no concurrency while profiled.
+    assert profiled.makespan == pytest.approx(profiled.times.total)
+    assert plain.makespan < plain.times.total * 0.75
+
+
+def test_gvprof_also_serializes(fill_kernel):
+    from repro.baselines.gvprof import GvprofProfiler
+
+    rt = GpuRuntime()
+    profiler = GvprofProfiler()
+    profiler.attach(rt)
+    _two_stream_run(rt, fill_kernel)
+    profiler.detach()
+    assert rt.makespan == pytest.approx(rt.times.total)
+
+
+def test_makespan_empty_runtime():
+    assert GpuRuntime().makespan == 0.0

@@ -1,0 +1,100 @@
+"""Tests for the platform cost models."""
+
+import pytest
+
+from repro.gpu.timing import (
+    A100,
+    EVALUATION_PLATFORMS,
+    KernelStats,
+    RTX_2080_TI,
+    TimeBreakdown,
+)
+
+
+def test_two_platforms_registered():
+    assert [p.name for p in EVALUATION_PLATFORMS] == ["RTX 2080 Ti", "A100"]
+
+
+def test_fp64_ratio_matches_architectures():
+    """The 2080 Ti has 1/32-rate FP64; the A100 1/2-rate."""
+    assert RTX_2080_TI.fp64_gflops / RTX_2080_TI.fp32_gflops == pytest.approx(
+        1 / 32, rel=0.05
+    )
+    assert A100.fp64_gflops / A100.fp32_gflops == pytest.approx(1 / 2, rel=0.05)
+
+
+def test_fp64_kernel_much_slower_on_2080ti():
+    stats = KernelStats(fp64_ops=1e9)
+    assert RTX_2080_TI.kernel_time(stats) > 5 * A100.kernel_time(stats)
+
+
+def test_memory_bound_kernel_faster_on_a100():
+    stats = KernelStats(bytes_loaded=100 * 1024 * 1024)
+    assert A100.kernel_time(stats) < RTX_2080_TI.kernel_time(stats)
+
+
+def test_roofline_takes_max_of_compute_and_memory():
+    compute_only = KernelStats(fp32_ops=1e9)
+    memory_only = KernelStats(bytes_loaded=10**9)
+    both = KernelStats(fp32_ops=1e9, bytes_loaded=10**9)
+    launch = RTX_2080_TI.kernel_launch_us * 1e-6
+    expected = max(
+        RTX_2080_TI.kernel_time(compute_only) - launch,
+        RTX_2080_TI.kernel_time(memory_only) - launch,
+    )
+    assert RTX_2080_TI.kernel_time(both) - launch == pytest.approx(expected)
+
+
+def test_empty_kernel_costs_launch_overhead():
+    stats = KernelStats()
+    assert RTX_2080_TI.kernel_time(stats) == pytest.approx(
+        RTX_2080_TI.kernel_launch_us * 1e-6
+    )
+
+
+def test_memcpy_pcie_slower_than_device():
+    nbytes = 10 * 1024 * 1024
+    assert RTX_2080_TI.memcpy_time(nbytes, over_pcie=True) > RTX_2080_TI.memcpy_time(
+        nbytes, over_pcie=False
+    )
+
+
+def test_memcpy_has_latency_floor():
+    assert RTX_2080_TI.memcpy_time(1, over_pcie=True) >= 8e-6
+
+
+def test_kernel_stats_merge():
+    a = KernelStats(loads=1, stores=2, bytes_loaded=4, fp32_ops=10)
+    b = KernelStats(loads=3, stores=4, bytes_stored=8, fp64_ops=20)
+    merged = a.merge(b)
+    assert merged.loads == 4
+    assert merged.stores == 6
+    assert merged.bytes_accessed == 12
+    assert merged.fp32_ops == 10
+    assert merged.fp64_ops == 20
+
+
+def test_time_breakdown_accumulates_per_kernel():
+    times = TimeBreakdown()
+    times.add_kernel("k1", 1.0)
+    times.add_kernel("k1", 0.5)
+    times.add_kernel("k2", 2.0)
+    times.add_memory(3.0)
+    assert times.kernel_time == pytest.approx(3.5)
+    assert times.kernel_time_by_name["k1"] == pytest.approx(1.5)
+    assert times.total == pytest.approx(6.5)
+
+
+def test_efficiency_cancels_in_ratios():
+    """Halving efficiency doubles both times — ratios are invariant."""
+    from dataclasses import replace
+
+    slow = replace(RTX_2080_TI, efficiency=RTX_2080_TI.efficiency / 2)
+    big = KernelStats(bytes_loaded=10**9)
+    small = KernelStats(bytes_loaded=10**8)
+    launch = RTX_2080_TI.kernel_launch_us * 1e-6
+    fast_ratio = (RTX_2080_TI.kernel_time(big) - launch) / (
+        RTX_2080_TI.kernel_time(small) - launch
+    )
+    slow_ratio = (slow.kernel_time(big) - launch) / (slow.kernel_time(small) - launch)
+    assert fast_ratio == pytest.approx(slow_ratio)

@@ -1,0 +1,165 @@
+"""End-to-end integration tests across the full stack.
+
+Each test tells one of the paper's stories from workload source to
+profiler finding — runtime, collector, online + offline analyzers,
+flow graph, advisor.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Pattern, ToolConfig, ValueExpert, render_report, suggest
+from repro.baselines.hotspot import HotspotProfiler
+from repro.flowgraph.graph import EdgeKind, VertexKind
+from repro.flowgraph.slicing import vertex_slice
+from repro.gpu.dtypes import DType
+from repro.gpu.runtime import GpuRuntime, HostArray
+from repro.workloads import get_workload
+
+
+def test_darknet_story_end_to_end():
+    """Profile Darknet, find both Section 1.1 inefficiencies, follow
+    the workflow (red flows -> slice), and get actionable advice."""
+    workload = get_workload("darknet")(scale=0.25)
+    tool = ValueExpert(ToolConfig())
+    profile = tool.profile(workload.run_baseline, name="darknet")
+
+    # Inefficiency I: the fill -> gemm redundancy on l.output_gpu.
+    redundant = profile.hits_by_pattern(Pattern.REDUNDANT_VALUES)
+    assert any("l.output_gpu" in h.object_label for h in redundant)
+
+    # Inefficiency II: host zeros duplicated into device arrays.
+    duplicates = profile.hits_by_pattern(Pattern.DUPLICATE_VALUES)
+    assert any(
+        any("l.output" in member for member in h.metrics["group"])
+        for h in duplicates
+    )
+
+    # The workflow: thick red edges exist and can be sliced.
+    flows = profile.redundant_flows()
+    assert flows
+    sliced = vertex_slice(profile.graph, flows[0].dst)
+    assert 0 < sliced.num_vertices <= profile.graph.num_vertices
+
+    # The advisor proposes the paper's fixes.
+    guidance = " ".join(s.guidance for s in suggest(profile))
+    assert "cudaMemset" in guidance
+
+    # And the report renders.
+    assert "darknet" in render_report(profile)
+
+
+def test_deepwave_story_end_to_end():
+    """Listing 3: zeros_like + zero_() double init, found and located."""
+    workload = get_workload("pytorch/deepwave")(scale=0.25)
+    profile = ValueExpert().profile(workload.run_baseline, name="deepwave")
+    redundant = [
+        h
+        for h in profile.hits_by_pattern(Pattern.REDUNDANT_VALUES)
+        if "gradInput" in h.object_label
+    ]
+    assert redundant
+    # Source attribution points into the workload file.
+    assert any(
+        "deepwave" in h.metrics.get("source", "") for h in redundant
+    )
+
+
+def test_optimized_variant_clears_the_finding():
+    """After applying the paper's fix, the specific hit disappears."""
+    workload = get_workload("pytorch/deepwave")(scale=0.25)
+    tool = ValueExpert()
+    optimized_profile = tool.profile(
+        lambda rt: workload.run_optimized(rt), name="deepwave-fixed"
+    )
+    redundant = [
+        h
+        for h in optimized_profile.hits_by_pattern(Pattern.REDUNDANT_VALUES)
+        if "gradInput" in h.object_label
+    ]
+    assert not redundant
+
+
+def test_hotspot_profiler_cannot_explain_what_valueexpert_finds():
+    """The Section 1.2 contrast on the same execution."""
+    workload = get_workload("darknet")(scale=0.25)
+    rt = GpuRuntime()
+    hotspot = HotspotProfiler()
+    hotspot.attach(rt)
+    workload.run_baseline(rt)
+    hotspot.detach()
+    # The hotspot profiler sees the fill kernel consuming time...
+    assert "fill_kernel" in hotspot.report.kernel_time
+    # ...but its whole vocabulary is time; no value facts exist.
+    assert not hasattr(hotspot.report, "hits")
+
+
+def test_value_flow_crosses_kernel_boundaries():
+    """The cross-API view GVProf lacks: a memset's values read by a
+    later kernel produce an edge from the memset to the kernel."""
+    from tests.conftest import accumulate_kernel
+
+    def workload(rt):
+        arr = rt.malloc(256, DType.FLOAT32, "arr")
+        rt.memset(arr, 0)
+        rt.launch(accumulate_kernel, 1, 256, arr, 1.0)
+
+    profile = ValueExpert().profile(workload)
+    graph = profile.graph
+    memset_vertex = next(
+        v for v in graph.vertices() if v.kind is VertexKind.MEMSET
+    )
+    kernel_vertex = next(
+        v for v in graph.vertices() if v.kind is VertexKind.KERNEL
+    )
+    pairs = {(e.src, e.dst, e.kind) for e in graph.edges()}
+    assert (memset_vertex.vid, kernel_vertex.vid, EdgeKind.READ) in pairs
+
+
+def test_profile_serializes_to_json():
+    workload = get_workload("rodinia/backprop")(scale=0.25)
+    profile = ValueExpert().profile(workload.run_baseline)
+    import json
+
+    data = json.loads(profile.to_json())
+    assert data["hits"]
+    assert data["graph"]["edges"]
+
+
+def test_memory_state_correctness_under_instrumentation():
+    """Instrumentation must never change computed results."""
+    def workload(rt, out_host):
+        from tests.conftest import accumulate_kernel
+
+        arr = rt.malloc(256, DType.FLOAT32, "arr")
+        rt.memcpy_h2d(arr, HostArray(np.arange(256, dtype=np.float32)))
+        rt.launch(accumulate_kernel, 1, 256, arr, 2.5)
+        rt.memcpy_d2h(out_host, arr)
+
+    plain = HostArray(np.zeros(256, np.float32))
+    workload(GpuRuntime(), plain)
+
+    profiled = HostArray(np.zeros(256, np.float32))
+    ValueExpert().profile(lambda rt: workload(rt, profiled))
+
+    assert np.array_equal(plain.data, profiled.data)
+
+
+def test_shared_memory_treated_as_object():
+    """Shared-memory accesses flow through the profiler unharmed."""
+    from repro.gpu.kernel import kernel
+
+    @kernel("uses_shared_integration")
+    def uses_shared(ctx, out):
+        shared = ctx.shared_array(64, DType.FLOAT32)
+        tid = ctx.global_ids
+        ctx.store(shared, tid % 64, np.ones(tid.size, np.float32), tids=tid)
+        v = ctx.load(shared, tid % 64, tids=tid)
+        ctx.store(out, tid, v, tids=tid)
+
+    def workload(rt):
+        out = rt.malloc(256, DType.FLOAT32, "out")
+        rt.launch(uses_shared, 1, 256, out)
+
+    profile = ValueExpert().profile(workload)
+    assert profile.counters.recorded_accesses >= 256 * 3

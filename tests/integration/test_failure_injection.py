@@ -1,0 +1,139 @@
+"""Failure-injection tests: the profiler must stay sound when the
+workload misbehaves or the environment is unusual."""
+
+import numpy as np
+import pytest
+
+from repro import ToolConfig, ValueExpert
+from repro.errors import InvalidAddressError, OutOfMemoryError
+from repro.gpu.device import Device, DeviceConfig
+from repro.gpu.dtypes import DType
+from repro.gpu.kernel import kernel
+from repro.gpu.runtime import GpuRuntime, HostArray
+
+
+@kernel("oob_writer")
+def oob_writer(ctx, buf):
+    tid = ctx.global_ids
+    ctx.store(buf, tid + buf.nelems, np.zeros(tid.size, np.float32), tids=tid)
+
+
+def test_out_of_bounds_kernel_surfaces_as_error():
+    """A buggy kernel fails loudly; the collector must detach cleanly."""
+    tool = ValueExpert()
+    rt = GpuRuntime()
+
+    def workload(runtime):
+        buf = runtime.malloc(64, DType.FLOAT32)
+        runtime.launch(oob_writer, 1, 64, buf)
+
+    with pytest.raises(InvalidAddressError):
+        tool.profile(workload, runtime=rt)
+    assert rt.listeners == []  # no dangling subscription
+
+
+def test_use_after_free_rejected_under_profiling(fill_kernel):
+    tool = ValueExpert()
+
+    def workload(rt):
+        buf = rt.malloc(64, DType.FLOAT32)
+        rt.free(buf)
+        rt.launch(fill_kernel, 1, 64, buf, 0.0)
+
+    with pytest.raises(InvalidAddressError):
+        tool.profile(workload)
+
+
+def test_profiling_objects_allocated_before_attach(fill_kernel):
+    """Attaching mid-execution: the collector adopts pre-existing
+    objects (registers them with no allocation context and snapshots
+    their current contents) instead of losing their accesses."""
+    rt = GpuRuntime()
+    early = rt.malloc(256, DType.FLOAT32, "early_object")
+    early.write_all(np.zeros(early.nelems, np.float32))
+
+    tool = ValueExpert(ToolConfig())
+
+    def late_phase(runtime):
+        runtime.launch(fill_kernel, 1, 256, early, 0.0)
+
+    profile = tool.profile(late_phase, runtime=rt)
+    labels = [v.name for v in profile.graph.vertices()]
+    assert "early_object" in labels
+    # The kernel's zero-rewrite of the adopted object is still found.
+    assert any(
+        hit.object_label == "early_object"
+        and hit.pattern.value == "redundant values"
+        for hit in profile.hits
+    )
+
+
+def test_out_of_memory_propagates_with_collector_attached():
+    device = Device(DeviceConfig(global_memory_bytes=1024 * 1024))
+    rt = GpuRuntime(device=device)
+    tool = ValueExpert()
+
+    def workload(runtime):
+        runtime.malloc(10**7, DType.FLOAT32)
+
+    with pytest.raises(OutOfMemoryError):
+        tool.profile(workload, runtime=rt)
+    assert rt.listeners == []
+
+
+def test_empty_workload_profiles_cleanly():
+    profile = ValueExpert().profile(lambda rt: None, name="empty")
+    assert profile.hits == []
+    assert profile.graph.num_edges == 0
+
+
+def test_zero_thread_record_paths():
+    """A kernel that issues no accesses for some launches."""
+
+    @kernel("maybe_empty")
+    def maybe_empty(ctx, buf, active):
+        if active:
+            tid = ctx.global_ids
+            ctx.store(buf, tid, np.zeros(tid.size, np.float32), tids=tid)
+
+    def workload(rt):
+        buf = rt.malloc(64, DType.FLOAT32)
+        rt.launch(maybe_empty, 1, 64, buf, False)
+        rt.launch(maybe_empty, 1, 64, buf, True)
+
+    profile = ValueExpert().profile(workload)
+    assert profile.counters.total_launches == 2
+
+
+def test_huge_record_volume_flushes_buffer():
+    """A launch whose measurement data exceeds the profiling buffer
+    must flush repeatedly rather than fail (Section 5.1 protocol)."""
+
+    @kernel("wide_touch")
+    def wide_touch(ctx, buf):
+        tid = ctx.global_ids
+        for _ in range(4):
+            ctx.load(buf, tid, tids=tid)
+
+    tool = ValueExpert(ToolConfig(buffer_bytes=4096))
+
+    def workload(rt):
+        buf = rt.malloc(4096, DType.FLOAT32)
+        rt.launch(wide_touch, 16, 256, buf)
+
+    tool.profile(workload)
+    assert tool.last_collector.counters.buffer_flushes > 10
+
+
+def test_host_array_shorter_than_device_buffer():
+    """Partial H2D copies: only the copied prefix is treated as written."""
+    tool = ValueExpert()
+
+    def workload(rt):
+        buf = rt.malloc(256, DType.FLOAT32, "partial")
+        rt.memcpy_h2d(buf, HostArray(np.ones(16, np.float32), "short_host"))
+
+    profile = tool.profile(workload)
+    memcpy_hits = [h for h in profile.hits if h.object_label == "partial"]
+    # 16 fresh zeros overwritten by ones: nothing unchanged, no hit.
+    assert all(h.pattern.value != "redundant values" for h in memcpy_hits)

@@ -1,0 +1,145 @@
+"""Property-based test of the whole pipeline.
+
+Random GPU programs — arbitrary interleavings of alloc/copy/set/launch
+over a handful of arrays — are profiled end to end.  Whatever the
+program does, the profiler must not crash, its counters must be
+consistent, and every finding must point at something real.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ToolConfig, ValueExpert
+from repro.gpu.dtypes import DType
+from repro.gpu.kernel import kernel
+from repro.gpu.runtime import GpuRuntime, HostArray
+
+N = 256
+
+
+@kernel("prop_fill")
+def prop_fill(ctx, buf, value):
+    tid = ctx.global_ids
+    ctx.store(buf, tid % buf.nelems, np.full(tid.size, value, np.float32),
+              tids=tid)
+
+
+@kernel("prop_axpy")
+def prop_axpy(ctx, x, y):
+    tid = ctx.global_ids
+    xv = ctx.load(x, tid % x.nelems, tids=tid)
+    yv = ctx.load(y, tid % y.nelems, tids=tid)
+    ctx.flops(2 * tid.size)
+    ctx.store(y, tid % y.nelems, xv + yv, tids=tid)
+
+
+@kernel("prop_gather")
+def prop_gather(ctx, src, out):
+    tid = ctx.global_ids
+    idx = (tid * 7) % src.nelems
+    v = ctx.load(src, idx, tids=tid)
+    ctx.store(out, tid % out.nelems, v, tids=tid)
+
+
+# One op: (opcode, array slot a, array slot b, value)
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(
+            ["memset", "h2d_zeros", "h2d_random", "d2h",
+             "fill0", "fill1", "axpy", "gather"]
+        ),
+        st.integers(min_value=0, max_value=3),
+        st.integers(min_value=0, max_value=3),
+        st.integers(min_value=0, max_value=3),
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+def _execute(ops, rt: GpuRuntime) -> None:
+    arrays = [
+        rt.malloc(N, DType.FLOAT32, f"arr{i}") for i in range(4)
+    ]
+    rng = np.random.default_rng(0)
+    for opcode, a, b, value in ops:
+        x, y = arrays[a], arrays[b]
+        if opcode == "memset":
+            rt.memset(x, value)
+        elif opcode == "h2d_zeros":
+            rt.memcpy_h2d(x, HostArray(np.zeros(N, np.float32), "zeros"))
+        elif opcode == "h2d_random":
+            rt.memcpy_h2d(
+                x, HostArray(rng.normal(size=N).astype(np.float32), "rand")
+            )
+        elif opcode == "d2h":
+            rt.memcpy_d2h(HostArray(np.zeros(N, np.float32), "out"), x)
+        elif opcode == "fill0":
+            rt.launch(prop_fill, 1, N, x, 0.0)
+        elif opcode == "fill1":
+            rt.launch(prop_fill, 1, N, x, 1.0)
+        elif opcode == "axpy":
+            rt.launch(prop_axpy, 1, N, x, y)
+        elif opcode == "gather":
+            rt.launch(prop_gather, 1, N, x, y)
+
+
+@given(operations)
+@settings(max_examples=40, deadline=None)
+def test_any_program_profiles_cleanly(ops):
+    tool = ValueExpert(ToolConfig())
+    profile = tool.profile(lambda rt: _execute(ops, rt), name="random")
+
+    counters = tool.last_collector.counters
+    launches = sum(1 for op in ops if op[0] in
+                   ("fill0", "fill1", "axpy", "gather"))
+    # Counter consistency.
+    assert counters.total_launches == launches
+    assert counters.instrumented_launches <= counters.total_launches
+    assert counters.merged_intervals <= counters.compacted_intervals
+    assert counters.compacted_intervals <= counters.raw_intervals
+    assert counters.apis_intercepted >= launches + 4  # + the mallocs
+
+    # Every hit resolves to a graph vertex and a known object label.
+    labels = {o.label for o in profile.objects} | {
+        f"host:{name}" for name in ("zeros", "rand", "out")
+    }
+    for hit in profile.hits:
+        assert hit.object_label in labels or hit.object_label.startswith(
+            "arr"
+        ), hit.object_label
+        vid = int(hit.api_ref[1:].split(":")[0])
+        profile.graph.vertex(vid)
+
+    # Every edge references live vertices and a known allocation vertex.
+    vids = {v.vid for v in profile.graph.vertices()}
+    for edge in profile.graph.edges():
+        assert {edge.src, edge.dst, edge.alloc_vid} <= vids
+
+    # Serialization never fails.
+    profile.to_json()
+
+
+@given(operations)
+@settings(max_examples=20, deadline=None)
+def test_profiling_never_changes_program_results(ops):
+    """The observer effect must be zero: device memory after a profiled
+    run is bitwise identical to an unprofiled one."""
+    plain_rt = GpuRuntime()
+    _execute(ops, plain_rt)
+    plain_state = [
+        alloc.read_all() for alloc in plain_rt.device.memory.live_allocations
+    ]
+
+    profiled_rt = GpuRuntime()
+    ValueExpert(ToolConfig()).profile(
+        lambda rt: _execute(ops, rt), runtime=profiled_rt
+    )
+    profiled_state = [
+        alloc.read_all()
+        for alloc in profiled_rt.device.memory.live_allocations
+    ]
+    assert len(plain_state) == len(profiled_state)
+    for before, after in zip(plain_state, profiled_state):
+        assert np.array_equal(before, after)

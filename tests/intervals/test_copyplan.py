@@ -1,0 +1,95 @@
+"""Tests for the Figure 5 copy strategies and the adaptive selector."""
+
+import numpy as np
+import pytest
+
+from repro.intervals.copyplan import (
+    AdaptiveCopyPolicy,
+    CopyStrategy,
+    plan_copy,
+    plan_direct,
+    plan_min_max,
+    plan_segment,
+)
+
+POLICY = AdaptiveCopyPolicy(max_segments=4, dense_fraction=0.5,
+                            per_copy_latency_bytes=1024)
+
+
+def test_direct_copies_whole_object():
+    plan = plan_direct(1000, 4096)
+    assert plan.strategy is CopyStrategy.DIRECT
+    assert plan.ranges == ((1000, 5096),)
+    assert plan.bytes_transferred == 4096
+    assert plan.invocations == 1
+
+
+def test_min_max_spans_extremes():
+    plan = plan_min_max([(100, 200), (900, 1000)])
+    assert plan.strategy is CopyStrategy.MIN_MAX
+    assert plan.ranges == ((100, 1000),)
+    assert plan.bytes_transferred == 900
+    assert plan.invocations == 1
+
+
+def test_segment_copies_each_interval():
+    plan = plan_segment([(0, 10), (20, 30), (40, 50)])
+    assert plan.strategy is CopyStrategy.SEGMENT
+    assert plan.invocations == 3
+    assert plan.bytes_transferred == 30
+
+
+def test_adaptive_picks_segment_for_sparse_few():
+    """Two tiny islands far apart: segment wins."""
+    plan = plan_copy([(0, 16), (100_000, 100_016)], 0, 200_000, POLICY)
+    assert plan.strategy is CopyStrategy.SEGMENT
+
+
+def test_adaptive_picks_min_max_for_dense():
+    """Nearly contiguous coverage: one span wastes little."""
+    intervals = [(i * 10, i * 10 + 9) for i in range(4)]
+    plan = plan_copy(intervals, 0, 1000, POLICY)
+    assert plan.strategy is CopyStrategy.MIN_MAX
+
+
+def test_adaptive_picks_min_max_for_many_segments():
+    """Interval count above the threshold: per-copy latency dominates."""
+    intervals = [(i * 10_000, i * 10_000 + 8) for i in range(10)]
+    plan = plan_copy(intervals, 0, 200_000, POLICY)
+    assert plan.strategy is CopyStrategy.MIN_MAX
+
+
+def test_adaptive_empty_intervals():
+    plan = plan_copy(np.empty((0, 2), dtype=np.uint64), 0, 1000, POLICY)
+    assert plan.invocations == 0
+    assert plan.bytes_transferred == 0
+
+
+def test_cost_includes_latency_per_invocation():
+    plan = plan_segment([(0, 10), (20, 30)], POLICY)
+    assert plan.cost_bytes == 20 + 2 * POLICY.per_copy_latency_bytes
+
+
+def test_segment_never_transfers_more_than_min_max():
+    intervals = [(0, 100), (5000, 5100)]
+    segment = plan_segment(intervals, POLICY)
+    min_max = plan_min_max(intervals, POLICY)
+    assert segment.bytes_transferred <= min_max.bytes_transferred
+
+
+def test_adaptive_chooses_cheaper_of_the_two():
+    """Whatever the adaptive rule picks must transfer no more than the
+    whole object (the direct strategy)."""
+    rng = np.random.default_rng(5)
+    for _ in range(20):
+        count = rng.integers(1, 30)
+        starts = np.sort(rng.integers(0, 100_000, count)).astype(np.uint64)
+        intervals = np.stack([starts, starts + 8], axis=1)
+        plan = plan_copy(intervals, 0, 200_000, POLICY)
+        assert plan.bytes_transferred <= 200_000
+
+
+def test_plan_is_immutable():
+    plan = plan_direct(0, 100)
+    with pytest.raises(AttributeError):
+        plan.bytes_transferred = 5

@@ -1,0 +1,133 @@
+"""Tests for the sequential and parallel (Figure 4) interval merges."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidValueError
+from repro.intervals.interval import (
+    Interval,
+    as_interval_array,
+    merge_reference,
+    total_covered_bytes,
+)
+from repro.intervals.parallel import merge_parallel
+from repro.intervals.sequential import merge_sequential
+
+MERGERS = [merge_sequential, merge_parallel]
+
+
+@pytest.mark.parametrize("merge", MERGERS)
+def test_empty_input(merge):
+    result = merge(np.empty((0, 2), dtype=np.uint64))
+    assert result.shape == (0, 2)
+
+
+@pytest.mark.parametrize("merge", MERGERS)
+def test_single_interval(merge):
+    result = merge([(10, 20)])
+    assert result.tolist() == [[10, 20]]
+
+
+@pytest.mark.parametrize("merge", MERGERS)
+def test_disjoint_intervals_stay_apart(merge):
+    result = merge([(0, 4), (8, 12)])
+    assert result.tolist() == [[0, 4], [8, 12]]
+
+
+@pytest.mark.parametrize("merge", MERGERS)
+def test_touching_intervals_merge(merge):
+    """Adjacency must merge — coalesced warp accesses depend on it."""
+    result = merge([(0, 4), (4, 8), (8, 12)])
+    assert result.tolist() == [[0, 12]]
+
+
+@pytest.mark.parametrize("merge", MERGERS)
+def test_overlapping_intervals_merge(merge):
+    result = merge([(0, 10), (5, 15)])
+    assert result.tolist() == [[0, 15]]
+
+
+@pytest.mark.parametrize("merge", MERGERS)
+def test_contained_interval_absorbed(merge):
+    result = merge([(0, 100), (10, 20)])
+    assert result.tolist() == [[0, 100]]
+
+
+@pytest.mark.parametrize("merge", MERGERS)
+def test_duplicate_intervals_collapse(merge):
+    result = merge([(5, 9), (5, 9), (5, 9)])
+    assert result.tolist() == [[5, 9]]
+
+
+@pytest.mark.parametrize("merge", MERGERS)
+def test_unsorted_input_handled(merge):
+    result = merge([(20, 30), (0, 5), (4, 21)])
+    assert result.tolist() == [[0, 30]]
+
+
+@pytest.mark.parametrize("merge", MERGERS)
+def test_output_sorted_and_disjoint(merge):
+    rng = np.random.default_rng(7)
+    starts = rng.integers(0, 10_000, 500).astype(np.uint64)
+    arr = np.stack([starts, starts + rng.integers(1, 64, 500)], axis=1)
+    result = merge(arr)
+    assert np.all(result[:, 0] < result[:, 1])
+    assert np.all(result[1:, 0] > result[:-1, 1])  # strictly disjoint
+
+
+def test_parallel_equals_sequential_on_large_random_input():
+    rng = np.random.default_rng(42)
+    starts = rng.integers(0, 1_000_000, 50_000).astype(np.uint64)
+    arr = np.stack([starts, starts + rng.integers(1, 128, 50_000)], axis=1)
+    assert np.array_equal(merge_sequential(arr), merge_parallel(arr))
+
+
+def test_merge_matches_byte_level_reference():
+    rng = np.random.default_rng(3)
+    starts = rng.integers(0, 500, 60).astype(np.uint64)
+    arr = np.stack([starts, starts + rng.integers(1, 40, 60)], axis=1)
+    expected = [(iv.start, iv.end) for iv in merge_reference(arr)]
+    assert merge_parallel(arr).tolist() == [list(pair) for pair in expected]
+
+
+def test_large_addresses_do_not_overflow():
+    base = np.uint64(0x7F0000000000)
+    arr = np.array(
+        [[base, base + np.uint64(8)], [base + np.uint64(8), base + np.uint64(16)]],
+        dtype=np.uint64,
+    )
+    result = merge_parallel(arr)
+    assert result.tolist() == [[int(base), int(base) + 16]]
+
+
+def test_interval_type_validates():
+    with pytest.raises(InvalidValueError):
+        Interval(5, 5)
+    with pytest.raises(InvalidValueError):
+        Interval(10, 2)
+
+
+def test_interval_overlap_predicate():
+    assert Interval(0, 4).overlaps_or_touches(Interval(4, 8))
+    assert Interval(0, 10).overlaps_or_touches(Interval(5, 7))
+    assert not Interval(0, 4).overlaps_or_touches(Interval(5, 8))
+
+
+def test_as_interval_array_accepts_interval_objects():
+    arr = as_interval_array([Interval(0, 4), Interval(8, 12)])
+    assert arr.tolist() == [[0, 4], [8, 12]]
+
+
+def test_as_interval_array_rejects_bad_shapes():
+    with pytest.raises(InvalidValueError):
+        as_interval_array(np.zeros((3, 3), dtype=np.uint64))
+
+
+def test_as_interval_array_rejects_empty_intervals():
+    with pytest.raises(InvalidValueError):
+        as_interval_array([(5, 5)])
+
+
+def test_total_covered_bytes():
+    merged = merge_sequential([(0, 4), (10, 20)])
+    assert total_covered_bytes(merged) == 14

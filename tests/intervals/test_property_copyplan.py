@@ -1,0 +1,85 @@
+"""Property-based tests of the Figure 5 copy planning."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.intervals.copyplan import (
+    AdaptiveCopyPolicy,
+    plan_copy,
+    plan_direct,
+    plan_min_max,
+    plan_segment,
+)
+from repro.intervals.interval import total_covered_bytes
+from repro.intervals.sequential import merge_sequential
+
+OBJECT_SIZE = 1 << 20
+
+merged_intervals = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=OBJECT_SIZE - 64),
+        st.integers(min_value=1, max_value=64),
+    ),
+    min_size=1,
+    max_size=150,
+).map(
+    lambda pairs: merge_sequential(
+        np.array([(s, s + l) for s, l in pairs], dtype=np.uint64)
+    )
+)
+
+
+@given(merged_intervals)
+@settings(max_examples=200, deadline=None)
+def test_every_plan_covers_all_accessed_bytes(merged):
+    covered = total_covered_bytes(merged)
+    for plan in (
+        plan_direct(0, OBJECT_SIZE),
+        plan_min_max(merged),
+        plan_segment(merged),
+        plan_copy(merged, 0, OBJECT_SIZE),
+    ):
+        assert plan.bytes_transferred >= covered
+        # Every accessed interval lies inside some planned range.
+        for start, end in merged:
+            assert any(
+                lo <= start and end <= hi for lo, hi in plan.ranges
+            ), (plan.strategy, start, end)
+
+
+@given(merged_intervals)
+@settings(max_examples=200, deadline=None)
+def test_segment_transfers_exactly_covered_bytes(merged):
+    assert plan_segment(merged).bytes_transferred == total_covered_bytes(merged)
+
+
+@given(merged_intervals)
+@settings(max_examples=200, deadline=None)
+def test_ordering_segment_minmax_direct(merged):
+    segment = plan_segment(merged)
+    min_max = plan_min_max(merged)
+    direct = plan_direct(0, OBJECT_SIZE)
+    assert segment.bytes_transferred <= min_max.bytes_transferred
+    assert min_max.bytes_transferred <= direct.bytes_transferred
+
+
+@given(merged_intervals)
+@settings(max_examples=200, deadline=None)
+def test_adaptive_never_worse_than_both_candidates(merged):
+    policy = AdaptiveCopyPolicy()
+    adaptive = plan_copy(merged, 0, OBJECT_SIZE, policy)
+    candidates = [plan_min_max(merged, policy), plan_segment(merged, policy)]
+    # The rule picks one of the two; its modelled cost must never
+    # exceed the worse candidate (else the rule would be pointless).
+    assert adaptive.cost_bytes <= max(c.cost_bytes for c in candidates)
+
+
+@given(merged_intervals)
+@settings(max_examples=100, deadline=None)
+def test_forced_strategies_obeyed(merged):
+    from repro.intervals.copyplan import CopyStrategy
+
+    for strategy in CopyStrategy:
+        policy = AdaptiveCopyPolicy(force=strategy)
+        assert plan_copy(merged, 0, OBJECT_SIZE, policy).strategy is strategy

@@ -1,0 +1,99 @@
+"""Property-based tests for the interval-merge algorithms.
+
+The Figure 4 parallel merge must be extensionally identical to the
+sequential sweep and to the byte-level reference, for *any* interval
+multiset — this is the core invariant the coarse analysis rests on.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.intervals.compaction import warp_compact
+from repro.intervals.interval import merge_reference, total_covered_bytes
+from repro.intervals.parallel import merge_parallel
+from repro.intervals.sequential import merge_sequential
+
+intervals_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=2000),
+        st.integers(min_value=1, max_value=64),
+    ),
+    min_size=1,
+    max_size=200,
+).map(
+    lambda pairs: np.array(
+        [(start, start + length) for start, length in pairs], dtype=np.uint64
+    )
+)
+
+
+@given(intervals_strategy)
+@settings(max_examples=200, deadline=None)
+def test_parallel_equals_sequential(arr):
+    assert np.array_equal(merge_parallel(arr), merge_sequential(arr))
+
+
+@given(intervals_strategy)
+@settings(max_examples=100, deadline=None)
+def test_parallel_equals_byte_reference(arr):
+    expected = [[iv.start, iv.end] for iv in merge_reference(arr)]
+    assert merge_parallel(arr).tolist() == expected
+
+
+@given(intervals_strategy)
+@settings(max_examples=100, deadline=None)
+def test_merge_is_idempotent(arr):
+    once = merge_parallel(arr)
+    twice = merge_parallel(once)
+    assert np.array_equal(once, twice)
+
+
+@given(intervals_strategy)
+@settings(max_examples=100, deadline=None)
+def test_merged_output_is_canonical(arr):
+    merged = merge_parallel(arr)
+    # Sorted, strictly disjoint, non-empty intervals.
+    assert np.all(merged[:, 0] < merged[:, 1])
+    if merged.shape[0] > 1:
+        assert np.all(merged[1:, 0] > merged[:-1, 1])
+
+
+@given(intervals_strategy)
+@settings(max_examples=100, deadline=None)
+def test_coverage_preserved(arr):
+    """Merging never loses or invents covered bytes."""
+    merged = merge_parallel(arr)
+    covered = np.zeros(int(arr[:, 1].max()) + 1, dtype=bool)
+    for start, end in arr:
+        covered[int(start):int(end)] = True
+    assert total_covered_bytes(merged) == int(covered.sum())
+
+
+@given(intervals_strategy)
+@settings(max_examples=100, deadline=None)
+def test_warp_compaction_preserves_merge_result(arr):
+    """Pre-compacting within warps must never change the final merge."""
+    compacted = warp_compact(arr)
+    assert np.array_equal(merge_parallel(compacted), merge_parallel(arr))
+
+
+@given(intervals_strategy)
+@settings(max_examples=100, deadline=None)
+def test_warp_compaction_never_grows_input(arr):
+    assert warp_compact(arr).shape[0] <= arr.shape[0]
+
+
+@given(intervals_strategy, st.integers(min_value=1, max_value=64))
+@settings(max_examples=50, deadline=None)
+def test_warp_compaction_any_warp_size(arr, warp_size):
+    compacted = warp_compact(arr, warp_size=warp_size)
+    assert np.array_equal(merge_sequential(compacted), merge_sequential(arr))
+
+
+@given(intervals_strategy)
+@settings(max_examples=50, deadline=None)
+def test_merge_invariant_under_permutation(arr):
+    rng = np.random.default_rng(0)
+    shuffled = arr[rng.permutation(arr.shape[0])]
+    assert np.array_equal(merge_parallel(arr), merge_parallel(shuffled))

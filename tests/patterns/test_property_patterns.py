@@ -1,0 +1,129 @@
+"""Property-based tests for the pattern detectors.
+
+These encode the *logical relations between the definitions*: single
+zero implies single value, single value implies frequent values (at any
+threshold <= 1), heavy-type demotion must round-trip losslessly, and
+mantissa truncation never increases the number of distinct values.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.dtypes import DType
+from repro.patterns.base import ObjectAccessView, PatternConfig
+from repro.patterns.approximate import truncate_mantissa
+from repro.patterns.coarse import unchanged_fraction
+from repro.patterns.base import SnapshotPair
+from repro.patterns.fine import (
+    detect_frequent_values,
+    detect_single_value,
+    detect_single_zero,
+)
+from repro.patterns.heavy_type import minimal_value_type
+
+CONFIG = PatternConfig(min_accesses=8)
+
+
+def _view(values, dtype):
+    values = np.asarray(values)
+    return ObjectAccessView(
+        object_label="o",
+        api_ref="a",
+        values=values,
+        addresses=np.arange(values.size, dtype=np.uint64) * dtype.itemsize,
+        dtype=dtype,
+        itemsize=dtype.itemsize,
+    )
+
+
+float_arrays = st.lists(
+    st.floats(
+        min_value=-1e6, max_value=1e6, allow_nan=False, width=32
+    ),
+    min_size=8,
+    max_size=200,
+).map(lambda xs: np.array(xs, dtype=np.float32))
+
+int_arrays = st.lists(
+    st.integers(min_value=-(2**31), max_value=2**31 - 1),
+    min_size=8,
+    max_size=200,
+).map(lambda xs: np.array(xs, dtype=np.int32))
+
+
+@given(float_arrays)
+@settings(max_examples=150, deadline=None)
+def test_single_zero_implies_single_value_and_frequent(values):
+    view = _view(values, DType.FLOAT32)
+    if detect_single_zero(view, CONFIG) is not None:
+        assert detect_single_value(view, CONFIG) is not None
+        assert detect_frequent_values(view, CONFIG) is not None
+
+
+@given(float_arrays)
+@settings(max_examples=150, deadline=None)
+def test_single_value_implies_frequent(values):
+    view = _view(values, DType.FLOAT32)
+    if detect_single_value(view, CONFIG) is not None:
+        hit = detect_frequent_values(view, CONFIG)
+        assert hit is not None
+        assert hit.metrics["share"] == 1.0
+
+
+@given(int_arrays)
+@settings(max_examples=150, deadline=None)
+def test_minimal_type_roundtrips_losslessly(values):
+    narrow = minimal_value_type(values, DType.INT32)
+    roundtrip = values.astype(narrow.np_dtype).astype(np.int64)
+    assert np.array_equal(roundtrip, values.astype(np.int64))
+
+
+@given(int_arrays)
+@settings(max_examples=150, deadline=None)
+def test_minimal_type_never_wider_than_declared(values):
+    narrow = minimal_value_type(values, DType.INT32)
+    assert narrow.bits <= DType.INT32.bits
+
+
+@given(float_arrays, st.integers(min_value=1, max_value=22))
+@settings(max_examples=150, deadline=None)
+def test_truncation_never_increases_distinct_values(values, bits):
+    exact = np.unique(values).size
+    truncated = np.unique(truncate_mantissa(values, bits)).size
+    assert truncated <= exact
+
+
+@given(float_arrays, st.integers(min_value=1, max_value=22))
+@settings(max_examples=100, deadline=None)
+def test_truncation_error_bound(values, bits):
+    truncated = truncate_mantissa(values, bits)
+    # The relative bound holds for normal numbers; subnormals have a
+    # fixed exponent and can lose everything.
+    normal = np.abs(values) >= np.finfo(np.float32).tiny
+    relative = np.abs(truncated[normal] - values[normal]) / np.abs(values[normal])
+    assert np.all(relative <= 2.0 ** -bits)
+
+
+@given(float_arrays)
+@settings(max_examples=100, deadline=None)
+def test_unchanged_fraction_bounds(values):
+    after = values.copy()
+    after[::3] += 1.0
+    fraction = unchanged_fraction(SnapshotPair(values, after))
+    assert 0.0 <= fraction <= 1.0
+
+
+@given(float_arrays)
+@settings(max_examples=100, deadline=None)
+def test_identical_snapshots_fully_unchanged(values):
+    assert unchanged_fraction(SnapshotPair(values, values.copy())) == 1.0
+
+
+@given(float_arrays)
+@settings(max_examples=100, deadline=None)
+def test_unchanged_fraction_of_disjoint_snapshots(values):
+    after = values + np.float32(1.5)
+    fraction = unchanged_fraction(SnapshotPair(values, after))
+    # Adding 1.5 changes every representable finite value in range.
+    assert fraction == 0.0

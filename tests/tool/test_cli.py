@@ -1,0 +1,93 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "rodinia/bfs" in out
+    assert "darknet" in out
+    assert "Table 1 patterns" in out
+
+
+def test_profile_command(capsys, tmp_path):
+    dot = tmp_path / "graph.dot"
+    json_path = tmp_path / "profile.json"
+    code = main([
+        "profile", "rodinia/backprop",
+        "--scale", "0.125",
+        "--coarse-only",
+        "--dot", str(dot),
+        "--json", str(json_path),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "ValueExpert report" in out
+    assert dot.read_text().startswith("digraph")
+    data = json.loads(json_path.read_text())
+    assert data["workload"] == "rodinia/backprop"
+
+
+def test_profile_platform_selection(capsys):
+    main(["profile", "rodinia/hotspot", "--scale", "0.125",
+          "--platform", "a100", "--coarse-only"])
+    assert "A100" in capsys.readouterr().out
+
+
+def test_profile_rejects_unknown_workload():
+    with pytest.raises(SystemExit):
+        main(["profile", "not-a-workload"])
+
+
+def test_speedup_command(capsys):
+    assert main(["speedup", "rodinia/backprop", "--scale", "0.25"]) == 0
+    out = capsys.readouterr().out
+    assert "RTX 2080 Ti" in out and "A100" in out
+    assert "kernel" in out and "memory" in out
+
+
+def test_figure3_command(capsys):
+    assert main(["figure3"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 3b" in out
+
+
+def test_table1_command_small(capsys):
+    assert main(["table1", "--scale", "0.125"]) == 0
+    out = capsys.readouterr().out
+    assert "rodinia/bfs" in out
+
+
+def test_parser_covers_all_experiments():
+    parser = build_parser()
+    for command in ("table1", "table3", "table4", "table5",
+                    "figure2", "figure3", "figure6", "casestudies"):
+        args = parser.parse_args([command])
+        assert args.command == command
+
+
+def test_view_command_roundtrips(capsys, tmp_path):
+    json_path = tmp_path / "p.json"
+    html_path = tmp_path / "p.html"
+    main([
+        "profile", "rodinia/hotspot", "--scale", "0.125",
+        "--coarse-only", "--json", str(json_path),
+    ])
+    capsys.readouterr()
+    assert main(["view", str(json_path), "--html", str(html_path)]) == 0
+    out = capsys.readouterr().out
+    assert "ValueExpert report" in out
+    assert html_path.read_text().startswith("<!DOCTYPE html>")
+
+
+def test_fine_only_flag(capsys):
+    assert main([
+        "profile", "rodinia/huffman", "--scale", "0.125",
+        "--fine-only", "--hot-kernels-only", "--kernel-period", "2",
+    ]) == 0
+    assert "ValueExpert report" in capsys.readouterr().out

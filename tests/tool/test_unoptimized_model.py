@@ -1,0 +1,49 @@
+"""The Section 6 motivation numbers: the unoptimized data path."""
+
+import pytest
+
+from repro.experiments.runner import profile_workload, run_timed
+from repro.gpu.timing import RTX_2080_TI
+from repro.tool.overhead import (
+    UNOPTIMIZED_MODEL,
+    VALUEEXPERT_MODEL,
+    price_run,
+)
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def streamcluster_reports():
+    """Price streamcluster's counters through both data paths."""
+    workload = get_workload("rodinia/streamcluster")(scale=0.5)
+    times = run_timed(workload, RTX_2080_TI)
+    profile = profile_workload(workload, RTX_2080_TI)
+    optimized = price_run(
+        VALUEEXPERT_MODEL, profile.counters, RTX_2080_TI, times.total,
+        kernel_time_s=times.kernel_time, fine=False,
+    )
+    unoptimized = price_run(
+        UNOPTIMIZED_MODEL, profile.counters, RTX_2080_TI, times.total,
+        kernel_time_s=times.kernel_time, fine=True,
+    )
+    return optimized, unoptimized
+
+
+def test_unoptimized_streamcluster_is_three_orders_of_magnitude(
+    streamcluster_reports,
+):
+    """'Without any optimization, ValueExpert slows down
+    Rodinia/streamcluster by 1200x' — the unoptimized path must land
+    in the hundreds-to-thousands range."""
+    _, unoptimized = streamcluster_reports
+    assert 200 < unoptimized.overhead < 10_000
+
+
+def test_optimizations_buy_two_orders_of_magnitude(streamcluster_reports):
+    optimized, unoptimized = streamcluster_reports
+    assert unoptimized.overhead > 50 * optimized.overhead
+
+
+def test_optimized_overhead_stays_moderate(streamcluster_reports):
+    optimized, _ = streamcluster_reports
+    assert optimized.overhead < 10

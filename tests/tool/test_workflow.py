@@ -1,0 +1,85 @@
+"""Tests for the automated §4 two-pass workflow."""
+
+import pytest
+
+from repro.gpu.timing import RTX_2080_TI
+from repro.patterns.base import Pattern
+from repro.tool.workflow import run_recommended_workflow
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def darknet_result():
+    workload = get_workload("darknet")(scale=0.25)
+    return run_recommended_workflow(workload, RTX_2080_TI)
+
+
+def test_coarse_pass_finds_the_red_flows(darknet_result):
+    assert darknet_result.coarse_profile.redundant_flows()
+    patterns = {h.pattern for h in darknet_result.coarse_profile.hits}
+    assert Pattern.REDUNDANT_VALUES in patterns
+
+
+def test_important_graph_is_smaller(darknet_result):
+    full = darknet_result.coarse_profile.graph
+    pruned = darknet_result.important
+    assert pruned.num_edges < full.num_edges
+
+
+def test_selected_kernels_include_the_culprits(darknet_result):
+    """The workflow must converge on the kernels of Inefficiency I."""
+    assert "fill_kernel" in darknet_result.selected_kernels
+    assert "gemm_kernel" in darknet_result.selected_kernels
+
+
+def test_slices_computed_for_red_flows(darknet_result):
+    assert darknet_result.slices
+    full = darknet_result.coarse_profile.graph
+    for sliced in darknet_result.slices:
+        assert sliced.num_vertices <= full.num_vertices
+
+
+def test_fine_pass_runs_filtered(darknet_result):
+    fine = darknet_result.fine_profile
+    assert fine is not None
+    # Every fine hit's API is one of the selected kernels.
+    for hit in fine.fine_hits:
+        kernel_name = hit.api_ref.split(":", 1)[1]
+        assert kernel_name in darknet_result.selected_kernels
+
+
+def test_fine_pass_finds_the_zero_fill(darknet_result):
+    fine = darknet_result.fine_profile
+    zero_hits = fine.hits_by_pattern(Pattern.SINGLE_ZERO)
+    assert any("l.output_gpu" in hit.object_label for hit in zero_hits)
+
+
+def test_summary_renders(darknet_result):
+    text = darknet_result.summary()
+    assert "pass 1" in text and "pass 2" in text
+    assert "fill_kernel" in text
+
+
+def test_workflow_without_redundancy_skips_fine_pass():
+    """A clean program selects no kernels and stops after pass 1."""
+    import numpy as np
+    from repro.gpu.dtypes import DType
+
+    class Clean:
+        name = "clean"
+
+        def run_baseline(self, rt):
+            from tests.conftest import accumulate_kernel
+
+            buf = rt.malloc(256, DType.FLOAT32, "buf")
+            rt.memcpy_h2d(
+                buf,
+                __import__("repro.gpu.runtime", fromlist=["HostArray"])
+                .HostArray(np.random.default_rng(0).normal(
+                    size=256).astype(np.float32)),
+            )
+            rt.launch(accumulate_kernel, 1, 256, buf, 1.5)
+
+    result = run_recommended_workflow(Clean(), RTX_2080_TI)
+    assert result.selected_kernels == frozenset()
+    assert result.fine_profile is None

@@ -1,0 +1,82 @@
+"""Tests for call-path capture."""
+
+from repro.utils.callpath import CallPath, Frame, capture_call_path
+
+
+def _inner():
+    return capture_call_path(skip=0)
+
+
+def _outer():
+    return _inner()
+
+
+def test_capture_includes_caller_chain():
+    path = _outer()
+    names = [frame.function for frame in path]
+    assert "_inner" in names
+    assert "_outer" in names
+    assert names.index("_outer") < names.index("_inner")
+
+
+def test_leaf_is_innermost_frame():
+    path = _outer()
+    assert path.leaf.function == "_inner"
+
+
+def test_skip_drops_innermost_frames():
+    def wrapper():
+        return capture_call_path(skip=1)
+
+    path = wrapper()
+    assert all(frame.function != "wrapper" for frame in path)
+
+
+def test_paths_from_same_site_are_equal_and_hashable():
+    def site():
+        return capture_call_path(skip=0)
+
+    first, second = site(), site()
+    assert first == second
+    assert hash(first) == hash(second)
+
+
+def test_paths_from_different_lines_differ():
+    first = capture_call_path(skip=0)
+    second = capture_call_path(skip=0)
+    assert first != second  # different line numbers in this function
+
+
+def test_max_depth_truncates():
+    def recurse(depth):
+        if depth == 0:
+            return capture_call_path(skip=0, max_depth=3)
+        return recurse(depth - 1)
+
+    path = recurse(10)
+    assert len(path) <= 3
+
+
+def test_describe_renders_frames():
+    path = _outer()
+    text = path.describe()
+    assert "_inner" in text and "_outer" in text
+
+
+def test_describe_depth_limits_output():
+    path = _outer()
+    limited = path.describe(depth=1)
+    assert "_inner" in limited
+    assert "_outer" not in limited
+
+
+def test_empty_path_leaf_raises():
+    import pytest
+
+    with pytest.raises(IndexError):
+        CallPath(()).leaf
+
+
+def test_frame_str_format():
+    frame = Frame("func", "file.py", 12)
+    assert str(frame) == "func at file.py:12"

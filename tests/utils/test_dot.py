@@ -1,0 +1,52 @@
+"""Tests for the DOT writer."""
+
+from repro.utils.dot import DotWriter
+
+
+def test_render_produces_digraph():
+    writer = DotWriter("test")
+    assert writer.render().startswith('digraph "test" {')
+    assert writer.render().rstrip().endswith("}")
+
+
+def test_node_with_attributes():
+    writer = DotWriter()
+    writer.node("a", shape="box", label="Alloc")
+    doc = writer.render()
+    assert '"a"' in doc
+    assert 'shape="box"' in doc
+    assert 'label="Alloc"' in doc
+
+
+def test_edge_between_nodes():
+    writer = DotWriter()
+    writer.edge("a", "b", color="red")
+    doc = writer.render()
+    assert '"a" -> "b"' in doc
+    assert 'color="red"' in doc
+
+
+def test_quotes_and_newlines_are_escaped():
+    writer = DotWriter()
+    writer.node('has "quotes"', label="line1\nline2")
+    doc = writer.render()
+    assert '\\"quotes\\"' in doc
+    assert "line1\\nline2" in doc
+
+
+def test_graph_attributes_rendered():
+    writer = DotWriter(graph_attrs={"rankdir": "LR"})
+    assert 'rankdir="LR"' in writer.render()
+
+
+def test_attributes_sorted_deterministically():
+    writer = DotWriter()
+    writer.node("n", zeta="1", alpha="2")
+    doc = writer.render()
+    assert doc.index("alpha") < doc.index("zeta")
+
+
+def test_comment_emitted():
+    writer = DotWriter()
+    writer.comment("hello")
+    assert "// hello" in writer.render()

@@ -1,0 +1,56 @@
+"""Tests for snapshot hashing."""
+
+import numpy as np
+import pytest
+
+from repro.utils.hashing import bytes_digest, snapshot_digest
+
+
+def test_equal_arrays_hash_equal():
+    a = np.arange(100, dtype=np.float32)
+    b = np.arange(100, dtype=np.float32)
+    assert snapshot_digest(a) == snapshot_digest(b)
+
+
+def test_different_values_hash_differently():
+    a = np.zeros(16, dtype=np.float32)
+    b = np.zeros(16, dtype=np.float32)
+    b[7] = 1.0
+    assert snapshot_digest(a) != snapshot_digest(b)
+
+
+def test_different_dtypes_same_bits_hash_equal():
+    """The digest is over raw bytes, so bit-identical buffers match."""
+    zeros_f32 = np.zeros(8, dtype=np.float32)
+    zeros_i32 = np.zeros(8, dtype=np.int32)
+    assert snapshot_digest(zeros_f32) == snapshot_digest(zeros_i32)
+
+
+def test_different_sizes_hash_differently():
+    assert snapshot_digest(np.zeros(8)) != snapshot_digest(np.zeros(9))
+
+
+def test_non_contiguous_array_is_handled():
+    base = np.arange(32, dtype=np.int32)
+    strided = base[::2]
+    assert snapshot_digest(strided) == snapshot_digest(strided.copy())
+
+
+def test_digest_is_hex_sha256():
+    digest = snapshot_digest(np.zeros(4))
+    assert len(digest) == 64
+    int(digest, 16)  # must parse as hex
+
+
+def test_bytes_digest_matches_array_digest():
+    data = np.arange(10, dtype=np.uint8)
+    assert bytes_digest(data.tobytes()) == snapshot_digest(data)
+
+
+def test_nan_payloads_distinguish():
+    """NaNs with different payloads are different bit patterns."""
+    a = np.array([np.float32(np.nan)])
+    b = a.copy()
+    b_view = b.view(np.uint32)
+    b_view[0] ^= 1  # flip a payload bit
+    assert snapshot_digest(a) != snapshot_digest(b)

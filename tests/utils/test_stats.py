@@ -1,0 +1,63 @@
+"""Tests for summary statistics."""
+
+import math
+
+import pytest
+
+from repro.utils.stats import geometric_mean, mean, median
+
+
+def test_geomean_of_constant_sequence():
+    assert geometric_mean([2.0, 2.0, 2.0]) == pytest.approx(2.0)
+
+
+def test_geomean_known_value():
+    assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+
+def test_geomean_less_than_arithmetic_mean():
+    values = [1.0, 10.0]
+    assert geometric_mean(values) < mean(values)
+
+
+def test_geomean_rejects_empty():
+    with pytest.raises(ValueError):
+        geometric_mean([])
+
+
+def test_geomean_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        geometric_mean([1.0, 0.0])
+    with pytest.raises(ValueError):
+        geometric_mean([1.0, -2.0])
+
+
+def test_median_odd_and_even():
+    assert median([3, 1, 2]) == 2
+    assert median([4, 1, 2, 3]) == pytest.approx(2.5)
+
+
+def test_median_rejects_empty():
+    with pytest.raises(ValueError):
+        median([])
+
+
+def test_median_single_element():
+    assert median([7.0]) == 7.0
+
+
+def test_mean_rejects_empty():
+    with pytest.raises(ValueError):
+        mean([])
+
+
+def test_geomean_is_scale_invariant():
+    base = [1.2, 3.4, 0.9]
+    scaled = [v * 10 for v in base]
+    assert geometric_mean(scaled) == pytest.approx(10 * geometric_mean(base))
+
+
+def test_geomean_matches_log_definition():
+    values = [1.5, 2.5, 4.0]
+    expected = math.exp(sum(math.log(v) for v in values) / 3)
+    assert geometric_mean(values) == pytest.approx(expected)

@@ -1,0 +1,60 @@
+"""Every workload must run (baseline and optimized) on both platforms
+with deterministic, reproducible behaviour."""
+
+import pytest
+
+from repro.gpu.runtime import GpuRuntime
+from repro.gpu.timing import A100, RTX_2080_TI
+from repro.workloads import all_workloads
+
+SCALE = 0.125
+
+
+@pytest.mark.parametrize("cls", all_workloads(), ids=lambda c: c.meta.name)
+def test_baseline_runs_and_accumulates_time(cls):
+    workload = cls(scale=SCALE)
+    rt = GpuRuntime(platform=RTX_2080_TI)
+    workload.run_baseline(rt)
+    assert rt.times.total > 0
+    assert rt.times.memory_time > 0
+
+
+@pytest.mark.parametrize("cls", all_workloads(), ids=lambda c: c.meta.name)
+def test_fully_optimized_runs(cls):
+    workload = cls(scale=SCALE)
+    rt = GpuRuntime(platform=A100)
+    workload.run_optimized(rt)
+    assert rt.times.total > 0
+
+
+@pytest.mark.parametrize("cls", all_workloads(), ids=lambda c: c.meta.name)
+def test_each_table4_fix_runs_alone(cls):
+    workload = cls(scale=SCALE)
+    for pattern in workload.meta.table4_rows:
+        rt = GpuRuntime(platform=RTX_2080_TI)
+        workload.run_optimized(rt, frozenset({pattern}))
+        assert rt.times.total > 0
+
+
+@pytest.mark.parametrize("cls", all_workloads(), ids=lambda c: c.meta.name)
+def test_runs_are_deterministic(cls):
+    first = GpuRuntime(platform=RTX_2080_TI)
+    cls(scale=SCALE, seed=3).run_baseline(first)
+    second = GpuRuntime(platform=RTX_2080_TI)
+    cls(scale=SCALE, seed=3).run_baseline(second)
+    assert first.times.total == pytest.approx(second.times.total)
+    assert first.api_events == second.api_events
+
+
+@pytest.mark.parametrize("cls", all_workloads(), ids=lambda c: c.meta.name)
+def test_timed_kernels_exist_in_baseline(cls):
+    workload = cls(scale=SCALE)
+    timed = workload.timed_kernels()
+    if timed is None:
+        return
+    rt = GpuRuntime(platform=RTX_2080_TI)
+    workload.run_baseline(rt)
+    launched = set(rt.times.kernel_time_by_name)
+    assert timed & launched, (
+        f"{workload.name}: none of {timed} launched ({launched})"
+    )

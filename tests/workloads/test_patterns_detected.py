@@ -1,0 +1,75 @@
+"""Table 1 coverage: every paper check mark must be detected.
+
+This is the central reproduction test for Section 3: profiling each
+workload's baseline must find at least the patterns the paper's Table 1
+marks for it.
+"""
+
+import pytest
+
+from repro.experiments.runner import profile_workload
+from repro.gpu.timing import RTX_2080_TI
+from repro.patterns.base import Pattern
+from repro.workloads import all_workloads
+
+SCALE = 0.25
+
+_PROFILES = {}
+
+
+def _profile(cls):
+    if cls.meta.name not in _PROFILES:
+        workload = cls(scale=SCALE)
+        _PROFILES[cls.meta.name] = profile_workload(workload, RTX_2080_TI)
+    return _PROFILES[cls.meta.name]
+
+
+@pytest.mark.parametrize("cls", all_workloads(), ids=lambda c: c.meta.name)
+def test_paper_patterns_detected(cls):
+    profile = _profile(cls)
+    found = set(profile.patterns_found())
+    missing = set(cls.meta.table1_patterns) - found
+    assert not missing, (
+        f"{cls.meta.name}: paper marks {sorted(p.value for p in missing)} "
+        f"but the profiler found only {sorted(p.value for p in found)}"
+    )
+
+
+@pytest.mark.parametrize("cls", all_workloads(), ids=lambda c: c.meta.name)
+def test_profile_builds_a_flow_graph(cls):
+    profile = _profile(cls)
+    assert profile.graph.num_vertices > 2
+    assert profile.graph.num_edges > 1
+
+
+@pytest.mark.parametrize("cls", all_workloads(), ids=lambda c: c.meta.name)
+def test_profile_records_collection_counters(cls):
+    profile = _profile(cls)
+    assert profile.counters.apis_intercepted > 0
+    assert profile.counters.recorded_accesses > 0
+
+
+def test_single_zero_workloads_show_zero_evidence():
+    """Spot-check the backprop case study's specific evidence."""
+    from repro.workloads import get_workload
+
+    profile = _profile(get_workload("rodinia/backprop"))
+    zero_hits = profile.hits_by_pattern(Pattern.SINGLE_ZERO)
+    assert any(hit.object_label in ("w", "oldw", "delta") for hit in zero_hits)
+
+
+def test_structured_workload_names_the_index_arrays():
+    from repro.workloads import get_workload
+
+    profile = _profile(get_workload("rodinia/sradv1"))
+    structured = profile.hits_by_pattern(Pattern.STRUCTURED_VALUES)
+    labels = {hit.object_label for hit in structured}
+    assert labels & {"d_iN", "d_iS", "d_jW", "d_jE"}
+
+
+def test_heavy_type_workload_names_g_cost():
+    from repro.workloads import get_workload
+
+    profile = _profile(get_workload("rodinia/bfs"))
+    heavy = profile.hits_by_pattern(Pattern.HEAVY_TYPE)
+    assert any(hit.object_label == "g_cost" for hit in heavy)
