@@ -48,6 +48,10 @@ class OnlineAnalyzer:
         #: current snapshot digest per object key ("dev:<id>"/"host:<label>").
         self._digests: Dict[str, str] = {}
         self._labels: Dict[str, str] = {}
+        #: incremental reverse index digest -> keys sharing it; duplicate
+        #: detection reads only the dirty keys' buckets per API instead
+        #: of regrouping every tracked object.
+        self._by_digest: Dict[str, Set[str]] = {}
         #: duplicate groups already reported (frozenset of keys).
         self._reported_groups: Set[frozenset] = set()
         #: untyped groups deferred to the offline analyzer.
@@ -74,9 +78,25 @@ class OnlineAnalyzer:
         )
 
     def on_free(self, obj: DataObject) -> None:
-        """Drop the object's flow and digest state."""
+        """Drop the object's flow, digest, label, and group state.
+
+        Everything keyed by the object must go: a stale label or reverse
+        -index entry would let a freed object resurface in (or suppress)
+        a later duplicate-values group.
+        """
         self.flow.on_free(obj.alloc_id)
-        self._digests.pop(f"dev:{obj.alloc_id}", None)
+        key = f"dev:{obj.alloc_id}"
+        digest = self._digests.pop(key, None)
+        if digest is not None:
+            members = self._by_digest.get(digest)
+            if members is not None:
+                members.discard(key)
+                if not members:
+                    del self._by_digest[digest]
+        self._labels.pop(key, None)
+        self._reported_groups = {
+            group for group in self._reported_groups if key not in group
+        }
 
     def on_memory_api(self, obs: MemoryApiObservation) -> None:
         """Flow edges + coarse/duplicate analysis for a memcpy/memset."""
@@ -180,37 +200,75 @@ class OnlineAnalyzer:
             ):
                 self._add_hit(hit, fine=False)
 
+    def _move_digest(
+        self, key: str, digest: str, label: str
+    ) -> Tuple[bool, Optional[str]]:
+        """Reindex one key's digest.
+
+        Returns ``(changed, departed)``: whether the digest changed, and
+        the digest the key left behind (None for a new or unchanged key).
+        """
+        self._labels[key] = label
+        previous = self._digests.get(key)
+        if previous == digest:
+            return False, None
+        if previous is not None:
+            members = self._by_digest.get(previous)
+            if members is not None:
+                members.discard(key)
+                if not members:
+                    del self._by_digest[previous]
+        self._digests[key] = digest
+        self._by_digest.setdefault(digest, set()).add(key)
+        return True, previous
+
     def _duplicate_analysis(
         self,
         writes,
         api_ref: str,
         host_extra: Optional[Tuple[str, np.ndarray]],
     ) -> None:
-        """Refresh digests of written objects, then look for groups."""
-        changed = False
+        """Reindex written objects' digests, then check dirty buckets.
+
+        Each written object's ``write.after`` snapshot is hashed exactly
+        once and moved between reverse-index buckets; only the buckets
+        touched this API — joined by a written key, or left behind by
+        one (the residual members are a new, smaller group) — are
+        examined for new duplicate groups: O(written objects), not
+        O(tracked objects).
+        """
+        dirty = []
         for write in writes:
             key = f"dev:{write.obj.alloc_id}"
-            self._digests[key] = snapshot_digest(write.after)
-            self._labels[key] = write.obj.label
-            changed = True
+            digest = snapshot_digest(write.after)
+            changed, departed = self._move_digest(
+                key, digest, write.obj.label
+            )
+            if changed:
+                dirty.append(digest)
+            if departed is not None:
+                dirty.append(departed)
         if host_extra is not None:
             key, data = host_extra
-            self._digests[key] = snapshot_digest(np.asarray(data))
-            self._labels[key] = key
-            changed = True
-        if not changed:
-            return
-        groups: Dict[str, list] = {}
-        for key, digest in self._digests.items():
-            groups.setdefault(digest, []).append(key)
-        for digest, keys in groups.items():
-            if len(keys) < 2:
+            digest = snapshot_digest(np.asarray(data))
+            changed, departed = self._move_digest(key, digest, key)
+            if changed:
+                dirty.append(digest)
+            if departed is not None:
+                dirty.append(departed)
+        seen = set()
+        for digest in dirty:
+            if digest in seen:
                 continue
-            group_id = frozenset(keys)
+            seen.add(digest)
+            members = self._by_digest.get(digest)
+            if members is None or len(members) < 2:
+                continue
+            group_id = frozenset(members)
             if group_id in self._reported_groups:
                 continue
             self._reported_groups.add(group_id)
-            labels = sorted(self._labels[k] for k in keys)
+            labels = sorted(self._labels[k] for k in members)
             self._add_hit(
                 PatternHit(
                     pattern=Pattern.DUPLICATE_VALUES,

@@ -6,17 +6,22 @@ snapshots, intervals, and value views the analyzers need — and forwards
 them to an attached analyzer (usually
 :class:`repro.analysis.online.OnlineAnalyzer`; tests attach stubs).
 
-Per kernel launch, the measurement pipeline follows Section 6.1:
+Per kernel launch, the measurement pipeline follows Section 6.1, as a
+*single* kind-aware pass over the access stream:
 
 1. access records are deposited into the bounded profiling buffer
    (flush count feeds the overhead model);
-2. their byte intervals are warp-compacted, then merged with the
-   Figure 4 parallel algorithm;
-3. merged intervals are assigned to data objects;
+2. their byte intervals are tagged LOAD/STORE once, warp-compacted
+   once (kind-preserving), and merged with one Figure 4 endpoint sweep
+   that yields the combined, read-only, and write-only coverages
+   together;
+3. all three coverages are routed to data objects in one batched
+   binder sweep over the registry's cached address index;
 4. each written object's snapshot is refreshed through an adaptive
    copy plan, yielding before/after pairs for the coarse analysis;
-5. typed values are grouped per (object, access type) into fine views;
-   untyped records are kept for offline access-type resolution.
+5. typed values are grouped per (object, access type) into fine views
+   (record base addresses resolve through one batched lookup); untyped
+   records are kept for offline access-type resolution.
 """
 
 from __future__ import annotations
@@ -31,7 +36,7 @@ from repro.collector.objects import DataObject, DataObjectRegistry
 from repro.collector.sampling import KernelSampler, SamplingConfig
 from repro.collector.snapshots import SnapshotStore
 from repro.errors import CollectionError
-from repro.gpu.accesses import AccessKind, AccessRecord
+from repro.gpu.accesses import AccessRecord
 from repro.gpu.dtypes import DType
 from repro.gpu.kernel import Kernel
 from repro.gpu.runtime import (
@@ -46,10 +51,10 @@ from repro.gpu.runtime import (
     MemsetEvent,
     RuntimeListener,
 )
-from repro.intervals.compaction import warp_compact
+from repro.intervals.compaction import warp_compact_kinds
 from repro.intervals.copyplan import AdaptiveCopyPolicy, plan_copy
-from repro.intervals.interval import intervals_from_accesses
-from repro.intervals.parallel import merge_parallel
+from repro.intervals.interval import intervals_from_accesses_kinds
+from repro.intervals.parallel import merge_parallel_kinds
 from repro.utils.callpath import CallPath
 
 
@@ -148,6 +153,10 @@ class CollectionCounters:
     merged_intervals: int = 0
     snapshot_bytes: int = 0
     snapshot_copies: int = 0
+    #: one per instrumented launch: the single compact+merge+route pass.
+    interval_sweeps: int = 0
+    #: address-index (binder) cache rebuilds, i.e. malloc/free churn.
+    binder_rebuilds: int = 0
 
 
 # --------------------------------------------------------------------------
@@ -271,6 +280,9 @@ class DataCollector(RuntimeListener):
         obj = self.registry.get(event.alloc.alloc_id)
         self.registry.on_free(event.alloc)
         if obj is not None:
+            # Release the CPU mirror: the freed handle must never be
+            # read again, and long runs must not accumulate snapshots.
+            self.snapshots.forget(obj)
             self.analyzer.on_free(obj)
 
     def _write_through_range(
@@ -363,36 +375,33 @@ class DataCollector(RuntimeListener):
         self.buffer.drain()
         self.counters.buffer_flushes = self.buffer.flushes
 
-        # Interval pipeline: raw -> warp compaction -> parallel merge.
-        raw = intervals_from_accesses(records)
+        # Interval pipeline, one pass: kind-tagged raw intervals ->
+        # kind-preserving warp compaction -> one endpoint sweep that
+        # merges the combined/read/write coverages together.
+        raw, kinds = intervals_from_accesses_kinds(records)
         self.counters.raw_intervals += int(raw.shape[0])
-        compacted = warp_compact(raw) if raw.shape[0] else raw
+        compacted, compacted_kinds = (
+            warp_compact_kinds(raw, kinds) if raw.shape[0] else (raw, kinds)
+        )
         self.counters.compacted_intervals += int(compacted.shape[0])
-        merged = merge_parallel(compacted) if compacted.shape[0] else compacted
-        self.counters.merged_intervals += int(merged.shape[0])
+        merged = merge_parallel_kinds(compacted, compacted_kinds)
+        self.counters.merged_intervals += int(merged.combined.shape[0])
+        self.counters.interval_sweeps += 1
 
         # Adopt any touched objects the collector has not seen (attach
         # after their allocation), so intervals resolve to them.
         for alloc, _nread, _nwritten in event.touched:
             self._ensure_tracked(alloc)
 
-        write_records = [r for r in records if r.kind is AccessKind.STORE]
-        write_raw = intervals_from_accesses(write_records)
-        write_merged = merge_parallel(warp_compact(write_raw)) if write_raw.shape[0] else write_raw
-        read_records = [r for r in records if r.kind is AccessKind.LOAD]
-        read_raw = intervals_from_accesses(read_records)
-        read_merged = merge_parallel(warp_compact(read_raw)) if read_raw.shape[0] else read_raw
-
-        by_object = self.registry.assign_intervals(merged)
-        writes_by_object = self.registry.assign_intervals(write_merged)
-        reads_by_object = self.registry.assign_intervals(read_merged)
-
-        for alloc_id, intervals in by_object.items():
+        routed = self.registry.route_intervals(
+            merged.combined, merged.reads, merged.writes
+        )
+        for alloc_id, route in routed.items():
             obj = self.registry.get(alloc_id)
             if obj is None or not self.snapshots.is_tracked(alloc_id):
                 continue
-            read_intervals = reads_by_object.get(alloc_id)
-            if read_intervals is not None and read_intervals.size:
+            read_intervals = route.reads
+            if read_intervals.size:
                 obs.reads.append(
                     ObjectRead(
                         obj=obj,
@@ -401,10 +410,12 @@ class DataCollector(RuntimeListener):
                         ),
                     )
                 )
-            write_intervals = writes_by_object.get(alloc_id)
-            if write_intervals is None or write_intervals.size == 0:
+            write_intervals = route.writes
+            if write_intervals.size == 0:
                 continue
-            plan = plan_copy(intervals, obj.address, obj.size, self.copy_policy)
+            plan = plan_copy(
+                route.combined, obj.address, obj.size, self.copy_policy
+            )
             before, after = self.snapshots.refresh_plan(obj, plan)
             written_idx = self.snapshots.element_indices(obj, write_intervals)
             write_bytes = int(
@@ -428,22 +439,22 @@ class DataCollector(RuntimeListener):
     ) -> None:
         typed: Dict[Tuple[int, DType], List[AccessRecord]] = {}
         untyped: Dict[Tuple[int, int], List[AccessRecord]] = {}
-        record_objects: Dict[int, Optional[DataObject]] = {}
         shared_obj = self._shared_pseudo_object(event)
-        for record in event.records:
-            if record.count == 0:
-                continue
-            address = int(record.addresses[0])
-            if address not in record_objects:
-                obj = self.registry.find_by_address(address)
-                if obj is None and shared_obj is not None and any(
-                    start <= address < end
-                    for start, end, _ in event.shared_ranges
-                ):
-                    # Shared memory is one data object (paper §5.1).
-                    obj = shared_obj
-                record_objects[address] = obj
-            obj = record_objects[address]
+        live_records = [r for r in event.records if r.count]
+        if not live_records:
+            return
+        # Resolve every record's base address in one batched lookup.
+        base_addresses = [int(r.addresses[0]) for r in live_records]
+        resolved = self.registry.find_by_addresses(base_addresses)
+        for record, address, obj in zip(
+            live_records, base_addresses, resolved
+        ):
+            if obj is None and shared_obj is not None and any(
+                start <= address < end
+                for start, end, _ in event.shared_ranges
+            ):
+                # Shared memory is one data object (paper §5.1).
+                obj = shared_obj
             if obj is None:
                 continue
             if record.dtype is None:
@@ -498,3 +509,4 @@ class DataCollector(RuntimeListener):
     def _sync_snapshot_counters(self) -> None:
         self.counters.snapshot_bytes = self.snapshots.traffic.bytes_copied
         self.counters.snapshot_copies = self.snapshots.traffic.copy_invocations
+        self.counters.binder_rebuilds = self.registry.index_rebuilds

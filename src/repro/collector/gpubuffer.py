@@ -49,7 +49,9 @@ class ProfilingBuffer:
         self.total_bytes += nbytes
         flushes = 0
         remaining = nbytes
-        while self.used_bytes + remaining > self.capacity_bytes:
+        # "Copies the buffer to the CPU when it is full": a deposit that
+        # lands exactly at capacity fills the buffer and flushes too.
+        while remaining and self.used_bytes + remaining >= self.capacity_bytes:
             remaining -= self.capacity_bytes - self.used_bytes
             self.used_bytes = 0
             flushes += 1

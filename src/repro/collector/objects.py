@@ -12,8 +12,8 @@ output of the interval merge.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -42,13 +42,36 @@ class DataObject:
         return self.address + self.size
 
 
+_EMPTY_INTERVALS = np.empty((0, 2), dtype=np.uint64)
+
+
+@dataclass
+class RoutedIntervals:
+    """One object's share of a launch's merged coverage, per access kind."""
+
+    combined: np.ndarray = field(default_factory=lambda: _EMPTY_INTERVALS)
+    reads: np.ndarray = field(default_factory=lambda: _EMPTY_INTERVALS)
+    writes: np.ndarray = field(default_factory=lambda: _EMPTY_INTERVALS)
+
+
 class DataObjectRegistry:
-    """Tracks live data objects and resolves addresses/intervals to them."""
+    """Tracks live data objects and resolves addresses/intervals to them.
+
+    Address resolution goes through a cached, address-sorted numpy index
+    of live object bounds (invalidated on malloc/free), so the per-launch
+    binder is a batched ``searchsorted`` instead of a Python list rebuild
+    per lookup.
+    """
 
     def __init__(self):
         self._objects: Dict[int, DataObject] = {}
         #: address-sorted cache of live objects, rebuilt lazily.
         self._sorted: Optional[List[DataObject]] = None
+        #: start/end bounds parallel to ``_sorted`` (uint64).
+        self._starts: np.ndarray = _EMPTY_INTERVALS[:, 0]
+        self._ends: np.ndarray = _EMPTY_INTERVALS[:, 1]
+        #: times the address index was (re)built — overhead-model input.
+        self.index_rebuilds: int = 0
 
     def on_malloc(self, alloc: Allocation, call_path: Optional[CallPath]) -> DataObject:
         """Register a new allocation."""
@@ -76,14 +99,25 @@ class DataObjectRegistry:
         """The object registered under an allocation id, if any."""
         return self._objects.get(alloc_id)
 
-    def live_objects(self) -> List[DataObject]:
-        """Live objects in address order."""
+    def _index(self) -> Tuple[List[DataObject], np.ndarray, np.ndarray]:
+        """The live objects with their cached sorted address bounds."""
         if self._sorted is None:
             self._sorted = sorted(
                 (o for o in self._objects.values() if not o.freed),
                 key=lambda o: o.address,
             )
-        return self._sorted
+            self._starts = np.array(
+                [o.address for o in self._sorted], dtype=np.uint64
+            )
+            self._ends = np.array(
+                [o.end for o in self._sorted], dtype=np.uint64
+            )
+            self.index_rebuilds += 1
+        return self._sorted, self._starts, self._ends
+
+    def live_objects(self) -> List[DataObject]:
+        """Live objects in address order."""
+        return self._index()[0]
 
     def all_objects(self) -> List[DataObject]:
         """Every object ever registered, by allocation id."""
@@ -91,13 +125,80 @@ class DataObjectRegistry:
 
     def find_by_address(self, address: int) -> Optional[DataObject]:
         """The live object containing a byte address, if any."""
-        objects = self.live_objects()
-        starts = [o.address for o in objects]
-        pos = int(np.searchsorted(starts, address, side="right")) - 1
+        objects, starts, ends = self._index()
+        if not objects:
+            return None
+        pos = int(np.searchsorted(starts, np.uint64(address), side="right")) - 1
         if pos < 0:
             return None
-        candidate = objects[pos]
-        return candidate if address < candidate.end else None
+        return objects[pos] if address < int(ends[pos]) else None
+
+    def find_by_addresses(
+        self, addresses: Sequence[int]
+    ) -> List[Optional[DataObject]]:
+        """Batch :meth:`find_by_address`: one ``searchsorted`` for all.
+
+        Returns a list parallel to ``addresses`` with ``None`` where no
+        live object contains the address.
+        """
+        objects, starts, ends = self._index()
+        addrs = np.asarray(addresses, dtype=np.uint64)
+        if not objects or addrs.size == 0:
+            return [None] * int(addrs.size)
+        pos = np.searchsorted(starts, addrs, side="right").astype(np.int64) - 1
+        inside = pos >= 0
+        inside[inside] = addrs[inside] < ends[pos[inside]]
+        return [
+            objects[p] if ok else None
+            for p, ok in zip(pos.tolist(), inside.tolist())
+        ]
+
+    def _overlaps(
+        self, merged: np.ndarray
+    ) -> Iterator[Tuple[int, np.ndarray]]:
+        """Yield ``(object index, clipped (m, 2) intervals)`` per object.
+
+        ``merged`` must be sorted and disjoint (merge output), so each
+        object's clipped pieces are contiguous in the expansion and the
+        grouping is a single pass.  Intervals falling outside every live
+        object are dropped (e.g. accesses to already-freed memory — a
+        bug in the workload, not in the profiler).
+        """
+        objects, starts, ends = self._index()
+        if merged.size == 0 or not objects:
+            return
+        ivs = merged[:, 0]
+        ive = merged[:, 1]
+        # An interval may span several objects (adjacent allocs merged
+        # by adjacency): objects [first, last) overlap it.
+        first = np.searchsorted(ends, ivs, side="right")
+        last = np.searchsorted(starts, ive, side="left")
+        counts = np.maximum(last.astype(np.int64) - first.astype(np.int64), 0)
+        total = int(counts.sum())
+        if total == 0:
+            return
+        iv_idx = np.repeat(np.arange(merged.shape[0]), counts)
+        run_offsets = np.cumsum(counts) - counts
+        obj_idx = (
+            np.repeat(first, counts)
+            + np.arange(total)
+            - np.repeat(run_offsets, counts)
+        ).astype(np.int64)
+        lo = np.maximum(ivs[iv_idx], starts[obj_idx])
+        hi = np.minimum(ive[iv_idx], ends[obj_idx])
+        keep = lo < hi
+        obj_idx, lo, hi = obj_idx[keep], lo[keep], hi[keep]
+        if obj_idx.size == 0:
+            return
+        clipped = np.stack([lo, hi], axis=1)
+        # merged is sorted+disjoint -> obj_idx is nondecreasing, so each
+        # object's rows form one contiguous run.
+        heads = np.flatnonzero(np.diff(obj_idx)) + 1
+        for piece, oi in zip(
+            np.split(clipped, heads),
+            obj_idx[np.concatenate(([0], heads))].tolist(),
+        ):
+            yield oi, piece
 
     def assign_intervals(
         self, merged: np.ndarray
@@ -105,29 +206,36 @@ class DataObjectRegistry:
         """Split merged, disjoint intervals among live objects.
 
         Returns ``alloc_id -> (m, 2)`` intervals clipped to the object's
-        range.  Intervals falling outside every live object are dropped
-        (e.g. accesses to already-freed memory — a bug in the workload,
-        not in the profiler).
+        range, in address order of first touch.
         """
-        result: Dict[int, List[Tuple[int, int]]] = {}
         objects = self.live_objects()
-        if merged.size == 0 or not objects:
-            return {}
-        starts = np.array([o.address for o in objects], dtype=np.uint64)
-        for start, end in merged:
-            start, end = int(start), int(end)
-            # An interval may span several objects (adjacent allocs
-            # merged by adjacency); clip against each one it overlaps.
-            pos = int(np.searchsorted(starts, start, side="right")) - 1
-            pos = max(pos, 0)
-            while pos < len(objects) and objects[pos].address < end:
-                obj = objects[pos]
-                lo = max(start, obj.address)
-                hi = min(end, obj.end)
-                if lo < hi:
-                    result.setdefault(obj.alloc_id, []).append((lo, hi))
-                pos += 1
         return {
-            alloc_id: np.array(ranges, dtype=np.uint64)
-            for alloc_id, ranges in result.items()
+            objects[oi].alloc_id: piece for oi, piece in self._overlaps(merged)
         }
+
+    def route_intervals(
+        self,
+        combined: np.ndarray,
+        reads: np.ndarray,
+        writes: np.ndarray,
+    ) -> Dict[int, RoutedIntervals]:
+        """One binder sweep routing all three merged coverages to objects.
+
+        Read/write coverage is a subset of the combined coverage, so the
+        result is keyed (and ordered) by the combined assignment; each
+        value carries the object's clipped share of every kind.
+        """
+        objects = self.live_objects()
+        routed: Dict[int, RoutedIntervals] = {
+            objects[oi].alloc_id: RoutedIntervals(combined=piece)
+            for oi, piece in self._overlaps(combined)
+        }
+        for oi, piece in self._overlaps(reads):
+            route = routed.get(objects[oi].alloc_id)
+            if route is not None:
+                route.reads = piece
+        for oi, piece in self._overlaps(writes):
+            route = routed.get(objects[oi].alloc_id)
+            if route is not None:
+                route.writes = piece
+        return routed

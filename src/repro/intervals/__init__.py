@@ -15,14 +15,17 @@ This package provides:
 """
 
 from repro.intervals.interval import (
+    KIND_LOAD,
+    KIND_STORE,
     Interval,
     intervals_from_accesses,
+    intervals_from_accesses_kinds,
     merge_reference,
     total_covered_bytes,
 )
 from repro.intervals.sequential import merge_sequential
-from repro.intervals.parallel import merge_parallel
-from repro.intervals.compaction import warp_compact
+from repro.intervals.parallel import KindedMerge, merge_parallel, merge_parallel_kinds
+from repro.intervals.compaction import warp_compact, warp_compact_kinds
 from repro.intervals.copyplan import (
     AdaptiveCopyPolicy,
     CopyPlan,
@@ -35,11 +38,17 @@ __all__ = [
     "CopyPlan",
     "CopyStrategy",
     "Interval",
+    "KIND_LOAD",
+    "KIND_STORE",
+    "KindedMerge",
     "intervals_from_accesses",
+    "intervals_from_accesses_kinds",
     "merge_parallel",
+    "merge_parallel_kinds",
     "merge_reference",
     "merge_sequential",
     "plan_copy",
     "total_covered_bytes",
     "warp_compact",
+    "warp_compact_kinds",
 ]

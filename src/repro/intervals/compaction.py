@@ -15,7 +15,7 @@ follows still has work to do.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Tuple
 
 import numpy as np
 
@@ -50,6 +50,61 @@ def warp_compact(intervals: Iterable, warp_size: int = WARP_SIZE) -> np.ndarray:
                 run_start, run_end = start, end
         out.append((run_start, run_end))
     return np.array(out, dtype=np.uint64)
+
+
+def warp_compact_kinds(
+    intervals: Iterable,
+    kinds: np.ndarray,
+    warp_size: int = WARP_SIZE,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Kind-preserving warp compaction for the single-pass pipeline.
+
+    Like :func:`warp_compact`, but runs within warp chunks are only
+    collapsed when their LOAD/STORE flags are equal, so the per-kind
+    coverage downstream of the merge is exactly that of the raw stream.
+    (Hardware compaction has the same property for free: it operates on
+    the 32 lanes of one memory instruction, which share a kind.)
+
+    Returns the compacted ``(m, 2)`` array and its parallel flags.
+    The inner merge is vectorized per chunk instead of per interval —
+    part of the hot-path rework this module's callers rely on.
+    """
+    arr = as_interval_array(intervals)
+    kinds = np.asarray(kinds, dtype=np.uint8)
+    n = arr.shape[0]
+    if kinds.shape[0] != n:
+        raise ValueError(
+            f"kinds ({kinds.shape[0]}) must be parallel to intervals ({n})"
+        )
+    if n == 0:
+        return arr, kinds
+    out_parts = []
+    kind_parts = []
+    for chunk_start in range(0, n, warp_size):
+        chunk = arr[chunk_start : chunk_start + warp_size]
+        kchunk = kinds[chunk_start : chunk_start + warp_size]
+        order = np.argsort(chunk[:, 0], kind="stable")
+        chunk = chunk[order]
+        kchunk = kchunk[order]
+        for flag in np.unique(kchunk):
+            sub = chunk[kchunk == flag]
+            # Sorted by start, a new run begins where the start exceeds
+            # the running maximum end of this kind's stream so far.
+            run_end = np.maximum.accumulate(sub[:, 1])
+            breaks = np.empty(sub.shape[0], dtype=bool)
+            breaks[0] = True
+            breaks[1:] = sub[1:, 0] > run_end[:-1]
+            heads = np.flatnonzero(breaks)
+            runs = np.stack(
+                [sub[heads, 0], np.maximum.reduceat(sub[:, 1], heads)],
+                axis=1,
+            )
+            out_parts.append(runs)
+            kind_parts.append(np.full(heads.size, flag, dtype=np.uint8))
+    return (
+        np.concatenate(out_parts, axis=0).astype(np.uint64),
+        np.concatenate(kind_parts),
+    )
 
 
 def compaction_ratio(raw_count: int, compacted_count: int) -> float:

@@ -10,7 +10,7 @@ collapse into one.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, Sequence, Tuple
 
 import numpy as np
 
@@ -70,6 +70,37 @@ def intervals_from_accesses(records: Sequence) -> np.ndarray:
     if not parts:
         return np.empty((0, 2), dtype=np.uint64)
     return np.concatenate(parts, axis=0)
+
+
+#: Kind flag bits carried alongside intervals through the single-pass
+#: pipeline.  A raw interval is exactly one of these; compaction only
+#: merges runs with equal flags, so the per-kind coverage is preserved.
+KIND_LOAD = 1
+KIND_STORE = 2
+
+
+def intervals_from_accesses_kinds(
+    records: Sequence,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Raw intervals plus a parallel ``uint8`` LOAD/STORE flag vector.
+
+    This is the entry point of the kind-aware single-pass pipeline: the
+    launch's records are walked once, and downstream stages derive the
+    combined, read-only, and write-only coverage from the tagged stream
+    instead of re-filtering and re-merging per access kind.
+    """
+    parts: List[np.ndarray] = []
+    kind_parts: List[np.ndarray] = []
+    for record in records:
+        if not record.count:
+            continue
+        part = record.intervals()
+        flag = KIND_STORE if record.kind.value == "store" else KIND_LOAD
+        parts.append(part)
+        kind_parts.append(np.full(part.shape[0], flag, dtype=np.uint8))
+    if not parts:
+        return np.empty((0, 2), dtype=np.uint64), np.empty(0, dtype=np.uint8)
+    return np.concatenate(parts, axis=0), np.concatenate(kind_parts)
 
 
 def merge_reference(intervals: Iterable) -> List[Interval]:

@@ -126,3 +126,65 @@ def test_finish_stamps_metadata(analysis):
     profile = analyzer.finish(workload="wl", platform="RTX 2080 Ti")
     assert profile.workload_name == "wl"
     assert profile.platform_name == "RTX 2080 Ti"
+
+
+def test_freed_object_never_joins_new_duplicate_groups(analysis):
+    """A freed object's label must not resurface in later groups."""
+    rt, analyzer = analysis
+    a = rt.malloc(64, DType.FLOAT32, "a")
+    b = rt.malloc(64, DType.FLOAT32, "b")
+    data = HostArray(np.full(64, 3.0, np.float32), "h")
+    rt.memcpy_h2d(a, data)
+    rt.free(a)
+    pre_free = set(
+        id(h) for h in analyzer.profile.hits_by_pattern(Pattern.DUPLICATE_VALUES)
+    )
+    rt.memcpy_h2d(b, data)
+    c = rt.malloc(64, DType.FLOAT32, "c")
+    rt.memcpy_h2d(c, data)
+    for hit in analyzer.profile.hits_by_pattern(Pattern.DUPLICATE_VALUES):
+        if id(hit) in pre_free:
+            continue
+        assert "a" not in hit.metrics["group"]
+    assert f"dev:{a.alloc_id}" not in analyzer._labels
+    assert all(
+        f"dev:{a.alloc_id}" not in bucket
+        for bucket in analyzer._by_digest.values()
+    )
+
+
+def test_free_drops_stale_reported_groups(analysis):
+    """Refilling survivors after a member frees must re-report them."""
+    rt, analyzer = analysis
+    a = rt.malloc(64, DType.FLOAT32, "a")
+    b = rt.malloc(64, DType.FLOAT32, "b")
+    c = rt.malloc(64, DType.FLOAT32, "c")
+    ones = HostArray(np.ones(64, np.float32), "h1")
+    twos = HostArray(np.full(64, 2.0, np.float32), "h2")
+    for alloc in (a, b, c):
+        rt.memcpy_h2d(alloc, ones)
+    rt.free(a)
+    # Move b and c apart, then back together: {b, c} is a *new* group
+    # even though it is a subset of the reported {a, b, c}.
+    rt.memcpy_h2d(b, twos)
+    rt.memcpy_h2d(b, ones)
+    hits = [
+        hit
+        for hit in analyzer.profile.hits_by_pattern(Pattern.DUPLICATE_VALUES)
+        if set(hit.metrics["group"]) >= {"b", "c"} and "a" not in hit.metrics["group"]
+    ]
+    assert hits
+
+
+def test_incremental_index_matches_digest_table(analysis, fill_kernel):
+    """The reverse index is exactly the inverse of the digest map."""
+    rt, analyzer = analysis
+    a = rt.malloc(64, DType.FLOAT32, "a")
+    b = rt.malloc(64, DType.FLOAT32, "b")
+    rt.launch(fill_kernel, 1, 64, a, 5.0)
+    rt.launch(fill_kernel, 1, 64, b, 5.0)
+    rt.launch(fill_kernel, 1, 64, a, 6.0)
+    inverse = {}
+    for key, digest in analyzer._digests.items():
+        inverse.setdefault(digest, set()).add(key)
+    assert analyzer._by_digest == inverse

@@ -206,3 +206,33 @@ def test_detach_stops_collection(rt, fill_kernel):
     collector.detach()
     rt.launch(fill_kernel, 1, 64, alloc, 1.0)
     assert analyzer.launches == []
+
+
+def test_free_forgets_snapshot(rt):
+    analyzer = StubAnalyzer()
+    collector = DataCollector(analyzer)
+    collector.attach(rt)
+    alloc = rt.malloc(64, DType.FLOAT32, "ephemeral")
+    rt.memset(alloc, 1)
+    assert collector.snapshots.is_tracked(alloc.alloc_id)
+    rt.free(alloc)
+    assert not collector.snapshots.is_tracked(alloc.alloc_id)
+
+
+def test_malloc_free_malloc_reusing_address(rt, fill_kernel):
+    """The allocator reuses addresses; alloc_ids must not collide."""
+    analyzer = StubAnalyzer()
+    collector = DataCollector(analyzer)
+    collector.attach(rt)
+    first = rt.malloc(256, DType.FLOAT32, "first")
+    rt.launch(fill_kernel, 1, 256, first, 1.0)
+    rt.free(first)
+    second = rt.malloc(256, DType.FLOAT32, "second")
+    assert second.address == first.address
+    assert second.alloc_id != first.alloc_id
+    rt.launch(fill_kernel, 1, 256, second, 2.0)
+    obs = analyzer.launches[-1]
+    assert [w.obj.label for w in obs.writes] == ["second"]
+    assert np.allclose(obs.writes[-1].after, 2.0)
+    assert not collector.snapshots.is_tracked(first.alloc_id)
+    assert collector.snapshots.is_tracked(second.alloc_id)

@@ -59,3 +59,19 @@ def test_negative_deposit_rejected():
     buffer = ProfilingBuffer(capacity_bytes=1024)
     with pytest.raises(InvalidValueError):
         buffer.deposit(-1)
+
+
+def test_deposit_landing_exactly_at_capacity_flushes():
+    """The paper copies "when it is full" — exactly full counts."""
+    buffer = ProfilingBuffer(capacity_bytes=10 * RECORD_BYTES)
+    assert buffer.deposit(10) == 1
+    assert buffer.used_bytes == 0
+    assert buffer.flushes == 1
+
+
+def test_two_deposits_reaching_capacity_flush():
+    buffer = ProfilingBuffer(capacity_bytes=10 * RECORD_BYTES)
+    assert buffer.deposit(5) == 0
+    assert buffer.deposit(5) == 1
+    assert buffer.used_bytes == 0
+    assert buffer.drain() == 0  # nothing left pending
