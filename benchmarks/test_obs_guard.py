@@ -1,0 +1,67 @@
+"""Telemetry overhead guard for the collector hot path.
+
+The self-telemetry hooks (``repro.obs``) sit inside the launch path
+that the single-pass rewrite made 3x faster.  This guard reruns the
+hot-path benchmark with telemetry in both states and asserts:
+
+* disabled (the default), the instrumented DataCollector must still
+  beat the reference collector by the same >= 2x bar the original
+  hot-path benchmark enforces — i.e. the ``if telemetry.ENABLED``
+  branches cost nothing measurable;
+* enabled, the recorded span/metric bookkeeping stays within a sane
+  multiple of the disabled path (reported, and loosely bounded so a
+  pathological slowdown fails loudly rather than silently shipping).
+"""
+
+import repro.obs as telemetry
+from conftest import emit
+from test_collector_hotpath import LAUNCHES, _build_workload, _time_launch_path
+
+from repro.collector.collector import DataCollector
+from repro.collector.reference import ReferenceCollector
+
+
+def test_disabled_telemetry_keeps_launch_path_speedup(artifact_dir):
+    telemetry.disable()
+    telemetry.reset()
+
+    new_collector, new_events = _build_workload(DataCollector)
+    ref_collector, ref_events = _build_workload(ReferenceCollector)
+    disabled_time = _time_launch_path(new_collector, new_events)
+    ref_time = _time_launch_path(ref_collector, ref_events)
+    speedup = ref_time / disabled_time
+
+    # Same run again with telemetry on: every launch now records spans,
+    # counters, and histogram observations.
+    enabled_collector, enabled_events = _build_workload(DataCollector)
+    telemetry.enable()
+    try:
+        enabled_time = _time_launch_path(enabled_collector, enabled_events)
+        spans = len(telemetry.tracer().spans)
+        metrics = len(telemetry.registry().names())
+    finally:
+        telemetry.disable()
+        telemetry.reset()
+
+    overhead = enabled_time / disabled_time
+    text = "\n".join(
+        [
+            "telemetry guard (collector launch path, obs disabled vs enabled)",
+            f"reference:    {ref_time * 1e3:8.2f} ms/pass",
+            f"obs disabled: {disabled_time * 1e3:8.2f} ms/pass",
+            f"obs enabled:  {enabled_time * 1e3:8.2f} ms/pass",
+            f"disabled speedup vs reference: {speedup:.2f}x "
+            "(required >= 2.0x, matching hotpath.txt)",
+            f"enabled overhead vs disabled: {overhead:.2f}x",
+            f"spans recorded: {spans}  metric names: {metrics}",
+        ]
+    )
+    emit(artifact_dir, "obs_guard.txt", text)
+
+    # The disabled path must preserve the hot-path win.
+    assert speedup >= 2.0
+    # Telemetry recorded real data when enabled...
+    assert spans >= LAUNCHES
+    assert metrics >= 4
+    # ...without making the launch path pathologically slow.
+    assert overhead < 3.0

@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+import repro.obs as telemetry
 from repro.analysis.profile import ValueProfile
 from repro.binary.isa import AccessType
 from repro.binary.slicing import infer_access_types
@@ -70,6 +71,13 @@ class OfflineAnalyzer:
         ``pending`` holds ``(UntypedGroup, api_ref)`` pairs from the
         online analyzer.  Returns the new fine-grained hits.
         """
+        span = (
+            telemetry.tracer().begin(
+                "offline.resolve_types", groups=len(pending)
+            )
+            if telemetry.ENABLED
+            else None
+        )
         hits = []
         for group, api_ref in pending:
             try:
@@ -94,6 +102,16 @@ class OfflineAnalyzer:
                 )
                 hit.metrics["resolved_offline"] = True
                 hits.append(hit)
+        if span is not None:
+            span.end()
+            telemetry.counter(
+                "repro_offline_untyped_groups_total",
+                "Untyped record groups deferred to offline slicing.",
+            ).inc(len(pending))
+            telemetry.counter(
+                "repro_offline_resolved_hits_total",
+                "Fine hits recovered by offline access-type resolution.",
+            ).inc(len(hits))
         return hits
 
     @staticmethod
@@ -115,6 +133,11 @@ class OfflineAnalyzer:
         ``kernels`` supplies line maps for PC-level attribution; call
         paths on vertices provide API-level attribution.
         """
+        span = (
+            telemetry.tracer().begin("offline.annotate")
+            if telemetry.ENABLED
+            else None
+        )
         line_maps = {}
         for kernel in kernels:
             line_maps[kernel.name] = kernel.line_map
@@ -135,6 +158,8 @@ class OfflineAnalyzer:
                 hit.metrics.setdefault(
                     "source", f"{leaf.filename}:{leaf.lineno}"
                 )
+        if span is not None:
+            span.end()
 
 
 def _vertex_id_of(api_ref: str) -> Optional[int]:

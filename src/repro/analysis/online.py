@@ -16,6 +16,7 @@ from typing import Dict, Optional, Set, Tuple
 
 import numpy as np
 
+import repro.obs as telemetry
 from repro.analysis.profile import ObjectInfo, ValueProfile
 from repro.collector.collector import (
     LaunchObservation,
@@ -100,6 +101,13 @@ class OnlineAnalyzer:
 
     def on_memory_api(self, obs: MemoryApiObservation) -> None:
         """Flow edges + coarse/duplicate analysis for a memcpy/memset."""
+        if telemetry.ENABLED:
+            with telemetry.span("analyzer.memory_api", api=obs.name):
+                self._on_memory_api(obs)
+            return
+        self._on_memory_api(obs)
+
+    def _on_memory_api(self, obs: MemoryApiObservation) -> None:
         kind = VertexKind.MEMSET if obs.api == "memset" else VertexKind.MEMCPY
         vertex = self._record_flow(
             kind,
@@ -121,6 +129,19 @@ class OnlineAnalyzer:
 
     def on_launch(self, obs: LaunchObservation) -> None:
         """Flow edges, coarse analysis, and fine views for a launch."""
+        if telemetry.ENABLED:
+            with telemetry.span(
+                "analyzer.launch", kernel=obs.kernel_name
+            ) as span:
+                self._on_launch(obs)
+            telemetry.histogram(
+                "repro_analyzer_launch_seconds",
+                "Wall time of the online analyzer per kernel launch.",
+            ).observe(span.dur_s)
+            return
+        self._on_launch(obs)
+
+    def _on_launch(self, obs: LaunchObservation) -> None:
         vertex = self._record_flow(
             VertexKind.KERNEL,
             obs.kernel_name,
@@ -133,6 +154,13 @@ class OnlineAnalyzer:
         api_ref = self._api_ref(vertex)
         self._coarse_analysis(obs.writes, api_ref)
         self._duplicate_analysis(obs.writes, api_ref, None)
+        fine_span = (
+            telemetry.tracer().begin(
+                "analyzer.fine", views=len(obs.fine_views)
+            )
+            if telemetry.ENABLED and obs.fine_views
+            else None
+        )
         for view in obs.fine_views:
             access_view = ObjectAccessView(
                 object_label=view.obj.label,
@@ -144,6 +172,12 @@ class OnlineAnalyzer:
             )
             for hit in self.engine.analyze_view(access_view):
                 self._add_hit(hit, fine=True)
+        if fine_span is not None:
+            fine_span.end()
+            telemetry.counter(
+                "repro_analyzer_fine_views_total",
+                "Typed per-object value views run through the detectors.",
+            ).inc(len(obs.fine_views))
         for group in obs.untyped_groups:
             self.pending_untyped.append((group, api_ref))
 
@@ -193,12 +227,19 @@ class OnlineAnalyzer:
         return vertex
 
     def _coarse_analysis(self, writes, api_ref: str) -> None:
+        span = (
+            telemetry.tracer().begin("analyzer.coarse", writes=len(writes))
+            if telemetry.ENABLED and writes
+            else None
+        )
         for write in writes:
             pair = SnapshotPair(write.before, write.after, write.written_indices)
             for hit in self.engine.analyze_snapshot(
                 pair, write.obj.label, api_ref
             ):
                 self._add_hit(hit, fine=False)
+        if span is not None:
+            span.end()
 
     def _move_digest(
         self, key: str, digest: str, label: str
@@ -237,6 +278,12 @@ class OnlineAnalyzer:
         examined for new duplicate groups: O(written objects), not
         O(tracked objects).
         """
+        span = (
+            telemetry.tracer().begin("analyzer.duplicates", writes=len(writes))
+            if telemetry.ENABLED
+            else None
+        )
+        digest_moves = 0
         dirty = []
         for write in writes:
             key = f"dev:{write.obj.alloc_id}"
@@ -245,6 +292,7 @@ class OnlineAnalyzer:
                 key, digest, write.obj.label
             )
             if changed:
+                digest_moves += 1
                 dirty.append(digest)
             if departed is not None:
                 dirty.append(departed)
@@ -253,9 +301,11 @@ class OnlineAnalyzer:
             digest = snapshot_digest(np.asarray(data))
             changed, departed = self._move_digest(key, digest, key)
             if changed:
+                digest_moves += 1
                 dirty.append(digest)
             if departed is not None:
                 dirty.append(departed)
+        new_groups = 0
         seen = set()
         for digest in dirty:
             if digest in seen:
@@ -268,6 +318,7 @@ class OnlineAnalyzer:
             if group_id in self._reported_groups:
                 continue
             self._reported_groups.add(group_id)
+            new_groups += 1
             labels = sorted(self._labels[k] for k in members)
             self._add_hit(
                 PatternHit(
@@ -282,11 +333,30 @@ class OnlineAnalyzer:
                 ),
                 fine=False,
             )
+        if span is not None:
+            span.end()
+            telemetry.counter(
+                "repro_analyzer_digest_moves_total",
+                "Snapshot digests that moved reverse-index buckets.",
+            ).inc(digest_moves)
+            telemetry.counter(
+                "repro_analyzer_duplicate_groups_total",
+                "New duplicate-values groups reported.",
+            ).inc(new_groups)
+            telemetry.gauge(
+                "repro_analyzer_tracked_digests",
+                "Objects with a live snapshot digest.",
+            ).set(len(self._digests))
 
     def _add_hit(self, hit: PatternHit, fine: bool) -> None:
         operator = self._current_operator
         if operator:
             hit.metrics.setdefault("operator", "/".join(operator))
+        if telemetry.ENABLED:
+            telemetry.counter(
+                "repro_analyzer_hit_occurrences_total",
+                "Pattern-hit occurrences, before deduplication.",
+            ).inc()
         key = (hit.pattern, hit.object_label, hit.api_ref)
         existing = self._hit_index.get(key)
         if existing is not None:
@@ -296,6 +366,12 @@ class OnlineAnalyzer:
             return
         hit.metrics.setdefault("occurrences", 1)
         self._hit_index[key] = hit
+        if telemetry.ENABLED:
+            telemetry.counter(
+                "repro_analyzer_pattern_hits_total",
+                "Deduplicated pattern hits recorded in the profile.",
+                labelnames=("granularity",),
+            ).labels(granularity="fine" if fine else "coarse").inc()
         if fine:
             self.profile.fine_hits.append(hit)
         else:

@@ -77,28 +77,41 @@ class TraceRecorder(RuntimeListener):
         )
         self._clock_us += duration_us
 
-    def to_json(self, profile: Optional[ValueProfile] = None) -> str:
-        """Serialize; with a profile, hits become instant events."""
+    def to_events(self, profile: Optional[ValueProfile] = None) -> List[dict]:
+        """The timeline as a list of event dicts.
+
+        With a profile, each pattern hit becomes an instant event
+        anchored at the first occurrence of the API that produced it
+        (``api_ref`` is ``v<vid>:<name>``; the name locates the event
+        row), so hits land on their kernels/memcpys in Perfetto rather
+        than piling up at t=0.
+        """
         events = list(self.events)
         if profile is not None:
-            by_seq = {e["args"].get("seq"): e for e in events}
+            first_by_name: Dict[str, dict] = {}
+            for event in events:
+                first_by_name.setdefault(event["name"], event)
             for hit in profile.hits:
-                occurrences = hit.metrics.get("occurrences", 1)
+                api_name = hit.api_ref.split(":", 1)[-1]
+                anchor = first_by_name.get(api_name)
                 events.append(
                     {
                         "name": f"{hit.pattern.value}: {hit.object_label}",
                         "cat": "value-pattern",
                         "ph": "i",
-                        "ts": 0,
+                        "ts": anchor["ts"] if anchor is not None else 0,
                         "pid": 0,
-                        "tid": 0,
+                        "tid": anchor["tid"] if anchor is not None else 0,
                         "s": "g",
                         "args": {
                             "detail": hit.detail,
                             "api": hit.api_ref,
-                            "occurrences": occurrences,
+                            "occurrences": hit.metrics.get("occurrences", 1),
                         },
                     }
                 )
-            del by_seq
-        return json.dumps(events, indent=1)
+        return events
+
+    def to_json(self, profile: Optional[ValueProfile] = None) -> str:
+        """Serialize; with a profile, hits become instant events."""
+        return json.dumps(self.to_events(profile), indent=1)

@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+import repro.obs as telemetry
 from repro.collector.gpubuffer import ProfilingBuffer
 from repro.collector.objects import DataObject, DataObjectRegistry
 from repro.collector.sampling import KernelSampler, SamplingConfig
@@ -300,6 +301,13 @@ class DataCollector(RuntimeListener):
         )
 
     def _handle_memcpy(self, event: MemcpyEvent) -> None:
+        span = (
+            telemetry.tracer().begin(
+                "collector.memory_api", api="memcpy", kind=event.kind.value
+            )
+            if telemetry.ENABLED
+            else None
+        )
         obs = MemoryApiObservation(
             seq=event.seq,
             api="memcpy",
@@ -318,9 +326,21 @@ class DataCollector(RuntimeListener):
             obj = self._ensure_tracked(event.src_alloc)
             obs.reads.append(ObjectRead(obj=obj, nbytes=event.nbytes))
         self._sync_snapshot_counters()
+        if span is not None:
+            span.end()
+            telemetry.counter(
+                "repro_collector_memory_apis_total",
+                "Memory APIs (memcpy/memset) processed by the collector.",
+                labelnames=("api",),
+            ).labels(api="memcpy").inc()
         self.analyzer.on_memory_api(obs)
 
     def _handle_memset(self, event: MemsetEvent) -> None:
+        span = (
+            telemetry.tracer().begin("collector.memory_api", api="memset")
+            if telemetry.ENABLED
+            else None
+        )
         obs = MemoryApiObservation(
             seq=event.seq,
             api="memset",
@@ -332,6 +352,13 @@ class DataCollector(RuntimeListener):
         obj = self._ensure_tracked(event.alloc)
         obs.writes.append(self._write_through_range(obj, event.nbytes))
         self._sync_snapshot_counters()
+        if span is not None:
+            span.end()
+            telemetry.counter(
+                "repro_collector_memory_apis_total",
+                "Memory APIs (memcpy/memset) processed by the collector.",
+                labelnames=("api",),
+            ).labels(api="memset").inc()
         self.analyzer.on_memory_api(obs)
 
     def _handle_launch(self, event: KernelLaunchEvent) -> None:
@@ -350,7 +377,19 @@ class DataCollector(RuntimeListener):
             self.counters.instrumented_launches += 1
             if self._fine_this_launch:
                 self.counters.fine_launches += 1
-            self._process_records(event, obs)
+            if telemetry.ENABLED:
+                with telemetry.span(
+                    "collector.launch",
+                    kernel=event.kernel.name,
+                    fine=self._fine_this_launch,
+                ) as span:
+                    self._process_records(event, obs)
+                telemetry.histogram(
+                    "repro_collector_launch_seconds",
+                    "Wall time of the collector's per-launch pipeline.",
+                ).observe(span.dur_s)
+            else:
+                self._process_records(event, obs)
         else:
             # No instrumentation: only the touched-object summary is
             # available (reads/writes without snapshots).
@@ -371,6 +410,7 @@ class DataCollector(RuntimeListener):
         records = event.records
         access_count = sum(r.count for r in records)
         self.counters.recorded_accesses += access_count
+        flushes_before = self.buffer.flushes
         self.buffer.deposit(access_count)
         self.buffer.drain()
         self.counters.buffer_flushes = self.buffer.flushes
@@ -378,6 +418,11 @@ class DataCollector(RuntimeListener):
         # Interval pipeline, one pass: kind-tagged raw intervals ->
         # kind-preserving warp compaction -> one endpoint sweep that
         # merges the combined/read/write coverages together.
+        sweep_span = (
+            telemetry.tracer().begin("collector.sweep", records=len(records))
+            if telemetry.ENABLED
+            else None
+        )
         raw, kinds = intervals_from_accesses_kinds(records)
         self.counters.raw_intervals += int(raw.shape[0])
         compacted, compacted_kinds = (
@@ -387,14 +432,47 @@ class DataCollector(RuntimeListener):
         merged = merge_parallel_kinds(compacted, compacted_kinds)
         self.counters.merged_intervals += int(merged.combined.shape[0])
         self.counters.interval_sweeps += 1
+        if sweep_span is not None:
+            sweep_span.end()
+            telemetry.counter(
+                "repro_collector_records_total",
+                "Access records deposited into the profiling buffer.",
+            ).inc(access_count)
+            telemetry.counter(
+                "repro_collector_interval_sweeps_total",
+                "Single-pass compact+merge+route sweeps (one per "
+                "instrumented launch).",
+            ).inc()
+            telemetry.counter(
+                "repro_collector_merged_intervals_total",
+                "Intervals surviving the kind-aware endpoint merge.",
+            ).inc(int(merged.combined.shape[0]))
+            telemetry.counter(
+                "repro_collector_buffer_flushes_total",
+                "Profiling-buffer flushes (GPU->CPU copies in the model).",
+            ).inc(self.buffer.flushes - flushes_before)
 
         # Adopt any touched objects the collector has not seen (attach
         # after their allocation), so intervals resolve to them.
         for alloc, _nread, _nwritten in event.touched:
             self._ensure_tracked(alloc)
 
+        binder_span = (
+            telemetry.tracer().begin(
+                "collector.binder", intervals=int(merged.combined.shape[0])
+            )
+            if telemetry.ENABLED
+            else None
+        )
         routed = self.registry.route_intervals(
             merged.combined, merged.reads, merged.writes
+        )
+        if binder_span is not None:
+            binder_span.end()
+        snapshot_span = (
+            telemetry.tracer().begin("collector.snapshots", objects=len(routed))
+            if telemetry.ENABLED
+            else None
         )
         for alloc_id, route in routed.items():
             obj = self.registry.get(alloc_id)
@@ -430,9 +508,19 @@ class DataCollector(RuntimeListener):
                     nbytes=write_bytes,
                 )
             )
+        if snapshot_span is not None:
+            snapshot_span.end()
 
         if self._fine_this_launch:
-            self._build_fine_views(event, obs)
+            if telemetry.ENABLED:
+                with telemetry.span(
+                    "collector.fine", kernel=event.kernel.name
+                    if event.kernel is not None
+                    else "?",
+                ):
+                    self._build_fine_views(event, obs)
+            else:
+                self._build_fine_views(event, obs)
 
     def _build_fine_views(
         self, event: KernelLaunchEvent, obs: LaunchObservation
@@ -510,3 +598,20 @@ class DataCollector(RuntimeListener):
         self.counters.snapshot_bytes = self.snapshots.traffic.bytes_copied
         self.counters.snapshot_copies = self.snapshots.traffic.copy_invocations
         self.counters.binder_rebuilds = self.registry.index_rebuilds
+        if telemetry.ENABLED:
+            telemetry.gauge(
+                "repro_collector_snapshot_bytes",
+                "Cumulative snapshot bytes copied across the CPU mirror.",
+            ).set(self.counters.snapshot_bytes)
+            telemetry.gauge(
+                "repro_collector_snapshot_copies",
+                "Cumulative adaptive-copy invocations.",
+            ).set(self.counters.snapshot_copies)
+            telemetry.gauge(
+                "repro_collector_binder_rebuilds",
+                "Address-index (binder) cache rebuilds so far.",
+            ).set(self.counters.binder_rebuilds)
+            telemetry.gauge(
+                "repro_collector_tracked_objects",
+                "Live data objects in the collector's registry.",
+            ).set(len(self.registry.live_objects()))

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, Optional, Tuple
 
+import repro.obs as telemetry
 from repro.flowgraph.graph import (
     EdgeKind,
     HOST_VERTEX_ID,
@@ -73,6 +74,11 @@ class FlowGraphBuilder:
         ``host_source``/``host_sink`` add the Definition 5.1 edges for
         H2D and D2H transfers respectively.
         """
+        span = (
+            telemetry.tracer().begin("flowgraph.record", api=name)
+            if telemetry.ENABLED
+            else None
+        )
         vertex = self.graph.merge_vertex(kind, name, call_path)
         vertex.invocations += 1
         vertex.time_s += time_s
@@ -113,6 +119,20 @@ class FlowGraphBuilder:
                     EdgeKind.SINK,
                     access.nbytes,
                 )
+        if span is not None:
+            span.end()
+            telemetry.counter(
+                "repro_flowgraph_api_events_total",
+                "API invocations folded into the value flow graph.",
+            ).inc()
+            telemetry.gauge(
+                "repro_flowgraph_vertices",
+                "Vertices in the value flow graph.",
+            ).set(self.graph.num_vertices)
+            telemetry.gauge(
+                "repro_flowgraph_edges",
+                "Edges in the value flow graph.",
+            ).set(self.graph.num_edges)
         return vertex
 
     def on_free(self, alloc_id: int) -> None:

@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+import repro.obs as telemetry
 from repro.errors import InvalidValueError, KernelLaunchError
 from repro.gpu.accesses import AccessRecord
 from repro.gpu.device import Device
@@ -281,10 +282,28 @@ class GpuRuntime:
     def _begin(self, event: ApiEvent) -> None:
         event.annotation = tuple(self._annotations)
         self.api_events += 1
+        if telemetry.ENABLED:
+            telemetry.counter(
+                "repro_runtime_api_calls_total",
+                "GPU API invocations crossing the runtime event bus.",
+                labelnames=("api",),
+            ).labels(api=event.api_name).inc()
         for listener in self.listeners:
             listener.on_api_begin(event)
 
     def _end(self, event: ApiEvent) -> None:
+        if telemetry.ENABLED:
+            telemetry.counter(
+                "repro_runtime_modelled_seconds_total",
+                "Modelled device seconds accumulated per API.",
+                labelnames=("api",),
+            ).labels(api=event.api_name).inc(event.time_s)
+            with telemetry.span(
+                "runtime.dispatch", api=event.api_name, seq=event.seq
+            ):
+                for listener in self.listeners:
+                    listener.on_api_end(event)
+            return
         for listener in self.listeners:
             listener.on_api_end(event)
 
@@ -455,9 +474,22 @@ class GpuRuntime:
             instrument=instrument,
             sampled_blocks=sampled,
         )
+        kernel_span = (
+            telemetry.tracer().begin(
+                "runtime.kernel",
+                kernel=kernel_obj.name,
+                grid=grid,
+                block=block,
+                instrumented=instrument,
+            )
+            if telemetry.ENABLED
+            else None
+        )
         try:
             kernel_obj(ctx, *args)
         finally:
+            if kernel_span is not None:
+                kernel_span.end()
             event.shared_ranges = [
                 (alloc.address, alloc.end, alloc.dtype)
                 for alloc in ctx._shared_allocs

@@ -1,0 +1,47 @@
+"""Merged trace export: modelled application events + profiler self-spans.
+
+One Chrome-trace JSON array holding both timelines — the application
+stream on pid 0 (from :class:`repro.analysis.trace.TraceRecorder`,
+modelled microseconds) and the profiler's own stages on pid 1 (wall
+microseconds) — loadable as one file in ``chrome://tracing`` or
+https://ui.perfetto.dev.  This is the ``python -m repro.tool trace
+--self`` output.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Optional
+
+from repro.obs.spans import SpanTracer
+
+#: Metadata event naming the modelled-application process row.
+_APP_PROCESS_META = {
+    "name": "process_name",
+    "ph": "M",
+    "pid": 0,
+    "tid": 0,
+    "args": {"name": "modelled application"},
+}
+
+
+def merged_events(
+    app_events: Optional[List[dict]],
+    tracer: Optional[SpanTracer],
+) -> List[dict]:
+    """Combine application events and self-spans into one event list."""
+    events: List[dict] = []
+    if app_events:
+        events.append(dict(_APP_PROCESS_META))
+        events.extend(app_events)
+    if tracer is not None:
+        events.extend(tracer.to_chrome_events())
+    return events
+
+
+def merged_trace_json(
+    app_events: Optional[List[dict]],
+    tracer: Optional[SpanTracer],
+) -> str:
+    """The merged timeline as a Chrome-trace JSON array string."""
+    return json.dumps(merged_events(app_events, tracer), indent=1)

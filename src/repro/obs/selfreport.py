@@ -1,0 +1,110 @@
+"""Per-stage self-overhead report: "where does profiling time go".
+
+Aggregates the span tracer's timeline into a per-stage table (one row
+per span name, exclusive self-time so rows sum to the measured total)
+and prices the whole run through the same
+:class:`~repro.tool.overhead.OverheadReport` structure the Figure 6
+overhead model emits — the profiler's own cost becomes a first-class
+row next to the modelled tool costs.
+
+The ROADMAP's perf rounds start here: the table ranks
+``collector.sweep`` / ``collector.snapshots`` / ``analyzer.*`` by
+measured self-time instead of ad-hoc profiling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, TYPE_CHECKING
+
+from repro.obs.spans import SpanTracer
+from repro.utils.stats import percentile
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.tool.overhead import OverheadReport
+
+
+@dataclass
+class StageRow:
+    """Aggregated self-cost of one pipeline stage (one span name)."""
+
+    stage: str
+    spans: int
+    #: Exclusive time: durations minus enclosed child spans (seconds).
+    self_s: float
+    #: Inclusive time: wall duration of the stage's spans (seconds).
+    total_s: float
+    mean_s: float
+    p50_s: float
+    p95_s: float
+    #: Exclusive share of the summed exclusive time (0..1).
+    share: float
+
+
+def stage_rows(tracer: SpanTracer) -> List[StageRow]:
+    """Per-stage rows, heaviest exclusive time first."""
+    grouped: Dict[str, List] = {}
+    for span in tracer.spans:
+        grouped.setdefault(span.name, []).append(span)
+    total_self_us = sum(s.self_us for s in tracer.spans) or 1.0
+    rows = []
+    for stage, spans in grouped.items():
+        durs_s = [s.dur_us * 1e-6 for s in spans]
+        self_s = sum(s.self_us for s in spans) * 1e-6
+        rows.append(
+            StageRow(
+                stage=stage,
+                spans=len(spans),
+                self_s=self_s,
+                total_s=sum(durs_s),
+                mean_s=sum(durs_s) / len(durs_s),
+                p50_s=percentile(durs_s, 50),
+                p95_s=percentile(durs_s, 95),
+                share=sum(s.self_us for s in spans) / total_self_us,
+            )
+        )
+    rows.sort(key=lambda r: r.self_s, reverse=True)
+    return rows
+
+
+def format_stage_table(rows: List[StageRow]) -> str:
+    """Render the self-overhead table."""
+    if not rows:
+        return "(no self-telemetry spans recorded)"
+    header = (
+        f"{'stage':<28}{'spans':>7}{'self ms':>10}{'total ms':>11}"
+        f"{'mean us':>12}{'p50 us':>12}{'p95 us':>12}{'share':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.stage:<28}{row.spans:>7}"
+            f"{row.self_s * 1e3:>10.2f}{row.total_s * 1e3:>11.2f}"
+            f"{row.mean_s * 1e6:>12.1f}{row.p50_s * 1e6:>12.1f}"
+            f"{row.p95_s * 1e6:>12.1f}{row.share:>8.1%}"
+        )
+    return "\n".join(lines)
+
+
+def price_self_overhead(
+    tracer: SpanTracer,
+    app_time_s: float,
+    workload: str = "",
+    platform: str = "",
+) -> "OverheadReport":
+    """The self-telemetry run as an :class:`OverheadReport` row.
+
+    ``app_time_s`` is the modelled application time; tool time is the
+    *measured* wall time of the tracer's root spans.  The resulting
+    report prints/compares exactly like the modelled ValueExpert and
+    GVProf rows of Figure 6 / Table 5.
+    """
+    from repro.tool.overhead import OverheadReport
+
+    return OverheadReport(
+        tool="repro self-telemetry",
+        workload=workload,
+        platform=platform,
+        app_time_s=app_time_s,
+        tool_time_s=tracer.root_time_s(),
+    )

@@ -1,0 +1,150 @@
+"""Self-telemetry CLI: ``python -m repro.tool <command>``.
+
+Commands:
+
+- ``stats <workload>`` — profile a workload with self-telemetry on and
+  dump the metrics registry (Prometheus text or JSON) plus the
+  per-stage self-overhead table and its priced overhead row;
+- ``trace <workload>`` — export the modelled application timeline as
+  Chrome-trace JSON; with ``--self``, the profiler's own stage spans
+  ride along on a second process row (open in ``chrome://tracing`` or
+  https://ui.perfetto.dev).
+
+The application-facing CLI stays at ``python -m repro``; this module is
+the tool-introspection surface (ISSUE 2: "where does profiling time
+go" as a first-class table).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import repro.obs as telemetry
+from repro.analysis.trace import TraceRecorder
+from repro.gpu.runtime import GpuRuntime
+from repro.gpu.timing import A100, RTX_2080_TI
+from repro.obs.export import merged_trace_json
+from repro.obs.selfreport import (
+    format_stage_table,
+    price_self_overhead,
+    stage_rows,
+)
+from repro.tool.config import ToolConfig
+from repro.tool.valueexpert import ValueExpert
+from repro.workloads import get_workload, workload_names
+
+
+def _platform(name: str):
+    return {"2080ti": RTX_2080_TI, "a100": A100}[name]
+
+
+def _profile_with_telemetry(args, recorder: Optional[TraceRecorder] = None):
+    """Run one observability-enabled profile; returns (profile, runtime)."""
+    workload = get_workload(args.workload)(scale=args.scale)
+    platform = _platform(args.platform)
+    runtime = GpuRuntime(platform=platform)
+    if recorder is not None:
+        runtime.subscribe(recorder)
+    telemetry.reset()
+    tool = ValueExpert(ToolConfig(observability=True))
+    profile = tool.profile(
+        workload.run_baseline,
+        runtime=runtime,
+        platform=platform,
+        name=workload.name,
+    )
+    return profile, runtime
+
+
+def _emit(text: str, out: Optional[str]) -> None:
+    if out:
+        with open(out, "w") as handle:
+            handle.write(text if text.endswith("\n") else text + "\n")
+        print(f"wrote {out}")
+    else:
+        print(text)
+
+
+def _cmd_stats(args) -> int:
+    profile, runtime = _profile_with_telemetry(args)
+    registry = telemetry.registry()
+    exposition = (
+        registry.to_json() if args.format == "json" else registry.to_prometheus()
+    )
+    _emit(exposition, args.out)
+    rows = stage_rows(telemetry.tracer())
+    print()
+    print(f"self-overhead by stage — {profile.workload_name} "
+          f"[{profile.platform_name}]")
+    print(format_stage_table(rows))
+    report = price_self_overhead(
+        telemetry.tracer(),
+        app_time_s=runtime.times.total,
+        workload=profile.workload_name,
+        platform=profile.platform_name,
+    )
+    print()
+    print(report)
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    recorder = TraceRecorder()
+    profile, _runtime = _profile_with_telemetry(args, recorder=recorder)
+    tracer = telemetry.tracer() if args.self_spans else None
+    text = merged_trace_json(recorder.to_events(profile), tracer)
+    _emit(text, args.out)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro.tool",
+        description="Profiler self-telemetry: metrics registry and "
+        "self-span timelines",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    stats = sub.add_parser(
+        "stats", help="dump the self-telemetry metrics registry"
+    )
+    stats.add_argument("workload", choices=workload_names())
+    stats.add_argument("--scale", type=float, default=0.5)
+    stats.add_argument(
+        "--platform", choices=["2080ti", "a100"], default="2080ti"
+    )
+    stats.add_argument(
+        "--format", choices=["prom", "json"], default="prom",
+        help="exposition format (Prometheus text or JSON)",
+    )
+    stats.add_argument("--out", help="write the exposition to a file")
+
+    trace = sub.add_parser(
+        "trace", help="export a Chrome-trace timeline of one run"
+    )
+    trace.add_argument("workload", choices=workload_names())
+    trace.add_argument("--scale", type=float, default=0.5)
+    trace.add_argument(
+        "--platform", choices=["2080ti", "a100"], default="2080ti"
+    )
+    trace.add_argument(
+        "--self", dest="self_spans", action="store_true",
+        help="include the profiler's own stage spans (pid 1)",
+    )
+    trace.add_argument("--out", help="write the trace JSON to a file")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "stats":
+        return _cmd_stats(args)
+    return _cmd_trace(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

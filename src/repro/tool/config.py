@@ -28,11 +28,15 @@ class ToolConfig:
     copy_policy: AdaptiveCopyPolicy = field(default_factory=AdaptiveCopyPolicy)
     #: On-device profiling buffer size (bytes).
     buffer_bytes: int = 16 * 1024 * 1024
+    #: Enable the profiler's own telemetry (:mod:`repro.obs`) for the
+    #: run: pipeline metrics + self-spans, readable afterwards via
+    #: ``repro.obs.registry()`` / ``repro.obs.tracer()``.
+    observability: bool = False
 
     @classmethod
-    def coarse_only(cls) -> "ToolConfig":
+    def coarse_only(cls, observability: bool = False) -> "ToolConfig":
         """The recommended first pass of the paper's workflow."""
-        return cls(coarse=True, fine=False)
+        return cls(coarse=True, fine=False, observability=observability)
 
     @classmethod
     def fine_only(
@@ -40,6 +44,7 @@ class ToolConfig:
         kernel_filter: Optional[frozenset] = None,
         kernel_period: int = 1,
         block_period: int = 1,
+        observability: bool = False,
     ) -> "ToolConfig":
         """The second pass: fine analysis on selected kernels."""
         return cls(
@@ -50,4 +55,5 @@ class ToolConfig:
                 block_sampling_period=block_period,
                 kernel_filter=kernel_filter,
             ),
+            observability=observability,
         )

@@ -31,10 +31,8 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.collector.collector import CollectionCounters
+from repro.collector.gpubuffer import RECORD_BYTES
 from repro.gpu.timing import Platform
-
-#: Bytes per access record (mirrors collector.gpubuffer.RECORD_BYTES).
-_RECORD_BYTES = 32
 
 
 @dataclass(frozen=True)
@@ -181,7 +179,7 @@ def price_run(
         tool_time += counters.raw_intervals / model.cpu_interval_rate
 
     # Measurement-data transfers + CPU-side analysis.
-    record_bytes = counters.recorded_accesses * _RECORD_BYTES
+    record_bytes = counters.recorded_accesses * RECORD_BYTES
     if model.transfer_all_records:
         tool_time += record_bytes / pcie
         tool_time += counters.recorded_accesses * model.per_access_cpu_s

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional, Union
 
+import repro.obs as telemetry
 from repro.analysis.offline import OfflineAnalyzer
 from repro.analysis.online import OnlineAnalyzer
 from repro.analysis.profile import ValueProfile
@@ -61,7 +62,30 @@ class ValueExpert:
         platform: Platform = RTX_2080_TI,
         name: str = "",
     ) -> ValueProfile:
-        """Run ``workload`` under full instrumentation and analyze it."""
+        """Run ``workload`` under full instrumentation and analyze it.
+
+        With ``config.observability`` the run is self-profiled: pipeline
+        metrics and nested stage spans land in the global
+        :mod:`repro.obs` registry/tracer (telemetry is switched back off
+        afterwards unless it was already on; recorded data persists
+        until ``repro.obs.reset()``).
+        """
+        self_observe = self.config.observability and not telemetry.ENABLED
+        if self_observe:
+            telemetry.enable()
+        try:
+            return self._profile(workload, runtime, platform, name)
+        finally:
+            if self_observe:
+                telemetry.disable()
+
+    def _profile(
+        self,
+        workload,
+        runtime: Optional[GpuRuntime],
+        platform: Platform,
+        name: str,
+    ) -> ValueProfile:
         runtime = runtime or GpuRuntime(platform=platform)
         online = OnlineAnalyzer(self.config.patterns)
         collector = DataCollector(
@@ -72,24 +96,45 @@ class ValueExpert:
             buffer_bytes=self.config.buffer_bytes,
             copy_policy=self.config.copy_policy,
         )
+        workload_name = (
+            name or getattr(workload, "name", "") or _callable_name(workload)
+        )
         roster = _KernelRoster()
         collector.attach(runtime)
         runtime.subscribe(roster)
+        run_span = (
+            telemetry.tracer().begin("tool.profile", workload=workload_name)
+            if telemetry.ENABLED
+            else None
+        )
         try:
             self._run(workload, runtime)
         finally:
+            if run_span is not None:
+                run_span.end()
+                telemetry.counter(
+                    "repro_tool_profiles_total",
+                    "Profiling runs executed by the ValueExpert facade.",
+                ).inc()
             runtime.unsubscribe(roster)
             collector.detach()
 
         profile = online.finish(
             counters=collector.counters,
-            workload=name or getattr(workload, "name", "") or _callable_name(workload),
+            workload=workload_name,
             platform=runtime.platform.name,
+        )
+        offline_span = (
+            telemetry.tracer().begin("tool.offline", workload=workload_name)
+            if telemetry.ENABLED
+            else None
         )
         offline = OfflineAnalyzer(self.config.patterns)
         for hit in offline.analyze_untyped(online.pending_untyped):
             profile.fine_hits.append(hit)
         offline.annotate(profile, kernels=list(roster.kernels.values()))
+        if offline_span is not None:
+            offline_span.end()
         self.last_collector = collector
         self.last_runtime = runtime
         return profile

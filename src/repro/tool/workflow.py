@@ -92,6 +92,7 @@ def run_recommended_workflow(
     edge_importance_fraction: float = 0.5,
     fine_kernel_period: int = 1,
     fine_block_period: int = 1,
+    observability: bool = False,
 ) -> WorkflowResult:
     """Execute the §4 workflow on a workload.
 
@@ -105,12 +106,15 @@ def run_recommended_workflow(
         Figure 3 example uses N/2, i.e. half the full-object edge).
     fine_kernel_period / fine_block_period:
         Sampling for the second pass.
+    observability:
+        Self-profile both passes with :mod:`repro.obs` (metrics and
+        stage spans accumulate across the two passes).
     """
     runner = getattr(workload, "run_baseline", workload)
     name = getattr(workload, "name", "")
 
     # Pass 1 — coarse only, every kernel.
-    coarse_tool = ValueExpert(ToolConfig.coarse_only())
+    coarse_tool = ValueExpert(ToolConfig.coarse_only(observability=observability))
     coarse_profile = coarse_tool.profile(runner, platform=platform, name=name)
     graph = coarse_profile.graph
 
@@ -152,6 +156,7 @@ def run_recommended_workflow(
                 block_sampling_period=fine_block_period,
                 kernel_filter=selected,
             ),
+            observability=observability,
         )
     )
     result.fine_profile = fine_tool.profile(

@@ -6,14 +6,19 @@ import math
 from typing import Iterable, List, Sequence
 
 
+def _require_nonempty(items: List[float], what: str) -> None:
+    """Shared empty-sequence guard so every summary raises uniformly."""
+    if not items:
+        raise ValueError(f"{what} of empty sequence")
+
+
 def geometric_mean(values: Iterable[float]) -> float:
     """Geometric mean of positive values (Table 3 / Figure 6 summaries).
 
     Raises ``ValueError`` on an empty sequence or non-positive entries.
     """
     items: List[float] = list(values)
-    if not items:
-        raise ValueError("geometric mean of empty sequence")
+    _require_nonempty(items, "geometric mean")
     if any(v <= 0 for v in items):
         raise ValueError("geometric mean requires positive values")
     return math.exp(sum(math.log(v) for v in items) / len(items))
@@ -22,8 +27,7 @@ def geometric_mean(values: Iterable[float]) -> float:
 def median(values: Iterable[float]) -> float:
     """Median (Table 3 / Figure 6 summaries)."""
     items = sorted(values)
-    if not items:
-        raise ValueError("median of empty sequence")
+    _require_nonempty(items, "median")
     mid = len(items) // 2
     if len(items) % 2:
         return items[mid]
@@ -33,6 +37,27 @@ def median(values: Iterable[float]) -> float:
 def mean(values: Sequence[float]) -> float:
     """Arithmetic mean."""
     items = list(values)
-    if not items:
-        raise ValueError("mean of empty sequence")
+    _require_nonempty(items, "mean")
     return sum(items) / len(items)
+
+
+def percentile(values: Iterable[float], p: float) -> float:
+    """The ``p``-th percentile (0..100), linearly interpolated.
+
+    Matches numpy's default ("linear") method: ``percentile(v, 50)``
+    equals ``median(v)``, and the endpoints return min/max.  Used by
+    the self-telemetry histogram/span summaries.
+    """
+    if not 0.0 <= p <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {p}")
+    items = sorted(values)
+    _require_nonempty(items, "percentile")
+    if len(items) == 1:
+        return items[0]
+    rank = (len(items) - 1) * (p / 100.0)
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi:
+        return items[int(rank)]
+    frac = rank - lo
+    return items[lo] * (1.0 - frac) + items[hi] * frac

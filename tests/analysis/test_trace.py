@@ -77,3 +77,80 @@ def test_hits_exported_as_instant_events(fill_kernel):
     instants = [e for e in events if e["ph"] == "i"]
     assert instants
     assert any("redundant values" in e["name"] for e in instants)
+
+
+def _roundtrip(fill_kernel):
+    rt = GpuRuntime()
+    recorder = TraceRecorder()
+    rt.subscribe(recorder)
+
+    def workload(runtime):
+        out = runtime.malloc(256, DType.FLOAT32, "out")
+        runtime.memset(out, 0)
+        runtime.launch(fill_kernel, 1, 256, out, 0.0)
+
+    profile = ValueExpert(ToolConfig()).profile(workload, runtime=rt)
+    return profile, json.loads(recorder.to_json(profile))
+
+
+def test_roundtrip_events_well_formed(fill_kernel):
+    _, events = _roundtrip(fill_kernel)
+    for event in events:
+        assert event["ph"] in ("X", "i")
+        assert event["ts"] >= 0
+        assert event["pid"] == 0
+        if event["ph"] == "X":
+            assert event["dur"] > 0
+        else:
+            assert "dur" not in event
+
+
+def test_roundtrip_matches_to_events(fill_kernel):
+    """to_json is exactly the serialized form of to_events."""
+    rt = GpuRuntime()
+    recorder = TraceRecorder()
+    rt.subscribe(recorder)
+
+    def workload(runtime):
+        out = runtime.malloc(256, DType.FLOAT32, "out")
+        runtime.memset(out, 0)
+        runtime.launch(fill_kernel, 1, 256, out, 0.0)
+
+    profile = ValueExpert(ToolConfig()).profile(workload, runtime=rt)
+    assert json.loads(recorder.to_json(profile)) == recorder.to_events(profile)
+    # And calling to_events does not mutate the recorder's own timeline.
+    before = len(recorder.events)
+    recorder.to_events(profile)
+    assert len(recorder.events) == before
+
+
+def test_hits_anchor_to_producing_launch_event(fill_kernel):
+    _, events = _roundtrip(fill_kernel)
+    by_name = {}
+    for event in events:
+        if event["ph"] == "X":
+            by_name.setdefault(event["name"], event)
+    anchored = 0
+    for hit in (e for e in events if e["ph"] == "i"):
+        api_name = hit["args"]["api"].split(":", 1)[-1]
+        producer = by_name.get(api_name)
+        if producer is not None:
+            assert hit["ts"] == producer["ts"]
+            assert hit["tid"] == producer["tid"]
+            anchored += 1
+    assert anchored > 0
+
+
+def test_fine_hit_lands_on_kernel_row(fill_kernel):
+    """A fine-grained hit from the kernel must sit on the kernel's
+    timeline row, not at t=0 on row 0."""
+    _, events = _roundtrip(fill_kernel)
+    launch = next(e for e in events if e["cat"] == "cudaLaunchKernel")
+    kernel_hits = [
+        e for e in events
+        if e["ph"] == "i" and e["args"]["api"].endswith("fill_constant")
+    ]
+    assert kernel_hits
+    for hit in kernel_hits:
+        assert hit["ts"] == launch["ts"]
+        assert hit["tid"] == launch["tid"]

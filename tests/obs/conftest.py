@@ -1,0 +1,14 @@
+"""Telemetry isolation: every obs test starts from a clean, disabled state."""
+
+import pytest
+
+import repro.obs as telemetry
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry():
+    telemetry.disable()
+    telemetry.reset()
+    yield
+    telemetry.disable()
+    telemetry.reset()

@@ -1,0 +1,79 @@
+"""End-to-end telemetry: a profiled run populates metrics and spans.
+
+These tests exercise the acceptance criteria for the self-telemetry
+subsystem: an instrumented profile run must produce a rich metric set
+spanning the collector, analyzer, and flowgraph stages, plus nested
+self-spans; with telemetry disabled, nothing may be recorded.
+"""
+
+import json
+
+import numpy as np
+
+import repro.obs as telemetry
+from repro import ToolConfig, ValueExpert
+from repro.gpu.dtypes import DType
+from repro.gpu.runtime import GpuRuntime, HostArray
+from tests.conftest import fill_constant_kernel
+
+
+def _workload(rt: GpuRuntime):
+    out = rt.malloc(256, DType.FLOAT32, "out")
+    rt.memcpy_h2d(out, HostArray(np.zeros(256, np.float32), "host_zeros"))
+    rt.launch(fill_constant_kernel, 1, 256, out, 0.0)
+    rt.memset(out, 0)
+
+
+def _profile(observability: bool):
+    tool = ValueExpert(ToolConfig(observability=observability))
+    return tool.profile(_workload, name="obs-integration")
+
+
+def test_enabled_run_populates_metrics_across_stages():
+    _profile(observability=True)
+    names = telemetry.registry().names()
+    assert len(names) >= 10
+    for stage in ("runtime", "collector", "analyzer", "flowgraph", "tool"):
+        assert any(n.startswith(f"repro_{stage}_") for n in names), stage
+
+
+def test_enabled_run_records_nested_spans():
+    _profile(observability=True)
+    tracer = telemetry.tracer()
+    assert tracer.by_name("tool.profile")
+    assert tracer.by_name("collector.launch")
+    assert tracer.by_name("collector.sweep")
+    assert any(s.depth > 0 for s in tracer.spans)
+    assert tracer.open_spans == 0
+
+
+def test_prometheus_dump_from_profiled_run():
+    _profile(observability=True)
+    text = telemetry.registry().to_prometheus()
+    assert "# TYPE repro_collector_records_total counter" in text
+    assert "# TYPE repro_collector_launch_seconds histogram" in text
+    assert 'repro_runtime_api_calls_total{api="cudaLaunchKernel"} 1' in text
+
+
+def test_self_spans_export_as_chrome_trace():
+    _profile(observability=True)
+    events = json.loads(telemetry.tracer().to_json())
+    spans = [e for e in events if e["ph"] == "X"]
+    assert spans
+    assert all(e["pid"] == 1 for e in spans)
+    assert all(e["dur"] > 0 for e in spans)
+
+
+def test_disabled_run_records_nothing():
+    _profile(observability=False)
+    assert telemetry.registry().names() == []
+    assert telemetry.tracer().spans == []
+    assert not telemetry.ENABLED
+
+
+def test_observability_flag_restored_after_profile():
+    _profile(observability=True)
+    # The tool enabled telemetry for the run and disabled it afterwards.
+    assert not telemetry.ENABLED
+    # The recorded data remains inspectable after the run.
+    assert telemetry.registry().names()

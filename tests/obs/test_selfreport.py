@@ -1,0 +1,79 @@
+"""Tests for the per-stage self-overhead report."""
+
+import time
+
+import pytest
+
+from repro.obs.selfreport import (
+    format_stage_table,
+    price_self_overhead,
+    stage_rows,
+)
+from repro.obs.spans import SpanTracer
+from repro.tool.overhead import OverheadReport
+
+
+def _traced():
+    tracer = SpanTracer()
+    for _ in range(3):
+        with tracer.span("collector.launch"):
+            with tracer.span("collector.sweep"):
+                time.sleep(0.001)
+    return tracer
+
+
+def test_stage_rows_group_by_name():
+    tracer = _traced()
+    rows = stage_rows(tracer)
+    by_stage = {r.stage: r for r in rows}
+    assert by_stage["collector.launch"].spans == 3
+    assert by_stage["collector.sweep"].spans == 3
+
+
+def test_exclusive_time_sums_to_total():
+    tracer = _traced()
+    rows = stage_rows(tracer)
+    total_self = sum(r.self_s for r in rows)
+    launch = next(r for r in rows if r.stage == "collector.launch")
+    assert total_self == pytest.approx(launch.total_s, rel=1e-6)
+
+
+def test_shares_sum_to_one():
+    rows = stage_rows(_traced())
+    assert sum(r.share for r in rows) == pytest.approx(1.0)
+
+
+def test_rows_sorted_by_exclusive_time():
+    rows = stage_rows(_traced())
+    assert [r.self_s for r in rows] == sorted(
+        (r.self_s for r in rows), reverse=True
+    )
+    # The sweep (where the sleeping happens) dominates the launch shell.
+    assert rows[0].stage == "collector.sweep"
+
+
+def test_format_stage_table_renders_all_rows():
+    rows = stage_rows(_traced())
+    table = format_stage_table(rows)
+    assert "collector.sweep" in table
+    assert "share" in table
+    assert format_stage_table([]) == "(no self-telemetry spans recorded)"
+
+
+def test_percentiles_are_populated():
+    rows = stage_rows(_traced())
+    sweep = next(r for r in rows if r.stage == "collector.sweep")
+    assert sweep.p50_s > 0
+    assert sweep.p95_s >= sweep.p50_s
+
+
+def test_price_self_overhead_is_an_overhead_report():
+    tracer = _traced()
+    report = price_self_overhead(
+        tracer, app_time_s=1.0, workload="wl", platform="RTX 2080 Ti"
+    )
+    assert isinstance(report, OverheadReport)
+    assert report.tool == "repro self-telemetry"
+    assert report.tool_time_s == pytest.approx(tracer.root_time_s())
+    assert report.overhead >= 1.0
+    assert "wl" in str(report)

@@ -112,3 +112,13 @@ def test_report_str_format():
 def test_zero_app_time_degrades_gracefully():
     report = OverheadReport("T", "w", "p", app_time_s=0.0, tool_time_s=1.0)
     assert report.overhead == 1.0
+
+
+def test_record_bytes_shared_with_gpu_buffer():
+    """The pricing model must use the collector's actual record size,
+    not a private copy that can drift."""
+    import repro.tool.overhead as overhead
+    from repro.collector.gpubuffer import RECORD_BYTES
+
+    assert overhead.RECORD_BYTES is RECORD_BYTES
+    assert not hasattr(overhead, "_RECORD_BYTES")

@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.utils.stats import geometric_mean, mean, median
+from repro.utils.stats import geometric_mean, mean, median, percentile
 
 
 def test_geomean_of_constant_sequence():
@@ -61,3 +61,47 @@ def test_geomean_matches_log_definition():
     values = [1.5, 2.5, 4.0]
     expected = math.exp(sum(math.log(v) for v in values) / 3)
     assert geometric_mean(values) == pytest.approx(expected)
+
+
+def test_percentile_endpoints():
+    values = [5.0, 1.0, 3.0]
+    assert percentile(values, 0) == 1.0
+    assert percentile(values, 100) == 5.0
+
+
+def test_percentile_interpolates_linearly():
+    assert percentile([1.0, 2.0, 3.0, 4.0], 50) == pytest.approx(2.5)
+    assert percentile([0.0, 10.0], 25) == pytest.approx(2.5)
+
+
+def test_percentile_matches_median():
+    for values in ([3, 1, 2], [4, 1, 2, 3], [7.0]):
+        assert percentile(values, 50) == pytest.approx(median(values))
+
+
+def test_percentile_single_element():
+    assert percentile([42.0], 95) == 42.0
+
+
+def test_percentile_does_not_sort_in_place():
+    values = [3.0, 1.0, 2.0]
+    percentile(values, 50)
+    assert values == [3.0, 1.0, 2.0]
+
+
+def test_percentile_rejects_empty():
+    with pytest.raises(ValueError, match="empty sequence"):
+        percentile([], 50)
+
+
+def test_percentile_rejects_out_of_range_p():
+    with pytest.raises(ValueError):
+        percentile([1.0], -0.1)
+    with pytest.raises(ValueError):
+        percentile([1.0], 100.1)
+
+
+def test_empty_sequence_messages_are_uniform():
+    for func in (mean, median, geometric_mean):
+        with pytest.raises(ValueError, match="of empty sequence"):
+            func([])
