@@ -287,7 +287,14 @@ class OnlineAnalyzer:
         dirty = []
         for write in writes:
             key = f"dev:{write.obj.alloc_id}"
-            digest = snapshot_digest(write.after)
+            # The collector's snapshot store maintains chunk digests
+            # incrementally; rehash here only when a write arrives
+            # without one (e.g. from a test stub).
+            digest = (
+                write.digest
+                if getattr(write, "digest", None) is not None
+                else snapshot_digest(write.after)
+            )
             changed, departed = self._move_digest(
                 key, digest, write.obj.label
             )

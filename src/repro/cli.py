@@ -4,6 +4,10 @@ Commands:
 
 - ``profile <workload>`` — profile a registered workload and print the
   report (optionally writing the value flow graph and JSON profile);
+- ``record <workload>`` — run a workload once and write a ``.vetrace``
+  recording of its runtime event stream (no analysis);
+- ``replay <trace>`` — profile from a recording instead of running any
+  workload (supports the same coarse/fine/sampling switches);
 - ``speedup <workload>`` — measure baseline-vs-optimized times on both
   platforms (one Table 3 row);
 - ``list`` — list registered workloads with their paper metadata;
@@ -89,6 +93,70 @@ def _cmd_profile(args) -> int:
         with open(args.html, "w") as handle:
             handle.write(render_html(profile))
         print(f"wrote HTML report to {args.html}")
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(profile.to_json())
+        print(f"wrote JSON profile to {args.json}")
+    return 0
+
+
+def _cmd_record(args) -> int:
+    from repro.gpu.runtime import GpuRuntime
+    from repro.trace_io import TraceRecorder
+
+    workload = get_workload(args.workload)(scale=args.scale)
+    out = args.out or f"{workload.name.replace('/', '_')}.vetrace"
+    runtime = GpuRuntime(platform=_platform(args.platform))
+    recorder = TraceRecorder(
+        out,
+        header={
+            "workload": workload.name,
+            "platform": runtime.platform.name,
+        },
+        instrument="all",
+    )
+    recorder.attach(runtime)
+    try:
+        workload.run_baseline(runtime)
+    finally:
+        recorder.detach()
+        nbytes = recorder.close()
+    print(
+        f"recorded {recorder.events_written} events "
+        f"({nbytes / 1e6:.1f} MB) to {out}"
+    )
+    return 0
+
+
+def _cmd_replay(args) -> int:
+    if args.gvprof:
+        from repro.baselines.gvprof import GvprofProfiler
+        from repro.trace_io import TraceReplayer
+
+        replayer = TraceReplayer(args.trace)
+        profiler = GvprofProfiler()
+        profiler.attach(replayer)
+        try:
+            replayer.replay()
+        finally:
+            profiler.detach()
+            replayer.close()
+        print(profiler.report.summary())
+        return 0
+
+    config = ToolConfig(
+        coarse=not args.fine_only,
+        fine=not args.coarse_only,
+        sampling=SamplingConfig(
+            kernel_sampling_period=args.kernel_period,
+            block_sampling_period=args.block_period,
+            kernel_filter=(
+                frozenset(args.kernels.split(",")) if args.kernels else None
+            ),
+        ),
+    )
+    profile = ValueExpert(config).profile_from_trace(args.trace)
+    print(render_report(profile))
     if args.json:
         with open(args.json, "w") as handle:
             handle.write(profile.to_json())
@@ -191,6 +259,37 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--html", help="write a standalone HTML report")
     profile.add_argument("--json", help="write the JSON profile")
 
+    record = sub.add_parser(
+        "record", help="record a workload's runtime event stream"
+    )
+    record.add_argument("workload", choices=workload_names())
+    record.add_argument("--scale", type=float, default=0.5)
+    record.add_argument(
+        "--platform", choices=["2080ti", "a100"], default="2080ti"
+    )
+    record.add_argument(
+        "--out", default=None,
+        help="output path (default: <workload>.vetrace)",
+    )
+
+    replay = sub.add_parser(
+        "replay", help="profile from a .vetrace recording"
+    )
+    replay.add_argument("trace", help="path to a recorded .vetrace file")
+    replay.add_argument("--coarse-only", action="store_true")
+    replay.add_argument("--fine-only", action="store_true")
+    replay.add_argument("--kernel-period", type=int, default=1)
+    replay.add_argument("--block-period", type=int, default=1)
+    replay.add_argument(
+        "--kernels", default=None,
+        help="comma-separated kernel filter for the fine pass",
+    )
+    replay.add_argument(
+        "--gvprof", action="store_true",
+        help="run the GVProf baseline over the replay instead",
+    )
+    replay.add_argument("--json", help="write the JSON profile")
+
     speedup = sub.add_parser("speedup", help="measure one Table 3 row")
     speedup.add_argument("workload", choices=workload_names())
     speedup.add_argument("--scale", type=float, default=1.0)
@@ -229,6 +328,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_list(args)
     if args.command == "profile":
         return _cmd_profile(args)
+    if args.command == "record":
+        return _cmd_record(args)
+    if args.command == "replay":
+        return _cmd_replay(args)
     if args.command == "speedup":
         return _cmd_speedup(args)
     if args.command == "workflow":

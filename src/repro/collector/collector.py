@@ -73,6 +73,9 @@ class ObjectWrite:
     after: np.ndarray
     written_indices: np.ndarray
     nbytes: int
+    #: incremental value digest of ``after`` from the snapshot store;
+    #: saves the pattern engine rehashing unchanged regions.
+    digest: Optional[str] = None
 
 
 @dataclass
@@ -298,6 +301,7 @@ class DataCollector(RuntimeListener):
             after=after,
             written_indices=np.arange(count, dtype=np.int64),
             nbytes=nbytes,
+            digest=self.snapshots.digest(obj.alloc_id),
         )
 
     def _handle_memcpy(self, event: MemcpyEvent) -> None:
@@ -506,6 +510,7 @@ class DataCollector(RuntimeListener):
                     after=after,
                     written_indices=written_idx,
                     nbytes=write_bytes,
+                    digest=self.snapshots.digest(obj.alloc_id),
                 )
             )
         if snapshot_span is not None:

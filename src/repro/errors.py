@@ -45,3 +45,7 @@ class AnalysisError(ReproError):
 
 class WorkloadError(ReproError):
     """Raised by workload construction/execution (unknown variant, ...)."""
+
+
+class TraceError(ReproError):
+    """Raised by the trace layer (bad magic, version skew, truncation)."""

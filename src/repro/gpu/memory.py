@@ -97,6 +97,19 @@ class Allocation:
         self._check_live()
         return self._typed_view().copy()
 
+    def read_range(self, lo: int, hi: int) -> np.ndarray:
+        """Copy out elements ``[lo, hi)`` as a typed array.
+
+        The snapshot store's partial refresh uses this so a small copy
+        plan moves only the planned elements, not the whole object.
+        """
+        self._check_live()
+        lo = max(0, lo)
+        hi = min(self.nelems, hi)
+        if hi <= lo:
+            return np.empty(0, dtype=self.dtype.np_dtype)
+        return self._typed_view()[lo:hi].copy()
+
     def write_all(self, values: np.ndarray) -> None:
         """Overwrite the whole allocation from a typed array."""
         self._check_live()

@@ -66,7 +66,8 @@ def warp_compact_kinds(
     the 32 lanes of one memory instruction, which share a kind.)
 
     Returns the compacted ``(m, 2)`` array and its parallel flags.
-    The inner merge is vectorized per chunk instead of per interval —
+    The whole pass is vectorized across chunks — one padded 2-D sort
+    and one flattened run-reduction, no Python loop over the stream —
     part of the hot-path rework this module's callers rely on.
     """
     arr = as_interval_array(intervals)
@@ -78,32 +79,65 @@ def warp_compact_kinds(
         )
     if n == 0:
         return arr, kinds
-    out_parts = []
-    kind_parts = []
-    for chunk_start in range(0, n, warp_size):
-        chunk = arr[chunk_start : chunk_start + warp_size]
-        kchunk = kinds[chunk_start : chunk_start + warp_size]
-        order = np.argsort(chunk[:, 0], kind="stable")
-        chunk = chunk[order]
-        kchunk = kchunk[order]
-        for flag in np.unique(kchunk):
-            sub = chunk[kchunk == flag]
-            # Sorted by start, a new run begins where the start exceeds
-            # the running maximum end of this kind's stream so far.
-            run_end = np.maximum.accumulate(sub[:, 1])
-            breaks = np.empty(sub.shape[0], dtype=bool)
-            breaks[0] = True
-            breaks[1:] = sub[1:, 0] > run_end[:-1]
-            heads = np.flatnonzero(breaks)
-            runs = np.stack(
-                [sub[heads, 0], np.maximum.reduceat(sub[:, 1], heads)],
-                axis=1,
-            )
-            out_parts.append(runs)
-            kind_parts.append(np.full(heads.size, flag, dtype=np.uint8))
+
+    # Lay the stream out as (nchunks, warp_size) rows so every chunk is
+    # processed at once.  Padding lanes get kind 255 and a maximal start
+    # so the row sort pushes them past every real lane, and end 0 so
+    # they never extend a run's maximum.
+    nchunks = -(-n // warp_size)
+    padded = nchunks * warp_size
+    starts = np.full(padded, np.iinfo(np.uint64).max, dtype=np.uint64)
+    ends = np.zeros(padded, dtype=np.uint64)
+    kvals = np.full(padded, 255, dtype=np.uint8)
+    starts[:n] = arr[:, 0]
+    ends[:n] = arr[:, 1]
+    kvals[:n] = kinds
+    starts = starts.reshape(nchunks, warp_size)
+    ends = ends.reshape(nchunks, warp_size)
+    kvals = kvals.reshape(nchunks, warp_size)
+
+    # Per-row lexicographic (kind, start) order via two stable argsorts:
+    # sort each row by start, then stably by kind, matching the scalar
+    # path's start-sorted, per-ascending-kind sub-streams.
+    by_start = np.argsort(starts, axis=1, kind="stable")
+    order = np.take_along_axis(
+        by_start,
+        np.argsort(
+            np.take_along_axis(kvals, by_start, axis=1), axis=1, kind="stable"
+        ),
+        axis=1,
+    )
+    s = np.take_along_axis(starts, order, axis=1)
+    e = np.take_along_axis(ends, order, axis=1)
+    k = np.take_along_axis(kvals, order, axis=1)
+
+    # A new run begins at each (row, kind) segment head, and wherever a
+    # start exceeds the running maximum end of its segment so far.  The
+    # running maximum is a row cummax masked to one kind at a time;
+    # lanes of other kinds contribute 0, and each kind's lanes are
+    # contiguous after the sort, so no reset logic is needed.
+    prev_kind = np.full_like(k, 255)
+    prev_kind[:, 1:] = k[:, :-1]
+    breaks = np.zeros(k.shape, dtype=bool)
+    for flag in np.unique(kinds):
+        mask = k == flag
+        run_end = np.maximum.accumulate(np.where(mask, e, 0), axis=1)
+        prev_end = np.zeros_like(run_end)
+        prev_end[:, 1:] = run_end[:, :-1]
+        breaks |= mask & ((prev_kind != flag) | (s > prev_end))
+
+    # Flattened row-major, head order is exactly the scalar output
+    # order: per chunk, per ascending kind, runs by start.  reduceat
+    # segments may swallow a row's trailing padding (end 0, harmless);
+    # they never cross into the next row's lanes because each row's
+    # first real lane is always a head.
+    heads = np.flatnonzero(breaks.ravel())
+    flat_ends = e.ravel()
     return (
-        np.concatenate(out_parts, axis=0).astype(np.uint64),
-        np.concatenate(kind_parts),
+        np.stack(
+            [s.ravel()[heads], np.maximum.reduceat(flat_ends, heads)], axis=1
+        ).astype(np.uint64),
+        k.ravel()[heads],
     )
 
 

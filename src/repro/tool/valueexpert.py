@@ -14,6 +14,12 @@ Usage::
 (the :class:`~repro.workloads.base.Workload` protocol).  The facade
 wires collector -> online analyzer during the run, then applies the
 offline analyzer (type slicing, source annotation) postmortem.
+
+Profiling can also run from a recording instead of a live workload:
+``profile(..., record_path=...)`` writes a ``.vetrace`` of the run as a
+side effect, and :meth:`ValueExpert.profile_from_trace` produces a
+profile from such a file without executing any workload code (see
+``docs/trace.md``).
 """
 
 from __future__ import annotations
@@ -30,6 +36,7 @@ from repro.gpu.kernel import Kernel
 from repro.gpu.runtime import GpuRuntime, KernelLaunchEvent, RuntimeListener
 from repro.gpu.timing import Platform, RTX_2080_TI
 from repro.tool.config import ToolConfig
+from repro.trace_io import TraceRecorder, TraceReplayer
 
 
 class _KernelRoster(RuntimeListener):
@@ -61,8 +68,14 @@ class ValueExpert:
         runtime: Optional[GpuRuntime] = None,
         platform: Platform = RTX_2080_TI,
         name: str = "",
+        record_path: Optional[str] = None,
     ) -> ValueProfile:
         """Run ``workload`` under full instrumentation and analyze it.
+
+        With ``record_path`` the run is additionally recorded to a
+        ``.vetrace`` file; replaying it through an identically
+        configured tool (:meth:`profile_from_trace`) reproduces this
+        profile without re-running the workload.
 
         With ``config.observability`` the run is self-profiled: pipeline
         metrics and nested stage spans land in the global
@@ -74,10 +87,73 @@ class ValueExpert:
         if self_observe:
             telemetry.enable()
         try:
-            return self._profile(workload, runtime, platform, name)
+            return self._profile(workload, runtime, platform, name, record_path)
         finally:
             if self_observe:
                 telemetry.disable()
+
+    def profile_from_trace(
+        self,
+        trace_path: str,
+        name: str = "",
+    ) -> ValueProfile:
+        """Produce a profile by replaying a recorded ``.vetrace`` file.
+
+        The same collector/analyzer stack used by :meth:`profile`
+        subscribes to a :class:`~repro.trace_io.TraceReplayer` instead
+        of a live runtime, so ``config`` (coarse/fine, sampling, kernel
+        filters) applies to the replay exactly as it would to a live
+        run — narrowing the recording, never widening it.
+        """
+        self_observe = self.config.observability and not telemetry.ENABLED
+        if self_observe:
+            telemetry.enable()
+        try:
+            return self._profile_from_trace(trace_path, name)
+        finally:
+            if self_observe:
+                telemetry.disable()
+
+    def _profile_from_trace(self, trace_path: str, name: str) -> ValueProfile:
+        online = OnlineAnalyzer(self.config.patterns)
+        collector = DataCollector(
+            online,
+            coarse=self.config.coarse,
+            fine=self.config.fine,
+            sampling=self.config.sampling,
+            buffer_bytes=self.config.buffer_bytes,
+            copy_policy=self.config.copy_policy,
+        )
+        roster = _KernelRoster()
+        with TraceReplayer(trace_path) as replayer:
+            workload_name = name or replayer.header.get("workload", "")
+            platform_name = replayer.header.get("platform", "")
+            collector.attach(replayer)
+            replayer.subscribe(roster)
+            replay_span = (
+                telemetry.tracer().begin("tool.replay", workload=workload_name)
+                if telemetry.ENABLED
+                else None
+            )
+            try:
+                replayer.replay()
+            finally:
+                if replay_span is not None:
+                    replay_span.end()
+                replayer.unsubscribe(roster)
+                collector.detach()
+        profile = online.finish(
+            counters=collector.counters,
+            workload=workload_name,
+            platform=platform_name,
+        )
+        offline = OfflineAnalyzer(self.config.patterns)
+        for hit in offline.analyze_untyped(online.pending_untyped):
+            profile.fine_hits.append(hit)
+        offline.annotate(profile, kernels=list(roster.kernels.values()))
+        self.last_collector = collector
+        self.last_runtime = None
+        return profile
 
     def _profile(
         self,
@@ -85,6 +161,7 @@ class ValueExpert:
         runtime: Optional[GpuRuntime],
         platform: Platform,
         name: str,
+        record_path: Optional[str] = None,
     ) -> ValueProfile:
         runtime = runtime or GpuRuntime(platform=platform)
         online = OnlineAnalyzer(self.config.patterns)
@@ -100,8 +177,22 @@ class ValueExpert:
             name or getattr(workload, "name", "") or _callable_name(workload)
         )
         roster = _KernelRoster()
+        recorder = None
+        if record_path is not None:
+            # "follow" mode: the recorder never votes for instrumentation,
+            # so recording leaves the profiled run byte-identical.
+            recorder = TraceRecorder(
+                record_path,
+                header={
+                    "workload": workload_name,
+                    "platform": runtime.platform.name,
+                },
+                instrument="follow",
+            )
         collector.attach(runtime)
         runtime.subscribe(roster)
+        if recorder is not None:
+            recorder.attach(runtime)
         run_span = (
             telemetry.tracer().begin("tool.profile", workload=workload_name)
             if telemetry.ENABLED
@@ -116,6 +207,9 @@ class ValueExpert:
                     "repro_tool_profiles_total",
                     "Profiling runs executed by the ValueExpert facade.",
                 ).inc()
+            if recorder is not None:
+                recorder.detach()
+                recorder.close()
             runtime.unsubscribe(roster)
             collector.detach()
 

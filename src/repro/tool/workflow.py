@@ -13,10 +13,18 @@ kernels."
 :func:`run_recommended_workflow` performs exactly those steps and
 returns everything each step produced, so the user sees the same
 narrowing the paper walks through manually.
+
+The workload executes **once**: the coarse pass records the run to a
+``.vetrace`` file (see :mod:`repro.trace_io`), and the fine pass
+replays that recording with its kernel filter instead of re-running
+the workload.  Coarse recordings instrument every launch, so a
+filtered fine replay is a strict narrowing of what was recorded.
 """
 
 from __future__ import annotations
 
+import os
+import tempfile
 from dataclasses import dataclass, field
 from typing import FrozenSet, List, Optional
 
@@ -39,6 +47,9 @@ class WorkflowResult:
     slices: List[ValueFlowGraph] = field(default_factory=list)
     selected_kernels: FrozenSet[str] = frozenset()
     fine_profile: Optional[ValueProfile] = None
+    #: Path of the coarse-pass recording, when the caller asked to keep
+    #: it (``trace_path=...``); None when a temporary file was used.
+    trace_path: Optional[str] = None
 
     def summary(self) -> str:
         """Multi-line digest of both passes."""
@@ -93,6 +104,7 @@ def run_recommended_workflow(
     fine_kernel_period: int = 1,
     fine_block_period: int = 1,
     observability: bool = False,
+    trace_path: Optional[str] = None,
 ) -> WorkflowResult:
     """Execute the §4 workflow on a workload.
 
@@ -109,13 +121,51 @@ def run_recommended_workflow(
     observability:
         Self-profile both passes with :mod:`repro.obs` (metrics and
         stage spans accumulate across the two passes).
+    trace_path:
+        Where to keep the coarse-pass ``.vetrace`` recording.  By
+        default a temporary file is used for the fine replay and
+        deleted afterwards.
     """
     runner = getattr(workload, "run_baseline", workload)
     name = getattr(workload, "name", "")
+    keep_trace = trace_path is not None
+    if not keep_trace:
+        fd, trace_path = tempfile.mkstemp(suffix=".vetrace")
+        os.close(fd)
+    try:
+        return _run_workflow(
+            runner,
+            name,
+            platform,
+            edge_importance_fraction,
+            fine_kernel_period,
+            fine_block_period,
+            observability,
+            trace_path,
+            keep_trace,
+        )
+    finally:
+        if not keep_trace and os.path.exists(trace_path):
+            os.unlink(trace_path)
 
-    # Pass 1 — coarse only, every kernel.
+
+def _run_workflow(
+    runner,
+    name: str,
+    platform: Platform,
+    edge_importance_fraction: float,
+    fine_kernel_period: int,
+    fine_block_period: int,
+    observability: bool,
+    trace_path: str,
+    keep_trace: bool,
+) -> WorkflowResult:
+    # Pass 1 — coarse only, every kernel; record the run so pass 2 can
+    # replay it instead of executing the workload a second time.
     coarse_tool = ValueExpert(ToolConfig.coarse_only(observability=observability))
-    coarse_profile = coarse_tool.profile(runner, platform=platform, name=name)
+    coarse_profile = coarse_tool.profile(
+        runner, platform=platform, name=name, record_path=trace_path
+    )
     graph = coarse_profile.graph
 
     # Important graph over byte importance (I_e relative to the
@@ -142,11 +192,13 @@ def run_recommended_workflow(
         important=pruned,
         slices=slices,
         selected_kernels=selected,
+        trace_path=trace_path if keep_trace else None,
     )
     if not selected:
         return result
 
-    # Pass 2 — fine analysis on the selected kernels only.
+    # Pass 2 — fine analysis on the selected kernels only, replayed
+    # from the coarse recording (the workload does not run again).
     fine_tool = ValueExpert(
         ToolConfig(
             coarse=False,
@@ -159,7 +211,5 @@ def run_recommended_workflow(
             observability=observability,
         )
     )
-    result.fine_profile = fine_tool.profile(
-        runner, platform=platform, name=name
-    )
+    result.fine_profile = fine_tool.profile_from_trace(trace_path, name=name)
     return result

@@ -1,0 +1,52 @@
+"""Record/replay trace layer: decouple collection from analysis.
+
+A profiling run (or a bare workload execution) can be recorded once
+into a versioned ``.vetrace`` file and replayed any number of times
+through the standard :class:`~repro.gpu.runtime.RuntimeListener`
+interface — into the data collector, the GVProf baseline, or the
+race/reuse analyzers — without re-running the workload.
+
+Layers:
+
+- :mod:`repro.trace_io.format` — the on-disk container
+  (:class:`TraceWriter` / :class:`TraceReader`);
+- :mod:`repro.trace_io.codec` — event and kernel-table codecs;
+- :mod:`repro.trace_io.recorder` — :class:`TraceRecorder`, a runtime
+  listener that persists the event stream;
+- :mod:`repro.trace_io.replayer` — :class:`TraceReplayer`, which
+  re-emits recorded events to subscribed listeners.
+
+See ``docs/trace.md`` for the format and the record/replay CLI.
+"""
+
+from repro.errors import TraceError
+from repro.trace_io.format import (
+    EVENT_FREE,
+    EVENT_LAUNCH,
+    EVENT_MALLOC,
+    EVENT_MEMCPY,
+    EVENT_MEMSET,
+    EVENT_NAMES,
+    MAGIC,
+    VERSION,
+    TraceReader,
+    TraceWriter,
+)
+from repro.trace_io.recorder import TraceRecorder
+from repro.trace_io.replayer import TraceReplayer
+
+__all__ = [
+    "EVENT_FREE",
+    "EVENT_LAUNCH",
+    "EVENT_MALLOC",
+    "EVENT_MEMCPY",
+    "EVENT_MEMSET",
+    "EVENT_NAMES",
+    "MAGIC",
+    "VERSION",
+    "TraceError",
+    "TraceReader",
+    "TraceRecorder",
+    "TraceReplayer",
+    "TraceWriter",
+]

@@ -1,0 +1,221 @@
+"""The ``.vetrace`` on-disk container.
+
+A trace is one file::
+
+    magic   b"VETRACE\\0"                      (8 bytes)
+    u32     format version                     (little-endian)
+    u64     footer offset                      (patched on close; 0 while
+                                                the trace is being written)
+    u32     header length, header JSON
+    frame*  the runtime event stream
+    footer  u64 length, footer JSON            (kernel table, event count)
+
+Each frame is one runtime API event::
+
+    u32     event kind (MALLOC/FREE/MEMCPY/MEMSET/LAUNCH)
+    u32     meta length
+    u64     payload length
+    meta    JSON object; its ``"__arrays__"`` key maps array names to
+            ``{dtype, shape, offset, nbytes}`` descriptors
+    payload concatenated raw (C-order) array bytes — never pickled
+
+Numpy arrays therefore round-trip bit-exactly, the metadata stays
+greppable JSON, and a reader can skip any frame without parsing its
+payload.  Versioning rules live in ``docs/trace.md``: the version is
+bumped whenever a frame's meaning changes, and readers reject any
+version they do not know (no silent best-effort parsing of traces from
+a different format generation).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import TraceError
+
+MAGIC = b"VETRACE\0"
+VERSION = 1
+
+#: Event kinds, one per intercepted GPU API.
+EVENT_MALLOC = 1
+EVENT_FREE = 2
+EVENT_MEMCPY = 3
+EVENT_MEMSET = 4
+EVENT_LAUNCH = 5
+
+EVENT_NAMES = {
+    EVENT_MALLOC: "cudaMalloc",
+    EVENT_FREE: "cudaFree",
+    EVENT_MEMCPY: "cudaMemcpy",
+    EVENT_MEMSET: "cudaMemset",
+    EVENT_LAUNCH: "cudaLaunchKernel",
+}
+
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+#: File offset of the u64 footer-offset field (magic + version).
+_FOOTER_OFFSET_POS = len(MAGIC) + _U32.size
+
+ArrayDict = Dict[str, np.ndarray]
+
+
+def _dump_json(obj: dict) -> bytes:
+    return json.dumps(obj, separators=(",", ":"), sort_keys=True).encode()
+
+
+class TraceWriter:
+    """Streams events into a ``.vetrace`` file.
+
+    The footer offset is written as 0 up front and patched by
+    :meth:`close`, so an unclosed (crashed) trace is detectably
+    truncated rather than silently short.
+    """
+
+    def __init__(self, path: str, header: Optional[dict] = None):
+        self.path = path
+        self._file = open(path, "wb")
+        self._closed = False
+        self.events_written = 0
+        self._file.write(MAGIC)
+        self._file.write(_U32.pack(VERSION))
+        self._file.write(_U64.pack(0))
+        header_bytes = _dump_json(header or {})
+        self._file.write(_U32.pack(len(header_bytes)))
+        self._file.write(header_bytes)
+
+    def write_event(self, kind: int, meta: dict, arrays: ArrayDict) -> None:
+        """Append one event frame; ``arrays`` land raw in the payload."""
+        if self._closed:
+            raise TraceError(f"trace {self.path!r} is already closed")
+        descriptors = {}
+        chunks = []
+        offset = 0
+        for name, array in arrays.items():
+            raw = np.ascontiguousarray(array)
+            nbytes = int(raw.nbytes)
+            descriptors[name] = {
+                "dtype": str(raw.dtype),
+                "shape": list(raw.shape),
+                "offset": offset,
+                "nbytes": nbytes,
+            }
+            chunks.append(raw.tobytes())
+            offset += nbytes
+        meta = dict(meta)
+        meta["__arrays__"] = descriptors
+        meta_bytes = _dump_json(meta)
+        self._file.write(_U32.pack(kind))
+        self._file.write(_U32.pack(len(meta_bytes)))
+        self._file.write(_U64.pack(offset))
+        self._file.write(meta_bytes)
+        for chunk in chunks:
+            self._file.write(chunk)
+        self.events_written += 1
+
+    @property
+    def bytes_written(self) -> int:
+        """Bytes written to the file so far."""
+        return self._file.tell() if not self._closed else 0
+
+    def close(self, footer: Optional[dict] = None) -> int:
+        """Write the footer, patch its offset, and close the file.
+
+        Returns the final file size in bytes.
+        """
+        if self._closed:
+            raise TraceError(f"trace {self.path!r} is already closed")
+        footer = dict(footer or {})
+        footer.setdefault("events", self.events_written)
+        footer_offset = self._file.tell()
+        footer_bytes = _dump_json(footer)
+        self._file.write(_U64.pack(len(footer_bytes)))
+        self._file.write(footer_bytes)
+        size = self._file.tell()
+        self._file.seek(_FOOTER_OFFSET_POS)
+        self._file.write(_U64.pack(footer_offset))
+        self._file.close()
+        self._closed = True
+        return size
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if not self._closed:
+            self.close()
+
+
+class TraceReader:
+    """Reads a ``.vetrace`` file: header/footer eagerly, events lazily."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._file = open(path, "rb")
+        magic = self._file.read(len(MAGIC))
+        if magic != MAGIC:
+            raise TraceError(f"{path!r} is not a ValueExpert trace")
+        self.version = _U32.unpack(self._read_exact(_U32.size))[0]
+        if self.version != VERSION:
+            raise TraceError(
+                f"{path!r} has trace format version {self.version}; "
+                f"this reader understands version {VERSION} only"
+            )
+        self._footer_offset = _U64.unpack(self._read_exact(_U64.size))[0]
+        if self._footer_offset == 0:
+            raise TraceError(
+                f"{path!r} was never closed (truncated recording)"
+            )
+        header_len = _U32.unpack(self._read_exact(_U32.size))[0]
+        self.header: dict = json.loads(self._read_exact(header_len))
+        self._events_start = self._file.tell()
+        self._file.seek(self._footer_offset)
+        footer_len = _U64.unpack(self._read_exact(_U64.size))[0]
+        self.footer: dict = json.loads(self._read_exact(footer_len))
+        self._file.seek(self._events_start)
+
+    def _read_exact(self, nbytes: int) -> bytes:
+        data = self._file.read(nbytes)
+        if len(data) != nbytes:
+            raise TraceError(f"{self.path!r} is truncated")
+        return data
+
+    def events(self) -> Iterator[Tuple[int, dict, ArrayDict]]:
+        """Yield ``(kind, meta, arrays)`` per frame, in recorded order."""
+        self._file.seek(self._events_start)
+        while self._file.tell() < self._footer_offset:
+            kind = _U32.unpack(self._read_exact(_U32.size))[0]
+            meta_len = _U32.unpack(self._read_exact(_U32.size))[0]
+            payload_len = _U64.unpack(self._read_exact(_U64.size))[0]
+            meta = json.loads(self._read_exact(meta_len))
+            payload = self._read_exact(payload_len)
+            arrays: ArrayDict = {}
+            for name, desc in meta.pop("__arrays__", {}).items():
+                start = desc["offset"]
+                raw = payload[start : start + desc["nbytes"]]
+                arrays[name] = np.frombuffer(
+                    raw, dtype=np.dtype(desc["dtype"])
+                ).reshape(desc["shape"]).copy()
+            yield kind, meta, arrays
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the trace file in bytes."""
+        position = self._file.tell()
+        self._file.seek(0, 2)
+        size = self._file.tell()
+        self._file.seek(position)
+        return size
+
+    def close(self) -> None:
+        """Close the underlying file."""
+        self._file.close()
+
+    def __enter__(self) -> "TraceReader":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

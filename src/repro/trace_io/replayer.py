@@ -1,0 +1,365 @@
+"""TraceReplayer — re-emits a recorded run through the listener bus.
+
+The replayer reads a ``.vetrace`` file and plays its events to
+subscribed :class:`~repro.gpu.runtime.RuntimeListener`\\ s with the same
+begin/effect/end discipline as the live :class:`~repro.gpu.runtime.
+GpuRuntime`: ``on_api_begin`` fires before the event's memory effect is
+applied, ``on_api_end`` after.  Any bus consumer — the data collector,
+the GVProf baseline, race/reuse analyzers — works over a replay
+unchanged, which is the point: one recording, N analyses.
+
+Device state is reconstructed exactly, without executing any kernel:
+
+- allocations are re-created at their recorded ids/addresses over
+  private zero-filled arenas (matching the zero-filled live arena);
+- memcpy/memset effects are re-applied from recorded host data and the
+  replayed device state;
+- kernel launches write back the recorded post-launch contents of every
+  written allocation.
+
+Instrumentation decisions are made by the *replay* listeners, exactly
+as on the live bus: the replayer polls ``instrument_kernel`` and
+``sample_blocks`` per launch, then serves the recorded access records
+filtered through the listeners' block mask (mirroring the live
+per-record accounting).  Listeners can therefore narrow a maximal
+recording — fine-pass kernel filters, sampling — but cannot widen it:
+a launch recorded without records replays without records.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+import repro.obs as telemetry
+from repro.errors import TraceError
+from repro.gpu.kernel import Kernel
+from repro.gpu.memory import Allocation
+from repro.gpu.runtime import (
+    ApiEvent,
+    FreeEvent,
+    HostArray,
+    KernelLaunchEvent,
+    MallocEvent,
+    MemcpyEvent,
+    MemcpyKind,
+    MemsetEvent,
+    RuntimeListener,
+)
+from repro.gpu.timing import KernelStats
+from repro.trace_io.codec import (
+    decode_access_record,
+    decode_call_path,
+    decode_kernel,
+    dtype_from_name,
+)
+from repro.trace_io.format import (
+    EVENT_FREE,
+    EVENT_LAUNCH,
+    EVENT_MALLOC,
+    EVENT_MEMCPY,
+    EVENT_MEMSET,
+    TraceReader,
+)
+
+
+class _ReplayArena:
+    """Private byte store backing one replayed allocation.
+
+    Exposes the two attributes :class:`~repro.gpu.memory.Allocation`
+    expects of its memory (``base``, ``_arena``) with ``base`` equal to
+    the allocation's own address, so the allocation's typed views start
+    at offset 0 of a dedicated zero-filled buffer — matching the
+    zero-fill the live allocator performs.
+    """
+
+    def __init__(self, address: int, size: int):
+        self.base = address
+        self._arena = np.zeros(size, dtype=np.uint8)
+
+
+def _make_allocation(desc: dict) -> Allocation:
+    """Materialize a replayed allocation from its wire descriptor."""
+    return Allocation(
+        alloc_id=desc["alloc_id"],
+        address=desc["address"],
+        size=desc["size"],
+        dtype=dtype_from_name(desc["dtype"]),
+        label=desc["label"],
+        memory=_ReplayArena(desc["address"], desc["size"]),
+        freed=bool(desc.get("freed", False)),
+    )
+
+
+class TraceReplayer:
+    """Plays a recorded event stream to runtime listeners."""
+
+    def __init__(self, path: str):
+        self._reader = TraceReader(path)
+        self.path = path
+        self.header: dict = self._reader.header
+        #: Kernel stubs from the trace footer (line maps + binaries,
+        #: no executable body) — enough for offline type slicing.
+        self.kernels: Dict[str, Kernel] = {
+            data["name"]: decode_kernel(data)
+            for data in self._reader.footer.get("kernels", [])
+        }
+        self.listeners: List[RuntimeListener] = []
+        #: Live replayed allocations, keyed (alloc_id, address) — both,
+        #: because the shared-memory arena numbers its ids independently
+        #: of the global arena, so ids alone can collide.
+        self._allocs: Dict[Tuple[int, int], Allocation] = {}
+        self.events_replayed = 0
+
+    # -- listener management (GpuRuntime-compatible) -----------------------
+
+    def subscribe(self, listener: RuntimeListener) -> None:
+        """Attach a consumer to the replay bus."""
+        if listener in self.listeners:
+            raise TraceError("listener already subscribed to the replay")
+        self.listeners.append(listener)
+
+    def unsubscribe(self, listener: RuntimeListener) -> None:
+        """Detach a consumer from the replay bus."""
+        self.listeners.remove(listener)
+
+    # -- replay -------------------------------------------------------------
+
+    def replay(self) -> int:
+        """Play every recorded event, in order; returns the event count."""
+        span = (
+            telemetry.tracer().begin("trace.replay", path=self.path)
+            if telemetry.ENABLED
+            else None
+        )
+        started = time.perf_counter()
+        count = 0
+        for kind, meta, arrays in self._reader.events():
+            self._replay_one(kind, meta, arrays)
+            count += 1
+        self.events_replayed += count
+        if span is not None:
+            span.end()
+            elapsed = time.perf_counter() - started
+            telemetry.counter(
+                "repro_trace_replay_events_total",
+                "Recorded events re-emitted through the replay bus.",
+            ).inc(count)
+            telemetry.histogram(
+                "repro_trace_replay_seconds",
+                "Wall time of full trace replays.",
+            ).observe(elapsed)
+            if elapsed > 0:
+                telemetry.gauge(
+                    "repro_trace_replay_events_per_second",
+                    "Throughput of the most recent trace replay.",
+                ).set(count / elapsed)
+        return count
+
+    def close(self) -> None:
+        """Close the underlying trace file."""
+        self._reader.close()
+
+    def __enter__(self) -> "TraceReplayer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- event dispatch ------------------------------------------------------
+
+    def _replay_one(self, kind: int, meta: dict, arrays: dict) -> None:
+        if kind == EVENT_MALLOC:
+            self._replay_malloc(meta)
+        elif kind == EVENT_FREE:
+            self._replay_free(meta)
+        elif kind == EVENT_MEMCPY:
+            self._replay_memcpy(meta, arrays)
+        elif kind == EVENT_MEMSET:
+            self._replay_memset(meta)
+        elif kind == EVENT_LAUNCH:
+            self._replay_launch(meta, arrays)
+        else:
+            raise TraceError(f"unknown event kind {kind} in {self.path!r}")
+
+    def _begin(self, event: ApiEvent) -> None:
+        for listener in self.listeners:
+            listener.on_api_begin(event)
+
+    def _end(self, event: ApiEvent, time_s: float) -> None:
+        event.time_s = time_s
+        for listener in self.listeners:
+            listener.on_api_end(event)
+
+    def _common(self, meta: dict) -> dict:
+        return {
+            "seq": meta["seq"],
+            "call_path": decode_call_path(meta["call_path"]),
+            "annotation": tuple(meta["annotation"]),
+            "stream": meta["stream"],
+        }
+
+    def _resolve(self, desc: Optional[dict]) -> Optional[Allocation]:
+        """Find (or lazily adopt) the replayed allocation of a descriptor.
+
+        Descriptors of allocations never seen as MALLOC events — shared
+        memory, or objects allocated before the recorder attached — get
+        a transient allocation carrying the recorded identity, exactly
+        as the live bus hands out handles the collector has not seen.
+        """
+        if desc is None:
+            return None
+        alloc = self._allocs.get((desc["alloc_id"], desc["address"]))
+        if alloc is None:
+            alloc = _make_allocation(desc)
+        return alloc
+
+    # -- per-event replay -----------------------------------------------------
+
+    def _replay_malloc(self, meta: dict) -> None:
+        event = MallocEvent(**self._common(meta))
+        self._begin(event)
+        alloc = _make_allocation(meta["alloc"])
+        self._allocs[(alloc.alloc_id, alloc.address)] = alloc
+        event.alloc = alloc
+        self._end(event, meta["time_s"])
+
+    def _replay_free(self, meta: dict) -> None:
+        desc = meta["alloc"]
+        alloc = self._resolve(desc)
+        alloc.freed = False  # live FreeEvent carries a still-live handle
+        event = FreeEvent(alloc=alloc, **self._common(meta))
+        self._begin(event)
+        alloc.freed = True
+        self._allocs.pop((alloc.alloc_id, alloc.address), None)
+        self._end(event, meta["time_s"])
+
+    def _replay_memcpy(self, meta: dict, arrays: dict) -> None:
+        dst = self._resolve(meta["dst"])
+        src = self._resolve(meta["src"])
+        host = None
+        if "host" in arrays:
+            host = HostArray(arrays["host"], label=meta["host_label"])
+        kind = MemcpyKind(meta["kind"])
+        nbytes = meta["nbytes"]
+        event = MemcpyEvent(
+            kind=kind,
+            nbytes=nbytes,
+            dst_alloc=dst,
+            src_alloc=src,
+            host_array=host,
+            **self._common(meta),
+        )
+        self._begin(event)
+        # Re-apply the copy's device effect (same arithmetic as the
+        # live runtime).  D2H needs no device write; the recorded host
+        # array already holds the post-copy contents.
+        if kind is MemcpyKind.HOST_TO_DEVICE and dst is not None:
+            count = nbytes // dst.dtype.itemsize
+            dst.write(
+                np.arange(count),
+                host.data.ravel()[:count].astype(dst.dtype.np_dtype),
+            )
+        elif kind is MemcpyKind.DEVICE_TO_DEVICE and dst is not None:
+            count = nbytes // dst.dtype.itemsize
+            src_count = nbytes // src.dtype.itemsize
+            raw = src.read(np.arange(src_count)).view(np.uint8)[
+                : count * dst.dtype.itemsize
+            ]
+            dst.write(np.arange(count), raw.view(dst.dtype.np_dtype))
+        self._end(event, meta["time_s"])
+
+    def _replay_memset(self, meta: dict) -> None:
+        alloc = self._resolve(meta["alloc"])
+        event = MemsetEvent(
+            alloc=alloc,
+            byte_value=meta["byte_value"],
+            nbytes=meta["nbytes"],
+            **self._common(meta),
+        )
+        self._begin(event)
+        count = meta["nbytes"] // alloc.dtype.itemsize
+        pattern = np.full(
+            count * alloc.dtype.itemsize, meta["byte_value"], dtype=np.uint8
+        ).view(alloc.dtype.np_dtype)
+        alloc.write(np.arange(count), pattern)
+        self._end(event, meta["time_s"])
+
+    def _replay_launch(self, meta: dict, arrays: dict) -> None:
+        kernel = self.kernels.get(meta["kernel"])
+        if kernel is None:
+            raise TraceError(
+                f"kernel {meta['kernel']!r} missing from the trace's "
+                f"kernel table (unclosed recording?)"
+            )
+        grid = meta["grid"]
+        block = meta["block"]
+        # The *replay* listeners decide instrumentation, exactly as on
+        # the live bus; they can narrow the recording, never widen it.
+        instrument = any(
+            listener.instrument_kernel(kernel, grid, block)
+            for listener in self.listeners
+        )
+        sampled = None
+        if instrument:
+            for listener in self.listeners:
+                mask = listener.sample_blocks(kernel, grid)
+                if mask is not None:
+                    sampled = np.asarray(mask, dtype=bool)
+                    break
+        event = KernelLaunchEvent(
+            kernel=kernel,
+            grid=grid,
+            block=block,
+            instrumented=instrument,
+            sampled_blocks=sampled,
+            **self._common(meta),
+        )
+        self._begin(event)
+        # Restore post-launch device state from the recorded contents.
+        for index, post in enumerate(meta["post"]):
+            alloc = self._allocs.get((post["alloc_id"], post["address"]))
+            if alloc is not None:
+                alloc.write_all(arrays[f"p{index}"])
+        event.shared_ranges = [
+            (start, end, dtype_from_name(name))
+            for start, end, name in meta["shared_ranges"]
+        ]
+        if instrument:
+            event.records = self._filter_records(meta, arrays, sampled)
+        stats = meta["stats"]
+        event.stats = None if stats is None else KernelStats(**stats)
+        event.touched = [
+            (self._resolve(entry["alloc"]), entry["nread"], entry["nwritten"])
+            for entry in meta["touched"]
+        ]
+        self._end(event, meta["time_s"])
+
+    def _filter_records(self, meta, arrays, sampled) -> list:
+        """Recorded records, narrowed by the replay block mask.
+
+        Mirrors the live per-record accounting: a record whose blocks
+        all fall outside the mask is dropped; otherwise its per-thread
+        vectors are sliced to the surviving threads.
+        """
+        records = []
+        for index, record_meta in enumerate(meta["records"]):
+            record = decode_access_record(record_meta, arrays, index)
+            if sampled is not None:
+                mask = sampled[record.block_ids]
+                if not mask.any():
+                    continue
+                record = type(record)(
+                    pc=record.pc,
+                    kind=record.kind,
+                    addresses=record.addresses[mask],
+                    values=record.values[mask],
+                    dtype=record.dtype,
+                    kernel_name=record.kernel_name,
+                    thread_ids=record.thread_ids[mask],
+                    block_ids=record.block_ids[mask],
+                )
+            records.append(record)
+        return records

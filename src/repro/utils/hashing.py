@@ -3,21 +3,100 @@
 The paper (Section 5.1) groups data objects by the SHA256 digest of their
 value snapshots: objects sharing a digest after some GPU API are reported
 as *duplicate values*.
+
+Digests are *chunked*: a snapshot's raw bytes are split into fixed-size
+chunks, each chunk hashed separately, and the chunk digests combined.
+Arrays not exceeding one chunk keep the plain SHA256 of their bytes.
+The chunking exists so the snapshot store can maintain digests
+incrementally — after a partial refresh only the dirty chunks are
+rehashed — while standalone callers (host arrays, the coarse detector)
+compute the identical digest by hashing every chunk.  Every consumer
+must go through this module so device and host digests stay comparable.
 """
 
 from __future__ import annotations
 
 import hashlib
+from typing import Iterable, List, Sequence, Tuple
 
 import numpy as np
 
+#: Chunk granularity of incremental snapshot hashing (bytes).
+DIGEST_CHUNK_BYTES = 64 * 1024
+
+
+def _raw_view(snapshot: np.ndarray) -> memoryview:
+    data = np.ascontiguousarray(snapshot)
+    return memoryview(data).cast("B")
+
+
+def chunk_digests(snapshot: np.ndarray) -> List[str]:
+    """Per-chunk SHA256 hex digests of a snapshot's raw bytes.
+
+    The final chunk may be short; an empty snapshot yields one digest
+    (of zero bytes) so every object has a well-defined digest.
+    """
+    raw = _raw_view(snapshot)
+    nbytes = raw.nbytes
+    if nbytes == 0:
+        return [hashlib.sha256(b"").hexdigest()]
+    return [
+        hashlib.sha256(raw[offset : offset + DIGEST_CHUNK_BYTES]).hexdigest()
+        for offset in range(0, nbytes, DIGEST_CHUNK_BYTES)
+    ]
+
+
+def refresh_chunk_digests(
+    snapshot: np.ndarray,
+    chunks: List[str],
+    byte_ranges: Iterable[Tuple[int, int]],
+) -> List[str]:
+    """Rehash, in place, only the chunks overlapping ``byte_ranges``.
+
+    ``chunks`` must be the chunk digests of the snapshot *before* the
+    bytes in ``byte_ranges`` changed; after the call it matches
+    :func:`chunk_digests` of the current contents.  Ranges are
+    ``(lo, hi)`` byte offsets into the snapshot, clamped to its size.
+    """
+    raw = _raw_view(snapshot)
+    nbytes = raw.nbytes
+    nchunks = len(chunks)
+    dirty = set()
+    for lo, hi in byte_ranges:
+        lo = max(0, int(lo))
+        hi = min(nbytes, int(hi))
+        if hi <= lo:
+            continue
+        first = lo // DIGEST_CHUNK_BYTES
+        last = min((hi - 1) // DIGEST_CHUNK_BYTES, nchunks - 1)
+        dirty.update(range(first, last + 1))
+    for index in dirty:
+        offset = index * DIGEST_CHUNK_BYTES
+        chunks[index] = hashlib.sha256(
+            raw[offset : offset + DIGEST_CHUNK_BYTES]
+        ).hexdigest()
+    return chunks
+
+
+def combine_digests(chunks: Sequence[str]) -> str:
+    """Fold chunk digests into one object digest.
+
+    A single chunk passes through unchanged, so small snapshots hash
+    exactly as ``sha256(raw bytes)``.
+    """
+    if len(chunks) == 1:
+        return chunks[0]
+    joined = hashlib.sha256()
+    for chunk in chunks:
+        joined.update(bytes.fromhex(chunk))
+    return joined.hexdigest()
+
 
 def snapshot_digest(snapshot: np.ndarray) -> str:
-    """Return the SHA256 hex digest of a value snapshot.
+    """Return the (chunk-combined) SHA256 hex digest of a snapshot.
 
-    The digest is computed over the raw bytes of the snapshot, so two
-    objects only hash equal when they are bitwise identical — exactly the
-    paper's criterion for the duplicate-values pattern.
+    Two objects only hash equal when they are bitwise identical —
+    exactly the paper's criterion for the duplicate-values pattern.
 
     Parameters
     ----------
@@ -25,8 +104,7 @@ def snapshot_digest(snapshot: np.ndarray) -> str:
         Any numpy array; it is viewed as raw bytes (C-contiguous copy is
         made if needed).
     """
-    data = np.ascontiguousarray(snapshot)
-    return hashlib.sha256(data.tobytes()).hexdigest()
+    return combine_digests(chunk_digests(snapshot))
 
 
 def bytes_digest(data: bytes) -> str:

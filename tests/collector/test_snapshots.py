@@ -111,3 +111,92 @@ def test_forget_stops_tracking(setup):
     _, store, obj, _ = setup
     store.forget(obj)
     assert not store.is_tracked(obj.alloc_id)
+
+
+# -- incremental digests and partial-plan refresh ----------------------------
+
+
+def _segment_plan(obj, lo_el, hi_el):
+    itemsize = obj.dtype.itemsize
+    return CopyPlan(
+        strategy=CopyStrategy.SEGMENT,
+        ranges=((obj.address + lo_el * itemsize, obj.address + hi_el * itemsize),),
+        bytes_transferred=(hi_el - lo_el) * itemsize,
+        invocations=1,
+        cost_bytes=(hi_el - lo_el) * itemsize,
+    )
+
+
+def test_digest_matches_full_snapshot_hash(setup):
+    from repro.utils.hashing import snapshot_digest
+
+    _, store, obj, alloc = setup
+    assert store.digest(obj.alloc_id) == snapshot_digest(
+        store.snapshot(obj.alloc_id)
+    )
+
+
+def test_digest_untracked_rejected():
+    store = SnapshotStore()
+    with pytest.raises(CollectionError):
+        store.digest(99)
+
+
+def test_refresh_plan_keeps_digest_consistent(setup):
+    from repro.utils.hashing import snapshot_digest
+
+    _, store, obj, alloc = setup
+    alloc.write_all(np.full(alloc.nelems, 3.0, np.float32))
+    store.refresh_plan(obj, _segment_plan(obj, 16, 48))
+    snap = store.snapshot(obj.alloc_id)
+    assert np.all(snap[16:48] == 3.0)
+    assert store.digest(obj.alloc_id) == snapshot_digest(snap)
+
+
+def test_refresh_full_resets_digest(setup):
+    from repro.utils.hashing import snapshot_digest
+
+    _, store, obj, alloc = setup
+    stale = store.digest(obj.alloc_id)
+    alloc.write_all(np.full(alloc.nelems, 9.0, np.float32))
+    store.refresh_full(obj)
+    assert store.digest(obj.alloc_id) != stale
+    assert store.digest(obj.alloc_id) == snapshot_digest(
+        store.snapshot(obj.alloc_id)
+    )
+
+
+def test_refresh_plan_does_not_copy_the_whole_object(setup):
+    """The returned ``before`` is the store's previous mirror itself;
+    only ``after`` is a fresh array (copy-on-refresh, not copy-twice)."""
+    _, store, obj, alloc = setup
+    previous = store.snapshot(obj.alloc_id)
+    alloc.write_all(np.full(alloc.nelems, 5.0, np.float32))
+    before, after = store.refresh_plan(obj, _segment_plan(obj, 0, 8))
+    assert before is previous
+    assert after is store.snapshot(obj.alloc_id)
+    assert after is not previous
+
+
+def test_refresh_plan_multiple_ranges_digest(setup):
+    from repro.utils.hashing import snapshot_digest
+
+    _, store, obj, alloc = setup
+    alloc.write_all(np.arange(alloc.nelems, dtype=np.float32))
+    itemsize = obj.dtype.itemsize
+    plan = CopyPlan(
+        strategy=CopyStrategy.SEGMENT,
+        ranges=(
+            (obj.address, obj.address + 8 * itemsize),
+            (obj.address + 128 * itemsize, obj.address + 160 * itemsize),
+        ),
+        bytes_transferred=40 * itemsize,
+        invocations=2,
+        cost_bytes=40 * itemsize,
+    )
+    store.refresh_plan(obj, plan)
+    snap = store.snapshot(obj.alloc_id)
+    assert np.all(snap[:8] == np.arange(8))
+    assert np.all(snap[8:128] == 0)
+    assert np.all(snap[128:160] == np.arange(128, 160))
+    assert store.digest(obj.alloc_id) == snapshot_digest(snap)

@@ -91,3 +91,47 @@ def test_fine_only_flag(capsys):
         "--fine-only", "--hot-kernels-only", "--kernel-period", "2",
     ]) == 0
     assert "ValueExpert report" in capsys.readouterr().out
+
+
+def test_record_and_replay_commands(capsys, tmp_path):
+    trace = tmp_path / "bfs.vetrace"
+    assert main([
+        "record", "rodinia/bfs", "--scale", "0.125", "--out", str(trace),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "recorded" in out and str(trace) in out
+    assert trace.exists()
+
+    json_path = tmp_path / "replayed.json"
+    assert main(["replay", str(trace), "--json", str(json_path)]) == 0
+    out = capsys.readouterr().out
+    assert "ValueExpert report" in out
+    assert "rodinia/bfs" in out
+    data = json.loads(json_path.read_text())
+    assert data["workload"] == "rodinia/bfs"
+
+
+def test_replay_gvprof_command(capsys, tmp_path):
+    trace = tmp_path / "bfs.vetrace"
+    main(["record", "rodinia/bfs", "--scale", "0.125", "--out", str(trace)])
+    capsys.readouterr()
+    assert main(["replay", str(trace), "--gvprof"]) == 0
+    assert "GVProf report" in capsys.readouterr().out
+
+
+def test_replay_kernel_filter(capsys, tmp_path):
+    trace = tmp_path / "bp.vetrace"
+    main(["record", "rodinia/backprop", "--scale", "0.125",
+          "--out", str(trace)])
+    capsys.readouterr()
+    assert main([
+        "replay", str(trace), "--fine-only",
+        "--kernels", "bpnn_adjust_weights_cuda",
+    ]) == 0
+    assert "ValueExpert report" in capsys.readouterr().out
+
+
+def test_record_default_output_name(capsys, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    assert main(["record", "rodinia/bfs", "--scale", "0.125"]) == 0
+    assert (tmp_path / "rodinia_bfs.vetrace").exists()

@@ -1,0 +1,130 @@
+"""Tests for the .vetrace container format."""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.trace_io.format import (
+    EVENT_LAUNCH,
+    EVENT_MALLOC,
+    MAGIC,
+    VERSION,
+    TraceReader,
+    TraceWriter,
+)
+
+
+def _trace_path(tmp_path):
+    return str(tmp_path / "t.vetrace")
+
+
+def test_header_and_footer_round_trip(tmp_path):
+    path = _trace_path(tmp_path)
+    writer = TraceWriter(path, header={"workload": "wl", "n": 3})
+    writer.close({"kernels": []})
+    reader = TraceReader(path)
+    assert reader.header == {"workload": "wl", "n": 3}
+    assert reader.footer == {"kernels": [], "events": 0}
+    assert reader.version == VERSION
+    reader.close()
+
+
+def test_event_round_trip_preserves_meta_and_arrays(tmp_path):
+    path = _trace_path(tmp_path)
+    values = np.linspace(0.0, 1.0, 7, dtype=np.float32)
+    ids = np.arange(12, dtype=np.int64).reshape(3, 4)
+    empty = np.empty(0, dtype=np.uint64)
+    with TraceWriter(path) as writer:
+        writer.write_event(EVENT_MALLOC, {"alloc": {"alloc_id": 1}}, {})
+        writer.write_event(
+            EVENT_LAUNCH,
+            {"kernel": "k", "grid": 4},
+            {"val": values, "ids": ids, "none": empty},
+        )
+    with TraceReader(path) as reader:
+        events = list(reader.events())
+    assert [kind for kind, _, _ in events] == [EVENT_MALLOC, EVENT_LAUNCH]
+    assert events[0][1] == {"alloc": {"alloc_id": 1}}
+    kind, meta, arrays = events[1]
+    assert meta == {"kernel": "k", "grid": 4}
+    np.testing.assert_array_equal(arrays["val"], values)
+    assert arrays["val"].dtype == np.float32
+    np.testing.assert_array_equal(arrays["ids"], ids)
+    assert arrays["ids"].shape == (3, 4)
+    assert arrays["none"].size == 0 and arrays["none"].dtype == np.uint64
+
+
+def test_arrays_are_stored_raw_not_pickled(tmp_path):
+    path = _trace_path(tmp_path)
+    payload = np.arange(4, dtype=np.uint8)
+    with TraceWriter(path) as writer:
+        writer.write_event(EVENT_MALLOC, {}, {"raw": payload})
+    blob = open(path, "rb").read()
+    assert payload.tobytes() in blob
+    assert b"\x80\x04" not in blob[: len(MAGIC)]  # no pickle protocol header
+    assert blob.startswith(MAGIC)
+
+
+def test_footer_records_event_count(tmp_path):
+    path = _trace_path(tmp_path)
+    with TraceWriter(path) as writer:
+        for _ in range(5):
+            writer.write_event(EVENT_MALLOC, {}, {})
+    with TraceReader(path) as reader:
+        assert reader.footer["events"] == 5
+        assert len(list(reader.events())) == 5
+
+
+def test_rejects_non_trace_file(tmp_path):
+    path = _trace_path(tmp_path)
+    with open(path, "wb") as handle:
+        handle.write(b"definitely not a trace")
+    with pytest.raises(TraceError, match="not a ValueExpert trace"):
+        TraceReader(path)
+
+
+def test_rejects_unknown_version(tmp_path):
+    path = _trace_path(tmp_path)
+    TraceWriter(path).close()
+    data = bytearray(open(path, "rb").read())
+    data[len(MAGIC) : len(MAGIC) + 4] = struct.pack("<I", VERSION + 1)
+    with open(path, "wb") as handle:
+        handle.write(data)
+    with pytest.raises(TraceError, match="version"):
+        TraceReader(path)
+
+
+def test_rejects_unclosed_trace(tmp_path):
+    path = _trace_path(tmp_path)
+    writer = TraceWriter(path)
+    writer.write_event(EVENT_MALLOC, {}, {})
+    writer._file.flush()
+    # Simulate a crash: copy the file before close() patches the footer.
+    crashed = str(tmp_path / "crashed.vetrace")
+    with open(crashed, "wb") as handle:
+        handle.write(open(path, "rb").read())
+    writer.close()
+    with pytest.raises(TraceError, match="never closed"):
+        TraceReader(crashed)
+
+
+def test_rejects_truncated_payload(tmp_path):
+    path = _trace_path(tmp_path)
+    with TraceWriter(path) as writer:
+        writer.write_event(EVENT_MALLOC, {}, {"a": np.arange(64)})
+    data = open(path, "rb").read()
+    clipped = str(tmp_path / "clipped.vetrace")
+    with open(clipped, "wb") as handle:
+        handle.write(data[: len(data) - 40])
+    with pytest.raises(TraceError):
+        list(TraceReader(clipped).events())
+
+
+def test_write_after_close_fails(tmp_path):
+    path = _trace_path(tmp_path)
+    writer = TraceWriter(path)
+    writer.close()
+    with pytest.raises(TraceError, match="closed"):
+        writer.write_event(EVENT_MALLOC, {}, {})

@@ -54,3 +54,93 @@ def test_nan_payloads_distinguish():
     b_view = b.view(np.uint32)
     b_view[0] ^= 1  # flip a payload bit
     assert snapshot_digest(a) != snapshot_digest(b)
+
+
+# -- chunked / incremental digests ------------------------------------------
+
+
+def test_small_snapshot_digest_is_plain_sha256():
+    """Arrays within one chunk keep the historical plain-sha256 value,
+    so device snapshots stay comparable with host-array digests."""
+    import hashlib
+
+    data = np.arange(100, dtype=np.float32)
+    expected = hashlib.sha256(np.ascontiguousarray(data).tobytes()).hexdigest()
+    assert snapshot_digest(data) == expected
+
+
+def test_chunk_digests_cover_the_array():
+    from repro.utils.hashing import DIGEST_CHUNK_BYTES, chunk_digests
+
+    nbytes = DIGEST_CHUNK_BYTES * 2 + 100
+    data = np.arange(nbytes, dtype=np.uint8)
+    chunks = chunk_digests(data)
+    assert len(chunks) == 3
+
+
+def test_combine_digests_single_chunk_passthrough():
+    from repro.utils.hashing import chunk_digests, combine_digests
+
+    data = np.arange(64, dtype=np.uint8)
+    chunks = chunk_digests(data)
+    assert len(chunks) == 1
+    assert combine_digests(chunks) == chunks[0] == snapshot_digest(data)
+
+
+def test_empty_snapshot_has_a_digest():
+    from repro.utils.hashing import chunk_digests, combine_digests
+
+    empty = np.empty(0, dtype=np.float64)
+    chunks = chunk_digests(empty)
+    assert len(chunks) == 1
+    assert combine_digests(chunks) == snapshot_digest(empty)
+
+
+def test_refresh_chunk_digests_matches_full_rehash():
+    from repro.utils.hashing import (
+        DIGEST_CHUNK_BYTES,
+        chunk_digests,
+        combine_digests,
+        refresh_chunk_digests,
+    )
+
+    rng = np.random.default_rng(7)
+    data = rng.integers(0, 255, DIGEST_CHUNK_BYTES * 3 + 17, dtype=np.uint8)
+    chunks = chunk_digests(data)
+    # Dirty a byte range spanning the chunk 1/2 boundary.
+    lo, hi = DIGEST_CHUNK_BYTES + 5, 2 * DIGEST_CHUNK_BYTES + 9
+    data[lo:hi] ^= 0xFF
+    refreshed = refresh_chunk_digests(data, list(chunks), [(lo, hi)])
+    assert refreshed == chunk_digests(data)
+    assert combine_digests(refreshed) == snapshot_digest(data)
+
+
+def test_refresh_chunk_digests_skips_clean_chunks():
+    from repro.utils.hashing import (
+        DIGEST_CHUNK_BYTES,
+        chunk_digests,
+        refresh_chunk_digests,
+    )
+
+    data = np.zeros(DIGEST_CHUNK_BYTES * 4, dtype=np.uint8)
+    chunks = chunk_digests(data)
+    data[0] = 1  # dirty only chunk 0
+    refreshed = refresh_chunk_digests(data, list(chunks), [(0, 1)])
+    assert refreshed[0] != chunks[0]
+    assert refreshed[1:] == chunks[1:]
+
+
+def test_refresh_chunk_digests_clamps_out_of_bounds_ranges():
+    from repro.utils.hashing import (
+        DIGEST_CHUNK_BYTES,
+        chunk_digests,
+        refresh_chunk_digests,
+    )
+
+    data = np.zeros(DIGEST_CHUNK_BYTES + 10, dtype=np.uint8)
+    chunks = chunk_digests(data)
+    data[-1] = 42
+    refreshed = refresh_chunk_digests(
+        data, list(chunks), [(DIGEST_CHUNK_BYTES, DIGEST_CHUNK_BYTES * 50)]
+    )
+    assert refreshed == chunk_digests(data)
