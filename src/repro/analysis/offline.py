@@ -24,7 +24,7 @@ import repro.obs as telemetry
 from repro.analysis.profile import ValueProfile
 from repro.binary.isa import AccessType
 from repro.binary.slicing import infer_access_types
-from repro.errors import BinaryAnalysisError
+from repro.errors import AnalysisError, BinaryAnalysisError
 from repro.gpu.dtypes import DType
 from repro.gpu.kernel import Kernel
 from repro.patterns.base import ObjectAccessView, PatternConfig
@@ -34,9 +34,13 @@ from repro.patterns.engine import PatternEngine
 class OfflineAnalyzer:
     """Finalizes a profile: type slicing plus source annotation."""
 
-    def __init__(self, config: Optional[PatternConfig] = None):
+    def __init__(self, config: Optional[PatternConfig] = None, health=None):
         self.engine = PatternEngine(config)
         self._type_cache: Dict[str, Dict[int, AccessType]] = {}
+        #: Optional :class:`repro.resilience.HealthReport` — when
+        #: present, skipped groups and attribution misses are counted
+        #: there instead of being swallowed silently.
+        self.health = health
 
     # -- access-type resolution -----------------------------------------------
 
@@ -83,9 +87,11 @@ class OfflineAnalyzer:
             try:
                 mapping = self.resolve_kernel_types(group.kernel)
             except BinaryAnalysisError:
+                self._count_unresolved(group)
                 continue
             access_type = mapping.get(group.pc)
             if access_type is None:
+                self._count_unresolved(group)
                 continue
             values = self.reinterpret(group.raw_values, access_type.dtype)
             view = ObjectAccessView(
@@ -151,7 +157,10 @@ class OfflineAnalyzer:
                 continue
             try:
                 vertex = profile.graph.vertex(vid)
-            except Exception:
+            except (KeyError, AnalysisError):
+                # A hit can outlive its vertex (the object was freed and
+                # its subgraph pruned); count the miss, never hide it.
+                self._count_attribution_miss(hit.api_ref)
                 continue
             if vertex.call_path is not None and len(vertex.call_path):
                 leaf = vertex.call_path.leaf
@@ -160,6 +169,30 @@ class OfflineAnalyzer:
                 )
         if span is not None:
             span.end()
+
+
+    # -- degradation accounting -------------------------------------------
+
+    def _count_unresolved(self, group) -> None:
+        """One untyped group the slicer could not resolve."""
+        if self.health is not None:
+            self.health.unresolved_groups += 1
+        if telemetry.ENABLED:
+            telemetry.counter(
+                "repro_offline_unresolved_groups_total",
+                "Untyped record groups offline slicing could not resolve.",
+            ).inc()
+
+    def _count_attribution_miss(self, api_ref: str) -> None:
+        """One hit whose api_ref no longer resolves to a graph vertex."""
+        if self.health is not None:
+            self.health.attribution_misses += 1
+            self.health.note(f"source attribution missed for {api_ref}")
+        if telemetry.ENABLED:
+            telemetry.counter(
+                "repro_offline_attribution_misses_total",
+                "Pattern hits whose vertex vanished before annotation.",
+            ).inc()
 
 
 def _vertex_id_of(api_ref: str) -> Optional[int]:

@@ -13,6 +13,11 @@ Commands:
 - ``list`` — list registered workloads with their paper metadata;
 - ``table1|table3|table4|table5|figure2|figure3|figure6|casestudies``
   — regenerate a paper table/figure.
+
+Any :class:`~repro.errors.ReproError` (a bad trace file, an
+out-of-memory workload, an invalid configuration) exits nonzero with a
+one-line message on stderr; pass ``--debug`` (before the subcommand)
+to re-raise with the full traceback instead.
 """
 
 from __future__ import annotations
@@ -22,6 +27,7 @@ import sys
 from typing import List, Optional
 
 from repro.analysis.report import render_report
+from repro.errors import ReproError
 from repro.collector.sampling import SamplingConfig
 from repro.experiments import (
     casestudies,
@@ -236,6 +242,11 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="ValueExpert reproduction - GPU value pattern profiling",
     )
+    parser.add_argument(
+        "--debug", action="store_true",
+        help="re-raise ReproError with a full traceback instead of a "
+        "one-line message",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list registered workloads")
@@ -321,9 +332,7 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns a process exit code."""
-    args = build_parser().parse_args(argv)
+def _dispatch(args) -> int:
     if args.command == "list":
         return _cmd_list(args)
     if args.command == "profile":
@@ -339,6 +348,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "view":
         return _cmd_view(args)
     return _experiment_command(args)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ReproError as exc:
+        if args.debug:
+            raise
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

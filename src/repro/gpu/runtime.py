@@ -158,6 +158,13 @@ class KernelLaunchEvent(ApiEvent):
     #: (start, end, DType) of per-launch shared-memory objects; the
     #: paper treats the whole shared memory as one data object.
     shared_ranges: List[Tuple[int, int, DType]] = field(default_factory=list)
+    #: The kernel raised mid-launch and was quarantined by a resilient
+    #: runtime; ``fault`` carries the rendered exception.
+    faulted: bool = False
+    fault: str = ""
+    #: Per-thread accesses reported lost by the measurement substrate
+    #: (the hardware drop counter a real buffer overflow would bump).
+    dropped_records: int = 0
 
     @property
     def api_name(self) -> str:
@@ -216,6 +223,13 @@ class GpuRuntime:
         self.device = device or Device()
         self.platform = platform
         self.listeners: List[RuntimeListener] = []
+        #: Optional :class:`repro.resilience.FaultInjector` consulted at
+        #: each interception point (None outside chaos runs).
+        self.fault_injector = None
+        #: When True, kernels that raise are quarantined (event.faulted)
+        #: instead of propagating; the default keeps raise-through
+        #: semantics so workloads see their own bugs.
+        self.resilient = False
         self.times = TimeBreakdown()
         self._seq = 0
         self.api_events: int = 0
@@ -313,6 +327,10 @@ class GpuRuntime:
         self, nelems: int, dtype: DType = DType.FLOAT32, label: str = ""
     ) -> Allocation:
         """Allocate ``nelems`` elements of ``dtype`` on the device."""
+        if self.fault_injector is not None:
+            # Before _begin, so the listener bus stays balanced when the
+            # injected OutOfMemoryError propagates to the workload.
+            self.fault_injector.on_malloc(nelems * dtype.itemsize, label)
         event = MallocEvent(seq=self._next_seq(), call_path=capture_call_path())
         self._begin(event)
         alloc = self.device.memory.malloc(nelems * dtype.itemsize, dtype, label)
@@ -350,6 +368,8 @@ class GpuRuntime:
             np.arange(count),
             src.data.ravel()[:count].astype(dst.dtype.np_dtype),
         )
+        if self.fault_injector is not None:
+            self.fault_injector.maybe_corrupt(alloc=dst)
         event.time_s = self.platform.memcpy_time(nbytes, over_pcie=True)
         self.times.add_memory(event.time_s)
         self._commit_time(event.stream, event.time_s)
@@ -371,6 +391,8 @@ class GpuRuntime:
         count = nbytes // src.dtype.itemsize
         flat = dst.data.reshape(-1)
         flat[:count] = src.read(np.arange(count)).astype(dst.data.dtype)
+        if self.fault_injector is not None:
+            self.fault_injector.maybe_corrupt(host=dst)
         event.time_s = self.platform.memcpy_time(nbytes, over_pcie=True)
         self.times.add_memory(event.time_s)
         self._commit_time(event.stream, event.time_s)
@@ -394,6 +416,8 @@ class GpuRuntime:
             : count * dst.dtype.itemsize
         ]
         dst.write(np.arange(count), raw.view(dst.dtype.np_dtype))
+        if self.fault_injector is not None:
+            self.fault_injector.maybe_corrupt(alloc=dst)
         event.time_s = self.platform.memcpy_time(nbytes, over_pcie=False)
         self.times.add_memory(event.time_s)
         self._commit_time(event.stream, event.time_s)
@@ -486,7 +510,17 @@ class GpuRuntime:
             else None
         )
         try:
+            if self.fault_injector is not None:
+                self.fault_injector.on_kernel_enter(kernel_obj.name)
             kernel_obj(ctx, *args)
+        except Exception as exc:
+            if not self.resilient:
+                raise
+            # Quarantine: the launch stays on the timeline (flow graph,
+            # touched summary) but is marked so analyzers exclude its
+            # partial measurements from pattern mining.
+            event.faulted = True
+            event.fault = f"{type(exc).__name__}: {exc}"
         finally:
             if kernel_span is not None:
                 kernel_span.end()
@@ -501,6 +535,8 @@ class GpuRuntime:
             (alloc, nread, nwritten)
             for alloc, nread, nwritten in ctx.touched.values()
         ]
+        if self.fault_injector is not None and event.records:
+            self.fault_injector.mangle_records(event)
         event.time_s = self.platform.kernel_time(ctx.stats)
         self.times.add_kernel(kernel_obj.name, event.time_s)
         self._commit_time(event.stream, event.time_s)

@@ -1,0 +1,276 @@
+"""Deterministic, seeded fault injection for the profiling pipeline.
+
+The harness models the failures a production profiler rides through
+when attached to a real GPU application:
+
+- **allocation failures** mid-workload (``cudaMalloc`` returning
+  ``cudaErrorMemoryAllocation``);
+- **bit corruption** on memcpy destinations (flaky links, bad DIMMs);
+- **dropped and torn access-record buffers** (the measurement buffer
+  overflowing or a flush being cut short);
+- **kernels raising mid-launch** (device-side assert / sticky error);
+- **torn ``.vetrace`` writes** (the recording process dying mid-frame).
+
+A :class:`FaultPlan` is a frozen, *seeded* description of which faults
+fire and how often; a :class:`FaultInjector` executes the plan with a
+private :class:`numpy.random.Generator`, so the same plan over the same
+workload injects the exact same fault sequence — chaos runs are
+reproducible and shrinkable.  The injector keeps a ground-truth log of
+everything it fired, which the facade folds into the run's
+:class:`~repro.resilience.health.HealthReport`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import FaultInjected, InvalidValueError, OutOfMemoryError
+
+
+class FaultKind(enum.Enum):
+    """The fault classes the harness can inject."""
+
+    ALLOC_FAILURE = "alloc_failure"
+    CORRUPTION = "corruption"
+    DROPPED_RECORDS = "dropped_records"
+    TORN_RECORDS = "torn_records"
+    KERNEL_RAISE = "kernel_raise"
+    TRACE_TEAR = "trace_tear"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, deterministic description of the faults to inject.
+
+    All rates are per-opportunity probabilities in ``[0, 1]``: one draw
+    per ``malloc`` (allocation failure), per memcpy (corruption), per
+    instrumented launch (record drops/tears), per launch (kernel raise).
+    ``trace_tear_after`` tears the ``.vetrace`` being recorded once,
+    after that many events have been written (``None`` never tears).
+
+    The default plan is empty: a run under ``FaultPlan()`` is
+    byte-identical to one with no plan at all.
+    """
+
+    seed: int = 0
+    alloc_failure_rate: float = 0.0
+    corruption_rate: float = 0.0
+    record_drop_rate: float = 0.0
+    record_tear_rate: float = 0.0
+    kernel_raise_rate: float = 0.0
+    trace_tear_after: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for name in (
+            "alloc_failure_rate",
+            "corruption_rate",
+            "record_drop_rate",
+            "record_tear_rate",
+            "kernel_raise_rate",
+        ):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise InvalidValueError(
+                    f"{name} must be a probability in [0, 1], got {rate}"
+                )
+        if self.trace_tear_after is not None and self.trace_tear_after < 0:
+            raise InvalidValueError("trace_tear_after must be >= 0 or None")
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether this plan can never fire a fault."""
+        return (
+            self.alloc_failure_rate == 0.0
+            and self.corruption_rate == 0.0
+            and self.record_drop_rate == 0.0
+            and self.record_tear_rate == 0.0
+            and self.kernel_raise_rate == 0.0
+            and self.trace_tear_after is None
+        )
+
+    @classmethod
+    def none(cls) -> "FaultPlan":
+        """The empty plan (explicitly fault-free)."""
+        return cls()
+
+    @classmethod
+    def chaos(cls, seed: int) -> "FaultPlan":
+        """A randomized-but-deterministic plan derived from ``seed``.
+
+        The chaos CLI and the property suite use this: every fault
+        class gets a seed-derived rate, so a seed matrix sweeps the
+        fault space reproducibly.
+        """
+        rng = np.random.default_rng(seed)
+        return cls(
+            seed=seed,
+            alloc_failure_rate=float(rng.uniform(0.0, 0.05)),
+            corruption_rate=float(rng.uniform(0.0, 0.3)),
+            record_drop_rate=float(rng.uniform(0.0, 0.4)),
+            record_tear_rate=float(rng.uniform(0.0, 0.4)),
+            kernel_raise_rate=float(rng.uniform(0.0, 0.25)),
+            trace_tear_after=(
+                int(rng.integers(2, 40)) if rng.random() < 0.5 else None
+            ),
+        )
+
+    def to_dict(self) -> Dict:
+        """JSON-ready description (for the chaos CLI's report)."""
+        return {
+            "seed": self.seed,
+            "alloc_failure_rate": self.alloc_failure_rate,
+            "corruption_rate": self.corruption_rate,
+            "record_drop_rate": self.record_drop_rate,
+            "record_tear_rate": self.record_tear_rate,
+            "kernel_raise_rate": self.kernel_raise_rate,
+            "trace_tear_after": self.trace_tear_after,
+        }
+
+
+class FaultInjector:
+    """Executes a :class:`FaultPlan` against the runtime and trace layer.
+
+    The runtime consults the injector at each interception point; every
+    fired fault is counted in :attr:`counts` and logged in
+    :attr:`events` — the ground truth the health report is checked
+    against by the property suite.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._rng = np.random.default_rng(plan.seed)
+        self.counts: Dict[FaultKind, int] = {kind: 0 for kind in FaultKind}
+        self.events: List[str] = []
+        self._trace_torn = False
+
+    @property
+    def total_injected(self) -> int:
+        """Total faults fired so far, across all kinds."""
+        return sum(self.counts.values())
+
+    def _fire(self, kind: FaultKind, detail: str) -> None:
+        self.counts[kind] += 1
+        self.events.append(f"{kind.value}: {detail}")
+
+    # -- runtime hooks ------------------------------------------------------
+
+    def on_malloc(self, nbytes: int, label: str = "") -> None:
+        """Maybe fail an allocation; raises :class:`OutOfMemoryError`."""
+        if (
+            self.plan.alloc_failure_rate
+            and self._rng.random() < self.plan.alloc_failure_rate
+        ):
+            self._fire(
+                FaultKind.ALLOC_FAILURE,
+                f"{nbytes} bytes for {label or 'anonymous object'}",
+            )
+            raise OutOfMemoryError(
+                f"injected allocation failure ({nbytes} bytes)"
+            )
+
+    def on_kernel_enter(self, kernel_name: str) -> None:
+        """Maybe make a kernel raise; raises :class:`FaultInjected`."""
+        if (
+            self.plan.kernel_raise_rate
+            and self._rng.random() < self.plan.kernel_raise_rate
+        ):
+            self._fire(FaultKind.KERNEL_RAISE, f"kernel {kernel_name!r}")
+            raise FaultInjected(
+                f"injected device-side failure in kernel {kernel_name!r}"
+            )
+
+    def maybe_corrupt(self, alloc=None, host=None) -> None:
+        """Maybe flip bits in a memcpy destination (device or host)."""
+        if not self.plan.corruption_rate:
+            return
+        if self._rng.random() >= self.plan.corruption_rate:
+            return
+        if alloc is not None:
+            data = alloc.read_all()
+            raw = data.view(np.uint8)
+            target = alloc.label
+        elif host is not None:
+            try:
+                raw = host.data.reshape(-1).view(np.uint8)
+            except (AttributeError, ValueError):
+                return
+            data = None
+            target = host.label
+        else:
+            return
+        if raw.size == 0:
+            return
+        nflips = 1 + int(self._rng.integers(0, 8))
+        positions = self._rng.integers(0, raw.size, size=nflips)
+        bits = self._rng.integers(0, 8, size=nflips)
+        raw[positions] ^= (np.uint8(1) << bits.astype(np.uint8))
+        if alloc is not None:
+            alloc.write_all(data)
+        self._fire(
+            FaultKind.CORRUPTION, f"{nflips} bit flip(s) in {target!r}"
+        )
+
+    def mangle_records(self, event) -> None:
+        """Maybe drop a suffix of a launch's records and/or tear the
+        last surviving record (parallel vectors cut, thread/block ids
+        left stale — exactly what a cut-short buffer flush looks like).
+        """
+        records = event.records
+        if not records:
+            return
+        if (
+            self.plan.record_drop_rate
+            and self._rng.random() < self.plan.record_drop_rate
+        ):
+            keep = int(self._rng.integers(0, len(records)))
+            dropped = records[keep:]
+            records = records[:keep]
+            event.records = records
+            naccesses = sum(r.count for r in dropped)
+            event.dropped_records += naccesses
+            self._fire(
+                FaultKind.DROPPED_RECORDS,
+                f"{len(dropped)} record(s) / {naccesses} accesses "
+                f"from {event.kernel.name!r}",
+            )
+        if (
+            records
+            and self.plan.record_tear_rate
+            and self._rng.random() < self.plan.record_tear_rate
+        ):
+            last = records[-1]
+            if last.count > 1:
+                cut = int(self._rng.integers(1, last.count))
+                records[-1] = type(last)(
+                    pc=last.pc,
+                    kind=last.kind,
+                    addresses=last.addresses[:cut],
+                    values=last.values[:cut],
+                    dtype=last.dtype,
+                    kernel_name=last.kernel_name,
+                    thread_ids=last.thread_ids,
+                    block_ids=last.block_ids,
+                )
+                self._fire(
+                    FaultKind.TORN_RECORDS,
+                    f"record cut to {cut}/{last.count} accesses "
+                    f"in {event.kernel.name!r}",
+                )
+
+    # -- trace-layer hooks ---------------------------------------------------
+
+    def take_trace_tear(self, events_written: int) -> bool:
+        """Whether to tear the trace now (fires at most once)."""
+        if self._trace_torn or self.plan.trace_tear_after is None:
+            return False
+        if events_written < self.plan.trace_tear_after:
+            return False
+        self._trace_torn = True
+        self._fire(
+            FaultKind.TRACE_TEAR, f"after {events_written} events"
+        )
+        return True

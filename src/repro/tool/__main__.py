@@ -8,7 +8,15 @@ Commands:
 - ``trace <workload>`` — export the modelled application timeline as
   Chrome-trace JSON; with ``--self``, the profiler's own stage spans
   ride along on a second process row (open in ``chrome://tracing`` or
-  https://ui.perfetto.dev).
+  https://ui.perfetto.dev);
+- ``health <workload>`` — run a resilient (optionally chaos-injected)
+  profile and print its :class:`~repro.resilience.HealthReport`; the
+  exit code stays 0 however degraded the run was — degradation is loud
+  in the report, invisible in the exit code (``docs/resilience.md``).
+
+Any :class:`~repro.errors.ReproError` exits nonzero with a one-line
+message; pass ``--debug`` (before the subcommand) for the full
+traceback.
 
 The application-facing CLI stays at ``python -m repro``; this module is
 the tool-introspection surface (ISSUE 2: "where does profiling time
@@ -18,11 +26,14 @@ go" as a first-class table).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import warnings
 from typing import List, Optional
 
 import repro.obs as telemetry
 from repro.analysis.trace import TraceRecorder
+from repro.errors import DegradedProfileWarning, ReproError
 from repro.gpu.runtime import GpuRuntime
 from repro.gpu.timing import A100, RTX_2080_TI
 from repro.obs.export import merged_trace_json
@@ -31,6 +42,7 @@ from repro.obs.selfreport import (
     price_self_overhead,
     stage_rows,
 )
+from repro.resilience import FaultPlan
 from repro.tool.config import ToolConfig
 from repro.tool.valueexpert import ValueExpert
 from repro.workloads import get_workload, workload_names
@@ -99,12 +111,55 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_health(args) -> int:
+    workload = get_workload(args.workload)(scale=args.scale)
+    plan = FaultPlan.chaos(args.seed) if args.chaos else None
+    tool = ValueExpert(
+        ToolConfig(
+            resilient=True,
+            fault_plan=plan,
+            memory_budget_bytes=args.budget,
+        )
+    )
+    # The report carries the degradation; the warning would only repeat
+    # it on stderr.
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DegradedProfileWarning)
+        profile = tool.profile(
+            workload.run_baseline,
+            platform=_platform(args.platform),
+            name=workload.name,
+        )
+    health = profile.health
+    print(f"health of {profile.workload_name} "
+          f"[{profile.platform_name}]"
+          + (f" under chaos seed {args.seed}" if args.chaos else ""))
+    print(health.summary())
+    if args.json:
+        payload = {
+            "workload": profile.workload_name,
+            "platform": profile.platform_name,
+            "plan": None if plan is None else plan.to_dict(),
+            "health": health.to_dict(),
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote health report to {args.json}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse command tree."""
     parser = argparse.ArgumentParser(
         prog="repro.tool",
         description="Profiler self-telemetry: metrics registry and "
         "self-span timelines",
+    )
+    parser.add_argument(
+        "--debug", action="store_true",
+        help="re-raise ReproError with a full traceback instead of a "
+        "one-line message",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -135,15 +190,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="include the profiler's own stage spans (pid 1)",
     )
     trace.add_argument("--out", help="write the trace JSON to a file")
+
+    health = sub.add_parser(
+        "health",
+        help="run a resilient (optionally fault-injected) profile and "
+        "report its degradation",
+    )
+    health.add_argument("workload", choices=workload_names())
+    health.add_argument("--scale", type=float, default=0.5)
+    health.add_argument(
+        "--platform", choices=["2080ti", "a100"], default="2080ti"
+    )
+    health.add_argument(
+        "--chaos", action="store_true",
+        help="inject a seeded chaos FaultPlan into the run",
+    )
+    health.add_argument(
+        "--seed", type=int, default=0,
+        help="chaos plan seed (with --chaos)",
+    )
+    health.add_argument(
+        "--budget", type=int, default=None,
+        help="collector mirror budget in bytes (degradation ladder)",
+    )
+    health.add_argument("--json", help="write the health report as JSON")
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    if args.command == "stats":
-        return _cmd_stats(args)
-    return _cmd_trace(args)
+    try:
+        if args.command == "stats":
+            return _cmd_stats(args)
+        if args.command == "health":
+            return _cmd_health(args)
+        return _cmd_trace(args)
+    except ReproError as exc:
+        if args.debug:
+            raise
+        print(f"repro.tool: error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -24,6 +24,7 @@ profile from such a file without executing any workload code (see
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, Dict, Optional, Union
 
 import repro.obs as telemetry
@@ -31,10 +32,11 @@ from repro.analysis.offline import OfflineAnalyzer
 from repro.analysis.online import OnlineAnalyzer
 from repro.analysis.profile import ValueProfile
 from repro.collector.collector import DataCollector
-from repro.errors import WorkloadError
+from repro.errors import DegradedProfileWarning, WorkloadError
 from repro.gpu.kernel import Kernel
 from repro.gpu.runtime import GpuRuntime, KernelLaunchEvent, RuntimeListener
 from repro.gpu.timing import Platform, RTX_2080_TI
+from repro.resilience import FaultInjector, FaultKind, HealthReport
 from repro.tool.config import ToolConfig
 from repro.trace_io import TraceRecorder, TraceReplayer
 
@@ -115,6 +117,7 @@ class ValueExpert:
                 telemetry.disable()
 
     def _profile_from_trace(self, trace_path: str, name: str) -> ValueProfile:
+        health = HealthReport() if self.config.resilience_active else None
         online = OnlineAnalyzer(self.config.patterns)
         collector = DataCollector(
             online,
@@ -123,9 +126,13 @@ class ValueExpert:
             sampling=self.config.sampling,
             buffer_bytes=self.config.buffer_bytes,
             copy_policy=self.config.copy_policy,
+            health=health,
+            memory_budget_bytes=self.config.memory_budget_bytes,
         )
         roster = _KernelRoster()
-        with TraceReplayer(trace_path) as replayer:
+        with TraceReplayer(
+            trace_path, salvage=health is not None, health=health
+        ) as replayer:
             workload_name = name or replayer.header.get("workload", "")
             platform_name = replayer.header.get("platform", "")
             collector.attach(replayer)
@@ -137,6 +144,12 @@ class ValueExpert:
             )
             try:
                 replayer.replay()
+            except Exception as exc:
+                if health is None:
+                    raise
+                health.workload_aborted = True
+                health.abort_reason = f"{type(exc).__name__}: {exc}"
+                health.note(f"replay aborted: {health.abort_reason}")
             finally:
                 if replay_span is not None:
                     replay_span.end()
@@ -147,10 +160,11 @@ class ValueExpert:
             workload=workload_name,
             platform=platform_name,
         )
-        offline = OfflineAnalyzer(self.config.patterns)
+        offline = OfflineAnalyzer(self.config.patterns, health=health)
         for hit in offline.analyze_untyped(online.pending_untyped):
             profile.fine_hits.append(hit)
         offline.annotate(profile, kernels=list(roster.kernels.values()))
+        self._finish_health(profile, health, injector=None)
         self.last_collector = collector
         self.last_runtime = None
         return profile
@@ -164,6 +178,14 @@ class ValueExpert:
         record_path: Optional[str] = None,
     ) -> ValueProfile:
         runtime = runtime or GpuRuntime(platform=platform)
+        health: Optional[HealthReport] = None
+        injector: Optional[FaultInjector] = None
+        if self.config.resilience_active:
+            health = HealthReport()
+            runtime.resilient = True
+            if self.config.fault_plan is not None:
+                injector = FaultInjector(self.config.fault_plan)
+                runtime.fault_injector = injector
         online = OnlineAnalyzer(self.config.patterns)
         collector = DataCollector(
             online,
@@ -172,6 +194,8 @@ class ValueExpert:
             sampling=self.config.sampling,
             buffer_bytes=self.config.buffer_bytes,
             copy_policy=self.config.copy_policy,
+            health=health,
+            memory_budget_bytes=self.config.memory_budget_bytes,
         )
         workload_name = (
             name or getattr(workload, "name", "") or _callable_name(workload)
@@ -188,6 +212,7 @@ class ValueExpert:
                     "platform": runtime.platform.name,
                 },
                 instrument="follow",
+                fault_injector=injector,
             )
         collector.attach(runtime)
         runtime.subscribe(roster)
@@ -200,6 +225,15 @@ class ValueExpert:
         )
         try:
             self._run(workload, runtime)
+        except Exception as exc:
+            if health is None:
+                raise
+            # Resilient mode: the workload died (its own bug, a genuine
+            # OOM, or an injected fault that escaped to workload code);
+            # the profile covers the prefix that executed.
+            health.workload_aborted = True
+            health.abort_reason = f"{type(exc).__name__}: {exc}"
+            health.note(f"workload aborted: {health.abort_reason}")
         finally:
             if run_span is not None:
                 run_span.end()
@@ -212,6 +246,8 @@ class ValueExpert:
                 recorder.close()
             runtime.unsubscribe(roster)
             collector.detach()
+            if injector is not None:
+                runtime.fault_injector = None
 
         profile = online.finish(
             counters=collector.counters,
@@ -223,15 +259,59 @@ class ValueExpert:
             if telemetry.ENABLED
             else None
         )
-        offline = OfflineAnalyzer(self.config.patterns)
+        offline = OfflineAnalyzer(self.config.patterns, health=health)
         for hit in offline.analyze_untyped(online.pending_untyped):
             profile.fine_hits.append(hit)
         offline.annotate(profile, kernels=list(roster.kernels.values()))
         if offline_span is not None:
             offline_span.end()
+        if health is not None and recorder is not None and recorder.torn:
+            health.torn_trace = True
+            health.note(
+                f"trace recording {record_path!r} torn mid-write "
+                f"(footer never patched)"
+            )
+        self._finish_health(profile, health, injector)
         self.last_collector = collector
         self.last_runtime = runtime
         return profile
+
+    @staticmethod
+    def _finish_health(
+        profile: ValueProfile,
+        health: Optional[HealthReport],
+        injector: Optional[FaultInjector],
+    ) -> None:
+        """Fold the injector's ground truth into the health report,
+        attach it to the profile, and make any degradation loud (a
+        :class:`DegradedProfileWarning` plus obs gauges) while keeping
+        it invisible in the exit path — nothing raises."""
+        if health is None:
+            return
+        if injector is not None:
+            health.faults_injected = injector.total_injected
+            health.alloc_failures = injector.counts[FaultKind.ALLOC_FAILURE]
+            health.corrupted_copies = injector.counts[FaultKind.CORRUPTION]
+            for line in injector.events:
+                health.note(f"injected {line}")
+        profile.health = health
+        if telemetry.ENABLED:
+            telemetry.gauge(
+                "repro_resilience_faults_injected",
+                "Faults fired by the injection harness in the last run.",
+            ).set(health.faults_injected)
+            telemetry.gauge(
+                "repro_resilience_degraded",
+                "1 when the last profile completed degraded, else 0.",
+            ).set(0 if health.pristine else 1)
+        if not health.pristine:
+            warnings.warn(
+                DegradedProfileWarning(
+                    "profile completed degraded: "
+                    + health.summary().splitlines()[0]
+                ),
+                stacklevel=3,
+            )
 
     @staticmethod
     def _run(workload, runtime: GpuRuntime) -> None:

@@ -264,6 +264,19 @@ def _stub_entry(*_args, **_kwargs) -> None:
     )
 
 
+def stub_kernel(name: str) -> Kernel:
+    """A minimal kernel stub for salvaged traces.
+
+    A torn recording loses its kernel-table footer, so launches must be
+    replayed against a name-only stub: no line map, no binary.  Offline
+    type slicing and source attribution degrade gracefully (they skip
+    kernels without binaries); coarse analysis is unaffected.
+    """
+    kernel = Kernel(name=name, fn=_stub_entry, code_base=0, line_map={})
+    kernel._pc_table = {}
+    return kernel
+
+
 def decode_kernel(data: dict) -> Kernel:
     """Rebuild a kernel stub: metadata and binary, no executable body."""
     line_map: Dict[int, Tuple[str, int]] = {

@@ -79,6 +79,7 @@ class TraceWriter:
         self.path = path
         self._file = open(path, "wb")
         self._closed = False
+        self.torn = False
         self.events_written = 0
         self._file.write(MAGIC)
         self._file.write(_U32.pack(VERSION))
@@ -89,6 +90,10 @@ class TraceWriter:
 
     def write_event(self, kind: int, meta: dict, arrays: ArrayDict) -> None:
         """Append one event frame; ``arrays`` land raw in the payload."""
+        if self.torn:
+            # A torn writer models a dead recording process: later
+            # events vanish, exactly like writes after a crash.
+            return
         if self._closed:
             raise TraceError(f"trace {self.path!r} is already closed")
         descriptors = {}
@@ -119,13 +124,33 @@ class TraceWriter:
     @property
     def bytes_written(self) -> int:
         """Bytes written to the file so far."""
-        return self._file.tell() if not self._closed else 0
+        if self._closed or self.torn:
+            return 0
+        return self._file.tell()
+
+    def tear(self) -> None:
+        """Simulate the writing process dying mid-frame.
+
+        A partial frame header (a plausible kind, then nothing) is left
+        on disk, the footer offset is never patched, and the writer goes
+        dead: subsequent :meth:`write_event`/:meth:`close` calls are
+        no-ops.  A plain :class:`TraceReader` refuses the result; a
+        salvaging reader recovers every frame before the tear.
+        """
+        if self._closed or self.torn:
+            return
+        self._file.write(_U32.pack(EVENT_LAUNCH))
+        self._file.write(b"\x7f\x03")
+        self._file.close()
+        self.torn = True
 
     def close(self, footer: Optional[dict] = None) -> int:
         """Write the footer, patch its offset, and close the file.
 
         Returns the final file size in bytes.
         """
+        if self.torn:
+            return 0
         if self._closed:
             raise TraceError(f"trace {self.path!r} is already closed")
         footer = dict(footer or {})
@@ -150,11 +175,23 @@ class TraceWriter:
 
 
 class TraceReader:
-    """Reads a ``.vetrace`` file: header/footer eagerly, events lazily."""
+    """Reads a ``.vetrace`` file: header/footer eagerly, events lazily.
 
-    def __init__(self, path: str):
+    With ``salvage=True`` a truncated recording (crashed writer: footer
+    offset still 0, possibly a partial final frame) is accepted: the
+    reader walks the frame stream to the last complete frame and
+    replays exactly that prefix.  :attr:`truncated` reports whether
+    salvage engaged; :attr:`salvaged_bytes`/:attr:`salvaged_events`
+    quantify what survived.  The kernel-table footer is lost with the
+    tail, so ``footer["kernels"]`` is empty on a salvaged trace.
+    """
+
+    def __init__(self, path: str, salvage: bool = False):
         self.path = path
-        self._file = open(path, "rb")
+        try:
+            self._file = open(path, "rb")
+        except OSError as exc:
+            raise TraceError(f"cannot open trace {path!r}: {exc}") from exc
         magic = self._file.read(len(MAGIC))
         if magic != MAGIC:
             raise TraceError(f"{path!r} is not a ValueExpert trace")
@@ -165,16 +202,36 @@ class TraceReader:
                 f"this reader understands version {VERSION} only"
             )
         self._footer_offset = _U64.unpack(self._read_exact(_U64.size))[0]
+        self.truncated = False
+        self.salvaged_bytes = 0
+        self.salvaged_events = 0
         if self._footer_offset == 0:
-            raise TraceError(
-                f"{path!r} was never closed (truncated recording)"
-            )
+            header_len = _U32.unpack(self._read_exact(_U32.size))[0]
+            self.header: dict = json.loads(self._read_exact(header_len))
+            self._events_start = self._file.tell()
+            last_good, nevents = self._scan_frames()
+            if not salvage:
+                raise TraceError(
+                    f"{path!r} was never closed (truncated recording)",
+                    last_good_offset=last_good,
+                )
+            self.truncated = True
+            self._footer_offset = last_good
+            self.footer: dict = {
+                "events": nevents,
+                "kernels": {},
+                "salvaged": True,
+            }
+            self.salvaged_bytes = last_good - self._events_start
+            self.salvaged_events = nevents
+            self._file.seek(self._events_start)
+            return
         header_len = _U32.unpack(self._read_exact(_U32.size))[0]
-        self.header: dict = json.loads(self._read_exact(header_len))
+        self.header = json.loads(self._read_exact(header_len))
         self._events_start = self._file.tell()
         self._file.seek(self._footer_offset)
         footer_len = _U64.unpack(self._read_exact(_U64.size))[0]
-        self.footer: dict = json.loads(self._read_exact(footer_len))
+        self.footer = json.loads(self._read_exact(footer_len))
         self._file.seek(self._events_start)
 
     def _read_exact(self, nbytes: int) -> bytes:
@@ -183,15 +240,66 @@ class TraceReader:
             raise TraceError(f"{self.path!r} is truncated")
         return data
 
+    _FRAME_HEAD = _U32.size + _U32.size + _U64.size
+
+    def _scan_frames(self) -> Tuple[int, int]:
+        """Walk frames until truncation or garbage.
+
+        Returns ``(last_good_offset, nevents)``: the byte offset just
+        past the last complete, well-formed frame, and how many such
+        frames precede it.  A frame is complete when its kind is known,
+        its meta parses as JSON, and its payload fits in the file.
+        """
+        self._file.seek(0, 2)
+        size = self._file.tell()
+        self._file.seek(self._events_start)
+        nevents = 0
+        last_good = self._events_start
+        while True:
+            start = self._file.tell()
+            head = self._file.read(self._FRAME_HEAD)
+            if len(head) < self._FRAME_HEAD:
+                break
+            kind = _U32.unpack(head[:4])[0]
+            meta_len = _U32.unpack(head[4:8])[0]
+            payload_len = _U64.unpack(head[8:16])[0]
+            if kind not in EVENT_NAMES:
+                break
+            end = start + self._FRAME_HEAD + meta_len + payload_len
+            if end > size:
+                break
+            meta_raw = self._file.read(meta_len)
+            if len(meta_raw) < meta_len:
+                break
+            try:
+                json.loads(meta_raw)
+            except ValueError:
+                break
+            self._file.seek(end)
+            nevents += 1
+            last_good = end
+        return last_good, nevents
+
     def events(self) -> Iterator[Tuple[int, dict, ArrayDict]]:
-        """Yield ``(kind, meta, arrays)`` per frame, in recorded order."""
+        """Yield ``(kind, meta, arrays)`` per frame, in recorded order.
+
+        A :class:`TraceError` raised mid-stream (frame cut short by
+        truncation) carries ``last_good_offset`` — the end of the last
+        frame that was yielded whole — so callers can salvage.
+        """
         self._file.seek(self._events_start)
         while self._file.tell() < self._footer_offset:
-            kind = _U32.unpack(self._read_exact(_U32.size))[0]
-            meta_len = _U32.unpack(self._read_exact(_U32.size))[0]
-            payload_len = _U64.unpack(self._read_exact(_U64.size))[0]
-            meta = json.loads(self._read_exact(meta_len))
-            payload = self._read_exact(payload_len)
+            frame_start = self._file.tell()
+            try:
+                kind = _U32.unpack(self._read_exact(_U32.size))[0]
+                meta_len = _U32.unpack(self._read_exact(_U32.size))[0]
+                payload_len = _U64.unpack(self._read_exact(_U64.size))[0]
+                meta = json.loads(self._read_exact(meta_len))
+                payload = self._read_exact(payload_len)
+            except TraceError as exc:
+                raise TraceError(
+                    str(exc), last_good_offset=frame_start
+                ) from None
             arrays: ArrayDict = {}
             for name, desc in meta.pop("__arrays__", {}).items():
                 start = desc["offset"]

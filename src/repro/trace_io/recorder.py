@@ -48,12 +48,16 @@ class TraceRecorder(RuntimeListener):
         path: str,
         header: Optional[dict] = None,
         instrument: str = "follow",
+        fault_injector=None,
     ):
         if instrument not in ("follow", "all"):
             raise TraceError(
                 f"instrument must be 'follow' or 'all', got {instrument!r}"
             )
         self.instrument = instrument
+        #: Optional :class:`repro.resilience.FaultInjector`; when its
+        #: plan says so, the recording is torn mid-frame (crash model).
+        self.fault_injector = fault_injector
         self._writer = TraceWriter(path, header=header)
         self._kernels: Dict[str, Kernel] = {}
         self._runtime: Optional[GpuRuntime] = None
@@ -89,6 +93,10 @@ class TraceRecorder(RuntimeListener):
             self._kernels.setdefault(event.kernel.name, event.kernel)
         kind, meta, arrays = encode_event(event)
         self._writer.write_event(kind, meta, arrays)
+        if self.fault_injector is not None and self.fault_injector.take_trace_tear(
+            self._writer.events_written
+        ):
+            self._writer.tear()
         if telemetry.ENABLED:
             telemetry.counter(
                 "repro_trace_events_total",
@@ -106,6 +114,11 @@ class TraceRecorder(RuntimeListener):
     def events_written(self) -> int:
         """Events recorded so far."""
         return self._writer.events_written
+
+    @property
+    def torn(self) -> bool:
+        """Whether the recording was torn mid-write (injected crash)."""
+        return self._writer.torn
 
     def close(self) -> int:
         """Write the kernel table footer and finish the file.

@@ -54,6 +54,7 @@ from repro.trace_io.codec import (
     decode_call_path,
     decode_kernel,
     dtype_from_name,
+    stub_kernel,
 )
 from repro.trace_io.format import (
     EVENT_FREE,
@@ -94,11 +95,20 @@ def _make_allocation(desc: dict) -> Allocation:
 
 
 class TraceReplayer:
-    """Plays a recorded event stream to runtime listeners."""
+    """Plays a recorded event stream to runtime listeners.
 
-    def __init__(self, path: str):
-        self._reader = TraceReader(path)
+    With ``salvage=True`` a truncated recording is replayed up to its
+    last complete frame instead of being refused; launches whose kernel
+    metadata sank with the lost footer get name-only stub kernels.  The
+    optional ``health`` (:class:`repro.resilience.HealthReport`) records
+    what the salvage recovered.
+    """
+
+    def __init__(self, path: str, salvage: bool = False, health=None):
+        self._reader = TraceReader(path, salvage=salvage)
         self.path = path
+        self.salvage = salvage
+        self.health = health
         self.header: dict = self._reader.header
         #: Kernel stubs from the trace footer (line maps + binaries,
         #: no executable body) — enough for offline type slicing.
@@ -107,6 +117,16 @@ class TraceReplayer:
             for data in self._reader.footer.get("kernels", [])
         }
         self.listeners: List[RuntimeListener] = []
+        if self._reader.truncated and health is not None:
+            health.torn_trace = True
+            health.trace_salvaged = True
+            health.salvaged_bytes = self._reader.salvaged_bytes
+            health.salvaged_events = self._reader.salvaged_events
+            health.note(
+                f"salvaged {self._reader.salvaged_events} events "
+                f"({self._reader.salvaged_bytes} bytes) from truncated "
+                f"trace {path!r}"
+            )
         #: Live replayed allocations, keyed (alloc_id, address) — both,
         #: because the shared-memory arena numbers its ids independently
         #: of the global arena, so ids alone can collide.
@@ -290,10 +310,26 @@ class TraceReplayer:
     def _replay_launch(self, meta: dict, arrays: dict) -> None:
         kernel = self.kernels.get(meta["kernel"])
         if kernel is None:
-            raise TraceError(
-                f"kernel {meta['kernel']!r} missing from the trace's "
-                f"kernel table (unclosed recording?)"
-            )
+            if not self.salvage:
+                raise TraceError(
+                    f"kernel {meta['kernel']!r} missing from the trace's "
+                    f"kernel table (unclosed recording?)"
+                )
+            # The kernel table sank with the torn footer: synthesize a
+            # name-only stub so the launch still replays coarse-grained.
+            kernel = stub_kernel(meta["kernel"])
+            self.kernels[kernel.name] = kernel
+            if self.health is not None:
+                self.health.stub_kernels += 1
+                self.health.note(
+                    f"synthesized stub kernel for {kernel.name!r} "
+                    f"(kernel table lost with torn footer)"
+                )
+            if telemetry.ENABLED:
+                telemetry.counter(
+                    "repro_resilience_stub_kernels_total",
+                    "Stub kernels synthesized for salvaged traces.",
+                ).inc()
         grid = meta["grid"]
         block = meta["block"]
         # The *replay* listeners decide instrumentation, exactly as on
@@ -347,6 +383,22 @@ class TraceReplayer:
         records = []
         for index, record_meta in enumerate(meta["records"]):
             record = decode_access_record(record_meta, arrays, index)
+            if len(record.block_ids) != record.count or len(
+                record.thread_ids
+            ) != record.count:
+                # Torn record serialized before repair: clip the id
+                # vectors so the block mask below cannot misindex.
+                n = record.count
+                record = type(record)(
+                    pc=record.pc,
+                    kind=record.kind,
+                    addresses=record.addresses,
+                    values=record.values,
+                    dtype=record.dtype,
+                    kernel_name=record.kernel_name,
+                    thread_ids=record.thread_ids[:n],
+                    block_ids=record.block_ids[:n],
+                )
             if sampled is not None:
                 mask = sampled[record.block_ids]
                 if not mask.any():

@@ -1,0 +1,32 @@
+"""Shared pieces for the resilience tests: a small deterministic
+workload that exercises every API the fault injector can target."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gpu.dtypes import DType
+from repro.gpu.runtime import HostArray
+from tests.conftest import accumulate_kernel, copy_elements_kernel
+
+
+def chaos_workload(rt):
+    """Mallocs, H2D/D2D/D2H copies, launches, frees — enough surface
+    for every FaultKind to have somewhere to fire."""
+    n = 256
+    a = rt.malloc(n, DType.FLOAT32, label="a")
+    b = rt.malloc(n, DType.FLOAT32, label="b")
+    rt.memcpy_h2d(a, HostArray(np.arange(n, dtype=np.float32), "h_in"))
+    rt.launch(copy_elements_kernel, 4, 64, a, b)
+    rt.launch(accumulate_kernel, 4, 64, b, 1.0)
+    rt.memcpy_d2d(a, b)
+    out = HostArray(np.zeros(n, dtype=np.float32), "h_out")
+    rt.memcpy_d2h(out, b)
+    rt.free(a)
+    rt.free(b)
+
+
+@pytest.fixture
+def workload():
+    return chaos_workload

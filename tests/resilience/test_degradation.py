@@ -1,0 +1,134 @@
+"""Integration tests: every fault class degrades gracefully.
+
+Under a resilient config, ``profile()`` must complete for any injected
+fault, record the degradation in the HealthReport, and warn — never
+raise.  Without a resilient config the seed semantics hold: faults
+surface to the workload.
+"""
+
+import warnings
+
+import pytest
+
+from repro import FaultPlan, ToolConfig, ValueExpert
+from repro.errors import DegradedProfileWarning, FaultInjected
+from repro.gpu.runtime import GpuRuntime
+from repro.resilience import FaultInjector
+
+
+def _profile(workload, **config_kwargs):
+    tool = ValueExpert(ToolConfig(**config_kwargs))
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DegradedProfileWarning)
+        return tool.profile(workload, name="chaos")
+
+
+def test_alloc_failure_survives_as_aborted_workload(workload):
+    plan = FaultPlan(seed=0, alloc_failure_rate=1.0)
+    profile = _profile(workload, fault_plan=plan)
+    health = profile.health
+    assert health.alloc_failures >= 1
+    # The injected OOM reaches workload code (exactly like a genuine
+    # cudaMalloc failure); the profiler survives it and says so.
+    assert health.workload_aborted
+    assert "OutOfMemoryError" in health.abort_reason
+
+
+def test_kernel_raise_quarantines_launches(workload):
+    plan = FaultPlan(seed=0, kernel_raise_rate=1.0)
+    profile = _profile(workload, fault_plan=plan)
+    health = profile.health
+    assert health.quarantined_launches == 2
+    assert health.quarantined_kernels == sorted(health.quarantined_kernels)
+    assert len(health.quarantined_kernels) >= 1
+    # Quarantined launches stay visible in the flow graph...
+    kernel_names = {v.name for v in profile.graph.vertices()}
+    assert set(health.quarantined_kernels) <= kernel_names
+    # ...but contribute no fine-grained pattern hits.
+    assert profile.fine_hits == []
+
+
+def test_dropped_records_counted_not_fatal(workload):
+    plan = FaultPlan(seed=1, record_drop_rate=1.0)
+    profile = _profile(workload, fault_plan=plan)
+    assert profile.health.dropped_records > 0
+    assert not profile.health.workload_aborted
+
+
+def test_torn_records_repaired_to_consistent_prefix(workload):
+    plan = FaultPlan(seed=1, record_tear_rate=1.0)
+    profile = _profile(workload, fault_plan=plan)
+    assert profile.health.repaired_records > 0
+    assert not profile.health.workload_aborted
+
+
+def test_corruption_survives(workload):
+    plan = FaultPlan(seed=1, corruption_rate=1.0)
+    profile = _profile(workload, fault_plan=plan)
+    assert profile.health.corrupted_copies >= 1
+    assert not profile.health.workload_aborted
+
+
+def test_degraded_run_warns(workload):
+    plan = FaultPlan(seed=0, kernel_raise_rate=1.0)
+    tool = ValueExpert(ToolConfig(fault_plan=plan))
+    with pytest.warns(DegradedProfileWarning, match="degraded"):
+        tool.profile(workload, name="chaos")
+
+
+def test_memory_budget_descends_ladder(workload):
+    profile = _profile(workload, resilient=True, memory_budget_bytes=512)
+    health = profile.health
+    assert health.budget_fallbacks == 3
+    assert health.degradation_level == 3
+    assert health.degradation == "quarantined"
+    assert any("memory budget" in line for line in health.events)
+
+
+def test_generous_budget_stays_full_fidelity(workload):
+    profile = _profile(
+        workload, resilient=True, memory_budget_bytes=64 * 1024 * 1024
+    )
+    assert profile.health.budget_fallbacks == 0
+    assert profile.health.pristine
+
+
+def test_pristine_resilient_run_serializes_without_health(workload):
+    profile = _profile(workload, resilient=True)
+    assert profile.health is not None
+    assert profile.health.pristine
+    assert "health" not in profile.to_dict()
+
+
+def test_degraded_health_round_trips_through_json(workload):
+    from repro.analysis.profile import ValueProfile
+
+    plan = FaultPlan(seed=0, kernel_raise_rate=1.0)
+    profile = _profile(workload, fault_plan=plan)
+    rebuilt = ValueProfile.from_json(profile.to_json())
+    assert rebuilt.health is not None
+    assert rebuilt.health.quarantined_launches == (
+        profile.health.quarantined_launches
+    )
+    assert rebuilt.health.degradation == profile.health.degradation
+
+
+def test_empty_plan_profile_is_byte_identical(workload):
+    """Satellite regression: the resilience layer must be invisible on
+    a fault-free run — same JSON, byte for byte."""
+    baseline = ValueExpert(ToolConfig()).profile(workload, name="chaos")
+    shadowed = _profile(workload, fault_plan=FaultPlan.none())
+    assert shadowed.to_json() == baseline.to_json()
+
+
+def test_non_resilient_runtime_raises_through(workload):
+    """Seed semantics: without `resilient`, an injected kernel fault
+    propagates to the caller exactly like a genuine device error."""
+    runtime = GpuRuntime()
+    runtime.fault_injector = FaultInjector(
+        FaultPlan(seed=0, kernel_raise_rate=1.0)
+    )
+    tool = ValueExpert(ToolConfig())
+    with pytest.raises(FaultInjected):
+        tool.profile(workload, runtime=runtime)
+    assert runtime.listeners == []  # clean detach, no dangling listener

@@ -1,0 +1,67 @@
+"""Unit tests for the HealthReport ledger."""
+
+from repro.resilience import DEGRADATION_LADDER, HealthReport
+
+
+def test_fresh_report_is_pristine():
+    report = HealthReport()
+    assert report.pristine
+    assert report.degradation == "full"
+    assert report.summary() == "health: pristine (no degradation)"
+
+
+def test_any_degradation_breaks_pristine():
+    report = HealthReport()
+    report.quarantine_launch("k", "boom")
+    assert not report.pristine
+    assert report.quarantined_launches == 1
+    assert report.quarantined_kernels == ["k"]
+    assert any("quarantined launch" in line for line in report.events)
+
+
+def test_quarantined_kernels_stay_sorted_and_unique():
+    report = HealthReport()
+    for name in ("zeta", "alpha", "zeta", "mid"):
+        report.quarantine_launch(name, "x")
+    assert report.quarantined_kernels == ["alpha", "mid", "zeta"]
+    assert report.quarantined_launches == 4
+
+
+def test_degradation_names_follow_ladder():
+    report = HealthReport()
+    for level, name in enumerate(DEGRADATION_LADDER):
+        report.degradation_level = level
+        assert report.degradation == name
+    # Past the last rung it stays on the last rung.
+    report.degradation_level = len(DEGRADATION_LADDER) + 3
+    assert report.degradation == DEGRADATION_LADDER[-1]
+
+
+def test_serialization_round_trip():
+    report = HealthReport(
+        faults_injected=3,
+        dropped_records=17,
+        workload_aborted=True,
+        abort_reason="OutOfMemoryError: injected",
+        degradation_level=2,
+    )
+    report.quarantine_launch("k", "raised")
+    rebuilt = HealthReport.from_dict(report.to_dict())
+    assert rebuilt == report
+
+
+def test_from_dict_ignores_unknown_and_derived_keys():
+    data = HealthReport(stub_kernels=1).to_dict()
+    assert data["degradation"] == "full"  # derived field is exported...
+    data["not_a_field"] = "whatever"
+    rebuilt = HealthReport.from_dict(data)  # ...but ignored on import
+    assert rebuilt.stub_kernels == 1
+    assert not hasattr(rebuilt, "not_a_field")
+
+
+def test_summary_lists_only_nonzero_dimensions():
+    report = HealthReport(corrupted_copies=2, torn_trace=True)
+    text = report.summary()
+    assert "corrupted copies: 2" in text
+    assert "trace recording torn" in text
+    assert "dropped records" not in text

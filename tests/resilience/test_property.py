@@ -1,0 +1,66 @@
+"""Property suite: under ANY seeded fault plan the profiler completes.
+
+The acceptance bar for the resilience layer — ``profile()`` under a
+randomized :meth:`FaultPlan.chaos` plan never raises, always returns a
+profile, and its HealthReport is internally consistent and
+serialization-stable.
+"""
+
+import warnings
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import FaultPlan, ToolConfig, ValueExpert
+from repro.errors import DegradedProfileWarning
+from repro.resilience import HealthReport
+
+from tests.resilience.conftest import chaos_workload
+
+
+def _chaos_profile(seed):
+    tool = ValueExpert(ToolConfig(fault_plan=FaultPlan.chaos(seed)))
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DegradedProfileWarning)
+        return tool.profile(chaos_workload, name="chaos")
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=1_000_000))
+def test_chaos_profile_never_raises_and_health_is_consistent(seed):
+    profile = _chaos_profile(seed)
+    health = profile.health
+
+    assert health is not None
+    # Injector accounting: per-kind counts are folded into the total.
+    assert health.faults_injected >= (
+        health.alloc_failures + health.corrupted_copies
+    )
+    # An injected cudaMalloc failure surfaces to the workload (which
+    # doesn't catch it), so it must be recorded as an abort.
+    if health.alloc_failures:
+        assert health.workload_aborted
+    # Quarantine bookkeeping: names iff launches (and >= because
+    # genuine kernel errors quarantine too, beyond injected raises).
+    assert bool(health.quarantined_kernels) == bool(
+        health.quarantined_launches
+    )
+    assert health.quarantined_launches >= 0
+    # The degradation ledger round-trips losslessly.
+    assert HealthReport.from_dict(health.to_dict()) == health
+    # Serialization policy: degraded -> exported, pristine -> invisible.
+    assert ("health" in profile.to_dict()) == (not health.pristine)
+    # The whole profile (including health) survives a JSON round trip.
+    from repro.analysis.profile import ValueProfile
+
+    rebuilt = ValueProfile.from_json(profile.to_json())
+    assert rebuilt.workload_name == profile.workload_name
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=1_000_000))
+def test_chaos_runs_are_reproducible(seed):
+    first = _chaos_profile(seed)
+    second = _chaos_profile(seed)
+    assert first.health.to_dict() == second.health.to_dict()
+    assert first.to_json() == second.to_json()
