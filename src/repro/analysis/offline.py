@@ -37,6 +37,8 @@ class OfflineAnalyzer:
     def __init__(self, config: Optional[PatternConfig] = None, health=None):
         self.engine = PatternEngine(config)
         self._type_cache: Dict[str, Dict[int, AccessType]] = {}
+        #: kernel name -> site pc -> matched binary instruction pc.
+        self._site_binary_pc: Dict[str, Dict[int, int]] = {}
         #: Optional :class:`repro.resilience.HealthReport` — when
         #: present, skipped groups and attribution misses are counted
         #: there instead of being swallowed silently.
@@ -62,9 +64,12 @@ class OfflineAnalyzer:
         site_pcs = sorted(kernel.line_map)
         binary_pcs = sorted(inferred)
         mapping: Dict[int, AccessType] = {}
+        site_binary: Dict[int, int] = {}
         for site_pc, binary_pc in zip(site_pcs, binary_pcs):
             mapping[site_pc] = inferred[binary_pc]
+            site_binary[site_pc] = binary_pc
         self._type_cache[kernel.name] = mapping
+        self._site_binary_pc[kernel.name] = site_binary
         return mapping
 
     def analyze_untyped(
@@ -102,11 +107,21 @@ class OfflineAnalyzer:
                 dtype=access_type.dtype,
                 itemsize=group.obj.dtype.itemsize,
             )
+            binary_pc = self._site_binary_pc.get(group.kernel.name, {}).get(
+                group.pc
+            )
             for hit in self.engine.analyze_view(view):
                 hit.metrics["access_type"] = (
                     f"{access_type.dtype.name} x{access_type.count}"
                 )
                 hit.metrics["resolved_offline"] = True
+                # Site PC: the static linter's cross-check joins on it.
+                hit.metrics["pc"] = group.pc
+                if binary_pc is not None:
+                    # O(1) via the binary's cached pc index.
+                    hit.metrics["binary_instruction"] = str(
+                        group.kernel.binary.at(binary_pc)
+                    )
                 hits.append(hit)
         if span is not None:
             span.end()
@@ -147,6 +162,16 @@ class OfflineAnalyzer:
         line_maps = {}
         for kernel in kernels:
             line_maps[kernel.name] = kernel.line_map
+        for hit in profile.coarse_hits + profile.fine_hits:
+            # PC-level attribution for hits the offline pass resolved:
+            # the site PC keys the kernel's simulated line-map section.
+            pc = hit.metrics.get("pc")
+            if pc is None:
+                continue
+            kernel_name = hit.api_ref.split(":", 1)[-1]
+            site = line_maps.get(kernel_name, {}).get(pc)
+            if site is not None:
+                hit.metrics.setdefault("source", f"{site[0]}:{site[1]}")
         for vertex in profile.graph.vertices():
             if vertex.call_path is not None and len(vertex.call_path):
                 leaf = vertex.call_path.leaf

@@ -29,7 +29,7 @@ class DefUseGraph:
                         f"(functions must be SSA)"
                     )
                 self._def_of[reg] = instr
-            for reg in instr.srcs:
+            for reg in instr.uses:
                 self._uses_of.setdefault(reg, []).append(instr)
 
     def definition(self, reg: Register) -> Optional[Instruction]:

@@ -53,6 +53,8 @@ class Opcode(enum.Enum):
     F2F = "F2F"
     # Type-transparent.
     MOV = "MOV"
+    # Control flow.
+    BRA = "BRA"
     EXIT = "EXIT"
 
     @property
@@ -69,6 +71,16 @@ class Opcode(enum.Enum):
     def is_store(self) -> bool:
         """Whether the opcode is a store."""
         return self in (Opcode.STG, Opcode.STS)
+
+    @property
+    def is_branch(self) -> bool:
+        """Whether the opcode transfers control (``BRA``)."""
+        return self is Opcode.BRA
+
+    @property
+    def is_terminator(self) -> bool:
+        """Whether the opcode ends a basic block (``BRA``/``EXIT``)."""
+        return self in (Opcode.BRA, Opcode.EXIT)
 
 
 #: Element type each typed opcode imposes on its data operands.
@@ -107,6 +119,15 @@ class Instruction:
         width but not the element type.
     src_type / dst_type:
         For conversion opcodes: the imposed types on each side.
+    addr:
+        For memory opcodes: optional address register.  The slicer
+        ignores it (it follows value flow only); the static linter uses
+        it to reason about same-address loads and stores.
+    pred:
+        Optional guard predicate (``@P``); the instruction executes only
+        in threads where the predicate holds.  Modelled on ``BRA``.
+    target:
+        For ``BRA``: the destination PC.
     """
 
     pc: int
@@ -116,12 +137,35 @@ class Instruction:
     width_bits: Optional[int] = None
     src_type: Optional[DType] = None
     dst_type: Optional[DType] = None
+    addr: Optional[Register] = None
+    pred: Optional[Register] = None
+    target: Optional[int] = None
+
+    @property
+    def uses(self) -> Tuple[Register, ...]:
+        """Every register the instruction reads (data, address, guard)."""
+        extra = ()
+        if self.addr is not None:
+            extra += (self.addr,)
+        if self.pred is not None:
+            extra += (self.pred,)
+        return self.srcs + extra
+
+    @property
+    def is_conditional_branch(self) -> bool:
+        """A predicated ``@P BRA`` (falls through when P is false)."""
+        return self.opcode.is_branch and self.pred is not None
 
     def __str__(self) -> str:
         suffix = f".{self.width_bits}" if self.width_bits else ""
+        guard = f"@{self.pred} " if self.pred is not None else ""
+        if self.opcode.is_branch:
+            return f"{self.pc:#x}: {guard}BRA {self.target:#x}"
         dests = ", ".join(map(str, self.dests))
         srcs = ", ".join(map(str, self.srcs))
-        return f"{self.pc:#x}: {self.opcode.value}{suffix} {dests} <- {srcs}".strip()
+        if self.addr is not None:
+            srcs = f"{srcs}, [{self.addr}]" if srcs else f"[{self.addr}]"
+        return f"{self.pc:#x}: {guard}{self.opcode.value}{suffix} {dests} <- {srcs}".strip()
 
 
 @dataclass(frozen=True)

@@ -1,14 +1,23 @@
 """GPU binary container and a builder for synthetic functions.
 
-A :class:`GpuFunction` is a straight-line SSA instruction list plus a
-line map (the "line mapping section" the paper reads from debugging
-info).  :class:`BinaryBuilder` offers a small assembler-like API used by
-tests and by kernels that want the untyped-access path exercised.
+A :class:`GpuFunction` is an SSA instruction list plus a line map (the
+"line mapping section" the paper reads from debugging info).  Functions
+may contain branches (``BRA`` / predicated ``@P BRA``); straight-line
+functions — the common case for synthesized binaries — are a single
+basic block and behave exactly as before the control-flow extension.
+:class:`BinaryBuilder` offers a small assembler-like API used by tests,
+by hand-written workload binaries, and by kernels that want the
+untyped-access path exercised.
+
+PC lookups (:meth:`GpuFunction.at`, :meth:`GpuBinary.function_of_pc`)
+are served from cached indexes instead of linear scans; the function
+index is rebuilt if the instruction list changes length, and the binary
+index is invalidated by :meth:`GpuBinary.add`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import BinaryAnalysisError
@@ -26,13 +35,40 @@ class GpuFunction:
     instructions: List[Instruction]
     #: pc -> (filename, lineno); the simulated line-mapping section.
     line_map: Dict[int, Tuple[str, int]] = field(default_factory=dict)
+    #: Lazy pc -> instruction index; rebuilt when the instruction list
+    #: changes length (instructions are appended, never edited in place).
+    _pc_index: Optional[Dict[int, Instruction]] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def _index(self) -> Dict[int, Instruction]:
+        index = self._pc_index
+        if index is None or len(index) != len(self.instructions):
+            index = {instr.pc: instr for instr in self.instructions}
+            self._pc_index = index
+        return index
 
     def at(self, pc: int) -> Instruction:
-        """Instruction at a PC; raises on a bad PC."""
-        for instr in self.instructions:
-            if instr.pc == pc:
-                return instr
-        raise BinaryAnalysisError(f"no instruction at pc {pc:#x} in {self.name!r}")
+        """Instruction at a PC (O(1) after the first lookup); raises on
+        a bad PC."""
+        instr = self._index().get(pc)
+        if instr is None:
+            raise BinaryAnalysisError(
+                f"no instruction at pc {pc:#x} in {self.name!r}"
+            )
+        return instr
+
+    def has_pc(self, pc: int) -> bool:
+        """Whether any instruction sits at ``pc``."""
+        return pc in self._index()
+
+    @property
+    def pc_range(self) -> Tuple[int, int]:
+        """Inclusive (lowest, highest) instruction PC; raises if empty."""
+        if not self.instructions:
+            raise BinaryAnalysisError(f"function {self.name!r} is empty")
+        pcs = self._index()
+        return min(pcs), max(pcs)
 
     @property
     def memory_instructions(self) -> List[Instruction]:
@@ -45,26 +81,41 @@ class GpuBinary:
     """A loaded GPU binary: a set of functions."""
 
     functions: Dict[str, GpuFunction] = field(default_factory=dict)
+    #: Lazy pc -> function index; invalidated by :meth:`add`.
+    _pc_index: Optional[Dict[int, GpuFunction]] = field(
+        default=None, repr=False, compare=False
+    )
 
     def add(self, function: GpuFunction) -> None:
         """Register a function; duplicate names are rejected."""
         if function.name in self.functions:
             raise BinaryAnalysisError(f"duplicate function {function.name!r}")
         self.functions[function.name] = function
+        self._pc_index = None
 
     def function_of_pc(self, pc: int) -> Optional[GpuFunction]:
-        """Find the function whose instruction range contains ``pc``."""
-        for function in self.functions.values():
-            if any(instr.pc == pc for instr in function.instructions):
-                return function
-        return None
+        """Find the function whose instruction range contains ``pc``.
+
+        Served from a cached pc -> function map built on first query and
+        invalidated when a function is added.
+        """
+        index = self._pc_index
+        if index is None:
+            index = {}
+            for function in self.functions.values():
+                for instr in function.instructions:
+                    index[instr.pc] = function
+            self._pc_index = index
+        return index.get(pc)
 
 
 class BinaryBuilder:
     """Assembler-style builder for synthetic :class:`GpuFunction`s.
 
     Registers are SSA — each :meth:`reg` call mints a fresh one, and
-    every instruction defines only fresh registers.
+    every instruction defines only fresh registers.  Control flow is
+    expressed with :meth:`label` and :meth:`bra`; forward references are
+    resolved at :meth:`build` time.
     """
 
     def __init__(self, name: str, base_pc: int = 0):
@@ -73,6 +124,10 @@ class BinaryBuilder:
         self._instructions: List[Instruction] = []
         self._next_reg = 0
         self._line_map: Dict[int, Tuple[str, int]] = {}
+        #: label name -> bound pc.
+        self._labels: Dict[str, int] = {}
+        #: instruction index -> unresolved label name (forward branches).
+        self._fixups: Dict[int, str] = {}
 
     def reg(self) -> Register:
         """Mint a fresh SSA register."""
@@ -89,6 +144,42 @@ class BinaryBuilder:
     def _next_pc(self) -> int:
         return self.base_pc + len(self._instructions) * _INSTR_BYTES
 
+    # -- control flow --------------------------------------------------------
+
+    def label(self, name: str) -> int:
+        """Bind ``name`` to the PC of the next emitted instruction."""
+        if name in self._labels:
+            raise BinaryAnalysisError(
+                f"label {name!r} bound twice in {self.name!r}"
+            )
+        pc = self._next_pc()
+        self._labels[name] = pc
+        return pc
+
+    def bra(
+        self,
+        target: "str | int",
+        pred: Optional[Register] = None,
+    ) -> Instruction:
+        """Branch to a label name or PC; with ``pred``, a predicated
+        ``@P BRA`` that falls through when the predicate is false."""
+        resolved: Optional[int]
+        if isinstance(target, str):
+            resolved = self._labels.get(target)
+            if resolved is None:
+                self._fixups[len(self._instructions)] = target
+        else:
+            resolved = target
+        return self._emit(
+            Instruction(
+                pc=self._next_pc(),
+                opcode=Opcode.BRA,
+                pred=pred,
+                target=resolved,
+            ),
+            None,
+        )
+
     # -- memory -------------------------------------------------------------
 
     def ldg(
@@ -97,6 +188,7 @@ class BinaryBuilder:
         width_bits: int = 32,
         pc: Optional[int] = None,
         line: Optional[Tuple[str, int]] = None,
+        addr: Optional[Register] = None,
     ) -> Instruction:
         """Global load of ``width_bits`` into ``dest`` (type unknown)."""
         return self._emit(
@@ -105,6 +197,7 @@ class BinaryBuilder:
                 opcode=Opcode.LDG,
                 dests=(dest,),
                 width_bits=width_bits,
+                addr=addr,
             ),
             line,
         )
@@ -115,6 +208,7 @@ class BinaryBuilder:
         width_bits: int = 32,
         pc: Optional[int] = None,
         line: Optional[Tuple[str, int]] = None,
+        addr: Optional[Register] = None,
     ) -> Instruction:
         """Global store of ``width_bits`` from ``src`` (type unknown)."""
         return self._emit(
@@ -123,6 +217,7 @@ class BinaryBuilder:
                 opcode=Opcode.STG,
                 srcs=(src,),
                 width_bits=width_bits,
+                addr=addr,
             ),
             line,
         )
@@ -133,6 +228,7 @@ class BinaryBuilder:
         width_bits: int = 32,
         pc: Optional[int] = None,
         line: Optional[Tuple[str, int]] = None,
+        addr: Optional[Register] = None,
     ) -> Instruction:
         """Shared-memory load of ``width_bits`` into ``dest``."""
         return self._emit(
@@ -141,6 +237,7 @@ class BinaryBuilder:
                 opcode=Opcode.LDS,
                 dests=(dest,),
                 width_bits=width_bits,
+                addr=addr,
             ),
             line,
         )
@@ -151,6 +248,7 @@ class BinaryBuilder:
         width_bits: int = 32,
         pc: Optional[int] = None,
         line: Optional[Tuple[str, int]] = None,
+        addr: Optional[Register] = None,
     ) -> Instruction:
         """Shared-memory store of ``width_bits`` from ``src``."""
         return self._emit(
@@ -159,6 +257,7 @@ class BinaryBuilder:
                 opcode=Opcode.STS,
                 srcs=(src,),
                 width_bits=width_bits,
+                addr=addr,
             ),
             line,
         )
@@ -193,6 +292,10 @@ class BinaryBuilder:
         """DMUL: FLOAT64 multiply."""
         return self._arith(Opcode.DMUL, dest, a, b)
 
+    def dfma(self, dest: Register, a: Register, b: Register, c: Register) -> Instruction:
+        """DFMA: FLOAT64 fused multiply-add."""
+        return self._arith(Opcode.DFMA, dest, a, b, c)
+
     def hadd2(self, dest: Register, a: Register, b: Register) -> Instruction:
         """HADD2: packed FLOAT16 add."""
         return self._arith(Opcode.HADD2, dest, a, b)
@@ -205,11 +308,44 @@ class BinaryBuilder:
         """IMAD: INT32 multiply-add."""
         return self._arith(Opcode.IMAD, dest, a, b, c)
 
+    def isetp(self, dest: Register, a: Register, b: Register) -> Instruction:
+        """ISETP: INT32 compare, producing a predicate register."""
+        return self._arith(Opcode.ISETP, dest, a, b)
+
+    def shl(self, dest: Register, value: Register, shift: Register) -> Instruction:
+        """SHL: INT32 left shift (the address-scaling idiom)."""
+        return self._arith(Opcode.SHL, dest, value, shift)
+
+    def lop(self, dest: Register, a: Register, b: Register) -> Instruction:
+        """LOP: UINT32 bitwise logic (``lop(d, r, r)`` is the xor-zero
+        idiom — ``d`` holds constant zero)."""
+        return self._arith(Opcode.LOP, dest, a, b)
+
     def mov(self, dest: Register, src: Register) -> Instruction:
         """Type-transparent move."""
         return self._arith(Opcode.MOV, dest, src)
 
     # -- conversions ---------------------------------------------------------------
+
+    def _convert(
+        self,
+        opcode: Opcode,
+        dest: Register,
+        src: Register,
+        dst_type: DType,
+        src_type: DType,
+    ) -> Instruction:
+        return self._emit(
+            Instruction(
+                pc=self._next_pc(),
+                opcode=opcode,
+                dests=(dest,),
+                srcs=(src,),
+                src_type=src_type,
+                dst_type=dst_type,
+            ),
+            None,
+        )
 
     def i2f(
         self,
@@ -219,17 +355,7 @@ class BinaryBuilder:
         src_type: DType = DType.INT32,
     ) -> Instruction:
         """Int-to-float conversion (types each side)."""
-        return self._emit(
-            Instruction(
-                pc=self._next_pc(),
-                opcode=Opcode.I2F,
-                dests=(dest,),
-                srcs=(src,),
-                src_type=src_type,
-                dst_type=dst_type,
-            ),
-            None,
-        )
+        return self._convert(Opcode.I2F, dest, src, dst_type, src_type)
 
     def f2i(
         self,
@@ -239,17 +365,7 @@ class BinaryBuilder:
         src_type: DType = DType.FLOAT32,
     ) -> Instruction:
         """Float-to-int conversion (types each side)."""
-        return self._emit(
-            Instruction(
-                pc=self._next_pc(),
-                opcode=Opcode.F2I,
-                dests=(dest,),
-                srcs=(src,),
-                src_type=src_type,
-                dst_type=dst_type,
-            ),
-            None,
-        )
+        return self._convert(Opcode.F2I, dest, src, dst_type, src_type)
 
     def f2f(
         self,
@@ -259,17 +375,39 @@ class BinaryBuilder:
         src_type: DType = DType.FLOAT32,
     ) -> Instruction:
         """Float width conversion (types each side)."""
-        return self._emit(
-            Instruction(
-                pc=self._next_pc(),
-                opcode=Opcode.F2F,
-                dests=(dest,),
-                srcs=(src,),
-                src_type=src_type,
-                dst_type=dst_type,
-            ),
-            None,
-        )
+        return self._convert(Opcode.F2F, dest, src, dst_type, src_type)
+
+    # Width variants of the conversions, named after their SASS spellings
+    # (I2F.F64, F2I.S64, F2F.F16.F32, ...), so lint tests can exercise
+    # every typed opcode without spelling dtype pairs each time.
+
+    def i2d(self, dest: Register, src: Register) -> Instruction:
+        """I2F.F64: INT32 -> FLOAT64."""
+        return self._convert(Opcode.I2F, dest, src, DType.FLOAT64, DType.INT32)
+
+    def l2f(self, dest: Register, src: Register) -> Instruction:
+        """I2F.S64: INT64 -> FLOAT32."""
+        return self._convert(Opcode.I2F, dest, src, DType.FLOAT32, DType.INT64)
+
+    def d2i(self, dest: Register, src: Register) -> Instruction:
+        """F2I.F64: FLOAT64 -> INT32."""
+        return self._convert(Opcode.F2I, dest, src, DType.INT32, DType.FLOAT64)
+
+    def f2l(self, dest: Register, src: Register) -> Instruction:
+        """F2I.S64: FLOAT32 -> INT64."""
+        return self._convert(Opcode.F2I, dest, src, DType.INT64, DType.FLOAT32)
+
+    def f2h(self, dest: Register, src: Register) -> Instruction:
+        """F2F.F16.F32: narrow FLOAT32 -> FLOAT16."""
+        return self._convert(Opcode.F2F, dest, src, DType.FLOAT16, DType.FLOAT32)
+
+    def h2f(self, dest: Register, src: Register) -> Instruction:
+        """F2F.F32.F16: widen FLOAT16 -> FLOAT32."""
+        return self._convert(Opcode.F2F, dest, src, DType.FLOAT32, DType.FLOAT16)
+
+    def d2f(self, dest: Register, src: Register) -> Instruction:
+        """F2F.F32.F64: narrow FLOAT64 -> FLOAT32."""
+        return self._convert(Opcode.F2F, dest, src, DType.FLOAT32, DType.FLOAT64)
 
     def exit(self) -> Instruction:
         """EXIT: end of the function."""
@@ -278,9 +416,17 @@ class BinaryBuilder:
         )
 
     def build(self) -> GpuFunction:
-        """Finish and return the function."""
+        """Finish and return the function (resolving forward branches)."""
+        instructions = list(self._instructions)
+        for index, name in self._fixups.items():
+            target = self._labels.get(name)
+            if target is None:
+                raise BinaryAnalysisError(
+                    f"branch to unbound label {name!r} in {self.name!r}"
+                )
+            instructions[index] = replace(instructions[index], target=target)
         return GpuFunction(
             name=self.name,
-            instructions=list(self._instructions),
+            instructions=instructions,
             line_map=dict(self._line_map),
         )

@@ -4,8 +4,9 @@
 algorithm that derives a GPU memory instruction's access type based on
 instructions with known access types on its def-use chains."
 
-The algorithm here is a fixpoint type propagation over the SSA def-use
-graph:
+The algorithm is a sparse type-lattice propagation over the SSA def-use
+graph, running on the generic worklist engine in
+:mod:`repro.staticlint.dataflow`:
 
 1. Seed register types from typed opcodes (``FADD`` forces FLOAT32 on
    its data operands, ``DADD`` FLOAT64, ``IADD`` INT32, ...) and from
@@ -15,20 +16,27 @@ graph:
    directions until no register changes — this is the bidirectional
    slice: a load's type can come *forward* from a consumer, a store's
    type *backward* from its producer, possibly through several moves.
+   Each register's value lives in the lattice UNKNOWN < DType <
+   CONFLICT; the forward and backward halves of the slice are the two
+   propagation directions of one fixpoint.
 3. A memory instruction's access type combines its data register's
    element type with the instruction's encoded width: a 64-bit ``STG``
    of a FLOAT32 register is *two* 32-bit values.
 
-Conflicting seeds (a register constrained to two different types) raise
-:class:`~repro.errors.BinaryAnalysisError` — real binaries reinterpret
-bits through conversions, never through contradictory arithmetic.
-Registers no typed instruction reaches fall back to an unsigned integer
-of the access width, mirroring how the tool treats opaque bit moves.
+In strict mode (the default, used by the profiler), reaching CONFLICT
+raises :class:`~repro.errors.BinaryAnalysisError` — real binaries
+reinterpret bits through conversions, never through contradictory
+arithmetic.  In lenient mode (used by the static linter's type-conflict
+pass) conflicts are recorded as :class:`TypeConflict` values and the
+contradicting registers fall back like untyped ones.  Registers no
+typed instruction reaches fall back to an unsigned integer of the
+access width, mirroring how the tool treats opaque bit moves.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import BinaryAnalysisError
 from repro.binary.defuse import DefUseGraph
@@ -41,6 +49,7 @@ from repro.binary.isa import (
 )
 from repro.binary.module import GpuFunction
 from repro.gpu.dtypes import DType
+from repro.staticlint.dataflow import solve_worklist
 
 _FALLBACK_BY_BITS = {
     8: DType.UINT8,
@@ -51,21 +60,80 @@ _FALLBACK_BY_BITS = {
 }
 
 
-def _seed_types(graph: DefUseGraph) -> Dict[Register, DType]:
-    """Step 1: register types imposed by typed opcodes and conversions."""
-    types: Dict[Register, DType] = {}
+class _Conflict:
+    """Lattice top: a register constrained to two different types."""
 
-    def constrain(reg: Register, dtype: DType, instr: Instruction) -> None:
-        """Record a register's type; conflicting seeds are errors."""
-        existing = types.get(reg)
-        if existing is not None and existing != dtype:
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<conflict>"
+
+
+_CONFLICT = _Conflict()
+
+
+@dataclass(frozen=True)
+class TypeConflict:
+    """One contradiction found while slicing in lenient mode."""
+
+    pc: int
+    registers: Tuple[Register, ...]
+    message: str
+
+
+@dataclass
+class TypeInference:
+    """Result of one slicing run over a function."""
+
+    #: Registers with a single consistent type (conflicted ones excluded).
+    types: Dict[Register, DType]
+    #: Contradictions (empty in strict mode — they raise instead).
+    conflicts: List[TypeConflict] = field(default_factory=list)
+    #: Worklist evaluations the propagation needed (telemetry).
+    evaluations: int = 0
+
+
+def infer_register_types(
+    function: GpuFunction, strict: bool = True
+) -> TypeInference:
+    """Run the bidirectional slice and return per-register types.
+
+    With ``strict`` (the profiler's mode) a contradiction raises
+    :class:`~repro.errors.BinaryAnalysisError`; without it the
+    contradiction is recorded and the registers involved are left
+    untyped so the caller can keep going — the static linter turns each
+    record into a ``type-conflict`` finding.
+    """
+    DefUseGraph(function)  # validates the function is SSA before slicing
+    lattice: Dict[Register, object] = {}
+    conflicts: List[TypeConflict] = []
+
+    def constrain(reg: Register, dtype: DType, instr: Instruction) -> bool:
+        """Meet ``reg`` with ``dtype``; returns whether the value changed."""
+        existing = lattice.get(reg)
+        if existing is None:
+            lattice[reg] = dtype
+            return True
+        if existing is _CONFLICT or existing == dtype:
+            return False
+        if strict:
             raise BinaryAnalysisError(
                 f"conflicting types for {reg}: {existing.name} vs "
                 f"{dtype.name} at {instr}"
             )
-        types[reg] = dtype
+        conflicts.append(
+            TypeConflict(
+                pc=instr.pc,
+                registers=(reg,),
+                message=(
+                    f"conflicting types for {reg}: {existing.name} vs "
+                    f"{dtype.name} at {instr}"
+                ),
+            )
+        )
+        lattice[reg] = _CONFLICT
+        return True
 
-    for instr in graph.function.instructions:
+    # Step 1: seeds from typed opcodes and conversion sides.
+    for instr in function.instructions:
         operand_type = OPCODE_OPERAND_TYPE.get(instr.opcode)
         if operand_type is not None:
             for reg in instr.dests + instr.srcs:
@@ -77,48 +145,75 @@ def _seed_types(graph: DefUseGraph) -> Dict[Register, DType]:
             if instr.dst_type is not None:
                 for reg in instr.dests:
                     constrain(reg, instr.dst_type, instr)
-    return types
 
+    # Step 2: sparse fixpoint through MOVs on the worklist engine.  The
+    # nodes are the MOV instructions themselves; a MOV whose endpoint
+    # changed re-enqueues every MOV sharing either register.
+    movs = [i for i in function.instructions if i.opcode is Opcode.MOV]
+    movs_touching: Dict[Register, List[Instruction]] = {}
+    for mov in movs:
+        for reg in (mov.dests[0], mov.srcs[0]):
+            movs_touching.setdefault(reg, []).append(mov)
 
-def _propagate(graph: DefUseGraph, types: Dict[Register, DType]) -> None:
-    """Step 2: fixpoint propagation through type-transparent MOVs."""
-    changed = True
-    while changed:
-        changed = False
-        for instr in graph.function.instructions:
-            if instr.opcode is not Opcode.MOV:
-                continue
-            dst = instr.dests[0]
-            src = instr.srcs[0]
-            dst_type = types.get(dst)
-            src_type = types.get(src)
-            if dst_type is not None and src_type is None:
-                types[src] = dst_type
-                changed = True
-            elif src_type is not None and dst_type is None:
-                types[dst] = src_type
-                changed = True
-            elif (
-                src_type is not None
-                and dst_type is not None
-                and src_type != dst_type
-            ):
-                raise BinaryAnalysisError(
+    def process(mov: Instruction) -> bool:
+        dst = mov.dests[0]
+        src = mov.srcs[0]
+        dst_type = lattice.get(dst)
+        src_type = lattice.get(src)
+        if dst_type is src_type or (
+            dst_type is not None
+            and src_type is not None
+            and dst_type == src_type
+        ):
+            return False
+        if src_type is None:
+            lattice[src] = dst_type
+            return True
+        if dst_type is None:
+            lattice[dst] = src_type
+            return True
+        # Both sides known and different: at least one is a DType.
+        if src_type is _CONFLICT or dst_type is _CONFLICT:
+            lattice[src] = lattice[dst] = _CONFLICT
+            return True
+        if strict:
+            raise BinaryAnalysisError(
+                f"MOV connects registers of different types "
+                f"({src_type.name} vs {dst_type.name}) at {mov}"
+            )
+        conflicts.append(
+            TypeConflict(
+                pc=mov.pc,
+                registers=(src, dst),
+                message=(
                     f"MOV connects registers of different types "
-                    f"({src_type.name} vs {dst_type.name}) at {instr}"
-                )
+                    f"({src_type.name} vs {dst_type.name}) at {mov}"
+                ),
+            )
+        )
+        lattice[src] = lattice[dst] = _CONFLICT
+        return True
+
+    def dependents(mov: Instruction) -> List[Instruction]:
+        out: List[Instruction] = []
+        for reg in (mov.dests[0], mov.srcs[0]):
+            out.extend(movs_touching.get(reg, ()))
+        return out
+
+    evaluations = solve_worklist(list(reversed(movs)), dependents, process)
+
+    types = {
+        reg: value
+        for reg, value in lattice.items()
+        if isinstance(value, DType)
+    }
+    return TypeInference(types=types, conflicts=conflicts, evaluations=evaluations)
 
 
-def infer_access_types(function: GpuFunction) -> Dict[int, AccessType]:
-    """Infer the access type of every memory instruction in ``function``.
-
-    Returns a map from the memory instruction's PC to its
-    :class:`~repro.binary.isa.AccessType`.
-    """
-    graph = DefUseGraph(function)
-    types = _seed_types(graph)
-    _propagate(graph, types)
-
+def _access_types(
+    function: GpuFunction, types: Dict[Register, DType]
+) -> Dict[int, AccessType]:
+    """Step 3: combine register types with encoded widths."""
     result: Dict[int, AccessType] = {}
     for instr in function.memory_instructions:
         data_reg = _data_register(instr)
@@ -129,6 +224,29 @@ def infer_access_types(function: GpuFunction) -> Dict[int, AccessType]:
         count = max(1, width // dtype.bits)
         result[instr.pc] = AccessType(dtype=dtype, count=count)
     return result
+
+
+def infer_access_types(function: GpuFunction) -> Dict[int, AccessType]:
+    """Infer the access type of every memory instruction in ``function``.
+
+    Returns a map from the memory instruction's PC to its
+    :class:`~repro.binary.isa.AccessType`.
+    """
+    inference = infer_register_types(function, strict=True)
+    return _access_types(function, inference.types)
+
+
+def infer_access_types_lenient(
+    function: GpuFunction,
+) -> Tuple[Dict[int, AccessType], List[TypeConflict]]:
+    """Like :func:`infer_access_types` but contradictions don't raise.
+
+    Conflicted registers fall back to the unsigned type of the access
+    width; the contradictions come back alongside the types so the
+    static linter can report them as findings.
+    """
+    inference = infer_register_types(function, strict=False)
+    return _access_types(function, inference.types), inference.conflicts
 
 
 def _data_register(instr: Instruction) -> Optional[Register]:

@@ -63,8 +63,19 @@ class FaultPlan:
     record_tear_rate: float = 0.0
     kernel_raise_rate: float = 0.0
     trace_tear_after: Optional[int] = None
+    #: Where the plan applies: ``"record"`` (live runs, the default),
+    #: ``"replay"`` (the :class:`~repro.trace_io.replayer.TraceReplayer`
+    #: mangles the recorded record stream as it re-emits launches), or
+    #: ``"both"``.
+    scope: str = "record"
+
+    SCOPES = ("record", "replay", "both")
 
     def __post_init__(self) -> None:
+        if self.scope not in self.SCOPES:
+            raise InvalidValueError(
+                f"scope must be one of {self.SCOPES}, got {self.scope!r}"
+            )
         for name in (
             "alloc_failure_rate",
             "corruption_rate",
@@ -79,6 +90,16 @@ class FaultPlan:
                 )
         if self.trace_tear_after is not None and self.trace_tear_after < 0:
             raise InvalidValueError("trace_tear_after must be >= 0 or None")
+
+    @property
+    def applies_to_record(self) -> bool:
+        """Whether live (recording-side) runs should inject this plan."""
+        return self.scope in ("record", "both")
+
+    @property
+    def applies_to_replay(self) -> bool:
+        """Whether trace replays should inject this plan."""
+        return self.scope in ("replay", "both")
 
     @property
     def is_empty(self) -> bool:
@@ -98,7 +119,7 @@ class FaultPlan:
         return cls()
 
     @classmethod
-    def chaos(cls, seed: int) -> "FaultPlan":
+    def chaos(cls, seed: int, scope: str = "record") -> "FaultPlan":
         """A randomized-but-deterministic plan derived from ``seed``.
 
         The chaos CLI and the property suite use this: every fault
@@ -108,6 +129,7 @@ class FaultPlan:
         rng = np.random.default_rng(seed)
         return cls(
             seed=seed,
+            scope=scope,
             alloc_failure_rate=float(rng.uniform(0.0, 0.05)),
             corruption_rate=float(rng.uniform(0.0, 0.3)),
             record_drop_rate=float(rng.uniform(0.0, 0.4)),
@@ -128,6 +150,7 @@ class FaultPlan:
             "record_tear_rate": self.record_tear_rate,
             "kernel_raise_rate": self.kernel_raise_rate,
             "trace_tear_after": self.trace_tear_after,
+            "scope": self.scope,
         }
 
 

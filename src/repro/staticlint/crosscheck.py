@@ -1,0 +1,181 @@
+"""Join static findings with a dynamic profile (tentpole layer 4).
+
+A static finding *predicts* a value behaviour; a profiled
+:class:`~repro.analysis.profile.ValueProfile` *observed* one.  The join
+marks both sides:
+
+- a finding whose kernel was profiled and whose predicted pattern
+  family shows up in the profile becomes ``dynamically_confirmed``;
+- a finding whose kernel was profiled but whose prediction never fired
+  becomes ``unexercised`` (possibly input-dependent — the static side
+  over-approximates);
+- a finding whose rule has no dynamic counterpart (``type-conflict``,
+  ``dead-code``) or whose kernel never ran keeps ``dynamic_status
+  = None``;
+- each matched dynamic hit gains ``metrics["statically_predicted"]``
+  naming the rule that foresaw it.
+
+Matching is two-tier.  Exact: the finding's instrumentation-site PC
+(``details["site_pc"]``, attached by the kernel linter) equals the
+hit's ``metrics["pc"]`` (attached by the offline analyzer when it
+resolves untyped groups).  Fallback: same kernel and the hit's pattern
+belongs to the rule's candidate set — online hits are deduplicated per
+(pattern, object, API vertex) and carry no PC, so kernel granularity is
+the honest level for them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional
+
+from repro.analysis.profile import ValueProfile
+from repro.flowgraph.graph import VertexKind
+from repro.patterns.base import Pattern, PatternHit
+from repro.staticlint.findings import (
+    DYNAMICALLY_CONFIRMED,
+    Finding,
+    UNEXERCISED,
+)
+
+#: rule id -> dynamic patterns the rule statically predicts.
+RULE_PATTERNS: Dict[str, FrozenSet[Pattern]] = {
+    "constant-store": frozenset(
+        {
+            Pattern.SINGLE_VALUE,
+            Pattern.SINGLE_ZERO,
+            Pattern.FREQUENT_VALUES,
+            Pattern.REDUNDANT_VALUES,
+        }
+    ),
+    "re-stored-value": frozenset(
+        {
+            Pattern.REDUNDANT_VALUES,
+            Pattern.DUPLICATE_VALUES,
+            Pattern.FREQUENT_VALUES,
+            Pattern.SINGLE_VALUE,
+        }
+    ),
+    "dead-store": frozenset({Pattern.REDUNDANT_VALUES}),
+    "redundant-load": frozenset(
+        {Pattern.FREQUENT_VALUES, Pattern.SINGLE_VALUE}
+    ),
+    "lossy-conversion": frozenset(
+        {Pattern.APPROXIMATE_VALUES, Pattern.HEAVY_TYPE}
+    ),
+    "width-mismatch": frozenset({Pattern.HEAVY_TYPE}),
+    # type-conflict and dead-code are binary-health rules with no
+    # dynamic counterpart: never confirmed, never unexercised.
+}
+
+
+@dataclass
+class CrossCheckReport:
+    """Result of joining one finding list with one profile."""
+
+    #: All findings, with ``dynamic_status`` filled in (same objects).
+    findings: List[Finding] = field(default_factory=list)
+    #: Dynamic hits at least one finding predicted.
+    predicted_hits: List[PatternHit] = field(default_factory=list)
+    #: Kernel names the profile exercised.
+    profiled_kernels: List[str] = field(default_factory=list)
+
+    @property
+    def confirmed(self) -> List[Finding]:
+        """Findings the profile dynamically confirmed."""
+        return [
+            f
+            for f in self.findings
+            if f.dynamic_status == DYNAMICALLY_CONFIRMED
+        ]
+
+    @property
+    def unexercised(self) -> List[Finding]:
+        """Predictions the profiled inputs never exercised."""
+        return [f for f in self.findings if f.dynamic_status == UNEXERCISED]
+
+    def to_dict(self) -> Dict:
+        return {
+            "profiled_kernels": list(self.profiled_kernels),
+            "confirmed": len(self.confirmed),
+            "unexercised": len(self.unexercised),
+            "predicted_hits": [
+                {
+                    "pattern": hit.pattern.value,
+                    "object": hit.object_label,
+                    "api": hit.api_ref,
+                    "predicted_by": hit.metrics.get("statically_predicted"),
+                }
+                for hit in self.predicted_hits
+            ],
+        }
+
+    def summary(self) -> str:
+        return (
+            f"cross-check: {len(self.confirmed)} finding(s) dynamically "
+            f"confirmed, {len(self.unexercised)} unexercised, over "
+            f"{len(self.profiled_kernels)} profiled kernel(s)"
+        )
+
+
+def _kernel_of(api_ref: str) -> Optional[str]:
+    """The kernel/API name inside a ``v<vid>:<name>`` reference."""
+    if ":" not in api_ref:
+        return None
+    return api_ref.split(":", 1)[1]
+
+
+def cross_check(
+    findings: List[Finding], profile: ValueProfile
+) -> CrossCheckReport:
+    """Mark ``findings`` and ``profile`` hits by what the other side saw.
+
+    Mutates both in place (statuses on findings, a
+    ``statically_predicted`` metric on matched hits) and returns the
+    report; the inputs are unchanged otherwise.
+    """
+    hits_by_kernel: Dict[str, List[PatternHit]] = {}
+    for hit in profile.hits:
+        name = _kernel_of(hit.api_ref)
+        if name is not None:
+            hits_by_kernel.setdefault(name, []).append(hit)
+    profiled = {
+        v.name
+        for v in profile.graph.vertices()
+        if v.kind is VertexKind.KERNEL
+    }
+    profiled.update(hits_by_kernel)
+
+    report = CrossCheckReport(
+        findings=list(findings),
+        profiled_kernels=sorted(profiled),
+    )
+    predicted_ids = set()
+    for finding in findings:
+        patterns = RULE_PATTERNS.get(finding.rule_id)
+        if patterns is None or finding.kernel is None:
+            continue
+        candidates = [
+            hit
+            for hit in hits_by_kernel.get(finding.kernel, [])
+            if hit.pattern in patterns
+        ]
+        site_pc = finding.details.get("site_pc")
+        if site_pc is not None:
+            exact = [
+                hit for hit in candidates if hit.metrics.get("pc") == site_pc
+            ]
+            if exact:
+                candidates = exact
+        if candidates:
+            finding.dynamic_status = DYNAMICALLY_CONFIRMED
+            for hit in candidates:
+                hit.metrics.setdefault(
+                    "statically_predicted", finding.rule_id
+                )
+                if id(hit) not in predicted_ids:
+                    predicted_ids.add(id(hit))
+                    report.predicted_hits.append(hit)
+        elif finding.kernel in profiled:
+            finding.dynamic_status = UNEXERCISED
+    return report

@@ -1,0 +1,274 @@
+"""A generic worklist dataflow framework over the SASS-like CFG.
+
+The framework has two layers:
+
+- :func:`solve_worklist` — a chaotic-iteration engine over arbitrary
+  nodes: process a node, and if its state changed, re-enqueue its
+  dependents.  Both the block-level analyses here and the *sparse*
+  type-lattice propagation in :mod:`repro.binary.slicing` run on it.
+- :class:`DataflowAnalysis` — the block-level specialization,
+  parameterized by direction, lattice (``boundary`` / ``initial`` /
+  ``join``) and a per-block ``transfer`` function; :func:`run_analysis`
+  drives it to a fixpoint and returns per-block in/out states.
+
+Shipped instances: :class:`ReachingDefinitions` (forward, sets of
+``(pc, register)`` facts) and :class:`Liveness` (backward, sets of live
+registers).  The type lattice lives with the slicer it refactors
+(:mod:`repro.binary.slicing`) but uses the same engine.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Generic,
+    Hashable,
+    Iterable,
+    List,
+    Tuple,
+    TypeVar,
+)
+
+from repro.binary.isa import Instruction, Register
+from repro.staticlint.cfg import BasicBlock, ControlFlowGraph
+
+N = TypeVar("N", bound=Hashable)
+S = TypeVar("S")
+
+
+def solve_worklist(
+    nodes: Iterable[N],
+    dependents: Callable[[N], Iterable[N]],
+    process: Callable[[N], bool],
+) -> int:
+    """Chaotic iteration: run ``process`` on every node until stable.
+
+    ``process(node)`` recomputes the node's state and returns whether it
+    changed; on change, ``dependents(node)`` are re-enqueued.  Returns
+    the number of node evaluations (a cheap convergence metric the
+    telemetry layer reports).
+    """
+    pending: List[N] = list(nodes)
+    queued = set(pending)
+    evaluations = 0
+    while pending:
+        node = pending.pop()
+        queued.discard(node)
+        evaluations += 1
+        if process(node):
+            for dep in dependents(node):
+                if dep not in queued:
+                    queued.add(dep)
+                    pending.append(dep)
+    return evaluations
+
+
+class Direction(enum.Enum):
+    """Propagation direction of a block-level analysis."""
+
+    FORWARD = "forward"
+    BACKWARD = "backward"
+
+
+@dataclass
+class BlockStates(Generic[S]):
+    """Per-block fixpoint states of one analysis run."""
+
+    in_states: Dict[int, S]
+    out_states: Dict[int, S]
+    #: Node evaluations the worklist needed to converge.
+    evaluations: int = 0
+
+
+class DataflowAnalysis(Generic[S]):
+    """A block-level dataflow problem; subclass and feed to
+    :func:`run_analysis`."""
+
+    direction: Direction = Direction.FORWARD
+
+    def boundary(self) -> S:
+        """State at the entry (forward) or exits (backward)."""
+        raise NotImplementedError
+
+    def initial(self) -> S:
+        """Optimistic initial state of every other block."""
+        raise NotImplementedError
+
+    def join(self, a: S, b: S) -> S:
+        """Lattice join (confluence operator)."""
+        raise NotImplementedError
+
+    def transfer(self, block: BasicBlock, state: S) -> S:
+        """Push a state through one block (in program order for forward
+        analyses, reverse order for backward ones)."""
+        raise NotImplementedError
+
+    def equal(self, a: S, b: S) -> bool:
+        """State equality (defaults to ``==``)."""
+        return a == b
+
+
+def run_analysis(
+    analysis: DataflowAnalysis[S], cfg: ControlFlowGraph
+) -> BlockStates[S]:
+    """Drive ``analysis`` to a fixpoint over ``cfg``'s reachable blocks."""
+    forward = analysis.direction is Direction.FORWARD
+    order = cfg.reverse_post_order()
+    if not forward:
+        order = list(reversed(order))
+    reachable = set(order)
+
+    in_states: Dict[int, S] = {}
+    out_states: Dict[int, S] = {}
+    for index in order:
+        in_states[index] = analysis.initial()
+        out_states[index] = analysis.initial()
+
+    def inputs_of(index: int) -> List[int]:
+        block = cfg.blocks[index]
+        edges = block.predecessors if forward else block.successors
+        return [e for e in edges if e in reachable]
+
+    def dependents_of(index: int) -> List[int]:
+        block = cfg.blocks[index]
+        edges = block.successors if forward else block.predecessors
+        return [e for e in edges if e in reachable]
+
+    is_boundary = (
+        (lambda i: i == 0) if forward else (lambda i: not inputs_of(i))
+    )
+
+    def process(index: int) -> bool:
+        feeds = inputs_of(index)
+        if is_boundary(index) and not feeds:
+            confluence = analysis.boundary()
+        else:
+            confluence = analysis.initial()
+            for feed in feeds:
+                confluence = analysis.join(confluence, out_states[feed])
+            if is_boundary(index):
+                confluence = analysis.join(confluence, analysis.boundary())
+        in_states[index] = confluence
+        new_out = analysis.transfer(cfg.blocks[index], confluence)
+        if analysis.equal(new_out, out_states[index]):
+            return False
+        out_states[index] = new_out
+        return True
+
+    # Seed in propagation order so most blocks settle in one sweep.
+    evaluations = solve_worklist(list(reversed(order)), dependents_of, process)
+    return BlockStates(in_states, out_states, evaluations)
+
+
+# -- instances ---------------------------------------------------------------
+
+#: A definition fact: (defining pc, register).
+Definition = Tuple[int, Register]
+
+
+class ReachingDefinitions(DataflowAnalysis[FrozenSet[Definition]]):
+    """Which ``(pc, register)`` definitions reach each point.
+
+    The IR is SSA (one definition per register), so no definition is
+    ever killed — but the transfer function kills same-register facts
+    anyway, keeping the instance correct for non-SSA inputs (decoded
+    binaries are not validated until a def-use graph is built).
+    """
+
+    direction = Direction.FORWARD
+
+    def boundary(self) -> FrozenSet[Definition]:
+        return frozenset()
+
+    def initial(self) -> FrozenSet[Definition]:
+        return frozenset()
+
+    def join(
+        self, a: FrozenSet[Definition], b: FrozenSet[Definition]
+    ) -> FrozenSet[Definition]:
+        return a | b
+
+    def transfer(
+        self, block: BasicBlock, state: FrozenSet[Definition]
+    ) -> FrozenSet[Definition]:
+        facts = set(state)
+        for instr in block.instructions:
+            for reg in instr.dests:
+                facts = {f for f in facts if f[1] != reg}
+                facts.add((instr.pc, reg))
+        return frozenset(facts)
+
+    @staticmethod
+    def at_each_instruction(
+        cfg: ControlFlowGraph, states: BlockStates[FrozenSet[Definition]]
+    ) -> Dict[int, FrozenSet[Definition]]:
+        """Reaching definitions immediately *before* every instruction."""
+        before: Dict[int, FrozenSet[Definition]] = {}
+        for index, state in states.in_states.items():
+            facts = set(state)
+            for instr in cfg.blocks[index].instructions:
+                before[instr.pc] = frozenset(facts)
+                for reg in instr.dests:
+                    facts = {f for f in facts if f[1] != reg}
+                    facts.add((instr.pc, reg))
+        return before
+
+
+class Liveness(DataflowAnalysis[FrozenSet[Register]]):
+    """Which registers are live (will still be read) at each point."""
+
+    direction = Direction.BACKWARD
+
+    def boundary(self) -> FrozenSet[Register]:
+        return frozenset()
+
+    def initial(self) -> FrozenSet[Register]:
+        return frozenset()
+
+    def join(
+        self, a: FrozenSet[Register], b: FrozenSet[Register]
+    ) -> FrozenSet[Register]:
+        return a | b
+
+    def transfer(
+        self, block: BasicBlock, state: FrozenSet[Register]
+    ) -> FrozenSet[Register]:
+        live = set(state)
+        for instr in reversed(block.instructions):
+            for reg in instr.dests:
+                live.discard(reg)
+            live.update(instr.uses)
+        return frozenset(live)
+
+    @staticmethod
+    def after_each_instruction(
+        cfg: ControlFlowGraph, states: BlockStates[FrozenSet[Register]]
+    ) -> Dict[int, FrozenSet[Register]]:
+        """Live registers immediately *after* every instruction.
+
+        For a backward analysis the block's ``out_states`` entry is the
+        state at the block's *start*; the state flowing in from the
+        successors — ``in_states`` — is what holds after its last
+        instruction.
+        """
+        after: Dict[int, FrozenSet[Register]] = {}
+        for index, state in states.in_states.items():
+            live = set(state)
+            for instr in reversed(cfg.blocks[index].instructions):
+                after[instr.pc] = frozenset(live)
+                for reg in instr.dests:
+                    live.discard(reg)
+                live.update(instr.uses)
+        return after
+
+
+def defined_registers(instructions: Iterable[Instruction]) -> FrozenSet[Register]:
+    """Every register defined by ``instructions``."""
+    regs = set()
+    for instr in instructions:
+        regs.update(instr.dests)
+    return frozenset(regs)

@@ -1,0 +1,76 @@
+"""Lint findings: what a pass reports and how severe it is."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+
+class Severity(enum.IntEnum):
+    """Ordered severity: comparisons follow the enum value."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        try:
+            return cls[text.upper()]
+        except KeyError:
+            raise ValueError(f"unknown severity {text!r}") from None
+
+
+#: Cross-check status values a finding may carry (None = no cross-check ran).
+DYNAMICALLY_CONFIRMED = "dynamically_confirmed"
+UNEXERCISED = "unexercised"
+
+
+@dataclass
+class Finding:
+    """One lint diagnostic anchored to an instruction."""
+
+    pc: int
+    rule_id: str
+    severity: Severity
+    message: str
+    #: Source line the pc maps back to via the kernel line map, if known.
+    source_line: Optional[int] = None
+    #: Kernel (function) name the finding belongs to.
+    kernel: Optional[str] = None
+    #: Set by :mod:`repro.staticlint.crosscheck`: ``dynamically_confirmed``
+    #: when a profiled pattern instance matches, ``unexercised`` when the
+    #: kernel was profiled but no instance did, None when never checked.
+    dynamic_status: Optional[str] = None
+    #: Free-form per-rule details (registers, widths, pcs involved).
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation (stable key order)."""
+        out: Dict[str, Any] = {
+            "pc": self.pc,
+            "rule_id": self.rule_id,
+            "severity": str(self.severity),
+            "message": self.message,
+        }
+        if self.kernel is not None:
+            out["kernel"] = self.kernel
+        if self.source_line is not None:
+            out["source_line"] = self.source_line
+        if self.dynamic_status is not None:
+            out["dynamic_status"] = self.dynamic_status
+        if self.details:
+            out["details"] = dict(self.details)
+        return out
+
+    def render(self) -> str:
+        """One-line human rendering for the CLI."""
+        where = f"{self.kernel or '?'}@{self.pc:#x}"
+        if self.source_line is not None:
+            where += f" (line {self.source_line})"
+        tail = f" [{self.dynamic_status}]" if self.dynamic_status else ""
+        return f"{self.severity}: {self.rule_id}: {where}: {self.message}{tail}"

@@ -1,0 +1,286 @@
+"""The lint driver: a function, a kernel, or a whole workload.
+
+Three granularities, each feeding the next:
+
+- :func:`lint_function` runs the passes over one
+  :class:`~repro.binary.module.GpuFunction`;
+- :func:`lint_kernel` lints a kernel's attached binary and maps each
+  finding back to the kernel's instrumentation sites (source line and
+  site PC) by the same program-order matching the offline analyzer
+  uses for access-type resolution;
+- :func:`lint_workload` profiles a registered workload once (fine
+  instrumentation on *every* kernel, so each PC table fills), makes
+  sure every launched kernel has a binary — synthesizing one from the
+  observed per-site access types where the workload didn't hand-write
+  one — lints them all, and cross-checks the findings against the
+  collected profile.
+
+Synthesized binaries are detached again after linting: kernels are
+module-level singletons, and a lint run must not change what a later
+profiling run sees.
+
+All self-telemetry (``repro_staticlint_*`` metrics, ``staticlint.*``
+spans) sits behind one-branch ``telemetry.ENABLED`` gates, like every
+other subsystem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import repro.obs as telemetry
+from repro.analysis.profile import ValueProfile
+from repro.binary.module import GpuFunction
+from repro.binary.synthesis import synthesize_binary
+from repro.errors import BinaryAnalysisError
+from repro.gpu.accesses import AccessKind
+from repro.gpu.dtypes import DType
+from repro.gpu.kernel import Kernel
+from repro.gpu.runtime import GpuRuntime, KernelLaunchEvent, RuntimeListener
+from repro.gpu.timing import Platform, RTX_2080_TI
+from repro.staticlint.crosscheck import CrossCheckReport, cross_check
+from repro.staticlint.findings import Finding, Severity
+from repro.staticlint.passes import LintContext, run_passes
+
+
+@dataclass
+class LintResult:
+    """Everything one lint invocation produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    #: Kernel names actually linted.
+    kernels: List[str] = field(default_factory=list)
+    #: Kernels whose binaries were synthesized for this run.
+    synthesized: List[str] = field(default_factory=list)
+    #: Kernels skipped (no memory sites, so nothing to lint).
+    skipped: List[str] = field(default_factory=list)
+    workload: Optional[str] = None
+    crosscheck: Optional[CrossCheckReport] = None
+
+    def count(self, severity: Severity) -> int:
+        """Findings at exactly ``severity``."""
+        return sum(1 for f in self.findings if f.severity is severity)
+
+    @property
+    def has_errors(self) -> bool:
+        """Whether any finding is error-severity (CLI exit-code driver)."""
+        return any(f.severity is Severity.ERROR for f in self.findings)
+
+    def to_dict(self) -> Dict:
+        """JSON-ready representation (CI artifact format)."""
+        out: Dict = {
+            "workload": self.workload,
+            "kernels": list(self.kernels),
+            "synthesized": list(self.synthesized),
+            "skipped": list(self.skipped),
+            "counts": {
+                str(sev): self.count(sev)
+                for sev in (Severity.ERROR, Severity.WARNING, Severity.INFO)
+            },
+            "findings": [f.to_dict() for f in self.findings],
+        }
+        if self.crosscheck is not None:
+            out["crosscheck"] = self.crosscheck.to_dict()
+        return out
+
+    def render(self) -> str:
+        """Multi-line human rendering for the CLI."""
+        lines = [f.render() for f in self.findings]
+        lines.append(
+            f"{len(self.findings)} finding(s) over "
+            f"{len(self.kernels)} kernel(s): "
+            f"{self.count(Severity.ERROR)} error(s), "
+            f"{self.count(Severity.WARNING)} warning(s), "
+            f"{self.count(Severity.INFO)} info"
+        )
+        if self.crosscheck is not None:
+            lines.append(self.crosscheck.summary())
+        return "\n".join(lines)
+
+
+def lint_function(
+    function: GpuFunction,
+    kernel: Optional[str] = None,
+    line_map: Optional[Dict[int, int]] = None,
+    rules: Optional[List[str]] = None,
+) -> List[Finding]:
+    """Run the lint passes over one function."""
+    span = (
+        telemetry.tracer().begin("staticlint.function", function=function.name)
+        if telemetry.ENABLED
+        else None
+    )
+    ctx = LintContext(
+        function, kernel=kernel or function.name, line_map=line_map or {}
+    )
+    findings = run_passes(ctx, rules)
+    if span is not None:
+        span.end()
+        telemetry.counter(
+            "repro_staticlint_functions_total",
+            "Functions run through the static linter.",
+        ).inc()
+        for finding in findings:
+            telemetry.counter(
+                "repro_staticlint_findings_total",
+                "Static lint findings, by severity.",
+                labelnames=("severity",),
+            ).labels(severity=str(finding.severity)).inc()
+    return findings
+
+
+def lint_kernel(
+    kernel: Kernel, rules: Optional[List[str]] = None
+) -> List[Finding]:
+    """Lint a kernel's binary, attributing findings to its sites.
+
+    The binary's memory instructions correspond, in program order, to
+    the kernel's instrumentation sites (exactly the assumption
+    ``OfflineAnalyzer.resolve_kernel_types`` makes); each finding on a
+    memory instruction gains the site's source line and, in
+    ``details["site_pc"]``, the site PC the cross-check joins on.
+    """
+    if kernel.binary is None:
+        raise BinaryAnalysisError(
+            f"kernel {kernel.name!r} has no binary; attach or synthesize "
+            f"one before linting"
+        )
+    function: GpuFunction = kernel.binary
+    site_pcs = sorted(kernel.line_map)
+    binary_pcs = sorted(i.pc for i in function.memory_instructions)
+    site_of: Dict[int, int] = {}
+    line_map: Dict[int, int] = {}
+    for site_pc, binary_pc in zip(site_pcs, binary_pcs):
+        site_of[binary_pc] = site_pc
+        line_map[binary_pc] = kernel.line_map[site_pc][1]
+    findings = lint_function(
+        function, kernel=kernel.name, line_map=line_map, rules=rules
+    )
+    for finding in findings:
+        site_pc = site_of.get(finding.pc)
+        if site_pc is not None:
+            finding.details.setdefault("site_pc", site_pc)
+    return findings
+
+
+class _SiteTypeRoster(RuntimeListener):
+    """Instruments every launch and remembers, per kernel, the access
+    type and kind each instrumentation site exhibited — the inputs
+    binary synthesis needs."""
+
+    def __init__(self):
+        self.kernels: Dict[str, Kernel] = {}
+        self._types: Dict[str, Dict[Tuple[str, int], DType]] = {}
+        self._kinds: Dict[str, Dict[Tuple[str, int], str]] = {}
+
+    def instrument_kernel(self, kernel: Kernel, grid: int, block: int) -> bool:
+        """Vote for instrumentation on every kernel: the lint needs every
+        PC table populated, not just the hot kernels'."""
+        return True
+
+    def on_api_end(self, event) -> None:
+        """Harvest per-site access types from a finished launch."""
+        if not isinstance(event, KernelLaunchEvent):
+            return
+        kernel = event.kernel
+        self.kernels.setdefault(kernel.name, kernel)
+        types = self._types.setdefault(kernel.name, {})
+        kinds = self._kinds.setdefault(kernel.name, {})
+        for record in event.records:
+            site = kernel.line_map.get(record.pc)
+            if site is None:
+                continue
+            if record.dtype is not None:
+                types.setdefault(site, record.dtype)
+            kinds.setdefault(
+                site, "load" if record.kind is AccessKind.LOAD else "store"
+            )
+
+    def site_info(
+        self, kernel: Kernel
+    ) -> Tuple[Dict[Tuple[str, int], DType], Dict[Tuple[str, int], str]]:
+        """(site -> dtype, site -> kind) observed for ``kernel``."""
+        return (
+            dict(self._types.get(kernel.name, {})),
+            dict(self._kinds.get(kernel.name, {})),
+        )
+
+
+def lint_workload(
+    name: str,
+    scale: float = 0.25,
+    platform: Platform = RTX_2080_TI,
+    rules: Optional[List[str]] = None,
+    cross_profile: Optional[ValueProfile] = None,
+) -> LintResult:
+    """Lint every kernel a registered workload launches.
+
+    Profiles the workload once at ``scale`` (instrumenting every
+    kernel), synthesizes binaries for kernels that lack one, lints each,
+    and cross-checks the findings against the run's profile — or
+    against ``cross_profile`` when given (e.g. one replayed from a
+    recorded trace).
+    """
+    # Imported here: the linter is a library layer, the facade an
+    # application layer; a module-level import would be a layering cycle
+    # the moment the facade wants to lint.
+    from repro.tool.config import ToolConfig
+    from repro.tool.valueexpert import ValueExpert
+    from repro.workloads import get_workload
+
+    span = (
+        telemetry.tracer().begin("staticlint.workload", workload=name)
+        if telemetry.ENABLED
+        else None
+    )
+    workload = get_workload(name)(scale=scale)
+    runtime = GpuRuntime(platform=platform)
+    roster = _SiteTypeRoster()
+    runtime.subscribe(roster)
+    try:
+        profile = ValueExpert(ToolConfig()).profile(
+            workload.run_baseline,
+            runtime=runtime,
+            platform=platform,
+            name=workload.name,
+        )
+    finally:
+        runtime.unsubscribe(roster)
+
+    result = LintResult(workload=name)
+    for kernel_name in sorted(roster.kernels):
+        kernel = roster.kernels[kernel_name]
+        synthesized_here = False
+        if kernel.binary is None:
+            if not kernel.line_map:
+                result.skipped.append(kernel_name)
+                continue
+            site_types, site_kinds = roster.site_info(kernel)
+            synthesize_binary(kernel, site_types, site_kinds)
+            synthesized_here = True
+            result.synthesized.append(kernel_name)
+        try:
+            result.findings.extend(lint_kernel(kernel, rules))
+            result.kernels.append(kernel_name)
+        finally:
+            if synthesized_here:
+                kernel.binary = None
+
+    report = cross_check(result.findings, cross_profile or profile)
+    result.crosscheck = report
+    if span is not None:
+        span.end()
+        telemetry.counter(
+            "repro_staticlint_workloads_total",
+            "Workloads run through the static linter.",
+        ).inc()
+        telemetry.counter(
+            "repro_staticlint_kernels_total",
+            "Kernels linted (binaries analyzed).",
+        ).inc(len(result.kernels))
+        telemetry.counter(
+            "repro_staticlint_confirmed_total",
+            "Static findings dynamically confirmed by cross-checking.",
+        ).inc(len(report.confirmed))
+    return result

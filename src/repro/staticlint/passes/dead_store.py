@@ -1,0 +1,133 @@
+"""Store-value rules: dead stores, re-stored values, constant stores.
+
+``dead-store`` (warning): a store whose address register is stored
+again in the same block, with no intervening load from that address —
+the first write can never be observed.  Predicated stores neither kill
+nor are flagged (they may not execute in every thread).
+
+``re-stored-value`` (warning): the same data register written to memory
+two or more times.  Statically this predicts the *redundant value*
+pattern the dynamic profiler looks for — every executed instance of the
+later stores writes a value memory already holds somewhere.
+
+``constant-store`` (warning): a store whose data register is a known
+compile-time constant — currently the ``LOP d, r, r`` xor-zero idiom,
+followed through MOV chains.  Predicts the *single-value* / *dense*
+dynamic patterns: every executed instance writes the same value.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.binary.isa import Instruction, Opcode, Register
+from repro.staticlint.findings import Finding, Severity
+from repro.staticlint.passes import LintContext
+
+
+def run(ctx: LintContext) -> List[Finding]:
+    findings: List[Finding] = []
+    findings.extend(_dead_stores(ctx))
+    findings.extend(_re_stored_values(ctx))
+    findings.extend(_constant_stores(ctx))
+    return findings
+
+
+def _dead_stores(ctx: LintContext) -> List[Finding]:
+    findings: List[Finding] = []
+    for block in ctx.cfg.blocks:
+        # (space opcode, address register) -> the pending store
+        last_store: Dict[Tuple[Opcode, Register], Instruction] = {}
+        for instr in block.instructions:
+            if instr.opcode.is_load and instr.addr is not None:
+                for key in [k for k in last_store if k[1] == instr.addr]:
+                    del last_store[key]
+                continue
+            if not instr.opcode.is_store or instr.addr is None:
+                continue
+            key = (instr.opcode, instr.addr)
+            if instr.pred is not None:
+                # A guarded store may not execute: it cannot prove the
+                # previous store dead, and is never flagged itself.
+                last_store.pop(key, None)
+                continue
+            prev = last_store.get(key)
+            if prev is not None and prev.width_bits == instr.width_bits:
+                findings.append(
+                    ctx.finding(
+                        prev.pc,
+                        "dead-store",
+                        Severity.WARNING,
+                        f"store to [{prev.addr}] is overwritten at "
+                        f"{instr.pc:#x} before any load",
+                        details={"overwritten_by": instr.pc},
+                    )
+                )
+            last_store[key] = instr
+    return findings
+
+
+def _re_stored_values(ctx: LintContext) -> List[Finding]:
+    stores_of: Dict[Register, List[Instruction]] = {}
+    for instr in ctx.function.instructions:
+        if instr.opcode.is_store and instr.srcs:
+            stores_of.setdefault(instr.srcs[0], []).append(instr)
+    findings: List[Finding] = []
+    for reg, stores in stores_of.items():
+        if len(stores) < 2:
+            continue
+        first = stores[0]
+        for later in stores[1:]:
+            findings.append(
+                ctx.finding(
+                    later.pc,
+                    "re-stored-value",
+                    Severity.WARNING,
+                    f"{reg} already stored at {first.pc:#x}; every executed "
+                    f"instance re-writes the same value (redundant-value "
+                    f"candidate)",
+                    details={
+                        "register": str(reg),
+                        "first_store": first.pc,
+                        "stores": len(stores),
+                    },
+                )
+            )
+    return findings
+
+
+def _constant_stores(ctx: LintContext) -> List[Finding]:
+    # Registers provably zero: LOP d, r, r (xor-zero), closed over MOVs.
+    zero: Set[Register] = set()
+    for instr in ctx.function.instructions:
+        if (
+            instr.opcode is Opcode.LOP
+            and len(instr.srcs) == 2
+            and instr.srcs[0] == instr.srcs[1]
+            and instr.dests
+        ):
+            zero.add(instr.dests[0])
+        elif (
+            instr.opcode is Opcode.MOV
+            and instr.srcs
+            and instr.srcs[0] in zero
+            and instr.dests
+        ):
+            zero.add(instr.dests[0])
+    if not zero:
+        return []
+    findings: List[Finding] = []
+    for instr in ctx.function.instructions:
+        if instr.opcode.is_store and instr.srcs and instr.srcs[0] in zero:
+            findings.append(
+                ctx.finding(
+                    instr.pc,
+                    "constant-store",
+                    Severity.WARNING,
+                    f"stores {instr.srcs[0]}, a compile-time zero "
+                    f"(xor-zero idiom); every executed instance writes the "
+                    f"same value (single-value candidate)",
+                    details={"register": str(instr.srcs[0])},
+                )
+            )
+    return findings

@@ -1,0 +1,89 @@
+"""``lossy-conversion`` (warning): a conversion chain that destroys
+value bits and then converts back.
+
+Two shapes are detected, following the first conversion's result through
+MOV chains to the second:
+
+- ``F2I ... I2F``: the float→int leg drops the fraction, so the
+  round-tripped float is quantized — statically this predicts the
+  *approximate/integer-valued float* dynamic pattern.
+- narrowing ``F2F`` followed by a widening ``F2F`` (or widening to at
+  least the original width): the mantissa lost in the narrow leg never
+  comes back; the widened values occupy a fraction of their type's
+  value space.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.binary.isa import Instruction, Opcode
+from repro.staticlint.findings import Finding, Severity
+from repro.staticlint.passes import LintContext
+
+_CONVERSIONS = (Opcode.I2F, Opcode.F2I, Opcode.F2F)
+
+
+def run(ctx: LintContext) -> List[Finding]:
+    findings: List[Finding] = []
+    for first in ctx.function.instructions:
+        if first.opcode not in _CONVERSIONS or not first.dests:
+            continue
+        for second in _conversion_consumers(ctx, first):
+            label = _lossy_pair(first, second)
+            if label is None:
+                continue
+            findings.append(
+                ctx.finding(
+                    second.pc,
+                    "lossy-conversion",
+                    Severity.WARNING,
+                    label,
+                    details={"first_conversion": first.pc},
+                )
+            )
+    return findings
+
+
+def _conversion_consumers(
+    ctx: LintContext, first: Instruction
+) -> List[Instruction]:
+    """Conversions consuming ``first``'s result, through MOV chains."""
+    graph = ctx.defuse
+    out: List[Instruction] = []
+    pending = [first.dests[0]]
+    seen = set(pending)
+    while pending:
+        reg = pending.pop()
+        for use in graph.uses(reg):
+            if use.opcode is Opcode.MOV and use.dests:
+                if use.dests[0] not in seen:
+                    seen.add(use.dests[0])
+                    pending.append(use.dests[0])
+            elif use.opcode in _CONVERSIONS and reg in use.srcs:
+                out.append(use)
+    return out
+
+
+def _lossy_pair(first: Instruction, second: Instruction) -> str:
+    """Message if (first, second) is a lossy round-trip, else None."""
+    if first.opcode is Opcode.F2I and second.opcode is Opcode.I2F:
+        return (
+            f"float→int→float round-trip (F2I at {first.pc:#x}) drops the "
+            f"fraction; values are integer-quantized"
+        )
+    if (
+        first.opcode is Opcode.F2F
+        and second.opcode is Opcode.F2F
+        and first.src_type is not None
+        and first.dst_type is not None
+        and second.dst_type is not None
+        and first.dst_type.bits < first.src_type.bits
+        and second.dst_type.bits > first.dst_type.bits
+    ):
+        return (
+            f"narrow-then-widen float chain (F2F {first.src_type.name}→"
+            f"{first.dst_type.name} at {first.pc:#x}, widened to "
+            f"{second.dst_type.name}); the dropped mantissa never returns"
+        )
+    return None

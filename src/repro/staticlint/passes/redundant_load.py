@@ -1,0 +1,50 @@
+"""``redundant-load`` (warning): the same address register loaded twice
+in one block, same opcode and width, with no intervening store to that
+address — the second load re-reads a value already in a register.
+
+Predicts the dynamic *redundant load* pattern (every instance of the
+second load observes the value the first one did).  Guarded loads are
+skipped: they may not execute in every thread.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.binary.isa import Instruction, Opcode, Register
+from repro.staticlint.findings import Finding, Severity
+from repro.staticlint.passes import LintContext
+
+
+def run(ctx: LintContext) -> List[Finding]:
+    findings: List[Finding] = []
+    for block in ctx.cfg.blocks:
+        first_load: Dict[
+            Tuple[Opcode, Register, Optional[int]], Instruction
+        ] = {}
+        for instr in block.instructions:
+            if instr.opcode.is_store and instr.addr is not None:
+                for key in [k for k in first_load if k[1] == instr.addr]:
+                    del first_load[key]
+                continue
+            if not instr.opcode.is_load or instr.addr is None:
+                continue
+            if instr.pred is not None:
+                continue
+            key = (instr.opcode, instr.addr, instr.width_bits)
+            prev = first_load.get(key)
+            if prev is None:
+                first_load[key] = instr
+                continue
+            findings.append(
+                ctx.finding(
+                    instr.pc,
+                    "redundant-load",
+                    Severity.WARNING,
+                    f"[{instr.addr}] already loaded at {prev.pc:#x} with no "
+                    f"intervening store; the value is still in "
+                    f"{prev.dests[0] if prev.dests else '?'}",
+                    details={"first_load": prev.pc},
+                )
+            )
+    return findings

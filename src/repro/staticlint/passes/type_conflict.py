@@ -1,0 +1,33 @@
+"""``type-conflict`` (error): the bidirectional slicer found a register
+constrained to two different element types.
+
+This is the slicer's strict-mode :class:`~repro.errors.BinaryAnalysisError`
+downgraded to a finding: the lenient slice records every contradiction
+(see :class:`repro.binary.slicing.TypeConflict`) and keeps going, so a
+lint run reports *all* conflicts in a function instead of dying on the
+first.  The profiler itself still refuses to type such a binary.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.staticlint.findings import Finding, Severity
+from repro.staticlint.passes import LintContext
+
+
+def run(ctx: LintContext) -> List[Finding]:
+    findings: List[Finding] = []
+    for conflict in ctx.inference.conflicts:
+        findings.append(
+            ctx.finding(
+                conflict.pc,
+                "type-conflict",
+                Severity.ERROR,
+                conflict.message,
+                details={
+                    "registers": [str(r) for r in conflict.registers],
+                },
+            )
+        )
+    return findings

@@ -1,0 +1,72 @@
+"""``width-mismatch``: a memory access width that disagrees with the
+inferred element type of its data register.
+
+Severity depends on the shape of the disagreement:
+
+- *error*: the width is at least one element wide but not a multiple of
+  the element size — no whole number of values fits the access (a
+  48-bit access of FLOAT32, say).  The profiler's
+  :meth:`~repro.binary.isa.AccessType.from_width` would refuse it.
+- *warning*: a float register accessed narrower than its type — the
+  truncated mantissa/exponent silently corrupts the value.
+- clean: an *integer* register accessed narrower than its type.  Narrow
+  integer loads into wider registers (an 8-bit flag into a 32-bit
+  predicate input) are idiomatic SASS and must not fire.
+
+Registers the slicer could not type (fallback-typed) are skipped — the
+rule only reports disagreements with *evidence*, not with defaults.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.binary.isa import Instruction, Register
+from repro.staticlint.findings import Finding, Severity
+from repro.staticlint.passes import LintContext
+
+
+def _data_register(instr: Instruction) -> Optional[Register]:
+    if instr.opcode.is_load:
+        return instr.dests[0] if instr.dests else None
+    if instr.opcode.is_store:
+        return instr.srcs[0] if instr.srcs else None
+    return None
+
+
+def run(ctx: LintContext) -> List[Finding]:
+    types = ctx.inference.types
+    findings: List[Finding] = []
+    for instr in ctx.function.memory_instructions:
+        reg = _data_register(instr)
+        if reg is None:
+            continue
+        dtype = types.get(reg)
+        if dtype is None:
+            continue
+        width = instr.width_bits or 32
+        if width >= dtype.bits:
+            if width % dtype.bits != 0:
+                findings.append(
+                    ctx.finding(
+                        instr.pc,
+                        "width-mismatch",
+                        Severity.ERROR,
+                        f"{width}-bit access of {reg} typed {dtype.name} "
+                        f"({dtype.bits} bits): no whole number of values "
+                        f"fits the access",
+                        details={"width_bits": width, "dtype": dtype.name},
+                    )
+                )
+        elif dtype.is_float:
+            findings.append(
+                ctx.finding(
+                    instr.pc,
+                    "width-mismatch",
+                    Severity.WARNING,
+                    f"{width}-bit access of {reg} typed {dtype.name} "
+                    f"({dtype.bits} bits) truncates the value",
+                    details={"width_bits": width, "dtype": dtype.name},
+                )
+            )
+    return findings

@@ -12,7 +12,12 @@ Commands:
 - ``health <workload>`` — run a resilient (optionally chaos-injected)
   profile and print its :class:`~repro.resilience.HealthReport`; the
   exit code stays 0 however degraded the run was — degradation is loud
-  in the report, invisible in the exit code (``docs/resilience.md``).
+  in the report, invisible in the exit code (``docs/resilience.md``);
+- ``lint [--workload NAME | --all]`` — run the static value-pattern
+  linter (:mod:`repro.staticlint`) over a workload's kernels (or every
+  registered workload), cross-check findings against the dynamic
+  profile, and exit nonzero iff any finding is error-severity
+  (``docs/static-analysis.md``).
 
 Any :class:`~repro.errors.ReproError` exits nonzero with a one-line
 message; pass ``--debug`` (before the subcommand) for the full
@@ -43,6 +48,7 @@ from repro.obs.selfreport import (
     stage_rows,
 )
 from repro.resilience import FaultPlan
+from repro.staticlint import Severity, lint_workload
 from repro.tool.config import ToolConfig
 from repro.tool.valueexpert import ValueExpert
 from repro.workloads import get_workload, workload_names
@@ -149,6 +155,48 @@ def _cmd_health(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    names = workload_names() if args.all else [args.workload]
+    rules = args.rules.split(",") if args.rules else None
+    cross_profile = None
+    if args.cross_check:
+        # Replay the recorded trace once; every linted workload
+        # cross-checks against the replayed profile instead of its own
+        # fresh run (the record/replay decoupling at work).
+        cross_profile = ValueExpert(ToolConfig()).profile_from_trace(
+            args.cross_check
+        )
+    results = []
+    exit_code = 0
+    for index, name in enumerate(names):
+        result = lint_workload(
+            name,
+            scale=args.scale,
+            platform=_platform(args.platform),
+            rules=rules,
+            cross_profile=cross_profile,
+        )
+        results.append(result)
+        if index:
+            print()
+        print(f"== {name} ==")
+        print(result.render())
+        if result.has_errors:
+            exit_code = 1
+    if args.json:
+        payload = {
+            "scale": args.scale,
+            "platform": args.platform,
+            "workloads": [r.to_dict() for r in results],
+            "errors": sum(r.count(Severity.ERROR) for r in results),
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote lint report to {args.json}")
+    return exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse command tree."""
     parser = argparse.ArgumentParser(
@@ -214,6 +262,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="collector mirror budget in bytes (degradation ladder)",
     )
     health.add_argument("--json", help="write the health report as JSON")
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the static value-pattern linter over workload kernels",
+    )
+    which = lint.add_mutually_exclusive_group(required=True)
+    which.add_argument(
+        "--workload", choices=workload_names(), help="lint one workload"
+    )
+    which.add_argument(
+        "--all", action="store_true", help="lint every registered workload"
+    )
+    lint.add_argument("--scale", type=float, default=0.25)
+    lint.add_argument(
+        "--platform", choices=["2080ti", "a100"], default="2080ti"
+    )
+    lint.add_argument(
+        "--rules",
+        help="comma-separated rule ids to run (default: all passes)",
+    )
+    lint.add_argument("--json", help="write the findings report as JSON")
+    lint.add_argument(
+        "--cross-check", dest="cross_check", metavar="TRACE",
+        help="cross-check findings against a recorded .vetrace replay "
+        "instead of each workload's own fresh profile",
+    )
     return parser
 
 
@@ -225,6 +299,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_stats(args)
         if args.command == "health":
             return _cmd_health(args)
+        if args.command == "lint":
+            return _cmd_lint(args)
         return _cmd_trace(args)
     except ReproError as exc:
         if args.debug:

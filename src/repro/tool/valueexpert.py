@@ -118,6 +118,12 @@ class ValueExpert:
 
     def _profile_from_trace(self, trace_path: str, name: str) -> ValueProfile:
         health = HealthReport() if self.config.resilience_active else None
+        injector: Optional[FaultInjector] = None
+        if (
+            self.config.fault_plan is not None
+            and self.config.fault_plan.applies_to_replay
+        ):
+            injector = FaultInjector(self.config.fault_plan)
         online = OnlineAnalyzer(self.config.patterns)
         collector = DataCollector(
             online,
@@ -131,7 +137,10 @@ class ValueExpert:
         )
         roster = _KernelRoster()
         with TraceReplayer(
-            trace_path, salvage=health is not None, health=health
+            trace_path,
+            salvage=health is not None,
+            health=health,
+            fault_injector=injector,
         ) as replayer:
             workload_name = name or replayer.header.get("workload", "")
             platform_name = replayer.header.get("platform", "")
@@ -164,7 +173,7 @@ class ValueExpert:
         for hit in offline.analyze_untyped(online.pending_untyped):
             profile.fine_hits.append(hit)
         offline.annotate(profile, kernels=list(roster.kernels.values()))
-        self._finish_health(profile, health, injector=None)
+        self._finish_health(profile, health, injector=injector)
         self.last_collector = collector
         self.last_runtime = None
         return profile
@@ -183,7 +192,10 @@ class ValueExpert:
         if self.config.resilience_active:
             health = HealthReport()
             runtime.resilient = True
-            if self.config.fault_plan is not None:
+            if (
+                self.config.fault_plan is not None
+                and self.config.fault_plan.applies_to_record
+            ):
                 injector = FaultInjector(self.config.fault_plan)
                 runtime.fault_injector = injector
         online = OnlineAnalyzer(self.config.patterns)

@@ -251,6 +251,9 @@ def encode_function(function: GpuFunction) -> dict:
                 "width_bits": instr.width_bits,
                 "src_type": dtype_name(instr.src_type),
                 "dst_type": dtype_name(instr.dst_type),
+                "addr": None if instr.addr is None else instr.addr.index,
+                "pred": None if instr.pred is None else instr.pred.index,
+                "target": instr.target,
             }
             for instr in function.instructions
         ],
@@ -294,6 +297,11 @@ def decode_kernel(data: dict) -> Kernel:
     return kernel
 
 
+def _opt_register(index) -> "Register | None":
+    """A register from an optional encoded index."""
+    return None if index is None else Register(index)
+
+
 def decode_function(data: dict) -> GpuFunction:
     """Inverse of :func:`encode_function`."""
     return GpuFunction(
@@ -307,6 +315,11 @@ def decode_function(data: dict) -> GpuFunction:
                 width_bits=d["width_bits"],
                 src_type=dtype_from_name(d["src_type"]),
                 dst_type=dtype_from_name(d["dst_type"]),
+                # .get(): traces recorded before the control-flow
+                # extension lack these keys.
+                addr=_opt_register(d.get("addr")),
+                pred=_opt_register(d.get("pred")),
+                target=d.get("target"),
             )
             for d in data["instructions"]
         ],

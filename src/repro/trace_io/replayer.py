@@ -102,13 +102,28 @@ class TraceReplayer:
     metadata sank with the lost footer get name-only stub kernels.  The
     optional ``health`` (:class:`repro.resilience.HealthReport`) records
     what the salvage recovered.
+
+    The optional ``fault_injector``
+    (:class:`repro.resilience.FaultInjector`, wired by the facade when
+    the configured :class:`~repro.resilience.FaultPlan` has replay
+    scope) mangles the recorded record stream as launches are re-emitted
+    — dropped suffixes and torn records, exactly as the live runtime
+    injects them — so the degradation path can be chaos-tested without
+    re-running any workload.
     """
 
-    def __init__(self, path: str, salvage: bool = False, health=None):
+    def __init__(
+        self,
+        path: str,
+        salvage: bool = False,
+        health=None,
+        fault_injector=None,
+    ):
         self._reader = TraceReader(path, salvage=salvage)
         self.path = path
         self.salvage = salvage
         self.health = health
+        self.fault_injector = fault_injector
         self.header: dict = self._reader.header
         #: Kernel stubs from the trace footer (line maps + binaries,
         #: no executable body) — enough for offline type slicing.
@@ -365,6 +380,10 @@ class TraceReplayer:
         ]
         if instrument:
             event.records = self._filter_records(meta, arrays, sampled)
+            if self.fault_injector is not None:
+                # Replay-scoped chaos: drop/tear the recorded records as
+                # the live runtime would, before listeners observe them.
+                self.fault_injector.mangle_records(event)
         stats = meta["stats"]
         event.stats = None if stats is None else KernelStats(**stats)
         event.touched = [

@@ -22,6 +22,7 @@ from typing import FrozenSet
 
 import numpy as np
 
+from repro.binary.module import BinaryBuilder
 from repro.gpu.dtypes import DType
 from repro.gpu.kernel import kernel
 from repro.gpu.runtime import GpuRuntime, HostArray
@@ -50,6 +51,62 @@ def bfs_kernel(ctx, mask, updating, cost, edges, stop, level):
     )
     ctx.int_ops(8 * tid.size)
     del flag
+
+
+def _kernel_binary():
+    """Hand-written SASS-like binary for ``Kernel``.
+
+    Its nine memory instructions correspond, in program order, to the
+    kernel's nine instrumentation sites (the same matching the offline
+    analyzer uses), and it deliberately exhibits the value behaviours
+    the paper reports for bfs so the static linter predicts them:
+
+    - the frontier-mask clear stores an xor-zeroed register
+      (``constant-store`` — dynamically the mask is mostly zero);
+    - both updating-mask scatters store the same ISETP result
+      (``re-stored-value`` — redundant/frequent values dynamically);
+    - the termination flag is loaded into a register nothing reads
+      (``dead-code`` info — the kernel body ``del``-s it likewise);
+    - the cost store sits in a predicated-branch shadow (inactive
+      threads skip it), giving the function real control flow.
+    """
+    b = BinaryBuilder("Kernel", base_pc=bfs_kernel.code_base)
+    # Function inputs (no defining instruction): address bases, the
+    # xor operand, the compare threshold, level, and the scatter shift.
+    a_mask, a_stop, a_e1, a_e2, a_cost = (b.reg() for _ in range(5))
+    r_zv, r_thr, r_lvl, r_sh = (b.reg() for _ in range(4))
+
+    r_m = b.reg()
+    b.ldg(r_m, width_bits=8, addr=a_mask)  # load mask
+    r_flag = b.reg()
+    b.ldg(r_flag, width_bits=32, addr=a_stop)  # load stop (never read)
+    r_zero = b.reg()
+    b.lop(r_zero, r_zv, r_zv)  # xor-zero
+    b.stg(r_zero, width_bits=8, addr=a_mask)  # clear mask
+    r_n = b.reg()
+    b.ldg(r_n, width_bits=32, addr=a_e1)  # load edge 0
+    r_n2 = b.reg()
+    b.ldg(r_n2, width_bits=32, addr=a_e2)  # load edge 1
+    r_c = b.reg()
+    b.ldg(r_c, width_bits=32, addr=a_cost)  # load cost
+    r_nc = b.reg()
+    b.iadd(r_nc, r_c, r_lvl)
+    r_act = b.reg()
+    b.isetp(r_act, r_m, r_thr)
+    b.bra("after_cost", pred=r_act)  # inactive: skip the cost update
+    b.stg(r_nc, width_bits=32, addr=a_cost)  # store cost
+    b.label("after_cost")
+    a_u1 = b.reg()
+    b.shl(a_u1, r_n, r_sh)
+    a_u2 = b.reg()
+    b.shl(a_u2, r_n2, r_sh)
+    b.stg(r_act, width_bits=8, addr=a_u1)  # scatter updating
+    b.stg(r_act, width_bits=8, addr=a_u2)  # scatter updating (same value)
+    b.exit()
+    return b.build()
+
+
+bfs_kernel.binary = _kernel_binary()
 
 
 @kernel("Kernel2")

@@ -1,0 +1,117 @@
+"""The control-flow/integer builder extensions and the cached PC indexes."""
+
+import pytest
+
+from repro.binary.isa import Opcode
+from repro.binary.module import BinaryBuilder, GpuBinary
+from repro.binary.slicing import infer_register_types
+from repro.errors import BinaryAnalysisError
+from repro.gpu.dtypes import DType
+
+
+def test_integer_helpers_emit_typed_opcodes():
+    b = BinaryBuilder("ints")
+    a, c, s = b.reg(), b.reg(), b.reg()
+    p, sh, z = b.reg(), b.reg(), b.reg()
+    isetp = b.isetp(p, a, c)
+    shl = b.shl(sh, a, s)
+    lop = b.lop(z, a, c)
+    b.exit()
+    assert isetp.opcode is Opcode.ISETP
+    assert shl.opcode is Opcode.SHL
+    assert lop.opcode is Opcode.LOP
+    types = infer_register_types(b.build(), strict=False).types
+    assert types[p] is DType.INT32
+    assert types[sh] is DType.INT32
+
+
+def test_conversion_width_variants_type_both_sides():
+    b = BinaryBuilder("convs")
+    cases = [
+        ("i2d", DType.INT32, DType.FLOAT64),
+        ("l2f", DType.INT64, DType.FLOAT32),
+        ("d2i", DType.FLOAT64, DType.INT32),
+        ("f2l", DType.FLOAT32, DType.INT64),
+        ("f2h", DType.FLOAT32, DType.FLOAT16),
+        ("h2f", DType.FLOAT16, DType.FLOAT32),
+        ("d2f", DType.FLOAT64, DType.FLOAT32),
+    ]
+    emitted = []
+    for helper, src_type, dst_type in cases:
+        src, dst = b.reg(), b.reg()
+        instr = getattr(b, helper)(dst, src)
+        emitted.append((instr, src, dst, src_type, dst_type))
+    b.exit()
+    types = infer_register_types(b.build(), strict=True).types
+    for instr, src, dst, src_type, dst_type in emitted:
+        assert instr.src_type is src_type
+        assert instr.dst_type is dst_type
+        assert types[src] is src_type
+        assert types[dst] is dst_type
+
+
+def test_labels_resolve_forward_and_backward():
+    b = BinaryBuilder("loops")
+    top = b.label("top")
+    p = b.reg()
+    back = b.bra("top", pred=p)  # backward: already bound
+    fwd = b.bra("bottom")  # forward: fixed up at build()
+    bottom = b.label("bottom")
+    b.exit()
+    function = b.build()
+    assert function.instructions[0] is back  # backward bra resolves at emit
+    assert function.instructions[0].target == top
+    assert function.instructions[1].target == bottom
+    assert function.instructions[0].pred is p
+    assert fwd.target is None  # the pre-fixup instruction is unchanged
+
+
+def test_duplicate_label_is_rejected():
+    b = BinaryBuilder("dupe")
+    b.label("x")
+    with pytest.raises(BinaryAnalysisError):
+        b.label("x")
+
+
+def test_function_pc_index_is_cached_and_tracks_growth():
+    b = BinaryBuilder("indexed", base_pc=0x100)
+    r = b.reg()
+    load = b.ldg(r, width_bits=32)
+    b.exit()
+    function = b.build()
+    assert function.at(load.pc) is load
+    index = function._pc_index
+    assert index is not None
+    assert function.at(load.pc) is load
+    assert function._pc_index is index  # cache reused
+    # Appending an instruction invalidates by length mismatch.
+    from repro.binary.isa import Instruction
+
+    extra = Instruction(pc=0x900, opcode=Opcode.EXIT)
+    function.instructions.append(extra)
+    assert function.at(0x900) is extra
+    with pytest.raises(BinaryAnalysisError):
+        function.at(0xBAD)
+
+
+def test_binary_pc_index_invalidated_on_add():
+    b1 = BinaryBuilder("one", base_pc=0x1000)
+    r = b1.reg()
+    b1.ldg(r, width_bits=32)
+    b1.exit()
+    f1 = b1.build()
+    binary = GpuBinary()
+    binary.add(f1)
+    assert binary.function_of_pc(0x1000) is f1
+    assert binary.function_of_pc(0x5000) is None
+
+    b2 = BinaryBuilder("two", base_pc=0x5000)
+    r2 = b2.reg()
+    b2.ldg(r2, width_bits=32)
+    b2.exit()
+    f2 = b2.build()
+    binary.add(f2)  # must invalidate the cached index
+    assert binary.function_of_pc(0x5000) is f2
+    assert binary.function_of_pc(0x1000) is f1
+    with pytest.raises(BinaryAnalysisError):
+        binary.add(f2)  # duplicate name

@@ -1,0 +1,144 @@
+"""Replay-scoped fault injection: chaos against a recorded trace.
+
+A ``FaultPlan`` carries a ``scope`` deciding where its faults fire —
+``"record"`` (live runs, the historical behaviour and default),
+``"replay"`` (the :class:`TraceReplayer` mangles the recorded record
+stream before listeners see it), or ``"both"``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import DegradedProfileWarning, InvalidValueError
+from repro.resilience import FaultPlan
+from repro.tool import ToolConfig, ValueExpert
+
+
+class TestScopeField:
+    def test_default_scope_is_record(self):
+        plan = FaultPlan(seed=0)
+        assert plan.scope == "record"
+        assert plan.applies_to_record
+        assert not plan.applies_to_replay
+
+    def test_scope_matrix(self):
+        replay = FaultPlan(seed=0, scope="replay")
+        both = FaultPlan(seed=0, scope="both")
+        assert not replay.applies_to_record
+        assert replay.applies_to_replay
+        assert both.applies_to_record
+        assert both.applies_to_replay
+
+    def test_bad_scope_is_rejected(self):
+        with pytest.raises(InvalidValueError):
+            FaultPlan(seed=0, scope="sideways")
+
+    def test_scope_serializes_and_round_trips(self):
+        plan = FaultPlan(seed=3, record_drop_rate=0.2, scope="replay")
+        data = plan.to_dict()
+        assert data["scope"] == "replay"
+        assert FaultPlan(**data) == plan
+
+    def test_chaos_accepts_scope(self):
+        plan = FaultPlan.chaos(7, scope="replay")
+        assert plan.scope == "replay"
+        assert plan.seed == 7
+
+
+def _record(tmp_path, workload, **config_kwargs):
+    path = str(tmp_path / "chaos.vetrace")
+    ValueExpert(ToolConfig(**config_kwargs)).profile(
+        workload, name="chaos", record_path=path
+    )
+    return path
+
+
+def test_replay_scope_mangles_the_recorded_stream(tmp_path, workload):
+    path = _record(tmp_path, workload)
+    plan = FaultPlan(seed=11, record_drop_rate=1.0, scope="replay")
+    tool = ValueExpert(ToolConfig(fault_plan=plan))
+    with pytest.warns(DegradedProfileWarning):
+        profile = tool.profile_from_trace(path)
+    health = profile.health
+    assert health is not None
+    assert health.faults_injected > 0
+    # The profile still completes: coarse analysis never needs records.
+    assert profile.counters.total_launches > 0
+
+    # The trace on disk is untouched; a clean replay sees everything.
+    clean = ValueExpert(ToolConfig()).profile_from_trace(path)
+    assert clean.health is None or clean.health.pristine
+
+
+def test_record_scope_plan_is_inert_on_replay(tmp_path, workload):
+    path = _record(tmp_path, workload)
+    plan = FaultPlan(seed=11, record_drop_rate=1.0, scope="record")
+    profile = ValueExpert(ToolConfig(fault_plan=plan)).profile_from_trace(path)
+    assert profile.health is not None  # a plan always implies a report
+    assert profile.health.faults_injected == 0
+    assert profile.health.pristine
+
+
+def test_replay_scope_plan_is_inert_on_live_run(tmp_path, workload):
+    plan = FaultPlan(seed=11, record_drop_rate=1.0, scope="replay")
+    tool = ValueExpert(ToolConfig(fault_plan=plan))
+    profile = tool.profile(workload, name="chaos")
+    assert profile.health is not None
+    assert profile.health.faults_injected == 0
+    assert profile.health.pristine
+
+
+def test_replay_equivalence_between_scopes(tmp_path, workload):
+    """The same seeded plan degrades a replay exactly as it degrades
+    the live run it was recorded from: record-scope-live and
+    replay-scope-replayed agree on the surviving pattern hits."""
+    seed = 23
+    clean_path = _record(tmp_path, workload)
+    live_plan = FaultPlan(
+        seed=seed, record_drop_rate=1.0, record_tear_rate=0.5, scope="record"
+    )
+    with pytest.warns(DegradedProfileWarning):
+        live = ValueExpert(ToolConfig(fault_plan=live_plan)).profile(
+            workload, name="chaos"
+        )
+    replay_plan = FaultPlan(
+        seed=seed, record_drop_rate=1.0, record_tear_rate=0.5, scope="replay"
+    )
+    with pytest.warns(DegradedProfileWarning):
+        replayed = ValueExpert(
+            ToolConfig(fault_plan=replay_plan)
+        ).profile_from_trace(clean_path)
+    assert live.health.faults_injected == replayed.health.faults_injected
+    live_hits = sorted(
+        (h.pattern.name, h.object_label) for h in live.hits
+    )
+    replay_hits = sorted(
+        (h.pattern.name, h.object_label) for h in replayed.hits
+    )
+    assert live_hits == replay_hits
+
+
+def test_salvage_survives_replay_chaos(tmp_path, workload):
+    """The chaos test: a torn trace, salvaged, while a replay-scoped
+    plan drops and tears records on top — the profile still lands."""
+    path = str(tmp_path / "torn.vetrace")
+    tear_plan = FaultPlan(seed=0, trace_tear_after=5)
+    with pytest.warns(DegradedProfileWarning):
+        ValueExpert(ToolConfig(fault_plan=tear_plan)).profile(
+            workload, name="chaos", record_path=path
+        )
+    replay_plan = FaultPlan(
+        seed=5,
+        record_drop_rate=1.0,
+        record_tear_rate=0.5,
+        scope="replay",
+    )
+    tool = ValueExpert(ToolConfig(resilient=True, fault_plan=replay_plan))
+    with pytest.warns(DegradedProfileWarning):
+        profile = tool.profile_from_trace(path)
+    health = profile.health
+    assert health.trace_salvaged
+    assert health.salvaged_events > 0
+    assert profile.counters.total_launches > 0
+    # Degradations from both layers land in one report.
+    assert health.faults_injected > 0

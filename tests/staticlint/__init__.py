@@ -1,0 +1,1 @@
+"""Tests for the static value-pattern linter."""

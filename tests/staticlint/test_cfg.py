@@ -1,0 +1,143 @@
+"""Basic blocks, CFG edges, RPO, and dominators."""
+
+import pytest
+
+from repro.binary.isa import Instruction, Opcode
+from repro.binary.module import BinaryBuilder, GpuFunction
+from repro.errors import BinaryAnalysisError
+from repro.staticlint import ControlFlowGraph
+
+
+def _straight_line():
+    b = BinaryBuilder("straight")
+    r0 = b.reg()
+    b.ldg(r0, width_bits=32)
+    r1 = b.reg()
+    b.fadd(r1, r0, r0)
+    b.stg(r1, width_bits=32)
+    b.exit()
+    return b.build()
+
+
+def _diamond():
+    """entry -> (then | fallthrough) -> join."""
+    b = BinaryBuilder("diamond")
+    a, c = b.reg(), b.reg()
+    p = b.reg()
+    b.isetp(p, a, c)
+    b.bra("join", pred=p)
+    r = b.reg()
+    b.iadd(r, a, c)
+    b.label("join")
+    b.exit()
+    return b.build()
+
+
+def test_straight_line_is_single_block():
+    cfg = ControlFlowGraph.build(_straight_line())
+    assert cfg.is_straight_line
+    assert cfg.num_blocks == 1
+    assert cfg.entry.successors == []
+    assert cfg.reverse_post_order() == [0]
+
+
+def test_synthesized_binaries_are_single_block():
+    """Pre-control-flow binaries stay one block by construction."""
+    b = BinaryBuilder("synthlike")
+    for _ in range(4):
+        r = b.reg()
+        b.ldg(r, width_bits=32)
+        s = b.reg()
+        b.fadd(s, r, r)
+    b.exit()
+    cfg = ControlFlowGraph.build(b.build())
+    assert cfg.is_straight_line
+
+
+def test_conditional_branch_splits_blocks():
+    cfg = ControlFlowGraph.build(_diamond())
+    assert cfg.num_blocks == 3
+    # Entry ends in the predicated branch: target + fallthrough.
+    assert sorted(cfg.entry.successors) == [1, 2]
+    # The shadowed block falls through into the join.
+    assert cfg.blocks[1].successors == [2]
+    assert sorted(cfg.blocks[2].predecessors) == [0, 1]
+    assert cfg.blocks[2].terminator.opcode is Opcode.EXIT
+
+
+def test_block_of_pc_lookup():
+    function = _diamond()
+    cfg = ControlFlowGraph.build(function)
+    for block in cfg.blocks:
+        for instr in block.instructions:
+            assert cfg.block_of(instr.pc) is block
+    with pytest.raises(BinaryAnalysisError):
+        cfg.block_of(0xDEAD)
+
+
+def test_rpo_visits_entry_first_and_join_last():
+    cfg = ControlFlowGraph.build(_diamond())
+    rpo = cfg.reverse_post_order()
+    assert rpo[0] == 0
+    assert rpo[-1] == 2
+    assert set(rpo) == {0, 1, 2}
+
+
+def test_unconditional_branch_makes_block_unreachable():
+    b = BinaryBuilder("skipped")
+    r = b.reg()
+    b.bra("end")
+    s = b.reg()
+    b.iadd(s, r, r)  # dead block: jumped over, no fallthrough into it
+    b.label("end")
+    b.exit()
+    cfg = ControlFlowGraph.build(b.build())
+    assert cfg.num_blocks == 3
+    assert cfg.reachable() == {0, 2}
+
+
+def test_dominators_on_diamond():
+    cfg = ControlFlowGraph.build(_diamond())
+    doms = cfg.dominators()
+    assert doms[0] == {0}
+    assert doms[1] == {0, 1}
+    # The join is reachable both ways, so only the entry dominates it.
+    assert doms[2] == {0, 2}
+    idom = cfg.immediate_dominators()
+    assert idom == {0: None, 1: 0, 2: 0}
+    assert cfg.dominates(0, 2)
+    assert not cfg.dominates(1, 2)
+
+
+def test_empty_function_is_rejected():
+    with pytest.raises(BinaryAnalysisError):
+        ControlFlowGraph.build(GpuFunction("empty", instructions=[]))
+
+
+def test_unresolved_branch_target_is_rejected():
+    function = GpuFunction(
+        "unresolved",
+        instructions=[Instruction(pc=0, opcode=Opcode.BRA, target=None)],
+    )
+    with pytest.raises(BinaryAnalysisError):
+        ControlFlowGraph.build(function)
+
+
+def test_out_of_range_branch_target_is_rejected():
+    function = GpuFunction(
+        "wild",
+        instructions=[
+            Instruction(pc=0, opcode=Opcode.BRA, target=0x1000),
+            Instruction(pc=16, opcode=Opcode.EXIT),
+        ],
+    )
+    with pytest.raises(BinaryAnalysisError):
+        ControlFlowGraph.build(function)
+
+
+def test_unbound_label_is_rejected_at_build():
+    b = BinaryBuilder("dangling")
+    b.bra("nowhere")
+    b.exit()
+    with pytest.raises(BinaryAnalysisError):
+        b.build()

@@ -1,0 +1,114 @@
+"""Joining static findings with dynamic pattern hits."""
+
+from repro.patterns.base import Pattern, PatternHit
+from repro.staticlint import Finding, Severity, cross_check
+from repro.staticlint.findings import DYNAMICALLY_CONFIRMED, UNEXERCISED
+
+
+class _Graph:
+    def __init__(self, vertices=()):
+        self._vertices = list(vertices)
+
+    def vertices(self):
+        return list(self._vertices)
+
+
+class _Profile:
+    """The duck-typed slice of ValueProfile cross_check consumes."""
+
+    def __init__(self, hits):
+        self.hits = list(hits)
+        self.graph = _Graph()
+
+
+def _finding(rule_id, kernel="K", pc=0x10, **details):
+    return Finding(
+        pc=pc,
+        rule_id=rule_id,
+        severity=Severity.WARNING,
+        message="m",
+        kernel=kernel,
+        details=dict(details),
+    )
+
+
+def _hit(pattern, kernel="K", **metrics):
+    return PatternHit(
+        pattern=pattern,
+        object_label="obj",
+        api_ref=f"v1:{kernel}",
+        metrics=dict(metrics),
+    )
+
+
+def test_kernel_level_fallback_confirms_matching_pattern():
+    finding = _finding("constant-store")
+    hit = _hit(Pattern.SINGLE_VALUE)
+    report = cross_check([finding], _Profile([hit]))
+    assert finding.dynamic_status == DYNAMICALLY_CONFIRMED
+    assert hit.metrics["statically_predicted"] == "constant-store"
+    assert report.confirmed == [finding]
+    assert report.predicted_hits == [hit]
+
+
+def test_exact_site_pc_tier_beats_kernel_fallback():
+    finding = _finding("constant-store", site_pc=0x40)
+    at_site = _hit(Pattern.SINGLE_VALUE, pc=0x40)
+    elsewhere = _hit(Pattern.SINGLE_VALUE, pc=0x80)
+    report = cross_check([finding], _Profile([elsewhere, at_site]))
+    assert finding.dynamic_status == DYNAMICALLY_CONFIRMED
+    # Only the PC-exact hit is credited.
+    assert report.predicted_hits == [at_site]
+    assert "statically_predicted" not in elsewhere.metrics
+
+
+def test_profiled_but_unmatched_prediction_is_unexercised():
+    finding = _finding("redundant-load")
+    # The kernel ran, but only produced an unrelated pattern.
+    hit = _hit(Pattern.STRUCTURED_VALUES)
+    report = cross_check([finding], _Profile([hit]))
+    assert finding.dynamic_status == UNEXERCISED
+    assert report.unexercised == [finding]
+    assert report.predicted_hits == []
+
+
+def test_unprofiled_kernel_keeps_status_none():
+    finding = _finding("constant-store", kernel="NeverRan")
+    hit = _hit(Pattern.SINGLE_VALUE, kernel="Other")
+    cross_check([finding], _Profile([hit]))
+    assert finding.dynamic_status is None
+
+
+def test_binary_health_rules_are_never_cross_checked():
+    conflict = _finding("type-conflict")
+    dead = _finding("dead-code")
+    hit = _hit(Pattern.SINGLE_VALUE)
+    cross_check([conflict, dead], _Profile([hit]))
+    assert conflict.dynamic_status is None
+    assert dead.dynamic_status is None
+
+
+def test_predicted_hits_are_deduplicated_across_findings():
+    hit = _hit(Pattern.REDUNDANT_VALUES)
+    f1 = _finding("constant-store")
+    f2 = _finding("re-stored-value", pc=0x20)
+    report = cross_check([f1, f2], _Profile([hit]))
+    assert f1.dynamic_status == DYNAMICALLY_CONFIRMED
+    assert f2.dynamic_status == DYNAMICALLY_CONFIRMED
+    assert report.predicted_hits == [hit]
+    # First matching rule wins the credit.
+    assert hit.metrics["statically_predicted"] == "constant-store"
+
+
+def test_report_serialization_and_summary():
+    finding = _finding("constant-store")
+    hit = _hit(Pattern.SINGLE_VALUE)
+    report = cross_check([finding], _Profile([hit]))
+    payload = report.to_dict()
+    assert payload["confirmed"] == 1
+    assert payload["unexercised"] == 0
+    assert payload["profiled_kernels"] == ["K"]
+    assert payload["predicted_hits"][0]["predicted_by"] == "constant-store"
+    assert "1 finding(s) dynamically confirmed" in report.summary()
+    rendered = finding.render()
+    assert rendered.endswith("[dynamically_confirmed]")

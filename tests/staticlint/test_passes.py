@@ -1,0 +1,327 @@
+"""One focused test per lint rule, plus driver behaviour."""
+
+import pytest
+
+from repro.binary.module import BinaryBuilder
+from repro.binary.slicing import infer_register_types
+from repro.errors import BinaryAnalysisError
+from repro.staticlint import LintContext, Severity, lint_function
+from repro.staticlint.passes import run_passes
+
+
+def _lint(function, rules=None):
+    return run_passes(LintContext(function), rules)
+
+
+# -- dead-store ---------------------------------------------------------------
+
+
+def test_dead_store_flags_overwritten_store():
+    b = BinaryBuilder("dead")
+    addr, v1, v2 = b.reg(), b.reg(), b.reg()
+    first = b.stg(v1, width_bits=32, addr=addr)
+    second = b.stg(v2, width_bits=32, addr=addr)
+    b.exit()
+    findings = _lint(b.build(), rules=["dead-store"])
+    dead = [f for f in findings if f.rule_id == "dead-store"]
+    assert len(dead) == 1
+    assert dead[0].pc == first.pc
+    assert dead[0].severity is Severity.WARNING
+    assert dead[0].details["overwritten_by"] == second.pc
+
+
+def test_intervening_load_keeps_store_alive():
+    b = BinaryBuilder("alive")
+    addr, v1, v2 = b.reg(), b.reg(), b.reg()
+    b.stg(v1, width_bits=32, addr=addr)
+    r = b.reg()
+    b.ldg(r, width_bits=32, addr=addr)  # observes the first store
+    b.stg(v2, width_bits=32, addr=addr)
+    b.exit()
+    findings = _lint(b.build(), rules=["dead-store"])
+    assert not [f for f in findings if f.rule_id == "dead-store"]
+
+
+def test_predicated_store_is_never_flagged_and_never_kills():
+    b = BinaryBuilder("guarded")
+    addr, v1, v2, p = b.reg(), b.reg(), b.reg(), b.reg()
+    b.stg(v1, width_bits=32, addr=addr)
+    # Guard the second store by hand: the builder has no predicated stg,
+    # so re-emit one with a predicate attached.
+    from dataclasses import replace
+
+    guarded = replace(
+        b.stg(v2, width_bits=32, addr=addr), pred=p
+    )
+    b._instructions[-1] = guarded
+    b.exit()
+    findings = _lint(b.build(), rules=["dead-store"])
+    assert not [f for f in findings if f.rule_id == "dead-store"]
+
+
+# -- re-stored-value / constant-store ----------------------------------------
+
+
+def test_re_stored_value_flags_each_later_store():
+    b = BinaryBuilder("restore")
+    a1, a2, a3, v = b.reg(), b.reg(), b.reg(), b.reg()
+    first = b.stg(v, width_bits=8, addr=a1)
+    s2 = b.stg(v, width_bits=8, addr=a2)
+    s3 = b.stg(v, width_bits=8, addr=a3)
+    b.exit()
+    findings = _lint(b.build(), rules=["dead-store"])
+    re_stored = [f for f in findings if f.rule_id == "re-stored-value"]
+    assert [f.pc for f in re_stored] == [s2.pc, s3.pc]
+    assert all(f.details["first_store"] == first.pc for f in re_stored)
+    assert all(f.details["stores"] == 3 for f in re_stored)
+
+
+def test_constant_store_follows_xor_zero_through_mov():
+    b = BinaryBuilder("zeros")
+    addr, seed = b.reg(), b.reg()
+    z = b.reg()
+    b.lop(z, seed, seed)  # xor-zero idiom
+    z2 = b.reg()
+    b.mov(z2, z)
+    store = b.stg(z2, width_bits=32, addr=addr)
+    b.exit()
+    findings = _lint(b.build(), rules=["dead-store"])
+    constant = [f for f in findings if f.rule_id == "constant-store"]
+    assert len(constant) == 1
+    assert constant[0].pc == store.pc
+    assert "xor-zero" in constant[0].message
+
+
+def test_lop_of_distinct_operands_is_not_constant():
+    b = BinaryBuilder("notzero")
+    addr, x, y = b.reg(), b.reg(), b.reg()
+    d = b.reg()
+    b.lop(d, x, y)
+    b.stg(d, width_bits=32, addr=addr)
+    b.exit()
+    findings = _lint(b.build(), rules=["dead-store"])
+    assert not [f for f in findings if f.rule_id == "constant-store"]
+
+
+# -- redundant-load -----------------------------------------------------------
+
+
+def test_redundant_load_flags_second_load():
+    b = BinaryBuilder("reload")
+    addr = b.reg()
+    r1 = b.reg()
+    first = b.ldg(r1, width_bits=32, addr=addr)
+    r2 = b.reg()
+    second = b.ldg(r2, width_bits=32, addr=addr)
+    b.exit()
+    findings = _lint(b.build(), rules=["redundant-load"])
+    assert len(findings) == 1
+    assert findings[0].pc == second.pc
+    assert findings[0].details["first_load"] == first.pc
+
+
+def test_store_between_loads_kills_redundancy():
+    b = BinaryBuilder("reload_killed")
+    addr, v = b.reg(), b.reg()
+    r1 = b.reg()
+    b.ldg(r1, width_bits=32, addr=addr)
+    b.stg(v, width_bits=32, addr=addr)
+    r2 = b.reg()
+    b.ldg(r2, width_bits=32, addr=addr)
+    b.exit()
+    assert _lint(b.build(), rules=["redundant-load"]) == []
+
+
+def test_different_widths_are_different_loads():
+    b = BinaryBuilder("widths")
+    addr = b.reg()
+    r1, r2 = b.reg(), b.reg()
+    b.ldg(r1, width_bits=32, addr=addr)
+    b.ldg(r2, width_bits=64, addr=addr)
+    b.exit()
+    assert _lint(b.build(), rules=["redundant-load"]) == []
+
+
+# -- lossy-conversion ---------------------------------------------------------
+
+
+def test_float_int_round_trip_is_lossy():
+    b = BinaryBuilder("roundtrip")
+    f = b.reg()
+    i = b.reg()
+    b.f2i(i, f)
+    back = b.reg()
+    second = b.i2f(back, i)
+    b.exit()
+    findings = _lint(b.build(), rules=["lossy-conversion"])
+    assert len(findings) == 1
+    assert findings[0].pc == second.pc
+    assert "integer-quantized" in findings[0].message
+
+
+def test_narrow_then_widen_f2f_is_lossy_through_mov():
+    b = BinaryBuilder("narrowwiden")
+    f = b.reg()
+    h = b.reg()
+    first = b.f2h(h, f)  # FLOAT32 -> FLOAT16
+    h2 = b.reg()
+    b.mov(h2, h)
+    wide = b.reg()
+    second = b.h2f(wide, h2)  # FLOAT16 -> FLOAT32
+    b.exit()
+    findings = _lint(b.build(), rules=["lossy-conversion"])
+    assert len(findings) == 1
+    assert findings[0].pc == second.pc
+    assert findings[0].details["first_conversion"] == first.pc
+
+
+def test_widening_only_chain_is_clean():
+    b = BinaryBuilder("widen")
+    f = b.reg()
+    d = b.reg()
+    b.f2f(d, f)  # FLOAT32 -> FLOAT64: nothing lost
+    b.exit()
+    assert _lint(b.build(), rules=["lossy-conversion"]) == []
+
+
+# -- type-conflict ------------------------------------------------------------
+
+
+def _conflicted():
+    b = BinaryBuilder("conflict")
+    a, c, e = b.reg(), b.reg(), b.reg()
+    d = b.reg()
+    b.lop(d, a, c)  # d: UINT32
+    clash = b.isetp(e, d, a)  # d re-constrained INT32
+    b.exit()
+    return b.build(), clash
+
+
+def test_type_conflict_is_an_error_finding():
+    function, clash = _conflicted()
+    findings = _lint(function, rules=["type-conflict"])
+    assert len(findings) >= 1
+    assert all(f.severity is Severity.ERROR for f in findings)
+    assert any(f.pc == clash.pc for f in findings)
+
+
+def test_strict_slicer_still_raises_on_conflict():
+    function, _clash = _conflicted()
+    with pytest.raises(BinaryAnalysisError):
+        infer_register_types(function, strict=True)
+
+
+# -- dead-code ----------------------------------------------------------------
+
+
+def test_unreachable_block_is_a_warning():
+    b = BinaryBuilder("skip")
+    r = b.reg()
+    b.bra("end")
+    dead = b.iadd(b.reg(), r, r)
+    b.label("end")
+    b.exit()
+    findings = _lint(b.build(), rules=["dead-code"])
+    blocks = [
+        f
+        for f in findings
+        if f.rule_id == "dead-code" and f.severity is Severity.WARNING
+    ]
+    assert len(blocks) == 1
+    assert blocks[0].pc == dead.pc
+    assert "unreachable" in blocks[0].message
+
+
+def test_dead_register_is_info_only():
+    b = BinaryBuilder("anchor")
+    r = b.reg()
+    b.ldg(r, width_bits=32)
+    anchor = b.reg()
+    defn = b.fadd(anchor, r, r)  # synthesis-style anchor: result unread
+    b.exit()
+    findings = _lint(b.build(), rules=["dead-code"])
+    assert len(findings) == 1
+    assert findings[0].severity is Severity.INFO
+    assert findings[0].pc == defn.pc
+
+
+# -- width-mismatch -----------------------------------------------------------
+
+
+def test_fractional_element_width_is_an_error():
+    b = BinaryBuilder("frac")
+    addr, r = b.reg(), b.reg()
+    anchored = b.reg()
+    b.fadd(anchored, r, r)  # anchored: FLOAT32
+    store = b.stg(anchored, width_bits=48, addr=addr)
+    b.exit()
+    findings = _lint(b.build(), rules=["width-mismatch"])
+    assert len(findings) == 1
+    assert findings[0].severity is Severity.ERROR
+    assert findings[0].pc == store.pc
+
+
+def test_narrow_float_access_is_a_warning():
+    b = BinaryBuilder("narrowf")
+    addr, r = b.reg(), b.reg()
+    anchored = b.reg()
+    b.fadd(anchored, r, r)
+    b.stg(anchored, width_bits=16, addr=addr)
+    b.exit()
+    findings = _lint(b.build(), rules=["width-mismatch"])
+    assert len(findings) == 1
+    assert findings[0].severity is Severity.WARNING
+
+
+def test_narrow_integer_load_is_idiomatic_sass():
+    b = BinaryBuilder("narrowi")
+    addr = b.reg()
+    m = b.reg()
+    b.ldg(m, width_bits=8, addr=addr)  # 8-bit flag into a 32-bit reg
+    p = b.reg()
+    b.isetp(p, m, m)  # m: INT32
+    b.exit()
+    assert _lint(b.build(), rules=["width-mismatch"]) == []
+
+
+def test_vector_width_multiple_is_clean():
+    b = BinaryBuilder("vector")
+    r = b.reg()
+    b.ldg(r, width_bits=64, addr=None)
+    anchored = b.reg()
+    b.fadd(anchored, r, r)  # FLOAT32 x2 — STG.64 of f32 pairs
+    b.exit()
+    assert _lint(b.build(), rules=["width-mismatch"]) == []
+
+
+# -- driver -------------------------------------------------------------------
+
+
+def test_findings_are_sorted_and_unknown_rules_rejected():
+    b = BinaryBuilder("sorted")
+    addr, v = b.reg(), b.reg()
+    b.stg(v, width_bits=32, addr=addr)
+    b.stg(v, width_bits=32, addr=addr)
+    b.exit()
+    function = b.build()
+    findings = _lint(function)
+    assert findings == sorted(
+        findings, key=lambda f: (f.pc, f.rule_id)
+    )
+    with pytest.raises(ValueError):
+        _lint(function, rules=["no-such-rule"])
+
+
+def test_lint_function_attaches_kernel_and_lines():
+    b = BinaryBuilder("attrib")
+    r = b.reg()
+    load = b.ldg(r, width_bits=32)
+    b.exit()
+    findings = lint_function(
+        b.build(), kernel="MyKernel", line_map={load.pc: 42}
+    )
+    dead = [f for f in findings if f.pc == load.pc]
+    assert dead and dead[0].kernel == "MyKernel"
+    assert dead[0].source_line == 42
+    assert "MyKernel" in dead[0].render()
+    assert "line 42" in dead[0].render()

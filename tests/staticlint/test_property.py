@@ -1,0 +1,225 @@
+"""Property tests: synthesis lints clean; the refactored slicer is
+behaviour-preserving against an inlined pre-refactor reference."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.binary.isa import (
+    AccessType,
+    Opcode,
+    OPCODE_OPERAND_TYPE,
+)
+from repro.binary.module import BinaryBuilder
+from repro.binary.slicing import infer_access_types
+from repro.binary.synthesis import synthesize_binary
+from repro.errors import BinaryAnalysisError
+from repro.gpu.dtypes import DType
+from repro.gpu.kernel import Kernel
+from repro.staticlint import Severity, lint_function
+
+_SITE_DTYPES = [
+    DType.FLOAT16,
+    DType.FLOAT32,
+    DType.FLOAT64,
+    DType.INT8,
+    DType.INT16,
+    DType.INT32,
+    DType.INT64,
+    DType.UINT8,
+    DType.UINT32,
+    DType.UINT64,
+]
+
+_site = st.tuples(
+    st.none() | st.sampled_from(_SITE_DTYPES),
+    st.sampled_from(["load", "store"]),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(_site, min_size=1, max_size=8))
+def test_synthesized_binaries_lint_clean(sites):
+    """Whatever site mix synthesis is given, the emitted binary carries
+    no warning- or error-severity findings (load anchors are expected
+    dead-register INFOs, nothing more)."""
+    line_map = {
+        0x1000 + i * 16: ("synth.py", 10 + i) for i in range(len(sites))
+    }
+    kern = Kernel(
+        name="prop_kernel",
+        fn=lambda *args: None,
+        code_base=0x1000,
+        line_map=line_map,
+    )
+    site_types = {}
+    site_kinds = {}
+    for pc, (dtype, kind) in zip(sorted(line_map), sites):
+        site = line_map[pc]
+        if dtype is not None:
+            site_types[site] = dtype
+        site_kinds[site] = kind
+    function = synthesize_binary(kern, site_types, site_kinds)
+    findings = lint_function(function)
+    assert all(f.severity is Severity.INFO for f in findings), [
+        f.render() for f in findings
+    ]
+    # And the slicer types every memory instruction without raising.
+    assert len(infer_access_types(function)) == len(sites)
+
+
+# -- slicer equivalence -------------------------------------------------------
+
+
+def _reference_access_types(function):
+    """The pre-refactor slicer, inlined: eager seeding plus a dense
+    sweep-until-stable MOV fixpoint.  Kept as the behavioural oracle for
+    the worklist-based reimplementation."""
+    types = {}
+
+    def constrain(reg, dtype):
+        existing = types.get(reg)
+        if existing is not None and existing != dtype:
+            raise BinaryAnalysisError(f"conflict on {reg}")
+        types[reg] = dtype
+
+    for instr in function.instructions:
+        operand_type = OPCODE_OPERAND_TYPE.get(instr.opcode)
+        if operand_type is not None:
+            for reg in instr.dests + instr.srcs:
+                constrain(reg, operand_type)
+        elif instr.opcode in (Opcode.I2F, Opcode.F2I, Opcode.F2F):
+            if instr.src_type is not None:
+                for reg in instr.srcs:
+                    constrain(reg, instr.src_type)
+            if instr.dst_type is not None:
+                for reg in instr.dests:
+                    constrain(reg, instr.dst_type)
+
+    changed = True
+    while changed:
+        changed = False
+        for instr in function.instructions:
+            if instr.opcode is not Opcode.MOV:
+                continue
+            src, dst = instr.srcs[0], instr.dests[0]
+            src_type, dst_type = types.get(src), types.get(dst)
+            if src_type is not None and dst_type is None:
+                types[dst] = src_type
+                changed = True
+            elif dst_type is not None and src_type is None:
+                types[src] = dst_type
+                changed = True
+            elif (
+                src_type is not None
+                and dst_type is not None
+                and src_type != dst_type
+            ):
+                raise BinaryAnalysisError("mov conflict")
+
+    fallback = {
+        8: DType.UINT8,
+        16: DType.UINT16,
+        32: DType.UINT32,
+        64: DType.UINT64,
+        128: DType.UINT64,
+    }
+    out = {}
+    for instr in function.memory_instructions:
+        if instr.opcode.is_load:
+            reg = instr.dests[0] if instr.dests else None
+        else:
+            reg = instr.srcs[0] if instr.srcs else None
+        width = instr.width_bits or 32
+        dtype = types.get(reg) if reg is not None else None
+        if dtype is None:
+            dtype = fallback.get(width, DType.UINT32)
+        out[instr.pc] = AccessType(dtype=dtype, count=max(1, width // dtype.bits))
+    return out
+
+
+_ANCHOR_OF = {
+    DType.FLOAT16: "hadd2",
+    DType.FLOAT32: "fadd",
+    DType.FLOAT64: "dadd",
+    DType.INT32: "iadd",
+}
+
+_chain = st.tuples(
+    st.sampled_from(["typed-load", "typed-store", "opaque-load", "opaque-store"]),
+    st.sampled_from(sorted(_ANCHOR_OF, key=lambda d: d.name)),
+    st.integers(min_value=0, max_value=3),  # MOV hops between site and anchor
+)
+
+
+def _build_chains(chains):
+    b = BinaryBuilder("prop_slice")
+    for kind, dtype, hops in chains:
+        anchor = _ANCHOR_OF[dtype]
+        width = dtype.bits
+        if kind == "typed-load":
+            reg = b.reg()
+            b.ldg(reg, width_bits=width)
+            cur = reg
+            for _ in range(hops):
+                nxt = b.reg()
+                b.mov(nxt, cur)
+                cur = nxt
+            result = b.reg()
+            getattr(b, anchor)(result, cur, cur)
+        elif kind == "typed-store":
+            source = b.reg()
+            anchored = b.reg()
+            getattr(b, anchor)(anchored, source, source)
+            cur = anchored
+            for _ in range(hops):
+                nxt = b.reg()
+                b.mov(nxt, cur)
+                cur = nxt
+            b.stg(cur, width_bits=width)
+        elif kind == "opaque-load":
+            b.ldg(b.reg(), width_bits=width)
+        else:
+            b.stg(b.reg(), width_bits=width)
+    b.exit()
+    return b.build()
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.lists(_chain, min_size=1, max_size=6))
+def test_slicer_matches_pre_refactor_reference(chains):
+    """Bidirectional propagation through arbitrary MOV chains gives
+    exactly the access types the pre-refactor fixpoint computed."""
+    function = _build_chains(chains)
+    assert infer_access_types(function) == _reference_access_types(function)
+
+
+def test_slicer_matches_reference_on_corpus_binaries():
+    """Fixed examples: the hand-written bfs binary and conversion-heavy
+    functions in the style of the tests/binary corpus."""
+    from repro.workloads.rodinia.bfs import _kernel_binary
+
+    functions = [_kernel_binary()]
+
+    b = BinaryBuilder("convert")
+    raw = b.reg()
+    b.ldg(raw, width_bits=32)
+    as_float = b.reg()
+    b.i2f(as_float, raw)
+    half = b.reg()
+    b.f2h(half, as_float)
+    b.stg(half, width_bits=16)
+    b.exit()
+    functions.append(b.build())
+
+    b = BinaryBuilder("vector_store")
+    pair = b.reg()
+    anchored = b.reg()
+    b.fadd(anchored, pair, pair)
+    b.stg(anchored, width_bits=64)  # two FLOAT32 values per access
+    b.exit()
+    functions.append(b.build())
+
+    for function in functions:
+        assert infer_access_types(function) == _reference_access_types(
+            function
+        ), function.name

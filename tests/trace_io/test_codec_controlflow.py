@@ -1,0 +1,47 @@
+"""Round-tripping control-flow instruction fields through the codec."""
+
+from repro.binary.module import BinaryBuilder
+from repro.trace_io.codec import decode_function, encode_function
+
+
+def _branchy_function():
+    b = BinaryBuilder("branchy", base_pc=0x2000)
+    addr = b.reg()
+    value = b.reg()
+    b.ldg(value, width_bits=32, addr=addr)
+    p = b.reg()
+    flag = b.reg()
+    b.isetp(p, value, flag)
+    b.bra("skip", pred=p)
+    out = b.reg()
+    b.iadd(out, value, value)
+    b.stg(out, width_bits=32)
+    b.label("skip")
+    b.exit()
+    return b.build()
+
+
+def test_function_round_trips_addr_pred_target():
+    function = _branchy_function()
+    decoded = decode_function(encode_function(function))
+    assert decoded.name == function.name
+    assert decoded.instructions == function.instructions
+    branch = next(i for i in decoded.instructions if i.opcode.is_branch)
+    assert branch.pred is not None
+    assert branch.target is not None
+
+
+def test_pre_controlflow_traces_decode_with_defaults():
+    """Traces recorded before the control-flow extension carry no
+    addr/pred/target keys; they must decode to None, not crash."""
+    encoded = encode_function(_branchy_function())
+    for instr in encoded["instructions"]:
+        del instr["addr"], instr["pred"], instr["target"]
+    decoded = decode_function(encoded)
+    assert all(i.addr is None for i in decoded.instructions)
+    assert all(i.pred is None for i in decoded.instructions)
+    assert all(i.target is None for i in decoded.instructions)
+    # Everything else is untouched.
+    assert [i.opcode for i in decoded.instructions] == [
+        i.opcode for i in _branchy_function().instructions
+    ]
