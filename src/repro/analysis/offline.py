@@ -36,9 +36,15 @@ class OfflineAnalyzer:
 
     def __init__(self, config: Optional[PatternConfig] = None, health=None):
         self.engine = PatternEngine(config)
-        self._type_cache: Dict[str, Dict[int, AccessType]] = {}
-        #: kernel name -> site pc -> matched binary instruction pc.
-        self._site_binary_pc: Dict[str, Dict[int, int]] = {}
+        #: (kernel name, binary identity) -> site pc -> access type.
+        #: Keyed by the *binary*, not the name alone: a salvage stub and
+        #: a real kernel can share a name while carrying different
+        #: binaries, and must not reuse each other's type mappings.
+        self._type_cache: Dict[Tuple[str, int], Dict[int, AccessType]] = {}
+        #: (kernel name, binary identity) -> site pc -> binary pc.
+        self._site_binary_pc: Dict[Tuple[str, int], Dict[int, int]] = {}
+        #: Pin cached binaries so their id() keys cannot be recycled.
+        self._cached_binaries: Dict[int, object] = {}
         #: Optional :class:`repro.resilience.HealthReport` — when
         #: present, skipped groups and attribution misses are counted
         #: there instead of being swallowed silently.
@@ -52,8 +58,10 @@ class OfflineAnalyzer:
         Requires the kernel to carry a binary; raises
         :class:`~repro.errors.BinaryAnalysisError` otherwise.
         """
-        if kernel.name in self._type_cache:
-            return self._type_cache[kernel.name]
+        key = self._cache_key(kernel)
+        cached = self._type_cache.get(key)
+        if cached is not None:
+            return cached
         if kernel.binary is None:
             raise BinaryAnalysisError(
                 f"kernel {kernel.name!r} has no binary; cannot slice types"
@@ -68,9 +76,16 @@ class OfflineAnalyzer:
         for site_pc, binary_pc in zip(site_pcs, binary_pcs):
             mapping[site_pc] = inferred[binary_pc]
             site_binary[site_pc] = binary_pc
-        self._type_cache[kernel.name] = mapping
-        self._site_binary_pc[kernel.name] = site_binary
+        self._type_cache[key] = mapping
+        self._site_binary_pc[key] = site_binary
+        self._cached_binaries[key[1]] = kernel.binary
         return mapping
+
+    @staticmethod
+    def _cache_key(kernel: Kernel) -> Tuple[str, int]:
+        """Type-cache key: kernel name plus binary identity."""
+        binary = kernel.binary
+        return (kernel.name, 0 if binary is None else id(binary))
 
     def analyze_untyped(
         self, pending: List[Tuple]
@@ -107,9 +122,9 @@ class OfflineAnalyzer:
                 dtype=access_type.dtype,
                 itemsize=group.obj.dtype.itemsize,
             )
-            binary_pc = self._site_binary_pc.get(group.kernel.name, {}).get(
-                group.pc
-            )
+            binary_pc = self._site_binary_pc.get(
+                self._cache_key(group.kernel), {}
+            ).get(group.pc)
             for hit in self.engine.analyze_view(view):
                 hit.metrics["access_type"] = (
                     f"{access_type.dtype.name} x{access_type.count}"
@@ -169,7 +184,14 @@ class OfflineAnalyzer:
             if pc is None:
                 continue
             kernel_name = hit.api_ref.split(":", 1)[-1]
-            site = line_maps.get(kernel_name, {}).get(pc)
+            line_map = line_maps.get(kernel_name)
+            if line_map is None:
+                # The ref's tail is an object label or a kernel that
+                # never registered a line map: an attribution miss, not
+                # a silent skip.
+                self._count_attribution_miss(hit.api_ref)
+                continue
+            site = line_map.get(pc)
             if site is not None:
                 hit.metrics.setdefault("source", f"{site[0]}:{site[1]}")
         for vertex in profile.graph.vertices():

@@ -161,7 +161,21 @@ def _cmd_replay(args) -> int:
             ),
         ),
     )
-    profile = ValueExpert(config).profile_from_trace(args.trace)
+    events = None
+    if args.events:
+        from repro.tool.__main__ import _parse_event_range
+
+        events = _parse_event_range(args.events)
+    tool = ValueExpert(config)
+    profile = tool.profile_from_trace(
+        args.trace, shards=args.shards, events=events
+    )
+    if tool.last_shard_results:
+        print(
+            f"analyzed in {len(tool.last_shard_results)} shards "
+            f"(slowest worker "
+            f"{max(r.elapsed_s for r in tool.last_shard_results):.3f}s)"
+        )
     print(render_report(profile))
     if args.json:
         with open(args.json, "w") as handle:
@@ -298,6 +312,15 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument(
         "--gvprof", action="store_true",
         help="run the GVProf baseline over the replay instead",
+    )
+    replay.add_argument(
+        "--shards", type=int, default=1,
+        help="analyze the trace in N parallel worker processes "
+        "(default: 1, serial)",
+    )
+    replay.add_argument(
+        "--events", metavar="START:STOP", default=None,
+        help="analyze only this event range (serial replay only)",
     )
     replay.add_argument("--json", help="write the JSON profile")
 

@@ -58,6 +58,10 @@ from repro.intervals.interval import intervals_from_accesses_kinds
 from repro.intervals.parallel import merge_parallel_kinds
 from repro.utils.callpath import CallPath
 
+#: Shared placeholder for written-index sets the passive prefix of a
+#: sharded replay never reads.
+_EMPTY_INDICES = np.empty(0, dtype=np.int64)
+
 
 # --------------------------------------------------------------------------
 # Observations handed to the analyzers
@@ -219,6 +223,12 @@ class DataCollector(RuntimeListener):
         #: ladder (full -> sampled -> coarse-only -> quarantined).
         self.memory_budget_bytes = memory_budget_bytes
         self._runtime: Optional[GpuRuntime] = None
+        #: When False (sharded analysis warming up over another shard's
+        #: prefix), the collector still runs its full pipeline — mirror
+        #: refreshes, digests, sampler state must stay byte-identical to
+        #: a serial run — but skips building fine views, whose only
+        #: consumer is pattern analysis the prefix does not perform.
+        self.analysis_active = True
         #: per-launch decision recorded at instrument_kernel time,
         #: consumed at on_api_end (the bus is serialized).
         self._fine_this_launch = False
@@ -672,7 +682,7 @@ class DataCollector(RuntimeListener):
             if obj is None or not self.snapshots.is_tracked(alloc_id):
                 continue
             read_intervals = route.reads
-            if read_intervals.size:
+            if read_intervals.size and self.analysis_active:
                 obs.reads.append(
                     ObjectRead(
                         obj=obj,
@@ -687,8 +697,18 @@ class DataCollector(RuntimeListener):
             plan = plan_copy(
                 route.combined, obj.address, obj.size, self.copy_policy
             )
-            before, after = self.snapshots.refresh_plan(obj, plan)
-            written_idx = self.snapshots.element_indices(obj, write_intervals)
+            # A passive prefix consumes only ``after`` and the digest:
+            # the before-image copy and written-index expansion exist
+            # for pattern analysis, which the prefix does not run.
+            before, after = self.snapshots.refresh_plan(
+                obj, plan, want_before=self.analysis_active
+            )
+            if self.analysis_active:
+                written_idx = self.snapshots.element_indices(
+                    obj, write_intervals
+                )
+            else:
+                written_idx = _EMPTY_INDICES
             write_bytes = int(
                 (write_intervals[:, 1] - write_intervals[:, 0]).sum()
             )
@@ -705,7 +725,7 @@ class DataCollector(RuntimeListener):
         if snapshot_span is not None:
             snapshot_span.end()
 
-        if self._fine_this_launch:
+        if self._fine_this_launch and self.analysis_active:
             if telemetry.ENABLED:
                 with telemetry.span(
                     "collector.fine", kernel=event.kernel.name

@@ -3,6 +3,8 @@
 - :mod:`repro.flowgraph.graph` — the graph model of Definition 5.1;
 - :mod:`repro.flowgraph.builder` — last-writer tracking that turns the
   runtime's API event stream into a graph;
+- :mod:`repro.flowgraph.merge` — joining per-shard graphs on vertex
+  identity (sharded trace analysis);
 - :mod:`repro.flowgraph.slicing` — vertex slice graphs (Definition 5.2);
 - :mod:`repro.flowgraph.important` — important graphs (Definition 5.3);
 - :mod:`repro.flowgraph.render` — DOT/text rendering with the paper's
@@ -18,6 +20,7 @@ from repro.flowgraph.graph import (
     VertexKind,
 )
 from repro.flowgraph.builder import FlowGraphBuilder
+from repro.flowgraph.merge import merge_graphs
 from repro.flowgraph.slicing import vertex_slice
 from repro.flowgraph.important import important_graph
 from repro.flowgraph.render import render_dot, render_text
@@ -31,6 +34,7 @@ __all__ = [
     "format_history",
     "HOST_VERTEX_ID",
     "important_graph",
+    "merge_graphs",
     "object_history",
     "render_dot",
     "render_svg",

@@ -1,0 +1,73 @@
+"""Merging per-shard value flow graphs into one program-wide graph.
+
+Sharded trace analysis (:mod:`repro.analysis.sharding`) builds one
+:class:`~repro.flowgraph.graph.ValueFlowGraph` per contiguous event
+range.  Vertex ids are shard-local — each worker numbers vertices in
+its own first-encounter order — so merging is an identity problem, not
+a union problem: vertices are joined on their *merge identity*
+``(kind, name, call path)``, exactly the key context-sensitive vertex
+merging uses within one graph, and every shard-local id is remapped
+through the resulting table.
+
+Cross-shard edges need no special casing because workers seed their
+builders with the prefix's last-writer state: an object written in
+shard *i* and read in shard *j* produces, in shard *j*'s local graph,
+an edge whose source is the *identity* of the shard-*i* writer vertex,
+which this merge resolves to the same global vertex the shard-*i*
+subgraph maps to.
+
+Determinism: shards are merged in event order and each local graph is
+walked in local-id order.  Seed vertices (identities inherited from
+the prefix) always precede a shard's own first encounters, and their
+identities were first encountered — actively — by an earlier shard, so
+the merged graph assigns global ids in exactly the serial analyzer's
+first-encounter order.  A sharded profile's graph is therefore
+byte-identical to the serial one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.flowgraph.graph import HOST_VERTEX_ID, ValueFlowGraph
+
+
+def merge_graphs(
+    graphs: Sequence[ValueFlowGraph],
+) -> Tuple[ValueFlowGraph, List[Dict[int, int]]]:
+    """Merge shard-local graphs; returns (merged, per-shard vid maps).
+
+    Each returned map translates one input graph's vertex ids to the
+    merged graph's ids (the host vertex maps to itself), so callers can
+    remap anything else that names vertices — pattern-hit api refs do.
+    """
+    merged = ValueFlowGraph()
+    vid_maps: List[Dict[int, int]] = []
+    for graph in graphs:
+        vid_map: Dict[int, int] = {HOST_VERTEX_ID: HOST_VERTEX_ID}
+        for vertex in graph.vertices():
+            if vertex.vid == HOST_VERTEX_ID:
+                merged.host.invocations += vertex.invocations
+                merged.host.time_s += vertex.time_s
+                continue
+            target = merged.merge_vertex(
+                vertex.kind, vertex.name, vertex.call_path
+            )
+            target.invocations += vertex.invocations
+            target.time_s += vertex.time_s
+            if vertex.operator and not target.operator:
+                target.operator = vertex.operator
+            vid_map[vertex.vid] = target.vid
+        for edge in graph.edges():
+            target_edge = merged.record_edge(
+                vid_map[edge.src],
+                vid_map[edge.dst],
+                vid_map[edge.alloc_vid],
+                edge.kind,
+                nbytes=edge.bytes_accessed,
+                redundant_fraction=edge.redundant_fraction,
+            )
+            # record_edge counts one observation; fold in the rest.
+            target_edge.count += edge.count - 1
+        vid_maps.append(vid_map)
+    return merged, vid_maps

@@ -33,12 +33,12 @@ class DType(enum.Enum):
     @property
     def np_dtype(self) -> np.dtype:
         """The equivalent numpy dtype."""
-        return np.dtype(self.value)
+        return _NP_DTYPES[self]
 
     @property
     def itemsize(self) -> int:
         """Width in bytes."""
-        return self.np_dtype.itemsize
+        return _ITEMSIZES[self]
 
     @property
     def bits(self) -> int:
@@ -76,6 +76,13 @@ class DType(enum.Enum):
             if member.value == name:
                 return member
         raise ValueError(f"unsupported numpy dtype: {dtype!r}")
+
+
+#: Hot-path caches: ``np.dtype`` construction is surprisingly costly and
+#: these properties are hit once per access record on decode and view
+#: building.
+_NP_DTYPES = {member: np.dtype(member.value) for member in DType}
+_ITEMSIZES = {member: _NP_DTYPES[member].itemsize for member in DType}
 
 
 #: Integer narrowing ladders used by the heavy-type detector, narrowest

@@ -17,7 +17,11 @@ Commands:
   linter (:mod:`repro.staticlint`) over a workload's kernels (or every
   registered workload), cross-check findings against the dynamic
   profile, and exit nonzero iff any finding is error-severity
-  (``docs/static-analysis.md``).
+  (``docs/static-analysis.md``);
+- ``replay <trace>`` — profile a recorded ``.vetrace`` without running
+  any workload; ``--shards N`` fans the analysis out over N worker
+  processes (identical hits and flow graph, see ``docs/trace.md``),
+  ``--events A:B`` analyzes only that event range.
 
 Any :class:`~repro.errors.ReproError` exits nonzero with a one-line
 message; pass ``--debug`` (before the subcommand) for the full
@@ -38,7 +42,7 @@ from typing import List, Optional
 
 import repro.obs as telemetry
 from repro.analysis.trace import TraceRecorder
-from repro.errors import DegradedProfileWarning, ReproError
+from repro.errors import DegradedProfileWarning, ReproError, TraceError
 from repro.gpu.runtime import GpuRuntime
 from repro.gpu.timing import A100, RTX_2080_TI
 from repro.obs.export import merged_trace_json
@@ -197,6 +201,41 @@ def _cmd_lint(args) -> int:
     return exit_code
 
 
+def _parse_event_range(spec: str):
+    """``A:B`` (or ``A:`` for end-of-trace) -> (start, stop)."""
+    head, sep, tail = spec.partition(":")
+    if not sep or not head.isdigit() or not (tail == "" or tail.isdigit()):
+        raise TraceError(
+            f"invalid --events range {spec!r}; expected START:STOP "
+            f"(e.g. 10:50) or START: for end-of-trace"
+        )
+    return (int(head), int(tail) if tail else None)
+
+
+def _cmd_replay(args) -> int:
+    events = None if args.events is None else _parse_event_range(args.events)
+    tool = ValueExpert(ToolConfig())
+    profile = tool.profile_from_trace(
+        args.trace, shards=args.shards, events=events
+    )
+    print(profile.summary())
+    if tool.last_shard_results:
+        print()
+        print(f"sharded over {len(tool.last_shard_results)} workers:")
+        for result in tool.last_shard_results:
+            print(
+                f"  shard {result.index}: events "
+                f"[{result.start}, {result.stop}) in {result.elapsed_s:.3f}s "
+                f"({result.active_s:.3f}s active)"
+            )
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(profile.to_json())
+            handle.write("\n")
+        print(f"wrote profile to {args.json}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse command tree."""
     parser = argparse.ArgumentParser(
@@ -288,6 +327,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="cross-check findings against a recorded .vetrace replay "
         "instead of each workload's own fresh profile",
     )
+
+    replay = sub.add_parser(
+        "replay",
+        help="profile a recorded .vetrace, optionally sharded over "
+        "worker processes",
+    )
+    replay.add_argument("trace", help="path to the .vetrace recording")
+    replay.add_argument(
+        "--shards", type=int, default=1,
+        help="analyze the trace in N parallel worker processes "
+        "(default: 1, serial)",
+    )
+    replay.add_argument(
+        "--events", metavar="START:STOP",
+        help="analyze only this event range (serial replay only); "
+        "earlier events just reconstruct device state",
+    )
+    replay.add_argument("--json", help="write the profile JSON to a file")
     return parser
 
 
@@ -301,6 +358,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_health(args)
         if args.command == "lint":
             return _cmd_lint(args)
+        if args.command == "replay":
+            return _cmd_replay(args)
         return _cmd_trace(args)
     except ReproError as exc:
         if args.debug:

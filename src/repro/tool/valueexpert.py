@@ -24,21 +24,31 @@ profile from such a file without executing any workload code (see
 
 from __future__ import annotations
 
+import time
 import warnings
-from typing import Callable, Dict, Optional, Union
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import repro.obs as telemetry
 from repro.analysis.offline import OfflineAnalyzer
 from repro.analysis.online import OnlineAnalyzer
 from repro.analysis.profile import ValueProfile
+from repro.analysis.sharding import (
+    PREFIX_COST_RATIO,
+    ShardResult,
+    merge_shard_results,
+    plan_shards,
+    run_shards_parallel,
+)
 from repro.collector.collector import DataCollector
-from repro.errors import DegradedProfileWarning, WorkloadError
+from repro.errors import AnalysisError, DegradedProfileWarning, WorkloadError
 from repro.gpu.kernel import Kernel
 from repro.gpu.runtime import GpuRuntime, KernelLaunchEvent, RuntimeListener
 from repro.gpu.timing import Platform, RTX_2080_TI
 from repro.resilience import FaultInjector, FaultKind, HealthReport
 from repro.tool.config import ToolConfig
 from repro.trace_io import TraceRecorder, TraceReplayer
+from repro.trace_io.codec import decode_kernel
+from repro.trace_io.format import TraceReader
 
 
 class _KernelRoster(RuntimeListener):
@@ -63,6 +73,9 @@ class ValueExpert:
         self.last_collector: Optional[DataCollector] = None
         #: Runtime of the most recent run (modelled times).
         self.last_runtime: Optional[GpuRuntime] = None
+        #: Per-shard results of the most recent sharded replay (timings,
+        #: event ranges) — the scaling benchmark reads these.
+        self.last_shard_results: Optional[List[ShardResult]] = None
 
     def profile(
         self,
@@ -98,6 +111,8 @@ class ValueExpert:
         self,
         trace_path: str,
         name: str = "",
+        shards: int = 1,
+        events: Optional[Tuple[int, Optional[int]]] = None,
     ) -> ValueProfile:
         """Produce a profile by replaying a recorded ``.vetrace`` file.
 
@@ -106,17 +121,46 @@ class ValueExpert:
         of a live runtime, so ``config`` (coarse/fine, sampling, kernel
         filters) applies to the replay exactly as it would to a live
         run — narrowing the recording, never widening it.
+
+        ``shards > 1`` partitions the event stream into that many
+        contiguous ranges and analyzes them in parallel worker
+        processes, merging the per-shard flow graphs and hits into one
+        profile whose pattern hits and graph are identical to the
+        serial replay's (counters are per-shard sums and may differ
+        from a serial run's).  Sharding is refused
+        (:class:`~repro.errors.AnalysisError`) for configurations whose
+        analysis is inherently sequential-stateful: a memory budget
+        (the degradation ladder) or a replay-scoped fault plan.
+
+        ``events=(start, stop)`` restricts *analysis* to that event
+        range: earlier events only reconstruct device state, later ones
+        are skipped (serial replay only; ``stop=None`` means
+        end-of-trace).
         """
         self_observe = self.config.observability and not telemetry.ENABLED
         if self_observe:
             telemetry.enable()
         try:
-            return self._profile_from_trace(trace_path, name)
+            if shards > 1:
+                if events is not None:
+                    raise AnalysisError(
+                        "events ranges and sharding are mutually exclusive; "
+                        "pass shards=1 for a partial replay"
+                    )
+                return self._profile_from_trace_sharded(
+                    trace_path, name, shards
+                )
+            return self._profile_from_trace(trace_path, name, events=events)
         finally:
             if self_observe:
                 telemetry.disable()
 
-    def _profile_from_trace(self, trace_path: str, name: str) -> ValueProfile:
+    def _profile_from_trace(
+        self,
+        trace_path: str,
+        name: str,
+        events: Optional[Tuple[int, Optional[int]]] = None,
+    ) -> ValueProfile:
         health = HealthReport() if self.config.resilience_active else None
         injector: Optional[FaultInjector] = None
         if (
@@ -151,8 +195,9 @@ class ValueExpert:
                 if telemetry.ENABLED
                 else None
             )
+            start, stop = events if events is not None else (0, None)
             try:
-                replayer.replay()
+                replayer.replay(start=start, stop=stop)
             except Exception as exc:
                 if health is None:
                     raise
@@ -175,6 +220,111 @@ class ValueExpert:
         offline.annotate(profile, kernels=list(roster.kernels.values()))
         self._finish_health(profile, health, injector=injector)
         self.last_collector = collector
+        self.last_runtime = None
+        return profile
+
+    def _check_shardable(self) -> None:
+        """Refuse configurations whose analysis cannot shard exactly."""
+        if self.config.memory_budget_bytes is not None:
+            raise AnalysisError(
+                "sharded replay cannot honor memory_budget_bytes: the "
+                "degradation ladder's decisions depend on the whole run's "
+                "history; replay serially instead"
+            )
+        if (
+            self.config.fault_plan is not None
+            and self.config.fault_plan.applies_to_replay
+        ):
+            raise AnalysisError(
+                "sharded replay cannot apply a replay-scoped fault plan: "
+                "injected record mangling is not reproducible across "
+                "worker prefixes; replay serially instead"
+            )
+
+    def _profile_from_trace_sharded(
+        self, trace_path: str, name: str, shards: int
+    ) -> ValueProfile:
+        self._check_shardable()
+        health = HealthReport() if self.config.resilience_active else None
+        salvage = health is not None
+        with TraceReader(trace_path, salvage=salvage) as reader:
+            header = reader.header
+            footer = reader.footer
+            # Weigh frames by decoded size: v2 zlib/delta encoding makes
+            # on-disk bytes a poor proxy for replay cost.
+            weighted_index = reader.frame_index(decoded=True)
+            if salvage and reader.truncated:
+                health.torn_trace = True
+                health.trace_salvaged = True
+                health.salvaged_bytes = reader.salvaged_bytes
+                health.salvaged_events = reader.salvaged_events
+                health.note(
+                    f"salvaged {reader.salvaged_events} events "
+                    f"({reader.salvaged_bytes} bytes) from truncated "
+                    f"trace {trace_path!r}"
+                )
+        ranges = plan_shards(
+            [nbytes for _, _, nbytes in weighted_index],
+            shards,
+            prefix_cost=PREFIX_COST_RATIO,
+        )
+        if len(ranges) <= 1:
+            # Empty or single-shard-sized trace: the serial path is the
+            # sharded path, without the process fan-out.
+            return self._profile_from_trace(trace_path, name)
+        span = (
+            telemetry.tracer().begin(
+                "tool.replay_sharded", shards=len(ranges)
+            )
+            if telemetry.ENABLED
+            else None
+        )
+        try:
+            results = run_shards_parallel(
+                trace_path, ranges, self.config, salvage=salvage
+            )
+        except Exception as exc:
+            if span is not None:
+                span.end()
+            if health is None:
+                raise
+            health.note(
+                f"sharded replay failed ({type(exc).__name__}: {exc}); "
+                f"falling back to serial replay"
+            )
+            return self._profile_from_trace(trace_path, name)
+        merge_started = time.perf_counter()
+        profile = merge_shard_results(results)
+        merge_elapsed = time.perf_counter() - merge_started
+        profile.workload_name = name or header.get("workload", "")
+        profile.platform_name = header.get("platform", "")
+        offline = OfflineAnalyzer(self.config.patterns, health=health)
+        # Workers resolved their own untyped groups; the parent only
+        # annotates, using the footer's kernel table for line maps (a
+        # superset of any run's launched roster).
+        roster = [decode_kernel(data) for data in footer.get("kernels", [])]
+        offline.annotate(profile, kernels=roster)
+        if span is not None:
+            span.end()
+            telemetry.counter(
+                "repro_tool_sharded_replays_total",
+                "Sharded trace replays executed by the facade.",
+            ).inc()
+            telemetry.gauge(
+                "repro_tool_shard_count",
+                "Shards used by the most recent sharded replay.",
+            ).set(len(results))
+            telemetry.histogram(
+                "repro_tool_shard_merge_seconds",
+                "Wall time merging per-shard results into one profile.",
+            ).observe(merge_elapsed)
+            telemetry.gauge(
+                "repro_tool_shard_critical_path_seconds",
+                "Slowest worker of the most recent sharded replay.",
+            ).set(max(result.elapsed_s for result in results))
+        self._finish_health(profile, health, injector=None)
+        self.last_shard_results = results
+        self.last_collector = None
         self.last_runtime = None
         return profile
 

@@ -28,6 +28,7 @@ from repro.trace_io.format import (
     EVENT_MEMSET,
     EVENT_NAMES,
     MAGIC,
+    SUPPORTED_VERSIONS,
     VERSION,
     TraceReader,
     TraceWriter,
@@ -43,6 +44,7 @@ __all__ = [
     "EVENT_MEMSET",
     "EVENT_NAMES",
     "MAGIC",
+    "SUPPORTED_VERSIONS",
     "VERSION",
     "TraceError",
     "TraceReader",

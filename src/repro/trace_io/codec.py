@@ -202,6 +202,31 @@ def _encode_launch(event: KernelLaunchEvent, meta: dict, arrays: ArrayDict) -> N
     meta["post"] = post
 
 
+def delta_keys_for(kind: int, meta: dict) -> Dict[str, str]:
+    """Delta keys for a frame's arrays, by array name.
+
+    Post-launch snapshots (``p<N>`` arrays) of the same allocation
+    repeat with few changed bytes launch to launch, so they are keyed
+    by allocation identity: a v2 writer XOR-encodes each against the
+    previous snapshot of that allocation (see
+    :meth:`~repro.trace_io.format.TraceWriter.write_event`).
+    """
+    if kind != EVENT_LAUNCH:
+        return {}
+    return {
+        f"p{index}": f"post:{entry['alloc_id']}:{entry['address']}"
+        for index, entry in enumerate(meta.get("post", ()))
+    }
+
+
+def released_delta_keys(kind: int, meta: dict) -> List[str]:
+    """Delta keys a frame retires (freed allocations snapshot no more)."""
+    if kind != EVENT_FREE:
+        return []
+    alloc = meta["alloc"]
+    return [f"post:{alloc['alloc_id']}:{alloc['address']}"]
+
+
 def decode_access_record(record_meta: dict, arrays: ArrayDict, index: int) -> AccessRecord:
     """Rebuild one access record from its frame slice."""
     return AccessRecord(

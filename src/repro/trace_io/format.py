@@ -14,31 +14,48 @@ Each frame is one runtime API event::
 
     u32     event kind (MALLOC/FREE/MEMCPY/MEMSET/LAUNCH)
     u32     meta length
-    u64     payload length
+    u64     payload length (as stored on disk)
     meta    JSON object; its ``"__arrays__"`` key maps array names to
             ``{dtype, shape, offset, nbytes}`` descriptors
     payload concatenated raw (C-order) array bytes — never pickled
 
-Numpy arrays therefore round-trip bit-exactly, the metadata stays
+Format v2 keeps the container identical but makes the payload compact:
+
+- a frame whose payload shrinks under zlib is stored compressed, with
+  ``meta["__codec__"] = {"c": "zlib", "n": <raw length>}`` recording
+  the pre-compression length (descriptor offsets address the *raw*
+  payload);
+- arrays registered under a *delta key* (the recorder keys post-launch
+  snapshots by allocation identity) are XOR-encoded against the
+  previous payload written under the same key when the lengths match;
+  the descriptor gains ``"dkey"`` (the key) and ``"delta": true`` when
+  the XOR was applied.  Repeated snapshots of a mostly-unchanged
+  allocation therefore become runs of zeros that zlib collapses.
+
+Numpy arrays still round-trip bit-exactly, the metadata stays
 greppable JSON, and a reader can skip any frame without parsing its
 payload.  Versioning rules live in ``docs/trace.md``: the version is
 bumped whenever a frame's meaning changes, and readers reject any
-version they do not know (no silent best-effort parsing of traces from
-a different format generation).
+version outside :data:`SUPPORTED_VERSIONS` (no silent best-effort
+parsing of traces from an unknown format generation).
 """
 
 from __future__ import annotations
 
 import json
 import struct
-from typing import Dict, Iterator, Optional, Tuple
+import zlib
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
 from repro.errors import TraceError
 
 MAGIC = b"VETRACE\0"
-VERSION = 1
+#: Default (current) format version written by :class:`TraceWriter`.
+VERSION = 2
+#: Versions this reader generation can decode.
+SUPPORTED_VERSIONS = frozenset({1, 2})
 
 #: Event kinds, one per intercepted GPU API.
 EVENT_MALLOC = 1
@@ -75,57 +92,115 @@ class TraceWriter:
     truncated rather than silently short.
     """
 
-    def __init__(self, path: str, header: Optional[dict] = None):
+    def __init__(
+        self,
+        path: str,
+        header: Optional[dict] = None,
+        version: int = VERSION,
+    ):
+        if version not in SUPPORTED_VERSIONS:
+            raise TraceError(
+                f"cannot write trace format version {version}; supported "
+                f"versions are {sorted(SUPPORTED_VERSIONS)}"
+            )
         self.path = path
+        self.version = version
         self._file = open(path, "wb")
         self._closed = False
         self.torn = False
         self.events_written = 0
+        self._final_size: Optional[int] = None
+        #: delta key -> raw bytes of the last payload written under it
+        #: (v2 only; see :meth:`write_event`).
+        self._delta_state: Dict[str, bytes] = {}
         self._file.write(MAGIC)
-        self._file.write(_U32.pack(VERSION))
+        self._file.write(_U32.pack(version))
         self._file.write(_U64.pack(0))
         header_bytes = _dump_json(header or {})
         self._file.write(_U32.pack(len(header_bytes)))
         self._file.write(header_bytes)
 
-    def write_event(self, kind: int, meta: dict, arrays: ArrayDict) -> None:
-        """Append one event frame; ``arrays`` land raw in the payload."""
+    def write_event(
+        self,
+        kind: int,
+        meta: dict,
+        arrays: ArrayDict,
+        delta_keys: Optional[Dict[str, str]] = None,
+    ) -> None:
+        """Append one event frame; ``arrays`` land raw in the payload.
+
+        ``delta_keys`` maps array names to stable string keys (e.g. an
+        allocation identity).  Under format v2, a keyed array whose byte
+        length matches the previous payload written under the same key
+        is stored as the XOR against that payload; readers reverse the
+        XOR statefully.  v1 writers ignore ``delta_keys`` entirely.
+        """
         if self.torn:
             # A torn writer models a dead recording process: later
             # events vanish, exactly like writes after a crash.
             return
         if self._closed:
             raise TraceError(f"trace {self.path!r} is already closed")
+        use_v2 = self.version >= 2
         descriptors = {}
         chunks = []
         offset = 0
         for name, array in arrays.items():
             raw = np.ascontiguousarray(array)
             nbytes = int(raw.nbytes)
-            descriptors[name] = {
+            desc = {
                 "dtype": str(raw.dtype),
                 "shape": list(raw.shape),
                 "offset": offset,
                 "nbytes": nbytes,
             }
-            chunks.append(raw.tobytes())
+            raw_bytes = raw.tobytes()
+            key = delta_keys.get(name) if (use_v2 and delta_keys) else None
+            if key is not None:
+                desc["dkey"] = key
+                previous = self._delta_state.get(key)
+                if previous is not None and len(previous) == nbytes:
+                    raw_bytes = np.bitwise_xor(
+                        np.frombuffer(raw.tobytes(), dtype=np.uint8),
+                        np.frombuffer(previous, dtype=np.uint8),
+                    ).tobytes()
+                    desc["delta"] = True
+                self._delta_state[key] = raw.tobytes()
+            descriptors[name] = desc
+            chunks.append(raw_bytes)
             offset += nbytes
         meta = dict(meta)
         meta["__arrays__"] = descriptors
+        payload = b"".join(chunks)
+        if use_v2 and payload:
+            compressed = zlib.compress(payload, 1)
+            if len(compressed) < len(payload):
+                meta["__codec__"] = {"c": "zlib", "n": len(payload)}
+                payload = compressed
         meta_bytes = _dump_json(meta)
         self._file.write(_U32.pack(kind))
         self._file.write(_U32.pack(len(meta_bytes)))
-        self._file.write(_U64.pack(offset))
+        self._file.write(_U64.pack(len(payload)))
         self._file.write(meta_bytes)
-        for chunk in chunks:
-            self._file.write(chunk)
+        self._file.write(payload)
         self.events_written += 1
+
+    def release_delta(self, key: str) -> None:
+        """Drop the delta base held for ``key`` (e.g. after a free)."""
+        self._delta_state.pop(key, None)
 
     @property
     def bytes_written(self) -> int:
-        """Bytes written to the file so far."""
-        if self._closed or self.torn:
+        """Bytes written to the file so far.
+
+        A torn writer reports 0 (the recording is dead); a closed
+        writer reports the final file size, so telemetry sampled after
+        :meth:`close` still sees the trace it produced.
+        """
+        if self.torn:
             return 0
+        if self._closed:
+            return self._final_size or 0
         return self._file.tell()
 
     def tear(self) -> None:
@@ -164,6 +239,7 @@ class TraceWriter:
         self._file.write(_U64.pack(footer_offset))
         self._file.close()
         self._closed = True
+        self._final_size = size
         return size
 
     def __enter__(self) -> "TraceWriter":
@@ -196,10 +272,11 @@ class TraceReader:
         if magic != MAGIC:
             raise TraceError(f"{path!r} is not a ValueExpert trace")
         self.version = _U32.unpack(self._read_exact(_U32.size))[0]
-        if self.version != VERSION:
+        if self.version not in SUPPORTED_VERSIONS:
             raise TraceError(
                 f"{path!r} has trace format version {self.version}; "
-                f"this reader understands version {VERSION} only"
+                f"this reader understands versions "
+                f"{sorted(SUPPORTED_VERSIONS)} only"
             )
         self._footer_offset = _U64.unpack(self._read_exact(_U64.size))[0]
         self.truncated = False
@@ -280,14 +357,71 @@ class TraceReader:
             last_good = end
         return last_good, nevents
 
+    def frame_index(self, decoded: bool = False) -> List[Tuple[int, int, int]]:
+        """``(offset, kind, frame_nbytes)`` per complete frame.
+
+        Walks only the frame headers (payloads are seeked over), so it
+        is cheap even on large traces; shard planning weighs event
+        ranges with it.  The file position is preserved.
+
+        With ``decoded=True`` the size is the frame's *decoded*
+        footprint: compressed payloads count at their post-inflate
+        length (``__codec__["n"]``).  Replay cost tracks decoded bytes,
+        not disk bytes — v2's zlib/XOR-delta encoding shrinks repetitive
+        frames dramatically on disk without making them cheaper to
+        apply — so shard planning should weigh with decoded sizes.
+        This variant reads and parses each frame's meta block;
+        unparseable metas fall back to the on-disk size (the weight is
+        a planning hint, and :meth:`events` is where corruption must
+        surface as an error).
+        """
+        position = self._file.tell()
+        try:
+            self._file.seek(self._events_start)
+            entries: List[Tuple[int, int, int]] = []
+            while self._file.tell() < self._footer_offset:
+                start = self._file.tell()
+                head = self._read_exact(self._FRAME_HEAD)
+                kind = _U32.unpack(head[:4])[0]
+                meta_len = _U32.unpack(head[4:8])[0]
+                payload_len = _U64.unpack(head[8:16])[0]
+                total = self._FRAME_HEAD + meta_len + payload_len
+                nbytes = total
+                if decoded and payload_len:
+                    try:
+                        meta = json.loads(
+                            self._read_exact(meta_len).decode("utf-8")
+                        )
+                        codec = meta.get("__codec__")
+                        if codec is not None:
+                            nbytes = (
+                                self._FRAME_HEAD + meta_len + int(codec["n"])
+                            )
+                    except (UnicodeDecodeError, ValueError, TypeError, KeyError):
+                        pass
+                entries.append((start, kind, nbytes))
+                self._file.seek(start + total)
+            return entries
+        finally:
+            self._file.seek(position)
+
     def events(self) -> Iterator[Tuple[int, dict, ArrayDict]]:
         """Yield ``(kind, meta, arrays)`` per frame, in recorded order.
 
-        A :class:`TraceError` raised mid-stream (frame cut short by
-        truncation) carries ``last_good_offset`` — the end of the last
-        frame that was yielded whole — so callers can salvage.
+        A :class:`TraceError` raised mid-stream carries
+        ``last_good_offset`` — the end of the last frame that was
+        yielded whole — so callers can salvage.  That covers frames cut
+        short by truncation *and* frames whose array descriptors are
+        corrupt (unknown dtype, byte counts that do not divide into
+        elements, shape/size mismatches): descriptor damage surfaces as
+        a salvageable trace error, never a raw numpy exception.
+
+        Delta-encoded v2 arrays are decoded statefully; iteration
+        always restarts from the first frame, so the delta chain is
+        complete regardless of how often ``events()`` is called.
         """
         self._file.seek(self._events_start)
+        delta_state: Dict[str, bytes] = {}
         while self._file.tell() < self._footer_offset:
             frame_start = self._file.tell()
             try:
@@ -301,12 +435,51 @@ class TraceReader:
                     str(exc), last_good_offset=frame_start
                 ) from None
             arrays: ArrayDict = {}
-            for name, desc in meta.pop("__arrays__", {}).items():
-                start = desc["offset"]
-                raw = payload[start : start + desc["nbytes"]]
-                arrays[name] = np.frombuffer(
-                    raw, dtype=np.dtype(desc["dtype"])
-                ).reshape(desc["shape"]).copy()
+            try:
+                codec = meta.pop("__codec__", None)
+                if codec is not None:
+                    if codec.get("c") != "zlib":
+                        raise ValueError(
+                            f"unknown payload codec {codec.get('c')!r}"
+                        )
+                    payload = zlib.decompress(payload)
+                    if len(payload) != codec.get("n", len(payload)):
+                        raise ValueError(
+                            "decompressed payload length does not match "
+                            "the recorded raw length"
+                        )
+                for name, desc in meta.pop("__arrays__", {}).items():
+                    start = int(desc["offset"])
+                    nbytes = int(desc["nbytes"])
+                    if start < 0 or nbytes < 0 or start + nbytes > len(payload):
+                        raise ValueError(
+                            f"array {name!r} descriptor addresses bytes "
+                            f"outside the payload"
+                        )
+                    raw = payload[start : start + nbytes]
+                    key = desc.get("dkey")
+                    if desc.get("delta"):
+                        previous = delta_state.get(key)
+                        if previous is None or len(previous) != nbytes:
+                            raise ValueError(
+                                f"delta frame for {key!r} has no matching "
+                                f"base payload"
+                            )
+                        raw = np.bitwise_xor(
+                            np.frombuffer(raw, dtype=np.uint8),
+                            np.frombuffer(previous, dtype=np.uint8),
+                        ).tobytes()
+                    if key is not None:
+                        delta_state[key] = bytes(raw)
+                    arrays[name] = np.frombuffer(
+                        raw, dtype=np.dtype(desc["dtype"])
+                    ).reshape(desc["shape"]).copy()
+            except (ValueError, TypeError, KeyError, zlib.error) as exc:
+                raise TraceError(
+                    f"corrupt array descriptor in {self.path!r} frame at "
+                    f"offset {frame_start}: {exc}",
+                    last_good_offset=frame_start,
+                ) from exc
             yield kind, meta, arrays
 
     @property

@@ -32,8 +32,13 @@ from repro.gpu.runtime import (
     KernelLaunchEvent,
     RuntimeListener,
 )
-from repro.trace_io.codec import encode_event, encode_kernel
-from repro.trace_io.format import EVENT_NAMES, TraceWriter
+from repro.trace_io.codec import (
+    delta_keys_for,
+    encode_event,
+    encode_kernel,
+    released_delta_keys,
+)
+from repro.trace_io.format import EVENT_NAMES, VERSION, TraceWriter
 
 
 class TraceRecorder(RuntimeListener):
@@ -49,6 +54,7 @@ class TraceRecorder(RuntimeListener):
         header: Optional[dict] = None,
         instrument: str = "follow",
         fault_injector=None,
+        version: int = VERSION,
     ):
         if instrument not in ("follow", "all"):
             raise TraceError(
@@ -58,7 +64,7 @@ class TraceRecorder(RuntimeListener):
         #: Optional :class:`repro.resilience.FaultInjector`; when its
         #: plan says so, the recording is torn mid-frame (crash model).
         self.fault_injector = fault_injector
-        self._writer = TraceWriter(path, header=header)
+        self._writer = TraceWriter(path, header=header, version=version)
         self._kernels: Dict[str, Kernel] = {}
         self._runtime: Optional[GpuRuntime] = None
         self.path = path
@@ -92,7 +98,11 @@ class TraceRecorder(RuntimeListener):
         if isinstance(event, KernelLaunchEvent):
             self._kernels.setdefault(event.kernel.name, event.kernel)
         kind, meta, arrays = encode_event(event)
-        self._writer.write_event(kind, meta, arrays)
+        self._writer.write_event(
+            kind, meta, arrays, delta_keys=delta_keys_for(kind, meta)
+        )
+        for key in released_delta_keys(kind, meta):
+            self._writer.release_delta(key)
         if self.fault_injector is not None and self.fault_injector.take_trace_tear(
             self._writer.events_written
         ):

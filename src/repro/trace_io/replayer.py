@@ -162,8 +162,33 @@ class TraceReplayer:
 
     # -- replay -------------------------------------------------------------
 
-    def replay(self) -> int:
-        """Play every recorded event, in order; returns the event count."""
+    def events(self):
+        """Decoded ``(kind, meta, arrays)`` frames, in recorded order.
+
+        No replay state is touched; pair with :meth:`apply_event` to
+        drive the replay loop externally (sharded analysis does).
+        """
+        return self._reader.events()
+
+    def apply_event(self, kind: int, meta: dict, arrays: dict) -> None:
+        """Apply one decoded frame: update state, emit to listeners."""
+        self._replay_one(kind, meta, arrays)
+        self.events_replayed += 1
+
+    def replay(self, start: int = 0, stop: Optional[int] = None) -> int:
+        """Play recorded events in order; returns the applied count.
+
+        ``start``/``stop`` bound the *observed* event range: events
+        before ``start`` are applied with listeners muted (device state
+        is reconstructed, nothing is instrumented or analyzed — fast),
+        events in ``[start, stop)`` replay normally, and events from
+        ``stop`` on are skipped entirely.  The default replays
+        everything.
+        """
+        if start < 0 or (stop is not None and stop < start):
+            raise TraceError(
+                f"invalid replay event range [{start}, {stop})"
+            )
         span = (
             telemetry.tracer().begin("trace.replay", path=self.path)
             if telemetry.ENABLED
@@ -171,9 +196,22 @@ class TraceReplayer:
         )
         started = time.perf_counter()
         count = 0
-        for kind, meta, arrays in self._reader.events():
-            self._replay_one(kind, meta, arrays)
-            count += 1
+        muted: Optional[List[RuntimeListener]] = None
+        if start > 0:
+            muted = self.listeners
+            self.listeners = []
+        try:
+            for index, (kind, meta, arrays) in enumerate(self._reader.events()):
+                if stop is not None and index >= stop:
+                    break
+                if muted is not None and index == start:
+                    self.listeners = muted
+                    muted = None
+                self._replay_one(kind, meta, arrays)
+                count += 1
+        finally:
+            if muted is not None:
+                self.listeners = muted
         self.events_replayed += count
         if span is not None:
             span.end()
