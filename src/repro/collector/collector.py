@@ -828,4 +828,4 @@ class DataCollector(RuntimeListener):
             telemetry.gauge(
                 "repro_collector_tracked_objects",
                 "Live data objects in the collector's registry.",
-            ).set(len(self.registry.live_objects()))
+            ).set(self.registry.live_count())

@@ -119,6 +119,16 @@ class DataObjectRegistry:
         """Live objects in address order."""
         return self._index()[0]
 
+    def live_count(self) -> int:
+        """Number of live objects, without building the address index.
+
+        Telemetry reads this instead of ``len(live_objects())``: the
+        index rebuild is counted into the profile's ``binder_rebuilds``
+        counter, so an observability-only rebuild would make profiles
+        differ between telemetry-on and telemetry-off runs.
+        """
+        return sum(1 for o in self._objects.values() if not o.freed)
+
     def all_objects(self) -> List[DataObject]:
         """Every object ever registered, by allocation id."""
         return sorted(self._objects.values(), key=lambda o: o.alloc_id)

@@ -81,6 +81,21 @@ class FaultInjected(ReproError):
     """
 
 
+class ServiceError(ReproError):
+    """Raised by the continuous-profiling service (:mod:`repro.service`).
+
+    Covers malformed job specifications, illegal job-state transitions
+    (e.g. cancelling an already-finished job), and daemon lifecycle
+    misuse (submitting to a stopped service).
+    """
+
+
+class UnknownJobError(ServiceError):
+    """Raised when a service request names a job id the store has never
+    seen; the HTTP layer maps it to 404 (other service errors are 400).
+    """
+
+
 class DegradedProfileWarning(UserWarning):
     """Warned (never raised) when a profile completed degraded.
 
@@ -105,5 +120,7 @@ __all__ = [
     "WorkloadError",
     "TraceError",
     "FaultInjected",
+    "ServiceError",
+    "UnknownJobError",
     "DegradedProfileWarning",
 ]

@@ -40,6 +40,9 @@ or the CLI: ``python -m repro.tool stats <workload>`` and
 
 from __future__ import annotations
 
+import threading
+from typing import List, Optional, Tuple
+
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -47,7 +50,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     DEFAULT_SECONDS_BUCKETS,
 )
-from repro.obs.spans import Span, SpanTracer, SELF_PID
+from repro.obs.spans import Span, SpanTracer, SELF_PID, chrome_events_for_spans
 
 #: Master switch.  Hot paths read this through the module object
 #: (``telemetry.ENABLED``) so the disabled cost is one branch.
@@ -56,57 +59,127 @@ ENABLED = False
 _registry = MetricsRegistry()
 _tracer = SpanTracer()
 
+#: enable()/disable() nest by reference count so concurrent scoped
+#: profiling runs in one process do not switch each other off.
+_enabled_depth = 0
+_enabled_lock = threading.Lock()
+
+_scopes = threading.local()
+
+
+def _scope_stack() -> List[Tuple[MetricsRegistry, SpanTracer]]:
+    stack = getattr(_scopes, "stack", None)
+    if stack is None:
+        stack = _scopes.stack = []
+    return stack
+
 
 def enable() -> None:
     """Turn self-telemetry on (keeps any previously recorded data)."""
-    global ENABLED
-    ENABLED = True
+    global ENABLED, _enabled_depth
+    with _enabled_lock:
+        _enabled_depth += 1
+        ENABLED = True
 
 
 def disable() -> None:
-    """Turn self-telemetry off; recorded data stays readable."""
-    global ENABLED
-    ENABLED = False
+    """Turn self-telemetry off; recorded data stays readable.
+
+    Enable/disable pairs nest: with two concurrent scoped runs enabled,
+    the first ``disable()`` leaves telemetry on for the survivor.
+    Unpaired calls clamp at zero, so "switch it off" still works.
+    """
+    global ENABLED, _enabled_depth
+    with _enabled_lock:
+        _enabled_depth = max(0, _enabled_depth - 1)
+        ENABLED = _enabled_depth > 0
 
 
 def reset() -> None:
-    """Drop all recorded metrics and spans (flag state unchanged)."""
-    _registry.clear()
-    _tracer.clear()
+    """Drop the current scope's recorded metrics and spans (flag
+    state unchanged)."""
+    registry().clear()
+    tracer().clear()
 
 
 def registry() -> MetricsRegistry:
-    """The process-wide metrics registry."""
-    return _registry
+    """The current scope's metrics registry (process-wide by default)."""
+    stack = _scope_stack()
+    return stack[-1][0] if stack else _registry
 
 
 def tracer() -> SpanTracer:
-    """The process-wide span tracer."""
-    return _tracer
+    """The current scope's span tracer (process-wide by default)."""
+    stack = _scope_stack()
+    return stack[-1][1] if stack else _tracer
+
+
+class scoped:
+    """Route telemetry to private instruments within a ``with`` block.
+
+    ::
+
+        job_registry, job_tracer = MetricsRegistry(), SpanTracer()
+        with telemetry.scoped(job_registry, job_tracer):
+            ...  # every telemetry.counter()/span() lands in them
+
+    The scope is **thread-local**: two threads each inside their own
+    ``scoped`` block record to their own instruments with no
+    cross-talk, which is what makes the :class:`~repro.tool.
+    valueexpert.ValueExpert` facade re-entrant — concurrent jobs no
+    longer share the module-global registry/tracer.  Omitted arguments
+    get fresh instruments, readable from the ``.registry`` /
+    ``.tracer`` attributes afterwards.  ``enable=True`` (default)
+    also turns telemetry on for the block, refcounted against other
+    concurrent scopes.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[SpanTracer] = None,
+        enable: bool = True,
+    ):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else SpanTracer()
+        self._enable = enable
+
+    def __enter__(self) -> "scoped":
+        _scope_stack().append((self.registry, self.tracer))
+        if self._enable:
+            enable()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._enable:
+            disable()
+        stack = _scope_stack()
+        if stack and stack[-1] == (self.registry, self.tracer):
+            stack.pop()
 
 
 def span(name: str, **attrs: object):
-    """Context manager timing one phase on the global tracer.
+    """Context manager timing one phase on the current scope's tracer.
 
     Call sites must still guard with ``if telemetry.ENABLED:`` — the
     helper itself records unconditionally.
     """
-    return _tracer.span(name, **attrs)
+    return tracer().span(name, **attrs)
 
 
 def counter(name: str, help: str = "", labelnames=()) -> Counter:
-    """Get-or-create a counter on the global registry."""
-    return _registry.counter(name, help, labelnames)
+    """Get-or-create a counter on the current scope's registry."""
+    return registry().counter(name, help, labelnames)
 
 
 def gauge(name: str, help: str = "", labelnames=()) -> Gauge:
-    """Get-or-create a gauge on the global registry."""
-    return _registry.gauge(name, help, labelnames)
+    """Get-or-create a gauge on the current scope's registry."""
+    return registry().gauge(name, help, labelnames)
 
 
 def histogram(name: str, help: str = "", labelnames=(), buckets=None) -> Histogram:
-    """Get-or-create a histogram on the global registry."""
-    return _registry.histogram(name, help, labelnames, buckets)
+    """Get-or-create a histogram on the current scope's registry."""
+    return registry().histogram(name, help, labelnames, buckets)
 
 
 class enabled_scope:
@@ -137,6 +210,7 @@ __all__ = [
     "SpanTracer",
     "SELF_PID",
     "DEFAULT_SECONDS_BUCKETS",
+    "chrome_events_for_spans",
     "counter",
     "disable",
     "enable",
@@ -145,6 +219,7 @@ __all__ = [
     "histogram",
     "registry",
     "reset",
+    "scoped",
     "span",
     "tracer",
 ]

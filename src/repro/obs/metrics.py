@@ -20,7 +20,8 @@ the pipeline layer (``runtime``, ``collector``, ``analyzer``,
 from __future__ import annotations
 
 import json
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+import threading
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import InvalidValueError
 from repro.utils.stats import percentile
@@ -60,6 +61,19 @@ class Metric:
         self.help = help
         self.labelnames = tuple(labelnames)
         self._children: Dict[Tuple[str, ...], "Metric"] = {}
+        self._lock = threading.Lock()
+
+    def __getstate__(self) -> Dict[str, object]:
+        # Locks are not picklable; worker processes ship metric state
+        # back to the service across a pipe, so drop them here and
+        # recreate on unpickle.
+        state = self.__dict__.copy()
+        state.pop("_lock", None)
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     def labels(self, **labelvalues: object) -> "Metric":
         """Child instrument for one label-value combination."""
@@ -71,11 +85,12 @@ class Metric:
                 f"got {tuple(sorted(labelvalues))}"
             )
         key = tuple(str(labelvalues[name]) for name in self.labelnames)
-        child = self._children.get(key)
-        if child is None:
-            child = type(self)(self.name, self.help)
-            self._copy_config(child)
-            self._children[key] = child
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = type(self)(self.name, self.help)
+                self._copy_config(child)
+                self._children[key] = child
         return child
 
     def _copy_config(self, child: "Metric") -> None:
@@ -89,16 +104,22 @@ class Metric:
         """All exposition rows: own series or one row-set per child."""
         if not self.labelnames:
             return self._samples()
+        with self._lock:
+            children = sorted(self._children.items())
         rows: List[Tuple[str, str, float]] = []
-        for key in sorted(self._children):
+        for key, child in children:
             label_str = _format_labels(self.labelnames, key)
-            for suffix, inner_labels, value in self._children[key]._samples():
+            for suffix, inner_labels, value in child._samples():
                 if inner_labels:
                     merged = label_str[:-1] + "," + inner_labels[1:]
                 else:
                     merged = label_str
                 rows.append((suffix, merged, value))
         return rows
+
+    def _merge_from(self, other: "Metric") -> None:
+        """Fold another instrument's state into this one (same kind)."""
+        raise NotImplementedError
 
 
 class Counter(Metric):
@@ -114,10 +135,15 @@ class Counter(Metric):
         """Add ``amount`` (must be non-negative) to the counter."""
         if amount < 0:
             raise InvalidValueError(f"counter {self.name!r} cannot decrease")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def _samples(self) -> List[Tuple[str, str, float]]:
         return [("", "", self.value)]
+
+    def _merge_from(self, other: "Metric") -> None:
+        with self._lock:
+            self.value += other.value
 
 
 class Gauge(Metric):
@@ -133,13 +159,19 @@ class Gauge(Metric):
         self.value = float(value)
 
     def inc(self, amount: float = 1.0) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def dec(self, amount: float = 1.0) -> None:
-        self.value -= amount
+        with self._lock:
+            self.value -= amount
 
     def _samples(self) -> List[Tuple[str, str, float]]:
         return [("", "", self.value)]
+
+    def _merge_from(self, other: "Metric") -> None:
+        # A gauge is a point-in-time level: the merged-in side wins.
+        self.value = other.value
 
 
 class Histogram(Metric):
@@ -178,6 +210,10 @@ class Histogram(Metric):
 
     def observe(self, value: float) -> None:
         """Record one observation."""
+        with self._lock:
+            self._observe_locked(value)
+
+    def _observe_locked(self, value: float) -> None:
         self.sum += value
         self.count += 1
         self._observations.append(float(value))
@@ -192,22 +228,50 @@ class Histogram(Metric):
         return percentile(self._observations, p)
 
     def _samples(self) -> List[Tuple[str, str, float]]:
+        with self._lock:
+            counts = list(self._counts)
+            total = self.count
+            acc = self.sum
         rows: List[Tuple[str, str, float]] = []
         cumulative = 0
-        for bound, bucket_count in zip(self.buckets, self._counts):
+        for bound, bucket_count in zip(self.buckets, counts):
             cumulative += bucket_count
             rows.append(("_bucket", f'{{le="{bound:g}"}}', float(cumulative)))
-        rows.append(("_bucket", '{le="+Inf"}', float(self.count)))
-        rows.append(("_sum", "", self.sum))
-        rows.append(("_count", "", float(self.count)))
+        rows.append(("_bucket", '{le="+Inf"}', float(total)))
+        rows.append(("_sum", "", acc))
+        rows.append(("_count", "", float(total)))
         return rows
+
+    def _merge_from(self, other: "Metric") -> None:
+        # Raw observations are retained, so merging is exact re-observation;
+        # an untouched target first adopts the source's bucket bounds.
+        with self._lock:
+            if self.count == 0 and not any(self._counts):
+                self.configure_buckets(other.buckets)
+            for value in other._observations:
+                self._observe_locked(value)
 
 
 class MetricsRegistry:
-    """Owns every instrument; get-or-create by name, export in bulk."""
+    """Owns every instrument; get-or-create by name, export in bulk.
+
+    Registration, child creation, and exposition snapshots are
+    thread-safe: a service thread can scrape :meth:`to_prometheus`
+    while worker threads are still creating and updating instruments.
+    """
 
     def __init__(self):
         self._metrics: Dict[str, Metric] = {}
+        self._lock = threading.RLock()
+
+    def __getstate__(self) -> Dict[str, object]:
+        state = self.__dict__.copy()
+        state.pop("_lock", None)
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
 
     def _get_or_create(
         self,
@@ -216,11 +280,12 @@ class MetricsRegistry:
         help: str,
         labelnames: Sequence[str],
     ) -> Metric:
-        metric = self._metrics.get(name)
-        if metric is None:
-            metric = cls(name, help, labelnames)
-            self._metrics[name] = metric
-            return metric
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name, help, labelnames)
+                self._metrics[name] = metric
+                return metric
         if not isinstance(metric, cls):
             raise InvalidValueError(
                 f"metric {name!r} already registered as {metric.kind}"
@@ -264,15 +329,60 @@ class MetricsRegistry:
 
     def names(self) -> List[str]:
         """All registered metric names, sorted."""
-        return sorted(self._metrics)
+        with self._lock:
+            return sorted(self._metrics)
 
     def __iter__(self) -> Iterable[Metric]:
         for name in self.names():
-            yield self._metrics[name]
+            metric = self._metrics.get(name)
+            if metric is not None:
+                yield metric
 
     def clear(self) -> None:
         """Drop every registered instrument."""
-        self._metrics.clear()
+        with self._lock:
+            self._metrics.clear()
+
+    def merge(
+        self,
+        other: "MetricsRegistry",
+        extra_labels: Optional[Mapping[str, object]] = None,
+    ) -> None:
+        """Fold another registry's instruments into this one.
+
+        Every metric of ``other`` is get-or-created here under the same
+        name and kind; counters add, gauges take the merged-in value,
+        histograms re-observe the source's retained observations (so
+        bucket counts, sums, and exact quantiles stay correct).
+
+        ``extra_labels`` prepends label dimensions to every merged
+        series — the continuous-profiling service uses this to fold
+        each worker's per-job registry into the scrape output as
+        ``{job="...", workload="..."}``-labelled series.  A name
+        already registered here with an incompatible kind or label set
+        raises :class:`~repro.errors.InvalidValueError`.
+        """
+        extra = dict(extra_labels or {})
+        extra_names = tuple(extra)
+        extra_values = {name: str(value) for name, value in extra.items()}
+        for metric in other:
+            labelnames = extra_names + metric.labelnames
+            target = self._get_or_create(
+                type(metric), metric.name, metric.help, labelnames
+            )
+            if not target.help and metric.help:
+                target.help = metric.help
+            if metric.labelnames:
+                with metric._lock:
+                    children = list(metric._children.items())
+                for key, child in children:
+                    values = dict(extra_values)
+                    values.update(zip(metric.labelnames, key))
+                    target.labels(**values)._merge_from(child)
+            elif labelnames:
+                target.labels(**extra_values)._merge_from(metric)
+            else:
+                target._merge_from(metric)
 
     # -- exposition --------------------------------------------------------
 

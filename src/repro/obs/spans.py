@@ -32,6 +32,9 @@ from repro.errors import InvalidValueError
 #: application stream from repro.analysis.trace uses pid 0).
 SELF_PID = 1
 
+#: Default process-row label for a tracer's timeline.
+DEFAULT_LABEL = "repro self-telemetry"
+
 
 @dataclass
 class Span:
@@ -86,9 +89,15 @@ class _ActiveSpan:
 
 
 class SpanTracer:
-    """Records nested spans and exports a Chrome-trace timeline."""
+    """Records nested spans and exports a Chrome-trace timeline.
 
-    def __init__(self):
+    ``label`` names the tracer's process row in the exported timeline;
+    services running many jobs give each job's tracer its own label and
+    export each on its own pid lane (see :func:`chrome_events_for_spans`).
+    """
+
+    def __init__(self, label: str = DEFAULT_LABEL):
+        self.label = label
         self.spans: List[Span] = []
         self._stack: List[_ActiveSpan] = []
         self._epoch: Optional[float] = None
@@ -161,34 +170,48 @@ class SpanTracer:
         All spans share one tid; Perfetto nests them by ts/dur
         containment, which the stack discipline guarantees.
         """
-        events: List[dict] = []
-        if self.spans:
-            events.append(
-                {
-                    "name": "process_name",
-                    "ph": "M",
-                    "pid": pid,
-                    "tid": 0,
-                    "args": {"name": "repro self-telemetry"},
-                }
-            )
-        for span in sorted(self.spans, key=lambda s: (s.start_us, -s.dur_us)):
-            args: Dict[str, object] = {"self_us": round(span.self_us, 3)}
-            args.update(span.attrs)
-            events.append(
-                {
-                    "name": span.name,
-                    "cat": "self." + span.name.split(".", 1)[0],
-                    "ph": "X",
-                    "ts": round(span.start_us, 3),
-                    "dur": round(max(span.dur_us, 0.001), 3),
-                    "pid": pid,
-                    "tid": 0,
-                    "args": args,
-                }
-            )
-        return events
+        return chrome_events_for_spans(self.spans, pid=pid, label=self.label)
 
     def to_json(self) -> str:
         """The self-span timeline alone, as a Chrome-trace JSON array."""
         return json.dumps(self.to_chrome_events(), indent=1)
+
+
+def chrome_events_for_spans(
+    spans: List[Span], pid: int = SELF_PID, label: str = DEFAULT_LABEL
+) -> List[dict]:
+    """Chrome-trace events for a list of finished spans on one pid lane.
+
+    The lane carries a ``process_name`` metadata event naming it
+    ``label``.  Tracer-less callers (a service rendering spans shipped
+    back from worker processes) use this directly, giving each job a
+    distinct pid so concurrent jobs land on separate lanes instead of
+    interleaving on one timeline.
+    """
+    events: List[dict] = []
+    if spans:
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": label},
+            }
+        )
+    for span in sorted(spans, key=lambda s: (s.start_us, -s.dur_us)):
+        args: Dict[str, object] = {"self_us": round(span.self_us, 3)}
+        args.update(span.attrs)
+        events.append(
+            {
+                "name": span.name,
+                "cat": "self." + span.name.split(".", 1)[0],
+                "ph": "X",
+                "ts": round(span.start_us, 3),
+                "dur": round(max(span.dur_us, 0.001), 3),
+                "pid": pid,
+                "tid": 0,
+                "args": args,
+            }
+        )
+    return events

@@ -1,0 +1,47 @@
+"""repro.service — the continuous-profiling daemon (fleet mode).
+
+The paper runs ValueExpert as a one-shot tool; this package runs it as
+a long-lived service: clients submit profiling jobs (a registered
+workload or a recorded ``.vetrace``, plus :class:`~repro.tool.config.
+ToolConfig` options) over a local HTTP API, a bounded pool of worker
+*processes* executes them concurrently (each job crash-isolated — a
+dying worker fails its job, never the daemon), and a job store tracks
+``queued -> running -> done/failed/cancelled`` with poll/list/cancel.
+
+Observability is the headline: ``GET /metrics`` is a Prometheus scrape
+endpoint fed by a pluggable collector registry (``collector_*.py``
+files discovered by name, Omnistat-style), ``GET /healthz`` and
+``GET /status`` give liveness and a JSON digest, and ``GET /trace``
+renders every job's self-spans as one Chrome-trace timeline with one
+process lane per job.  Each worker runs the re-entrant
+:class:`~repro.tool.valueexpert.ValueExpert` facade with a private
+:class:`~repro.obs.MetricsRegistry`/:class:`~repro.obs.SpanTracer`;
+on completion the service folds the worker registry into its own via
+:meth:`~repro.obs.MetricsRegistry.merge` with ``{job=..., workload=...}``
+labels, so the scrape output carries per-job pipeline series.
+
+Start it with ``python -m repro.tool serve`` (see ``docs/service.md``).
+"""
+
+from __future__ import annotations
+
+from repro.service.jobs import JobRecord, JobResult, JobSpec, JobState, JobStore
+from repro.service.collectors import CollectorPlugin, load_collectors
+from repro.service.pool import WorkerPool
+from repro.service.service import ProfilingService, ServiceConfig
+from repro.service.http import make_server, serve_forever
+
+__all__ = [
+    "CollectorPlugin",
+    "JobRecord",
+    "JobResult",
+    "JobSpec",
+    "JobState",
+    "JobStore",
+    "ProfilingService",
+    "ServiceConfig",
+    "WorkerPool",
+    "load_collectors",
+    "make_server",
+    "serve_forever",
+]

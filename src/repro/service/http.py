@@ -1,0 +1,193 @@
+"""The local HTTP API of the profiling daemon (stdlib only).
+
+Routes::
+
+    GET  /healthz            liveness probe ("ok")
+    GET  /status             JSON service digest
+    GET  /metrics            Prometheus scrape (collector registry)
+    GET  /trace              Chrome-trace JSON, one lane per job
+    POST /jobs               submit a job (JSON JobSpec) -> 202 {id}
+    GET  /jobs[?state=S]     list jobs
+    GET  /jobs/<id>          one job (add ?verbose=1 for the summary)
+    POST /jobs/<id>/cancel   cancel (queued: immediate; running:
+    DELETE /jobs/<id>        worker terminated)
+
+Errors are JSON: 400 for malformed specs/illegal transitions, 404 for
+unknown jobs and routes.  The server is a ``ThreadingHTTPServer`` —
+every request handled on its own daemon thread against the thread-safe
+service object.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from repro.errors import ServiceError, UnknownJobError
+from repro.service.jobs import JobSpec, JobState
+from repro.service.service import ProfilingService
+
+#: Prometheus text exposition content type.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """HTTP server carrying the service object for its handlers."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, service: ProfilingService):
+        super().__init__(address, _Handler)
+        self.service = service
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: ServiceHTTPServer
+
+    # -- plumbing -----------------------------------------------------------
+
+    def log_message(self, format, *args):  # noqa: A002 — stdlib signature
+        pass  # request logging would swamp the smoke tests' stderr
+
+    def _send(self, code: int, body: bytes, content_type: str) -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, code: int, payload) -> None:
+        body = (json.dumps(payload, indent=1) + "\n").encode()
+        self._send(code, body, "application/json")
+
+    def _send_text(self, code: int, text: str, content_type: str) -> None:
+        self._send(code, text.encode(), content_type)
+
+    def _error(self, code: int, message: str) -> None:
+        self._send_json(code, {"error": message})
+
+    def _read_json(self):
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise ServiceError("empty request body; expected a JSON job spec")
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ServiceError(f"request body is not valid JSON: {exc}")
+
+    @property
+    def service(self) -> ProfilingService:
+        return self.server.service
+
+    def _job_route(self, path: str) -> Optional[Tuple[str, str]]:
+        """``/jobs/<id>[/<action>]`` -> (job_id, action) or None."""
+        parts = [p for p in path.split("/") if p]
+        if len(parts) >= 2 and parts[0] == "jobs":
+            return parts[1], parts[2] if len(parts) > 2 else ""
+        return None
+
+    # -- verbs --------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 — stdlib signature
+        url = urlparse(self.path)
+        query = parse_qs(url.query)
+        try:
+            if url.path == "/healthz":
+                self._send_text(200, "ok\n", "text/plain; charset=utf-8")
+            elif url.path == "/status":
+                self._send_json(200, self.service.status())
+            elif url.path == "/metrics":
+                self._send_text(
+                    200, self.service.scrape(), PROMETHEUS_CONTENT_TYPE
+                )
+            elif url.path == "/trace":
+                self._send_text(
+                    200, self.service.chrome_trace(), "application/json"
+                )
+            elif url.path in ("/jobs", "/jobs/"):
+                state = None
+                if "state" in query:
+                    try:
+                        state = JobState(query["state"][0])
+                    except ValueError:
+                        raise ServiceError(
+                            f"unknown state filter {query['state'][0]!r}"
+                        )
+                self._send_json(
+                    200,
+                    {
+                        "jobs": [
+                            record.to_dict()
+                            for record in self.service.store.list(state)
+                        ]
+                    },
+                )
+            else:
+                route = self._job_route(url.path)
+                if route and not route[1]:
+                    record = self.service.store.get(route[0])
+                    verbose = query.get("verbose", ["0"])[0] not in ("0", "")
+                    self._send_json(200, record.to_dict(verbose=verbose))
+                else:
+                    self._error(404, f"no such route {url.path!r}")
+        except ServiceError as exc:
+            self._error(404 if isinstance(exc, UnknownJobError) else 400, str(exc))
+
+    def do_POST(self) -> None:  # noqa: N802
+        url = urlparse(self.path)
+        try:
+            if url.path in ("/jobs", "/jobs/"):
+                spec = JobSpec.from_dict(self._read_json())
+                record = self.service.submit(spec)
+                self._send_json(
+                    202, {"id": record.id, "state": record.state.value}
+                )
+                return
+            route = self._job_route(url.path)
+            if route and route[1] == "cancel":
+                record = self.service.cancel(route[0])
+                self._send_json(
+                    200, {"id": record.id, "state": record.state.value}
+                )
+                return
+            self._error(404, f"no such route {url.path!r}")
+        except ServiceError as exc:
+            self._error(404 if isinstance(exc, UnknownJobError) else 400, str(exc))
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        url = urlparse(self.path)
+        try:
+            route = self._job_route(url.path)
+            if route and not route[1]:
+                record = self.service.cancel(route[0])
+                self._send_json(
+                    200, {"id": record.id, "state": record.state.value}
+                )
+                return
+            self._error(404, f"no such route {url.path!r}")
+        except ServiceError as exc:
+            self._error(404 if isinstance(exc, UnknownJobError) else 400, str(exc))
+
+
+def make_server(service: ProfilingService) -> ServiceHTTPServer:
+    """Bind the API server (port 0 in the config picks a free port)."""
+    return ServiceHTTPServer(
+        (service.config.host, service.config.port), service
+    )
+
+
+def serve_forever(service: ProfilingService) -> ServiceHTTPServer:
+    """Start pool + server; returns the server (caller owns shutdown)."""
+    service.start()
+    server = make_server(service)
+    import threading
+
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-service-http", daemon=True
+    )
+    thread.start()
+    return server

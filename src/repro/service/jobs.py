@@ -1,0 +1,413 @@
+"""Job specifications, the job state machine, and the job store.
+
+A job is one profiling run: either a registered workload executed live
+or a recorded ``.vetrace`` replayed (optionally sharded), under a
+:class:`~repro.tool.config.ToolConfig` assembled from the spec's
+options.  The store owns every record and enforces the state machine::
+
+    QUEUED ──> RUNNING ──> DONE
+       │          │  └────> FAILED
+       └──────────┴───────> CANCELLED
+
+Terminal states are immutable; any other transition raises
+:class:`~repro.errors.ServiceError`.  All store operations are
+thread-safe — the HTTP handler threads, the pool dispatcher, and the
+per-job watcher threads all touch it concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional
+
+from repro.errors import ServiceError, UnknownJobError
+from repro.obs import MetricsRegistry, Span
+
+
+class JobState(str, Enum):
+    """Lifecycle state of one profiling job."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (JobState.DONE, JobState.FAILED, JobState.CANCELLED)
+
+
+#: Legal state transitions (QUEUED -> FAILED covers dispatch errors:
+#: a job the pool could not even start still ends loudly, not stuck).
+_LEGAL: Dict[JobState, frozenset] = {
+    JobState.QUEUED: frozenset(
+        {JobState.RUNNING, JobState.CANCELLED, JobState.FAILED}
+    ),
+    JobState.RUNNING: frozenset(
+        {JobState.DONE, JobState.FAILED, JobState.CANCELLED}
+    ),
+    JobState.DONE: frozenset(),
+    JobState.FAILED: frozenset(),
+    JobState.CANCELLED: frozenset(),
+}
+
+
+#: ToolConfig keyword arguments a job spec may override.  Everything
+#: else (fault_plan, sampling objects) is reachable through dedicated
+#: spec fields so the HTTP surface stays plain-JSON.
+ALLOWED_CONFIG_OPTIONS = (
+    "coarse",
+    "fine",
+    "resilient",
+    "buffer_bytes",
+    "memory_budget_bytes",
+)
+
+
+@dataclass
+class JobSpec:
+    """What to profile and how — the client-facing job description."""
+
+    #: Registered workload name (live run) …
+    workload: Optional[str] = None
+    #: … or path to a recorded ``.vetrace`` (replay).  Exactly one.
+    trace: Optional[str] = None
+    #: Display name; defaults to the workload name / trace basename.
+    label: str = ""
+    scale: float = 0.5
+    platform: str = "2080ti"
+    #: Replay-only: fan the analysis out over N worker processes.
+    shards: int = 1
+    #: Seeded chaos run: builds ``FaultPlan.chaos(seed)`` and implies
+    #: resilient mode (see :mod:`repro.resilience`).
+    chaos_seed: Optional[int] = None
+    #: Live runs only: also record a ``.vetrace`` artifact of the run.
+    record: bool = False
+    #: ToolConfig overrides (subset: :data:`ALLOWED_CONFIG_OPTIONS`).
+    options: Dict[str, object] = field(default_factory=dict)
+
+    def validate(self) -> None:
+        """Raise :class:`ServiceError` on a structurally bad spec."""
+        if bool(self.workload) == bool(self.trace):
+            raise ServiceError(
+                "job spec needs exactly one of 'workload' (live run) or "
+                "'trace' (.vetrace replay)"
+            )
+        if self.record and self.trace:
+            raise ServiceError("record=true only applies to live workload runs")
+        if self.shards < 1:
+            raise ServiceError(f"shards must be >= 1, got {self.shards}")
+        if self.shards > 1 and not self.trace:
+            raise ServiceError("shards > 1 requires a trace replay job")
+        unknown = sorted(set(self.options) - set(ALLOWED_CONFIG_OPTIONS))
+        if unknown:
+            raise ServiceError(
+                f"unknown ToolConfig options {unknown}; "
+                f"allowed: {list(ALLOWED_CONFIG_OPTIONS)}"
+            )
+
+    @property
+    def display_name(self) -> str:
+        if self.label:
+            return self.label
+        if self.workload:
+            return self.workload
+        return (self.trace or "").rsplit("/", 1)[-1]
+
+    def to_dict(self) -> Dict:
+        return {
+            "workload": self.workload,
+            "trace": self.trace,
+            "label": self.label,
+            "scale": self.scale,
+            "platform": self.platform,
+            "shards": self.shards,
+            "chaos_seed": self.chaos_seed,
+            "record": self.record,
+            "options": dict(self.options),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "JobSpec":
+        """Build a spec from a JSON body (unknown keys rejected)."""
+        if not isinstance(data, dict):
+            raise ServiceError("job spec must be a JSON object")
+        known = {
+            "workload", "trace", "label", "scale", "platform",
+            "shards", "chaos_seed", "record", "options",
+        }
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ServiceError(f"unknown job spec fields {unknown}")
+        try:
+            spec = cls(
+                workload=data.get("workload"),
+                trace=data.get("trace"),
+                label=str(data.get("label", "")),
+                scale=float(data.get("scale", 0.5)),
+                platform=str(data.get("platform", "2080ti")),
+                shards=int(data.get("shards", 1)),
+                chaos_seed=(
+                    None
+                    if data.get("chaos_seed") is None
+                    else int(data["chaos_seed"])
+                ),
+                record=bool(data.get("record", False)),
+                options=dict(data.get("options") or {}),
+            )
+        except (TypeError, ValueError) as exc:
+            raise ServiceError(f"malformed job spec: {exc}") from None
+        spec.validate()
+        return spec
+
+
+@dataclass
+class JobResult:
+    """What a worker process ships back for one completed job."""
+
+    #: ``ValueProfile.summary()`` text.
+    summary: str
+    #: Path of the profile JSON artifact written by the worker.
+    profile_path: str
+    #: Path of the ``.vetrace`` artifact (record jobs only).
+    trace_path: Optional[str] = None
+    #: Pattern hits per pattern name.
+    pattern_counts: Dict[str, int] = field(default_factory=dict)
+    #: ``HealthReport.to_dict()`` (None for non-resilient runs).
+    health: Optional[Dict] = None
+    #: The worker's private per-job metrics registry.
+    metrics: Optional[MetricsRegistry] = None
+    #: The worker's finished self-telemetry spans.
+    spans: List[Span] = field(default_factory=list)
+    #: Profiler self time (depth-0 span seconds).
+    self_seconds: float = 0.0
+    #: Worker wall time for the whole job.
+    elapsed_s: float = 0.0
+
+
+@dataclass
+class JobRecord:
+    """One job's identity, lifecycle, and outcome."""
+
+    id: str
+    spec: JobSpec
+    state: JobState = JobState.QUEUED
+    #: Failure detail (FAILED) or cancellation note (CANCELLED).
+    error: str = ""
+    result: Optional[JobResult] = None
+    #: Monotonic timestamps for latency metrics.
+    queued_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    #: Wall-clock submit time (display only).
+    submitted_unix: float = 0.0
+    #: Worker process id while RUNNING.
+    worker_pid: Optional[int] = None
+    #: Set when a client cancelled the job while it was running.
+    cancel_requested: bool = False
+
+    @property
+    def queue_seconds(self) -> Optional[float]:
+        if self.started_at is None:
+            return None
+        return self.started_at - self.queued_at
+
+    @property
+    def run_seconds(self) -> Optional[float]:
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+    @property
+    def total_seconds(self) -> Optional[float]:
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.queued_at
+
+    def to_dict(self, verbose: bool = False) -> Dict:
+        """JSON view for the HTTP API (no pickled payloads)."""
+        data: Dict = {
+            "id": self.id,
+            "name": self.spec.display_name,
+            "state": self.state.value,
+            "spec": self.spec.to_dict(),
+            "submitted_unix": self.submitted_unix,
+            "queue_seconds": self.queue_seconds,
+            "run_seconds": self.run_seconds,
+            "error": self.error,
+        }
+        if self.worker_pid is not None and not self.state.terminal:
+            data["worker_pid"] = self.worker_pid
+        if self.result is not None:
+            data["result"] = {
+                "profile_path": self.result.profile_path,
+                "trace_path": self.result.trace_path,
+                "pattern_counts": dict(self.result.pattern_counts),
+                "health": self.result.health,
+                "self_seconds": self.result.self_seconds,
+                "elapsed_s": self.result.elapsed_s,
+            }
+            if verbose:
+                data["result"]["summary"] = self.result.summary
+        return data
+
+
+class JobStore:
+    """Thread-safe registry of every job the service has seen."""
+
+    def __init__(self):
+        self._jobs: Dict[str, JobRecord] = {}
+        self._order: List[str] = []
+        self._next = 1
+        self._lock = threading.RLock()
+        self._changed = threading.Condition(self._lock)
+
+    # -- submission and lookup ---------------------------------------------
+
+    def submit(self, spec: JobSpec) -> JobRecord:
+        """Validate and enqueue a job; returns its record."""
+        spec.validate()
+        with self._changed:
+            job_id = f"job-{self._next:04d}"
+            self._next += 1
+            record = JobRecord(
+                id=job_id,
+                spec=spec,
+                queued_at=time.monotonic(),
+                submitted_unix=time.time(),
+            )
+            self._jobs[job_id] = record
+            self._order.append(job_id)
+            self._changed.notify_all()
+            return record
+
+    def get(self, job_id: str) -> JobRecord:
+        record = self._jobs.get(job_id)
+        if record is None:
+            raise UnknownJobError(f"unknown job {job_id!r}")
+        return record
+
+    def list(self, state: Optional[JobState] = None) -> List[JobRecord]:
+        with self._lock:
+            records = [self._jobs[job_id] for job_id in self._order]
+        if state is not None:
+            records = [r for r in records if r.state is state]
+        return records
+
+    def counts(self) -> Dict[str, int]:
+        """Jobs per state name (every state present, zeros included)."""
+        counts = {state.value: 0 for state in JobState}
+        with self._lock:
+            for record in self._jobs.values():
+                counts[record.state.value] += 1
+        return counts
+
+    def queue_depth(self) -> int:
+        return self.counts()[JobState.QUEUED.value]
+
+    # -- state machine ------------------------------------------------------
+
+    def _transition(self, record: JobRecord, to: JobState) -> None:
+        if to not in _LEGAL[record.state]:
+            raise ServiceError(
+                f"job {record.id} cannot go {record.state.value} -> {to.value}"
+            )
+        record.state = to
+        if to is JobState.RUNNING:
+            record.started_at = time.monotonic()
+        elif to.terminal:
+            record.finished_at = time.monotonic()
+        self._changed.notify_all()
+
+    def claim(self) -> Optional[JobRecord]:
+        """Atomically take the oldest QUEUED job into RUNNING."""
+        with self._changed:
+            for job_id in self._order:
+                record = self._jobs[job_id]
+                if record.state is JobState.QUEUED:
+                    self._transition(record, JobState.RUNNING)
+                    return record
+            return None
+
+    def mark_done(self, job_id: str, result: JobResult) -> JobRecord:
+        with self._changed:
+            record = self.get(job_id)
+            record.result = result
+            self._transition(record, JobState.DONE)
+            return record
+
+    def mark_failed(self, job_id: str, error: str) -> JobRecord:
+        with self._changed:
+            record = self.get(job_id)
+            record.error = error
+            self._transition(record, JobState.FAILED)
+            return record
+
+    def mark_cancelled(self, job_id: str, note: str = "") -> JobRecord:
+        with self._changed:
+            record = self.get(job_id)
+            if note:
+                record.error = note
+            self._transition(record, JobState.CANCELLED)
+            return record
+
+    def request_cancel(self, job_id: str) -> JobRecord:
+        """Client-facing cancel.
+
+        A QUEUED job is cancelled immediately; for a RUNNING job this
+        only flags ``cancel_requested`` — the pool terminates the
+        worker and completes the transition.  Cancelling a terminal
+        job raises :class:`ServiceError`.
+        """
+        with self._changed:
+            record = self.get(job_id)
+            if record.state is JobState.QUEUED:
+                record.error = "cancelled while queued"
+                self._transition(record, JobState.CANCELLED)
+            elif record.state is JobState.RUNNING:
+                record.cancel_requested = True
+                self._changed.notify_all()
+            else:
+                raise ServiceError(
+                    f"job {job_id} is already {record.state.value}"
+                )
+            return record
+
+    # -- waiting ------------------------------------------------------------
+
+    def wait(self, job_id: str, timeout: Optional[float] = None) -> JobRecord:
+        """Block until the job reaches a terminal state."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._changed:
+            record = self.get(job_id)
+            while not record.state.terminal:
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    break
+                self._changed.wait(remaining)
+            return record
+
+    def wait_idle(self, timeout: Optional[float] = None) -> bool:
+        """Block until no job is QUEUED or RUNNING; True if drained."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+
+        def busy() -> bool:
+            return any(
+                not record.state.terminal for record in self._jobs.values()
+            )
+
+        with self._changed:
+            while busy():
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._changed.wait(remaining)
+            return True

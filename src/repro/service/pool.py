@@ -1,0 +1,227 @@
+"""The worker pool: bounded concurrent job execution on processes.
+
+A dispatcher thread claims queued jobs from the :class:`~repro.service.
+jobs.JobStore` whenever a worker slot is free and hands each to a
+watcher thread, which spawns the actual worker *process* (``spawn``
+start method by default — forking a threaded daemon is a deadlock
+lottery) and supervises it:
+
+- result message on the pipe  -> ``DONE`` (on-done callbacks fire);
+- error message on the pipe   -> ``FAILED`` with the worker's detail;
+- silent exit (crash, ``os._exit``, OOM-kill) -> ``FAILED`` with the
+  exit code — the daemon itself never dies with a job;
+- ``cancel_requested`` flag    -> the process is terminated and the job
+  lands in ``CANCELLED``.
+
+``drain()`` waits for the backlog to finish (graceful SIGTERM);
+``stop(drain=False)`` terminates in-flight jobs instead.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import tempfile
+import threading
+from typing import Callable, Dict, List, Optional
+
+from repro.service.jobs import JobRecord, JobStore
+from repro.service.worker import worker_entry
+
+
+def default_start_method() -> str:
+    """``spawn`` when available (always, in practice): thread-safe to
+    call from the daemon, and each worker gets a pristine interpreter."""
+    methods = multiprocessing.get_all_start_methods()
+    return "spawn" if "spawn" in methods else methods[0]
+
+
+class WorkerPool:
+    """Runs queued jobs on at most ``workers`` concurrent processes."""
+
+    def __init__(
+        self,
+        store: JobStore,
+        workers: int = 2,
+        artifact_dir: Optional[str] = None,
+        start_method: Optional[str] = None,
+        poll_interval: float = 0.05,
+    ):
+        self.store = store
+        self.size = max(1, int(workers))
+        self.artifact_dir = artifact_dir or tempfile.mkdtemp(
+            prefix="repro-service-"
+        )
+        self._context = multiprocessing.get_context(
+            start_method or default_start_method()
+        )
+        self._poll = poll_interval
+        self._slots = threading.Semaphore(self.size)
+        self._stop = threading.Event()
+        self._lock = threading.Lock()
+        self._busy = 0
+        self._active: Dict[str, object] = {}
+        self._watchers: List[threading.Thread] = []
+        self._dispatcher: Optional[threading.Thread] = None
+        self._on_done: List[Callable[[JobRecord], None]] = []
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the dispatcher (idempotent)."""
+        if self._dispatcher is not None and self._dispatcher.is_alive():
+            return
+        self._stop.clear()
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="repro-service-dispatch",
+            daemon=True,
+        )
+        self._dispatcher.start()
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Wait until every submitted job is terminal; True if drained."""
+        return self.store.wait_idle(timeout)
+
+    def stop(self, drain: bool = True, timeout: Optional[float] = 30.0) -> bool:
+        """Stop dispatching; optionally drain the backlog first.
+
+        Without ``drain``, queued jobs are cancelled and running worker
+        processes terminated.  Returns True when everything settled
+        within ``timeout``.
+        """
+        drained = True
+        if drain:
+            drained = self.drain(timeout)
+        self._stop.set()
+        if not drain:
+            for record in self.store.list():
+                if not record.state.terminal:
+                    try:
+                        self.store.request_cancel(record.id)
+                    except Exception:
+                        pass
+            with self._lock:
+                processes = list(self._active.values())
+            for process in processes:
+                try:
+                    process.terminate()
+                except Exception:
+                    pass
+        if self._dispatcher is not None:
+            self._dispatcher.join(timeout=5.0)
+        for watcher in list(self._watchers):
+            watcher.join(timeout=5.0)
+        return drained
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def busy_workers(self) -> int:
+        """Workers currently executing a job."""
+        with self._lock:
+            return self._busy
+
+    @property
+    def utilization(self) -> float:
+        """Busy fraction of the pool, 0.0 - 1.0."""
+        return self.busy_workers / self.size
+
+    def on_done(self, callback: Callable[[JobRecord], None]) -> None:
+        """Register a callback fired after a job lands in DONE."""
+        self._on_done.append(callback)
+
+    # -- dispatch -----------------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        while not self._stop.is_set():
+            if not self._slots.acquire(timeout=0.1):
+                continue
+            if self._stop.is_set():
+                self._slots.release()
+                break
+            record = self.store.claim()
+            if record is None:
+                self._slots.release()
+                self._stop.wait(self._poll)
+                continue
+            with self._lock:
+                self._busy += 1
+            watcher = threading.Thread(
+                target=self._run_job, args=(record,),
+                name=f"repro-service-{record.id}", daemon=True,
+            )
+            self._watchers.append(watcher)
+            watcher.start()
+
+    def _run_job(self, record: JobRecord) -> None:
+        try:
+            self._supervise(record)
+        except Exception as exc:  # never lose a slot to a surprise
+            try:
+                self.store.mark_failed(
+                    record.id, f"pool error: {type(exc).__name__}: {exc}"
+                )
+            except Exception:
+                pass
+        finally:
+            with self._lock:
+                self._busy -= 1
+                self._active.pop(record.id, None)
+            self._slots.release()
+
+    def _supervise(self, record: JobRecord) -> None:
+        receiver, sender = self._context.Pipe(duplex=False)
+        # Not daemonic: sharded replay jobs fan out over their own
+        # child processes, which daemonic processes may not create.
+        # Cleanup is explicit instead — stop() terminates the actives.
+        process = self._context.Process(
+            target=worker_entry,
+            args=(sender, record.id, record.spec.to_dict(), self.artifact_dir),
+            daemon=False,
+        )
+        process.start()
+        sender.close()
+        record.worker_pid = process.pid
+        with self._lock:
+            self._active[record.id] = process
+        message = None
+        try:
+            while True:
+                if record.cancel_requested:
+                    process.terminate()
+                    process.join(timeout=5.0)
+                    self.store.mark_cancelled(
+                        record.id, "cancelled while running"
+                    )
+                    return
+                if receiver.poll(self._poll):
+                    try:
+                        message = receiver.recv()
+                    except EOFError:
+                        message = None
+                    break
+                if not process.is_alive():
+                    # Drain a message sent just before the exit.
+                    if receiver.poll(0.2):
+                        try:
+                            message = receiver.recv()
+                        except EOFError:
+                            message = None
+                    break
+        finally:
+            receiver.close()
+        process.join(timeout=10.0)
+        if message is None:
+            self.store.mark_failed(
+                record.id,
+                f"worker crashed without reporting "
+                f"(exit code {process.exitcode})",
+            )
+        elif message[0] == "ok":
+            done = self.store.mark_done(record.id, message[1])
+            for callback in self._on_done:
+                try:
+                    callback(done)
+                except Exception:
+                    pass
+        else:
+            self.store.mark_failed(record.id, str(message[1]))

@@ -1,0 +1,165 @@
+"""ProfilingService — store + pool + collectors behind one object.
+
+The HTTP layer is a thin shell over this class, so tests (and embedded
+users) can drive the whole service in-process: ``submit`` jobs, wait
+on the store, ``scrape()`` the Prometheus exposition, export the
+multi-lane ``chrome_trace()``, and ``shutdown`` with or without a
+drain.
+
+On every job completion the worker's private metrics registry is
+folded into :attr:`job_metrics` via :meth:`~repro.obs.MetricsRegistry.
+merge` with ``{job=..., workload=...}`` labels — the "no shared
+module-global registry" contract end to end: workers record privately,
+the service owns the union.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ServiceError
+from repro.obs import MetricsRegistry, Span
+from repro.obs.export import lane_trace_json
+from repro.service.collectors import CollectorPlugin, load_collectors
+from repro.service.jobs import JobRecord, JobSpec, JobStore
+from repro.service.pool import WorkerPool
+
+
+@dataclass
+class ServiceConfig:
+    """Daemon configuration (CLI flags map 1:1)."""
+
+    host: str = "127.0.0.1"
+    port: int = 8321
+    workers: int = 2
+    #: Where profile/trace artifacts land (a temp dir when omitted).
+    artifact_dir: Optional[str] = None
+    #: Extra collector plug-in directories, searched after built-ins.
+    collector_dirs: Tuple[str, ...] = ()
+    #: Worker-process start method override (tests use "fork").
+    start_method: Optional[str] = None
+    #: Seconds a graceful shutdown waits for the backlog.
+    drain_timeout: float = 60.0
+
+
+class ProfilingService:
+    """A running fleet-mode profiler (sans HTTP — see service.http)."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None):
+        self.config = config or ServiceConfig()
+        self.store = JobStore()
+        self.pool = WorkerPool(
+            self.store,
+            workers=self.config.workers,
+            artifact_dir=self.config.artifact_dir,
+            start_method=self.config.start_method,
+        )
+        if self.config.artifact_dir:
+            os.makedirs(self.config.artifact_dir, exist_ok=True)
+        #: Union of every completed job's worker registry, labelled
+        #: ``{job=..., workload=...}`` (see collector_jobs).
+        self.job_metrics = MetricsRegistry()
+        #: Scrape-time collector failures, by collector name.
+        self.collector_errors: Dict[str, int] = {}
+        self._errors_lock = threading.Lock()
+        self.collectors: List[CollectorPlugin] = load_collectors(
+            self.config.collector_dirs
+        )
+        self._started_monotonic = time.monotonic()
+        self.started_unix = time.time()
+        self._accepting = True
+        self.pool.on_done(self._fold_job)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> "ProfilingService":
+        self.pool.start()
+        return self
+
+    def shutdown(self, drain: bool = True) -> bool:
+        """Stop the service; with ``drain`` the backlog finishes first."""
+        self._accepting = False
+        return self.pool.stop(
+            drain=drain, timeout=self.config.drain_timeout
+        )
+
+    @property
+    def uptime_seconds(self) -> float:
+        return time.monotonic() - self._started_monotonic
+
+    # -- job API ------------------------------------------------------------
+
+    def submit(self, spec: JobSpec) -> JobRecord:
+        """Queue a job for the pool; raises once shutdown began."""
+        if not self._accepting:
+            raise ServiceError("service is shutting down; not accepting jobs")
+        return self.store.submit(spec)
+
+    def cancel(self, job_id: str) -> JobRecord:
+        return self.store.request_cancel(job_id)
+
+    def _fold_job(self, record: JobRecord) -> None:
+        result = record.result
+        if result is None or result.metrics is None:
+            return
+        self.job_metrics.merge(
+            result.metrics,
+            extra_labels={
+                "job": record.id,
+                "workload": record.spec.display_name,
+            },
+        )
+
+    # -- observability surfaces ---------------------------------------------
+
+    def scrape(self) -> str:
+        """The ``/metrics`` Prometheus exposition.
+
+        A fresh registry per scrape; every collector plug-in writes
+        into it, failures isolated and counted.
+        """
+        registry = MetricsRegistry()
+        for plugin in self.collectors:
+            try:
+                plugin.collect(self, registry)
+            except Exception:
+                with self._errors_lock:
+                    self.collector_errors[plugin.name] = (
+                        self.collector_errors.get(plugin.name, 0) + 1
+                    )
+        return registry.to_prometheus()
+
+    def chrome_trace(self) -> str:
+        """Every job's self-spans as one timeline, one lane per job."""
+        lanes: List[Tuple[str, List[Span]]] = []
+        for record in self.store.list():
+            if record.result is not None and record.result.spans:
+                lanes.append(
+                    (
+                        f"{record.id}: {record.spec.display_name}",
+                        record.result.spans,
+                    )
+                )
+        return lane_trace_json(lanes)
+
+    def status(self) -> Dict:
+        """The JSON ``/status`` document."""
+        return {
+            "service": "repro continuous profiling",
+            "accepting": self._accepting,
+            "uptime_seconds": self.uptime_seconds,
+            "started_unix": self.started_unix,
+            "workers": self.pool.size,
+            "busy_workers": self.pool.busy_workers,
+            "artifact_dir": self.pool.artifact_dir,
+            "jobs": self.store.counts(),
+            "collectors": [
+                {"name": plugin.name, "path": plugin.path}
+                for plugin in self.collectors
+            ],
+            "collector_errors": dict(self.collector_errors),
+        }

@@ -21,7 +21,12 @@ Commands:
 - ``replay <trace>`` — profile a recorded ``.vetrace`` without running
   any workload; ``--shards N`` fans the analysis out over N worker
   processes (identical hits and flow graph, see ``docs/trace.md``),
-  ``--events A:B`` analyzes only that event range.
+  ``--events A:B`` analyzes only that event range;
+- ``serve`` — run the continuous-profiling daemon: a local HTTP API
+  accepting profiling jobs, a worker-process pool executing them
+  concurrently, and a Prometheus scrape endpoint (``/metrics``) fed by
+  pluggable ``collector_*.py`` plug-ins (``docs/service.md``); SIGTERM
+  drains the backlog before exiting.
 
 Any :class:`~repro.errors.ReproError` exits nonzero with a one-line
 message; pass ``--debug`` (before the subcommand) for the full
@@ -201,6 +206,58 @@ def _cmd_lint(args) -> int:
     return exit_code
 
 
+def _cmd_serve(args) -> int:
+    # Imported here so the one-shot CLI paths never pay for the
+    # service stack.
+    import signal
+
+    from repro.service import ProfilingService, ServiceConfig
+    from repro.service.http import make_server
+
+    service = ProfilingService(
+        ServiceConfig(
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            artifact_dir=args.spool,
+            collector_dirs=tuple(args.collectors or ()),
+            drain_timeout=args.drain_timeout,
+        )
+    )
+    service.start()
+    server = make_server(service)
+    host, port = server.server_address[:2]
+    print(f"repro.tool serve: listening on http://{host}:{port} "
+          f"({service.pool.size} workers, artifacts in "
+          f"{service.pool.artifact_dir})", flush=True)
+
+    def _shutdown(signum, frame):
+        # Graceful drain: stop accepting, let the backlog finish (up
+        # to --drain-timeout), then fall out of serve_forever.  The
+        # handler runs on the main thread — the one blocked inside
+        # serve_forever — and server.shutdown() waits for that loop to
+        # exit, so calling it here directly would deadlock.
+        import threading
+
+        print(f"repro.tool serve: signal {signum}, draining...", flush=True)
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _shutdown)
+    signal.signal(signal.SIGINT, _shutdown)
+    try:
+        server.serve_forever(poll_interval=0.1)
+    finally:
+        drained = service.shutdown(drain=True)
+        server.server_close()
+        print(
+            "repro.tool serve: "
+            + ("drained and stopped" if drained else
+               "stopped with jobs unfinished (drain timeout)"),
+            flush=True,
+        )
+    return 0
+
+
 def _parse_event_range(spec: str):
     """``A:B`` (or ``A:`` for end-of-trace) -> (start, stop)."""
     head, sep, tail = spec.partition(":")
@@ -345,6 +402,35 @@ def build_parser() -> argparse.ArgumentParser:
         "earlier events just reconstruct device state",
     )
     replay.add_argument("--json", help="write the profile JSON to a file")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the continuous-profiling daemon (HTTP job API + "
+        "Prometheus scrape endpoint)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8321,
+        help="listen port (0 picks a free port, printed on startup)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2,
+        help="concurrent worker processes (default: 2)",
+    )
+    serve.add_argument(
+        "--collectors", action="append", metavar="DIR",
+        help="extra collector plug-in directory (repeatable; "
+        "collector_*.py files are discovered by name)",
+    )
+    serve.add_argument(
+        "--spool", metavar="DIR",
+        help="artifact directory for profile/trace JSON "
+        "(default: a fresh temp dir)",
+    )
+    serve.add_argument(
+        "--drain-timeout", type=float, default=60.0,
+        help="seconds a SIGTERM drain waits for the backlog",
+    )
     return parser
 
 
@@ -360,6 +446,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_lint(args)
         if args.command == "replay":
             return _cmd_replay(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
         return _cmd_trace(args)
     except ReproError as exc:
         if args.debug:

@@ -24,11 +24,13 @@ profile from such a file without executing any workload code (see
 
 from __future__ import annotations
 
+import contextlib
 import time
 import warnings
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import repro.obs as telemetry
+from repro.obs import MetricsRegistry, SpanTracer
 from repro.analysis.offline import OfflineAnalyzer
 from repro.analysis.online import OnlineAnalyzer
 from repro.analysis.profile import ValueProfile
@@ -65,10 +67,27 @@ class _KernelRoster(RuntimeListener):
 
 
 class ValueExpert:
-    """Profiles a workload and returns a :class:`ValueProfile`."""
+    """Profiles a workload and returns a :class:`ValueProfile`.
 
-    def __init__(self, config: Optional[ToolConfig] = None):
+    The facade is **re-entrant**: pass a private ``registry`` and/or
+    ``tracer`` and every telemetry point of the run lands in them (via
+    a thread-local :class:`repro.obs.scoped` scope) instead of the
+    module-global instruments, so concurrent profiling jobs — the
+    continuous-profiling service runs many at once — share no mutable
+    module state.  Without them, observability-enabled runs keep the
+    historical behaviour of recording to ``repro.obs.registry()``.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ToolConfig] = None,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[SpanTracer] = None,
+    ):
         self.config = config or ToolConfig()
+        #: Per-instance telemetry instruments (None = module globals).
+        self.obs_registry = registry
+        self.obs_tracer = tracer
         #: Collector of the most recent run (counters, registry).
         self.last_collector: Optional[DataCollector] = None
         #: Runtime of the most recent run (modelled times).
@@ -76,6 +95,35 @@ class ValueExpert:
         #: Per-shard results of the most recent sharded replay (timings,
         #: event ranges) — the scaling benchmark reads these.
         self.last_shard_results: Optional[List[ShardResult]] = None
+
+    def _observed(self):
+        """Context manager activating this run's telemetry routing.
+
+        With per-instance instruments the run executes inside a
+        ``telemetry.scoped`` block (re-entrant path); otherwise the
+        legacy global enable/disable dance applies.
+        """
+        if not self.config.observability:
+            return contextlib.nullcontext()
+        if self.obs_registry is not None or self.obs_tracer is not None:
+            if self.obs_registry is None:
+                self.obs_registry = MetricsRegistry()
+            if self.obs_tracer is None:
+                self.obs_tracer = SpanTracer()
+            return telemetry.scoped(self.obs_registry, self.obs_tracer)
+        return self._observed_global()
+
+    @staticmethod
+    @contextlib.contextmanager
+    def _observed_global():
+        self_observe = not telemetry.ENABLED
+        if self_observe:
+            telemetry.enable()
+        try:
+            yield
+        finally:
+            if self_observe:
+                telemetry.disable()
 
     def profile(
         self,
@@ -93,19 +141,14 @@ class ValueExpert:
         profile without re-running the workload.
 
         With ``config.observability`` the run is self-profiled: pipeline
-        metrics and nested stage spans land in the global
+        metrics and nested stage spans land in this instance's
+        ``obs_registry``/``obs_tracer`` when given, else in the global
         :mod:`repro.obs` registry/tracer (telemetry is switched back off
         afterwards unless it was already on; recorded data persists
         until ``repro.obs.reset()``).
         """
-        self_observe = self.config.observability and not telemetry.ENABLED
-        if self_observe:
-            telemetry.enable()
-        try:
+        with self._observed():
             return self._profile(workload, runtime, platform, name, record_path)
-        finally:
-            if self_observe:
-                telemetry.disable()
 
     def profile_from_trace(
         self,
@@ -137,10 +180,7 @@ class ValueExpert:
         are skipped (serial replay only; ``stop=None`` means
         end-of-trace).
         """
-        self_observe = self.config.observability and not telemetry.ENABLED
-        if self_observe:
-            telemetry.enable()
-        try:
+        with self._observed():
             if shards > 1:
                 if events is not None:
                     raise AnalysisError(
@@ -151,9 +191,6 @@ class ValueExpert:
                     trace_path, name, shards
                 )
             return self._profile_from_trace(trace_path, name, events=events)
-        finally:
-            if self_observe:
-                telemetry.disable()
 
     def _profile_from_trace(
         self,
@@ -466,6 +503,28 @@ class ValueExpert:
                 "repro_resilience_degraded",
                 "1 when the last profile completed degraded, else 0.",
             ).set(0 if health.pristine else 1)
+            # Per-dimension degradation gauges so chaos runs show up on
+            # a scrape endpoint, not just in the report object.
+            telemetry.gauge(
+                "repro_resilience_quarantined_launches",
+                "Kernel launches quarantined in the last run.",
+            ).set(health.quarantined_launches)
+            telemetry.gauge(
+                "repro_resilience_salvaged_frames",
+                "Events salvaged from a truncated recording in the last run.",
+            ).set(health.salvaged_events)
+            telemetry.gauge(
+                "repro_resilience_degradation_level",
+                "Degradation-ladder rung of the last run (0 = full fidelity).",
+            ).set(health.degradation_level)
+            telemetry.gauge(
+                "repro_resilience_dropped_records",
+                "Access records dropped by the substrate in the last run.",
+            ).set(health.dropped_records)
+            telemetry.gauge(
+                "repro_resilience_repaired_records",
+                "Torn access records repaired in the last run.",
+            ).set(health.repaired_records)
         if not health.pristine:
             warnings.warn(
                 DegradedProfileWarning(

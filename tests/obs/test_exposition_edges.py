@@ -1,0 +1,93 @@
+"""Prometheus exposition edge cases a real scraper will hit.
+
+The ``/metrics`` endpoint serves whatever label values jobs carry —
+workload names, file paths, operator-supplied labels — so escaping and
+ordering must hold for hostile values, not just clean ones.
+"""
+
+import pytest
+
+from repro.errors import InvalidValueError
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+def test_empty_registry_exposes_empty_string(registry):
+    assert registry.to_prometheus() == ""
+
+
+def test_label_value_quote_escaping(registry):
+    c = registry.counter("repro_x_total", labelnames=("name",))
+    c.labels(name='say "hi"').inc()
+    assert 'name="say \\"hi\\""' in registry.to_prometheus()
+
+
+def test_label_value_backslash_escaping(registry):
+    c = registry.counter("repro_x_total", labelnames=("path",))
+    c.labels(path="C:\\traces\\run").inc()
+    assert 'path="C:\\\\traces\\\\run"' in registry.to_prometheus()
+
+
+def test_label_value_newline_escaping(registry):
+    c = registry.counter("repro_x_total", labelnames=("note",))
+    c.labels(note="line1\nline2").inc()
+    text = registry.to_prometheus()
+    assert 'note="line1\\nline2"' in text
+    # The exposition itself must stay one sample per physical line.
+    sample_lines = [
+        line for line in text.splitlines() if not line.startswith("#")
+    ]
+    assert len(sample_lines) == 1
+
+
+def test_backslash_then_quote_escapes_in_order(registry):
+    # Escape backslashes first, then quotes: \" must become \\\",
+    # never \\\\" (which a scraper would read as a stray quote).
+    c = registry.counter("repro_x_total", labelnames=("v",))
+    c.labels(v='\\"').inc()
+    assert 'v="\\\\\\""' in registry.to_prometheus()
+
+
+def test_histogram_buckets_cumulative_and_ordered(registry):
+    h = registry.histogram("repro_lat_seconds", buckets=(0.1, 1.0, 10.0))
+    for v in (0.05, 0.5, 0.7, 5.0, 50.0):
+        h.observe(v)
+    text = registry.to_prometheus()
+    lines = [l for l in text.splitlines() if "_bucket" in l]
+    # Buckets appear in ascending bound order, +Inf last, counts
+    # cumulative and monotonically non-decreasing.
+    assert lines == [
+        'repro_lat_seconds_bucket{le="0.1"} 1',
+        'repro_lat_seconds_bucket{le="1"} 3',
+        'repro_lat_seconds_bucket{le="10"} 4',
+        'repro_lat_seconds_bucket{le="+Inf"} 5',
+    ]
+    assert "repro_lat_seconds_sum" in text
+    assert "repro_lat_seconds_count 5" in text
+
+
+def test_histogram_inf_bucket_equals_count_when_empty(registry):
+    registry.histogram("repro_lat_seconds", buckets=(1.0,))
+    text = registry.to_prometheus()
+    assert 'repro_lat_seconds_bucket{le="+Inf"} 0' in text
+    assert "repro_lat_seconds_count 0" in text
+
+
+def test_histogram_rejects_unsorted_buckets(registry):
+    with pytest.raises(InvalidValueError):
+        registry.histogram("repro_bad_seconds", buckets=(1.0, 0.1))
+
+
+def test_labelled_histogram_buckets_stay_per_child(registry):
+    h = registry.histogram(
+        "repro_lat_seconds", labelnames=("stage",), buckets=(1.0,)
+    )
+    h.labels(stage="collect").observe(0.5)
+    h.labels(stage="analyze").observe(5.0)
+    text = registry.to_prometheus()
+    assert 'repro_lat_seconds_bucket{stage="collect",le="1"} 1' in text
+    assert 'repro_lat_seconds_bucket{stage="analyze",le="1"} 0' in text

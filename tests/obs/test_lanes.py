@@ -1,0 +1,74 @@
+"""Multi-lane Chrome-trace export: one pid per concurrent job."""
+
+import json
+
+from repro.obs import SELF_PID, SpanTracer
+from repro.obs.export import lane_events, lane_trace_json
+from repro.obs.spans import chrome_events_for_spans
+
+
+def _spans(*names):
+    tracer = SpanTracer()
+    for name in names:
+        with tracer.span(name):
+            pass
+    return tracer.spans
+
+
+def test_each_lane_gets_its_own_pid():
+    lanes = [
+        ("job-0001: rodinia/bfs", _spans("collector.run")),
+        ("job-0002: rodinia/pathfinder", _spans("analysis.online")),
+    ]
+    events = lane_events(lanes)
+    pids = {e["pid"] for e in events}
+    assert pids == {SELF_PID, SELF_PID + 1}
+    # pid 0 stays reserved for the modelled application stream.
+    assert 0 not in pids
+
+
+def test_each_lane_carries_its_process_name():
+    lanes = [("alpha", _spans("a")), ("beta", _spans("b"))]
+    events = lane_events(lanes)
+    names = {
+        e["pid"]: e["args"]["name"]
+        for e in events
+        if e["name"] == "process_name"
+    }
+    assert names == {SELF_PID: "alpha", SELF_PID + 1: "beta"}
+
+
+def test_empty_lane_emits_no_events():
+    events = lane_events([("quiet", [])])
+    assert events == []
+
+
+def test_lane_trace_json_parses_and_orders():
+    text = lane_trace_json(
+        [("one", _spans("x", "y")), ("two", _spans("z"))], base_pid=10
+    )
+    events = json.loads(text)
+    assert {e["pid"] for e in events} == {10, 11}
+    spans = [e for e in events if e["ph"] == "X"]
+    assert all(e["dur"] > 0 for e in spans)
+
+
+def test_tracer_label_flows_to_chrome_events():
+    tracer = SpanTracer(label="job-0007: darknet")
+    with tracer.span("collector.run"):
+        pass
+    events = tracer.to_chrome_events(pid=5)
+    meta = [e for e in events if e["name"] == "process_name"]
+    assert meta[0]["args"]["name"] == "job-0007: darknet"
+    assert all(e["pid"] == 5 for e in events)
+
+
+def test_chrome_events_for_spans_sorts_by_start():
+    tracer = SpanTracer()
+    with tracer.span("outer"):
+        with tracer.span("inner"):
+            pass
+    # Finish order is inner-first; export order must be start order.
+    events = chrome_events_for_spans(tracer.spans)
+    names = [e["name"] for e in events if e["ph"] == "X"]
+    assert names == ["outer", "inner"]

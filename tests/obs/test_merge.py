@@ -1,0 +1,183 @@
+"""Registry merge semantics and cross-thread/cross-process safety.
+
+The service folds every completed job's private registry into its own
+with ``merge(..., extra_labels={"job": ..., "workload": ...})``; these
+tests pin the per-kind semantics (counters add, gauges overwrite,
+histograms re-observe exactly) and the label prefixing.
+"""
+
+import pickle
+import threading
+
+import pytest
+
+from repro.errors import InvalidValueError
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+def test_merge_counter_adds(registry):
+    other = MetricsRegistry()
+    registry.counter("repro_x_total").inc(2)
+    other.counter("repro_x_total").inc(3)
+    registry.merge(other)
+    assert registry.get("repro_x_total").value == 5
+
+
+def test_merge_gauge_overwrites(registry):
+    # Gauges are point-in-time: the merged-in side wins.
+    other = MetricsRegistry()
+    registry.gauge("repro_level").set(10)
+    other.gauge("repro_level").set(4)
+    registry.merge(other)
+    assert registry.get("repro_level").value == 4
+
+
+def test_merge_histogram_is_exact(registry):
+    other = MetricsRegistry()
+    h = other.histogram("repro_lat_seconds", buckets=(0.1, 1.0))
+    for v in (0.05, 0.5, 5.0):
+        h.observe(v)
+    registry.merge(other)
+    merged = registry.get("repro_lat_seconds")
+    # An untouched target adopts the source's bucket bounds, and the
+    # raw observations replay exactly.
+    assert merged.buckets == (0.1, 1.0)
+    assert merged.count == 3
+    assert merged.sum == pytest.approx(5.55)
+    assert merged.quantile(50) == pytest.approx(0.5)
+
+
+def test_merge_histogram_into_populated_target(registry):
+    other = MetricsRegistry()
+    registry.histogram("repro_lat_seconds", buckets=(1.0,)).observe(0.5)
+    other.histogram("repro_lat_seconds", buckets=(0.1, 1.0)).observe(2.0)
+    registry.merge(other)
+    merged = registry.get("repro_lat_seconds")
+    # A populated target keeps its own bounds; counts still combine.
+    assert merged.buckets == (1.0,)
+    assert merged.count == 2
+
+
+def test_merge_prepends_extra_labels(registry):
+    other = MetricsRegistry()
+    other.counter(
+        "repro_api_total", "calls", labelnames=("api",)
+    ).labels(api="cudaMalloc").inc(7)
+    registry.merge(other, extra_labels={"job": "job-0001", "workload": "bfs"})
+    merged = registry.get("repro_api_total")
+    assert merged.labelnames == ("job", "workload", "api")
+    child = merged.labels(job="job-0001", workload="bfs", api="cudaMalloc")
+    assert child.value == 7
+
+
+def test_merge_labels_unlabelled_metric(registry):
+    other = MetricsRegistry()
+    other.counter("repro_runs_total").inc()
+    registry.merge(other, extra_labels={"job": "job-0002"})
+    merged = registry.get("repro_runs_total")
+    assert merged.labelnames == ("job",)
+    assert merged.labels(job="job-0002").value == 1
+
+
+def test_merge_two_jobs_share_one_family(registry):
+    for job, count in (("job-0001", 2), ("job-0002", 5)):
+        other = MetricsRegistry()
+        other.counter("repro_runs_total").inc(count)
+        registry.merge(other, extra_labels={"job": job})
+    text = registry.to_prometheus()
+    assert 'repro_runs_total{job="job-0001"} 2' in text
+    assert 'repro_runs_total{job="job-0002"} 5' in text
+    # One family: a single HELP/TYPE header despite two sources.
+    assert text.count("# TYPE repro_runs_total") == 1
+
+
+def test_merge_backfills_help(registry):
+    registry.counter("repro_x_total")
+    other = MetricsRegistry()
+    other.counter("repro_x_total", "late help")
+    registry.merge(other)
+    assert registry.get("repro_x_total").help == "late help"
+
+
+def test_merge_kind_mismatch_rejected(registry):
+    registry.counter("repro_x")
+    other = MetricsRegistry()
+    other.gauge("repro_x")
+    with pytest.raises(InvalidValueError):
+        registry.merge(other)
+
+
+def test_registry_pickles_across_process_boundary(registry):
+    # The worker ships its whole registry over a Pipe; locks must not
+    # ride along, and the clone must stay fully usable.
+    c = registry.counter("repro_api_total", labelnames=("api",))
+    c.labels(api="cudaFree").inc(3)
+    registry.histogram("repro_lat_seconds").observe(0.25)
+    clone = pickle.loads(pickle.dumps(registry))
+    assert clone.get("repro_api_total").labels(api="cudaFree").value == 3
+    clone.counter("repro_api_total", labelnames=("api",)).labels(
+        api="cudaFree"
+    ).inc()
+    assert clone.get("repro_api_total").labels(api="cudaFree").value == 4
+    # The original is untouched by updates to the clone.
+    assert registry.get("repro_api_total").labels(api="cudaFree").value == 3
+
+
+def test_concurrent_updates_and_scrapes(registry):
+    """Writers on N threads + a scraping reader must not lose counts."""
+    c = registry.counter("repro_hits_total", labelnames=("t",))
+    errors = []
+
+    def writer(tag):
+        try:
+            for _ in range(500):
+                c.labels(t=tag).inc()
+        except Exception as exc:  # pragma: no cover - failure detail
+            errors.append(exc)
+
+    def scraper():
+        try:
+            for _ in range(50):
+                registry.to_prometheus()
+        except Exception as exc:  # pragma: no cover - failure detail
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=writer, args=(str(i),)) for i in range(4)
+    ] + [threading.Thread(target=scraper)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    assert sum(c.labels(t=str(i)).value for i in range(4)) == 2000
+
+
+def test_concurrent_merges(registry):
+    """Parallel job completions folding into one service registry."""
+    sources = []
+    for i in range(8):
+        src = MetricsRegistry()
+        src.counter("repro_runs_total").inc(i + 1)
+        src.histogram("repro_lat_seconds").observe(0.1 * (i + 1))
+        sources.append((f"job-{i:04d}", src))
+    threads = [
+        threading.Thread(
+            target=registry.merge, args=(src,),
+            kwargs={"extra_labels": {"job": job}},
+        )
+        for job, src in sources
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    runs = registry.get("repro_runs_total")
+    assert sum(
+        runs.labels(job=f"job-{i:04d}").value for i in range(8)
+    ) == 36

@@ -1,0 +1,111 @@
+"""Scoped telemetry: the re-entrancy contract behind the service.
+
+``telemetry.scoped(...)`` routes every instrumentation point to private
+instruments for the current thread, and enable/disable nest by
+refcount — two concurrent jobs in one process must never share a
+registry or switch each other's telemetry off.
+"""
+
+import threading
+
+import repro.obs as telemetry
+from repro.obs import MetricsRegistry, SpanTracer
+
+
+def test_scoped_routes_to_private_instruments():
+    registry, tracer = MetricsRegistry(), SpanTracer()
+    with telemetry.scoped(registry, tracer):
+        telemetry.counter("repro_x_total").inc()
+        with telemetry.span("stage.one"):
+            pass
+    assert registry.get("repro_x_total").value == 1
+    assert len(tracer.spans) == 1
+    # Nothing leaked into the process-wide instruments.
+    assert telemetry.registry().get("repro_x_total") is None
+    assert telemetry.tracer().spans == []
+
+
+def test_scoped_defaults_create_fresh_instruments():
+    with telemetry.scoped() as scope:
+        telemetry.gauge("repro_level").set(3)
+    assert scope.registry.get("repro_level").value == 3
+    assert telemetry.registry().get("repro_level") is None
+
+
+def test_scoped_enables_and_restores():
+    assert not telemetry.ENABLED
+    with telemetry.scoped():
+        assert telemetry.ENABLED
+    assert not telemetry.ENABLED
+
+
+def test_nested_scopes_restore_outer():
+    outer, inner = MetricsRegistry(), MetricsRegistry()
+    with telemetry.scoped(outer):
+        telemetry.counter("repro_depth_total").inc()
+        with telemetry.scoped(inner):
+            telemetry.counter("repro_depth_total").inc(10)
+        telemetry.counter("repro_depth_total").inc()
+    assert outer.get("repro_depth_total").value == 2
+    assert inner.get("repro_depth_total").value == 10
+
+
+def test_refcounted_disable_keeps_survivor_enabled():
+    # Two overlapping scoped runs: the first one ending must not
+    # switch telemetry off under the second.
+    first = telemetry.scoped()
+    second = telemetry.scoped()
+    first.__enter__()
+    second.__enter__()
+    first.__exit__(None, None, None)
+    try:
+        assert telemetry.ENABLED
+    finally:
+        second.__exit__(None, None, None)
+    assert not telemetry.ENABLED
+
+
+def test_unpaired_disable_clamps_at_zero():
+    telemetry.disable()
+    telemetry.disable()
+    telemetry.enable()
+    assert telemetry.ENABLED
+    telemetry.disable()
+    assert not telemetry.ENABLED
+
+
+def test_scopes_are_thread_local():
+    results = {}
+    barrier = threading.Barrier(2)
+
+    def job(tag):
+        registry = MetricsRegistry()
+        with telemetry.scoped(registry):
+            barrier.wait(timeout=10)  # both threads inside their scopes
+            telemetry.counter("repro_jobs_total").inc()
+            telemetry.counter(f"repro_{tag}_total").inc()
+            barrier.wait(timeout=10)
+        results[tag] = registry
+
+    threads = [
+        threading.Thread(target=job, args=(tag,)) for tag in ("a", "b")
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    for tag in ("a", "b"):
+        registry = results[tag]
+        assert registry.get("repro_jobs_total").value == 1
+        assert registry.get(f"repro_{tag}_total").value == 1
+        other = "b" if tag == "a" else "a"
+        assert registry.get(f"repro_{other}_total") is None
+
+
+def test_reset_clears_only_current_scope():
+    telemetry.counter("repro_global_total").inc()
+    with telemetry.scoped() as scope:
+        telemetry.counter("repro_scoped_total").inc()
+        telemetry.reset()
+        assert scope.registry.get("repro_scoped_total") is None
+    assert telemetry.registry().get("repro_global_total").value == 1

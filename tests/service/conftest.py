@@ -1,0 +1,57 @@
+"""Shared fixtures for the continuous-profiling-service tests.
+
+Worker processes use the ``spawn`` start method (matching production);
+each carries ~0.3s of interpreter startup, so the expensive end-to-end
+run is session-scoped and shared by every test that reads it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpu.timing import RTX_2080_TI
+from repro.service import ProfilingService, ServiceConfig
+from repro.tool.config import ToolConfig
+from repro.tool.valueexpert import ValueExpert
+from repro.workloads import get_workload
+
+#: Small-but-nontrivial workload scale for service tests.
+SCALE = 0.4
+
+
+@pytest.fixture(scope="session")
+def recorded_trace(tmp_path_factory):
+    """A ``.vetrace`` recording of one small live run, for replay jobs."""
+    path = str(tmp_path_factory.mktemp("traces") / "bfs.vetrace")
+    workload = get_workload("rodinia/bfs")(scale=SCALE)
+    ValueExpert(ToolConfig()).profile(
+        workload.run_baseline,
+        platform=RTX_2080_TI,
+        name=workload.name,
+        record_path=path,
+    )
+    return path
+
+
+@pytest.fixture
+def service_factory(tmp_path):
+    """Build started services; every one is shut down at teardown."""
+    running = []
+
+    def build(**overrides) -> ProfilingService:
+        config = ServiceConfig(
+            port=0,
+            workers=overrides.pop("workers", 2),
+            artifact_dir=overrides.pop(
+                "artifact_dir", str(tmp_path / "artifacts")
+            ),
+            drain_timeout=overrides.pop("drain_timeout", 120.0),
+            **overrides,
+        )
+        service = ProfilingService(config).start()
+        running.append(service)
+        return service
+
+    yield build
+    for service in running:
+        service.shutdown(drain=False)
