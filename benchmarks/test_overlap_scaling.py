@@ -1,0 +1,74 @@
+"""Multi-device / multi-stream overlap — the runtime refactor's claims.
+
+The concurrency model keeps one completion clock per ``(device,
+stream)`` lane and reports the wall clock as the maximum over lanes, so
+
+* ``pipeline_overlap`` (event-ordered H2D/compute double-buffering on
+  two streams) must finish well under its summed device time, and
+* ``pytorch/resnet50_dp`` (two data-parallel replicas on two devices)
+  must overlap its replicas almost perfectly;
+
+while attaching any profiler with ``serializes_streams = True`` (the
+paper's collector semantics) must collapse both back onto one serial
+timeline, exactly.
+
+All times are modelled, so the emitted table is deterministic for a
+given ``REPRO_BENCH_SCALE`` — CI regenerates it at 0.5 and diffs it
+against the committed ``benchmarks/out/overlap_scaling.txt``.
+"""
+
+from conftest import SCALE, emit
+
+from repro.gpu.runtime import GpuRuntime, RuntimeListener
+from repro.workloads import get_workload
+
+WORKLOADS = (
+    ("pipeline_overlap", 1.25),
+    ("pytorch/resnet50_dp", 1.5),
+)
+
+
+class _Serializer(RuntimeListener):
+    """A do-nothing profiler that forces one timeline, like the collector."""
+
+    serializes_streams = True
+
+
+def _run(name, serialized=False):
+    rt = GpuRuntime()
+    if serialized:
+        rt.subscribe(_Serializer())
+    get_workload(name)(scale=SCALE).run(rt)
+    return rt
+
+
+def _row(name):
+    plain = _run(name)
+    profiled = _run(name, serialized=True)
+    overlap = plain.times.total / plain.makespan
+    collapsed = profiled.times.total / profiled.makespan
+    return name, plain.num_devices, overlap, collapsed
+
+
+def test_overlap_scaling(artifact_dir):
+    rows = [_row(name) for name, _ in WORKLOADS]
+    lines = [
+        "Stream/device overlap: serial device seconds / modelled wall clock",
+        f"(scale={SCALE}; 'serialized x' is the same ratio with a",
+        "serializes_streams profiler attached — must be exactly 1.00)",
+        "",
+        f"{'workload':<24} {'devices':>7} {'overlap x':>10} {'serialized x':>13}",
+    ]
+    for name, devices, overlap, collapsed in rows:
+        lines.append(
+            f"{name:<24} {devices:>7} {overlap:>10.2f} {collapsed:>13.2f}"
+        )
+    emit(artifact_dir, "overlap_scaling.txt", "\n".join(lines))
+
+    for (name, floor), (_, _, overlap, collapsed) in zip(WORKLOADS, rows):
+        assert overlap > floor, (
+            f"{name}: overlap {overlap:.2f}x under the {floor}x floor"
+        )
+        assert abs(collapsed - 1.0) < 1e-9, (
+            f"{name}: serialized run still overlaps ({collapsed:.4f}x)"
+        )

@@ -64,7 +64,9 @@ class OnlineAnalyzer:
 
     def on_malloc(self, obj: DataObject) -> None:
         """Create the allocation vertex and the object record."""
-        self.flow.on_malloc(obj.alloc_id, obj.label, obj.alloc_context)
+        self.flow.on_malloc(
+            obj.alloc_id, obj.label, obj.alloc_context, device=obj.device
+        )
         site = None
         if obj.alloc_context is not None and len(obj.alloc_context):
             site = str(obj.alloc_context.leaf)
@@ -119,6 +121,7 @@ class OnlineAnalyzer:
             host_source=obs.host_source,
             host_sink=obs.host_sink,
             annotation=obs.annotation,
+            device=obs.device,
         )
         api_ref = self._api_ref(vertex)
         self._coarse_analysis(obs.writes, api_ref)
@@ -150,6 +153,7 @@ class OnlineAnalyzer:
             obs.reads,
             obs.time_s,
             annotation=obs.annotation,
+            device=obs.device,
         )
         if obs.quarantined:
             # The launch stays in the flow graph (the timeline must not
@@ -199,6 +203,7 @@ class OnlineAnalyzer:
         host_source: bool = False,
         host_sink: bool = False,
         annotation=(),
+        device: int = 0,
     ) -> Vertex:
         write_accesses = []
         for write in writes:
@@ -210,10 +215,15 @@ class OnlineAnalyzer:
                     alloc_id=write.obj.alloc_id,
                     nbytes=write.nbytes,
                     redundant_fraction=fraction,
+                    device=write.obj.device,
                 )
             )
         read_accesses = [
-            ObjectAccess(alloc_id=read.obj.alloc_id, nbytes=read.nbytes)
+            ObjectAccess(
+                alloc_id=read.obj.alloc_id,
+                nbytes=read.nbytes,
+                device=read.obj.device,
+            )
             for read in reads
         ]
         vertex = self.flow.on_api(
@@ -225,6 +235,7 @@ class OnlineAnalyzer:
             host_source=host_source,
             host_sink=host_sink,
             time_s=time_s,
+            device=device,
         )
         if annotation and not vertex.operator:
             vertex.operator = tuple(annotation)

@@ -185,10 +185,11 @@ class ShardOnlineAnalyzer(OnlineAnalyzer):
     def __init__(self, config=None, active: bool = True):
         super().__init__(config)
         self.active = active
-        #: alloc_id -> (label, alloc call path): the ALLOC vertex identity.
-        self._alloc_identity: Dict[int, Tuple[str, object]] = {}
-        #: alloc_id -> (kind, name, call path) of the last writer.
-        self._writer_identity: Dict[int, Tuple[VertexKind, str, object]] = {}
+        #: alloc_id -> (label, alloc call path, device): the ALLOC
+        #: vertex identity.
+        self._alloc_identity: Dict[int, Tuple[str, object, int]] = {}
+        #: alloc_id -> (kind, name, call path, device) of the last writer.
+        self._writer_identity: Dict[int, Tuple[VertexKind, str, object, int]] = {}
 
     # -- passive collector hooks ---------------------------------------
 
@@ -196,7 +197,7 @@ class ShardOnlineAnalyzer(OnlineAnalyzer):
         if self.active:
             super().on_malloc(obj)
             return
-        identity = (obj.label, obj.alloc_context)
+        identity = (obj.label, obj.alloc_context, obj.device)
         self._alloc_identity[obj.alloc_id] = identity
         self._writer_identity[obj.alloc_id] = (VertexKind.ALLOC,) + identity
 
@@ -227,7 +228,7 @@ class ShardOnlineAnalyzer(OnlineAnalyzer):
             super().on_memory_api(obs)
             return
         kind = VertexKind.MEMSET if obs.api == "memset" else VertexKind.MEMCPY
-        identity = (kind, obs.name, obs.call_path)
+        identity = (kind, obs.name, obs.call_path, obs.device)
         for write in obs.writes:
             self._writer_identity[write.obj.alloc_id] = identity
         host_extra = None
@@ -239,7 +240,7 @@ class ShardOnlineAnalyzer(OnlineAnalyzer):
         if self.active:
             super().on_launch(obs)
             return
-        identity = (VertexKind.KERNEL, obs.kernel_name, obs.call_path)
+        identity = (VertexKind.KERNEL, obs.kernel_name, obs.call_path, obs.device)
         for write in obs.writes:
             self._writer_identity[write.obj.alloc_id] = identity
         if obs.quarantined:

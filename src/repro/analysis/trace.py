@@ -10,7 +10,7 @@ attached to the events that produced them.  Load the output in
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.profile import ValueProfile
 from repro.gpu.runtime import (
@@ -26,9 +26,13 @@ from repro.gpu.runtime import (
 class TraceRecorder(RuntimeListener):
     """Collects a timeline of API events while attached to a runtime.
 
-    The simulated runtime is serialized, so wall-clock placement is the
-    running sum of modelled durations — exactly the view Nsight Systems
-    would show of the same execution.
+    Each ``(device, stream)`` pair gets its own timeline lane: the
+    process id is the device, the thread id encodes the stream, and
+    wall-clock placement is the running sum of modelled durations
+    *within that lane* — exactly the view Nsight Systems would show of
+    the same execution, concurrent streams overlapping and all.
+    Single-device, single-stream runs collapse to one set of lanes with
+    ``pid`` 0, so pre-multi-device exports are unchanged.
     """
 
     _ROWS = {
@@ -38,14 +42,24 @@ class TraceRecorder(RuntimeListener):
         "cudaMalloc": 4,
         "cudaFree": 4,
     }
+    #: tid stride between stream lane groups within one device row.
+    _STREAM_STRIDE = 8
 
     def __init__(self):
         self.events: List[dict] = []
-        self._clock_us = 0.0
+        #: (device, stream) -> running clock of that lane, in us.
+        self._clocks: Dict[Tuple[int, int], float] = {}
+
+    def _lane_tid(self, event: ApiEvent) -> int:
+        row = self._ROWS.get(event.api_name, 5)
+        if event.stream == 0:
+            return row
+        return event.stream * self._STREAM_STRIDE + row
 
     def on_api_end(self, event: ApiEvent) -> None:
-        """Append one complete event at the running clock."""
+        """Append one complete event at its lane's running clock."""
         duration_us = max(event.time_s * 1e6, 0.01)
+        lane = (event.device, event.stream)
         name = event.api_name
         if isinstance(event, KernelLaunchEvent):
             name = event.kernel.name
@@ -63,19 +77,20 @@ class TraceRecorder(RuntimeListener):
         elif isinstance(event, KernelLaunchEvent):
             args["grid"] = event.grid
             args["block"] = event.block
+        clock_us = self._clocks.get(lane, 0.0)
         self.events.append(
             {
                 "name": name,
                 "cat": event.api_name,
                 "ph": "X",
-                "ts": round(self._clock_us, 3),
+                "ts": round(clock_us, 3),
                 "dur": round(duration_us, 3),
-                "pid": 0,
-                "tid": self._ROWS.get(event.api_name, 5),
+                "pid": event.device,
+                "tid": self._lane_tid(event),
                 "args": args,
             }
         )
-        self._clock_us += duration_us
+        self._clocks[lane] = clock_us + duration_us
 
     def to_events(self, profile: Optional[ValueProfile] = None) -> List[dict]:
         """The timeline as a list of event dicts.
@@ -87,6 +102,19 @@ class TraceRecorder(RuntimeListener):
         than piling up at t=0.
         """
         events = list(self.events)
+        pids = sorted({event["pid"] for event in events})
+        if len(pids) > 1:
+            # Name the per-device process rows; single-device exports
+            # skip the metadata so pre-multi-device output is unchanged.
+            events = [
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "args": {"name": f"device {pid}"},
+                }
+                for pid in pids
+            ] + events
         if profile is not None:
             first_by_name: Dict[str, dict] = {}
             for event in events:
@@ -100,7 +128,7 @@ class TraceRecorder(RuntimeListener):
                         "cat": "value-pattern",
                         "ph": "i",
                         "ts": anchor["ts"] if anchor is not None else 0,
-                        "pid": 0,
+                        "pid": anchor["pid"] if anchor is not None else 0,
                         "tid": anchor["tid"] if anchor is not None else 0,
                         "s": "g",
                         "args": {

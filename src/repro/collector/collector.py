@@ -126,6 +126,8 @@ class MemoryApiObservation:
     host_source: bool = False
     host_sink: bool = False
     host_array: Optional[HostArray] = None
+    #: Device the API executed on (source device for peer copies).
+    device: int = 0
 
 
 @dataclass
@@ -148,6 +150,8 @@ class LaunchObservation:
     #: but its (partial) measurements are excluded from pattern mining.
     quarantined: bool = False
     fault: str = ""
+    #: Device the kernel ran on.
+    device: int = 0
 
 
 @dataclass
@@ -387,6 +391,7 @@ class DataCollector(RuntimeListener):
             host_source=event.kind is MemcpyKind.HOST_TO_DEVICE,
             host_sink=event.kind is MemcpyKind.DEVICE_TO_HOST,
             host_array=event.host_array,
+            device=event.device,
         )
         if event.dst_alloc is not None:
             obj = self._ensure_tracked(event.dst_alloc)
@@ -417,6 +422,7 @@ class DataCollector(RuntimeListener):
             call_path=event.call_path,
             time_s=event.time_s,
             annotation=event.annotation,
+            device=event.device,
         )
         obj = self._ensure_tracked(event.alloc)
         obs.writes.append(self._write_through_range(obj, event.nbytes))
@@ -443,6 +449,7 @@ class DataCollector(RuntimeListener):
             block=event.block,
             annotation=event.annotation,
             fine_enabled=self._fine_this_launch,
+            device=event.device,
         )
         if event.faulted:
             # Quarantine: keep the launch on the timeline with its
@@ -668,7 +675,7 @@ class DataCollector(RuntimeListener):
             else None
         )
         routed = self.registry.route_intervals(
-            merged.combined, merged.reads, merged.writes
+            merged.combined, merged.reads, merged.writes, device=event.device
         )
         if binder_span is not None:
             binder_span.end()
@@ -747,7 +754,9 @@ class DataCollector(RuntimeListener):
             return
         # Resolve every record's base address in one batched lookup.
         base_addresses = [int(r.addresses[0]) for r in live_records]
-        resolved = self.registry.find_by_addresses(base_addresses)
+        resolved = self.registry.find_by_addresses(
+            base_addresses, device=event.device
+        )
         for record, address, obj in zip(
             live_records, base_addresses, resolved
         ):
@@ -806,6 +815,7 @@ class DataCollector(RuntimeListener):
             dtype=dtype,
             alloc_context=None,
             handle=None,
+            device=event.device,
         )
 
     def _sync_snapshot_counters(self) -> None:

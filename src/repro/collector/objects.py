@@ -35,6 +35,10 @@ class DataObject:
     freed: bool = False
     #: The live Allocation handle (used to read values for snapshots).
     handle: Optional[Allocation] = None
+    #: Device whose arena holds the object.  Devices share an address
+    #: base, so the same address may name different objects on
+    #: different devices; the binder index is therefore per-device.
+    device: int = 0
 
     @property
     def end(self) -> int:
@@ -65,12 +69,14 @@ class DataObjectRegistry:
 
     def __init__(self):
         self._objects: Dict[int, DataObject] = {}
-        #: address-sorted cache of live objects, rebuilt lazily.
-        self._sorted: Optional[List[DataObject]] = None
-        #: start/end bounds parallel to ``_sorted`` (uint64).
-        self._starts: np.ndarray = _EMPTY_INTERVALS[:, 0]
-        self._ends: np.ndarray = _EMPTY_INTERVALS[:, 1]
-        #: times the address index was (re)built — overhead-model input.
+        #: per-device address-sorted caches of live objects, rebuilt
+        #: lazily: device -> (sorted objects, starts, ends).  Devices
+        #: share an address base, so one flat index would mis-resolve
+        #: colliding addresses across devices.
+        self._cache: Dict[
+            int, Tuple[List[DataObject], np.ndarray, np.ndarray]
+        ] = {}
+        #: times an address index was (re)built — overhead-model input.
         self.index_rebuilds: int = 0
 
     def on_malloc(self, alloc: Allocation, call_path: Optional[CallPath]) -> DataObject:
@@ -83,9 +89,10 @@ class DataObjectRegistry:
             dtype=alloc.dtype,
             alloc_context=call_path,
             handle=alloc,
+            device=alloc.device,
         )
         self._objects[alloc.alloc_id] = obj
-        self._sorted = None
+        self._cache.pop(obj.device, None)
         return obj
 
     def on_free(self, alloc: Allocation) -> None:
@@ -93,31 +100,36 @@ class DataObjectRegistry:
         obj = self._objects.get(alloc.alloc_id)
         if obj is not None:
             obj.freed = True
-            self._sorted = None
+            self._cache.pop(obj.device, None)
 
     def get(self, alloc_id: int) -> Optional[DataObject]:
         """The object registered under an allocation id, if any."""
         return self._objects.get(alloc_id)
 
-    def _index(self) -> Tuple[List[DataObject], np.ndarray, np.ndarray]:
-        """The live objects with their cached sorted address bounds."""
-        if self._sorted is None:
-            self._sorted = sorted(
-                (o for o in self._objects.values() if not o.freed),
+    def _index(
+        self, device: int = 0
+    ) -> Tuple[List[DataObject], np.ndarray, np.ndarray]:
+        """One device's live objects with cached sorted address bounds."""
+        cached = self._cache.get(device)
+        if cached is None:
+            objects = sorted(
+                (
+                    o
+                    for o in self._objects.values()
+                    if not o.freed and o.device == device
+                ),
                 key=lambda o: o.address,
             )
-            self._starts = np.array(
-                [o.address for o in self._sorted], dtype=np.uint64
-            )
-            self._ends = np.array(
-                [o.end for o in self._sorted], dtype=np.uint64
-            )
+            starts = np.array([o.address for o in objects], dtype=np.uint64)
+            ends = np.array([o.end for o in objects], dtype=np.uint64)
+            cached = (objects, starts, ends)
+            self._cache[device] = cached
             self.index_rebuilds += 1
-        return self._sorted, self._starts, self._ends
+        return cached
 
-    def live_objects(self) -> List[DataObject]:
-        """Live objects in address order."""
-        return self._index()[0]
+    def live_objects(self, device: int = 0) -> List[DataObject]:
+        """One device's live objects in address order."""
+        return self._index(device)[0]
 
     def live_count(self) -> int:
         """Number of live objects, without building the address index.
@@ -133,9 +145,9 @@ class DataObjectRegistry:
         """Every object ever registered, by allocation id."""
         return sorted(self._objects.values(), key=lambda o: o.alloc_id)
 
-    def find_by_address(self, address: int) -> Optional[DataObject]:
+    def find_by_address(self, address: int, device: int = 0) -> Optional[DataObject]:
         """The live object containing a byte address, if any."""
-        objects, starts, ends = self._index()
+        objects, starts, ends = self._index(device)
         if not objects:
             return None
         pos = int(np.searchsorted(starts, np.uint64(address), side="right")) - 1
@@ -144,14 +156,14 @@ class DataObjectRegistry:
         return objects[pos] if address < int(ends[pos]) else None
 
     def find_by_addresses(
-        self, addresses: Sequence[int]
+        self, addresses: Sequence[int], device: int = 0
     ) -> List[Optional[DataObject]]:
         """Batch :meth:`find_by_address`: one ``searchsorted`` for all.
 
         Returns a list parallel to ``addresses`` with ``None`` where no
         live object contains the address.
         """
-        objects, starts, ends = self._index()
+        objects, starts, ends = self._index(device)
         addrs = np.asarray(addresses, dtype=np.uint64)
         if not objects or addrs.size == 0:
             return [None] * int(addrs.size)
@@ -164,7 +176,7 @@ class DataObjectRegistry:
         ]
 
     def _overlaps(
-        self, merged: np.ndarray
+        self, merged: np.ndarray, device: int = 0
     ) -> Iterator[Tuple[int, np.ndarray]]:
         """Yield ``(object index, clipped (m, 2) intervals)`` per object.
 
@@ -174,7 +186,7 @@ class DataObjectRegistry:
         object are dropped (e.g. accesses to already-freed memory — a
         bug in the workload, not in the profiler).
         """
-        objects, starts, ends = self._index()
+        objects, starts, ends = self._index(device)
         if merged.size == 0 or not objects:
             return
         ivs = merged[:, 0]
@@ -211,16 +223,17 @@ class DataObjectRegistry:
             yield oi, piece
 
     def assign_intervals(
-        self, merged: np.ndarray
+        self, merged: np.ndarray, device: int = 0
     ) -> Dict[int, np.ndarray]:
-        """Split merged, disjoint intervals among live objects.
+        """Split merged, disjoint intervals among one device's live objects.
 
         Returns ``alloc_id -> (m, 2)`` intervals clipped to the object's
         range, in address order of first touch.
         """
-        objects = self.live_objects()
+        objects = self.live_objects(device)
         return {
-            objects[oi].alloc_id: piece for oi, piece in self._overlaps(merged)
+            objects[oi].alloc_id: piece
+            for oi, piece in self._overlaps(merged, device)
         }
 
     def route_intervals(
@@ -228,23 +241,25 @@ class DataObjectRegistry:
         combined: np.ndarray,
         reads: np.ndarray,
         writes: np.ndarray,
+        device: int = 0,
     ) -> Dict[int, RoutedIntervals]:
         """One binder sweep routing all three merged coverages to objects.
 
         Read/write coverage is a subset of the combined coverage, so the
         result is keyed (and ordered) by the combined assignment; each
         value carries the object's clipped share of every kind.
+        Addresses resolve against ``device``'s live objects only.
         """
-        objects = self.live_objects()
+        objects = self.live_objects(device)
         routed: Dict[int, RoutedIntervals] = {
             objects[oi].alloc_id: RoutedIntervals(combined=piece)
-            for oi, piece in self._overlaps(combined)
+            for oi, piece in self._overlaps(combined, device)
         }
-        for oi, piece in self._overlaps(reads):
+        for oi, piece in self._overlaps(reads, device):
             route = routed.get(objects[oi].alloc_id)
             if route is not None:
                 route.reads = piece
-        for oi, piece in self._overlaps(writes):
+        for oi, piece in self._overlaps(writes, device):
             route = routed.get(objects[oi].alloc_id)
             if route is not None:
                 route.writes = piece

@@ -34,6 +34,9 @@ class ObjectAccess:
     nbytes: int
     #: Unchanged fraction from the coarse analysis (writes only).
     redundant_fraction: Optional[float] = None
+    #: Device holding the object (used only when the builder must
+    #: synthesize an allocation vertex for a pre-existing object).
+    device: Optional[int] = None
 
 
 class FlowGraphBuilder:
@@ -49,10 +52,16 @@ class FlowGraphBuilder:
     # -- event handlers ---------------------------------------------------
 
     def on_malloc(
-        self, alloc_id: int, label: str, call_path: Optional[CallPath]
+        self,
+        alloc_id: int,
+        label: str,
+        call_path: Optional[CallPath],
+        device: Optional[int] = None,
     ) -> Vertex:
         """Register an allocation: creates (or merges into) its vertex."""
-        vertex = self.graph.merge_vertex(VertexKind.ALLOC, label, call_path)
+        vertex = self.graph.merge_vertex(
+            VertexKind.ALLOC, label, call_path, device
+        )
         vertex.invocations += 1
         self._alloc_vertex[alloc_id] = vertex.vid
         self._last_writer[alloc_id] = vertex.vid
@@ -68,28 +77,32 @@ class FlowGraphBuilder:
         host_source: bool = False,
         host_sink: bool = False,
         time_s: float = 0.0,
+        device: Optional[int] = None,
     ) -> Vertex:
         """Record one API invocation touching the given objects.
 
         ``host_source``/``host_sink`` add the Definition 5.1 edges for
-        H2D and D2H transfers respectively.
+        H2D and D2H transfers respectively.  ``device`` is where the API
+        executed; a peer copy's vertex sits on the source device while
+        it writes an object on another, which is what makes its WRITE
+        edge cross-device.
         """
         span = (
             telemetry.tracer().begin("flowgraph.record", api=name)
             if telemetry.ENABLED
             else None
         )
-        vertex = self.graph.merge_vertex(kind, name, call_path)
+        vertex = self.graph.merge_vertex(kind, name, call_path, device)
         vertex.invocations += 1
         vertex.time_s += time_s
 
         for access in reads:
-            src, alloc_vid = self._flow_source(access.alloc_id, vertex)
+            src, alloc_vid = self._flow_source(access, vertex)
             self.graph.record_edge(
                 src, vertex.vid, alloc_vid, EdgeKind.READ, access.nbytes
             )
         for access in writes:
-            src, alloc_vid = self._flow_source(access.alloc_id, vertex)
+            src, alloc_vid = self._flow_source(access, vertex)
             self.graph.record_edge(
                 src,
                 vertex.vid,
@@ -141,14 +154,20 @@ class FlowGraphBuilder:
 
     # -- helpers -----------------------------------------------------------
 
-    def _flow_source(self, alloc_id: int, accessor: Vertex) -> Tuple[int, int]:
+    def _flow_source(
+        self, access: ObjectAccess, accessor: Vertex
+    ) -> Tuple[int, int]:
         """(last-writer vid, alloc vid) for an object, tolerating
         objects whose allocation predates collection (e.g. attach after
         startup): such objects get a synthetic allocation vertex."""
+        alloc_id = access.alloc_id
         alloc_vid = self._alloc_vertex.get(alloc_id)
         if alloc_vid is None:
             vertex = self.graph.merge_vertex(
-                VertexKind.ALLOC, f"pre-existing object {alloc_id}", None
+                VertexKind.ALLOC,
+                f"pre-existing object {alloc_id}",
+                None,
+                access.device,
             )
             vertex.invocations += 1
             self._alloc_vertex[alloc_id] = vertex.vid

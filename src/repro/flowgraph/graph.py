@@ -62,6 +62,9 @@ class Vertex:
     time_s: float = 0.0
     #: Semantic operator scope (repro.gpu.annotations), when annotated.
     operator: Tuple[str, ...] = ()
+    #: Device the API executed on (None for the host vertex and for
+    #: graphs built before multi-device support).
+    device: Optional[int] = None
 
     @property
     def importance(self) -> float:
@@ -131,16 +134,23 @@ class ValueFlowGraph:
         kind: VertexKind,
         name: str,
         call_path: Optional[CallPath],
+        device: Optional[int] = None,
     ) -> Vertex:
-        """Get-or-create the vertex for (kind, name, calling context)."""
-        key = (kind, name, call_path)
+        """Get-or-create the vertex for (kind, name, context, device).
+
+        The device participates in the merge identity: the same API at
+        the same calling context on two devices yields two vertices, so
+        cross-device value flow (P2P copies) shows as edges between
+        device clusters.
+        """
+        key = (kind, name, call_path, device)
         vid = self._merge_index.get(key)
         if vid is None:
             vid = self._next_vid
             self._next_vid += 1
             self._merge_index[key] = vid
             self._vertices[vid] = Vertex(
-                vid=vid, kind=kind, name=name, call_path=call_path
+                vid=vid, kind=kind, name=name, call_path=call_path, device=device
             )
         return self._vertices[vid]
 

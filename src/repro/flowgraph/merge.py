@@ -14,7 +14,8 @@ builders with the prefix's last-writer state: an object written in
 shard *i* and read in shard *j* produces, in shard *j*'s local graph,
 an edge whose source is the *identity* of the shard-*i* writer vertex,
 which this merge resolves to the same global vertex the shard-*i*
-subgraph maps to.
+subgraph maps to.  The merge identity carries the vertex's device, so
+multi-device traces shard exactly like single-device ones.
 
 Determinism: shards are merged in event order and each local graph is
 walked in local-id order.  Seed vertices (identities inherited from
@@ -51,7 +52,7 @@ def merge_graphs(
                 merged.host.time_s += vertex.time_s
                 continue
             target = merged.merge_vertex(
-                vertex.kind, vertex.name, vertex.call_path
+                vertex.kind, vertex.name, vertex.call_path, vertex.device
             )
             target.invocations += vertex.invocations
             target.time_s += vertex.time_s

@@ -51,30 +51,62 @@ def _node_size(vertex: Vertex) -> float:
     return max(0.7, min(3.0, 0.7 + 0.4 * math.log10(max(vertex.invocations, 1) + 1)))
 
 
+def _emit_node(
+    writer: DotWriter, vertex: Vertex, call_path_depth: int
+) -> None:
+    tooltip = (
+        vertex.call_path.describe(call_path_depth)
+        if vertex.call_path is not None
+        else vertex.name
+    )
+    writer.node(
+        str(vertex.vid),
+        label=f"{vertex.vid}: {vertex.name}\\nx{vertex.invocations}",
+        shape=_SHAPES[vertex.kind],
+        width=f"{_node_size(vertex):.2f}",
+        tooltip=tooltip,
+    )
+
+
 def render_dot(
     graph: ValueFlowGraph,
     title: str = "value flow graph",
     call_path_depth: int = 3,
 ) -> str:
-    """Render the graph to Graphviz DOT."""
+    """Render the graph to Graphviz DOT.
+
+    Multi-device graphs cluster vertices by device (one ``subgraph
+    cluster_devN`` per device); single-device graphs render flat, so
+    pre-refactor DOT output is unchanged byte-for-byte.
+    """
     writer = DotWriter(title, graph_attrs={"rankdir": "TB", "label": title})
-    for vertex in graph.vertices():
-        if vertex.kind is VertexKind.HOST and not (
-            graph.in_edges(vertex.vid) or graph.out_edges(vertex.vid)
-        ):
-            continue
-        tooltip = (
-            vertex.call_path.describe(call_path_depth)
-            if vertex.call_path is not None
-            else vertex.name
+    rendered = [
+        vertex
+        for vertex in graph.vertices()
+        if not (
+            vertex.kind is VertexKind.HOST
+            and not (graph.in_edges(vertex.vid) or graph.out_edges(vertex.vid))
         )
-        writer.node(
-            str(vertex.vid),
-            label=f"{vertex.vid}: {vertex.name}\\nx{vertex.invocations}",
-            shape=_SHAPES[vertex.kind],
-            width=f"{_node_size(vertex):.2f}",
-            tooltip=tooltip,
-        )
+    ]
+    devices = sorted(
+        {v.device for v in rendered if v.device is not None}
+    )
+    if len(devices) < 2:
+        for vertex in rendered:
+            _emit_node(writer, vertex, call_path_depth)
+    else:
+        # Host (and any device-less) vertices stay outside the clusters.
+        for vertex in rendered:
+            if vertex.device is None:
+                _emit_node(writer, vertex, call_path_depth)
+        for device in devices:
+            writer.begin_cluster(
+                f"dev{device}", label=f"device {device}", style="dashed"
+            )
+            for vertex in rendered:
+                if vertex.device == device:
+                    _emit_node(writer, vertex, call_path_depth)
+            writer.end_cluster()
     for edge in graph.edges():
         label = edge.kind.value
         if edge.redundant_fraction is not None:

@@ -17,11 +17,11 @@ measures on.  It provides:
 """
 
 from repro.gpu.accesses import AccessKind, AccessRecord
-from repro.gpu.device import Device
+from repro.gpu.device import Device, GpuContext
 from repro.gpu.dtypes import DType
 from repro.gpu.kernel import Kernel, KernelContext, kernel
 from repro.gpu.memory import Allocation, DeviceMemory
-from repro.gpu.runtime import GpuRuntime, HostArray, MemcpyKind
+from repro.gpu.runtime import GpuEvent, GpuRuntime, HostArray, MemcpyKind
 from repro.gpu.timing import KernelStats, Platform, RTX_2080_TI, A100
 
 __all__ = [
@@ -31,6 +31,8 @@ __all__ = [
     "Device",
     "DeviceMemory",
     "DType",
+    "GpuContext",
+    "GpuEvent",
     "GpuRuntime",
     "HostArray",
     "Kernel",

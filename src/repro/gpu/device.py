@@ -11,6 +11,7 @@ shared-memory allocation per kernel launch.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable, List, Optional
 
 from repro.errors import InvalidValueError
 from repro.gpu.dtypes import DType
@@ -33,15 +34,32 @@ class DeviceConfig:
 
 
 class Device:
-    """A simulated GPU: global memory, shared memory, and geometry limits."""
+    """A simulated GPU: global memory, shared memory, and geometry limits.
 
-    def __init__(self, config: DeviceConfig = DeviceConfig()):
+    ``index`` is the device's ordinal within its :class:`GpuContext`
+    (0 for a standalone device).  All devices share the same global
+    address base, so the index travels with every allocation.
+    """
+
+    def __init__(
+        self,
+        config: DeviceConfig = DeviceConfig(),
+        index: int = 0,
+        next_alloc_id: Optional[Callable[[], int]] = None,
+    ):
         self.config = config
-        self.memory = DeviceMemory(config.global_memory_bytes)
+        self.index = index
+        self.memory = DeviceMemory(
+            config.global_memory_bytes,
+            device_index=index,
+            next_id=next_alloc_id,
+        )
         # Shared memory lives in its own arena with a disjoint address
         # base so its addresses never collide with global data objects.
         self._shared_arena = DeviceMemory(
-            max(config.shared_memory_bytes, 4096), base=SHARED_BASE
+            max(config.shared_memory_bytes, 4096),
+            base=SHARED_BASE,
+            device_index=index,
         )
 
     def validate_geometry(self, grid: int, block: int) -> None:
@@ -68,3 +86,76 @@ class Device:
     def shared_free(self, alloc: Allocation) -> None:
         """Release a per-launch shared-memory object."""
         self._shared_arena.free(alloc)
+
+
+class GpuContext:
+    """A set of simulated devices sharing one allocation-id space.
+
+    Mirrors a multi-GPU node: every device has its own global arena (all
+    based at the same device address, as real GPUs are), but allocation
+    ids are drawn from one shared counter so a data object is uniquely
+    identified by its id across the whole context.  The runtime's
+    ``set_device``/``memcpy_p2p`` APIs operate over a context.
+    """
+
+    def __init__(self, devices: int = 1, config: DeviceConfig = DeviceConfig()):
+        if devices <= 0:
+            raise InvalidValueError("a GpuContext needs at least one device")
+        self.config = config
+        self._alloc_counter = 1
+        self._draw: Callable[[], int] = self._count
+        self.devices: List[Device] = []
+        for _ in range(devices):
+            self._add_device()
+
+    @classmethod
+    def wrap(cls, device: Device) -> "GpuContext":
+        """Wrap a pre-built device as device 0 of a single-device context.
+
+        Back-compat path for ``GpuRuntime(device=...)`` callers: the
+        device keeps its private allocation counter (single-device id
+        sequences are unchanged), and any devices added later draw their
+        ids from that same counter so ids stay context-unique.
+        """
+        context = cls.__new__(cls)
+        context.config = device.config
+        context._alloc_counter = 1
+        context._draw = device.memory._next_id
+        device.index = 0
+        device.memory.device_index = 0
+        context.devices = [device]
+        return context
+
+    def _count(self) -> int:
+        value = self._alloc_counter
+        self._alloc_counter += 1
+        return value
+
+    def _next_alloc_id(self) -> int:
+        return self._draw()
+
+    def _add_device(self) -> Device:
+        device = Device(
+            self.config,
+            index=len(self.devices),
+            next_alloc_id=self._next_alloc_id,
+        )
+        self.devices.append(device)
+        return device
+
+    def ensure(self, count: int) -> None:
+        """Grow the context to at least ``count`` devices."""
+        while len(self.devices) < count:
+            self._add_device()
+
+    def device(self, index: int) -> Device:
+        """The device at ``index``; raises on out-of-range."""
+        if not 0 <= index < len(self.devices):
+            raise InvalidValueError(
+                f"invalid device ordinal {index} (context has "
+                f"{len(self.devices)} devices)"
+            )
+        return self.devices[index]
+
+    def __len__(self) -> int:
+        return len(self.devices)

@@ -13,7 +13,7 @@ zero never aliases a valid object.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -47,6 +47,10 @@ class Allocation:
     label: str
     memory: "DeviceMemory" = field(repr=False)
     freed: bool = False
+    #: Index of the device whose arena holds this allocation.  All
+    #: devices share the same address base, so (device, address) — not
+    #: address alone — identifies a byte of global memory.
+    device: int = 0
 
     @property
     def nelems(self) -> int:
@@ -144,19 +148,36 @@ class DeviceMemory:
 
     ``base`` sets the arena's base device address; distinct memory
     spaces (global vs shared) use distinct bases so an address resolves
-    to at most one space.
+    to at most one space.  Every device's global arena shares the same
+    base, so ``device_index`` disambiguates otherwise-colliding
+    addresses.  A :class:`~repro.gpu.device.GpuContext` injects a shared
+    ``next_id`` counter so allocation ids stay unique across its
+    devices; standalone arenas keep a private counter.
     """
 
-    def __init__(self, capacity: int = 64 * 1024 * 1024, base: int = GLOBAL_BASE):
+    def __init__(
+        self,
+        capacity: int = 64 * 1024 * 1024,
+        base: int = GLOBAL_BASE,
+        device_index: int = 0,
+        next_id: Optional[Callable[[], int]] = None,
+    ):
         if capacity <= 0:
             raise InvalidValueError("device memory capacity must be positive")
         self.base = base
         self.capacity = _align_up(capacity)
+        self.device_index = device_index
         self._arena = np.zeros(self.capacity, dtype=np.uint8)
         # Free list of (offset, size) holes, sorted by offset.
         self._free: List[Tuple[int, int]] = [(0, self.capacity)]
         self._live: Dict[int, Allocation] = {}
-        self._next_id = 1
+        self._counter = 1
+        self._next_id = next_id or self._default_next_id
+
+    def _default_next_id(self) -> int:
+        value = self._counter
+        self._counter += 1
+        return value
 
     # -- allocation -------------------------------------------------------
 
@@ -183,15 +204,16 @@ class DeviceMemory:
         else:
             self._free[pos] = (offset + need, hole - need)
         self._arena[offset : offset + need] = 0
+        alloc_id = self._next_id()
         alloc = Allocation(
-            alloc_id=self._next_id,
+            alloc_id=alloc_id,
             address=self.base + offset,
             size=need,
             dtype=dtype,
-            label=label or f"alloc{self._next_id}",
+            label=label or f"alloc{alloc_id}",
             memory=self,
+            device=self.device_index,
         )
-        self._next_id += 1
         self._live[alloc.address] = alloc
         return alloc
 

@@ -23,7 +23,7 @@ import numpy as np
 import repro.obs as telemetry
 from repro.errors import InvalidValueError, KernelLaunchError
 from repro.gpu.accesses import AccessRecord
-from repro.gpu.device import Device
+from repro.gpu.device import Device, GpuContext
 from repro.gpu.dtypes import DType
 from repro.gpu.kernel import Kernel, KernelContext
 from repro.gpu.memory import Allocation
@@ -37,11 +37,16 @@ class MemcpyKind(enum.Enum):
     HOST_TO_DEVICE = "h2d"
     DEVICE_TO_HOST = "d2h"
     DEVICE_TO_DEVICE = "d2d"
+    #: Cross-device copy over the peer link (``cudaMemcpyPeer``).
+    PEER_TO_PEER = "p2p"
 
     @property
     def over_pcie(self) -> bool:
         """Whether the copy crosses the host-device link."""
-        return self is not MemcpyKind.DEVICE_TO_DEVICE
+        return self not in (
+            MemcpyKind.DEVICE_TO_DEVICE,
+            MemcpyKind.PEER_TO_PEER,
+        )
 
 
 @dataclass
@@ -84,6 +89,9 @@ class ApiEvent:
     annotation: Tuple[str, ...] = ()
     #: CUDA stream the API was issued on (0 = the default stream).
     stream: int = 0
+    #: Device the API executed on (the current device at issue time;
+    #: for peer copies, the source device driving the transfer).
+    device: int = 0
 
     @property
     def api_name(self) -> str:
@@ -207,22 +215,51 @@ class RuntimeListener:
         return None
 
 
+@dataclass
+class GpuEvent:
+    """A CUDA-event-style stream marker (``cudaEventRecord``/``StreamWaitEvent``).
+
+    Recording captures the issuing stream's completion clock; a stream
+    that waits on the event cannot start new work before that timestamp.
+    Events are a runtime-local synchronization primitive — they never
+    cross the listener bus.
+    """
+
+    time_s: float = 0.0
+    recorded: bool = False
+
+
 # --------------------------------------------------------------------------
 # Runtime
 # --------------------------------------------------------------------------
 
 
 class GpuRuntime:
-    """The CUDA-like API surface workloads program against."""
+    """The CUDA-like API surface workloads program against.
+
+    The runtime drives a :class:`~repro.gpu.device.GpuContext` of one or
+    more devices; APIs execute on the *current* device (``set_device``),
+    mirroring the CUDA runtime's per-thread current-device state.
+    """
 
     def __init__(
         self,
         device: Optional[Device] = None,
         platform: Platform = RTX_2080_TI,
+        context: Optional[GpuContext] = None,
     ):
-        self.device = device or Device()
+        if context is not None:
+            self.context = context
+        elif device is not None:
+            self.context = GpuContext.wrap(device)
+        else:
+            self.context = GpuContext()
         self.platform = platform
         self.listeners: List[RuntimeListener] = []
+        #: Attached listeners that requested stream serialization, in
+        #: attach order — cached so the hot ``_commit_time`` path never
+        #: re-walks the listener list (the flag is sampled at attach).
+        self._serializing: List[RuntimeListener] = []
         #: Optional :class:`repro.resilience.FaultInjector` consulted at
         #: each interception point (None outside chaos runs).
         self.fault_injector = None
@@ -233,11 +270,39 @@ class GpuRuntime:
         self.times = TimeBreakdown()
         self._seq = 0
         self.api_events: int = 0
+        self._current = 0
         #: Active semantic-annotation scope (repro.gpu.annotations).
         self._annotations: List[str] = []
-        #: Per-stream completion clocks (concurrency model): ops on
-        #: different streams overlap; ops on one stream serialize.
-        self._stream_clock: Dict[int, float] = {}
+        #: Per-(device, stream) completion clocks (concurrency model):
+        #: ops on different streams/devices overlap; ops on one stream
+        #: of one device serialize.
+        self._stream_clock: Dict[Tuple[int, int], float] = {}
+
+    # -- device management ---------------------------------------------------
+
+    @property
+    def device(self) -> Device:
+        """The current device (``cudaGetDevice`` analogue)."""
+        return self.context.devices[self._current]
+
+    @property
+    def current_device(self) -> int:
+        """Ordinal of the current device."""
+        return self._current
+
+    @property
+    def num_devices(self) -> int:
+        """Number of devices in the runtime's context."""
+        return len(self.context.devices)
+
+    def set_device(self, index: int) -> None:
+        """Make ``index`` the current device (``cudaSetDevice``)."""
+        self.context.device(index)  # validates the ordinal
+        self._current = index
+
+    def ensure_devices(self, count: int) -> None:
+        """Grow the context to at least ``count`` devices."""
+        self.context.ensure(count)
 
     # -- listener management ------------------------------------------------
 
@@ -246,10 +311,14 @@ class GpuRuntime:
         if listener in self.listeners:
             raise InvalidValueError("listener already subscribed")
         self.listeners.append(listener)
+        if getattr(listener, "serializes_streams", False):
+            self._serializing.append(listener)
 
     def unsubscribe(self, listener: RuntimeListener) -> None:
         """Detach a listener from the API bus."""
         self.listeners.remove(listener)
+        if listener in self._serializing:
+            self._serializing.remove(listener)
 
     def _next_seq(self) -> int:
         self._seq += 1
@@ -274,24 +343,63 @@ class GpuRuntime:
 
     @property
     def streams_serialized(self) -> bool:
-        """Whether an attached profiler forces one timeline."""
-        return any(
-            getattr(listener, "serializes_streams", False)
-            for listener in self.listeners
-        )
+        """Whether an attached profiler forces one timeline.
 
-    def _commit_time(self, stream: int, seconds: float) -> None:
-        key = 0 if self.streams_serialized else stream
+        Reads the cached attach-time sample (see :meth:`subscribe`) —
+        the listener list is *not* re-walked here, keeping the
+        per-API ``_commit_time`` path O(1).
+        """
+        return bool(self._serializing)
+
+    def _clock_key(self, stream: int, device: Optional[int] = None) -> Tuple[int, int]:
+        if self._serializing:
+            return (0, 0)
+        return (self._current if device is None else device, stream)
+
+    def _commit_time(
+        self, stream: int, seconds: float, device: Optional[int] = None
+    ) -> None:
+        key = self._clock_key(stream, device)
         self._stream_clock[key] = self._stream_clock.get(key, 0.0) + seconds
 
     @property
     def makespan(self) -> float:
-        """Modelled wall-clock: the longest stream timeline.  With all
-        work on one stream (or a profiler attached) this equals
-        ``times.total``; with concurrent streams it is smaller."""
+        """Modelled wall-clock: the longest (device, stream) timeline.
+        With all work on one stream of one device (or a profiler
+        attached) this equals ``times.total``; with concurrent streams
+        or devices it is smaller."""
         if not self._stream_clock:
             return 0.0
         return max(self._stream_clock.values())
+
+    @property
+    def wall_clock_s(self) -> float:
+        """Alias of :attr:`makespan` — the modelled wall-clock seconds."""
+        return self.makespan
+
+    # -- stream events -------------------------------------------------------
+
+    def event_record(self, stream: int = 0) -> GpuEvent:
+        """Record an event on ``stream`` of the current device."""
+        marker = GpuEvent(
+            time_s=self._stream_clock.get(self._clock_key(stream), 0.0),
+            recorded=True,
+        )
+        return marker
+
+    def event_wait(self, marker: GpuEvent, stream: int = 0) -> None:
+        """Make ``stream`` of the current device wait for ``marker``.
+
+        The waiting stream's clock jumps to at least the recorded
+        timestamp, so later work on it cannot start before the work the
+        event captured has finished (``cudaStreamWaitEvent``).
+        """
+        if not marker.recorded:
+            raise InvalidValueError("cannot wait on an event never recorded")
+        key = self._clock_key(stream)
+        self._stream_clock[key] = max(
+            self._stream_clock.get(key, 0.0), marker.time_s
+        )
 
     def _begin(self, event: ApiEvent) -> None:
         event.annotation = tuple(self._annotations)
@@ -331,7 +439,11 @@ class GpuRuntime:
             # Before _begin, so the listener bus stays balanced when the
             # injected OutOfMemoryError propagates to the workload.
             self.fault_injector.on_malloc(nelems * dtype.itemsize, label)
-        event = MallocEvent(seq=self._next_seq(), call_path=capture_call_path())
+        event = MallocEvent(
+            seq=self._next_seq(),
+            call_path=capture_call_path(),
+            device=self._current,
+        )
         self._begin(event)
         alloc = self.device.memory.malloc(nelems * dtype.itemsize, dtype, label)
         event.alloc = alloc
@@ -344,7 +456,10 @@ class GpuRuntime:
     def free(self, alloc: Allocation) -> None:
         """Release a device allocation."""
         event = FreeEvent(
-            seq=self._next_seq(), call_path=capture_call_path(), alloc=alloc
+            seq=self._next_seq(),
+            call_path=capture_call_path(),
+            alloc=alloc,
+            device=self._current,
         )
         self._begin(event)
         self.device.memory.free(alloc)
@@ -361,6 +476,7 @@ class GpuRuntime:
             dst_alloc=dst,
             host_array=src,
             stream=stream,
+            device=self._current,
         )
         self._begin(event)
         count = nbytes // dst.dtype.itemsize
@@ -386,6 +502,7 @@ class GpuRuntime:
             src_alloc=src,
             host_array=dst,
             stream=stream,
+            device=self._current,
         )
         self._begin(event)
         count = nbytes // src.dtype.itemsize
@@ -398,7 +515,7 @@ class GpuRuntime:
         self._commit_time(event.stream, event.time_s)
         self._end(event)
 
-    def memcpy_d2d(self, dst: Allocation, src: Allocation) -> None:
+    def memcpy_d2d(self, dst: Allocation, src: Allocation, stream: int = 0) -> None:
         """``cudaMemcpy(..., cudaMemcpyDeviceToDevice)``."""
         nbytes = min(src.size, dst.size)
         event = MemcpyEvent(
@@ -408,20 +525,55 @@ class GpuRuntime:
             nbytes=nbytes,
             dst_alloc=dst,
             src_alloc=src,
+            stream=stream,
+            device=self._current,
         )
         self._begin(event)
-        count = nbytes // dst.dtype.itemsize
-        src_count = nbytes // src.dtype.itemsize
-        raw = src.read(np.arange(src_count)).view(np.uint8)[
-            : count * dst.dtype.itemsize
-        ]
-        dst.write(np.arange(count), raw.view(dst.dtype.np_dtype))
+        self._apply_device_copy(dst, src, nbytes)
         if self.fault_injector is not None:
             self.fault_injector.maybe_corrupt(alloc=dst)
         event.time_s = self.platform.memcpy_time(nbytes, over_pcie=False)
         self.times.add_memory(event.time_s)
         self._commit_time(event.stream, event.time_s)
         self._end(event)
+
+    def memcpy_p2p(self, dst: Allocation, src: Allocation, stream: int = 0) -> None:
+        """``cudaMemcpyPeerAsync``: copy between two devices' memories.
+
+        The event is attributed to the *source* device (the device
+        driving the transfer over the peer link), so in the value-flow
+        graph the copy vertex sits on the source device while the bytes
+        land in an object on the destination device — a cross-device
+        edge.
+        """
+        event = MemcpyEvent(
+            seq=self._next_seq(),
+            call_path=capture_call_path(),
+            kind=MemcpyKind.PEER_TO_PEER,
+            nbytes=min(src.size, dst.size),
+            dst_alloc=dst,
+            src_alloc=src,
+            stream=stream,
+            device=src.device,
+        )
+        self._begin(event)
+        self._apply_device_copy(dst, src, event.nbytes)
+        if self.fault_injector is not None:
+            self.fault_injector.maybe_corrupt(alloc=dst)
+        event.time_s = self.platform.memcpy_p2p_time(event.nbytes)
+        self.times.add_memory(event.time_s)
+        self._commit_time(event.stream, event.time_s, device=src.device)
+        self._end(event)
+
+    @staticmethod
+    def _apply_device_copy(dst: Allocation, src: Allocation, nbytes: int) -> None:
+        """Move ``nbytes`` from ``src`` to ``dst`` element-wise."""
+        count = nbytes // dst.dtype.itemsize
+        src_count = nbytes // src.dtype.itemsize
+        raw = src.read(np.arange(src_count)).view(np.uint8)[
+            : count * dst.dtype.itemsize
+        ]
+        dst.write(np.arange(count), raw.view(dst.dtype.np_dtype))
 
     def memset(self, alloc: Allocation, byte_value: int, nbytes: Optional[int] = None) -> None:
         """``cudaMemset``: byte-wise fill, like the real API."""
@@ -434,6 +586,7 @@ class GpuRuntime:
             alloc=alloc,
             byte_value=byte_value,
             nbytes=nbytes,
+            device=self._current,
         )
         self._begin(event)
         count = nbytes // alloc.dtype.itemsize
@@ -475,6 +628,7 @@ class GpuRuntime:
             block=block,
             args=args,
             stream=stream,
+            device=self._current,
         )
         instrument = any(
             listener.instrument_kernel(kernel_obj, grid, block)

@@ -71,6 +71,10 @@ class Platform:
     int_giops: float
     mem_bandwidth_gbs: float
     pcie_bandwidth_gbs: float
+    #: Device-to-device link bandwidth for peer copies (NVLink bridge on
+    #: the 2080 Ti, NVLink3 on the A100) — faster than PCIe, slower than
+    #: local device memory.
+    p2p_bandwidth_gbs: float = 50.0
     kernel_launch_us: float = 4.0
     memcpy_latency_us: float = 8.0
     malloc_us: float = 2.0
@@ -100,6 +104,10 @@ class Platform:
         bandwidth = self.pcie_bandwidth_gbs if over_pcie else self.mem_bandwidth_gbs
         return self.memcpy_latency_us * 1e-6 + nbytes / (bandwidth * 1e9)
 
+    def memcpy_p2p_time(self, nbytes: int) -> float:
+        """Time of a device-to-device peer copy in seconds."""
+        return self.memcpy_latency_us * 1e-6 + nbytes / (self.p2p_bandwidth_gbs * 1e9)
+
     def memset_time(self, nbytes: int) -> float:
         """Time of a device memset in seconds."""
         return self.memset_latency_us * 1e-6 + nbytes / (self.mem_bandwidth_gbs * 1e9)
@@ -127,6 +135,7 @@ A100 = Platform(
     int_giops=19500.0,
     mem_bandwidth_gbs=1555.0,
     pcie_bandwidth_gbs=22.0,
+    p2p_bandwidth_gbs=300.0,
 )
 
 #: The two platforms of Table 2, in paper order.

@@ -32,7 +32,17 @@ def merged_events(
     """Combine application events and self-spans into one event list."""
     events: List[dict] = []
     if app_events:
-        events.append(dict(_APP_PROCESS_META))
+        # A multi-device application stream names its own process rows
+        # ("device 0", "device 1", ...); only the classic single-device
+        # stream needs the generic pid-0 label prepended.
+        already_named = any(
+            event.get("ph") == "M"
+            and event.get("name") == "process_name"
+            and event.get("pid") == 0
+            for event in app_events
+        )
+        if not already_named:
+            events.append(dict(_APP_PROCESS_META))
         events.extend(app_events)
     if tracer is not None:
         events.extend(tracer.to_chrome_events())

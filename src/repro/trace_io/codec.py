@@ -90,6 +90,7 @@ def alloc_descriptor(alloc) -> dict:
         "dtype": dtype_name(alloc.dtype),
         "label": alloc.label,
         "freed": bool(alloc.freed),
+        "device": int(alloc.device),
     }
 
 
@@ -99,6 +100,7 @@ def _common_meta(event: ApiEvent) -> dict:
         "time_s": float(event.time_s),
         "annotation": list(event.annotation),
         "stream": int(event.stream),
+        "device": int(event.device),
         "call_path": encode_call_path(event.call_path),
     }
 

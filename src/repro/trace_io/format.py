@@ -32,6 +32,11 @@ Format v2 keeps the container identical but makes the payload compact:
   the XOR was applied.  Repeated snapshots of a mostly-unchanged
   allocation therefore become runs of zeros that zlib collapses.
 
+Format v3 keeps the v2 container and payload encoding and adds the
+originating **device** to every frame: the common event meta gains a
+``"device"`` key and allocation descriptors gain ``"device"``.  v1/v2
+traces lack the keys and decode as device 0.
+
 Numpy arrays still round-trip bit-exactly, the metadata stays
 greppable JSON, and a reader can skip any frame without parsing its
 payload.  Versioning rules live in ``docs/trace.md``: the version is
@@ -53,9 +58,9 @@ from repro.errors import TraceError
 
 MAGIC = b"VETRACE\0"
 #: Default (current) format version written by :class:`TraceWriter`.
-VERSION = 2
+VERSION = 3
 #: Versions this reader generation can decode.
-SUPPORTED_VERSIONS = frozenset({1, 2})
+SUPPORTED_VERSIONS = frozenset({1, 2, 3})
 
 #: Event kinds, one per intercepted GPU API.
 EVENT_MALLOC = 1

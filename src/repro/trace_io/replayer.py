@@ -91,6 +91,8 @@ def _make_allocation(desc: dict) -> Allocation:
         label=desc["label"],
         memory=_ReplayArena(desc["address"], desc["size"]),
         freed=bool(desc.get("freed", False)),
+        # .get(): v1/v2 traces predate multi-device and are all device 0.
+        device=int(desc.get("device", 0)),
     )
 
 
@@ -272,6 +274,8 @@ class TraceReplayer:
             "call_path": decode_call_path(meta["call_path"]),
             "annotation": tuple(meta["annotation"]),
             "stream": meta["stream"],
+            # .get(): pre-v3 traces carry no device key (device 0).
+            "device": meta.get("device", 0),
         }
 
     def _resolve(self, desc: Optional[dict]) -> Optional[Allocation]:
@@ -335,7 +339,10 @@ class TraceReplayer:
                 np.arange(count),
                 host.data.ravel()[:count].astype(dst.dtype.np_dtype),
             )
-        elif kind is MemcpyKind.DEVICE_TO_DEVICE and dst is not None:
+        elif (
+            kind in (MemcpyKind.DEVICE_TO_DEVICE, MemcpyKind.PEER_TO_PEER)
+            and dst is not None
+        ):
             count = nbytes // dst.dtype.itemsize
             src_count = nbytes // src.dtype.itemsize
             raw = src.read(np.arange(src_count)).view(np.uint8)[

@@ -40,6 +40,16 @@ class DotWriter:
         """Emit a comment line."""
         self._lines.append(f"  // {text}")
 
+    def begin_cluster(self, cluster_id: str, **attrs: str) -> None:
+        """Open a ``subgraph cluster_<id>`` block (until end_cluster)."""
+        self._lines.append(f"  subgraph {_quote(f'cluster_{cluster_id}')} {{")
+        for key, val in sorted(attrs.items()):
+            self._lines.append(f"    {key}={_quote(str(val))};")
+
+    def end_cluster(self) -> None:
+        """Close the innermost cluster block."""
+        self._lines.append("  }")
+
     def render(self) -> str:
         """Return the complete DOT document."""
         header = [f"digraph {_quote(self.name)} {{"]

@@ -1,4 +1,5 @@
-"""Application reproductions (Table 1 rows 11-19)."""
+"""Application reproductions (Table 1 rows 11-19, plus the
+multi-device/multi-stream extension workloads)."""
 
 from repro.workloads.apps import (  # noqa: F401
     darknet,
@@ -10,4 +11,6 @@ from repro.workloads.apps import (  # noqa: F401
     qmcpack,
     castro,
     barracuda,
+    resnet50_dp,
+    pipeline,
 )

@@ -1,0 +1,199 @@
+"""Data-parallel ResNet50 on two devices — frozen-gradient allreduce.
+
+A two-replica data-parallel fine-tuning step (the transfer-learning
+setup PyTorch's ``DistributedDataParallel`` runs): each device holds a
+full weight replica, computes forward + backward on its batch shard,
+and the replicas then allreduce their gradients over the peer link
+(ring exchange) before applying the averaged update.
+
+The modelled inefficiency: the early (frozen) layers produce **all-zero
+gradients** on every step, yet the ring allreduce still pushes the zero
+bytes over the peer link and the update kernel re-applies a zero delta,
+replica to replica, step after step.  The value flow graph pinpoints
+the waste as a *cross-device* red edge: the P2P-copy vertex sits on the
+source device while the bytes land in the peer's receive buffer, whose
+contents never change — 100% redundant, single zero.
+
+The fix (Table 4 style, single zero) skips exchange and apply for the
+frozen layers, exactly like ``DistributedDataParallel``'s
+``find_unused_parameters``/gradient-bucket filtering would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List
+
+import numpy as np
+
+from repro.gpu.dtypes import DType
+from repro.gpu.kernel import kernel
+from repro.gpu.memory import Allocation
+from repro.gpu.runtime import GpuRuntime, HostArray
+from repro.patterns.base import Pattern
+from repro.workloads.base import Workload, WorkloadMeta
+from repro.workloads.registry import register
+
+
+@kernel("dp_forward_kernel")
+def dp_forward_kernel(ctx, inp, weight, out):
+    """Implicit-GEMM forward layer (compute-bound, like conv_kernel)."""
+    tid = ctx.global_ids
+    x = ctx.load(inp, tid, tids=tid)
+    w = ctx.load(weight, tid % weight.nelems, tids=tid)
+    ctx.flops(1200 * tid.size, DType.FLOAT32)
+    ctx.store(out, tid, (x * w).astype(np.float32), tids=tid)
+
+
+@kernel("dp_backward_kernel")
+def dp_backward_kernel(ctx, act, grad):
+    """Backward of a trainable layer: genuine, activation-shaped grads."""
+    tid = ctx.global_ids
+    a = ctx.load(act, tid % act.nelems, tids=tid)
+    ctx.flops(3 * tid.size, DType.FLOAT32)
+    ctx.store(grad, tid, (0.01 * a - 0.005).astype(np.float32), tids=tid)
+
+
+@kernel("dp_frozen_backward_kernel")
+def dp_frozen_backward_kernel(ctx, act, grad):
+    """Backward of a frozen layer: requires_grad=False yields zeros."""
+    tid = ctx.global_ids
+    ctx.load(act, tid % act.nelems, tids=tid)
+    ctx.store(grad, tid, np.zeros(tid.size, np.float32), tids=tid)
+
+
+@kernel("dp_apply_kernel")
+def dp_apply_kernel(ctx, weight, grad, peer_grad):
+    """SGD update from the averaged (local + peer) gradient."""
+    tid = ctx.global_ids
+    w = ctx.load(weight, tid, tids=tid)
+    g = ctx.load(grad, tid, tids=tid)
+    p = ctx.load(peer_grad, tid, tids=tid)
+    ctx.flops(4 * tid.size, DType.FLOAT32)
+    ctx.store(weight, tid, (w - 0.05 * (g + p)).astype(np.float32), tids=tid)
+
+
+@dataclass
+class _Replica:
+    """One device's share of the data-parallel state."""
+
+    device: int
+    shard: Allocation
+    act: Allocation
+    out: Allocation
+    frozen_weight: Allocation
+    train_weight: Allocation
+    frozen_grad: Allocation
+    train_grad: Allocation
+    recv_frozen: Allocation
+    recv_train: Allocation
+
+
+@register
+class Resnet50DataParallel(Workload):
+    """Two-device data-parallel fine-tuning with a frozen backbone."""
+
+    meta = WorkloadMeta(
+        name="pytorch/resnet50_dp",
+        kind="application",
+        kernel_name="dp_apply_kernel",
+        table1_patterns=(
+            Pattern.REDUNDANT_VALUES,
+            Pattern.SINGLE_ZERO,
+        ),
+        table4_rows=(Pattern.SINGLE_ZERO,),
+    )
+
+    DEVICES = 2
+    FEATURES = 32 * 1024
+    STEPS = 3
+
+    def run(self, rt: GpuRuntime, optimize: FrozenSet[Pattern] = frozenset()) -> None:
+        """One fine-tuning epoch; the single-zero fix skips the frozen
+        layers' allreduce (exchange and apply)."""
+        skip_frozen = Pattern.SINGLE_ZERO in optimize
+        rt.ensure_devices(self.DEVICES)
+        n = self.scaled(self.FEATURES)
+        m = max(n // 32, 64)
+        grid, block = max(1, n // 256), 256
+        grid_w, block_w = max(1, m // 64), 64
+
+        batch = self.rng.uniform(0, 1, n * self.DEVICES).astype(np.float32)
+        # Replicas start from the same checkpoint, as DDP broadcasts.
+        frozen_w = self.rng.normal(0, 0.05, m).astype(np.float32)
+        train_w = self.rng.normal(0, 0.05, m).astype(np.float32)
+
+        replicas: List[_Replica] = []
+        for dev in range(self.DEVICES):
+            rt.set_device(dev)
+            replicas.append(
+                _Replica(
+                    device=dev,
+                    shard=rt.upload(batch[dev * n : (dev + 1) * n], "dp.shard"),
+                    act=rt.malloc(n, DType.FLOAT32, "dp.act"),
+                    out=rt.malloc(n, DType.FLOAT32, "dp.out"),
+                    frozen_weight=rt.upload(frozen_w, "dp.frozen.weight"),
+                    train_weight=rt.upload(train_w, "dp.train.weight"),
+                    frozen_grad=rt.malloc(m, DType.FLOAT32, "dp.frozen.grad"),
+                    train_grad=rt.malloc(m, DType.FLOAT32, "dp.train.grad"),
+                    recv_frozen=rt.malloc(m, DType.FLOAT32, "dp.recv.frozen"),
+                    recv_train=rt.malloc(m, DType.FLOAT32, "dp.recv.train"),
+                )
+            )
+
+        for _step in range(self.scaled(self.STEPS, minimum=2)):
+            # Forward + backward, each replica on its own device.
+            for rep in replicas:
+                rt.set_device(rep.device)
+                rt.launch(
+                    dp_forward_kernel, grid, block,
+                    rep.shard, rep.frozen_weight, rep.act,
+                )
+                rt.launch(
+                    dp_forward_kernel, grid, block,
+                    rep.act, rep.train_weight, rep.out,
+                )
+                rt.launch(
+                    dp_backward_kernel, grid_w, block_w,
+                    rep.out, rep.train_grad,
+                )
+                rt.launch(
+                    dp_frozen_backward_kernel, grid_w, block_w,
+                    rep.act, rep.frozen_grad,
+                )
+            # Ring allreduce: each replica pushes its gradients to the
+            # next device's receive buffers over the peer link.
+            for rep in replicas:
+                peer = replicas[(rep.device + 1) % self.DEVICES]
+                rt.set_device(rep.device)
+                rt.memcpy_p2p(peer.recv_train, rep.train_grad, stream=1)
+                if not skip_frozen:
+                    # The zero gradients of the frozen layers cross the
+                    # peer link on every step — the red cross-device edge.
+                    rt.memcpy_p2p(peer.recv_frozen, rep.frozen_grad, stream=1)
+            # Apply the averaged update on every replica.
+            for rep in replicas:
+                rt.set_device(rep.device)
+                rt.launch(
+                    dp_apply_kernel, grid_w, block_w,
+                    rep.train_weight, rep.train_grad, rep.recv_train,
+                )
+                if not skip_frozen:
+                    rt.launch(
+                        dp_apply_kernel, grid_w, block_w,
+                        rep.frozen_weight, rep.frozen_grad, rep.recv_frozen,
+                    )
+
+        rt.set_device(0)
+        host_out = HostArray(np.zeros(n, np.float32), "logits")
+        rt.memcpy_d2h(host_out, replicas[0].out)
+
+    def timed_kernels(self) -> FrozenSet[str]:
+        """The allreduce tail (backward + apply), where the fix lands."""
+        return frozenset(
+            {"dp_backward_kernel", "dp_frozen_backward_kernel", "dp_apply_kernel"}
+        )
+
+    def hot_kernel_filter(self) -> FrozenSet[str]:
+        """The fine pass focuses on the gradient-producing kernels."""
+        return frozenset({"dp_frozen_backward_kernel", "dp_apply_kernel"})

@@ -154,3 +154,60 @@ def test_fine_hit_lands_on_kernel_row(fill_kernel):
     for hit in kernel_hits:
         assert hit["ts"] == launch["ts"]
         assert hit["tid"] == launch["tid"]
+
+
+def _record_two_devices(fill_kernel):
+    from repro.gpu.device import DeviceConfig, GpuContext
+
+    rt = GpuRuntime(
+        context=GpuContext(
+            devices=2, config=DeviceConfig(global_memory_bytes=4 * 1024 * 1024)
+        )
+    )
+    recorder = TraceRecorder()
+    rt.subscribe(recorder)
+    for dev in (0, 1):
+        rt.set_device(dev)
+        out = rt.malloc(256, DType.FLOAT32, "out")
+        rt.launch(fill_kernel, 1, 256, out, 1.0, stream=1)
+    return recorder
+
+
+def test_multi_device_run_gets_one_lane_per_device(fill_kernel):
+    recorder = _record_two_devices(fill_kernel)
+    events = json.loads(recorder.to_json())
+    spans = [e for e in events if e["ph"] == "X"]
+    assert {e["pid"] for e in spans} == {0, 1}
+    metas = [e for e in events if e["ph"] == "M"]
+    assert {m["pid"] for m in metas} == {0, 1}
+    assert {m["args"]["name"] for m in metas} == {"device 0", "device 1"}
+
+
+def test_devices_keep_independent_lane_clocks(fill_kernel):
+    recorder = _record_two_devices(fill_kernel)
+    events = json.loads(recorder.to_json())
+    # The second device's kernel overlaps the first's: both launches
+    # start at the same lane-relative timestamp.
+    launches = [e for e in events if e["name"] == "fill_constant"]
+    assert len(launches) == 2
+    assert launches[0]["ts"] == launches[1]["ts"]
+
+
+def test_streams_get_distinct_thread_lanes(fill_kernel):
+    rt = GpuRuntime()
+    recorder = TraceRecorder()
+    rt.subscribe(recorder)
+    out = rt.malloc(256, DType.FLOAT32, "out")
+    rt.launch(fill_kernel, 1, 256, out, 1.0, stream=0)
+    rt.launch(fill_kernel, 1, 256, out, 2.0, stream=2)
+    events = json.loads(recorder.to_json())
+    launches = [e for e in events if e["name"] == "fill_constant"]
+    assert len({e["tid"] for e in launches}) == 2  # one lane per stream
+
+
+def test_single_device_trace_has_no_process_metadata(fill_kernel):
+    """Byte-identity: classic single-device traces gain no "M" rows."""
+    recorder = _record(fill_kernel)
+    events = json.loads(recorder.to_json())
+    assert all(e["ph"] == "X" for e in events)
+    assert {e["pid"] for e in events} == {0}

@@ -104,3 +104,21 @@ def test_all_objects_ordered_by_id(memory, registry):
         registry.on_malloc(memory.malloc(64), None)
     ids = [o.alloc_id for o in registry.all_objects()]
     assert ids == sorted(ids)
+
+
+def test_same_address_on_two_devices_binds_per_device(registry):
+    """All devices share the global base address, so the binder must
+    disambiguate by device when resolving an address to an object."""
+    ids = iter(range(1, 100))  # the context-shared id counter
+    mem0 = DeviceMemory(capacity=1024 * 1024, device_index=0, next_id=ids.__next__)
+    mem1 = DeviceMemory(capacity=1024 * 1024, device_index=1, next_id=ids.__next__)
+    a0 = mem0.malloc(1024, label="dev0")
+    a1 = mem1.malloc(1024, label="dev1")
+    assert a0.address == a1.address  # colliding device addresses
+    registry.on_malloc(a0, None)
+    registry.on_malloc(a1, None)
+    hit0 = registry.find_by_address(a0.address, device=0)
+    hit1 = registry.find_by_address(a1.address, device=1)
+    assert hit0.alloc_id == a0.alloc_id
+    assert hit1.alloc_id == a1.alloc_id
+    assert hit0 is not hit1

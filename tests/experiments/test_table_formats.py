@@ -41,11 +41,14 @@ def test_table1_legend_present():
     assert "NOT reproduced" in text
 
 
-def test_paper_table3_reference_covers_every_workload():
+def test_paper_table3_reference_covers_every_paper_workload():
     from repro.experiments.table3 import PAPER_TABLE3
     from repro.workloads import workload_names
 
-    assert set(PAPER_TABLE3) == set(workload_names())
+    # Every paper workload has a Table 3 reference row; the multi-device
+    # extension workloads are beyond the paper and have none.
+    assert len(PAPER_TABLE3) == 19
+    assert set(PAPER_TABLE3) <= set(workload_names())
     for per_platform in PAPER_TABLE3.values():
         assert set(per_platform) == {"RTX 2080 Ti", "A100"}
 

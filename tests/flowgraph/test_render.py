@@ -83,3 +83,38 @@ def test_thicker_edges_for_more_bytes():
                    writes=[ObjectAccess(1, 10**7)])
     dot = render_dot(builder.graph)
     assert "penwidth=" in dot
+
+
+def _two_device_graph():
+    builder = FlowGraphBuilder()
+    builder.on_malloc(1, "grad", None, device=0)
+    builder.on_malloc(2, "recv", None, device=1)
+    builder.on_api(
+        VertexKind.KERNEL, "backward", None,
+        writes=[ObjectAccess(1, 4096, redundant_fraction=0.0)],
+        device=0,
+    )
+    builder.on_api(
+        VertexKind.MEMCPY, "cudaMemcpy[p2p]", None,
+        reads=[ObjectAccess(1, 4096)],
+        writes=[ObjectAccess(2, 4096, redundant_fraction=1.0)],
+        device=0,
+    )
+    return builder.graph
+
+
+def test_multi_device_graph_clusters_by_device():
+    dot = render_dot(_two_device_graph())
+    assert 'subgraph "cluster_dev0"' in dot
+    assert 'subgraph "cluster_dev1"' in dot
+    assert "device 0" in dot and "device 1" in dot
+
+
+def test_single_device_graph_renders_flat():
+    assert "cluster" not in render_dot(_graph_with_redundancy())
+
+
+def test_cross_device_edge_survives_clustering():
+    dot = render_dot(_two_device_graph())
+    # The fully-redundant P2P write is still drawn (red) at top level.
+    assert 'color="red"' in dot

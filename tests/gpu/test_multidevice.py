@@ -1,0 +1,276 @@
+"""Tests for the multi-device runtime: contexts, P2P copies, events,
+per-device stream clocks, and the cached serialization flag."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidValueError
+from repro.gpu.device import Device, DeviceConfig, GpuContext
+from repro.gpu.dtypes import DType
+from repro.gpu.memory import GLOBAL_BASE
+from repro.gpu.runtime import (
+    GpuEvent,
+    GpuRuntime,
+    HostArray,
+    MemcpyEvent,
+    MemcpyKind,
+    RuntimeListener,
+)
+
+_SMALL = DeviceConfig(global_memory_bytes=4 * 1024 * 1024)
+
+
+def _rt(devices=2):
+    return GpuRuntime(context=GpuContext(devices=devices, config=_SMALL))
+
+
+# -- context / device management -----------------------------------------
+
+
+def test_context_rejects_zero_devices():
+    with pytest.raises(InvalidValueError):
+        GpuContext(devices=0)
+
+
+def test_context_validates_device_ordinal():
+    rt = _rt(2)
+    with pytest.raises(InvalidValueError):
+        rt.set_device(2)
+    with pytest.raises(InvalidValueError):
+        rt.set_device(-1)
+    assert rt.current_device == 0  # unchanged after the failed sets
+
+
+def test_set_device_switches_current():
+    rt = _rt(2)
+    assert rt.num_devices == 2
+    rt.set_device(1)
+    assert rt.current_device == 1
+    assert rt.device is rt.context.devices[1]
+
+
+def test_ensure_devices_grows_but_never_shrinks():
+    rt = GpuRuntime(context=GpuContext(config=_SMALL))
+    assert rt.num_devices == 1
+    rt.ensure_devices(3)
+    assert rt.num_devices == 3
+    rt.ensure_devices(2)
+    assert rt.num_devices == 3
+
+
+def test_alloc_ids_unique_across_devices_addresses_collide():
+    """All devices share one id counter but the same address base."""
+    rt = _rt(2)
+    a = rt.malloc(64, DType.FLOAT32, "a")
+    rt.set_device(1)
+    b = rt.malloc(64, DType.FLOAT32, "b")
+    assert a.device == 0 and b.device == 1
+    assert a.alloc_id != b.alloc_id
+    # First allocation on each device: same device address.
+    assert a.address == b.address == GLOBAL_BASE
+
+
+def test_wrapped_device_keeps_ids_unique_after_growth():
+    """GpuRuntime(device=...) back-compat: devices added later draw ids
+    from the wrapped device's counter, so ids stay context-unique."""
+    rt = GpuRuntime(device=Device(_SMALL))
+    a = rt.malloc(64, DType.FLOAT32, "a")
+    rt.ensure_devices(2)
+    rt.set_device(1)
+    b = rt.malloc(64, DType.FLOAT32, "b")
+    rt.set_device(0)
+    c = rt.malloc(64, DType.FLOAT32, "c")
+    assert len({a.alloc_id, b.alloc_id, c.alloc_id}) == 3
+
+
+def test_apis_execute_on_current_device():
+    rt = _rt(2)
+    rt.set_device(1)
+    alloc = rt.malloc(64, DType.FLOAT32, "x")
+    assert alloc.device == 1
+    assert alloc in rt.context.devices[1].memory.live_allocations
+
+
+# -- peer-to-peer copies --------------------------------------------------
+
+
+def test_memcpy_p2p_moves_bytes_between_devices():
+    rt = _rt(2)
+    src = rt.upload(np.arange(64, dtype=np.float32), "src")
+    rt.set_device(1)
+    dst = rt.malloc(64, DType.FLOAT32, "dst")
+    rt.memcpy_p2p(dst, src)
+    np.testing.assert_array_equal(
+        dst.read_all(), np.arange(64, dtype=np.float32)
+    )
+
+
+def test_memcpy_p2p_event_attributed_to_source_device():
+    """The copy vertex sits on the device driving the transfer, not on
+    the current device — that's what makes the edge cross-device."""
+
+    class Spy(RuntimeListener):
+        def __init__(self):
+            self.events = []
+
+        def on_api_end(self, event):
+            if isinstance(event, MemcpyEvent):
+                self.events.append(event)
+
+    rt = _rt(2)
+    src = rt.upload(np.ones(32, dtype=np.float32), "src")
+    rt.set_device(1)
+    dst = rt.malloc(32, DType.FLOAT32, "dst")
+    spy = Spy()
+    rt.subscribe(spy)
+    rt.memcpy_p2p(dst, src, stream=3)  # current device is 1, source is 0
+    (event,) = spy.events
+    assert event.kind is MemcpyKind.PEER_TO_PEER
+    assert event.kind.value == "p2p"  # collector names it cudaMemcpy[p2p]
+    assert event.device == src.device == 0
+    assert event.stream == 3
+    assert event.nbytes == min(src.size, dst.size)
+
+
+def test_memcpy_p2p_accounts_link_time():
+    rt = _rt(2)
+    src = rt.upload(np.zeros(1024, dtype=np.float32), "src")
+    rt.set_device(1)
+    dst = rt.malloc(1024, DType.FLOAT32, "dst")
+    before = rt.times.total
+    rt.memcpy_p2p(dst, src)
+    assert rt.times.total > before
+
+
+# -- per-device stream clocks ---------------------------------------------
+
+
+def _per_device_run(rt, fill_kernel, repeats=4):
+    for dev in range(rt.num_devices):
+        rt.set_device(dev)
+        buf = rt.malloc(64 * 1024, DType.FLOAT32, f"buf{dev}")
+        for _ in range(repeats):
+            rt.launch(fill_kernel, 256, 256, buf, float(dev))
+
+
+def test_devices_overlap_in_wall_clock(fill_kernel):
+    """Identical work on two devices: the makespan is the max over the
+    per-device timelines, about half the summed device time."""
+    rt = _rt(2)
+    _per_device_run(rt, fill_kernel)
+    assert rt.makespan < rt.times.total * 0.75
+    assert rt.wall_clock_s == rt.makespan
+
+
+def test_single_device_half_the_work_matches_two_device_makespan(fill_kernel):
+    two = _rt(2)
+    _per_device_run(two, fill_kernel)
+    one = _rt(1)
+    _per_device_run(one, fill_kernel)
+    assert two.makespan == pytest.approx(one.makespan)
+    assert two.times.total == pytest.approx(one.times.total * 2)
+
+
+def test_serializing_listener_collapses_devices(fill_kernel):
+    """A profiler that serializes streams folds every device's work
+    onto one timeline — the paper's collector semantics."""
+
+    class Serializer(RuntimeListener):
+        serializes_streams = True
+
+    rt = _rt(2)
+    rt.subscribe(Serializer())
+    _per_device_run(rt, fill_kernel)
+    assert rt.makespan == pytest.approx(rt.times.total)
+
+
+# -- stream events --------------------------------------------------------
+
+
+def test_event_wait_orders_compute_after_copy(fill_kernel):
+    """record on the copy stream + wait on the compute stream pins the
+    kernel after the upload without serializing the whole pipeline."""
+    rt = _rt(1)
+    buf = rt.malloc(64 * 1024, DType.FLOAT32, "buf")
+    rt.memcpy_h2d(buf, HostArray(np.zeros(64 * 1024, np.float32)), stream=1)
+    ready = rt.event_record(stream=1)
+    assert ready.time_s > 0.0
+    rt.event_wait(ready, stream=2)
+    joined = rt.event_record(stream=2)
+    assert joined.time_s >= ready.time_s
+    rt.launch(fill_kernel, 256, 256, buf, 1.0, stream=2)
+    after = rt.event_record(stream=2)
+    assert after.time_s > joined.time_s
+
+
+def test_event_wait_is_a_noop_for_earlier_work(fill_kernel):
+    """Waiting on an event that already passed does not move the clock."""
+    rt = _rt(1)
+    buf = rt.malloc(64 * 1024, DType.FLOAT32, "buf")
+    early = rt.event_record(stream=1)  # nothing ran on stream 1 yet
+    for _ in range(2):
+        rt.launch(fill_kernel, 256, 256, buf, 1.0, stream=2)
+    mark = rt.event_record(stream=2)
+    rt.event_wait(early, stream=2)
+    assert rt.event_record(stream=2).time_s == pytest.approx(mark.time_s)
+
+
+def test_event_wait_joins_across_devices(fill_kernel):
+    rt = _rt(2)
+    buf = rt.malloc(64 * 1024, DType.FLOAT32, "buf")
+    for _ in range(4):
+        rt.launch(fill_kernel, 256, 256, buf, 1.0)
+    done = rt.event_record(stream=0)
+    rt.set_device(1)
+    rt.event_wait(done, stream=0)
+    assert rt.event_record(stream=0).time_s >= done.time_s
+
+
+def test_wait_on_unrecorded_event_rejected():
+    rt = _rt(1)
+    with pytest.raises(InvalidValueError):
+        rt.event_wait(GpuEvent(), stream=0)
+
+
+# -- cached serialization flag (regression) -------------------------------
+
+
+class CountingSerializer(RuntimeListener):
+    """Listener whose serializes_streams property counts its reads."""
+
+    def __init__(self):
+        self.reads = 0
+
+    @property
+    def serializes_streams(self):
+        self.reads += 1
+        return True
+
+
+def test_serializes_streams_sampled_once_at_attach(fill_kernel):
+    """The flag is cached when the listener attaches; the hot
+    _commit_time path must not re-walk the listener list per API."""
+    rt = _rt(1)
+    spy = CountingSerializer()
+    rt.subscribe(spy)
+    buf = rt.malloc(64 * 1024, DType.FLOAT32, "buf")
+    for _ in range(16):
+        rt.launch(fill_kernel, 256, 256, buf, 1.0, stream=1)
+    for _ in range(8):
+        assert rt.streams_serialized
+    assert spy.reads == 1
+
+
+def test_unsubscribe_clears_serialization(fill_kernel):
+    rt = _rt(1)
+    spy = CountingSerializer()
+    rt.subscribe(spy)
+    assert rt.streams_serialized
+    rt.unsubscribe(spy)
+    assert not rt.streams_serialized
+    # Streams overlap again once the profiler detaches.
+    buf = rt.malloc(64 * 1024, DType.FLOAT32, "buf")
+    for _ in range(4):
+        rt.launch(fill_kernel, 256, 256, buf, 1.0, stream=1)
+        rt.launch(fill_kernel, 256, 256, buf, 2.0, stream=2)
+    assert rt.makespan < rt.times.total * 0.75

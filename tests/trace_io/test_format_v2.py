@@ -182,7 +182,7 @@ def test_reader_names_supported_versions(tmp_path):
     data[len(MAGIC):len(MAGIC) + 4] = struct.pack("<I", 99)
     with open(path, "wb") as handle:
         handle.write(data)
-    with pytest.raises(TraceError, match=r"\[1, 2\]"):
+    with pytest.raises(TraceError, match=r"\[1, 2, 3\]"):
         TraceReader(path)
 
 
@@ -294,7 +294,7 @@ _array = st.builds(
 _event = st.tuples(
     st.sampled_from([EVENT_MALLOC, EVENT_FREE, EVENT_MEMCPY, EVENT_LAUNCH]),
     st.dictionaries(
-        st.sampled_from(["seq", "kernel", "grid"]),
+        st.sampled_from(["seq", "kernel", "grid", "device"]),
         st.one_of(st.integers(min_value=0, max_value=9), st.text(max_size=6)),
         max_size=3,
     ),
@@ -322,3 +322,101 @@ def test_v2_round_trip_matches_v1(tmp_path_factory, events):
         got_v2,
         [(kind, meta, arrays) for kind, meta, arrays, _ in events],
     )
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(_event, max_size=12))
+def test_v3_round_trip_is_exact(tmp_path_factory, events):
+    """v3 frames (device key and all) read back exactly as written."""
+    tmp_path = tmp_path_factory.mktemp("v3prop")
+    path = _path(tmp_path, "v3.vetrace")
+    with TraceWriter(path, version=3) as writer:
+        for kind, meta, arrays, keyed in events:
+            delta_keys = (
+                {name: f"dk:{name}" for name in arrays} if keyed else None
+            )
+            writer.write_event(kind, meta, arrays, delta_keys=delta_keys)
+    _assert_events_equal(
+        _read_all(path),
+        [(kind, meta, arrays) for kind, meta, arrays, _ in events],
+    )
+
+
+# -- format v3: device on every frame ----------------------------------------
+
+
+def test_v3_container_matches_v2_byte_for_byte(tmp_path):
+    """v3 changes only the meta schema, not the container encoding."""
+    v2, v3 = _path(tmp_path, "v2.vetrace"), _path(tmp_path, "v3.vetrace")
+    snap = np.arange(8192, dtype=np.float64)
+    for path, version in ((v2, 2), (v3, 3)):
+        with TraceWriter(path, version=version) as writer:
+            for _ in range(2):
+                writer.write_event(
+                    EVENT_LAUNCH,
+                    {"device": 1, "seq": 0},
+                    {"p0": snap},
+                    delta_keys={"p0": "k"},
+                )
+    blob_v2 = open(v2, "rb").read()
+    blob_v3 = open(v3, "rb").read()
+    # Only the version word differs.
+    assert blob_v2[: len(MAGIC)] == blob_v3[: len(MAGIC)]
+    assert blob_v2[len(MAGIC) + 4 :] == blob_v3[len(MAGIC) + 4 :]
+    _assert_events_equal(_read_all(v3), _read_all(v2))
+
+
+def _write_pre_v3_trace(path, version):
+    """Handcraft a trace whose metas lack the v3 ``device`` keys."""
+    alloc = {
+        "alloc_id": 1,
+        "address": 0x7F0000000000,
+        "size": 32,
+        "dtype": "float32",
+        "label": "legacy",
+        "freed": False,
+    }
+    common = {
+        "seq": 0,
+        "time_s": 0.0,
+        "annotation": [],
+        "stream": 2,
+        "call_path": None,
+    }
+    with TraceWriter(path, version=version) as writer:
+        writer.write_event(EVENT_MALLOC, dict(common, alloc=alloc), {})
+        writer.write_event(
+            EVENT_MEMCPY,
+            dict(
+                common,
+                seq=1,
+                kind="h2d",
+                nbytes=32,
+                dst=alloc,
+                src=None,
+                host_label="h",
+            ),
+            {"host": np.zeros(8, dtype=np.float32)},
+        )
+
+
+@pytest.mark.parametrize("version", [1, 2])
+def test_pre_v3_traces_decode_as_device_zero(tmp_path, version):
+    """Traces recorded before multi-device replay entirely on device 0."""
+    from repro.gpu.runtime import RuntimeListener
+    from repro.trace_io.replayer import TraceReplayer
+
+    path = _path(tmp_path)
+    _write_pre_v3_trace(path, version)
+    seen = []
+
+    class Capture(RuntimeListener):
+        def on_api_end(self, event):
+            seen.append(event)
+
+    with TraceReplayer(path) as replayer:
+        replayer.subscribe(Capture())
+        replayer.replay()
+    assert len(seen) == 2
+    assert all(event.device == 0 for event in seen)
+    assert seen[0].alloc.device == 0

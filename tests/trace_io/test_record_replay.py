@@ -206,3 +206,77 @@ def test_replay_listeners_can_narrow_but_not_widen(tmp_path, rt, copy_kernel):
     launches = [e for e in passive.ends if isinstance(e, KernelLaunchEvent)]
     assert launches and all(not e.instrumented for e in launches)
     assert all(e.records == [] for e in launches)
+
+
+def _multi_device_session(rt, copy_kernel):
+    """A two-device session with a peer-to-peer gradient exchange."""
+    rt.ensure_devices(2)
+    src = rt.upload(np.arange(64, dtype=np.float32), "src")
+    grad = rt.malloc(64, DType.FLOAT32, "grad")
+    rt.launch(copy_kernel, 2, 32, src, grad)
+    rt.set_device(1)
+    recv = rt.malloc(64, DType.FLOAT32, "recv")
+    rt.set_device(0)
+    rt.memcpy_p2p(recv, grad, stream=1)
+    rt.set_device(1)
+    out = rt.malloc(64, DType.FLOAT32, "out")
+    rt.launch(copy_kernel, 2, 32, recv, out)
+    rt.set_device(0)
+
+
+def _record_multi(tmp_path, copy_kernel, name="multi.vetrace"):
+    from repro.gpu.device import DeviceConfig, GpuContext
+
+    rt = GpuRuntime(
+        context=GpuContext(
+            config=DeviceConfig(global_memory_bytes=4 * 1024 * 1024)
+        )
+    )
+    path = str(tmp_path / name)
+    recorder = TraceRecorder(path, header={"workload": "dp"}, instrument="all")
+    recorder.attach(rt)
+    _multi_device_session(rt, copy_kernel)
+    recorder.detach()
+    recorder.close()
+    return path
+
+
+def test_multi_device_session_replays_devices_intact(tmp_path, copy_kernel):
+    from repro.gpu.runtime import MemcpyKind
+
+    path = _record_multi(tmp_path, copy_kernel)
+    log = EventLog()
+    with TraceReplayer(path) as replayer:
+        replayer.subscribe(log)
+        replayer.replay()
+    assert {event.device for event in log.ends} == {0, 1}
+    p2p = next(
+        event
+        for event in log.ends
+        if isinstance(event, MemcpyEvent)
+        and event.kind is MemcpyKind.PEER_TO_PEER
+    )
+    # Source-device attribution and the cross-device object landing.
+    assert p2p.device == 0
+    assert p2p.src_alloc.device == 0 and p2p.dst_alloc.device == 1
+    # The peer copy's effect is re-applied to the replayed device state.
+    np.testing.assert_array_equal(
+        p2p.dst_alloc.read_all()[:64], np.arange(64, dtype=np.float32)
+    )
+
+
+def test_multi_device_rerecord_matches_frame_for_frame(tmp_path, copy_kernel):
+    """Recording a replay reproduces the original event frames."""
+    path = _record_multi(tmp_path, copy_kernel)
+    rerecorded = str(tmp_path / "rerecord.vetrace")
+    second = TraceRecorder(
+        rerecorded, header={"workload": "dp"}, instrument="all"
+    )
+    with TraceReplayer(path) as replayer:
+        replayer.subscribe(second)
+        replayer.replay()
+    second.close()
+    with TraceReader(path) as lhs, TraceReader(rerecorded) as rhs:
+        lhs_frames = [(kind, meta) for kind, meta, _ in lhs.events()]
+        rhs_frames = [(kind, meta) for kind, meta, _ in rhs.events()]
+    assert lhs_frames == rhs_frames

@@ -73,3 +73,43 @@ def test_heavy_type_workload_names_g_cost():
     profile = _profile(get_workload("rodinia/bfs"))
     heavy = profile.hits_by_pattern(Pattern.HEAVY_TYPE)
     assert any(hit.object_label == "g_cost" for hit in heavy)
+
+
+def test_data_parallel_allreduce_shows_cross_device_redundancy():
+    """The acceptance check for the multi-device refactor: profiling the
+    two-device resnet50_dp must pinpoint the frozen layers' all-zero
+    gradient exchange as a fully-redundant *cross-device* edge — the
+    copy vertex on the pushing device, the bytes landing in the peer's
+    receive buffer."""
+    from repro.workloads import get_workload
+
+    profile = _profile(get_workload("pytorch/resnet50_dp"))
+    graph = profile.graph
+    cross = [
+        edge
+        for edge in graph.edges()
+        if graph.vertex(edge.src).device is not None
+        and graph.vertex(edge.dst).device is not None
+        and graph.vertex(edge.src).device != graph.vertex(edge.dst).device
+    ]
+    assert cross, "no cross-device edges in the resnet50_dp flow graph"
+    redundant = [
+        edge
+        for edge in cross
+        if edge.redundant_fraction == 1.0
+        and graph.vertex(edge.src).name == "dp.recv.frozen"
+        and "p2p" in graph.vertex(edge.dst).name
+    ]
+    assert redundant, (
+        "the frozen-gradient P2P exchange was not flagged fully redundant"
+    )
+
+
+def test_pipeline_overlap_beats_serial_wall_clock():
+    """The overlap workload's two streams genuinely overlap un-profiled."""
+    from repro.gpu.runtime import GpuRuntime
+    from repro.workloads import get_workload
+
+    rt = GpuRuntime()
+    get_workload("pipeline_overlap")(scale=SCALE).run(rt)
+    assert rt.makespan < rt.times.total
