@@ -96,6 +96,17 @@ class UnknownJobError(ServiceError):
     """
 
 
+class QueueFullError(ServiceError):
+    """Raised when a job submission exceeds the service's admission
+    limit (``max_queue_depth``); the HTTP layer maps it to 429 with a
+    ``Retry-After`` header carrying :attr:`retry_after_s`.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 1.0):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
 class DegradedProfileWarning(UserWarning):
     """Warned (never raised) when a profile completed degraded.
 
@@ -122,5 +133,6 @@ __all__ = [
     "FaultInjected",
     "ServiceError",
     "UnknownJobError",
+    "QueueFullError",
     "DegradedProfileWarning",
 ]

@@ -362,6 +362,18 @@ class GpuRuntime:
         key = self._clock_key(stream, device)
         self._stream_clock[key] = self._stream_clock.get(key, 0.0) + seconds
 
+    def _kernel_seconds(self, seconds: float) -> float:
+        """Modelled kernel time, perturbed by any latency fault plan."""
+        if self.fault_injector is not None:
+            return self.fault_injector.perturb_kernel_time(seconds)
+        return seconds
+
+    def _memcpy_seconds(self, seconds: float) -> float:
+        """Modelled copy/memset time, perturbed by any latency faults."""
+        if self.fault_injector is not None:
+            return self.fault_injector.perturb_memcpy_time(seconds)
+        return seconds
+
     @property
     def makespan(self) -> float:
         """Modelled wall-clock: the longest (device, stream) timeline.
@@ -486,7 +498,7 @@ class GpuRuntime:
         )
         if self.fault_injector is not None:
             self.fault_injector.maybe_corrupt(alloc=dst)
-        event.time_s = self.platform.memcpy_time(nbytes, over_pcie=True)
+        event.time_s = self._memcpy_seconds(self.platform.memcpy_time(nbytes, over_pcie=True))
         self.times.add_memory(event.time_s)
         self._commit_time(event.stream, event.time_s)
         self._end(event)
@@ -510,7 +522,7 @@ class GpuRuntime:
         flat[:count] = src.read(np.arange(count)).astype(dst.data.dtype)
         if self.fault_injector is not None:
             self.fault_injector.maybe_corrupt(host=dst)
-        event.time_s = self.platform.memcpy_time(nbytes, over_pcie=True)
+        event.time_s = self._memcpy_seconds(self.platform.memcpy_time(nbytes, over_pcie=True))
         self.times.add_memory(event.time_s)
         self._commit_time(event.stream, event.time_s)
         self._end(event)
@@ -532,7 +544,7 @@ class GpuRuntime:
         self._apply_device_copy(dst, src, nbytes)
         if self.fault_injector is not None:
             self.fault_injector.maybe_corrupt(alloc=dst)
-        event.time_s = self.platform.memcpy_time(nbytes, over_pcie=False)
+        event.time_s = self._memcpy_seconds(self.platform.memcpy_time(nbytes, over_pcie=False))
         self.times.add_memory(event.time_s)
         self._commit_time(event.stream, event.time_s)
         self._end(event)
@@ -560,7 +572,7 @@ class GpuRuntime:
         self._apply_device_copy(dst, src, event.nbytes)
         if self.fault_injector is not None:
             self.fault_injector.maybe_corrupt(alloc=dst)
-        event.time_s = self.platform.memcpy_p2p_time(event.nbytes)
+        event.time_s = self._memcpy_seconds(self.platform.memcpy_p2p_time(event.nbytes))
         self.times.add_memory(event.time_s)
         self._commit_time(event.stream, event.time_s, device=src.device)
         self._end(event)
@@ -594,7 +606,7 @@ class GpuRuntime:
             count * alloc.dtype.itemsize, byte_value, dtype=np.uint8
         ).view(alloc.dtype.np_dtype)
         alloc.write(np.arange(count), pattern)
-        event.time_s = self.platform.memset_time(nbytes)
+        event.time_s = self._memcpy_seconds(self.platform.memset_time(nbytes))
         self.times.add_memory(event.time_s)
         self._commit_time(event.stream, event.time_s)
         self._end(event)
@@ -691,7 +703,7 @@ class GpuRuntime:
         ]
         if self.fault_injector is not None and event.records:
             self.fault_injector.mangle_records(event)
-        event.time_s = self.platform.kernel_time(ctx.stats)
+        event.time_s = self._kernel_seconds(self.platform.kernel_time(ctx.stats))
         self.times.add_kernel(kernel_obj.name, event.time_s)
         self._commit_time(event.stream, event.time_s)
         self._end(event)

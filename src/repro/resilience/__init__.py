@@ -17,7 +17,12 @@ under an empty plan the pipeline is byte-identical to the unhardened
 one.  See ``docs/resilience.md``.
 """
 
-from repro.resilience.faults import FaultInjector, FaultKind, FaultPlan
+from repro.resilience.faults import (
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    draw_service_fault,
+)
 from repro.resilience.health import DEGRADATION_LADDER, HealthReport
 
 __all__ = [
@@ -26,4 +31,5 @@ __all__ = [
     "FaultKind",
     "FaultPlan",
     "HealthReport",
+    "draw_service_fault",
 ]

@@ -9,7 +9,13 @@ when attached to a real GPU application:
 - **dropped and torn access-record buffers** (the measurement buffer
   overflowing or a flush being cut short);
 - **kernels raising mid-launch** (device-side assert / sticky error);
-- **torn ``.vetrace`` writes** (the recording process dying mid-frame).
+- **torn ``.vetrace`` writes** (the recording process dying mid-frame);
+- **timing perturbation** (kernel/memcpy latency multipliers and
+  seeded jitter — a thermally throttled card or congested link; values
+  are untouched, so pattern hits stay byte-identical);
+- **service-scope faults** consulted by the continuous-profiling
+  daemon rather than the pipeline: hung/slow/crashing worker
+  processes and torn write-ahead-log tails (see ``docs/service.md``).
 
 A :class:`FaultPlan` is a frozen, *seeded* description of which faults
 fire and how often; a :class:`FaultInjector` executes the plan with a
@@ -40,6 +46,11 @@ class FaultKind(enum.Enum):
     TORN_RECORDS = "torn_records"
     KERNEL_RAISE = "kernel_raise"
     TRACE_TEAR = "trace_tear"
+    LATENCY = "latency"
+    HUNG_WORKER = "hung_worker"
+    SLOW_WORKER = "slow_worker"
+    WORKER_CRASH = "worker_crash"
+    TORN_WAL = "torn_wal"
 
 
 @dataclass(frozen=True)
@@ -63,13 +74,33 @@ class FaultPlan:
     record_tear_rate: float = 0.0
     kernel_raise_rate: float = 0.0
     trace_tear_after: Optional[int] = None
+    #: Timing faults: multiply the modelled kernel / memcpy time by a
+    #: constant factor and add seeded, bounded jitter (``±fraction``).
+    #: Values never change — under a pure timing plan the pattern hits
+    #: stay byte-identical; only makespans move.
+    kernel_latency_multiplier: float = 1.0
+    memcpy_latency_multiplier: float = 1.0
+    timing_jitter: float = 0.0
+    #: Service-scope faults, consulted by the daemon's worker entry and
+    #: WAL writer instead of the profiling pipeline.  One draw per job
+    #: *attempt* (seeded by ``(seed, attempt)``), so a retried job sees
+    #: an independent — but reproducible — draw each time it runs.
+    hung_worker_rate: float = 0.0
+    slow_worker_rate: float = 0.0
+    slow_worker_delay_s: float = 1.0
+    worker_crash_rate: float = 0.0
+    #: Tear the service's job WAL once, after this many appended
+    #: entries (``None`` never tears) — simulating a daemon dying
+    #: mid-write, the crash the recovery path must salvage.
+    torn_wal_after: Optional[int] = None
     #: Where the plan applies: ``"record"`` (live runs, the default),
     #: ``"replay"`` (the :class:`~repro.trace_io.replayer.TraceReplayer`
-    #: mangles the recorded record stream as it re-emits launches), or
-    #: ``"both"``.
+    #: mangles the recorded record stream as it re-emits launches),
+    #: ``"both"``, or ``"service"`` (only the daemon-level faults above
+    #: fire; the pipeline never sees the plan).
     scope: str = "record"
 
-    SCOPES = ("record", "replay", "both")
+    SCOPES = ("record", "replay", "both", "service")
 
     def __post_init__(self) -> None:
         if self.scope not in self.SCOPES:
@@ -82,6 +113,9 @@ class FaultPlan:
             "record_drop_rate",
             "record_tear_rate",
             "kernel_raise_rate",
+            "hung_worker_rate",
+            "slow_worker_rate",
+            "worker_crash_rate",
         ):
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
@@ -90,6 +124,18 @@ class FaultPlan:
                 )
         if self.trace_tear_after is not None and self.trace_tear_after < 0:
             raise InvalidValueError("trace_tear_after must be >= 0 or None")
+        if self.torn_wal_after is not None and self.torn_wal_after < 0:
+            raise InvalidValueError("torn_wal_after must be >= 0 or None")
+        for name in ("kernel_latency_multiplier", "memcpy_latency_multiplier"):
+            if getattr(self, name) <= 0.0:
+                raise InvalidValueError(f"{name} must be > 0")
+        if not 0.0 <= self.timing_jitter < 1.0:
+            raise InvalidValueError(
+                f"timing_jitter must be a fraction in [0, 1), "
+                f"got {self.timing_jitter}"
+            )
+        if self.slow_worker_delay_s < 0.0:
+            raise InvalidValueError("slow_worker_delay_s must be >= 0")
 
     @property
     def applies_to_record(self) -> bool:
@@ -102,16 +148,41 @@ class FaultPlan:
         return self.scope in ("replay", "both")
 
     @property
+    def has_timing_faults(self) -> bool:
+        """Whether the plan perturbs the timing model at all."""
+        return (
+            self.kernel_latency_multiplier != 1.0
+            or self.memcpy_latency_multiplier != 1.0
+            or self.timing_jitter != 0.0
+        )
+
+    @property
+    def has_service_faults(self) -> bool:
+        """Whether any daemon-level (worker/WAL) fault can fire."""
+        return (
+            self.hung_worker_rate > 0.0
+            or self.slow_worker_rate > 0.0
+            or self.worker_crash_rate > 0.0
+            or self.torn_wal_after is not None
+        )
+
+    @property
+    def has_pipeline_faults(self) -> bool:
+        """Whether the profiling pipeline itself can see a fault."""
+        return (
+            self.alloc_failure_rate > 0.0
+            or self.corruption_rate > 0.0
+            or self.record_drop_rate > 0.0
+            or self.record_tear_rate > 0.0
+            or self.kernel_raise_rate > 0.0
+            or self.trace_tear_after is not None
+            or self.has_timing_faults
+        )
+
+    @property
     def is_empty(self) -> bool:
         """Whether this plan can never fire a fault."""
-        return (
-            self.alloc_failure_rate == 0.0
-            and self.corruption_rate == 0.0
-            and self.record_drop_rate == 0.0
-            and self.record_tear_rate == 0.0
-            and self.kernel_raise_rate == 0.0
-            and self.trace_tear_after is None
-        )
+        return not (self.has_pipeline_faults or self.has_service_faults)
 
     @classmethod
     def none(cls) -> "FaultPlan":
@@ -127,9 +198,10 @@ class FaultPlan:
         fault space reproducibly.
         """
         rng = np.random.default_rng(seed)
-        return cls(
-            seed=seed,
-            scope=scope,
+        # Draw order is append-only: the original fault rates consume
+        # the same draws as before, so a given seed keeps its historic
+        # plan; timing faults ride on draws added strictly after them.
+        plan = dict(
             alloc_failure_rate=float(rng.uniform(0.0, 0.05)),
             corruption_rate=float(rng.uniform(0.0, 0.3)),
             record_drop_rate=float(rng.uniform(0.0, 0.4)),
@@ -137,6 +209,35 @@ class FaultPlan:
             kernel_raise_rate=float(rng.uniform(0.0, 0.25)),
             trace_tear_after=(
                 int(rng.integers(2, 40)) if rng.random() < 0.5 else None
+            ),
+        )
+        if rng.random() < 0.5:
+            plan["kernel_latency_multiplier"] = float(rng.uniform(0.5, 3.0))
+        if rng.random() < 0.5:
+            plan["memcpy_latency_multiplier"] = float(rng.uniform(0.5, 3.0))
+        if rng.random() < 0.5:
+            plan["timing_jitter"] = float(rng.uniform(0.0, 0.2))
+        return cls(seed=seed, scope=scope, **plan)
+
+    @classmethod
+    def service_chaos(cls, seed: int) -> "FaultPlan":
+        """A seed-derived plan of daemon-level faults only.
+
+        The service chaos matrix uses this: hung, slow, and crashing
+        workers plus a WAL tear, with the profiling pipeline untouched
+        (``scope="service"``) so recovered profiles stay byte-identical
+        to clean runs.
+        """
+        rng = np.random.default_rng([seed, 0x5EAF])
+        return cls(
+            seed=seed,
+            scope="service",
+            hung_worker_rate=float(rng.uniform(0.0, 0.4)),
+            slow_worker_rate=float(rng.uniform(0.0, 0.6)),
+            slow_worker_delay_s=float(rng.uniform(0.05, 0.3)),
+            worker_crash_rate=float(rng.uniform(0.0, 0.5)),
+            torn_wal_after=(
+                int(rng.integers(3, 30)) if rng.random() < 0.5 else None
             ),
         )
 
@@ -150,8 +251,54 @@ class FaultPlan:
             "record_tear_rate": self.record_tear_rate,
             "kernel_raise_rate": self.kernel_raise_rate,
             "trace_tear_after": self.trace_tear_after,
+            "kernel_latency_multiplier": self.kernel_latency_multiplier,
+            "memcpy_latency_multiplier": self.memcpy_latency_multiplier,
+            "timing_jitter": self.timing_jitter,
+            "hung_worker_rate": self.hung_worker_rate,
+            "slow_worker_rate": self.slow_worker_rate,
+            "slow_worker_delay_s": self.slow_worker_delay_s,
+            "worker_crash_rate": self.worker_crash_rate,
+            "torn_wal_after": self.torn_wal_after,
             "scope": self.scope,
         }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "FaultPlan":
+        """Inverse of :meth:`to_dict` (unknown keys rejected).
+
+        The service's job specs carry fault plans as plain JSON; this
+        is where they rehydrate — with the same validation a directly
+        constructed plan gets.
+        """
+        if not isinstance(data, dict):
+            raise InvalidValueError("fault plan must be a JSON object")
+        known = set(cls().to_dict())
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise InvalidValueError(
+                f"unknown fault plan fields {unknown}; known: {sorted(known)}"
+            )
+        try:
+            return cls(**data)
+        except TypeError as exc:
+            raise InvalidValueError(f"malformed fault plan: {exc}") from None
+
+    def active_fields(self) -> List[str]:
+        """Names of the fault fields that differ from "never fires".
+
+        The shrinker's unit of work: each active field is one fault
+        class it tries to zero out.
+        """
+        defaults = FaultPlan(
+            seed=self.seed, scope=self.scope,
+            slow_worker_delay_s=self.slow_worker_delay_s,
+        )
+        return [
+            name
+            for name, value in self.to_dict().items()
+            if name not in ("seed", "scope", "slow_worker_delay_s")
+            and value != getattr(defaults, name)
+        ]
 
 
 class FaultInjector:
@@ -166,9 +313,14 @@ class FaultInjector:
     def __init__(self, plan: FaultPlan):
         self.plan = plan
         self._rng = np.random.default_rng(plan.seed)
+        # Timing jitter draws from a *separate* seeded stream so adding
+        # timing faults to a plan never shifts the fault sequence the
+        # main stream produces for the same seed.
+        self._timing_rng = np.random.default_rng([plan.seed, 0x71E])
         self.counts: Dict[FaultKind, int] = {kind: 0 for kind in FaultKind}
         self.events: List[str] = []
         self._trace_torn = False
+        self._wal_torn = False
 
     @property
     def total_injected(self) -> int:
@@ -284,6 +436,36 @@ class FaultInjector:
                     f"in {event.kernel.name!r}",
                 )
 
+    # -- timing hooks --------------------------------------------------------
+
+    def _perturb_time(self, seconds: float, multiplier: float) -> float:
+        """Apply one timing fault draw; counted but not event-logged
+        (a perturbation per launch would drown the degradation log)."""
+        perturbed = seconds * multiplier
+        if self.plan.timing_jitter:
+            jitter = self.plan.timing_jitter
+            perturbed *= 1.0 + float(
+                self._timing_rng.uniform(-jitter, jitter)
+            )
+        self.counts[FaultKind.LATENCY] += 1
+        return max(perturbed, 0.0)
+
+    def perturb_kernel_time(self, seconds: float) -> float:
+        """Kernel-launch time under the plan's latency faults."""
+        if not self.plan.has_timing_faults:
+            return seconds
+        return self._perturb_time(
+            seconds, self.plan.kernel_latency_multiplier
+        )
+
+    def perturb_memcpy_time(self, seconds: float) -> float:
+        """Memcpy/memset time under the plan's latency faults."""
+        if not self.plan.has_timing_faults:
+            return seconds
+        return self._perturb_time(
+            seconds, self.plan.memcpy_latency_multiplier
+        )
+
     # -- trace-layer hooks ---------------------------------------------------
 
     def take_trace_tear(self, events_written: int) -> bool:
@@ -297,3 +479,38 @@ class FaultInjector:
             FaultKind.TRACE_TEAR, f"after {events_written} events"
         )
         return True
+
+    # -- service-layer hooks -------------------------------------------------
+
+    def take_wal_tear(self, entries_written: int) -> bool:
+        """Whether to tear the job WAL now (fires at most once)."""
+        if self._wal_torn or self.plan.torn_wal_after is None:
+            return False
+        if entries_written < self.plan.torn_wal_after:
+            return False
+        self._wal_torn = True
+        self._fire(FaultKind.TORN_WAL, f"after {entries_written} entries")
+        return True
+
+
+def draw_service_fault(
+    plan: FaultPlan, attempt: int
+) -> Optional[FaultKind]:
+    """The service fault (if any) this job attempt should suffer.
+
+    One deterministic draw per ``(plan.seed, attempt)``: the worker
+    entry point calls this before running the job, so a retried attempt
+    rolls fresh — but reproducible — dice.  Precedence when several
+    rates fire on the same draw sequence: hang > crash > slow (a hung
+    worker is the costliest failure, so it wins ties).
+    """
+    if not plan.has_service_faults:
+        return None
+    rng = np.random.default_rng([plan.seed, max(attempt, 0)])
+    if plan.hung_worker_rate and rng.random() < plan.hung_worker_rate:
+        return FaultKind.HUNG_WORKER
+    if plan.worker_crash_rate and rng.random() < plan.worker_crash_rate:
+        return FaultKind.WORKER_CRASH
+    if plan.slow_worker_rate and rng.random() < plan.slow_worker_rate:
+        return FaultKind.SLOW_WORKER
+    return None

@@ -8,6 +8,15 @@ ToolConfig` options) over a local HTTP API, a bounded pool of worker
 dying worker fails its job, never the daemon), and a job store tracks
 ``queued -> running -> done/failed/cancelled`` with poll/list/cancel.
 
+Fleet-grade supervision: jobs carry per-job deadlines (a hung worker
+is escalated SIGTERM -> SIGKILL and the attempt fails as ``timed
+out``), failed attempts retry with exponential backoff + decorrelated
+jitter up to ``max_retries``, submissions beyond ``max_queue_depth``
+get HTTP 429 with ``Retry-After``, and with ``--state-dir`` the store
+appends every mutation to a torn-tail-tolerant JSONL write-ahead log
+(:mod:`repro.service.wal`) so a SIGKILLed daemon restarts with every
+job recovered — terminals intact, in-flight requeued.
+
 Observability is the headline: ``GET /metrics`` is a Prometheus scrape
 endpoint fed by a pluggable collector registry (``collector_*.py``
 files discovered by name, Omnistat-style), ``GET /healthz`` and
@@ -30,6 +39,7 @@ from repro.service.collectors import CollectorPlugin, load_collectors
 from repro.service.pool import WorkerPool
 from repro.service.service import ProfilingService, ServiceConfig
 from repro.service.http import make_server, serve_forever
+from repro.service.wal import WriteAheadLog, load_wal
 
 __all__ = [
     "CollectorPlugin",
@@ -41,7 +51,9 @@ __all__ = [
     "ProfilingService",
     "ServiceConfig",
     "WorkerPool",
+    "WriteAheadLog",
     "load_collectors",
+    "load_wal",
     "make_server",
     "serve_forever",
 ]

@@ -54,6 +54,50 @@ def collect(service, registry):
     for outcome in ("done", "failed", "cancelled"):
         outcomes.labels(outcome=outcome).inc(counts[outcome])
 
+    supervision = service.pool.counters
+    registry.counter(
+        "repro_job_retries_total",
+        "Failed attempts requeued for another run (backoff applied).",
+    ).inc(supervision["retries"])
+    registry.counter(
+        "repro_job_timeouts_total",
+        "Attempts cut short by the per-job deadline watchdog.",
+    ).inc(supervision["timeouts"])
+    registry.counter(
+        "repro_worker_kills_total",
+        "Workers that ignored SIGTERM and needed the SIGKILL escalation.",
+    ).inc(supervision["kills"])
+    registry.counter(
+        "repro_worker_crashes_total",
+        "Worker processes that exited without reporting a result.",
+    ).inc(supervision["crashes"])
+
+    registry.gauge(
+        "repro_service_durable",
+        "1 when the job store writes a WAL, 0 for in-memory only.",
+    ).set(0 if service.store.wal is None else 1)
+    if service.store.wal is not None:
+        registry.gauge(
+            "repro_service_wal_bytes",
+            "On-disk size of the job write-ahead log.",
+        ).set(service.store.wal.size_bytes)
+    recovery = registry.gauge(
+        "repro_service_recovered_jobs",
+        "Jobs rebuilt from the WAL at startup, by disposition.",
+        labelnames=("disposition",),
+    )
+    recovery.labels(disposition="total").set(service.store.recovered_jobs)
+    recovery.labels(disposition="requeued").set(
+        service.store.requeued_on_recovery
+    )
+    recovery.labels(disposition="failed").set(
+        service.store.failed_on_recovery
+    )
+    registry.gauge(
+        "repro_service_wal_torn_on_load",
+        "1 when startup salvaged a torn WAL tail, else 0.",
+    ).set(1 if service.store.wal_torn_on_load else 0)
+
     queue_wait = registry.histogram(
         "repro_service_job_queue_seconds",
         "Time jobs spent waiting in the queue.",

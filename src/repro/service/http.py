@@ -13,7 +13,9 @@ Routes::
     DELETE /jobs/<id>        worker terminated)
 
 Errors are JSON: 400 for malformed specs/illegal transitions, 404 for
-unknown jobs and routes.  The server is a ``ThreadingHTTPServer`` —
+unknown jobs and routes, 429 (with a ``Retry-After`` header) when the
+submission queue is at the admission limit.  The server is a
+``ThreadingHTTPServer`` —
 every request handled on its own daemon thread against the thread-safe
 service object.
 """
@@ -25,7 +27,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
-from repro.errors import ServiceError, UnknownJobError
+from repro.errors import QueueFullError, ServiceError, UnknownJobError
 from repro.service.jobs import JobSpec, JobState
 from repro.service.service import ProfilingService
 
@@ -52,16 +54,20 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, format, *args):  # noqa: A002 — stdlib signature
         pass  # request logging would swamp the smoke tests' stderr
 
-    def _send(self, code: int, body: bytes, content_type: str) -> None:
+    def _send(
+        self, code: int, body: bytes, content_type: str, headers=None
+    ) -> None:
         self.send_response(code)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_json(self, code: int, payload) -> None:
+    def _send_json(self, code: int, payload, headers=None) -> None:
         body = (json.dumps(payload, indent=1) + "\n").encode()
-        self._send(code, body, "application/json")
+        self._send(code, body, "application/json", headers=headers)
 
     def _send_text(self, code: int, text: str, content_type: str) -> None:
         self._send(code, text.encode(), content_type)
@@ -155,6 +161,13 @@ class _Handler(BaseHTTPRequestHandler):
                 )
                 return
             self._error(404, f"no such route {url.path!r}")
+        except QueueFullError as exc:
+            # Backpressure, not failure: tell the client when to retry.
+            self._send_json(
+                429,
+                {"error": str(exc), "retry_after_s": exc.retry_after_s},
+                headers={"Retry-After": f"{max(1, round(exc.retry_after_s))}"},
+            )
         except ServiceError as exc:
             self._error(404 if isinstance(exc, UnknownJobError) else 400, str(exc))
 

@@ -1,4 +1,4 @@
-"""Job specifications, the job state machine, and the job store.
+"""Job specifications, the job state machine, and the durable job store.
 
 A job is one profiling run: either a registered workload executed live
 or a recorded ``.vetrace`` replayed (optionally sharded), under a
@@ -6,25 +6,39 @@ or a recorded ``.vetrace`` replayed (optionally sharded), under a
 options.  The store owns every record and enforces the state machine::
 
     QUEUED ──> RUNNING ──> DONE
-       │          │  └────> FAILED
-       └──────────┴───────> CANCELLED
+       ^          │  └────> FAILED ──(retry budget left)──> QUEUED
+       │          └───────> CANCELLED                          │
+       └───────────────────────────────────────────────────────┘
 
-Terminal states are immutable; any other transition raises
-:class:`~repro.errors.ServiceError`.  All store operations are
-thread-safe — the HTTP handler threads, the pool dispatcher, and the
-per-job watcher threads all touch it concurrently.
+``DONE`` and ``CANCELLED`` are immutable; ``FAILED`` is immutable once
+the retry budget (``JobSpec.max_retries``) is exhausted.  A failed
+attempt with budget left requeues *atomically* — waiters blocked in
+:meth:`JobStore.wait` never observe the transient ``FAILED`` — with an
+exponential backoff + decorrelated-jitter delay the dispatcher honors
+via :attr:`JobRecord.retry_after`.  Any other transition raises
+:class:`~repro.errors.ServiceError`.
+
+Durability: construct the store with ``wal_path=`` and every submit,
+transition, and (JSON-safe) result is appended to a write-ahead log
+(:mod:`repro.service.wal`) before being acknowledged; a restarted store
+replays the log — terminal jobs reloaded intact, in-flight jobs
+requeued (or failed when their retries are spent).  All store
+operations are thread-safe — the HTTP handler threads, the pool
+dispatcher, and the per-job watcher threads all touch it concurrently.
 """
 
 from __future__ import annotations
 
+import random
 import threading
 import time
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, List, Optional
 
-from repro.errors import ServiceError, UnknownJobError
+from repro.errors import ReproError, ServiceError, UnknownJobError
 from repro.obs import MetricsRegistry, Span
+from repro.service.wal import WriteAheadLog, load_wal
 
 
 class JobState(str, Enum):
@@ -41,8 +55,10 @@ class JobState(str, Enum):
         return self in (JobState.DONE, JobState.FAILED, JobState.CANCELLED)
 
 
-#: Legal state transitions (QUEUED -> FAILED covers dispatch errors:
-#: a job the pool could not even start still ends loudly, not stuck).
+#: Legal state transitions.  QUEUED -> FAILED covers dispatch errors (a
+#: job the pool could not even start still ends loudly, not stuck);
+#: FAILED -> QUEUED is the retry requeue, additionally guarded by the
+#: record's remaining budget in :meth:`JobStore._transition`.
 _LEGAL: Dict[JobState, frozenset] = {
     JobState.QUEUED: frozenset(
         {JobState.RUNNING, JobState.CANCELLED, JobState.FAILED}
@@ -51,9 +67,16 @@ _LEGAL: Dict[JobState, frozenset] = {
         {JobState.DONE, JobState.FAILED, JobState.CANCELLED}
     ),
     JobState.DONE: frozenset(),
-    JobState.FAILED: frozenset(),
+    JobState.FAILED: frozenset({JobState.QUEUED}),
     JobState.CANCELLED: frozenset(),
 }
+
+
+#: Retry backoff bounds (seconds).  Decorrelated jitter: each delay is
+#: drawn from ``[base, 3 * previous]``, capped — retries spread out
+#: instead of thundering back in lockstep.
+BACKOFF_BASE_S = 0.5
+BACKOFF_CAP_S = 30.0
 
 
 #: ToolConfig keyword arguments a job spec may override.  Everything
@@ -85,8 +108,20 @@ class JobSpec:
     #: Seeded chaos run: builds ``FaultPlan.chaos(seed)`` and implies
     #: resilient mode (see :mod:`repro.resilience`).
     chaos_seed: Optional[int] = None
+    #: Explicit fault plan (``FaultPlan.to_dict()`` shape) — the
+    #: service chaos matrix submits hung/slow/crashing-worker plans
+    #: this way.  Mutually exclusive with :attr:`chaos_seed`.
+    faults: Optional[Dict] = None
     #: Live runs only: also record a ``.vetrace`` artifact of the run.
     record: bool = False
+    #: Per-job wall-clock deadline (seconds).  A worker still running
+    #: when it expires is terminated (terminate -> kill escalation) and
+    #: the attempt fails as ``timed out``.  ``None`` falls back to the
+    #: pool's default deadline, if any.
+    deadline_s: Optional[float] = None
+    #: Failed attempts (crash, error, timeout) re-run up to this many
+    #: times with exponential backoff before the job is terminal.
+    max_retries: int = 0
     #: ToolConfig overrides (subset: :data:`ALLOWED_CONFIG_OPTIONS`).
     options: Dict[str, object] = field(default_factory=dict)
 
@@ -103,12 +138,39 @@ class JobSpec:
             raise ServiceError(f"shards must be >= 1, got {self.shards}")
         if self.shards > 1 and not self.trace:
             raise ServiceError("shards > 1 requires a trace replay job")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ServiceError(
+                f"deadline_s must be > 0, got {self.deadline_s}"
+            )
+        if self.max_retries < 0:
+            raise ServiceError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.faults is not None:
+            if self.chaos_seed is not None:
+                raise ServiceError(
+                    "chaos_seed and faults are mutually exclusive; a "
+                    "fault plan dict already carries its own seed"
+                )
+            self.fault_plan()  # validates; raises ServiceError
         unknown = sorted(set(self.options) - set(ALLOWED_CONFIG_OPTIONS))
         if unknown:
             raise ServiceError(
                 f"unknown ToolConfig options {unknown}; "
                 f"allowed: {list(ALLOWED_CONFIG_OPTIONS)}"
             )
+
+    def fault_plan(self):
+        """The :class:`~repro.resilience.FaultPlan` of :attr:`faults`
+        (None without one); malformed plans raise :class:`ServiceError`."""
+        if self.faults is None:
+            return None
+        from repro.resilience import FaultPlan
+
+        try:
+            return FaultPlan.from_dict(dict(self.faults))
+        except ReproError as exc:
+            raise ServiceError(f"bad job fault plan: {exc}") from None
 
     @property
     def display_name(self) -> str:
@@ -127,7 +189,10 @@ class JobSpec:
             "platform": self.platform,
             "shards": self.shards,
             "chaos_seed": self.chaos_seed,
+            "faults": None if self.faults is None else dict(self.faults),
             "record": self.record,
+            "deadline_s": self.deadline_s,
+            "max_retries": self.max_retries,
             "options": dict(self.options),
         }
 
@@ -137,8 +202,9 @@ class JobSpec:
         if not isinstance(data, dict):
             raise ServiceError("job spec must be a JSON object")
         known = {
-            "workload", "trace", "label", "scale", "platform",
-            "shards", "chaos_seed", "record", "options",
+            "workload", "trace", "label", "scale", "platform", "shards",
+            "chaos_seed", "faults", "record", "deadline_s", "max_retries",
+            "options",
         }
         unknown = sorted(set(data) - known)
         if unknown:
@@ -156,7 +222,18 @@ class JobSpec:
                     if data.get("chaos_seed") is None
                     else int(data["chaos_seed"])
                 ),
+                faults=(
+                    None
+                    if data.get("faults") is None
+                    else dict(data["faults"])
+                ),
                 record=bool(data.get("record", False)),
+                deadline_s=(
+                    None
+                    if data.get("deadline_s") is None
+                    else float(data["deadline_s"])
+                ),
+                max_retries=int(data.get("max_retries", 0)),
                 options=dict(data.get("options") or {}),
             )
         except (TypeError, ValueError) as exc:
@@ -188,6 +265,36 @@ class JobResult:
     #: Worker wall time for the whole job.
     elapsed_s: float = 0.0
 
+    def to_wal_dict(self) -> Dict:
+        """The JSON-safe subset the WAL persists.
+
+        The pickled payloads (metrics registry, spans) are scrape-time
+        conveniences, not results; a recovered job keeps its artifacts
+        and counters but re-merges no telemetry.
+        """
+        return {
+            "summary": self.summary,
+            "profile_path": self.profile_path,
+            "trace_path": self.trace_path,
+            "pattern_counts": dict(self.pattern_counts),
+            "health": self.health,
+            "self_seconds": self.self_seconds,
+            "elapsed_s": self.elapsed_s,
+        }
+
+    @classmethod
+    def from_wal_dict(cls, data: Dict) -> "JobResult":
+        """Rebuild a (telemetry-less) result from its WAL entry."""
+        return cls(
+            summary=str(data.get("summary", "")),
+            profile_path=str(data.get("profile_path", "")),
+            trace_path=data.get("trace_path"),
+            pattern_counts=dict(data.get("pattern_counts") or {}),
+            health=data.get("health"),
+            self_seconds=float(data.get("self_seconds", 0.0)),
+            elapsed_s=float(data.get("elapsed_s", 0.0)),
+        )
+
 
 @dataclass
 class JobRecord:
@@ -209,6 +316,22 @@ class JobRecord:
     worker_pid: Optional[int] = None
     #: Set when a client cancelled the job while it was running.
     cancel_requested: bool = False
+    #: Times this job has been started (1 after the first claim).
+    attempt: int = 0
+    #: Monotonic deadline before which the dispatcher must not re-claim
+    #: a requeued job (None = claimable now).
+    retry_after: Optional[float] = None
+    #: Previous backoff delay — the decorrelated-jitter state.
+    last_backoff_s: float = 0.0
+    #: One dict per finished attempt: what failed and when it retries.
+    attempt_history: List[Dict] = field(default_factory=list)
+    #: True when this record was rebuilt from the WAL after a restart.
+    recovered: bool = False
+
+    @property
+    def retries_remaining(self) -> int:
+        """Starts still in the budget (total budget: 1 + max_retries)."""
+        return max(0, 1 + self.spec.max_retries - self.attempt)
 
     @property
     def queue_seconds(self) -> Optional[float]:
@@ -239,7 +362,19 @@ class JobRecord:
             "queue_seconds": self.queue_seconds,
             "run_seconds": self.run_seconds,
             "error": self.error,
+            "attempt": self.attempt,
+            "retries_remaining": self.retries_remaining,
         }
+        if self.attempt_history:
+            data["attempt_history"] = [
+                dict(entry) for entry in self.attempt_history
+            ]
+        if self.recovered:
+            data["recovered"] = True
+        if self.state is JobState.QUEUED and self.retry_after is not None:
+            data["retry_in_seconds"] = max(
+                0.0, self.retry_after - time.monotonic()
+            )
         if self.worker_pid is not None and not self.state.terminal:
             data["worker_pid"] = self.worker_pid
         if self.result is not None:
@@ -257,14 +392,147 @@ class JobRecord:
 
 
 class JobStore:
-    """Thread-safe registry of every job the service has seen."""
+    """Thread-safe registry of every job the service has seen.
 
-    def __init__(self):
+    With ``wal_path`` the store is durable: the WAL is replayed before
+    the store accepts traffic (recovery), then every mutation appends.
+    ``backoff_base_s``/``backoff_cap_s`` bound the retry delays (tests
+    shrink them); ``fault_injector`` reaches the WAL writer for
+    ``torn_wal`` chaos.
+    """
+
+    def __init__(
+        self,
+        wal_path: Optional[str] = None,
+        backoff_base_s: float = BACKOFF_BASE_S,
+        backoff_cap_s: float = BACKOFF_CAP_S,
+        fault_injector=None,
+    ):
         self._jobs: Dict[str, JobRecord] = {}
         self._order: List[str] = []
         self._next = 1
         self._lock = threading.RLock()
         self._changed = threading.Condition(self._lock)
+        self._backoff_base = backoff_base_s
+        self._backoff_cap = backoff_cap_s
+        self._backoff_rng = random.Random()
+        self._wal: Optional[WriteAheadLog] = None
+        #: Recovery statistics (the service collector exports these).
+        self.recovered_jobs = 0
+        self.requeued_on_recovery = 0
+        self.failed_on_recovery = 0
+        self.wal_torn_on_load = False
+        if wal_path is not None:
+            entries, torn, _ = load_wal(wal_path)
+            self.wal_torn_on_load = torn
+            self._restore(entries)
+            self._wal = WriteAheadLog(wal_path, fault_injector=fault_injector)
+            self._recover_in_flight()
+
+    # -- durability ----------------------------------------------------------
+
+    @property
+    def wal(self) -> Optional[WriteAheadLog]:
+        return self._wal
+
+    def close(self) -> None:
+        """Close the WAL (the store stays usable, just not durable)."""
+        if self._wal is not None:
+            self._wal.close()
+
+    def _log(self, entry: Dict) -> None:
+        if self._wal is not None:
+            self._wal.append(entry)
+
+    def _restore(self, entries: List[Dict]) -> None:
+        """Rebuild records from WAL entries (no legality checks — the
+        log is ground truth, including FAILED -> QUEUED requeues)."""
+        now = time.monotonic()
+        for entry in entries:
+            op = entry.get("op")
+            job_id = entry.get("id", "")
+            if op == "submit":
+                try:
+                    spec = JobSpec.from_dict(entry.get("spec") or {})
+                except ServiceError:
+                    continue  # an unreadable spec cannot be re-run
+                record = JobRecord(
+                    id=job_id,
+                    spec=spec,
+                    queued_at=now,
+                    submitted_unix=float(entry.get("submitted_unix", 0.0)),
+                    recovered=True,
+                )
+                self._jobs[job_id] = record
+                if job_id not in self._order:
+                    self._order.append(job_id)
+                tail = job_id.rsplit("-", 1)[-1]
+                if tail.isdigit():
+                    self._next = max(self._next, int(tail) + 1)
+                continue
+            record = self._jobs.get(job_id)
+            if record is None:
+                continue
+            if op == "cancel_request":
+                record.cancel_requested = True
+            elif op == "state":
+                try:
+                    to = JobState(entry.get("to", ""))
+                except ValueError:
+                    continue
+                record.state = to
+                if "attempt" in entry:
+                    record.attempt = int(entry["attempt"])
+                if "history" in entry:
+                    record.attempt_history.append(dict(entry["history"]))
+                if to is JobState.RUNNING:
+                    record.started_at = now
+                elif to is JobState.QUEUED:
+                    # Conservative: serve the full remaining backoff
+                    # from restart time (monotonic clocks don't survive
+                    # a daemon restart).
+                    delay = float(entry.get("retry_delay_s", 0.0))
+                    record.retry_after = now + delay if delay else None
+                    record.error = ""
+                    record.finished_at = None
+                    record.worker_pid = None
+                elif to.terminal:
+                    record.finished_at = now
+                    record.error = str(entry.get("error", record.error))
+                    if to is JobState.DONE and "result" in entry:
+                        record.result = JobResult.from_wal_dict(
+                            entry["result"] or {}
+                        )
+        self.recovered_jobs = len(self._jobs)
+
+    def _recover_in_flight(self) -> None:
+        """Requeue (or fail) jobs the dead daemon left RUNNING."""
+        for record in list(self._jobs.values()):
+            if record.state is not JobState.RUNNING:
+                continue
+            error = "daemon restarted while job was running"
+            if record.cancel_requested:
+                record.error = "cancelled (daemon restarted mid-cancel)"
+                self._apply_terminal(record, JobState.CANCELLED)
+                continue
+            requeued = self.finish_attempt(
+                record.id, error, immediate=True
+            ).state is JobState.QUEUED
+            if requeued:
+                self.requeued_on_recovery += 1
+            else:
+                self.failed_on_recovery += 1
+
+    def _apply_terminal(self, record: JobRecord, to: JobState) -> None:
+        """Force a terminal state during recovery, with WAL logging."""
+        record.state = to
+        record.finished_at = time.monotonic()
+        self._log(
+            {
+                "op": "state", "id": record.id, "to": to.value,
+                "error": record.error,
+            }
+        )
 
     # -- submission and lookup ---------------------------------------------
 
@@ -282,6 +550,14 @@ class JobStore:
             )
             self._jobs[job_id] = record
             self._order.append(job_id)
+            self._log(
+                {
+                    "op": "submit",
+                    "id": job_id,
+                    "spec": spec.to_dict(),
+                    "submitted_unix": record.submitted_unix,
+                }
+            )
             self._changed.notify_all()
             return record
 
@@ -311,40 +587,162 @@ class JobStore:
 
     # -- state machine ------------------------------------------------------
 
-    def _transition(self, record: JobRecord, to: JobState) -> None:
+    def _transition(
+        self,
+        record: JobRecord,
+        to: JobState,
+        log_extra: Optional[Dict] = None,
+    ) -> None:
         if to not in _LEGAL[record.state]:
             raise ServiceError(
                 f"job {record.id} cannot go {record.state.value} -> {to.value}"
             )
+        if record.state is JobState.FAILED and to is JobState.QUEUED:
+            # The requeue edge exists only while budget remains:
+            # FAILED is terminal-after-retries-exhausted.
+            if record.retries_remaining <= 0:
+                raise ServiceError(
+                    f"job {record.id} cannot requeue: "
+                    f"{record.attempt} attempt(s) used, "
+                    f"max_retries={record.spec.max_retries} exhausted"
+                )
         record.state = to
         if to is JobState.RUNNING:
             record.started_at = time.monotonic()
+        elif to is JobState.QUEUED:
+            record.finished_at = None
+            record.worker_pid = None
         elif to.terminal:
             record.finished_at = time.monotonic()
+        entry = {"op": "state", "id": record.id, "to": to.value}
+        if log_extra:
+            entry.update(log_extra)
+        self._log(entry)
         self._changed.notify_all()
 
     def claim(self) -> Optional[JobRecord]:
-        """Atomically take the oldest QUEUED job into RUNNING."""
+        """Atomically take the oldest *due* QUEUED job into RUNNING.
+
+        Requeued jobs whose :attr:`JobRecord.retry_after` lies in the
+        future are skipped — backoff is enforced here, at dispatch.
+        """
+        now = time.monotonic()
         with self._changed:
             for job_id in self._order:
                 record = self._jobs[job_id]
-                if record.state is JobState.QUEUED:
-                    self._transition(record, JobState.RUNNING)
-                    return record
+                if record.state is not JobState.QUEUED:
+                    continue
+                if (
+                    record.retry_after is not None
+                    and record.retry_after > now
+                ):
+                    continue
+                record.attempt += 1
+                record.retry_after = None
+                self._transition(
+                    record, JobState.RUNNING,
+                    log_extra={"attempt": record.attempt},
+                )
+                return record
             return None
+
+    def next_retry_in(self) -> Optional[float]:
+        """Seconds until the soonest backoff expires (None if no job
+        is waiting on one) — lets the dispatcher nap intelligently."""
+        now = time.monotonic()
+        soonest: Optional[float] = None
+        with self._lock:
+            for record in self._jobs.values():
+                if (
+                    record.state is JobState.QUEUED
+                    and record.retry_after is not None
+                ):
+                    wait = max(0.0, record.retry_after - now)
+                    if soonest is None or wait < soonest:
+                        soonest = wait
+        return soonest
+
+    def _backoff_delay(self, record: JobRecord) -> float:
+        """Decorrelated jitter: uniform in [base, 3 * previous], capped."""
+        previous = max(record.last_backoff_s, self._backoff_base)
+        delay = min(
+            self._backoff_cap,
+            self._backoff_rng.uniform(self._backoff_base, previous * 3.0),
+        )
+        record.last_backoff_s = delay
+        return delay
+
+    def finish_attempt(
+        self, job_id: str, error: str, immediate: bool = False
+    ) -> JobRecord:
+        """One attempt failed: retry with backoff, or fail for good.
+
+        The pool calls this for worker crashes, reported errors, and
+        deadline timeouts.  With budget left the record lands back in
+        QUEUED (atomically — waiters never see the transient FAILED)
+        with ``retry_after`` set ``immediate`` skips the backoff
+        (daemon-restart recovery).  A requested cancel always wins over
+        a retry.  Returns the record; inspect ``.state`` for the verdict.
+        """
+        with self._changed:
+            record = self.get(job_id)
+            history = {
+                "attempt": record.attempt,
+                "error": error,
+                "run_seconds": (
+                    None
+                    if record.started_at is None
+                    else time.monotonic() - record.started_at
+                ),
+            }
+            if record.cancel_requested:
+                record.error = f"cancelled (attempt {record.attempt}: {error})"
+                record.attempt_history.append(history)
+                self._transition(
+                    record, JobState.CANCELLED,
+                    log_extra={"error": record.error, "history": history},
+                )
+                return record
+            will_retry = record.retries_remaining > 0
+            if will_retry:
+                delay = 0.0 if immediate else self._backoff_delay(record)
+                history["retry_delay_s"] = delay
+            record.error = error
+            record.attempt_history.append(history)
+            self._transition(
+                record, JobState.FAILED,
+                log_extra={"error": error, "history": history},
+            )
+            if will_retry:
+                record.retry_after = (
+                    None if immediate else time.monotonic() + delay
+                )
+                record.error = ""
+                self._transition(
+                    record, JobState.QUEUED,
+                    log_extra={"retry_delay_s": delay},
+                )
+            return record
 
     def mark_done(self, job_id: str, result: JobResult) -> JobRecord:
         with self._changed:
             record = self.get(job_id)
             record.result = result
-            self._transition(record, JobState.DONE)
+            self._transition(
+                record, JobState.DONE,
+                log_extra={"result": result.to_wal_dict()},
+            )
             return record
 
     def mark_failed(self, job_id: str, error: str) -> JobRecord:
+        """Terminal failure, bypassing the retry budget (dispatch
+        errors and other non-retryable conditions)."""
         with self._changed:
             record = self.get(job_id)
             record.error = error
-            self._transition(record, JobState.FAILED)
+            self._transition(
+                record, JobState.FAILED, log_extra={"error": error}
+            )
             return record
 
     def mark_cancelled(self, job_id: str, note: str = "") -> JobRecord:
@@ -352,24 +750,36 @@ class JobStore:
             record = self.get(job_id)
             if note:
                 record.error = note
-            self._transition(record, JobState.CANCELLED)
+            self._transition(
+                record, JobState.CANCELLED, log_extra={"error": record.error}
+            )
             return record
 
     def request_cancel(self, job_id: str) -> JobRecord:
         """Client-facing cancel.
 
-        A QUEUED job is cancelled immediately; for a RUNNING job this
-        only flags ``cancel_requested`` — the pool terminates the
-        worker and completes the transition.  Cancelling a terminal
-        job raises :class:`ServiceError`.
+        A QUEUED job — including one waiting out a retry backoff — is
+        cancelled immediately; for a RUNNING job this only flags
+        ``cancel_requested`` — the pool terminates the worker and
+        completes the transition.  Cancelling a terminal job raises
+        :class:`ServiceError`.
         """
         with self._changed:
             record = self.get(job_id)
             if record.state is JobState.QUEUED:
-                record.error = "cancelled while queued"
-                self._transition(record, JobState.CANCELLED)
+                record.error = (
+                    "cancelled while awaiting retry"
+                    if record.attempt
+                    else "cancelled while queued"
+                )
+                record.retry_after = None
+                self._transition(
+                    record, JobState.CANCELLED,
+                    log_extra={"error": record.error},
+                )
             elif record.state is JobState.RUNNING:
                 record.cancel_requested = True
+                self._log({"op": "cancel_request", "id": record.id})
                 self._changed.notify_all()
             else:
                 raise ServiceError(

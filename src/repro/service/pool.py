@@ -1,17 +1,29 @@
-"""The worker pool: bounded concurrent job execution on processes.
+"""The worker pool: bounded, supervised job execution on processes.
 
-A dispatcher thread claims queued jobs from the :class:`~repro.service.
-jobs.JobStore` whenever a worker slot is free and hands each to a
-watcher thread, which spawns the actual worker *process* (``spawn``
-start method by default — forking a threaded daemon is a deadlock
-lottery) and supervises it:
+A dispatcher thread claims *due* queued jobs from the :class:`~repro.
+service.jobs.JobStore` whenever a worker slot is free (jobs waiting out
+a retry backoff are skipped until their ``retry_after`` passes) and
+hands each to a watcher thread, which spawns the actual worker
+*process* (``spawn`` start method by default — forking a threaded
+daemon is a deadlock lottery) and supervises it:
 
 - result message on the pipe  -> ``DONE`` (on-done callbacks fire);
-- error message on the pipe   -> ``FAILED`` with the worker's detail;
-- silent exit (crash, ``os._exit``, OOM-kill) -> ``FAILED`` with the
-  exit code — the daemon itself never dies with a job;
-- ``cancel_requested`` flag    -> the process is terminated and the job
-  lands in ``CANCELLED``.
+- error message on the pipe   -> the attempt failed; the store retries
+  it with backoff or fails the job for good
+  (:meth:`~repro.service.jobs.JobStore.finish_attempt`);
+- silent exit (crash, ``os._exit``, OOM-kill) -> same, with the exit
+  code in the error — the daemon itself never dies with a job;
+- deadline expiry (``JobSpec.deadline_s`` or the pool default) -> the
+  worker is escalated away (SIGTERM, then SIGKILL after a grace
+  period) and the attempt fails as ``timed out``;
+- ``cancel_requested`` flag    -> the process is escalated away and the
+  job lands in ``CANCELLED``.
+
+The terminate -> kill escalation is what makes the watchdog sound: a
+worker stuck in a signal-ignoring hang (see ``hung_worker`` in
+:mod:`repro.resilience`) still loses its slot within
+``kill_grace_s``.  :attr:`WorkerPool.counters` tallies retries,
+timeouts, kills, and crashes for the ``/metrics`` scrape.
 
 ``drain()`` waits for the backlog to finish (graceful SIGTERM);
 ``stop(drain=False)`` terminates in-flight jobs instead.
@@ -22,9 +34,10 @@ from __future__ import annotations
 import multiprocessing
 import tempfile
 import threading
+import time
 from typing import Callable, Dict, List, Optional
 
-from repro.service.jobs import JobRecord, JobStore
+from repro.service.jobs import JobRecord, JobState, JobStore
 from repro.service.worker import worker_entry
 
 
@@ -45,6 +58,8 @@ class WorkerPool:
         artifact_dir: Optional[str] = None,
         start_method: Optional[str] = None,
         poll_interval: float = 0.05,
+        default_deadline_s: Optional[float] = None,
+        kill_grace_s: float = 5.0,
     ):
         self.store = store
         self.size = max(1, int(workers))
@@ -55,6 +70,10 @@ class WorkerPool:
             start_method or default_start_method()
         )
         self._poll = poll_interval
+        #: Deadline for jobs whose spec sets none (None = unlimited).
+        self.default_deadline_s = default_deadline_s
+        #: Seconds between SIGTERM and the SIGKILL escalation.
+        self.kill_grace_s = max(0.0, kill_grace_s)
         self._slots = threading.Semaphore(self.size)
         self._stop = threading.Event()
         self._lock = threading.Lock()
@@ -63,6 +82,9 @@ class WorkerPool:
         self._watchers: List[threading.Thread] = []
         self._dispatcher: Optional[threading.Thread] = None
         self._on_done: List[Callable[[JobRecord], None]] = []
+        self._counters: Dict[str, int] = {
+            "retries": 0, "timeouts": 0, "kills": 0, "crashes": 0,
+        }
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -85,8 +107,8 @@ class WorkerPool:
         """Stop dispatching; optionally drain the backlog first.
 
         Without ``drain``, queued jobs are cancelled and running worker
-        processes terminated.  Returns True when everything settled
-        within ``timeout``.
+        processes escalated away (terminate, then kill).  Returns True
+        when everything settled within ``timeout``.
         """
         drained = True
         if drain:
@@ -102,13 +124,12 @@ class WorkerPool:
             with self._lock:
                 processes = list(self._active.values())
             for process in processes:
-                try:
-                    process.terminate()
-                except Exception:
-                    pass
+                self._escalate(process)
         if self._dispatcher is not None:
             self._dispatcher.join(timeout=5.0)
-        for watcher in list(self._watchers):
+        with self._lock:
+            watchers = list(self._watchers)
+        for watcher in watchers:
             watcher.join(timeout=5.0)
         return drained
 
@@ -124,6 +145,25 @@ class WorkerPool:
     def utilization(self) -> float:
         """Busy fraction of the pool, 0.0 - 1.0."""
         return self.busy_workers / self.size
+
+    @property
+    def watcher_count(self) -> int:
+        """Live watcher threads (bounded by the pool size — watchers
+        prune themselves on completion)."""
+        with self._lock:
+            return len(self._watchers)
+
+    @property
+    def counters(self) -> Dict[str, int]:
+        """Snapshot of the supervision tallies: ``retries`` (attempts
+        requeued), ``timeouts`` (deadline expiries), ``kills`` (SIGKILL
+        escalations), ``crashes`` (silent worker exits)."""
+        with self._lock:
+            return dict(self._counters)
+
+    def _count(self, key: str, by: int = 1) -> None:
+        with self._lock:
+            self._counters[key] += by
 
     def on_done(self, callback: Callable[[JobRecord], None]) -> None:
         """Register a callback fired after a job lands in DONE."""
@@ -141,7 +181,12 @@ class WorkerPool:
             record = self.store.claim()
             if record is None:
                 self._slots.release()
-                self._stop.wait(self._poll)
+                # Nap until the next backoff expires (capped at the
+                # poll interval so fresh submissions stay snappy).
+                nap = self.store.next_retry_in()
+                self._stop.wait(
+                    self._poll if nap is None else min(self._poll, nap)
+                )
                 continue
             with self._lock:
                 self._busy += 1
@@ -149,7 +194,8 @@ class WorkerPool:
                 target=self._run_job, args=(record,),
                 name=f"repro-service-{record.id}", daemon=True,
             )
-            self._watchers.append(watcher)
+            with self._lock:
+                self._watchers.append(watcher)
             watcher.start()
 
     def _run_job(self, record: JobRecord) -> None:
@@ -166,16 +212,48 @@ class WorkerPool:
             with self._lock:
                 self._busy -= 1
                 self._active.pop(record.id, None)
+                try:
+                    self._watchers.remove(threading.current_thread())
+                except ValueError:
+                    pass
             self._slots.release()
+
+    def _escalate(self, process) -> bool:
+        """Terminate a worker, escalating to SIGKILL after the grace
+        period.  Returns True when the kill hammer was needed."""
+        try:
+            process.terminate()
+        except Exception:
+            pass
+        process.join(timeout=self.kill_grace_s)
+        if not process.is_alive():
+            return False
+        try:
+            process.kill()
+        except Exception:
+            pass
+        process.join(timeout=5.0)
+        self._count("kills")
+        return True
+
+    def _finish_attempt(self, record: JobRecord, error: str) -> None:
+        """Route an attempt failure through the store's retry logic and
+        keep the tallies honest."""
+        finished = self.store.finish_attempt(record.id, error)
+        if finished.state is JobState.QUEUED:
+            self._count("retries")
 
     def _supervise(self, record: JobRecord) -> None:
         receiver, sender = self._context.Pipe(duplex=False)
         # Not daemonic: sharded replay jobs fan out over their own
         # child processes, which daemonic processes may not create.
-        # Cleanup is explicit instead — stop() terminates the actives.
+        # Cleanup is explicit instead — stop() escalates the actives.
         process = self._context.Process(
             target=worker_entry,
-            args=(sender, record.id, record.spec.to_dict(), self.artifact_dir),
+            args=(
+                sender, record.id, record.spec.to_dict(), self.artifact_dir,
+                record.attempt,
+            ),
             daemon=False,
         )
         process.start()
@@ -183,14 +261,30 @@ class WorkerPool:
         record.worker_pid = process.pid
         with self._lock:
             self._active[record.id] = process
+        deadline_s = (
+            record.spec.deadline_s
+            if record.spec.deadline_s is not None
+            else self.default_deadline_s
+        )
+        deadline_at = (
+            None if deadline_s is None else time.monotonic() + deadline_s
+        )
         message = None
         try:
             while True:
                 if record.cancel_requested:
-                    process.terminate()
-                    process.join(timeout=5.0)
+                    self._escalate(process)
                     self.store.mark_cancelled(
                         record.id, "cancelled while running"
+                    )
+                    return
+                if deadline_at is not None and time.monotonic() > deadline_at:
+                    self._escalate(process)
+                    self._count("timeouts")
+                    self._finish_attempt(
+                        record,
+                        f"timed out after {deadline_s:g}s "
+                        f"(attempt {record.attempt})",
                     )
                     return
                 if receiver.poll(self._poll):
@@ -211,8 +305,9 @@ class WorkerPool:
             receiver.close()
         process.join(timeout=10.0)
         if message is None:
-            self.store.mark_failed(
-                record.id,
+            self._count("crashes")
+            self._finish_attempt(
+                record,
                 f"worker crashed without reporting "
                 f"(exit code {process.exitcode})",
             )
@@ -224,4 +319,4 @@ class WorkerPool:
                 except Exception:
                     pass
         else:
-            self.store.mark_failed(record.id, str(message[1]))
+            self._finish_attempt(record, str(message[1]))

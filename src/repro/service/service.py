@@ -21,7 +21,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.errors import ServiceError
+from repro.errors import QueueFullError, ServiceError
 from repro.obs import MetricsRegistry, Span
 from repro.obs.export import lane_trace_json
 from repro.service.collectors import CollectorPlugin, load_collectors
@@ -44,6 +44,26 @@ class ServiceConfig:
     start_method: Optional[str] = None
     #: Seconds a graceful shutdown waits for the backlog.
     drain_timeout: float = 60.0
+    #: Durable state directory: the job WAL lives at
+    #: ``<state_dir>/jobs.wal`` and is replayed on startup, so a
+    #: SIGKILLed daemon restarted with the same directory recovers
+    #: every job.  ``None`` keeps the store in memory only.
+    state_dir: Optional[str] = None
+    #: Admission limit: submissions beyond this many QUEUED jobs are
+    #: rejected with :class:`~repro.errors.QueueFullError` (HTTP 429).
+    #: ``None`` = unbounded.
+    max_queue_depth: Optional[int] = None
+    #: Deadline for jobs whose spec sets none (``None`` = unlimited).
+    default_deadline_s: Optional[float] = None
+    #: Retry backoff bounds (decorrelated jitter draws within them).
+    backoff_base_s: float = 0.5
+    backoff_cap_s: float = 30.0
+    #: Seconds between SIGTERM and the SIGKILL escalation for workers
+    #: that will not die politely.
+    kill_grace_s: float = 5.0
+    #: Service-scope chaos plan (tests/CI): a plan with
+    #: ``torn_wal_after`` makes the WAL writer die mid-entry once.
+    fault_plan: Optional[object] = None
 
 
 class ProfilingService:
@@ -51,12 +71,29 @@ class ProfilingService:
 
     def __init__(self, config: Optional[ServiceConfig] = None):
         self.config = config or ServiceConfig()
-        self.store = JobStore()
+        injector = None
+        if self.config.fault_plan is not None:
+            from repro.resilience import FaultInjector
+
+            injector = FaultInjector(self.config.fault_plan)
+        self.fault_injector = injector
+        wal_path = None
+        if self.config.state_dir:
+            os.makedirs(self.config.state_dir, exist_ok=True)
+            wal_path = os.path.join(self.config.state_dir, "jobs.wal")
+        self.store = JobStore(
+            wal_path=wal_path,
+            backoff_base_s=self.config.backoff_base_s,
+            backoff_cap_s=self.config.backoff_cap_s,
+            fault_injector=injector,
+        )
         self.pool = WorkerPool(
             self.store,
             workers=self.config.workers,
             artifact_dir=self.config.artifact_dir,
             start_method=self.config.start_method,
+            default_deadline_s=self.config.default_deadline_s,
+            kill_grace_s=self.config.kill_grace_s,
         )
         if self.config.artifact_dir:
             os.makedirs(self.config.artifact_dir, exist_ok=True)
@@ -83,9 +120,11 @@ class ProfilingService:
     def shutdown(self, drain: bool = True) -> bool:
         """Stop the service; with ``drain`` the backlog finishes first."""
         self._accepting = False
-        return self.pool.stop(
+        settled = self.pool.stop(
             drain=drain, timeout=self.config.drain_timeout
         )
+        self.store.close()
+        return settled
 
     @property
     def uptime_seconds(self) -> float:
@@ -94,9 +133,28 @@ class ProfilingService:
     # -- job API ------------------------------------------------------------
 
     def submit(self, spec: JobSpec) -> JobRecord:
-        """Queue a job for the pool; raises once shutdown began."""
+        """Queue a job for the pool.
+
+        Raises :class:`ServiceError` once shutdown began, and
+        :class:`~repro.errors.QueueFullError` when the backlog exceeds
+        ``max_queue_depth`` — admission control keeps a flooded daemon
+        answering fast 429s instead of silently building an unbounded
+        queue.
+        """
         if not self._accepting:
             raise ServiceError("service is shutting down; not accepting jobs")
+        limit = self.config.max_queue_depth
+        if limit is not None:
+            depth = self.store.queue_depth()
+            if depth >= limit:
+                # A coarse hint: half a typical job per queued entry,
+                # bounded so clients never sleep for minutes on it.
+                retry_after = min(30.0, max(1.0, 0.5 * depth))
+                raise QueueFullError(
+                    f"queue is full ({depth} queued >= limit {limit}); "
+                    f"retry in ~{retry_after:g}s",
+                    retry_after_s=retry_after,
+                )
         return self.store.submit(spec)
 
     def cancel(self, job_id: str) -> JobRecord:
@@ -157,6 +215,16 @@ class ProfilingService:
             "busy_workers": self.pool.busy_workers,
             "artifact_dir": self.pool.artifact_dir,
             "jobs": self.store.counts(),
+            "supervision": self.pool.counters,
+            "max_queue_depth": self.config.max_queue_depth,
+            "default_deadline_s": self.config.default_deadline_s,
+            "durable": self.store.wal is not None,
+            "recovery": {
+                "recovered_jobs": self.store.recovered_jobs,
+                "requeued": self.store.requeued_on_recovery,
+                "failed": self.store.failed_on_recovery,
+                "wal_torn_on_load": self.store.wal_torn_on_load,
+            },
             "collectors": [
                 {"name": plugin.name, "path": plugin.path}
                 for plugin in self.collectors

@@ -18,6 +18,7 @@ one-shot tool's.
 from __future__ import annotations
 
 import os
+import signal
 import time
 import warnings
 from typing import Dict, Optional
@@ -25,7 +26,7 @@ from typing import Dict, Optional
 from repro.errors import DegradedProfileWarning, ServiceError
 from repro.gpu.timing import A100, RTX_2080_TI
 from repro.obs import MetricsRegistry, SpanTracer
-from repro.resilience import FaultPlan
+from repro.resilience import FaultKind, FaultPlan, draw_service_fault
 from repro.service.jobs import JobResult, JobSpec
 from repro.tool.config import ToolConfig
 from repro.tool.valueexpert import ValueExpert
@@ -49,20 +50,66 @@ def _platform(name: str):
 
 
 def build_config(spec: JobSpec) -> ToolConfig:
-    """The ToolConfig a job spec resolves to (observability always on)."""
+    """The ToolConfig a job spec resolves to (observability always on).
+
+    An explicit ``spec.faults`` plan reaches the pipeline only when it
+    actually carries pipeline faults and is not service-scoped —
+    service-scope plans (hung/slow/crashing workers, torn WAL) act on
+    the fleet layer, not on the profiling run itself.
+    """
     fault_plan: Optional[FaultPlan] = None
     if spec.chaos_seed is not None:
         fault_plan = FaultPlan.chaos(spec.chaos_seed)
+    else:
+        plan = spec.fault_plan()
+        if (
+            plan is not None
+            and plan.has_pipeline_faults
+            and plan.scope != "service"
+        ):
+            fault_plan = plan
     return ToolConfig(
         observability=True, fault_plan=fault_plan, **spec.options
     )
 
 
-def execute_job(job_id: str, spec_dict: Dict, artifact_dir: str) -> JobResult:
+def inject_service_fault(spec: JobSpec, attempt: int) -> None:
+    """Act out the service-scope fault this attempt drew, if any.
+
+    Deterministic per ``(plan.seed, attempt)`` — a retried attempt rolls
+    fresh but reproducible dice, so a chaos job that hangs on attempt 1
+    can succeed on attempt 2 under the same seed, every run.
+
+    - ``hung_worker``: ignore SIGTERM and sleep forever — only the
+      pool's SIGKILL escalation can reclaim the slot;
+    - ``worker_crash``: hard-exit before reporting, like a segfault;
+    - ``slow_worker``: stall for ``slow_worker_delay_s`` before working
+      (trips tight deadlines; merely pads generous ones).
+    """
+    plan = spec.fault_plan()
+    if plan is None or not plan.has_service_faults:
+        return
+    fault = draw_service_fault(plan, attempt)
+    if fault is None:
+        return
+    if fault is FaultKind.HUNG_WORKER:
+        signal.signal(signal.SIGTERM, signal.SIG_IGN)
+        while True:
+            time.sleep(3600)
+    elif fault is FaultKind.WORKER_CRASH:
+        os._exit(17)
+    elif fault is FaultKind.SLOW_WORKER:
+        time.sleep(plan.slow_worker_delay_s)
+
+
+def execute_job(
+    job_id: str, spec_dict: Dict, artifact_dir: str, attempt: int = 1
+) -> JobResult:
     """Run one job to completion; returns its result (raises on error)."""
     spec = JobSpec.from_dict(spec_dict)
     if os.environ.get(CRASH_ENV) == spec.display_name:
         os._exit(13)
+    inject_service_fault(spec, attempt)
     config = build_config(spec)
     registry = MetricsRegistry()
     tracer = SpanTracer(label=f"{job_id}: {spec.display_name}")
@@ -107,12 +154,18 @@ def execute_job(job_id: str, spec_dict: Dict, artifact_dir: str) -> JobResult:
     )
 
 
-def worker_entry(conn, job_id: str, spec_dict: Dict, artifact_dir: str) -> None:
+def worker_entry(
+    conn,
+    job_id: str,
+    spec_dict: Dict,
+    artifact_dir: str,
+    attempt: int = 1,
+) -> None:
     """Process entry point: run the job, send ("ok", result) or
     ("error", detail) over the pipe.  A hard crash sends nothing — the
     pool notices the silent exit and fails the job with the exit code."""
     try:
-        result = execute_job(job_id, spec_dict, artifact_dir)
+        result = execute_job(job_id, spec_dict, artifact_dir, attempt)
         conn.send(("ok", result))
     except BaseException as exc:  # noqa: BLE001 — isolate *everything*
         try:

@@ -13,6 +13,8 @@ Commands:
   profile and print its :class:`~repro.resilience.HealthReport`; the
   exit code stays 0 however degraded the run was — degradation is loud
   in the report, invisible in the exit code (``docs/resilience.md``);
+  ``--shrink`` greedily minimizes a failing ``--chaos`` plan to the
+  fewest fault fields that still reproduce the run's symptom;
 - ``lint [--workload NAME | --all]`` — run the static value-pattern
   linter (:mod:`repro.staticlint`) over a workload's kernels (or every
   registered workload), cross-check findings against the dynamic
@@ -26,7 +28,9 @@ Commands:
   accepting profiling jobs, a worker-process pool executing them
   concurrently, and a Prometheus scrape endpoint (``/metrics``) fed by
   pluggable ``collector_*.py`` plug-ins (``docs/service.md``); SIGTERM
-  drains the backlog before exiting.
+  drains the backlog before exiting; ``--state-dir`` makes the job
+  store durable (WAL replay on restart), ``--max-queue`` bounds
+  admission, ``--default-deadline`` arms the hung-worker watchdog.
 
 Any :class:`~repro.errors.ReproError` exits nonzero with a one-line
 message; pass ``--debug`` (before the subcommand) for the full
@@ -126,9 +130,9 @@ def _cmd_trace(args) -> int:
     return 0
 
 
-def _cmd_health(args) -> int:
+def _run_health(args, plan):
+    """One resilient profile under ``plan``; returns its HealthReport."""
     workload = get_workload(args.workload)(scale=args.scale)
-    plan = FaultPlan.chaos(args.seed) if args.chaos else None
     tool = ValueExpert(
         ToolConfig(
             resilient=True,
@@ -145,11 +149,80 @@ def _cmd_health(args) -> int:
             platform=_platform(args.platform),
             name=workload.name,
         )
+    return profile
+
+
+#: Shrinker failure predicates, strongest first: the shrunk plan must
+#: reproduce the *original* run's most specific symptom, not merely
+#: "something degraded".
+_SHRINK_SYMPTOMS = (
+    ("workload_aborted", lambda h: h.workload_aborted),
+    ("corrupted_copies", lambda h: h.corrupted_copies > 0),
+    ("alloc_failures", lambda h: h.alloc_failures > 0),
+    ("torn_trace", lambda h: h.torn_trace or h.trace_salvaged),
+    ("dropped_records", lambda h: h.dropped_records > 0),
+    ("quarantined_launches", lambda h: h.quarantined_launches > 0),
+    ("degraded", lambda h: not h.pristine),
+)
+
+
+def _shrink_plan(args, plan, health):
+    """Greedily minimize a failing chaos plan.
+
+    Picks the original run's most specific symptom, then tries zeroing
+    each active fault field in turn, keeping the zero whenever the
+    symptom still reproduces.  Deterministic workload + seeded plan
+    makes every trial run exact, so one pass suffices.  Returns
+    ``(minimal_plan, symptom)`` or ``(None, None)`` when the original
+    run showed nothing to shrink.
+    """
+    import dataclasses
+
+    symptom = None
+    reproduces = None
+    for name, predicate in _SHRINK_SYMPTOMS:
+        if predicate(health):
+            symptom, reproduces = name, predicate
+            break
+    if symptom is None:
+        return None, None
+    defaults = FaultPlan()
+    current = plan
+    for name in plan.active_fields():
+        candidate = dataclasses.replace(
+            current, **{name: getattr(defaults, name)}
+        )
+        if reproduces(_run_health(args, candidate).health):
+            current = candidate
+            print(f"shrink: dropped {name} ({symptom} persists)")
+        else:
+            print(f"shrink: kept {name} (needed for {symptom})")
+    return current, symptom
+
+
+def _cmd_health(args) -> int:
+    plan = FaultPlan.chaos(args.seed) if args.chaos else None
+    if args.shrink and plan is None:
+        print("repro.tool: error: --shrink requires --chaos",
+              file=sys.stderr)
+        return 2
+    profile = _run_health(args, plan)
     health = profile.health
     print(f"health of {profile.workload_name} "
           f"[{profile.platform_name}]"
           + (f" under chaos seed {args.seed}" if args.chaos else ""))
     print(health.summary())
+    shrunk = None
+    if args.shrink:
+        print()
+        shrunk, symptom = _shrink_plan(args, plan, health)
+        if shrunk is None:
+            print("shrink: run was pristine; nothing to reproduce")
+        else:
+            print(f"minimal plan reproducing {symptom} "
+                  f"({len(shrunk.active_fields())} of "
+                  f"{len(plan.active_fields())} fault fields):")
+            print(json.dumps(shrunk.to_dict(), indent=2))
     if args.json:
         payload = {
             "workload": profile.workload_name,
@@ -157,6 +230,8 @@ def _cmd_health(args) -> int:
             "plan": None if plan is None else plan.to_dict(),
             "health": health.to_dict(),
         }
+        if shrunk is not None:
+            payload["shrunk_plan"] = shrunk.to_dict()
         with open(args.json, "w") as handle:
             json.dump(payload, handle, indent=2)
             handle.write("\n")
@@ -222,6 +297,9 @@ def _cmd_serve(args) -> int:
             artifact_dir=args.spool,
             collector_dirs=tuple(args.collectors or ()),
             drain_timeout=args.drain_timeout,
+            state_dir=args.state_dir,
+            max_queue_depth=args.max_queue,
+            default_deadline_s=args.default_deadline,
         )
     )
     service.start()
@@ -230,6 +308,14 @@ def _cmd_serve(args) -> int:
     print(f"repro.tool serve: listening on http://{host}:{port} "
           f"({service.pool.size} workers, artifacts in "
           f"{service.pool.artifact_dir})", flush=True)
+    if args.state_dir:
+        print(f"repro.tool serve: durable state in {args.state_dir} "
+              f"(recovered {service.store.recovered_jobs} jobs: "
+              f"{service.store.requeued_on_recovery} requeued, "
+              f"{service.store.failed_on_recovery} failed"
+              + (", WAL tail was torn" if service.store.wal_torn_on_load
+                 else "")
+              + ")", flush=True)
 
     def _shutdown(signum, frame):
         # Graceful drain: stop accepting, let the backlog finish (up
@@ -357,6 +443,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--budget", type=int, default=None,
         help="collector mirror budget in bytes (degradation ladder)",
     )
+    health.add_argument(
+        "--shrink", action="store_true",
+        help="greedily minimize the chaos plan to the fewest fault "
+        "fields that still reproduce the run's symptom (with --chaos)",
+    )
     health.add_argument("--json", help="write the health report as JSON")
 
     lint = sub.add_parser(
@@ -430,6 +521,23 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--drain-timeout", type=float, default=60.0,
         help="seconds a SIGTERM drain waits for the backlog",
+    )
+    serve.add_argument(
+        "--state-dir", metavar="DIR",
+        help="durable state directory: the job WAL lives here and is "
+        "replayed on startup, so a killed daemon restarted with the "
+        "same directory recovers every job",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=None, metavar="N",
+        help="admission limit: reject submissions beyond N queued jobs "
+        "with HTTP 429 + Retry-After (default: unbounded)",
+    )
+    serve.add_argument(
+        "--default-deadline", type=float, default=None, metavar="SECONDS",
+        help="deadline for jobs whose spec sets none; expired workers "
+        "are terminated (then killed) and the attempt fails as timed "
+        "out (default: unlimited)",
     )
     return parser
 

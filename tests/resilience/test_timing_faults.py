@@ -1,0 +1,131 @@
+"""Latency/jitter timing faults: perturb the clock, never the values.
+
+The contract these tests pin down: a pure timing plan (multipliers,
+jitter; nothing else) changes the modelled wall-clock but leaves every
+value observation untouched — the pattern analysis is byte-identical
+to an unfaulted run.  And like every fault, timing perturbations are
+seeded: the same plan replays the same clock.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+
+from repro.errors import DegradedProfileWarning
+from repro.gpu.runtime import GpuRuntime
+from repro.gpu.timing import RTX_2080_TI
+from repro.resilience import FaultInjector, FaultKind, FaultPlan
+from repro.tool.config import ToolConfig
+from repro.tool.valueexpert import ValueExpert
+from repro.workloads import get_workload
+
+SCALE = 0.25
+
+
+def _profile_with_runtime(plan):
+    """One bfs profile under ``plan``; returns (profile, runtime)."""
+    workload = get_workload("rodinia/bfs")(scale=SCALE)
+    runtime = GpuRuntime(platform=RTX_2080_TI)
+    config = (
+        ToolConfig()
+        if plan is None
+        else ToolConfig(resilient=True, fault_plan=plan)
+    )
+    with warnings.catch_warnings():
+        # Timing perturbations count as degradation; the reports are
+        # asserted directly here.
+        warnings.simplefilter("ignore", DegradedProfileWarning)
+        profile = ValueExpert(config).profile(
+            workload.run_baseline,
+            runtime=runtime,
+            platform=RTX_2080_TI,
+            name=workload.name,
+        )
+    return profile, runtime
+
+
+def test_kernel_multiplier_scales_the_modelled_clock():
+    _, baseline = _profile_with_runtime(None)
+    plan = FaultPlan(seed=11, kernel_latency_multiplier=3.0)
+    _, slowed = _profile_with_runtime(plan)
+    # Not 3x overall — memcpy time is untouched — but the kernel share
+    # of the makespan must visibly stretch.
+    assert slowed.wall_clock_s > baseline.wall_clock_s * 1.2
+
+
+def test_memcpy_multiplier_scales_the_modelled_clock():
+    _, baseline = _profile_with_runtime(None)
+    plan = FaultPlan(seed=11, memcpy_latency_multiplier=4.0)
+    _, slowed = _profile_with_runtime(plan)
+    assert slowed.wall_clock_s > baseline.wall_clock_s
+
+
+def test_jitter_is_bounded_and_seeded():
+    plan = FaultPlan(seed=23, timing_jitter=0.1)
+    _, first = _profile_with_runtime(plan)
+    _, second = _profile_with_runtime(plan)
+    # Same seed -> the same perturbed clock, run after run.
+    assert first.wall_clock_s == second.wall_clock_s
+    _, baseline = _profile_with_runtime(None)
+    # +-10% jitter keeps the total inside a generous band.
+    assert 0.8 * baseline.wall_clock_s < first.wall_clock_s
+    assert first.wall_clock_s < 1.2 * baseline.wall_clock_s
+
+
+def test_pure_timing_faults_leave_pattern_hits_byte_identical():
+    clean, _ = _profile_with_runtime(None)
+    plan = FaultPlan(
+        seed=7,
+        kernel_latency_multiplier=2.5,
+        memcpy_latency_multiplier=0.5,
+        timing_jitter=0.15,
+    )
+    perturbed, _ = _profile_with_runtime(plan)
+    clean_dict = json.loads(clean.to_json())
+    perturbed_dict = json.loads(perturbed.to_json())
+    # Timing faults are visible in the health ledger...
+    assert perturbed_dict.pop("health")["faults_injected"] > 0
+    clean_dict.pop("health", None)
+    # ... and nowhere else: hits, flow, stats — byte-identical.
+    assert json.dumps(perturbed_dict, sort_keys=True) == json.dumps(
+        clean_dict, sort_keys=True
+    )
+
+
+def test_empty_timing_plan_is_identity():
+    injector = FaultInjector(FaultPlan(seed=3))
+    assert injector.perturb_kernel_time(1.25) == 1.25
+    assert injector.perturb_memcpy_time(0.5) == 0.5
+    assert injector.counts.get(FaultKind.LATENCY, 0) == 0
+
+
+def test_latency_counts_accumulate_without_event_flood():
+    plan = FaultPlan(seed=5, timing_jitter=0.05)
+    injector = FaultInjector(plan)
+    for _ in range(100):
+        injector.perturb_kernel_time(1.0)
+    assert injector.counts[FaultKind.LATENCY] == 100
+    # Per-perturbation log lines would swamp the degradation ledger.
+    assert len(injector.events) == 0
+
+
+def test_perturbed_times_stay_positive():
+    plan = FaultPlan(seed=13, timing_jitter=0.3)
+    injector = FaultInjector(plan)
+    assert all(
+        injector.perturb_kernel_time(1e-9) > 0 for _ in range(1000)
+    )
+
+
+def test_chaos_plans_may_carry_timing_faults():
+    seeds_with_timing = [
+        seed
+        for seed in range(20)
+        if FaultPlan.chaos(seed).has_timing_faults
+    ]
+    assert seeds_with_timing  # the chaos space sweeps timing too
+    for seed in seeds_with_timing:
+        plan = FaultPlan.chaos(seed)
+        assert plan.kernel_latency_multiplier > 0
+        assert 0 <= plan.timing_jitter < 1

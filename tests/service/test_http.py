@@ -144,3 +144,28 @@ def test_delete_cancels(api):
         # The queue drained faster than the DELETE: terminal already.
         assert code == 400
     api.service.store.wait_idle(timeout=120.0)
+
+
+def test_queue_full_is_429_with_retry_after(service_factory):
+    service = service_factory(max_queue_depth=0)
+    server = serve_forever(service)
+    host, port = server.server_address[:2]
+    try:
+        request = urllib.request.Request(
+            f"http://{host}:{port}/jobs",
+            data=json.dumps(
+                {"workload": "rodinia/bfs", "scale": SCALE}
+            ).encode(),
+        )
+        request.add_header("Content-Type", "application/json")
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=30)
+        error = excinfo.value
+        assert error.code == 429
+        assert int(error.headers["Retry-After"]) >= 1
+        payload = json.loads(error.read().decode())
+        assert "queue is full" in payload["error"]
+        assert payload["retry_after_s"] >= 1.0
+    finally:
+        server.shutdown()
+        server.server_close()

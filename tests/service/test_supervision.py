@@ -1,0 +1,142 @@
+"""Pool supervision end-to-end: deadlines, escalation, retries, 429s.
+
+These tests run real worker processes under service-scope fault plans
+(:meth:`FaultPlan` fields ``hung_worker_rate`` etc.).  The load-bearing
+claims from the issue: a hung worker never wedges a pool slot (the
+SIGTERM -> SIGKILL escalation reclaims it within the deadline budget),
+retried attempts roll fresh per-attempt dice, and every supervision
+event lands on ``/metrics``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import QueueFullError
+from repro.resilience import FaultKind, FaultPlan, draw_service_fault
+from repro.service import JobSpec, JobState
+
+#: Hung/crash attempts never run the workload, so the scale only pays
+#: off on the final (successful) attempt.
+SCALE = 0.2
+
+#: A seed whose 0.6 crash-rate plan crashes attempt 1 and spares
+#: attempt 2 (verified by test_crash_seed_behaves_as_documented).
+CRASH_SEED = 6
+
+ALWAYS_HANG = {"seed": 3, "hung_worker_rate": 1.0, "scope": "service"}
+
+
+@pytest.fixture
+def supervised(service_factory):
+    """A 2-worker service with fast backoff and a 1s kill grace."""
+    return service_factory(
+        backoff_base_s=0.05, backoff_cap_s=0.1, kill_grace_s=1.0
+    )
+
+
+def test_crash_seed_behaves_as_documented():
+    plan = FaultPlan(seed=CRASH_SEED, worker_crash_rate=0.6, scope="service")
+    assert draw_service_fault(plan, 1) is FaultKind.WORKER_CRASH
+    assert draw_service_fault(plan, 2) is None
+
+
+def test_hung_worker_times_out_retries_and_fails(supervised):
+    record = supervised.submit(
+        JobSpec(
+            workload="rodinia/bfs", scale=SCALE, faults=ALWAYS_HANG,
+            deadline_s=1.5, max_retries=1,
+        )
+    )
+    record = supervised.store.wait(record.id, timeout=90)
+    assert record.state is JobState.FAILED
+    assert "timed out after 1.5s" in record.error
+    assert record.attempt == 2
+    assert len(record.attempt_history) == 2
+    counters = supervised.pool.counters
+    assert counters["timeouts"] == 2
+    assert counters["retries"] == 1
+    # The hang ignores SIGTERM, so both reclaims needed the hammer.
+    assert counters["kills"] == 2
+
+
+def test_hung_worker_never_wedges_the_slot(supervised):
+    """After a hung job is escalated away, the freed slot runs a clean
+    job to completion — the acceptance criterion from the issue."""
+    hung = supervised.submit(
+        JobSpec(
+            workload="rodinia/bfs", scale=SCALE, faults=ALWAYS_HANG,
+            deadline_s=1.0, max_retries=0,
+        )
+    )
+    supervised.store.wait(hung.id, timeout=60)
+    clean = supervised.submit(JobSpec(workload="rodinia/bfs", scale=SCALE))
+    clean = supervised.store.wait(clean.id, timeout=60)
+    assert clean.state is JobState.DONE, clean.error
+    assert supervised.pool.busy_workers == 0
+
+
+def test_crash_retries_with_fresh_dice_then_succeeds(supervised):
+    plan = {"seed": CRASH_SEED, "worker_crash_rate": 0.6, "scope": "service"}
+    record = supervised.submit(
+        JobSpec(
+            workload="rodinia/bfs", scale=SCALE, faults=plan, max_retries=2,
+        )
+    )
+    record = supervised.store.wait(record.id, timeout=90)
+    assert record.state is JobState.DONE, record.error
+    assert record.attempt == 2  # attempt 1 crashed, attempt 2 ran clean
+    assert "exit code" in record.attempt_history[0]["error"]
+    assert supervised.pool.counters["crashes"] >= 1
+
+
+def test_default_deadline_applies_when_spec_sets_none(service_factory):
+    service = service_factory(
+        default_deadline_s=1.0, kill_grace_s=1.0,
+    )
+    record = service.submit(
+        JobSpec(workload="rodinia/bfs", scale=SCALE, faults=ALWAYS_HANG)
+    )
+    record = service.store.wait(record.id, timeout=60)
+    assert record.state is JobState.FAILED
+    assert "timed out after 1s" in record.error
+
+
+def test_watchers_prune_themselves(supervised):
+    records = [
+        supervised.submit(JobSpec(workload="rodinia/bfs", scale=SCALE))
+        for _ in range(3)
+    ]
+    for record in records:
+        assert supervised.store.wait(record.id, timeout=90).state is (
+            JobState.DONE
+        )
+    assert supervised.pool.drain(timeout=10)
+    assert supervised.pool.watcher_count == 0
+
+
+def test_queue_full_rejected_with_retry_hint(service_factory):
+    service = service_factory(max_queue_depth=0)
+    with pytest.raises(QueueFullError) as excinfo:
+        service.submit(JobSpec(workload="rodinia/bfs", scale=SCALE))
+    assert excinfo.value.retry_after_s >= 1.0
+    assert "queue is full" in str(excinfo.value)
+
+
+def test_supervision_series_on_metrics(supervised):
+    record = supervised.submit(
+        JobSpec(
+            workload="rodinia/bfs", scale=SCALE, faults=ALWAYS_HANG,
+            deadline_s=1.0, max_retries=1,
+        )
+    )
+    supervised.store.wait(record.id, timeout=90)
+    scrape = supervised.scrape()
+    assert "repro_job_timeouts_total 2" in scrape
+    assert "repro_job_retries_total 1" in scrape
+    assert "repro_worker_kills_total 2" in scrape
+    assert "repro_worker_crashes_total 0" in scrape
+    assert "repro_service_durable 0" in scrape
+    status = supervised.status()
+    assert status["supervision"]["timeouts"] == 2
+    assert status["recovery"]["recovered_jobs"] == 0

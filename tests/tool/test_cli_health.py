@@ -70,3 +70,37 @@ def test_tool_cli_debug_reraises(monkeypatch):
     monkeypatch.setattr(tool_cli, "_cmd_health", boom)
     with pytest.raises(AnalysisError):
         tool_cli.main(["--debug", "health", "rodinia/bfs"])
+
+
+def test_health_shrink_requires_chaos(capsys):
+    code = tool_cli.main(
+        ["health", "rodinia/bfs", "--scale", "0.25", "--shrink"]
+    )
+    assert code == 2
+    assert "--shrink requires --chaos" in capsys.readouterr().err
+
+
+def test_health_shrink_prints_minimal_plan(tmp_path, capsys):
+    """The shrinker zeroes fault fields greedily and prints a plan
+    that still reproduces the run's symptom, as JSON."""
+    from repro.resilience import FaultPlan
+
+    artifact = tmp_path / "health.json"
+    code = tool_cli.main(
+        [
+            "health", "rodinia/bfs", "--scale", "0.25",
+            "--chaos", "--seed", "2", "--shrink", "--json", str(artifact),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "minimal plan reproducing" in out
+    assert "shrink: " in out
+
+    payload = json.loads(artifact.read_text())
+    original = FaultPlan.from_dict(payload["plan"])
+    shrunk = FaultPlan.from_dict(payload["shrunk_plan"])
+    # Never grows, and what remains is a subset of the original fields.
+    assert len(shrunk.active_fields()) <= len(original.active_fields())
+    assert set(shrunk.active_fields()) <= set(original.active_fields())
+    assert not shrunk.is_empty  # it still reproduces a symptom
