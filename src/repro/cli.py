@@ -123,7 +123,10 @@ def _cmd_record(args) -> int:
     )
     recorder.attach(runtime)
     try:
-        workload.run_baseline(runtime)
+        if args.optimized:
+            workload.run_optimized(runtime)
+        else:
+            workload.run_baseline(runtime)
     finally:
         recorder.detach()
         nbytes = recorder.close()
@@ -295,6 +298,12 @@ def build_parser() -> argparse.ArgumentParser:
     record.add_argument(
         "--out", default=None,
         help="output path (default: <workload>.vetrace)",
+    )
+    record.add_argument(
+        "--optimized", action="store_true",
+        help="record the workload's optimized variant (every Table 4 "
+        "fix applied) instead of the baseline — e.g. the reference "
+        "side of a `repro.tool trace-diff` regression check",
     )
 
     replay = sub.add_parser(

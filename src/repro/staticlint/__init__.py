@@ -32,6 +32,20 @@ from typing import TYPE_CHECKING
 _EXPORTS = {
     "BasicBlock": "repro.staticlint.cfg",
     "ControlFlowGraph": "repro.staticlint.cfg",
+    "build_cfg": "repro.staticlint.cfg",
+    "cfg_cache_stats": "repro.staticlint.cfg",
+    "clear_cfg_cache": "repro.staticlint.cfg",
+    "BlockFeatures": "repro.staticlint.similarity",
+    "CfgFingerprint": "repro.staticlint.similarity",
+    "FunctionMatch": "repro.staticlint.similarity",
+    "MatchReport": "repro.staticlint.similarity",
+    "MatchVerdict": "repro.staticlint.similarity",
+    "fingerprint": "repro.staticlint.similarity",
+    "match_functions": "repro.staticlint.similarity",
+    # NB: the similarity *function* is not re-exported here — the name
+    # would collide with the submodule itself (importing the submodule
+    # binds it on the package, shadowing any lazy export).  Import it
+    # as `from repro.staticlint.similarity import similarity`.
     "CrossCheckReport": "repro.staticlint.crosscheck",
     "cross_check": "repro.staticlint.crosscheck",
     "Direction": "repro.staticlint.dataflow",
@@ -62,8 +76,23 @@ def __dir__():
 
 
 if TYPE_CHECKING:  # pragma: no cover - typing aid only
-    from repro.staticlint.cfg import BasicBlock, ControlFlowGraph
+    from repro.staticlint.cfg import (
+        BasicBlock,
+        ControlFlowGraph,
+        build_cfg,
+        cfg_cache_stats,
+        clear_cfg_cache,
+    )
     from repro.staticlint.crosscheck import CrossCheckReport, cross_check
+    from repro.staticlint.similarity import (
+        BlockFeatures,
+        CfgFingerprint,
+        FunctionMatch,
+        MatchReport,
+        MatchVerdict,
+        fingerprint,
+        match_functions,
+    )
     from repro.staticlint.dataflow import (
         Direction,
         Liveness,

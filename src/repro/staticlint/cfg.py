@@ -15,8 +15,9 @@ kernels produce, and simpler to audit than Lengauer-Tarjan.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Set, Tuple
 
+import repro.obs as telemetry
 from repro.errors import BinaryAnalysisError
 from repro.binary.isa import Instruction
 from repro.binary.module import GpuFunction
@@ -240,3 +241,68 @@ class ControlFlowGraph:
         """Whether block ``a`` dominates block ``b``."""
         doms = self.dominators()
         return b in doms and a in doms[b]
+
+
+# -- memoized construction ---------------------------------------------------
+#
+# Lint passes, the similarity fingerprinter, and repeated lint runs over
+# the same workload all want the CFG of the same GpuFunction objects.
+# Construction is cheap but not free (leader scan + edge wiring), and the
+# derived RPO/dominator caches live on the CFG — rebuilding discards
+# them.  The cache is keyed by binary identity, like the
+# ``OfflineAnalyzer`` type caches: the CFG pins its function, so an id()
+# can never be recycled while its entry lives.
+
+#: (id(function), len(instructions)) -> cached CFG.  The length guards
+#: against a function whose instruction list was extended in place.
+_CFG_CACHE: Dict[Tuple[int, int], ControlFlowGraph] = {}
+_CFG_CACHE_CAP = 1024
+_cfg_cache_hits = 0
+_cfg_cache_builds = 0
+
+
+def build_cfg(function: GpuFunction) -> ControlFlowGraph:
+    """Memoized :meth:`ControlFlowGraph.build` (keyed by binary identity).
+
+    Every subsystem that needs a CFG — the lint passes, the
+    kernel-similarity fingerprinter, dataflow clients — should come
+    through here so one function is partitioned exactly once per
+    process.
+    """
+    global _cfg_cache_hits, _cfg_cache_builds
+    key = (id(function), len(function.instructions))
+    cached = _CFG_CACHE.get(key)
+    if cached is not None and cached.function is function:
+        _cfg_cache_hits += 1
+        if telemetry.ENABLED:
+            telemetry.counter(
+                "repro_staticlint_cfg_cache_hits_total",
+                "CFG constructions avoided by the memoization cache.",
+            ).inc()
+        return cached
+    cfg = ControlFlowGraph.build(function)
+    if len(_CFG_CACHE) >= _CFG_CACHE_CAP:
+        # Evict the oldest entry (insertion order); a bounded cache can
+        # never pin an unbounded number of synthesized binaries.
+        _CFG_CACHE.pop(next(iter(_CFG_CACHE)))
+    _CFG_CACHE[key] = cfg
+    _cfg_cache_builds += 1
+    if telemetry.ENABLED:
+        telemetry.counter(
+            "repro_staticlint_cfg_cache_builds_total",
+            "CFG constructions that missed the memoization cache.",
+        ).inc()
+    return cfg
+
+
+def cfg_cache_stats() -> Tuple[int, int]:
+    """``(hits, builds)`` since process start or the last clear."""
+    return _cfg_cache_hits, _cfg_cache_builds
+
+
+def clear_cfg_cache() -> None:
+    """Drop every cached CFG and zero the stats (test isolation)."""
+    global _cfg_cache_hits, _cfg_cache_builds
+    _CFG_CACHE.clear()
+    _cfg_cache_hits = 0
+    _cfg_cache_builds = 0

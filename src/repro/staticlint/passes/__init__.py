@@ -20,7 +20,7 @@ from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional
 from repro.binary.defuse import DefUseGraph
 from repro.binary.module import GpuFunction
 from repro.binary.slicing import TypeInference, infer_register_types
-from repro.staticlint.cfg import ControlFlowGraph
+from repro.staticlint.cfg import ControlFlowGraph, build_cfg
 from repro.staticlint.dataflow import (
     BlockStates,
     Liveness,
@@ -55,7 +55,7 @@ class LintContext:
     @property
     def cfg(self) -> ControlFlowGraph:
         if self._cfg is None:
-            self._cfg = ControlFlowGraph.build(self.function)
+            self._cfg = build_cfg(self.function)
         return self._cfg
 
     @property

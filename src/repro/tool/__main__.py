@@ -24,6 +24,11 @@ Commands:
   any workload; ``--shards N`` fans the analysis out over N worker
   processes (identical hits and flow graph, see ``docs/trace.md``),
   ``--events A:B`` analyzes only that event range;
+- ``trace-diff <old> <new>`` — match kernels across two ``.vetrace``
+  recordings by CFG subgraph similarity and diff their value-pattern
+  profiles, flagging regressions (new redundancies, lost patterns,
+  grown/shrunk volumes) against an optional committed baseline; exits
+  nonzero on un-baselined ``--fail-on`` deltas (``docs/trace-diff.md``);
 - ``serve`` — run the continuous-profiling daemon: a local HTTP API
   accepting profiling jobs, a worker-process pool executing them
   concurrently, and a Prometheus scrape endpoint (``/metrics``) fed by
@@ -278,7 +283,104 @@ def _cmd_lint(args) -> int:
             json.dump(payload, handle, indent=2)
             handle.write("\n")
         print(f"wrote lint report to {args.json}")
+    if args.write_baseline:
+        from repro.tracediff.baseline import write_text_atomic
+
+        lines = [
+            f"{r.workload}: {r.count(Severity.ERROR)} error "
+            f"{r.count(Severity.WARNING)} warning "
+            f"{r.count(Severity.INFO)} info"
+            for r in results
+        ]
+        write_text_atomic(args.write_baseline, "\n".join(lines))
+        print(f"wrote lint baseline to {args.write_baseline}")
     return exit_code
+
+
+#: Default committed location of the lint baseline (CI diffs it).
+LINT_BASELINE_PATH = "benchmarks/out/staticlint_baseline.txt"
+#: Default ``--fail-on`` kinds for trace-diff.
+DEFAULT_FAIL_ON = "new-redundancy"
+
+
+def _parse_fail_on(spec: str):
+    """Comma-separated delta kinds -> list of DeltaKind."""
+    from repro.tracediff.differ import FAIL_ON_CHOICES
+
+    kinds = []
+    for token in spec.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        if token not in FAIL_ON_CHOICES:
+            raise ReproError(
+                f"unknown --fail-on kind {token!r} "
+                f"(choices: {', '.join(FAIL_ON_CHOICES)})"
+            )
+        kinds.append(FAIL_ON_CHOICES[token])
+    return kinds
+
+
+def _cmd_trace_diff(args) -> int:
+    import os
+
+    from repro.tracediff import (
+        Baseline,
+        apply_baseline,
+        diff_traces,
+        extract_summary,
+        load_baseline,
+        render_diff,
+        save_baseline,
+    )
+    from repro.tracediff.differ import DiffThresholds
+
+    fail_on = _parse_fail_on(args.fail_on)
+    old = extract_summary(args.old, shards=args.shards)
+    new = extract_summary(args.new, shards=args.shards)
+    diff = diff_traces(
+        old,
+        new,
+        DiffThresholds(relative=args.threshold, min_bytes=args.min_bytes),
+    )
+
+    if args.write_baseline:
+        if not args.baseline:
+            print(
+                "repro.tool: error: --write-baseline requires --baseline",
+                file=sys.stderr,
+            )
+            return 2
+        baseline = Baseline.from_diff(diff, note=args.note or "")
+        save_baseline(args.baseline, baseline)
+        print(render_diff(diff))
+        print(
+            f"wrote baseline accepting {len(baseline.accepted)} delta "
+            f"key(s) to {args.baseline}"
+        )
+        return 0
+
+    stale = []
+    if args.baseline and os.path.exists(args.baseline):
+        stale = apply_baseline(diff, load_baseline(args.baseline))
+    print(render_diff(diff))
+    for key in stale:
+        print(f"note: stale baseline entry (no longer occurs): {key}")
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(diff.to_dict(), handle, indent=2)
+            handle.write("\n")
+        print(f"wrote diff report to {args.json}")
+    flagged = diff.flagged(fail_on)
+    if flagged:
+        print(
+            f"trace-diff: {len(flagged)} un-baselined "
+            f"{', '.join(sorted({d.kind.value for d in flagged}))} "
+            f"delta(s) — failing",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def _cmd_serve(args) -> int:
@@ -475,6 +577,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="cross-check findings against a recorded .vetrace replay "
         "instead of each workload's own fresh profile",
     )
+    lint.add_argument(
+        "--write-baseline", dest="write_baseline", metavar="PATH",
+        nargs="?", const=LINT_BASELINE_PATH, default=None,
+        help="write the per-workload severity counts as the committed "
+        f"lint baseline (default path: {LINT_BASELINE_PATH}; "
+        "typically combined with --all)",
+    )
 
     replay = sub.add_parser(
         "replay",
@@ -493,6 +602,49 @@ def build_parser() -> argparse.ArgumentParser:
         "earlier events just reconstruct device state",
     )
     replay.add_argument("--json", help="write the profile JSON to a file")
+
+    trace_diff = sub.add_parser(
+        "trace-diff",
+        help="match kernels across two .vetrace recordings by CFG "
+        "similarity and diff their value-pattern profiles",
+    )
+    trace_diff.add_argument("old", help="the reference .vetrace recording")
+    trace_diff.add_argument("new", help="the candidate .vetrace recording")
+    trace_diff.add_argument(
+        "--json", help="write the full diff report as JSON (CI artifact)"
+    )
+    trace_diff.add_argument(
+        "--baseline", metavar="FILE",
+        help="committed baseline of accepted delta keys "
+        "(e.g. benchmarks/out/tracediff_baseline.json)",
+    )
+    trace_diff.add_argument(
+        "--write-baseline", dest="write_baseline", action="store_true",
+        help="accept every current delta into --baseline and exit 0",
+    )
+    trace_diff.add_argument(
+        "--note", help="free-text note stored in a written baseline"
+    )
+    trace_diff.add_argument(
+        "--fail-on", dest="fail_on", default=DEFAULT_FAIL_ON,
+        metavar="KINDS",
+        help="comma-separated delta kinds that fail the run "
+        f"(default: {DEFAULT_FAIL_ON}; e.g. new-redundancy,lost-pattern)",
+    )
+    trace_diff.add_argument(
+        "--threshold", type=float, default=0.25,
+        help="minimum relative change for grown/shrunk deltas "
+        "(default: 0.25)",
+    )
+    trace_diff.add_argument(
+        "--min-bytes", dest="min_bytes", type=int, default=64,
+        help="minimum absolute redundant-byte change for site-volume "
+        "deltas (default: 64)",
+    )
+    trace_diff.add_argument(
+        "--shards", type=int, default=1,
+        help="analyze each recording in N parallel worker processes",
+    )
 
     serve = sub.add_parser(
         "serve",
@@ -554,6 +706,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_lint(args)
         if args.command == "replay":
             return _cmd_replay(args)
+        if args.command == "trace-diff":
+            return _cmd_trace_diff(args)
         if args.command == "serve":
             return _cmd_serve(args)
         return _cmd_trace(args)

@@ -1,0 +1,360 @@
+"""Diff two trace summaries: match kernels, classify pattern deltas.
+
+Matching is structure-first: kernels with binaries are paired by CFG
+subgraph similarity (:func:`repro.staticlint.match_functions`), so a
+renamed or relinked kernel still pairs with its old self.  Sites the
+kernel matching doesn't cover — memcpy/memset vertices and kernels
+without binaries — pair by name, the only identity they have.
+
+Per matched site pair the differ compares the aggregated value-pattern
+facts and emits one :class:`Delta` per change:
+
+- ``NEW_REDUNDANCY`` — a (pattern, object) hit present only in the new
+  recording (including hits on entirely new sites);
+- ``LOST_PATTERN`` — a hit present only in the old recording;
+- ``GROWN`` / ``SHRUNK`` — a hit count or a site's redundant-byte
+  volume that moved past the :class:`DiffThresholds`;
+- ``KERNEL_ADDED`` / ``KERNEL_REMOVED`` — binary-level membership
+  changes from the matching itself.
+
+Every delta has a stable ``key`` (kind:site:pattern:object) — the unit
+the committed baseline accepts (:mod:`repro.tracediff.baseline`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import repro.obs as telemetry
+from repro.staticlint.similarity import MatchReport, match_functions
+from repro.tracediff.extract import SiteSummary, TraceSummary
+
+
+class DeltaKind(enum.Enum):
+    """Classification of one cross-recording change."""
+
+    NEW_REDUNDANCY = "new-redundancy"
+    LOST_PATTERN = "lost-pattern"
+    GROWN = "grown"
+    SHRUNK = "shrunk"
+    KERNEL_ADDED = "kernel-added"
+    KERNEL_REMOVED = "kernel-removed"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: The delta kinds ``--fail-on`` accepts, by their CLI spelling.
+FAIL_ON_CHOICES: Dict[str, DeltaKind] = {
+    kind.value: kind for kind in DeltaKind
+}
+
+
+@dataclass(frozen=True)
+class DiffThresholds:
+    """When a changed measurement becomes a GROWN/SHRUNK delta."""
+
+    #: Minimum relative change, |new - old| / max(old, new).
+    relative: float = 0.25
+    #: Minimum absolute redundant-byte change for site-volume deltas.
+    min_bytes: int = 64
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One classified difference between the two recordings."""
+
+    kind: DeltaKind
+    #: Site name on the new side (old side for removed kernels/sites).
+    site: str
+    #: Old-side site name when the pair was matched under a rename.
+    old_site: Optional[str] = None
+    pattern: Optional[str] = None
+    object_label: Optional[str] = None
+    old_value: float = 0.0
+    new_value: float = 0.0
+    detail: str = ""
+
+    @property
+    def key(self) -> str:
+        """Stable baseline identity: kind:site:pattern:object."""
+        return (
+            f"{self.kind.value}:{self.site}:"
+            f"{self.pattern or '-'}:{self.object_label or '-'}"
+        )
+
+    def render(self) -> str:
+        """One human-readable line."""
+        subject = self.site
+        if self.old_site and self.old_site != self.site:
+            subject = f"{self.old_site} -> {self.site}"
+        facts = []
+        if self.pattern:
+            facts.append(self.pattern)
+        if self.object_label:
+            facts.append(f"object={self.object_label}")
+        if self.old_value or self.new_value:
+            facts.append(f"{self.old_value:g} -> {self.new_value:g}")
+        if self.detail:
+            facts.append(self.detail)
+        return f"[{self.kind.value}] {subject}: {'; '.join(facts)}"
+
+    def to_dict(self) -> Dict:
+        """JSON-ready representation."""
+        return {
+            "kind": self.kind.value,
+            "key": self.key,
+            "site": self.site,
+            "old_site": self.old_site,
+            "pattern": self.pattern,
+            "object": self.object_label,
+            "old_value": self.old_value,
+            "new_value": self.new_value,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class TraceDiff:
+    """The complete diff of two recordings."""
+
+    old_path: str
+    new_path: str
+    old_workload: str
+    new_workload: str
+    matching: MatchReport
+    #: Site pairs actually diffed, as (old name, new name).
+    site_pairs: List[Tuple[str, str]] = field(default_factory=list)
+    deltas: List[Delta] = field(default_factory=list)
+    #: Deltas suppressed by an accepted baseline.
+    baselined: List[Delta] = field(default_factory=list)
+
+    def flagged(self, kinds: Sequence[DeltaKind]) -> List[Delta]:
+        """Un-baselined deltas of the given kinds (regression gate)."""
+        wanted = set(kinds)
+        return [d for d in self.deltas if d.kind in wanted]
+
+    @property
+    def clean(self) -> bool:
+        """Whether the recordings showed no un-baselined deltas at all."""
+        return not self.deltas
+
+    def to_dict(self) -> Dict:
+        """JSON-ready representation (the CI artifact format)."""
+        return {
+            "old": {"path": self.old_path, "workload": self.old_workload},
+            "new": {"path": self.new_path, "workload": self.new_workload},
+            "matching": self.matching.to_dict(),
+            "site_pairs": [list(pair) for pair in self.site_pairs],
+            "deltas": [d.to_dict() for d in self.deltas],
+            "baselined": [d.to_dict() for d in self.baselined],
+        }
+
+
+def _relative_change(old: float, new: float) -> float:
+    denom = max(abs(old), abs(new))
+    return 0.0 if denom == 0 else abs(new - old) / denom
+
+
+def _site_pairs(
+    old: TraceSummary, new: TraceSummary, matching: MatchReport
+) -> List[Tuple[str, str]]:
+    """The (old site, new site) pairs to diff.
+
+    Matched kernels pair structurally (possibly under a rename); every
+    other site name present on both sides pairs by identity, unless the
+    kernel matching already claimed it.
+    """
+    pairs: List[Tuple[str, str]] = []
+    claimed_old: Set[str] = set()
+    claimed_new: Set[str] = set()
+    for match in matching.matches:
+        if match.old in old.sites and match.new in new.sites:
+            pairs.append((match.old, match.new))
+        claimed_old.add(match.old)
+        claimed_new.add(match.new)
+    # Kernels the matching declared removed/added must not fall back to
+    # name-identity pairing.
+    claimed_old.update(matching.removed)
+    claimed_new.update(matching.added)
+    for name in sorted(old.sites):
+        if name in claimed_old or name not in new.sites:
+            continue
+        if name in claimed_new:
+            continue
+        pairs.append((name, name))
+    return pairs
+
+
+def _diff_site_pair(
+    old_site: SiteSummary,
+    new_site: SiteSummary,
+    thresholds: DiffThresholds,
+    deltas: List[Delta],
+) -> None:
+    """Classify hit and volume changes for one matched site pair."""
+    renamed = old_site.name != new_site.name
+    old_name = old_site.name if renamed else None
+    for key in sorted(set(old_site.hits) | set(new_site.hits)):
+        pattern, object_label = key
+        old_stats = old_site.hits.get(key)
+        new_stats = new_site.hits.get(key)
+        if old_stats is None:
+            deltas.append(
+                Delta(
+                    kind=DeltaKind.NEW_REDUNDANCY,
+                    site=new_site.name,
+                    old_site=old_name,
+                    pattern=pattern,
+                    object_label=object_label,
+                    new_value=new_stats.count,
+                    detail="pattern absent in old recording",
+                )
+            )
+        elif new_stats is None:
+            deltas.append(
+                Delta(
+                    kind=DeltaKind.LOST_PATTERN,
+                    site=new_site.name,
+                    old_site=old_name,
+                    pattern=pattern,
+                    object_label=object_label,
+                    old_value=old_stats.count,
+                    detail="pattern absent in new recording",
+                )
+            )
+        elif old_stats.count != new_stats.count:
+            change = _relative_change(old_stats.count, new_stats.count)
+            if change >= thresholds.relative:
+                grown = new_stats.count > old_stats.count
+                deltas.append(
+                    Delta(
+                        kind=DeltaKind.GROWN if grown else DeltaKind.SHRUNK,
+                        site=new_site.name,
+                        old_site=old_name,
+                        pattern=pattern,
+                        object_label=object_label,
+                        old_value=old_stats.count,
+                        new_value=new_stats.count,
+                        detail="hit count",
+                    )
+                )
+    byte_change = new_site.redundant_bytes - old_site.redundant_bytes
+    if (
+        abs(byte_change) >= thresholds.min_bytes
+        and _relative_change(
+            old_site.redundant_bytes, new_site.redundant_bytes
+        )
+        >= thresholds.relative
+    ):
+        deltas.append(
+            Delta(
+                kind=DeltaKind.GROWN if byte_change > 0 else DeltaKind.SHRUNK,
+                site=new_site.name,
+                old_site=old_name,
+                old_value=round(old_site.redundant_bytes, 3),
+                new_value=round(new_site.redundant_bytes, 3),
+                detail="site redundant bytes",
+            )
+        )
+
+
+_KIND_ORDER = {kind: index for index, kind in enumerate(DeltaKind)}
+
+
+def diff_traces(
+    old: TraceSummary,
+    new: TraceSummary,
+    thresholds: DiffThresholds = DiffThresholds(),
+) -> TraceDiff:
+    """Match the two summaries and classify every pattern delta."""
+    span = (
+        telemetry.tracer().begin("tracediff.diff")
+        if telemetry.ENABLED
+        else None
+    )
+    matching = match_functions(old.kernels, new.kernels)
+    diff = TraceDiff(
+        old_path=old.path,
+        new_path=new.path,
+        old_workload=old.workload,
+        new_workload=new.workload,
+        matching=matching,
+    )
+    deltas = diff.deltas
+    for name in matching.removed:
+        deltas.append(
+            Delta(
+                kind=DeltaKind.KERNEL_REMOVED,
+                site=name,
+                detail="kernel only in old recording",
+            )
+        )
+    for name in matching.added:
+        deltas.append(
+            Delta(
+                kind=DeltaKind.KERNEL_ADDED,
+                site=name,
+                detail="kernel only in new recording",
+            )
+        )
+
+    diff.site_pairs = _site_pairs(old, new, matching)
+    paired_old = {pair[0] for pair in diff.site_pairs}
+    paired_new = {pair[1] for pair in diff.site_pairs}
+    for old_name, new_name in diff.site_pairs:
+        _diff_site_pair(
+            old.sites[old_name], new.sites[new_name], thresholds, deltas
+        )
+    # Sites only one recording has: every hit there is a wholesale
+    # appearance/disappearance.
+    for name in sorted(set(old.sites) - paired_old):
+        for key in sorted(old.sites[name].hits):
+            pattern, object_label = key
+            deltas.append(
+                Delta(
+                    kind=DeltaKind.LOST_PATTERN,
+                    site=name,
+                    pattern=pattern,
+                    object_label=object_label,
+                    old_value=old.sites[name].hits[key].count,
+                    detail="site only in old recording",
+                )
+            )
+    for name in sorted(set(new.sites) - paired_new):
+        for key in sorted(new.sites[name].hits):
+            pattern, object_label = key
+            deltas.append(
+                Delta(
+                    kind=DeltaKind.NEW_REDUNDANCY,
+                    site=name,
+                    pattern=pattern,
+                    object_label=object_label,
+                    new_value=new.sites[name].hits[key].count,
+                    detail="site only in new recording",
+                )
+            )
+
+    deltas.sort(
+        key=lambda d: (
+            _KIND_ORDER[d.kind],
+            d.site,
+            d.pattern or "",
+            d.object_label or "",
+        )
+    )
+    if span is not None:
+        span.end()
+        telemetry.counter(
+            "repro_tracediff_diffs_total",
+            "Recording pairs diffed.",
+        ).inc()
+        for delta in deltas:
+            telemetry.counter(
+                "repro_tracediff_deltas_total",
+                "Classified trace-diff deltas, by kind.",
+                labelnames=("kind",),
+            ).labels(kind=delta.kind.value).inc()
+    return diff

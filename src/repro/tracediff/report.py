@@ -1,0 +1,41 @@
+"""Human rendering of a trace diff (the CLI's default output)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.tracediff.differ import TraceDiff
+
+
+def render_diff(diff: TraceDiff) -> str:
+    """Multi-line human rendering of one diff."""
+    lines: List[str] = [
+        f"trace-diff: {diff.old_path} -> {diff.new_path} "
+        f"({diff.old_workload or '?'} -> {diff.new_workload or '?'})"
+    ]
+    matching = diff.matching
+    renames = [m for m in matching.matches if m.renamed]
+    ambiguous = [m for m in matching.matches if m.verdict.value == "ambiguous"]
+    lines.append(
+        f"kernels: {len(matching.matches)} matched "
+        f"({len(renames)} renamed, {len(ambiguous)} ambiguous), "
+        f"{len(matching.added)} added, {len(matching.removed)} removed; "
+        f"{len(diff.site_pairs)} site pair(s) diffed"
+    )
+    for match in matching.matches:
+        if match.renamed or match.verdict.value == "ambiguous":
+            lines.append(
+                f"  match {match.old} -> {match.new} "
+                f"(score {match.score:.3f}, {match.verdict})"
+            )
+    if diff.deltas:
+        lines.append(f"{len(diff.deltas)} delta(s):")
+        lines.extend(f"  {delta.render()}" for delta in diff.deltas)
+    else:
+        lines.append("no deltas")
+    if diff.baselined:
+        lines.append(
+            f"{len(diff.baselined)} delta(s) suppressed by the baseline:"
+        )
+        lines.extend(f"  {delta.render()}" for delta in diff.baselined)
+    return "\n".join(lines)

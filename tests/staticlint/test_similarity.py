@@ -1,0 +1,350 @@
+"""CFG fingerprints, kernel subgraph similarity, and cross-version
+matching — including the memoized ``build_cfg`` entry point."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.binary.module import BinaryBuilder
+from repro.gpu.runtime import GpuRuntime
+from repro.gpu.timing import RTX_2080_TI
+from repro.staticlint import (
+    MatchVerdict,
+    build_cfg,
+    cfg_cache_stats,
+    clear_cfg_cache,
+    fingerprint,
+    match_functions,
+)
+from repro.staticlint.similarity import similarity
+from repro.staticlint.linter import _SiteTypeRoster
+from repro.binary.synthesis import synthesize_binary
+from repro.workloads import get_workload, workload_names
+
+
+def _straight(name="straight"):
+    b = BinaryBuilder(name)
+    r = b.reg()
+    b.ldg(r, width_bits=32)
+    s = b.reg()
+    b.fadd(s, r, r)
+    b.stg(s, width_bits=32)
+    b.exit()
+    return b.build()
+
+
+def _diamond(name="diamond"):
+    b = BinaryBuilder(name)
+    a, c = b.reg(), b.reg()
+    p = b.reg()
+    b.isetp(p, a, c)
+    b.bra("join", pred=p)
+    r = b.reg()
+    b.iadd(r, a, c)
+    b.label("join")
+    b.exit()
+    return b.build()
+
+
+def _looped(name="looped"):
+    """One block branching back to itself: a self-loop."""
+    b = BinaryBuilder(name)
+    acc = b.reg()
+    b.ldg(acc, width_bits=32)
+    b.label("loop")
+    nxt = b.reg()
+    b.fadd(nxt, acc, acc)
+    p = b.reg()
+    b.isetp(p, nxt, acc)
+    b.bra("loop", pred=p)
+    b.stg(nxt, width_bits=32)
+    b.exit()
+    return b.build()
+
+
+def _with_dead_block(name="skipped"):
+    """An unconditional branch leaves its shadow block unreachable."""
+    b = BinaryBuilder(name)
+    r = b.reg()
+    b.bra("end")
+    s = b.reg()
+    b.iadd(s, r, r)
+    b.label("end")
+    b.exit()
+    return b.build()
+
+
+# -- fingerprints -------------------------------------------------------------
+
+
+def test_fingerprint_straight_line():
+    fp = fingerprint(_straight())
+    assert fp.num_blocks == 1
+    assert fp.num_edges == 0
+    (block,) = fp.blocks
+    assert block.rpo_position == 0
+    assert block.dom_depth == 0
+    assert block.is_exit and not block.has_self_loop
+    # gload, fp32, gstore, exit — one instruction each.
+    assert sum(block.histogram) == 4
+
+
+def test_fingerprint_self_loop_block():
+    fp = fingerprint(_looped())
+    loops = [blk for blk in fp.blocks if blk.has_self_loop]
+    assert len(loops) == 1
+    (loop,) = loops
+    assert (loop.index, loop.index) in fp.edges
+    assert not loop.is_exit
+
+
+def test_fingerprint_unreachable_block():
+    fp = fingerprint(_with_dead_block())
+    dead = [blk for blk in fp.blocks if blk.rpo_position < 0]
+    assert len(dead) == 1
+    assert dead[0].dom_depth == -1
+    # The function still scores 1.0 against itself.
+    assert similarity(fp, fp) == 1.0
+
+
+def test_fingerprint_ignores_name_and_pcs():
+    """Same structure under a different name: identical features."""
+    a = fingerprint(_diamond("one"))
+    b = fingerprint(_diamond("two"))
+    assert a.name != b.name
+    assert a.blocks == b.blocks
+    assert a.edges == b.edges
+
+
+# -- similarity ---------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "build", [_straight, _diamond, _looped, _with_dead_block]
+)
+def test_similarity_is_exactly_one_on_self(build):
+    fn = build()
+    assert similarity(fn, fn) == 1.0
+
+
+def test_similarity_is_symmetric_and_bounded():
+    shapes = [_straight(), _diamond(), _looped(), _with_dead_block()]
+    for a in shapes:
+        for b in shapes:
+            ab, ba = similarity(a, b), similarity(b, a)
+            assert ab == ba
+            assert 0.0 <= ab <= 1.0
+
+
+def test_renamed_twin_scores_one():
+    assert similarity(_looped("lhs"), _looped("rhs")) == 1.0
+
+
+def test_different_shapes_score_below_one():
+    assert similarity(_straight(), _diamond()) < 1.0
+    assert similarity(_diamond(), _looped()) < 1.0
+
+
+# -- matching -----------------------------------------------------------------
+
+
+def test_match_renamed_identical_is_confident():
+    report = match_functions(
+        {"old_kernel": _looped("old_kernel")},
+        {"new_kernel": _looped("new_kernel")},
+    )
+    (match,) = report.matches
+    assert match.old == "old_kernel" and match.new == "new_kernel"
+    assert match.renamed
+    assert match.score == 1.0
+    assert match.verdict is MatchVerdict.CONFIDENT
+    assert report.removed == [] and report.added == []
+
+
+def test_match_reports_added_and_removed():
+    report = match_functions(
+        {"kept": _diamond("kept"), "gone": _straight("gone")},
+        {"kept": _diamond("kept")},
+    )
+    assert report.match_for_old("kept") is not None
+    assert report.removed == ["gone"]
+
+    report = match_functions(
+        {"kept": _diamond("kept")},
+        {"kept": _diamond("kept"), "fresh": _looped("fresh")},
+    )
+    assert report.added == ["fresh"]
+
+
+def test_renamed_twins_are_ambiguous():
+    """Two identical candidates under new names: no margin, no name to
+    corroborate — the match must not claim confidence."""
+    report = match_functions(
+        {"k": _diamond("k")},
+        {"x": _diamond("x"), "y": _diamond("y")},
+    )
+    (match,) = report.matches
+    assert match.old == "k"
+    assert match.verdict is MatchVerdict.AMBIGUOUS
+    assert match.runner_up is not None and match.runner_up[1] == 1.0
+    assert len(report.added) == 1
+
+
+def test_same_name_breaks_twin_ties_confidently():
+    """With a name-identical candidate among the twins, the name picks
+    the pair and corroborates it despite the zero margin."""
+    report = match_functions(
+        {"x": _diamond("x")},
+        {"x": _diamond("x"), "y": _diamond("y")},
+    )
+    (match,) = report.matches
+    assert match.old == "x" and match.new == "x"
+    assert match.verdict is MatchVerdict.CONFIDENT
+    assert report.added == ["y"]
+
+
+def test_dissimilar_functions_stay_unmatched():
+    """A pair scoring under the floor lands in removed/added."""
+    big = BinaryBuilder("big")
+    for _ in range(6):
+        r = big.reg()
+        big.ldg(r, width_bits=64)
+        s = big.reg()
+        big.dadd(s, r, r)
+        big.stg(s, width_bits=64)
+        p = big.reg()
+        big.isetp(p, s, r)
+        big.bra("end", pred=p)
+    big.label("end")
+    big.exit()
+    report = match_functions({"a": big.build()}, {"b": _straight("b")})
+    if report.matches:  # if it matched, it must at least not be confident
+        assert report.matches[0].verdict is not MatchVerdict.CONFIDENT
+    else:
+        assert report.removed == ["a"] and report.added == ["b"]
+
+
+# -- the memoized CFG entry point ---------------------------------------------
+
+
+def test_build_cfg_memoizes_by_function_identity():
+    clear_cfg_cache()
+    fn = _diamond()
+    first = build_cfg(fn)
+    second = build_cfg(fn)
+    assert first is second
+    assert cfg_cache_stats() == (1, 1)
+    # A different function object misses, even with equal structure.
+    build_cfg(_diamond())
+    assert cfg_cache_stats() == (1, 2)
+    clear_cfg_cache()
+    assert cfg_cache_stats() == (0, 0)
+
+
+def test_fingerprint_reuses_cached_cfg():
+    clear_cfg_cache()
+    fn = _looped()
+    fingerprint(fn)
+    hits, builds = cfg_cache_stats()
+    assert builds == 1
+    fingerprint(fn)
+    hits2, builds2 = cfg_cache_stats()
+    assert builds2 == 1 and hits2 > hits
+    clear_cfg_cache()
+
+
+# -- property: every registered workload kernel -------------------------------
+
+
+def _workload_functions(name):
+    """Every kernel binary ``name`` launches, synthesizing from observed
+    site types where the workload didn't hand-write one (and detaching
+    again — kernels are module-level singletons)."""
+    workload = get_workload(name)(scale=0.25)
+    runtime = GpuRuntime(platform=RTX_2080_TI)
+    roster = _SiteTypeRoster()
+    runtime.subscribe(roster)
+    try:
+        workload.run_baseline(runtime)
+    finally:
+        runtime.unsubscribe(roster)
+    functions = []
+    for kernel_name in sorted(roster.kernels):
+        kernel = roster.kernels[kernel_name]
+        if kernel.binary is not None:
+            functions.append(kernel.binary)
+        elif kernel.line_map:
+            site_types, site_kinds = roster.site_info(kernel)
+            try:
+                functions.append(
+                    synthesize_binary(kernel, site_types, site_kinds)
+                )
+            finally:
+                kernel.binary = None
+    return functions
+
+
+@pytest.mark.parametrize("workload_name", workload_names())
+def test_workload_kernels_self_similarity(workload_name):
+    """similarity(f, f) == 1.0 exactly, and similarity is symmetric, for
+    every kernel every registered workload launches."""
+    functions = _workload_functions(workload_name)
+    assert functions, f"{workload_name} launched no linting-visible kernels"
+    prints = [fingerprint(fn) for fn in functions]
+    for fp in prints:
+        assert similarity(fp, fp) == 1.0, fp.name
+    for i, a in enumerate(prints):
+        for b in prints[i + 1 :]:
+            ab = similarity(a, b)
+            assert ab == similarity(b, a), (a.name, b.name)
+            assert 0.0 <= ab <= 1.0
+
+
+# -- property: random control-flow shapes -------------------------------------
+
+_OPS = ("ldg", "stg", "fadd", "iadd", "mov")
+
+
+@st.composite
+def _functions(draw):
+    """Random multi-segment functions with forward, backward, and
+    self-loop branches — conditional and unconditional."""
+    b = BinaryBuilder("prop_fn")
+    nseg = draw(st.integers(min_value=1, max_value=4))
+    for i in range(nseg):
+        b.label(f"seg{i}")
+        for _ in range(draw(st.integers(min_value=1, max_value=3))):
+            op = draw(st.sampled_from(_OPS))
+            if op == "ldg":
+                b.ldg(b.reg(), width_bits=32)
+            elif op == "stg":
+                b.stg(b.reg(), width_bits=32)
+            elif op == "mov":
+                b.mov(b.reg(), b.reg())
+            else:
+                r = b.reg()
+                getattr(b, op)(r, r, r)
+        branch = draw(
+            st.sampled_from(["none", "self", "forward", "backward"])
+        )
+        if branch == "self" or (branch == "backward" and i == 0):
+            b.bra(f"seg{i}", pred=b.reg())
+        elif branch == "backward":
+            target = draw(st.integers(min_value=0, max_value=i))
+            b.bra(f"seg{target}", pred=b.reg())
+        elif branch == "forward" and i + 1 < nseg:
+            target = draw(st.integers(min_value=i + 1, max_value=nseg - 1))
+            pred = b.reg() if draw(st.booleans()) else None
+            b.bra(f"seg{target}", pred=pred)
+    b.exit()
+    return b.build()
+
+
+@settings(max_examples=60, deadline=None)
+@given(_functions(), _functions())
+def test_similarity_properties_on_random_functions(f, g):
+    assert similarity(f, f) == 1.0
+    assert similarity(g, g) == 1.0
+    fg = similarity(f, g)
+    assert fg == similarity(g, f)
+    assert 0.0 <= fg <= 1.0

@@ -1,0 +1,218 @@
+"""Delta classification over synthetic trace summaries."""
+
+from repro.binary.module import BinaryBuilder
+from repro.tracediff import (
+    DeltaKind,
+    DiffThresholds,
+    HitStats,
+    SiteSummary,
+    TraceSummary,
+    diff_traces,
+    render_diff,
+)
+
+
+def _kernel_fn(name):
+    b = BinaryBuilder(name)
+    r = b.reg()
+    b.ldg(r, width_bits=32)
+    s = b.reg()
+    b.fadd(s, r, r)
+    b.stg(s, width_bits=32)
+    b.exit()
+    return b.build()
+
+
+def _branchy_fn(name):
+    b = BinaryBuilder(name)
+    a, c = b.reg(), b.reg()
+    p = b.reg()
+    b.isetp(p, a, c)
+    b.bra("join", pred=p)
+    r = b.reg()
+    b.iadd(r, a, c)
+    b.label("join")
+    b.exit()
+    return b.build()
+
+
+def _site(name, kind="kernel", hits=(), redundant=0.0, invocations=1):
+    site = SiteSummary(
+        name=name,
+        kind=kind,
+        invocations=invocations,
+        redundant_bytes=redundant,
+    )
+    for pattern, obj, count in hits:
+        site.hits[(pattern, obj)] = HitStats(pattern, obj, count)
+    return site
+
+
+def _summary(sites, kernels=None, path="t.vetrace", workload="wl"):
+    summary = TraceSummary(
+        path=path, workload=workload, platform="sim", version=3
+    )
+    summary.kernels = kernels or {}
+    summary.sites = {site.name: site for site in sites}
+    return summary
+
+
+def test_identical_summaries_are_clean():
+    fn = _kernel_fn("k")
+    make = lambda: _summary(
+        [
+            _site("k", hits=[("single zero", "obj", 3)], redundant=512.0),
+            _site("cudaMemcpy", kind="memcpy", hits=[("redundant values", "buf", 2)]),
+        ],
+        kernels={"k": fn},
+    )
+    diff = diff_traces(make(), make())
+    assert diff.clean
+    assert ("k", "k") in diff.site_pairs
+    assert ("cudaMemcpy", "cudaMemcpy") in diff.site_pairs
+    assert "no deltas" in render_diff(diff)
+
+
+def test_new_hit_is_new_redundancy():
+    old = _summary([_site("k", hits=[])], kernels={"k": _kernel_fn("k")})
+    new = _summary(
+        [_site("k", hits=[("single zero", "obj", 4)])],
+        kernels={"k": _kernel_fn("k")},
+    )
+    diff = diff_traces(old, new)
+    (delta,) = diff.deltas
+    assert delta.kind is DeltaKind.NEW_REDUNDANCY
+    assert delta.key == "new-redundancy:k:single zero:obj"
+    assert delta.new_value == 4
+    assert diff.flagged([DeltaKind.NEW_REDUNDANCY]) == [delta]
+    assert diff.flagged([DeltaKind.LOST_PATTERN]) == []
+
+
+def test_missing_hit_is_lost_pattern():
+    old = _summary(
+        [_site("k", hits=[("redundant values", "obj", 2)])],
+        kernels={"k": _kernel_fn("k")},
+    )
+    new = _summary([_site("k", hits=[])], kernels={"k": _kernel_fn("k")})
+    (delta,) = diff_traces(old, new).deltas
+    assert delta.kind is DeltaKind.LOST_PATTERN
+    assert delta.old_value == 2
+
+
+def test_hit_count_thresholds_gate_grown_and_shrunk():
+    def pair(old_count, new_count):
+        old = _summary([_site("k", hits=[("frequent values", "o", old_count)])],
+                       kernels={"k": _kernel_fn("k")})
+        new = _summary([_site("k", hits=[("frequent values", "o", new_count)])],
+                       kernels={"k": _kernel_fn("k")})
+        return diff_traces(old, new, DiffThresholds(relative=0.25, min_bytes=64))
+
+    # 4 -> 5 is a 20% relative change: below the threshold, no delta.
+    assert pair(4, 5).clean
+    grown = pair(4, 8).deltas
+    assert [d.kind for d in grown] == [DeltaKind.GROWN]
+    assert grown[0].detail == "hit count"
+    shrunk = pair(8, 4).deltas
+    assert [d.kind for d in shrunk] == [DeltaKind.SHRUNK]
+
+
+def test_redundant_bytes_need_both_thresholds():
+    def pair(old_bytes, new_bytes):
+        old = _summary([_site("k", redundant=old_bytes)],
+                       kernels={"k": _kernel_fn("k")})
+        new = _summary([_site("k", redundant=new_bytes)],
+                       kernels={"k": _kernel_fn("k")})
+        return diff_traces(old, new, DiffThresholds(relative=0.25, min_bytes=64))
+
+    # 100% relative change but only 32 bytes: under min_bytes, no delta.
+    assert pair(0.0, 32.0).clean
+    # Large absolute change but 10% relative: no delta either.
+    assert pair(10000.0, 11000.0).clean
+    (delta,) = pair(1000.0, 2000.0).deltas
+    assert delta.kind is DeltaKind.GROWN
+    assert delta.detail == "site redundant bytes"
+    assert delta.pattern is None
+    assert delta.key == "grown:k:-:-"
+
+
+def test_kernel_membership_changes():
+    old = _summary(
+        [_site("gone", hits=[("single value", "o", 1)])],
+        kernels={"gone": _kernel_fn("gone")},
+    )
+    new = _summary(
+        [_site("fresh", hits=[("heavy type", "p", 2)])],
+        kernels={"fresh": _branchy_fn("fresh")},
+    )
+    diff = diff_traces(old, new)
+    kinds = {d.kind for d in diff.deltas}
+    assert DeltaKind.KERNEL_REMOVED in kinds
+    assert DeltaKind.KERNEL_ADDED in kinds
+    # The unpaired sites' hits appear wholesale.
+    lost = [d for d in diff.deltas if d.kind is DeltaKind.LOST_PATTERN]
+    assert [(d.site, d.pattern) for d in lost] == [("gone", "single value")]
+    new_red = [d for d in diff.deltas if d.kind is DeltaKind.NEW_REDUNDANCY]
+    assert [(d.site, d.detail) for d in new_red] == [
+        ("fresh", "site only in new recording")
+    ]
+
+
+def test_renamed_kernel_still_pairs_and_attributes_deltas():
+    fn = _branchy_fn("before")
+    old = _summary(
+        [_site("before", hits=[("single zero", "o", 2)])],
+        kernels={"before": fn},
+    )
+    new = _summary(
+        [
+            _site(
+                "after",
+                hits=[("single zero", "o", 2), ("redundant values", "o", 3)],
+            )
+        ],
+        kernels={"after": _branchy_fn("after")},
+    )
+    diff = diff_traces(old, new)
+    (match,) = diff.matching.matches
+    assert match.renamed and match.score == 1.0
+    assert ("before", "after") in diff.site_pairs
+    (delta,) = diff.deltas
+    assert delta.kind is DeltaKind.NEW_REDUNDANCY
+    assert delta.site == "after" and delta.old_site == "before"
+    assert "before -> after" in delta.render()
+
+
+def test_deltas_sort_by_kind_then_site():
+    old = _summary(
+        [
+            _site("b", hits=[("single zero", "o", 8)]),
+            _site("a", hits=[]),
+        ],
+        kernels={"a": _kernel_fn("a"), "b": _kernel_fn("b")},
+    )
+    new = _summary(
+        [
+            _site("b", hits=[("single zero", "o", 2)]),
+            _site("a", hits=[("heavy type", "o", 1)]),
+        ],
+        kernels={"a": _kernel_fn("a"), "b": _kernel_fn("b")},
+    )
+    diff = diff_traces(old, new)
+    assert [d.kind for d in diff.deltas] == [
+        DeltaKind.NEW_REDUNDANCY,
+        DeltaKind.SHRUNK,
+    ]
+
+
+def test_to_dict_is_json_ready():
+    import json
+
+    old = _summary([_site("k", hits=[])], kernels={"k": _kernel_fn("k")})
+    new = _summary(
+        [_site("k", hits=[("single zero", "o", 1)])],
+        kernels={"k": _kernel_fn("k")},
+    )
+    diff = diff_traces(old, new)
+    payload = json.loads(json.dumps(diff.to_dict()))
+    assert payload["deltas"][0]["key"] == "new-redundancy:k:single zero:o"
+    assert payload["matching"]["matches"][0]["verdict"] == "confident"
